@@ -1,0 +1,402 @@
+// netdiag — the NetDiagnoser command-line tool.
+//
+//   netdiag topo      generate/inspect/export the evaluation topology
+//   netdiag run       run a full evaluation scenario, print metric tables
+//   netdiag diagnose  walk through one failure episode verbosely
+//
+// Run `netdiag <command> --help` for the flags of each command.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/algorithms.h"
+#include "core/diagnosability.h"
+#include "core/json_export.h"
+#include "core/report.h"
+#include "core/troubleshooter.h"
+#include "exp/runner.h"
+#include "lg/looking_glass.h"
+#include "probe/prober.h"
+#include "sim/network.h"
+#include "topo/generator.h"
+#include "topo/io.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace netd;
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: netdiag <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  topo      generate the paper's evaluation topology; print stats,\n"
+      "            optionally dump it (--dump FILE) or export DOT (--dot FILE)\n"
+      "  run       run an evaluation scenario and print sensitivity/\n"
+      "            specificity tables per algorithm\n"
+      "  diagnose  inject one failure and show each algorithm's hypothesis\n"
+      "  watch     simulate the continuous NOC loop: flap filtering plus\n"
+      "            automatic diagnosis when an alarm fires\n";
+  return 2;
+}
+
+topo::GeneratorParams topo_params(util::Flags& flags) {
+  topo::GeneratorParams p;
+  p.seed = static_cast<std::uint64_t>(flags.get_int("topo-seed", 1));
+  p.target_ases = static_cast<std::size_t>(flags.get_int("ases", 165));
+  p.pool_tier2 = static_cast<std::size_t>(flags.get_int("tier2", 22));
+  p.pool_stubs = static_cast<std::size_t>(flags.get_int("stubs", 200));
+  return p;
+}
+
+/// Loads a topology from --topo FILE, or generates one.
+std::optional<topo::Topology> make_topology(util::Flags& flags) {
+  const std::string file = flags.get("topo");
+  if (file.empty()) return topo::generate(topo_params(flags));
+  std::ifstream is(file);
+  if (!is) {
+    std::cerr << "netdiag: cannot open " << file << "\n";
+    return std::nullopt;
+  }
+  std::string error;
+  auto t = topo::read_text(is, &error);
+  if (!t) std::cerr << "netdiag: " << file << ": " << error << "\n";
+  return t;
+}
+
+int cmd_topo(util::Flags& flags) {
+  flags.allow({"topo-seed", "ases", "tier2", "stubs", "dump", "dot", "topo",
+               "help"});
+  if (!flags.ok() || flags.get_bool("help")) {
+    std::cerr << "netdiag topo [--topo-seed N] [--ases N] [--tier2 N] "
+                 "[--stubs N]\n             [--topo FILE] [--dump FILE] "
+                 "[--dot FILE]\n";
+    for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
+    return flags.ok() ? 0 : 2;
+  }
+  const auto topo = make_topology(flags);
+  if (!topo) return 1;
+
+  std::size_t core = 0, tier2 = 0, stub = 0, inter = 0;
+  for (const auto& as : topo->ases()) {
+    switch (as.cls) {
+      case topo::AsClass::kCore: ++core; break;
+      case topo::AsClass::kTier2: ++tier2; break;
+      case topo::AsClass::kStub: ++stub; break;
+    }
+  }
+  for (const auto& l : topo->links()) inter += l.interdomain;
+  std::cout << "ASes:    " << topo->num_ases() << " (" << core << " core, "
+            << tier2 << " tier-2, " << stub << " stub)\n"
+            << "routers: " << topo->num_routers() << "\n"
+            << "links:   " << topo->num_links() << " ("
+            << topo->num_links() - inter << " intradomain, " << inter
+            << " interdomain)\n";
+
+  if (const std::string f = flags.get("dump"); !f.empty()) {
+    std::ofstream os(f);
+    topo::write_text(*topo, os);
+    std::cout << "wrote " << f << "\n";
+  }
+  if (const std::string f = flags.get("dot"); !f.empty()) {
+    std::ofstream os(f);
+    topo::write_dot(*topo, os);
+    std::cout << "wrote " << f << "\n";
+  }
+  return 0;
+}
+
+std::optional<std::vector<exp::Algo>> parse_algos(const std::string& spec) {
+  std::vector<exp::Algo> out;
+  std::istringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item == "tomo") {
+      out.push_back(exp::Algo::kTomo);
+    } else if (item == "nd-edge") {
+      out.push_back(exp::Algo::kNdEdge);
+    } else if (item == "nd-bgpigp") {
+      out.push_back(exp::Algo::kNdBgpIgp);
+    } else if (item == "nd-lg") {
+      out.push_back(exp::Algo::kNdLg);
+    } else {
+      std::cerr << "netdiag: unknown algorithm '" << item
+                << "' (tomo, nd-edge, nd-bgpigp, nd-lg)\n";
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::optional<probe::PlacementKind> parse_placement(const std::string& s) {
+  if (s == "random") return probe::PlacementKind::kRandomStub;
+  if (s == "same-as") return probe::PlacementKind::kSameAs;
+  if (s == "distant-as") return probe::PlacementKind::kDistantAs;
+  if (s == "distant-as-split") return probe::PlacementKind::kDistantAsSplit;
+  std::cerr << "netdiag: unknown placement '" << s << "'\n";
+  return std::nullopt;
+}
+
+int cmd_run(util::Flags& flags) {
+  flags.allow({"topo-seed", "ases", "tier2", "stubs", "mode", "failures",
+               "sensors", "placements", "trials", "placement", "blocked",
+               "lg", "operator", "seed", "algos", "help"});
+  if (!flags.ok() || flags.get_bool("help")) {
+    std::cerr
+        << "netdiag run [--mode links|misconfig|misconfig-link|router]\n"
+           "            [--failures K] [--sensors N] [--placements P]\n"
+           "            [--trials T] [--placement random|same-as|distant-as|"
+           "distant-as-split]\n"
+           "            [--blocked F] [--lg F] [--operator core|stub]\n"
+           "            [--seed S] [--algos tomo,nd-edge,nd-bgpigp,nd-lg]\n";
+    for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
+    return flags.ok() ? 0 : 2;
+  }
+
+  exp::ScenarioConfig cfg;
+  cfg.topo_params = topo_params(flags);
+  cfg.num_sensors = static_cast<std::size_t>(flags.get_int("sensors", 10));
+  cfg.num_placements =
+      static_cast<std::size_t>(flags.get_int("placements", 5));
+  cfg.trials_per_placement =
+      static_cast<std::size_t>(flags.get_int("trials", 20));
+  cfg.num_link_failures =
+      static_cast<std::size_t>(flags.get_int("failures", 1));
+  cfg.frac_blocked = flags.get_double("blocked", 0.0);
+  cfg.frac_lg = flags.get_double("lg", 1.0);
+  cfg.operator_at_core = flags.get("operator", "core") != "stub";
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  if (flags.has("placement")) {
+    const auto kind = parse_placement(flags.get("placement"));
+    if (!kind) return 2;
+    cfg.placement = *kind;
+  }
+
+  const std::string mode = flags.get("mode", "links");
+  if (mode == "links") {
+    cfg.mode = exp::FailureMode::kLinks;
+  } else if (mode == "misconfig") {
+    cfg.mode = exp::FailureMode::kMisconfig;
+  } else if (mode == "misconfig-link") {
+    cfg.mode = exp::FailureMode::kMisconfigPlusLink;
+  } else if (mode == "router") {
+    cfg.mode = exp::FailureMode::kRouter;
+  } else {
+    std::cerr << "netdiag: unknown mode '" << mode << "'\n";
+    return 2;
+  }
+  const auto algos = parse_algos(flags.get(
+      "algos", cfg.frac_blocked > 0 ? "nd-bgpigp,nd-lg" : "tomo,nd-edge"));
+  if (!algos) return 2;
+
+  std::cout << "scenario: mode=" << mode << " failures=" << cfg.num_link_failures
+            << " sensors=" << cfg.num_sensors << " placements x trials="
+            << cfg.num_placements << "x" << cfg.trials_per_placement
+            << " blocked=" << cfg.frac_blocked << " lg=" << cfg.frac_lg
+            << "\n";
+  exp::Runner runner(cfg);
+  const auto results = runner.run(*algos);
+  std::cout << results.size() << " diagnosable episodes\n\n";
+  if (results.empty()) return 0;
+
+  util::Table t({"algorithm", "link sens", "link spec", "AS sens", "AS spec",
+                 "mean |H|"});
+  for (exp::Algo a : *algos) {
+    util::Summary ls, lp, as, ap, hs;
+    for (const auto& r : results) {
+      if (r.link.count(a) != 0) {
+        ls.add(r.link.at(a).sensitivity);
+        lp.add(r.link.at(a).specificity);
+        hs.add(static_cast<double>(r.link.at(a).hypothesis_size));
+      }
+      as.add(r.as_level.at(a).sensitivity);
+      ap.add(r.as_level.at(a).specificity);
+    }
+    t.add_row(exp::to_string(a),
+              {ls.mean(), lp.mean(), as.mean(), ap.mean(), hs.mean()});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_diagnose(util::Flags& flags) {
+  flags.allow({"topo-seed", "ases", "tier2", "stubs", "topo", "seed",
+               "failures", "sensors", "report", "json", "help"});
+  if (!flags.ok() || flags.get_bool("help")) {
+    std::cerr << "netdiag diagnose [--seed S] [--failures K] [--sensors N]\n"
+                 "                 [--topo FILE] [--report] [--json]\n";
+    for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
+    return flags.ok() ? 0 : 2;
+  }
+  auto topology = make_topology(flags);
+  if (!topology) return 1;
+  sim::Network net(std::move(*topology));
+  net.converge();
+  const auto& topo = net.topology();
+  net.set_operator_as(topo::AsId{0});
+
+  util::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 7)));
+  const auto sensors = probe::place_sensors(
+      topo, probe::PlacementKind::kRandomStub,
+      static_cast<std::size_t>(flags.get_int("sensors", 10)), rng);
+  probe::Prober prober(net, sensors);
+  const auto before = prober.measure();
+  const auto dg = core::build_diagnosis_graph(before, before, false);
+  std::cout << "probed links: " << dg.probed_keys.size()
+            << ", diagnosability: " << core::diagnosability(dg) << "\n";
+
+  const auto k = static_cast<std::size_t>(flags.get_int("failures", 2));
+  const auto pool = before.probed_links();
+  if (pool.size() < k) {
+    std::cerr << "netdiag: not enough probed links\n";
+    return 1;
+  }
+  const auto victims = rng.sample(pool, k);
+  std::cout << "failing:";
+  for (auto l : victims) std::cout << " " << exp::link_key(topo, l);
+  std::cout << "\n";
+  net.start_recording();
+  for (auto l : victims) net.fail_link(l);
+  net.reconverge();
+  const auto after = prober.measure();
+
+  std::size_t broken = 0;
+  for (std::size_t i = 0; i < before.paths.size(); ++i) {
+    broken += before.paths[i].ok && !after.paths[i].ok;
+  }
+  std::cout << "broken pairs: " << broken << " / " << before.paths.size()
+            << "\n";
+  if (broken == 0) {
+    std::cout << "all pairs recovered by rerouting; nothing to diagnose "
+                 "(try another --seed)\n";
+    return 0;
+  }
+
+  const auto cp = exp::collect_control_plane(net);
+  std::set<std::string> truth;
+  for (auto l : victims) truth.insert(exp::link_key(topo, l));
+  auto report = [&](const char* name, const core::AlgorithmOutput& out) {
+    const auto m =
+        core::link_metrics(out.result.links, truth, out.graph.probed_keys);
+    std::cout << "\n" << name << " (sens " << m.sensitivity << ", spec "
+              << m.specificity << "):\n";
+    for (const auto& key : out.result.links) {
+      std::cout << "  " << key
+                << (truth.count(key) ? "   <-- actually failed" : "") << "\n";
+    }
+  };
+  report("Tomo", core::run_tomo(before, after));
+  report("ND-edge", core::run_nd_edge(before, after));
+  const auto bgpigp = core::run_nd_bgpigp(before, after, cp);
+  report("ND-bgpigp", bgpigp);
+  if (flags.get_bool("report")) {
+    std::cout << "\n"
+              << core::render_report(bgpigp.graph, bgpigp.result, &truth);
+  }
+  if (flags.get_bool("json")) {
+    std::cout << "\n" << core::to_json(bgpigp.graph, bgpigp.result) << "\n";
+  }
+  return 0;
+}
+
+int cmd_watch(util::Flags& flags) {
+  flags.allow({"topo-seed", "ases", "tier2", "stubs", "topo", "seed",
+               "sensors", "rounds", "threshold", "fail-round", "flap-round",
+               "help"});
+  if (!flags.ok() || flags.get_bool("help")) {
+    std::cerr << "netdiag watch [--seed S] [--sensors N] [--rounds R]\n"
+                 "              [--threshold K] [--flap-round A]"
+                 " [--fail-round B]\n";
+    for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
+    return flags.ok() ? 0 : 2;
+  }
+  auto topology = make_topology(flags);
+  if (!topology) return 1;
+  sim::Network net(std::move(*topology));
+  net.converge();
+  net.set_operator_as(topo::AsId{0});
+
+  util::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 7)));
+  const auto sensors = probe::place_sensors(
+      net.topology(), probe::PlacementKind::kRandomStub,
+      static_cast<std::size_t>(flags.get_int("sensors", 10)), rng);
+  probe::Prober prober(net, sensors);
+
+  core::Troubleshooter::Config cfg;
+  cfg.alarm_threshold =
+      static_cast<std::size_t>(flags.get_int("threshold", 3));
+  cfg.solver = core::nd_bgpigp_options();
+  core::Troubleshooter ts(cfg);
+  ts.set_baseline(prober.measure());
+
+  const auto rounds = flags.get_int("rounds", 10);
+  const auto flap_round = flags.get_int("flap-round", 2);
+  const auto fail_round = flags.get_int("fail-round", 5);
+  const auto pool = ts.baseline().probed_links();
+  const topo::LinkId flap_victim = rng.pick(pool);
+  // The persistent failure should actually break pairs: prefer a
+  // single-homed sensor's uplink (non-recoverable by construction).
+  topo::LinkId fail_victim = rng.pick(pool);
+  for (const auto& s : sensors) {
+    std::size_t uplinks = 0;
+    topo::LinkId last;
+    for (topo::LinkId l : net.topology().links_of(s.attach)) {
+      if (net.topology().link(l).interdomain) {
+        ++uplinks;
+        last = l;
+      }
+    }
+    if (uplinks == 1) {
+      fail_victim = last;
+      break;
+    }
+  }
+  const auto snap = net.snapshot();
+
+  for (long long r = 1; r <= rounds; ++r) {
+    std::cout << "round " << r << ": ";
+    if (r == flap_round) {
+      net.fail_link(flap_victim);
+      net.reconverge();
+      std::cout << "[flap: " << exp::link_key(net.topology(), flap_victim)
+                << " down this round] ";
+    } else if (r == flap_round + 1) {
+      net.restore(snap);
+      net.set_operator_as(topo::AsId{0});
+    }
+    if (r == fail_round) {
+      net.start_recording();
+      net.fail_link(fail_victim);
+      net.reconverge();
+      std::cout << "[failure: " << exp::link_key(net.topology(), fail_victim)
+                << " down persistently] ";
+    }
+    const auto cp = exp::collect_control_plane(net);
+    const auto diag = ts.observe(prober.measure(), &cp);
+    if (diag) {
+      std::cout << "ALARM -> diagnosis\n\n";
+      std::set<std::string> truth = {exp::link_key(net.topology(), fail_victim)};
+      std::cout << core::render_report(diag->graph, diag->result, &truth);
+      return 0;
+    }
+    std::cout << (ts.alarmed() ? "alarmed" : "quiet") << "\n";
+  }
+  std::cout << "no alarm within " << rounds << " rounds\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  util::Flags flags = util::Flags::parse(argc - 1, argv + 1);
+  if (cmd == "topo") return cmd_topo(flags);
+  if (cmd == "run") return cmd_run(flags);
+  if (cmd == "diagnose") return cmd_diagnose(flags);
+  if (cmd == "watch") return cmd_watch(flags);
+  return usage();
+}

@@ -1,0 +1,79 @@
+// Ablation: which of ND-edge's two features (logical links §3.1, reroute
+// sets §3.2) buys what, and what control-plane data (§3.3) adds on top.
+//
+// Runs every variant on the *same* failure episodes. Expected: reroute
+// sets drive sensitivity under multiple link failures; logical links
+// drive sensitivity under misconfigurations; both together ≈ ND-edge;
+// control-plane data buys specificity.
+#include <iostream>
+
+#include "common.h"
+#include "core/solver.h"
+
+using namespace netd;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool logical;
+  bool reroutes;
+  bool control_plane;
+};
+
+constexpr Variant kVariants[] = {
+    {"Tomo (none)", false, false, false},
+    {"+logical only", true, false, false},
+    {"+reroutes only", false, true, false},
+    {"ND-edge (both)", true, true, false},
+    {"ND-bgpigp (+cp)", true, true, true},
+};
+
+void run_mode(const char* title, exp::ScenarioConfig cfg) {
+  std::cout << "\n--- " << title << " ---\n";
+  exp::Runner runner(cfg);
+  std::map<std::string, util::Summary> sens, spec;
+  std::size_t episodes = 0;
+  runner.for_each_episode([&](const exp::EpisodeContext& ep) {
+    ++episodes;
+    for (const auto& v : kVariants) {
+      const auto dg = core::build_diagnosis_graph(ep.before, ep.after,
+                                                  v.logical);
+      core::SolverOptions opt;
+      opt.use_reroutes = v.reroutes;
+      opt.use_control_plane = v.control_plane;
+      const auto res = core::solve(dg, opt, v.control_plane ? &ep.cp : nullptr);
+      const auto m =
+          core::link_metrics(res.links, ep.failed_links, dg.probed_keys);
+      sens[v.name].add(m.sensitivity);
+      spec[v.name].add(m.specificity);
+    }
+  });
+  util::Table t({"variant", "mean sensitivity", "mean specificity"});
+  for (const auto& v : kVariants) {
+    t.add_row(v.name, {sens[v.name].mean(), spec[v.name].mean()});
+  }
+  bench::emit_table(std::string("ablation features ") + title, t);
+  std::cout << "episodes: " << episodes << "\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: ND-edge feature decomposition");
+
+  {
+    auto cfg = bench::scaled_config(2000);
+    cfg.num_link_failures = 3;
+    run_mode("three link failures", cfg);
+  }
+  {
+    auto cfg = bench::scaled_config(2001);
+    cfg.mode = exp::FailureMode::kMisconfig;
+    run_mode("one misconfiguration", cfg);
+  }
+  std::cout << "\nExpected: reroute sets carry the multi-failure case;"
+               " logical links carry the misconfiguration case; the"
+               " combination dominates both.\n";
+  return 0;
+}

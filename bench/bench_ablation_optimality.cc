@@ -1,0 +1,64 @@
+// Ablation: the greedy's approximation gap (paper §2.3-2.4).
+//
+// The minimum-hitting-set problem is NP-hard; Algorithm 1 is a greedy
+// log|U|-approximation that additionally adds whole tie sets ("the set of
+// links with the maximum score"). This bench solves the same instances
+// exactly (branch and bound) and reports how much larger the greedy's
+// hypothesis is — and whether the extra links cost or buy accuracy.
+#include <iostream>
+
+#include "common.h"
+#include "core/exact.h"
+#include "core/solver.h"
+
+using namespace netd;
+
+int main() {
+  bench::banner("Ablation: greedy Algorithm 1 vs exact minimum hitting set");
+
+  auto cfg = bench::scaled_config(2600);
+  cfg.num_link_failures = 2;
+  exp::Runner runner(cfg);
+
+  util::Summary greedy_h, exact_h, greedy_sens, exact_sens;
+  std::size_t solved = 0, budget_exceeded = 0;
+  runner.for_each_episode([&](const exp::EpisodeContext& ep) {
+    const auto dg = core::build_diagnosis_graph(ep.before, ep.after, true);
+    core::SolverOptions opt;
+    opt.use_reroutes = true;
+    const auto greedy = core::solve(dg, opt);
+    const auto demands = core::build_demands(dg, opt);
+    const auto exact = core::minimum_hitting_set(demands);
+    if (!exact) {
+      ++budget_exceeded;
+      return;
+    }
+    ++solved;
+    std::set<std::string> exact_links;
+    for (auto e : *exact) {
+      exact_links.insert(dg.info(graph::EdgeId{e}).phys_key);
+    }
+    greedy_h.add(static_cast<double>(greedy.links.size()));
+    exact_h.add(static_cast<double>(exact_links.size()));
+    const auto gm =
+        core::link_metrics(greedy.links, ep.failed_links, dg.probed_keys);
+    const auto em =
+        core::link_metrics(exact_links, ep.failed_links, dg.probed_keys);
+    greedy_sens.add(gm.sensitivity);
+    exact_sens.add(em.sensitivity);
+  });
+
+  util::Table t({"solver", "mean |H| (links)", "mean sensitivity"});
+  t.add_row("greedy (Algorithm 1)", {greedy_h.mean(), greedy_sens.mean()});
+  t.add_row("exact minimum", {exact_h.mean(), exact_sens.mean()});
+  bench::emit_table("ablation greedy vs exact", t);
+  std::cout << "episodes solved exactly: " << solved
+            << " (budget exceeded: " << budget_exceeded << ")\n";
+  std::cout << "\nExpected: the greedy returns a larger hypothesis (it adds"
+               " whole tie sets) but that redundancy is what buys its"
+               " near-perfect sensitivity — the true minimum explains the"
+               " symptoms with fewer links and misses real failures more"
+               " often. \"False positives are preferred to false"
+               " negatives\" (paper §2.2).\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Ablation: load balancing vs reroute detection (paper §2.2 footnote 2).
+//
+// The evaluation topology's equal-weight cores have real ECMP. A naive
+// troubleshooter flags any changed path as a reroute; the Paris-aware
+// variant first checks the T− ECMP alternatives. This bench measures how
+// many "reroutes" were actually load balancing and what the false reroute
+// sets cost in specificity.
+#include <iostream>
+
+#include "common.h"
+#include "core/solver.h"
+#include "probe/prober.h"
+#include "sim/network.h"
+#include "topo/generator.h"
+#include "util/rng.h"
+
+using namespace netd;
+
+int main() {
+  bench::banner("Ablation: naive vs Paris-aware reroute detection");
+
+  sim::Network net(topo::generate(topo::GeneratorParams{}));
+  net.converge();
+  util::Rng rng(2200);
+  const auto sensors = probe::place_sensors(
+      net.topology(), probe::PlacementKind::kRandomStub, 10, rng);
+  // A classic traceroute hashes differently on every invocation: model
+  // that by measuring T− and T+ under different flow ids, so ECMP pairs
+  // can change paths with no routing event at all.
+  probe::Prober prober(net, sensors);
+  prober.set_flow(1);
+  const auto before = prober.measure();
+  const auto paris = prober.measure_paris();
+  const auto pool = before.probed_links();
+  const auto snap = net.snapshot();
+
+  const std::size_t trials = bench::env_or("ND_TRIALS", 25) *
+                             bench::env_or("ND_PLACEMENTS", 4);
+  util::Summary naive_sens, naive_spec, aware_sens, aware_spec;
+  std::size_t naive_reroutes = 0, aware_reroutes = 0, episodes = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const auto victims = rng.sample(pool, 2);
+    for (auto l : victims) net.fail_link(l);
+    net.reconverge();
+    prober.set_flow(1 + t);  // a fresh hash seed, as real probes would
+    const auto after = prober.measure();
+    bool invoked = false;
+    for (std::size_t k = 0; k < before.paths.size(); ++k) {
+      invoked = invoked || (before.paths[k].ok && !after.paths[k].ok);
+    }
+    if (invoked) {
+      ++episodes;
+      std::set<std::string> truth;
+      for (auto l : victims) truth.insert(exp::link_key(net.topology(), l));
+
+      const auto naive = core::build_diagnosis_graph(before, after, true);
+      const auto aware =
+          core::build_diagnosis_graph(before, after, true, &paris);
+      for (const auto& p : naive.paths) naive_reroutes += p.rerouted;
+      for (const auto& p : aware.paths) aware_reroutes += p.rerouted;
+
+      core::SolverOptions opt;
+      opt.use_reroutes = true;
+      const auto rn = core::solve(naive, opt);
+      const auto ra = core::solve(aware, opt);
+      const auto mn = core::link_metrics(rn.links, truth, naive.probed_keys);
+      const auto ma = core::link_metrics(ra.links, truth, aware.probed_keys);
+      naive_sens.add(mn.sensitivity);
+      naive_spec.add(mn.specificity);
+      aware_sens.add(ma.sensitivity);
+      aware_spec.add(ma.specificity);
+    }
+    net.restore(snap);
+  }
+
+  util::Table t({"variant", "reroute sets", "mean sensitivity",
+                 "mean specificity"});
+  t.add_row("naive", {static_cast<double>(naive_reroutes), naive_sens.mean(),
+                      naive_spec.mean()});
+  t.add_row("Paris-aware", {static_cast<double>(aware_reroutes),
+                            aware_sens.mean(), aware_spec.mean()});
+  bench::emit_table("ablation paris", t);
+  std::cout << "episodes: " << episodes
+            << "\nExpected: naive detection flags many ECMP siblings as"
+               " reroutes (spurious reroute sets); the Paris-aware variant"
+               " suppresses them, trading a little ambiguous evidence for"
+               " cleaner specificity.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation: the reroute-set weight b in score = a|C(l)| + b|R(l)|.
+//
+// The paper fixes a = b = 1 (§3.2). This sweep shows b = 0 collapses to
+// Tomo-like sensitivity under multiple failures, while the exact positive
+// value matters little — supporting the paper's simple choice.
+#include <iostream>
+
+#include "common.h"
+#include "core/solver.h"
+
+using namespace netd;
+
+int main() {
+  bench::banner("Ablation: reroute weight b (a = 1 fixed)");
+
+  auto cfg = bench::scaled_config(2100);
+  cfg.num_link_failures = 3;
+  exp::Runner runner(cfg);
+
+  const double weights[] = {0.0, 0.25, 0.5, 1.0, 2.0, 4.0};
+  std::map<double, util::Summary> sens, spec, hsize;
+  runner.for_each_episode([&](const exp::EpisodeContext& ep) {
+    const auto dg =
+        core::build_diagnosis_graph(ep.before, ep.after, /*logical=*/true);
+    for (double b : weights) {
+      core::SolverOptions opt;
+      opt.use_reroutes = true;
+      opt.weight_reroutes = b;
+      const auto res = core::solve(dg, opt);
+      const auto m =
+          core::link_metrics(res.links, ep.failed_links, dg.probed_keys);
+      sens[b].add(m.sensitivity);
+      spec[b].add(m.specificity);
+      hsize[b].add(static_cast<double>(m.hypothesis_size));
+    }
+  });
+
+  util::Table t({"b", "mean sensitivity", "mean specificity", "mean |H|"});
+  for (double b : weights) {
+    t.add_row({b, sens[b].mean(), spec[b].mean(), hsize[b].mean()});
+  }
+  bench::emit_table("ablation reroute weight", t);
+  std::cout << "\nExpected: b=0 loses the reroutable failures; any b>0"
+               " performs nearly identically (the paper's a=b=1 is safe).\n";
+  return 0;
+}

@@ -1,0 +1,148 @@
+// google-benchmark micro-benchmarks: raw algorithm cost on the paper-scale
+// topology (BGP convergence, traceroute mesh, graph build, each diagnosis
+// algorithm).
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "core/algorithms.h"
+#include "core/diagnosability.h"
+#include "exp/runner.h"
+#include "lg/looking_glass.h"
+#include "probe/prober.h"
+#include "sim/network.h"
+#include "topo/generator.h"
+#include "util/rng.h"
+
+using namespace netd;
+
+namespace {
+
+/// Shared fixture state: one converged paper-scale network with a failure
+/// episode baked in.
+struct Episode {
+  sim::Network net;
+  std::vector<probe::Sensor> sensors;
+  probe::Mesh before, after;
+  core::ControlPlaneObs cp;
+
+  explicit Episode(std::size_t num_sensors)
+      : net(topo::generate(topo::GeneratorParams{})) {
+    net.converge();
+    net.set_operator_as(topo::AsId{0});
+    util::Rng rng(77);
+    sensors = probe::place_sensors(
+        net.topology(), probe::PlacementKind::kRandomStub, num_sensors, rng);
+    probe::Prober prober(net, sensors);
+    before = prober.measure();
+    net.start_recording();
+    for (auto l : rng.sample(before.probed_links(), 2)) net.fail_link(l);
+    net.reconverge();
+    after = prober.measure();
+    cp = exp::collect_control_plane(net);
+  }
+};
+
+Episode& episode10() {
+  static Episode e(10);
+  return e;
+}
+
+void BM_TopologyGenerate(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo::generate(topo::GeneratorParams{}));
+  }
+}
+BENCHMARK(BM_TopologyGenerate);
+
+void BM_InitialConvergence(benchmark::State& state) {
+  const auto topo = topo::generate(topo::GeneratorParams{});
+  for (auto _ : state) {
+    sim::Network net(topo);
+    net.converge();
+    benchmark::DoNotOptimize(net.bgp().events_processed());
+  }
+}
+BENCHMARK(BM_InitialConvergence);
+
+void BM_FailureReconvergence(benchmark::State& state) {
+  auto& e = episode10();
+  const auto snap = e.net.snapshot();
+  util::Rng rng(5);
+  const auto pool = e.before.probed_links();
+  for (auto _ : state) {
+    e.net.fail_link(rng.pick(pool));
+    e.net.reconverge();
+    e.net.restore(snap);
+  }
+}
+BENCHMARK(BM_FailureReconvergence);
+
+void BM_FullMeshTraceroute(benchmark::State& state) {
+  auto& e = episode10();
+  probe::Prober prober(e.net, e.sensors);
+  for (auto _ : state) benchmark::DoNotOptimize(prober.measure());
+}
+BENCHMARK(BM_FullMeshTraceroute);
+
+void BM_BuildDiagnosisGraph(benchmark::State& state) {
+  auto& e = episode10();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::build_diagnosis_graph(e.before, e.after, state.range(0) != 0));
+  }
+}
+BENCHMARK(BM_BuildDiagnosisGraph)->Arg(0)->Arg(1);
+
+void BM_Tomo(benchmark::State& state) {
+  auto& e = episode10();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_tomo(e.before, e.after));
+  }
+}
+BENCHMARK(BM_Tomo);
+
+void BM_NdEdge(benchmark::State& state) {
+  auto& e = episode10();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_nd_edge(e.before, e.after));
+  }
+}
+BENCHMARK(BM_NdEdge);
+
+void BM_NdBgpIgp(benchmark::State& state) {
+  auto& e = episode10();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_nd_bgpigp(e.before, e.after, e.cp));
+  }
+}
+BENCHMARK(BM_NdBgpIgp);
+
+void BM_Diagnosability(benchmark::State& state) {
+  auto& e = episode10();
+  const auto dg = core::build_diagnosis_graph(e.before, e.before, false);
+  for (auto _ : state) benchmark::DoNotOptimize(core::diagnosability(dg));
+}
+BENCHMARK(BM_Diagnosability);
+
+void BM_LgTableBuild(benchmark::State& state) {
+  auto& e = episode10();
+  for (auto _ : state) benchmark::DoNotOptimize(lg::LgTable(e.net));
+}
+BENCHMARK(BM_LgTableBuild);
+
+void BM_SolverScaling(benchmark::State& state) {
+  // Solver cost as the sensor mesh grows.
+  static std::map<int, std::unique_ptr<Episode>> cache;
+  const int n = static_cast<int>(state.range(0));
+  if (!cache.count(n)) cache[n] = std::make_unique<Episode>(n);
+  auto& e = *cache[n];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_nd_edge(e.before, e.after));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SolverScaling)->Arg(5)->Arg(10)->Arg(20)->Arg(40)->Complexity();
+
+}  // namespace

@@ -1,0 +1,43 @@
+// §4 (text): "The number of sensors is fixed at N=10 (experiments with N
+// ranging from 5 to 100 show similar trends)."
+//
+// Sweeps the sensor count and reports Tomo/ND-edge sensitivity and
+// specificity under two link failures: the algorithm ranking must be
+// stable in N (more sensors mainly buys specificity via diagnosability).
+#include <iostream>
+
+#include "common.h"
+
+using namespace netd;
+using exp::Algo;
+
+int main() {
+  bench::banner("Sensor count sweep (paper §4: N = 5..100, similar trends)");
+
+  util::Table t({"sensors", "Tomo sens", "ND-edge sens", "ND-edge spec",
+                 "episodes"});
+  for (std::size_t n : {5u, 10u, 20u, 50u, 100u}) {
+    auto cfg = bench::scaled_config(2700 + n);
+    cfg.num_sensors = n;
+    cfg.num_link_failures = 2;
+    // Larger meshes cost quadratically; scale trials down to keep the
+    // sweep bounded.
+    if (n >= 50) {
+      cfg.num_placements = std::max<std::size_t>(1, cfg.num_placements / 2);
+      cfg.trials_per_placement =
+          std::max<std::size_t>(5, cfg.trials_per_placement / 5);
+    }
+    exp::Runner runner(cfg);
+    const auto rs = runner.run({Algo::kTomo, Algo::kNdEdge});
+    t.add_row({static_cast<double>(n),
+               bench::mean(bench::link_sensitivity(rs, Algo::kTomo)),
+               bench::mean(bench::link_sensitivity(rs, Algo::kNdEdge)),
+               bench::mean(bench::link_specificity(rs, Algo::kNdEdge)),
+               static_cast<double>(rs.size())});
+  }
+  bench::emit_table("sensor count sweep", t);
+  std::cout << "\nExpected (paper): the Tomo < ND-edge ranking and the"
+               " magnitude of the gap are stable across N; specificity"
+               " improves slowly with more sensors.\n";
+  return 0;
+}

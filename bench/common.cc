@@ -1,0 +1,132 @@
+#include "common.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+
+namespace netd::bench {
+namespace {
+void maybe_csv(const std::string& title, const util::Table& table);
+}  // namespace
+
+std::size_t env_or(const char* name, std::size_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+exp::ScenarioConfig scaled_config(std::uint64_t seed) {
+  exp::ScenarioConfig cfg;
+  cfg.num_placements = env_or("ND_PLACEMENTS", 4);
+  cfg.trials_per_placement = env_or("ND_TRIALS", 25);
+  cfg.seed = seed;
+  return cfg;
+}
+
+namespace {
+
+template <typename Get>
+std::vector<double> extract(const std::vector<exp::TrialResult>& rs,
+                            exp::Algo a, Get get) {
+  std::vector<double> out;
+  out.reserve(rs.size());
+  for (const auto& r : rs) out.push_back(get(r, a));
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> link_sensitivity(const std::vector<exp::TrialResult>& rs,
+                                     exp::Algo a) {
+  return extract(rs, a, [](const exp::TrialResult& r, exp::Algo al) {
+    return r.link.at(al).sensitivity;
+  });
+}
+
+std::vector<double> link_specificity(const std::vector<exp::TrialResult>& rs,
+                                     exp::Algo a) {
+  return extract(rs, a, [](const exp::TrialResult& r, exp::Algo al) {
+    return r.link.at(al).specificity;
+  });
+}
+
+std::vector<double> as_sensitivity(const std::vector<exp::TrialResult>& rs,
+                                   exp::Algo a) {
+  return extract(rs, a, [](const exp::TrialResult& r, exp::Algo al) {
+    return r.as_level.at(al).sensitivity;
+  });
+}
+
+std::vector<double> as_specificity(const std::vector<exp::TrialResult>& rs,
+                                   exp::Algo a) {
+  return extract(rs, a, [](const exp::TrialResult& r, exp::Algo al) {
+    return r.as_level.at(al).specificity;
+  });
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+void print_cdf_table(
+    const std::string& title,
+    const std::vector<std::pair<std::string, std::vector<double>>>& series,
+    double lo, double hi, std::size_t bins) {
+  std::cout << "\n" << title << "\n";
+  std::vector<std::string> headers = {"value"};
+  for (const auto& [name, _] : series) headers.push_back("cdf:" + name);
+  util::Table t(headers);
+  std::vector<std::vector<util::CdfPoint>> cdfs;
+  cdfs.reserve(series.size());
+  for (const auto& [_, samples] : series) {
+    cdfs.push_back(util::cdf_on_grid(samples, lo, hi, bins));
+  }
+  for (std::size_t i = 0; i <= bins; ++i) {
+    std::vector<double> row = {cdfs[0][i].value};
+    for (const auto& cdf : cdfs) row.push_back(cdf[i].cum_prob);
+    t.add_row(row);
+  }
+  t.print(std::cout);
+  maybe_csv(title, t);
+}
+
+namespace {
+
+void maybe_csv(const std::string& title, const util::Table& table) {
+  const char* dir = std::getenv("ND_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  std::string slug;
+  for (char ch : title) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) {
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    } else if (!slug.empty() && slug.back() != '-') {
+      slug += '-';
+    }
+  }
+  while (!slug.empty() && slug.back() == '-') slug.pop_back();
+  std::ofstream os(std::string(dir) + "/" + slug + ".csv");
+  if (os) table.print_csv(os);
+}
+
+}  // namespace
+
+void emit_table(const std::string& title, const util::Table& table) {
+  std::cout << "\n" << title << "\n";
+  table.print(std::cout);
+  maybe_csv(title, table);
+}
+
+void banner(const std::string& what) {
+  std::cout << "==============================================================\n"
+            << what << "\n"
+            << "placements=" << env_or("ND_PLACEMENTS", 4)
+            << " trials/placement=" << env_or("ND_TRIALS", 25)
+            << "  (paper: 10 x 100; set ND_PLACEMENTS/ND_TRIALS to scale)\n"
+            << "==============================================================\n";
+}
+
+}  // namespace netd::bench

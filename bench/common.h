@@ -1,0 +1,52 @@
+// Shared scaffolding for the figure-reproduction benchmarks.
+//
+// Each bench binary reruns one figure of the paper's evaluation and prints
+// its series as aligned tables. Run counts default to a laptop-friendly
+// size and scale up via environment variables:
+//   ND_PLACEMENTS  sensor placements per scenario   (paper: 10)
+//   ND_TRIALS      failure trials per placement     (paper: 100)
+//   ND_CSV_DIR     when set, every printed table is also written there
+//                  as CSV for plotting
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace netd::bench {
+
+/// Unsigned env var with default.
+[[nodiscard]] std::size_t env_or(const char* name, std::size_t def);
+
+/// Default scenario config with bench-scaled run counts applied.
+[[nodiscard]] exp::ScenarioConfig scaled_config(std::uint64_t seed);
+
+// Metric extraction from trial results.
+[[nodiscard]] std::vector<double> link_sensitivity(
+    const std::vector<exp::TrialResult>& rs, exp::Algo a);
+[[nodiscard]] std::vector<double> link_specificity(
+    const std::vector<exp::TrialResult>& rs, exp::Algo a);
+[[nodiscard]] std::vector<double> as_sensitivity(
+    const std::vector<exp::TrialResult>& rs, exp::Algo a);
+[[nodiscard]] std::vector<double> as_specificity(
+    const std::vector<exp::TrialResult>& rs, exp::Algo a);
+[[nodiscard]] double mean(const std::vector<double>& xs);
+
+/// Prints "value  P(X<=value) per series" on a fixed [lo, hi] grid — the
+/// CDF shape the paper's figures use.
+void print_cdf_table(
+    const std::string& title,
+    const std::vector<std::pair<std::string, std::vector<double>>>& series,
+    double lo = 0.0, double hi = 1.0, std::size_t bins = 10);
+
+/// Prints a banner naming the figure being reproduced.
+void banner(const std::string& what);
+
+/// Prints the table and, when ND_CSV_DIR is set, also writes it as
+/// <ND_CSV_DIR>/<slug-of-title>.csv for plotting.
+void emit_table(const std::string& title, const util::Table& table);
+
+}  // namespace netd::bench

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Plot the paper figures from the CSVs the benchmarks emit.
+
+Usage:
+    mkdir -p out
+    for b in build/bench/bench_fig*; do ND_CSV_DIR=out "$b" > /dev/null; done
+    python3 scripts/plot_figures.py out
+
+Writes one PNG next to each CSV. Requires matplotlib; degrades to a clear
+error message without it.
+"""
+import csv
+import pathlib
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib is required: pip install matplotlib")
+        return 1
+
+    out_dir = pathlib.Path(sys.argv[1])
+    csvs = sorted(out_dir.glob("*.csv"))
+    if not csvs:
+        print(f"no CSVs in {out_dir}; run the benches with ND_CSV_DIR set")
+        return 1
+    for path in csvs:
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        header, data = rows[0], rows[1:]
+        if not data:
+            continue
+        # First column is x when numeric; otherwise categorical labels.
+        fig, ax = plt.subplots(figsize=(6, 4))
+        try:
+            xs = [float(r[0]) for r in data]
+            for col in range(1, len(header)):
+                ys = [float(r[col]) for r in data]
+                ax.plot(xs, ys, marker="o", label=header[col])
+            ax.set_xlabel(header[0])
+        except ValueError:
+            labels = [r[0] for r in data]
+            width = 0.8 / max(1, len(header) - 1)
+            for col in range(1, len(header)):
+                ys = [float(r[col]) for r in data]
+                offs = [i + (col - 1) * width for i in range(len(labels))]
+                ax.bar(offs, ys, width=width, label=header[col])
+            ax.set_xticks(range(len(labels)))
+            ax.set_xticklabels(labels, rotation=20, ha="right")
+        ax.legend(fontsize=8)
+        ax.set_title(path.stem.replace("-", " "))
+        ax.grid(alpha=0.3)
+        fig.tight_layout()
+        png = path.with_suffix(".png")
+        fig.savefig(png, dpi=120)
+        plt.close(fig)
+        print(f"wrote {png}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+#include "bgp/policy.h"
+
+namespace netd::bgp {
+
+bool export_allowed(const topo::Topology& topo, topo::RouterId r,
+                    topo::LinkId l, const Route& best,
+                    const ExportFilters& filters) {
+  if (filters.suppressed(r, l, best.prefix)) return false;
+  const topo::Relationship rel = topo.neighbor_relationship(l, r);
+  if (rel == topo::Relationship::kCustomer) return true;
+  // Toward peers and providers only customer-learned or originated routes
+  // may be announced.
+  return best.local_pref == kCustomerPref || best.originated();
+}
+
+}  // namespace netd::bgp

@@ -1,0 +1,47 @@
+// Export policy: Gao–Rexford economics plus per-(router, peer link, prefix)
+// export filters — the paper's router-misconfiguration mechanism (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "bgp/route.h"
+#include "topo/topology.h"
+
+namespace netd::bgp {
+
+/// Set of suppressed exports. A misconfigured outbound route filter at
+/// router r toward the peer over link l for prefix p is an entry (r, l, p):
+/// r silently stops announcing p on that one session, exactly as in the
+/// paper's example (y1 no longer announces C's route to x2).
+class ExportFilters {
+ public:
+  void add(topo::RouterId r, topo::LinkId l, topo::PrefixId p) {
+    entries_.insert(key(r, l, p));
+  }
+  void clear() { entries_.clear(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] bool suppressed(topo::RouterId r, topo::LinkId l,
+                                topo::PrefixId p) const {
+    return entries_.count(key(r, l, p)) != 0;
+  }
+
+ private:
+  static std::uint64_t key(topo::RouterId r, topo::LinkId l,
+                           topo::PrefixId p) {
+    return (static_cast<std::uint64_t>(r.value()) << 42) |
+           (static_cast<std::uint64_t>(l.value()) << 21) | p.value();
+  }
+  std::unordered_set<std::uint64_t> entries_;
+};
+
+/// Whether router `r` may export its best route `best` over interdomain
+/// link `l`. Implements: (a) export-to-customer always; export-to-peer/
+/// provider only for customer or originated routes (valley-free routing);
+/// (b) the export filters above.
+[[nodiscard]] bool export_allowed(const topo::Topology& topo,
+                                  topo::RouterId r, topo::LinkId l,
+                                  const Route& best,
+                                  const ExportFilters& filters);
+
+}  // namespace netd::bgp

@@ -1,0 +1,22 @@
+#include "bgp/route.h"
+
+namespace netd::bgp {
+
+bool better_route(const Route& a, int igp_dist_a, bool a_is_ebgp,
+                  const Route& b, int igp_dist_b, bool b_is_ebgp) {
+  if (a.local_pref != b.local_pref) return a.local_pref > b.local_pref;
+  if (a.as_path.size() != b.as_path.size()) {
+    return a.as_path.size() < b.as_path.size();
+  }
+  if (a_is_ebgp != b_is_ebgp) return a_is_ebgp;
+  if (igp_dist_a != igp_dist_b) return igp_dist_a < igp_dist_b;
+  // Deterministic final tie-breaks; two distinct candidates always differ
+  // in egress router or egress link.
+  if (a.egress_router != b.egress_router) {
+    return a.egress_router < b.egress_router;
+  }
+  if (a.egress_link != b.egress_link) return a.egress_link < b.egress_link;
+  return a.as_path < b.as_path;
+}
+
+}  // namespace netd::bgp

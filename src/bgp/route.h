@@ -1,0 +1,57 @@
+// BGP route representation and preference ordering.
+#pragma once
+
+#include <vector>
+
+#include "topo/types.h"
+
+namespace netd::bgp {
+
+/// Local-preference classes implementing Gao–Rexford economics: customer
+/// routes beat peer routes beat provider routes; locally originated
+/// prefixes beat everything.
+inline constexpr int kOriginPref = 1000;
+inline constexpr int kCustomerPref = 300;
+inline constexpr int kPeerPref = 200;
+inline constexpr int kProviderPref = 100;
+
+[[nodiscard]] constexpr int pref_for(topo::Relationship neighbor_rel) {
+  switch (neighbor_rel) {
+    case topo::Relationship::kCustomer: return kCustomerPref;
+    case topo::Relationship::kPeer: return kPeerPref;
+    case topo::Relationship::kProvider: return kProviderPref;
+  }
+  return kProviderPref;
+}
+
+/// A route as stored in a router's RIBs.
+///
+/// `as_path` is the path *beyond* the local AS (nearest AS first, origin AS
+/// last); a locally originated route has an empty as_path. `egress_router`
+/// is the border router of the local AS where traffic exits (the router
+/// itself for eBGP-learned and originated routes); `egress_link` is the
+/// interdomain link used (invalid for originated routes).
+struct Route {
+  topo::PrefixId prefix;
+  std::vector<topo::AsId> as_path;
+  topo::RouterId egress_router;
+  topo::LinkId egress_link;
+  int local_pref = 0;
+
+  [[nodiscard]] bool originated() const { return local_pref == kOriginPref; }
+
+  friend bool operator==(const Route& a, const Route& b) {
+    return a.prefix == b.prefix && a.as_path == b.as_path &&
+           a.egress_router == b.egress_router &&
+           a.egress_link == b.egress_link && a.local_pref == b.local_pref;
+  }
+};
+
+/// Decision-process ordering at router `at` (lower IGP distance to the
+/// egress wins after local-pref / path-length / eBGP-over-iBGP). Returns
+/// true when `a` is strictly preferred over `b`. `igp_dist_*` are the IGP
+/// distances from `at` to each route's egress router.
+[[nodiscard]] bool better_route(const Route& a, int igp_dist_a, bool a_is_ebgp,
+                                const Route& b, int igp_dist_b, bool b_is_ebgp);
+
+}  // namespace netd::bgp

@@ -1,0 +1,61 @@
+#include "core/algorithms.h"
+
+namespace netd::core {
+
+SolverOptions tomo_options() { return SolverOptions{}; }
+
+SolverOptions nd_edge_options() {
+  SolverOptions o;
+  o.use_reroutes = true;
+  return o;
+}
+
+SolverOptions nd_bgpigp_options() {
+  SolverOptions o = nd_edge_options();
+  o.use_control_plane = true;
+  return o;
+}
+
+SolverOptions nd_lg_options() {
+  SolverOptions o = nd_bgpigp_options();
+  o.uh_clustering = true;
+  o.ignore_unidentified = false;
+  return o;
+}
+
+AlgorithmOutput run_tomo(const probe::Mesh& before, const probe::Mesh& after) {
+  AlgorithmOutput out;
+  out.graph = build_diagnosis_graph(before, after, /*logical_links=*/false);
+  out.result = solve(out.graph, tomo_options());
+  return out;
+}
+
+AlgorithmOutput run_nd_edge(const probe::Mesh& before,
+                            const probe::Mesh& after) {
+  AlgorithmOutput out;
+  out.graph = build_diagnosis_graph(before, after, /*logical_links=*/true);
+  out.result = solve(out.graph, nd_edge_options());
+  return out;
+}
+
+AlgorithmOutput run_nd_bgpigp(const probe::Mesh& before,
+                              const probe::Mesh& after,
+                              const ControlPlaneObs& cp) {
+  AlgorithmOutput out;
+  out.graph = build_diagnosis_graph(before, after, /*logical_links=*/true);
+  out.result = solve(out.graph, nd_bgpigp_options(), &cp);
+  return out;
+}
+
+AlgorithmOutput run_nd_lg(const probe::Mesh& before, const probe::Mesh& after,
+                          const ControlPlaneObs& cp,
+                          const lg::LookingGlassService& lg,
+                          topo::AsId operator_as) {
+  AlgorithmOutput out;
+  out.graph = build_diagnosis_graph(before, after, /*logical_links=*/true);
+  const UhTagMap tags = resolve_uh_tags(before, out.graph, lg, operator_as);
+  out.result = solve(out.graph, nd_lg_options(), &cp, &tags);
+  return out;
+}
+
+}  // namespace netd::core

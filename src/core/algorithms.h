@@ -1,0 +1,48 @@
+// Named entry points for the paper's four algorithms.
+//
+//   Tomo       — §2.4: multi-source/destination Boolean tomography.
+//   ND-edge    — §3.1–3.2: + logical links + reroute sets.
+//   ND-bgpigp  — §3.3: + IGP link-down seeding + BGP-withdrawal pruning.
+//   ND-LG      — §3.4: + unidentified-link tagging and clustering.
+//
+// Each takes the T− / T+ traceroute meshes (plus the extra data sources it
+// consumes) and returns the diagnosis graph it ran on together with the
+// hypothesis. This is the public API examples and experiments use.
+#pragma once
+
+#include "core/diagnosis_graph.h"
+#include "core/solver.h"
+#include "core/uh_tags.h"
+#include "lg/looking_glass.h"
+
+namespace netd::core {
+
+struct AlgorithmOutput {
+  DiagnosisGraph graph;
+  Result result;
+};
+
+[[nodiscard]] AlgorithmOutput run_tomo(const probe::Mesh& before,
+                                       const probe::Mesh& after);
+
+[[nodiscard]] AlgorithmOutput run_nd_edge(const probe::Mesh& before,
+                                          const probe::Mesh& after);
+
+[[nodiscard]] AlgorithmOutput run_nd_bgpigp(const probe::Mesh& before,
+                                            const probe::Mesh& after,
+                                            const ControlPlaneObs& cp);
+
+[[nodiscard]] AlgorithmOutput run_nd_lg(const probe::Mesh& before,
+                                        const probe::Mesh& after,
+                                        const ControlPlaneObs& cp,
+                                        const lg::LookingGlassService& lg,
+                                        topo::AsId operator_as);
+
+/// Option presets matching the algorithms above (the graph for Tomo is
+/// built without logical links; all others with).
+[[nodiscard]] SolverOptions tomo_options();
+[[nodiscard]] SolverOptions nd_edge_options();
+[[nodiscard]] SolverOptions nd_bgpigp_options();
+[[nodiscard]] SolverOptions nd_lg_options();
+
+}  // namespace netd::core

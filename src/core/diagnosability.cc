@@ -1,0 +1,28 @@
+#include "core/diagnosability.h"
+
+#include <set>
+#include <vector>
+
+namespace netd::core {
+
+double diagnosability(const DiagnosisGraph& dg) {
+  // hitting set h(l) = indices of the T− paths traversing edge l.
+  std::vector<std::vector<std::uint32_t>> hit(dg.edges.size());
+  for (std::uint32_t p = 0; p < dg.paths.size(); ++p) {
+    std::set<std::uint32_t> seen;
+    for (graph::EdgeId e : dg.paths[p].before) {
+      if (seen.insert(e.value()).second) hit[e.value()].push_back(p);
+    }
+  }
+  std::set<std::vector<std::uint32_t>> distinct;
+  std::size_t probed = 0;
+  for (const auto& h : hit) {
+    if (h.empty()) continue;  // edge only on T+ paths: not part of T− G
+    ++probed;
+    distinct.insert(h);
+  }
+  if (probed == 0) return 0.0;
+  return static_cast<double>(distinct.size()) / static_cast<double>(probed);
+}
+
+}  // namespace netd::core

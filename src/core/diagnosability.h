@@ -1,0 +1,14 @@
+// The diagnosability metric D(G) of §4: the fraction of probed links with
+// a distinct hitting set (the set of paths traversing the link). D(G) = 1
+// means any single link failure is exactly localizable from the
+// reachability matrix alone.
+#pragma once
+
+#include "core/diagnosis_graph.h"
+
+namespace netd::core {
+
+/// D(G) over the T− paths of `dg`. Returns 0 for an empty graph.
+[[nodiscard]] double diagnosability(const DiagnosisGraph& dg);
+
+}  // namespace netd::core

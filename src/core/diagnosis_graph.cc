@@ -1,0 +1,155 @@
+#include "core/diagnosis_graph.h"
+
+#include <cassert>
+
+namespace netd::core {
+
+using graph::EdgeId;
+using graph::NodeId;
+using graph::NodeKind;
+
+std::string undirected_key(const std::string& a, const std::string& b) {
+  return a < b ? a + "|" + b : b + "|" + a;
+}
+
+namespace {
+
+/// Interns one traceroute path (optionally logical-expanded) and returns
+/// its edge sequence. `path_index` is recorded on first sight of UH edges.
+std::vector<EdgeId> intern_path(DiagnosisGraph& dg,
+                                const std::vector<probe::Hop>& hops,
+                                LogicalMode mode, int path_index) {
+  std::vector<EdgeId> out;
+  assert(hops.size() >= 2);
+
+  auto intern_hop = [&](const probe::Hop& h) {
+    return dg.g.intern_node(h.label, h.kind, h.asn);
+  };
+
+  auto add_edge = [&](NodeId a, NodeId b, const probe::Hop& u,
+                      const probe::Hop& v, bool logical) {
+    const EdgeId e = dg.g.intern_edge(a, b);
+    if (e.value() == dg.edges.size()) {
+      EdgeInfo info;
+      info.phys_key = undirected_key(u.label, v.label);
+      info.directed_key = u.label + ">" + v.label;
+      info.unidentified = u.kind == NodeKind::kUnidentified ||
+                          v.kind == NodeKind::kUnidentified;
+      info.logical = logical;
+      info.asn_src = u.asn;
+      info.asn_dst = v.asn;
+      info.before_path = info.unidentified ? path_index : -1;
+      dg.edges.push_back(std::move(info));
+    }
+    dg.probed_keys.insert(dg.edges[e.value()].phys_key);
+    out.push_back(e);
+  };
+
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    const probe::Hop& u = hops[i];
+    const probe::Hop& v = hops[i + 1];
+    const NodeId nu = intern_hop(u);
+    const NodeId nv = intern_hop(v);
+
+    const bool interdomain =
+        u.asn != -1 && v.asn != -1 && u.asn != v.asn;
+    if (mode != LogicalMode::kNone && interdomain) {
+      probe::Hop mid;
+      if (mode == LogicalMode::kPerNeighbor) {
+        // Next AS after v's AS on this path (W of Fig. 3); v's own AS when
+        // the path terminates inside it. Unknown (UH) hops are skipped.
+        int next_asn = v.asn;
+        for (std::size_t k = i + 2; k < hops.size(); ++k) {
+          if (hops[k].asn != -1 && hops[k].asn != v.asn) {
+            next_asn = hops[k].asn;
+            break;
+          }
+        }
+        mid.label = v.label + "(AS" + std::to_string(next_asn) + ")";
+      } else {
+        // Per-prefix: one logical node per destination prefix crossing
+        // the session ("ideally ... on a per-prefix basis", §3.1).
+        mid.label = v.label + "(pfx" + std::to_string(hops.back().asn) + ")";
+      }
+      mid.kind = NodeKind::kLogical;
+      mid.asn = v.asn;
+      const NodeId nm = dg.g.intern_node(mid.label, mid.kind, mid.asn);
+      // Both logical halves inherit the physical link's identity.
+      const EdgeId e1 = dg.g.intern_edge(nu, nm);
+      if (e1.value() == dg.edges.size()) {
+        EdgeInfo info;
+        info.phys_key = undirected_key(u.label, v.label);
+        info.directed_key = u.label + ">" + v.label;
+        info.logical = true;
+        info.asn_src = u.asn;
+        info.asn_dst = v.asn;
+        dg.edges.push_back(std::move(info));
+      }
+      dg.probed_keys.insert(dg.edges[e1.value()].phys_key);
+      out.push_back(e1);
+      const EdgeId e2 = dg.g.intern_edge(nm, nv);
+      if (e2.value() == dg.edges.size()) {
+        EdgeInfo info;
+        info.phys_key = undirected_key(u.label, v.label);
+        info.directed_key = u.label + ">" + v.label;
+        info.logical = true;
+        info.asn_src = u.asn;
+        info.asn_dst = v.asn;
+        dg.edges.push_back(std::move(info));
+      }
+      dg.probed_keys.insert(dg.edges[e2.value()].phys_key);
+      out.push_back(e2);
+    } else {
+      add_edge(nu, nv, u, v, /*logical=*/false);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+DiagnosisGraph build_diagnosis_graph(const probe::Mesh& before,
+                                     const probe::Mesh& after,
+                                     bool logical_links,
+                                     const probe::ParisMesh* paris_before) {
+  return build_diagnosis_graph(
+      before, after,
+      logical_links ? LogicalMode::kPerNeighbor : LogicalMode::kNone,
+      paris_before);
+}
+
+DiagnosisGraph build_diagnosis_graph(const probe::Mesh& before,
+                                     const probe::Mesh& after,
+                                     LogicalMode mode,
+                                     const probe::ParisMesh* paris_before) {
+  assert(before.paths.size() == after.paths.size());
+  assert(paris_before == nullptr ||
+         paris_before->pairs.size() == before.paths.size());
+  DiagnosisGraph dg;
+  for (std::size_t k = 0; k < before.paths.size(); ++k) {
+    const probe::TracePath& pb = before.paths[k];
+    const probe::TracePath& pa = after.paths[k];
+    assert(pb.src == pa.src && pb.dst == pa.dst);
+    if (!pb.ok) continue;  // pair already unreachable before the event
+
+    PathObs obs;
+    obs.src = pb.src;
+    obs.dst = pb.dst;
+    obs.dest_asn = pb.hops.back().asn;
+    const int path_index = static_cast<int>(dg.paths.size());
+    obs.before = intern_path(dg, pb.hops, mode, path_index);
+    obs.ok_after = pa.ok;
+    if (pa.ok) {
+      obs.after = intern_path(dg, pa.hops, mode, path_index);
+      obs.rerouted = obs.after != obs.before;
+      if (obs.rerouted && paris_before != nullptr &&
+          probe::is_load_balanced_change(paris_before->pairs[k], pa)) {
+        obs.rerouted = false;  // an ECMP sibling, not a routing change
+      }
+    }
+    dg.paths.push_back(std::move(obs));
+  }
+  return dg;
+}
+
+}  // namespace netd::core

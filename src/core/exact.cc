@@ -1,0 +1,120 @@
+#include "core/exact.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace netd::core {
+
+namespace {
+
+struct Searcher {
+  // Demands as admissible-candidate sets, deduplicated.
+  std::vector<std::vector<std::uint32_t>> sets;
+  // For each candidate edge: which demand indices it hits.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> hits;
+
+  std::size_t budget = 0;
+  std::size_t nodes = 0;
+  bool exhausted = false;
+
+  std::vector<std::uint32_t> best;
+  bool have_best = false;
+  std::vector<std::uint32_t> current;
+  std::vector<int> covered;  // per demand: how many chosen edges hit it
+
+  void search() {
+    if (++nodes > budget) {
+      exhausted = true;
+      return;
+    }
+    if (have_best && current.size() + 1 > best.size()) return;  // bound
+
+    // Pick the uncovered demand with the fewest candidates (fail-first).
+    int pick = -1;
+    std::size_t pick_size = ~std::size_t{0};
+    for (std::size_t s = 0; s < sets.size(); ++s) {
+      if (covered[s] > 0) continue;
+      if (sets[s].size() < pick_size) {
+        pick = static_cast<int>(s);
+        pick_size = sets[s].size();
+      }
+    }
+    if (pick < 0) {
+      // Everything covered: a feasible solution.
+      if (!have_best || current.size() < best.size()) {
+        best = current;
+        have_best = true;
+      }
+      return;
+    }
+    if (have_best && current.size() + 1 >= best.size()) return;  // can't win
+
+    for (std::uint32_t e : sets[pick]) {
+      current.push_back(e);
+      for (std::uint32_t s : hits[e]) ++covered[s];
+      search();
+      for (std::uint32_t s : hits[e]) --covered[s];
+      current.pop_back();
+      if (exhausted) return;
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<std::uint32_t>> minimum_hitting_set(
+    const Demands& demands, const ExactOptions& opt) {
+  Searcher s;
+  s.budget = opt.max_nodes;
+
+  std::set<std::vector<std::uint32_t>> dedup;
+  auto add_demand = [&](const std::vector<std::uint32_t>& raw) {
+    std::vector<std::uint32_t> filtered;
+    for (std::uint32_t e : raw) {
+      if (demands.admissible[e]) filtered.push_back(e);
+    }
+    if (filtered.empty()) return;  // unexplainable demand: skipped
+    std::sort(filtered.begin(), filtered.end());
+    if (dedup.insert(filtered).second) s.sets.push_back(std::move(filtered));
+  };
+  for (const auto& fs : demands.failure_sets) add_demand(fs);
+  if (opt.cover_reroutes) {
+    for (const auto& rs : demands.reroute_sets) add_demand(rs);
+  }
+  if (s.sets.empty()) return std::vector<std::uint32_t>{};
+
+  for (std::uint32_t idx = 0; idx < s.sets.size(); ++idx) {
+    for (std::uint32_t e : s.sets[idx]) s.hits[e].push_back(idx);
+  }
+  s.covered.assign(s.sets.size(), 0);
+
+  // Seed the bound with the trivial solution (one edge per demand).
+  {
+    std::vector<std::uint32_t> trivial;
+    std::unordered_set<std::uint32_t> seen;
+    for (const auto& set : s.sets) {
+      // Greedy seed: the member hitting the most demands.
+      std::uint32_t pick = set.front();
+      std::size_t pick_hits = 0;
+      for (std::uint32_t e : set) {
+        if (s.hits[e].size() > pick_hits) {
+          pick = e;
+          pick_hits = s.hits[e].size();
+        }
+      }
+      if (seen.insert(pick).second) trivial.push_back(pick);
+    }
+    s.best = std::move(trivial);
+    s.have_best = true;
+    // The seed may over-cover; it is only a bound, not returned as-is
+    // unless the search confirms nothing smaller exists.
+  }
+
+  s.search();
+  if (s.exhausted) return std::nullopt;
+  return s.best;
+}
+
+}  // namespace netd::core

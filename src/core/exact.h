@@ -1,0 +1,35 @@
+// Exact minimum hitting set via branch and bound.
+//
+// The paper's problem (§2.3) is NP-hard; Algorithm 1 is the classic
+// greedy log-approximation. For the instance sizes the evaluation
+// actually produces (tens of failure sets over a few hundred candidate
+// edges) an exact branch-and-bound is tractable, which lets us *measure*
+// the greedy's approximation gap (bench_ablation_optimality) instead of
+// assuming it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/solver.h"
+
+namespace netd::core {
+
+struct ExactOptions {
+  /// Search-node budget; exceeded => nullopt (instance too large).
+  std::size_t max_nodes = 2'000'000;
+  /// Also demand coverage of reroute sets (ND-edge semantics). When
+  /// false only failure sets must be hit (Tomo semantics).
+  bool cover_reroutes = true;
+};
+
+/// Returns a minimum-cardinality set of admissible candidate edges that
+/// intersects every (non-empty-after-filtering) failure set — and, per
+/// options, every reroute set. Demands whose sets contain no admissible
+/// candidate are skipped (unexplainable, exactly as in the greedy).
+/// nullopt when the node budget is exhausted.
+[[nodiscard]] std::optional<std::vector<std::uint32_t>> minimum_hitting_set(
+    const Demands& demands, const ExactOptions& opt = {});
+
+}  // namespace netd::core

@@ -1,0 +1,65 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace netd::core {
+
+namespace {
+
+template <typename T>
+std::size_t intersection_size(const std::set<T>& a, const std::set<T>& b) {
+  std::size_t n = 0;
+  for (const T& x : a) n += b.count(x);
+  return n;
+}
+
+}  // namespace
+
+LinkMetrics link_metrics(const std::set<std::string>& hypothesis,
+                         const std::set<std::string>& failed,
+                         const std::set<std::string>& probed) {
+  assert(!failed.empty());
+  LinkMetrics m;
+  m.hypothesis_size = hypothesis.size();
+  m.num_probed = probed.size();
+  m.sensitivity = static_cast<double>(intersection_size(failed, hypothesis)) /
+                  static_cast<double>(failed.size());
+  std::size_t implicated = 0;  // |E ∩ (F ∪ H)|
+  for (const auto& k : probed) {
+    if (failed.count(k) != 0 || hypothesis.count(k) != 0) ++implicated;
+  }
+  const std::size_t failed_in_probed = intersection_size(failed, probed);
+  const std::size_t non_failed = probed.size() - failed_in_probed;
+  m.specificity =
+      non_failed == 0
+          ? 1.0
+          : static_cast<double>(probed.size() - implicated) /
+                static_cast<double>(non_failed);
+  return m;
+}
+
+AsMetrics as_metrics(const std::set<int>& hypothesis,
+                     const std::set<int>& failed,
+                     const std::set<int>& universe) {
+  assert(!failed.empty());
+  AsMetrics m;
+  m.hypothesis_size = hypothesis.size();
+  m.sensitivity = static_cast<double>(intersection_size(failed, hypothesis)) /
+                  static_cast<double>(failed.size());
+  std::size_t implicated = 0;
+  std::size_t failed_in_universe = 0;
+  for (int as : universe) {
+    const bool f = failed.count(as) != 0;
+    if (f) ++failed_in_universe;
+    if (f || hypothesis.count(as) != 0) ++implicated;
+  }
+  const std::size_t non_failed = universe.size() - failed_in_universe;
+  m.specificity = non_failed == 0
+                      ? 1.0
+                      : static_cast<double>(universe.size() - implicated) /
+                            static_cast<double>(non_failed);
+  return m;
+}
+
+}  // namespace netd::core

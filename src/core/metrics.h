@@ -1,0 +1,34 @@
+// Sensitivity / specificity at link and AS granularity (paper §4 "Metrics").
+#pragma once
+
+#include <set>
+#include <string>
+
+namespace netd::core {
+
+struct LinkMetrics {
+  double sensitivity = 0.0;  ///< |F ∩ H| / |F|
+  double specificity = 0.0;  ///< |E \ (F ∪ H)| / |E \ F|
+  std::size_t hypothesis_size = 0;
+  std::size_t num_probed = 0;  ///< |E|
+};
+
+/// `hypothesis` and `failed` are canonical physical-link keys; `probed`
+/// is the universe E. `failed` must be non-empty and ⊆ probed.
+[[nodiscard]] LinkMetrics link_metrics(const std::set<std::string>& hypothesis,
+                                       const std::set<std::string>& failed,
+                                       const std::set<std::string>& probed);
+
+struct AsMetrics {
+  double sensitivity = 0.0;
+  double specificity = 0.0;
+  std::size_t hypothesis_size = 0;
+};
+
+/// Same metrics over AS numbers; `universe` is the set of ASes covered by
+/// the probes.
+[[nodiscard]] AsMetrics as_metrics(const std::set<int>& hypothesis,
+                                   const std::set<int>& failed,
+                                   const std::set<int>& universe);
+
+}  // namespace netd::core

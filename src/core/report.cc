@@ -1,0 +1,96 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_set>
+
+namespace netd::core {
+
+std::string render_report(const DiagnosisGraph& dg, const Result& result,
+                          const std::set<std::string>* truth) {
+  std::size_t failed = 0, rerouted = 0;
+  for (const auto& p : dg.paths) {
+    if (!p.ok_after) {
+      ++failed;
+    } else if (p.rerouted) {
+      ++rerouted;
+    }
+  }
+
+  std::ostringstream os;
+  os << "=== NetDiagnoser report ===\n"
+     << "sensor pairs: " << dg.paths.size() << " (" << failed << " failed, "
+     << rerouted << " rerouted)\n"
+     << "probed links: " << dg.probed_keys.size() << "\n"
+     << "hypothesis:   " << result.links.size() << " link(s)";
+  if (result.unexplained_failure_sets > 0) {
+    os << ", " << result.unexplained_failure_sets
+       << " failure set(s) unexplained";
+  }
+  os << "\n\n";
+
+  // Aggregate evidence per physical key from the hypothesis edges.
+  struct Evidence {
+    std::size_t failed_paths = 0;
+    std::size_t reroutes = 0;
+    bool logical = false;
+    bool unidentified = false;
+    std::set<int> ases;
+  };
+  std::map<std::string, Evidence> per_link;
+  std::unordered_set<std::uint32_t> hyp_edges;
+  for (graph::EdgeId e : result.hypothesis_edges) hyp_edges.insert(e.value());
+
+  for (graph::EdgeId e : result.hypothesis_edges) {
+    const EdgeInfo& info = dg.info(e);
+    Evidence& ev = per_link[info.phys_key];
+    ev.logical = ev.logical || info.logical;
+    ev.unidentified = ev.unidentified || info.unidentified;
+    const auto& ge = dg.g.edge(e);
+    for (graph::NodeId n : {ge.src, ge.dst}) {
+      const auto& node = dg.g.node(n);
+      if (node.asn >= 0) ev.ases.insert(node.asn);
+    }
+  }
+  for (const auto& p : dg.paths) {
+    auto touches = [&](const std::vector<graph::EdgeId>& edges,
+                       const std::string& key) {
+      return std::any_of(edges.begin(), edges.end(), [&](graph::EdgeId e) {
+        return hyp_edges.count(e.value()) != 0 && dg.info(e).phys_key == key;
+      });
+    };
+    for (auto& [key, ev] : per_link) {
+      if (!p.ok_after && touches(p.before, key)) ++ev.failed_paths;
+      if (p.ok_after && p.rerouted && touches(p.before, key)) ++ev.reroutes;
+    }
+  }
+
+  for (const auto& [key, ev] : per_link) {
+    os << "  " << key;
+    if (truth != nullptr && truth->count(key) != 0) os << "  [ACTUAL FAILURE]";
+    os << "\n    evidence: explains " << ev.failed_paths
+       << " failed path(s), " << ev.reroutes << " reroute(s)";
+    if (ev.logical) os << "; suspected via logical link (policy/export)";
+    if (ev.unidentified) os << "; unidentified (traceroute-blocked) hop";
+    os << "\n    ASes:";
+    if (ev.ases.empty()) {
+      os << " unknown";
+    } else {
+      for (int as : ev.ases) os << " AS" << as;
+    }
+    os << "\n";
+  }
+
+  if (!result.ases.empty()) {
+    os << "\nimplicated ASes:";
+    for (int as : result.ases) os << " AS" << as;
+    if (result.unknown_as_links > 0) {
+      os << " (+" << result.unknown_as_links << " link(s) unresolvable)";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace netd::core

@@ -1,0 +1,23 @@
+// Human-readable diagnosis reports for NOC consumption.
+//
+// Renders a Result against its DiagnosisGraph: event summary (failed /
+// rerouted pairs), each hypothesis link with the evidence behind it
+// (failure sets hit, reroute sets hit, AS attribution, logical or
+// physical), and any failure sets nothing could explain.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "core/diagnosis_graph.h"
+#include "core/solver.h"
+
+namespace netd::core {
+
+/// Renders a multi-line report. When `truth` is provided (simulation /
+/// post-mortem), hypothesis links that actually failed are marked.
+[[nodiscard]] std::string render_report(
+    const DiagnosisGraph& dg, const Result& result,
+    const std::set<std::string>* truth = nullptr);
+
+}  // namespace netd::core

@@ -1,0 +1,42 @@
+#include "core/scfs.h"
+
+#include <unordered_set>
+
+namespace netd::core {
+
+Result scfs(const DiagnosisGraph& dg, std::size_t src_sensor) {
+  Result result;
+
+  // Links carrying a working path from the source (the tree's good part).
+  std::unordered_set<std::uint32_t> good;
+  for (const PathObs& p : dg.paths) {
+    if (p.src != src_sensor || !p.ok_after) continue;
+    for (graph::EdgeId e : p.before) good.insert(e.value());
+  }
+
+  std::unordered_set<std::uint32_t> chosen;
+  for (const PathObs& p : dg.paths) {
+    if (p.src != src_sensor || p.ok_after) continue;
+    bool explained = false;
+    for (graph::EdgeId e : p.before) {
+      if (good.count(e.value()) != 0) continue;
+      // First link past the good region: the bad subtree's root link.
+      if (chosen.insert(e.value()).second) {
+        result.hypothesis_edges.push_back(e);
+        result.links.insert(dg.info(e).phys_key);
+        result.ranked.push_back(RankedLink{dg.info(e).phys_key, 1.0, 0});
+        const auto& ge = dg.g.edge(e);
+        for (graph::NodeId n : {ge.src, ge.dst}) {
+          const auto& node = dg.g.node(n);
+          if (node.asn >= 0) result.ases.insert(node.asn);
+        }
+      }
+      explained = true;
+      break;
+    }
+    if (!explained) ++result.unexplained_failure_sets;
+  }
+  return result;
+}
+
+}  // namespace netd::core

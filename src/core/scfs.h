@@ -1,0 +1,25 @@
+// Duffield's "Smallest Common Failure Set" algorithm (paper §2.1).
+//
+// The classical Boolean-tomography baseline NetDiagnoser generalizes:
+// single source, tree topology. SCFS designates as bad only the links
+// nearest the source consistent with the observed bad paths — for each
+// failed destination, the first link of its path that no working path
+// uses. Included for completeness and comparison; Tomo (§2.4) is the
+// multi-source/multi-destination generalization.
+#pragma once
+
+#include <cstddef>
+
+#include "core/diagnosis_graph.h"
+#include "core/solver.h"
+
+namespace netd::core {
+
+/// Runs SCFS over the single-source tree rooted at sensor `src_sensor`
+/// (paths of `dg` with a different source are ignored). The returned
+/// hypothesis contains, per failed destination, the link closest to the
+/// source that carries no working path; a failed path fully covered by
+/// working links yields an unexplained failure set.
+[[nodiscard]] Result scfs(const DiagnosisGraph& dg, std::size_t src_sensor);
+
+}  // namespace netd::core

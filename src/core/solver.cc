@@ -1,0 +1,317 @@
+#include "core/solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_set>
+
+namespace netd::core {
+
+using graph::EdgeId;
+using graph::NodeId;
+using graph::NodeKind;
+
+namespace {
+
+/// Signature of a UH-edge endpoint for cluster rule (i): identified
+/// endpoints must be the same node, unidentified ones must carry equal,
+/// known AS tags. Returns empty string when the endpoint is unresolvable
+/// (such edges never cluster).
+std::string endpoint_signature(const graph::Graph& g, NodeId n,
+                               const UhTagMap* tags) {
+  const auto& node = g.node(n);
+  if (node.kind != NodeKind::kUnidentified) return "n:" + node.label;
+  if (tags == nullptr) return {};
+  const std::vector<int>* t = tags->find(n);
+  if (t == nullptr) return {};
+  std::string sig = "t:";
+  for (int a : *t) sig += std::to_string(a) + ",";
+  return sig;
+}
+
+}  // namespace
+
+Demands build_demands(const DiagnosisGraph& dg, const SolverOptions& opt,
+                      const ControlPlaneObs* cp) {
+  Demands out;
+  const std::size_t n_edges = dg.edges.size();
+
+  // ---- Working-path constraints W -----------------------------------------
+  // Tomo only knows the T− paths; the reroute-aware variants use the paths
+  // actually in place at T+.
+  std::vector<char> working(n_edges, 0);
+  for (const PathObs& p : dg.paths) {
+    if (!p.ok_after) continue;
+    const auto& edges = opt.use_reroutes ? p.after : p.before;
+    for (EdgeId e : edges) working[e.value()] = 1;
+  }
+
+  // ---- Failure sets L (one per broken path), withdrawal-pruned ------------
+  auto& failure_sets = out.failure_sets;
+  for (const PathObs& p : dg.paths) {
+    if (p.ok_after) continue;
+    std::vector<char> pruned(p.before.size(), 0);
+    if (opt.use_control_plane && cp != nullptr) {
+      // A withdrawal for this destination's prefix received over link l
+      // proves the failure is beyond l: drop everything up to and
+      // including l (paper §3.3 example). Exception: the *logical* edges
+      // of l itself stay — receiving the withdrawal over l shows l is
+      // physically alive, but the withdrawal may itself be the symptom of
+      // a misconfigured export filter at l's far end.
+      for (const auto& w : cp->withdrawals) {
+        if (w.dest_asn != p.dest_asn) continue;
+        std::size_t last = p.before.size();
+        for (std::size_t i = 0; i < p.before.size(); ++i) {
+          if (dg.info(p.before[i]).directed_key == w.directed_key) last = i;
+        }
+        if (last == p.before.size()) continue;  // withdrawal link not on path
+        for (std::size_t i = 0; i <= last; ++i) {
+          const EdgeInfo& info = dg.info(p.before[i]);
+          if (info.logical && info.directed_key == w.directed_key) continue;
+          pruned[i] = 1;
+        }
+      }
+      // Degenerate guard: never prune a failure set into emptiness.
+      if (std::all_of(pruned.begin(), pruned.end(),
+                      [](char c) { return c != 0; })) {
+        std::fill(pruned.begin(), pruned.end(), 0);
+      }
+    }
+    std::vector<std::uint32_t> fset;
+    std::unordered_set<std::uint32_t> seen;
+    for (std::size_t i = 0; i < p.before.size(); ++i) {
+      if (pruned[i]) continue;
+      if (seen.insert(p.before[i].value()).second) {
+        fset.push_back(p.before[i].value());
+      }
+    }
+    failure_sets.push_back(std::move(fset));
+  }
+
+  // ---- Reroute sets R (ND-edge, §3.2) --------------------------------------
+  auto& reroute_sets = out.reroute_sets;
+  if (opt.use_reroutes) {
+    for (const PathObs& p : dg.paths) {
+      if (!p.ok_after || !p.rerouted) continue;
+      std::unordered_set<std::uint32_t> after(p.after.size() * 2);
+      for (EdgeId e : p.after) after.insert(e.value());
+      std::vector<std::uint32_t> rset;
+      std::unordered_set<std::uint32_t> seen;
+      for (EdgeId e : p.before) {
+        if (after.count(e.value()) == 0 && seen.insert(e.value()).second) {
+          rset.push_back(e.value());
+        }
+      }
+      if (!rset.empty()) reroute_sets.push_back(std::move(rset));
+    }
+  }
+
+  // ---- Candidate set U ------------------------------------------------------
+  const bool keep_uh = opt.uh_clustering || !opt.ignore_unidentified;
+  auto is_admissible = [&](std::uint32_t e) {
+    if (working[e]) return false;
+    if (dg.edges[e].unidentified && !keep_uh) return false;
+    return true;
+  };
+  out.admissible.assign(n_edges, 0);
+  auto& candidates = out.candidates;
+  auto add_candidate = [&](std::uint32_t e) {
+    if (!out.admissible[e] && is_admissible(e)) {
+      out.admissible[e] = 1;
+      candidates.push_back(e);
+    }
+  };
+  for (const auto& fs : failure_sets) {
+    for (std::uint32_t e : fs) add_candidate(e);
+  }
+  // The links that explain rerouted-but-working paths must also be
+  // considered: a reroutable failure leaves no failed path behind it.
+  for (const auto& rs : reroute_sets) {
+    for (std::uint32_t e : rs) add_candidate(e);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  return out;
+}
+
+Result solve(const DiagnosisGraph& dg, const SolverOptions& opt,
+             const ControlPlaneObs* cp, const UhTagMap* tags) {
+  Result result;
+  const std::size_t n_edges = dg.edges.size();
+  Demands demands = build_demands(dg, opt, cp);
+  auto& failure_sets = demands.failure_sets;
+  auto& reroute_sets = demands.reroute_sets;
+  auto& candidates = demands.candidates;
+  std::vector<char> in_u = demands.admissible;
+
+  // ---- Inverted indices -----------------------------------------------------
+  std::vector<std::vector<std::uint32_t>> f_of_edge(n_edges), r_of_edge(n_edges);
+  for (std::uint32_t s = 0; s < failure_sets.size(); ++s) {
+    for (std::uint32_t e : failure_sets[s]) f_of_edge[e].push_back(s);
+  }
+  for (std::uint32_t s = 0; s < reroute_sets.size(); ++s) {
+    for (std::uint32_t e : reroute_sets[s]) r_of_edge[e].push_back(s);
+  }
+  std::vector<char> f_explained(failure_sets.size(), 0);
+  std::vector<char> r_explained(reroute_sets.size(), 0);
+
+  std::vector<EdgeId> hypothesis;
+  std::vector<RankedLink> ranked;
+  std::unordered_map<std::string, std::size_t> rank_of_key;
+  auto record_rank = [&](const std::string& key, double score, int round) {
+    auto [it, inserted] = rank_of_key.emplace(key, ranked.size());
+    if (inserted) {
+      ranked.push_back(RankedLink{key, score, round});
+    } else if (score > ranked[it->second].score) {
+      ranked[it->second].score = score;
+    }
+  };
+  auto select_edge = [&](std::uint32_t e) {
+    hypothesis.push_back(EdgeId{e});
+    in_u[e] = 0;
+    for (std::uint32_t s : f_of_edge[e]) f_explained[s] = 1;
+    for (std::uint32_t s : r_of_edge[e]) r_explained[s] = 1;
+  };
+
+  // ---- IGP seeding (ND-bgpigp, §3.3) ----------------------------------------
+  if (opt.use_control_plane && cp != nullptr && !cp->igp_down_keys.empty()) {
+    std::unordered_set<std::string> igp(cp->igp_down_keys.begin(),
+                                        cp->igp_down_keys.end());
+    for (std::uint32_t e = 0; e < n_edges; ++e) {
+      if (igp.count(dg.edges[e].phys_key) != 0) {
+        record_rank(dg.edges[e].phys_key,
+                    std::numeric_limits<double>::infinity(), -1);
+        select_edge(e);
+      }
+    }
+  }
+
+  // ---- UH clusters (ND-LG, §3.4) ---------------------------------------------
+  // linkCluster(l): same endpoint AS tags, different path, same number of
+  // failure-set memberships. Stored as cluster id -> members; edges with
+  // unresolvable endpoints stay unclustered.
+  std::vector<std::vector<std::uint32_t>> cluster_members;
+  std::vector<int> cluster_of(n_edges, -1);
+  if (opt.uh_clustering) {
+    std::unordered_map<std::string, std::uint32_t> by_signature;
+    for (std::uint32_t e : candidates) {
+      if (!dg.edges[e].unidentified) continue;
+      const auto& ge = dg.g.edge(EdgeId{e});
+      const std::string s1 = endpoint_signature(dg.g, ge.src, tags);
+      const std::string s2 = endpoint_signature(dg.g, ge.dst, tags);
+      if (s1.empty() || s2.empty()) continue;  // unresolvable endpoint
+      const std::string sig =
+          s1 + "/" + s2 + "/#f" + std::to_string(f_of_edge[e].size());
+      auto [it, inserted] = by_signature.emplace(
+          sig, static_cast<std::uint32_t>(cluster_members.size()));
+      if (inserted) cluster_members.emplace_back();
+      cluster_members[it->second].push_back(e);
+      cluster_of[e] = static_cast<int>(it->second);
+    }
+  }
+  // ---- Candidate groups -------------------------------------------------------
+  // The unit of selection is a *link*, not a graph edge: all logical
+  // pieces of one directed physical hop (u→v(W1), W1→..., u→v(W2), ...)
+  // are one candidate whose coverage is the union of its still-admissible
+  // members. Without this, the logical expansion fragments an interdomain
+  // link's score across its per-next-AS pieces and intradomain links on
+  // the same paths always outscore it. Working logical pieces were never
+  // admitted, so the misconfiguration semantics of §3.1 are unchanged.
+  std::vector<std::vector<std::uint32_t>> groups;
+  {
+    std::unordered_map<std::string, std::uint32_t> by_key;
+    for (std::uint32_t e : candidates) {
+      auto [it, inserted] = by_key.emplace(
+          dg.edges[e].directed_key, static_cast<std::uint32_t>(groups.size()));
+      if (inserted) groups.emplace_back();
+      groups[it->second].push_back(e);
+    }
+  }
+  auto group_covered = [&](const std::vector<std::uint32_t>& members,
+                           const std::vector<std::vector<std::uint32_t>>& of_edge,
+                           const std::vector<char>& explained) {
+    std::size_t count = 0;
+    std::unordered_set<std::uint32_t> seen;
+    for (std::uint32_t e : members) {
+      if (!in_u[e]) continue;
+      for (std::uint32_t s : of_edge[e]) {
+        if (!explained[s] && seen.insert(s).second) ++count;
+      }
+      // Cluster augmentation (singleton UH groups only in practice).
+      if (cluster_of[e] >= 0) {
+        for (std::uint32_t m : cluster_members[cluster_of[e]]) {
+          if (m != e && dg.edges[m].before_path != dg.edges[e].before_path) {
+            for (std::uint32_t s : of_edge[m]) {
+              if (!explained[s] && seen.insert(s).second) ++count;
+            }
+          }
+        }
+      }
+    }
+    return count;
+  };
+
+  // ---- Greedy max-score loop (Algorithm 1) -----------------------------------
+  int round = 0;
+  for (;; ++round) {
+    double best = 0.0;
+    std::vector<std::uint32_t> max_set;
+    for (std::uint32_t g = 0; g < groups.size(); ++g) {
+      const double score =
+          opt.weight_failures *
+              static_cast<double>(group_covered(groups[g], f_of_edge,
+                                                f_explained)) +
+          opt.weight_reroutes *
+              static_cast<double>(group_covered(groups[g], r_of_edge,
+                                                r_explained));
+      if (score > best) {
+        best = score;
+        max_set.assign(1, g);
+      } else if (score == best && score > 0.0) {
+        max_set.push_back(g);
+      }
+    }
+    if (best <= 0.0) break;
+    // The paper adds the whole set of maximum-score links.
+    for (std::uint32_t g : max_set) {
+      for (std::uint32_t e : groups[g]) {
+        if (in_u[e]) {
+          record_rank(dg.edges[e].phys_key, best, round);
+          select_edge(e);
+        }
+      }
+    }
+  }
+
+  // ---- Results ---------------------------------------------------------------
+  result.hypothesis_edges = hypothesis;
+  for (EdgeId e : hypothesis) {
+    result.links.insert(dg.info(e).phys_key);
+    const auto& ge = dg.g.edge(e);
+    bool unknown = false;
+    for (NodeId n : {ge.src, ge.dst}) {
+      const auto& node = dg.g.node(n);
+      if (node.kind == NodeKind::kUnidentified) {
+        const std::vector<int>* t = tags != nullptr ? tags->find(n) : nullptr;
+        if (t != nullptr) {
+          result.ases.insert(t->begin(), t->end());
+        } else {
+          unknown = true;
+        }
+      } else if (node.asn >= 0) {
+        result.ases.insert(node.asn);
+      }
+    }
+    if (unknown) ++result.unknown_as_links;
+  }
+  for (std::uint32_t s = 0; s < failure_sets.size(); ++s) {
+    if (!f_explained[s]) ++result.unexplained_failure_sets;
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedLink& a, const RankedLink& b) {
+                     return a.score > b.score;
+                   });
+  result.ranked = std::move(ranked);
+  return result;
+}
+
+}  // namespace netd::core

@@ -1,0 +1,114 @@
+// The NetDiagnoser inference engine.
+//
+// One greedy minimum-hitting-set solver (paper Algorithm 1) with optional
+// features layered on top:
+//   - reroute sets with weighted scoring (ND-edge, §3.2),
+//   - control-plane pruning/seeding (ND-bgpigp, §3.3): IGP link-down
+//     events seed the hypothesis; BGP withdrawals received at AS-X prune
+//     the upstream portion of matching failure sets,
+//   - unidentified-link clustering (ND-LG, §3.4) using LG-resolved AS tags.
+// The named algorithm presets live in algorithms.h.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/diagnosis_graph.h"
+
+namespace netd::core {
+
+struct SolverOptions {
+  /// ND-edge+: score working constraints and reroute sets from the T+
+  /// paths instead of assuming T− paths are still in place (Tomo's flaw).
+  bool use_reroutes = false;
+  /// ND-bgpigp+: consume ControlPlaneObs.
+  bool use_control_plane = false;
+  /// ND-LG: keep unidentified links as candidates and cluster them.
+  bool uh_clustering = false;
+  /// Tomo/ND-edge/ND-bgpigp drop unidentified links from consideration
+  /// ("ND-bgpigp simply ignores any unidentified link", §5.4).
+  bool ignore_unidentified = true;
+  /// Score weights a (failure sets) and b (reroute sets); paper uses 1, 1.
+  double weight_failures = 1.0;
+  double weight_reroutes = 1.0;
+};
+
+/// What AS-X's control plane observed during the event (label space).
+struct ControlPlaneObs {
+  /// Canonical undirected keys of intradomain AS-X links reported down by
+  /// the IGP.
+  std::vector<std::string> igp_down_keys;
+  struct Withdrawal {
+    /// Directed key "receiving_router>sending_neighbor" of the interdomain
+    /// link the withdrawal arrived on.
+    std::string directed_key;
+    /// AS owning the withdrawn prefix (the destination sensor's AS).
+    int dest_asn = -1;
+  };
+  std::vector<Withdrawal> withdrawals;
+};
+
+/// LG-resolved AS tags for UH nodes: node id -> sorted candidate ASNs.
+/// A node with no entry (or an empty vector) is unresolvable.
+struct UhTagMap {
+  std::unordered_map<std::uint32_t, std::vector<int>> tags;
+
+  [[nodiscard]] const std::vector<int>* find(graph::NodeId n) const {
+    auto it = tags.find(n.value());
+    if (it == tags.end() || it->second.empty()) return nullptr;
+    return &it->second;
+  }
+};
+
+/// One hypothesis link with the evidence weight it was selected at.
+struct RankedLink {
+  std::string phys_key;
+  /// Greedy score at selection time (explained failure + weighted reroute
+  /// sets); higher = stronger evidence.
+  double score = 0.0;
+  /// Selection round (0 = first, strongest pick; IGP-seeded links are -1).
+  int round = 0;
+};
+
+struct Result {
+  /// Hypothesis H as edges of the diagnosis graph.
+  std::vector<graph::EdgeId> hypothesis_edges;
+  /// H mapped to canonical physical keys (logical links collapse onto
+  /// their interdomain physical link).
+  std::set<std::string> links;
+  /// ASes implicated by H — endpoint ASNs of identified links plus
+  /// resolved tags of unidentified ones.
+  std::set<int> ases;
+  /// Hypothesis links whose AS could not be resolved at all.
+  std::size_t unknown_as_links = 0;
+  /// Failure sets no candidate could explain (diagnostic).
+  std::size_t unexplained_failure_sets = 0;
+  /// Hypothesis links ordered strongest-evidence-first (one entry per
+  /// physical key; IGP-confirmed links first with round = -1).
+  std::vector<RankedLink> ranked;
+};
+
+[[nodiscard]] Result solve(const DiagnosisGraph& dg, const SolverOptions& opt,
+                           const ControlPlaneObs* cp = nullptr,
+                           const UhTagMap* tags = nullptr);
+
+/// The hitting-set instance the solver actually optimizes, exposed so
+/// alternative solvers (e.g. the exact branch-and-bound in exact.h) can
+/// run on identical inputs: withdrawal-pruned failure sets, reroute sets,
+/// and the admissible candidate edges (working and — per options —
+/// unidentified edges removed).
+struct Demands {
+  std::vector<std::vector<std::uint32_t>> failure_sets;
+  std::vector<std::vector<std::uint32_t>> reroute_sets;
+  std::vector<std::uint32_t> candidates;      ///< admissible edge ids, sorted
+  std::vector<char> admissible;               ///< indexed by edge id
+};
+
+[[nodiscard]] Demands build_demands(const DiagnosisGraph& dg,
+                                    const SolverOptions& opt,
+                                    const ControlPlaneObs* cp = nullptr);
+
+}  // namespace netd::core

@@ -1,0 +1,39 @@
+#include "core/troubleshooter.h"
+
+#include <cassert>
+
+namespace netd::core {
+
+Troubleshooter::Troubleshooter(Config cfg)
+    : cfg_(cfg), detector_(cfg.alarm_threshold) {}
+
+void Troubleshooter::set_baseline(probe::Mesh baseline) {
+  baseline_ = std::move(baseline);
+  detector_.reset();
+}
+
+std::optional<AlgorithmOutput> Troubleshooter::observe(
+    const probe::Mesh& round, const ControlPlaneObs* cp) {
+  assert(has_baseline() && "set_baseline() before observing rounds");
+  assert(round.paths.size() == baseline_.paths.size());
+
+  const auto fired = detector_.observe(round);
+
+  bool all_ok = true;
+  for (const auto& p : round.paths) all_ok = all_ok && p.ok;
+  if (all_ok) {
+    // Healthy round: adopt as the new baseline so the next event is
+    // compared against current (possibly rerouted/repaired) paths.
+    baseline_ = round;
+    return std::nullopt;
+  }
+  if (fired.empty()) return std::nullopt;  // failing, but under threshold
+
+  AlgorithmOutput out;
+  out.graph = build_diagnosis_graph(baseline_, round, cfg_.granularity);
+  out.result = solve(out.graph, cfg_.solver,
+                     cfg_.solver.use_control_plane ? cp : nullptr);
+  return out;
+}
+
+}  // namespace netd::core

@@ -1,0 +1,60 @@
+// The deployment facade (paper §6): continuous measurement, flap-robust
+// alarming, and automatic diagnosis.
+//
+// A Troubleshooter owns the measurement-loop state a real deployment
+// needs: a healthy T− baseline (rolled forward while the mesh is clean),
+// an UnreachabilityDetector that filters transient flaps, and the
+// algorithm configuration. Feed it one full-mesh snapshot per round;
+// when an alarm fires it runs the configured NetDiagnoser variant against
+// the last healthy baseline and returns the diagnosis.
+#pragma once
+
+#include <optional>
+
+#include "core/algorithms.h"
+#include "probe/detector.h"
+#include "probe/prober.h"
+
+namespace netd::core {
+
+class Troubleshooter {
+ public:
+  struct Config {
+    /// Consecutive failed rounds before a pair alarms (§6; 1 = naive).
+    std::size_t alarm_threshold = 3;
+    /// Logical-link granularity for the diagnosis graph.
+    LogicalMode granularity = LogicalMode::kPerNeighbor;
+    /// Solver feature set (defaults to ND-edge; enable use_control_plane
+    /// and pass observations per round for ND-bgpigp behavior).
+    SolverOptions solver;
+
+    Config() { solver = nd_edge_options(); }
+  };
+
+  explicit Troubleshooter(Config cfg = Config());
+
+  /// Installs the initial healthy baseline (all pairs must work).
+  void set_baseline(probe::Mesh baseline);
+  [[nodiscard]] const probe::Mesh& baseline() const { return baseline_; }
+  [[nodiscard]] bool has_baseline() const { return !baseline_.paths.empty(); }
+
+  /// One measurement round. Returns a diagnosis when at least one pair's
+  /// alarm fires in this round; otherwise std::nullopt. Fully healthy
+  /// rounds roll the baseline forward (so post-repair topology changes
+  /// become the new normal). `cp` is consumed only when the solver was
+  /// configured with use_control_plane.
+  [[nodiscard]] std::optional<AlgorithmOutput> observe(
+      const probe::Mesh& round, const ControlPlaneObs* cp = nullptr);
+
+  [[nodiscard]] bool alarmed() const { return detector_.any_alarm(); }
+  [[nodiscard]] const probe::UnreachabilityDetector& detector() const {
+    return detector_;
+  }
+
+ private:
+  Config cfg_;
+  probe::UnreachabilityDetector detector_;
+  probe::Mesh baseline_;
+};
+
+}  // namespace netd::core

@@ -1,0 +1,109 @@
+#include "core/uh_tags.h"
+
+#include <algorithm>
+
+namespace netd::core {
+
+using graph::NodeKind;
+using topo::AsId;
+using topo::PrefixId;
+
+namespace {
+
+/// Assigns `tag` to every UH hop in hops[first..last] (inclusive).
+void assign_run(const DiagnosisGraph& dg, const std::vector<probe::Hop>& hops,
+                std::size_t first, std::size_t last,
+                const std::vector<int>& tag, UhTagMap& out) {
+  for (std::size_t i = first; i <= last; ++i) {
+    const auto node = dg.g.find_node(hops[i].label);
+    if (!node) continue;
+    auto& slot = out.tags[node->value()];
+    // Keep the most specific (smallest) tag when runs overlap across paths.
+    if (slot.empty() || (!tag.empty() && tag.size() < slot.size())) {
+      slot = tag;
+    }
+  }
+}
+
+}  // namespace
+
+UhTagMap resolve_uh_tags(const probe::Mesh& before, const DiagnosisGraph& dg,
+                         const lg::LookingGlassService& lg,
+                         topo::AsId operator_as) {
+  UhTagMap out;
+  for (const auto& path : before.paths) {
+    if (!path.ok) continue;
+    const auto& hops = path.hops;
+    const int dest_asn = hops.back().asn;
+    if (dest_asn < 0) continue;
+    const PrefixId dest_prefix{static_cast<std::uint32_t>(dest_asn)};
+
+    std::size_t i = 0;
+    while (i < hops.size()) {
+      if (hops[i].kind != NodeKind::kUnidentified) {
+        ++i;
+        continue;
+      }
+      // Maximal UH run [run_begin, run_end].
+      const std::size_t run_begin = i;
+      while (i < hops.size() && hops[i].kind == NodeKind::kUnidentified) ++i;
+      const std::size_t run_end = i - 1;
+
+      // Bounding identified ASes. Sensors are identified, so a run is
+      // always strictly inside the path.
+      int as_before = -1, as_after = -1;
+      for (std::size_t k = run_begin; k-- > 0;) {
+        if (hops[k].asn >= 0) {
+          as_before = hops[k].asn;
+          break;
+        }
+      }
+      for (std::size_t k = run_end + 1; k < hops.size(); ++k) {
+        if (hops[k].asn >= 0) {
+          as_after = hops[k].asn;
+          break;
+        }
+      }
+      if (as_before < 0 || as_after < 0) continue;
+
+      // Vantage: the first AS at-or-before the run whose LG answers;
+      // AS-X's own view is always available. A vantage past the run
+      // cannot see it (its AS path starts at itself).
+      std::optional<std::vector<AsId>> as_path;
+      for (std::size_t k = 0; k <= run_begin; ++k) {
+        if (hops[k].asn < 0) continue;
+        const AsId vantage{static_cast<std::uint32_t>(hops[k].asn)};
+        if (!lg.available(vantage) && vantage != operator_as) continue;
+        as_path = lg.query(vantage, dest_prefix);
+        if (as_path) break;
+      }
+      if (!as_path) continue;  // unresolved run
+
+      // Segment of the AS path strictly between as_before and as_after.
+      const auto& p = *as_path;
+      std::size_t pos_a = p.size(), pos_c = p.size();
+      for (std::size_t k = 0; k < p.size(); ++k) {
+        if (pos_a == p.size() &&
+            p[k].value() == static_cast<std::uint32_t>(as_before)) {
+          pos_a = k;
+        } else if (pos_a != p.size() &&
+                   p[k].value() == static_cast<std::uint32_t>(as_after)) {
+          pos_c = k;
+          break;
+        }
+      }
+      if (pos_a == p.size() || pos_c == p.size() || pos_c <= pos_a + 1) {
+        continue;  // inconsistent or empty segment: unresolved
+      }
+      std::vector<int> tag;
+      for (std::size_t k = pos_a + 1; k < pos_c; ++k) {
+        tag.push_back(static_cast<int>(p[k].value()));
+      }
+      std::sort(tag.begin(), tag.end());
+      assign_run(dg, hops, run_begin, run_end, tag, out);
+    }
+  }
+  return out;
+}
+
+}  // namespace netd::core

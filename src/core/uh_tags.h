@@ -1,0 +1,26 @@
+// UH → AS mapping via Looking Glass servers (paper §3.4, Fig. 4).
+//
+// For every maximal run of unidentified hops on a path, the troubleshooter
+// picks a vantage AS at-or-before the run whose Looking Glass is reachable
+// (the operator's own AS always answers from its BGP table), asks for its
+// AS path to the destination prefix, and reads off the AS segment between
+// the identified ASes bounding the run. A one-AS segment tags the UHs
+// unambiguously; a longer segment yields the combined tag {B, D, ...}; no
+// usable vantage leaves the UHs unresolved.
+#pragma once
+
+#include "core/diagnosis_graph.h"
+#include "core/solver.h"
+#include "lg/looking_glass.h"
+#include "probe/prober.h"
+
+namespace netd::core {
+
+/// Resolves AS tags for every UH node of `dg` from the T− mesh.
+/// `operator_as` is AS-X (always queryable through its own BGP view).
+[[nodiscard]] UhTagMap resolve_uh_tags(const probe::Mesh& before,
+                                       const DiagnosisGraph& dg,
+                                       const lg::LookingGlassService& lg,
+                                       topo::AsId operator_as);
+
+}  // namespace netd::core

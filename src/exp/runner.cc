@@ -1,0 +1,445 @@
+#include "exp/runner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <optional>
+
+#include "core/diagnosability.h"
+#include "lg/looking_glass.h"
+#include "util/rng.h"
+
+namespace netd::exp {
+
+using probe::Mesh;
+using probe::Prober;
+using probe::Sensor;
+using topo::AsId;
+using topo::LinkId;
+using topo::PrefixId;
+using topo::RouterId;
+
+const char* to_string(Algo a) {
+  switch (a) {
+    case Algo::kTomo: return "Tomo";
+    case Algo::kNdEdge: return "ND-edge";
+    case Algo::kNdBgpIgp: return "ND-bgpigp";
+    case Algo::kNdLg: return "ND-LG";
+  }
+  return "?";
+}
+
+std::string link_key(const topo::Topology& topo, LinkId l) {
+  const auto& link = topo.link(l);
+  return core::undirected_key(topo.router(link.a).name,
+                              topo.router(link.b).name);
+}
+
+core::ControlPlaneObs collect_control_plane(const sim::Network& net) {
+  core::ControlPlaneObs obs;
+  const auto& topo = net.topology();
+  for (LinkId l : net.igp_link_down_events()) {
+    obs.igp_down_keys.push_back(link_key(topo, l));
+  }
+  for (const auto& m : net.bgp_messages()) {
+    if (!m.withdraw) continue;
+    obs.withdrawals.push_back(core::ControlPlaneObs::Withdrawal{
+        topo.router(m.at).name + ">" + topo.router(m.from).name,
+        static_cast<int>(m.prefix.value())});
+  }
+  return obs;
+}
+
+namespace {
+
+/// An export-filter misconfiguration candidate (paper §3.1 / §4): router
+/// `exporter` stops announcing, over `link`, every route it reaches via
+/// its out-neighbor AS `next_as` — the paper's "y1 announces to x2 only
+/// the route towards B, while it does not announce the route towards C".
+/// BGP policies (and hence misconfigurations) act per neighbor, which is
+/// also the granularity of ND-edge's logical links.
+struct Misconfig {
+  RouterId exporter;
+  LinkId link;
+  AsId next_as;
+};
+
+/// All (interdomain link, downstream exporter, next AS) combinations
+/// present on the T− paths. The exporter is the far-side router: traffic
+/// flowing q→r toward the destination rides the announcement r made to q,
+/// and the cone is identified by the AS right after r's AS on the path.
+std::vector<Misconfig> misconfig_candidates(const topo::Topology& topo,
+                                            const Mesh& mesh) {
+  std::vector<Misconfig> out;
+  std::set<std::uint64_t> seen;
+  for (const auto& p : mesh.paths) {
+    if (!p.ok) continue;
+    // Router sequence: hops minus the two sensor endpoints.
+    std::vector<RouterId> routers;
+    for (std::size_t i = 1; i + 1 < p.hops.size(); ++i) {
+      routers.push_back(p.hops[i].router);
+    }
+    assert(routers.size() == p.links.size() + 1);
+    for (std::size_t i = 0; i < p.links.size(); ++i) {
+      const LinkId l = p.links[i];
+      if (!topo.link(l).interdomain) continue;
+      const RouterId exporter = routers[i + 1];
+      const AsId exporter_as = topo.as_of_router(exporter);
+      // Next AS beyond the exporter's AS on this path; the exporter's own
+      // AS when the path terminates inside it.
+      AsId next_as = exporter_as;
+      for (std::size_t k = i + 2; k < routers.size(); ++k) {
+        if (topo.as_of_router(routers[k]) != exporter_as) {
+          next_as = topo.as_of_router(routers[k]);
+          break;
+        }
+      }
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(exporter.value()) << 40) |
+          (static_cast<std::uint64_t>(l.value()) << 16) |
+          static_cast<std::uint64_t>(next_as.value());
+      if (seen.insert(key).second) out.push_back({exporter, l, next_as});
+    }
+  }
+  // A misconfiguration is a *partial* failure ("the link works for a
+  // subset of paths but not for others", §1): keep candidates whose
+  // session carries at least one other next-AS cone among the probed
+  // paths, so working paths keep crossing the misconfigured link. Fall
+  // back to all candidates when the mesh offers no partial one.
+  std::map<std::uint64_t, int> cones_per_session;
+  for (const auto& mc : out) {
+    ++cones_per_session[(static_cast<std::uint64_t>(mc.exporter.value())
+                         << 24) |
+                        mc.link.value()];
+  }
+  std::vector<Misconfig> partial;
+  for (const auto& mc : out) {
+    if (cones_per_session[(static_cast<std::uint64_t>(mc.exporter.value())
+                           << 24) |
+                          mc.link.value()] >= 2) {
+      partial.push_back(mc);
+    }
+  }
+  return partial.empty() ? out : partial;
+}
+
+/// A single-prefix misconfiguration candidate: exporter stops announcing
+/// exactly `prefix` over `link` (finer than any per-neighbor policy; see
+/// FailureMode::kMisconfigPrefix).
+struct PrefixMisconfig {
+  RouterId exporter;
+  LinkId link;
+  PrefixId prefix;
+};
+
+std::vector<PrefixMisconfig> prefix_misconfig_candidates(
+    const topo::Topology& topo, const Mesh& mesh) {
+  std::vector<PrefixMisconfig> out;
+  std::set<std::uint64_t> seen;
+  for (const auto& p : mesh.paths) {
+    if (!p.ok) continue;
+    const int dest_asn = p.hops.back().asn;
+    if (dest_asn < 0) continue;
+    std::vector<RouterId> routers;
+    for (std::size_t i = 1; i + 1 < p.hops.size(); ++i) {
+      routers.push_back(p.hops[i].router);
+    }
+    for (std::size_t i = 0; i < p.links.size(); ++i) {
+      const LinkId l = p.links[i];
+      if (!topo.link(l).interdomain) continue;
+      const RouterId exporter = routers[i + 1];
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(exporter.value()) << 40) |
+          (static_cast<std::uint64_t>(l.value()) << 16) |
+          static_cast<std::uint64_t>(dest_asn);
+      if (seen.insert(key).second) {
+        out.push_back({exporter, l,
+                       PrefixId{static_cast<std::uint32_t>(dest_asn)}});
+      }
+    }
+  }
+  return out;
+}
+
+/// Transit routers appearing on the probed paths, excluding the sensors'
+/// attachment routers (failing those kills the sensor itself).
+std::vector<RouterId> router_candidates(const Mesh& mesh,
+                                        const std::vector<Sensor>& sensors) {
+  std::set<std::uint32_t> attach;
+  for (const auto& s : sensors) attach.insert(s.attach.value());
+  std::set<std::uint32_t> seen;
+  for (const auto& p : mesh.paths) {
+    if (!p.ok) continue;
+    for (const auto& h : p.hops) {
+      if (h.router.valid() && attach.count(h.router.value()) == 0) {
+        seen.insert(h.router.value());
+      }
+    }
+  }
+  std::vector<RouterId> out;
+  out.reserve(seen.size());
+  for (std::uint32_t v : seen) out.push_back(RouterId{v});
+  return out;
+}
+
+}  // namespace
+
+void inject_cone_misconfig(sim::Network& net, RouterId exporter, LinkId link,
+                           AsId next_as,
+                           const std::vector<Sensor>& sensors) {
+  const auto& topo = net.topology();
+  const AsId exporter_as = topo.as_of_router(exporter);
+  for (const auto& s : sensors) {
+    const PrefixId p = topo.prefix_of(s.as);
+    const auto route = net.bgp().best(exporter, p);
+    if (!route) continue;
+    const AsId via = route->as_path.empty() ? exporter_as : route->as_path[0];
+    if (via == next_as) net.misconfigure_export(exporter, link, p);
+  }
+}
+
+Runner::Runner(const ScenarioConfig& cfg)
+    : cfg_(cfg), net_(topo::generate(cfg.topo_params)) {
+  net_.converge();
+}
+
+Runner::Runner(topo::Topology topology, const ScenarioConfig& cfg)
+    : cfg_(cfg), net_(std::move(topology)) {
+  net_.converge();
+}
+
+void Runner::for_each_episode(
+    const std::function<void(const EpisodeContext&)>& fn, bool deploy_lg) {
+  const auto& topo = net_.topology();
+  const bool need_lg = deploy_lg || cfg_.frac_blocked > 0.0;
+
+  const sim::Network::Snapshot base = net_.snapshot();
+  std::optional<lg::LgTable> lg_table;
+  if (need_lg) lg_table.emplace(net_);
+
+  util::Rng root(cfg_.seed);
+
+  for (std::size_t pl = 0; pl < cfg_.num_placements; ++pl) {
+    util::Rng rng(root.fork());
+    const std::vector<Sensor> sensors =
+        probe::place_sensors(topo, cfg_.placement, cfg_.num_sensors, rng);
+    std::set<std::uint32_t> sensor_ases;
+    for (const auto& s : sensors) sensor_ases.insert(s.as.value());
+
+    // AS-X: core AS 0, or a random stub hosting no sensor (§5.3).
+    AsId op_as{0};
+    if (!cfg_.operator_at_core) {
+      std::vector<AsId> stubs;
+      for (const auto& as : topo.ases()) {
+        if (as.cls == topo::AsClass::kStub &&
+            sensor_ases.count(as.id.value()) == 0) {
+          stubs.push_back(as.id);
+        }
+      }
+      if (!stubs.empty()) op_as = rng.pick(stubs);
+    }
+    net_.set_operator_as(op_as);
+
+    // Ground-truth mesh (never blocked) — used for failure sampling and
+    // ground-truth AS coverage.
+    Prober ground(net_, sensors);
+    const Mesh gmesh = ground.measure();
+
+    // ASes that block traceroutes: a fraction f_b of the on-path transit
+    // ASes (sensor ASes and AS-X itself never block).
+    std::set<std::uint32_t> blocked;
+    if (cfg_.frac_blocked > 0.0) {
+      std::vector<std::uint32_t> blockable;
+      for (int asn : gmesh.covered_ases(topo)) {
+        const auto v = static_cast<std::uint32_t>(asn);
+        if (sensor_ases.count(v) == 0 && v != op_as.value()) {
+          blockable.push_back(v);
+        }
+      }
+      const auto k = static_cast<std::size_t>(
+          cfg_.frac_blocked * static_cast<double>(blockable.size()) + 0.5);
+      for (std::uint32_t v :
+           rng.sample(blockable, std::min(k, blockable.size()))) {
+        blocked.insert(v);
+      }
+    }
+
+    // Looking Glass availability: a fraction of all ASes.
+    std::optional<lg::LookingGlassService> lg_svc;
+    if (need_lg) {
+      std::set<std::uint32_t> avail;
+      for (const auto& as : topo.ases()) {
+        if (rng.bernoulli(cfg_.frac_lg)) avail.insert(as.id.value());
+      }
+      lg_svc.emplace(*lg_table, std::move(avail), op_as);
+    }
+
+    Prober prober(net_, sensors, blocked);
+    const Mesh before = prober.measure();
+
+    const std::vector<LinkId> pool = gmesh.probed_links();
+    const std::vector<Misconfig> mcs = misconfig_candidates(topo, gmesh);
+    const std::vector<PrefixMisconfig> pmcs =
+        prefix_misconfig_candidates(topo, gmesh);
+    const std::vector<RouterId> router_pool = router_candidates(gmesh, sensors);
+    if (pool.size() < cfg_.num_link_failures) continue;
+
+    const double diag = core::diagnosability(
+        core::build_diagnosis_graph(before, before, /*logical_links=*/false));
+
+    for (std::size_t trial = 0; trial < cfg_.trials_per_placement; ++trial) {
+      // Draw failures until the event breaks some path (the paper's
+      // troubleshooter is only invoked on unreachability).
+      bool invoked = false;
+      std::vector<LinkId> failed_links;
+      RouterId failed_router;
+      std::optional<Misconfig> mc;
+      std::optional<PrefixMisconfig> pmc;
+      Mesh after;
+      for (std::size_t attempt = 0;
+           attempt < cfg_.max_attempts_per_trial && !invoked; ++attempt) {
+        failed_links.clear();
+        failed_router = RouterId{};
+        mc.reset();
+        pmc.reset();
+        switch (cfg_.mode) {
+          case FailureMode::kLinks:
+            failed_links = rng.sample(pool, cfg_.num_link_failures);
+            break;
+          case FailureMode::kRouter:
+            if (router_pool.empty()) break;
+            failed_router = rng.pick(router_pool);
+            break;
+          case FailureMode::kMisconfig:
+            if (mcs.empty()) break;
+            mc = rng.pick(mcs);
+            break;
+          case FailureMode::kMisconfigPlusLink:
+            if (mcs.empty()) break;
+            mc = rng.pick(mcs);
+            failed_links = rng.sample(pool, cfg_.num_link_failures);
+            break;
+          case FailureMode::kMisconfigPrefix:
+            if (pmcs.empty()) break;
+            pmc = rng.pick(pmcs);
+            break;
+        }
+        if (failed_links.empty() && !failed_router.valid() && !mc && !pmc) {
+          break;
+        }
+
+        net_.start_recording();
+        for (LinkId l : failed_links) net_.fail_link(l);
+        if (failed_router.valid()) net_.fail_router(failed_router);
+        if (mc) {
+          inject_cone_misconfig(net_, mc->exporter, mc->link, mc->next_as,
+                                sensors);
+        }
+        if (pmc) net_.misconfigure_export(pmc->exporter, pmc->link, pmc->prefix);
+        net_.reconverge();
+        after = prober.measure();
+        for (std::size_t k = 0; k < before.paths.size(); ++k) {
+          if (before.paths[k].ok && !after.paths[k].ok) {
+            invoked = true;
+            break;
+          }
+        }
+        if (!invoked) net_.restore(base);
+      }
+      if (!invoked) continue;  // this trial never caused unreachability
+
+      // Ground truth F at link and AS granularity.
+      std::set<std::string> f_links;
+      std::set<int> f_ases;
+      auto add_failed = [&](LinkId l) {
+        f_links.insert(link_key(topo, l));
+        const auto& link = topo.link(l);
+        f_ases.insert(static_cast<int>(topo.as_of_router(link.a).value()));
+        f_ases.insert(static_cast<int>(topo.as_of_router(link.b).value()));
+      };
+      for (LinkId l : failed_links) add_failed(l);
+      if (mc) add_failed(mc->link);
+      if (pmc) add_failed(pmc->link);
+      if (failed_router.valid()) {
+        for (LinkId l : pool) {
+          const auto& link = topo.link(l);
+          if (link.a == failed_router || link.b == failed_router) {
+            add_failed(l);
+          }
+        }
+        f_ases.insert(
+            static_cast<int>(topo.as_of_router(failed_router).value()));
+      }
+
+      // AS universe: ground-truth coverage of the probes (T− and T+).
+      std::set<int> universe = gmesh.covered_ases(topo);
+      for (int a : after.covered_ases(topo)) universe.insert(a);
+      for (int a : f_ases) universe.insert(a);
+
+      const core::ControlPlaneObs cp = collect_control_plane(net_);
+
+      EpisodeContext ctx{before,
+                         after,
+                         cp,
+                         lg_svc ? &*lg_svc : nullptr,
+                         op_as,
+                         f_links,
+                         f_ases,
+                         universe,
+                         diag};
+      fn(ctx);
+      net_.restore(base);
+      net_.set_operator_as(op_as);
+    }
+  }
+}
+
+std::vector<TrialResult> Runner::run(const std::vector<Algo>& algos) {
+  const bool need_lg =
+      std::find(algos.begin(), algos.end(), Algo::kNdLg) != algos.end();
+  std::vector<TrialResult> results;
+  for_each_episode(
+      [&](const EpisodeContext& ep) {
+        TrialResult tr;
+        tr.diagnosability = ep.diagnosability;
+        for (Algo algo : algos) {
+          core::AlgorithmOutput out;
+          switch (algo) {
+            case Algo::kTomo:
+              out = core::run_tomo(ep.before, ep.after);
+              break;
+            case Algo::kNdEdge:
+              out = core::run_nd_edge(ep.before, ep.after);
+              break;
+            case Algo::kNdBgpIgp:
+              out = core::run_nd_bgpigp(ep.before, ep.after, ep.cp);
+              break;
+            case Algo::kNdLg:
+              assert(ep.lg != nullptr);
+              out = core::run_nd_lg(ep.before, ep.after, ep.cp, *ep.lg,
+                                    ep.operator_as);
+              break;
+          }
+          if (!ep.failed_links.empty()) {
+            tr.link[algo] = core::link_metrics(out.result.links,
+                                               ep.failed_links,
+                                               out.graph.probed_keys);
+          }
+          tr.as_level[algo] =
+              core::as_metrics(out.result.ases, ep.failed_ases, ep.universe);
+          if (cfg_.mode == FailureMode::kRouter) {
+            for (const auto& k : out.result.links) {
+              if (ep.failed_links.count(k) != 0) {
+                tr.router_detected = true;
+                break;
+              }
+            }
+          }
+        }
+        results.push_back(std::move(tr));
+      },
+      need_lg);
+  return results;
+}
+
+}  // namespace netd::exp

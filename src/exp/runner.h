@@ -1,0 +1,119 @@
+// Experiment driver reproducing the paper's evaluation protocol (§4–§5):
+// fixed topology, `num_placements` random sensor placements with
+// `trials_per_placement` failures each, failure resampling until the event
+// actually causes unreachability (the troubleshooter is only invoked for
+// failures that break some path), and per-trial metrics for the requested
+// algorithms.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "lg/looking_glass.h"
+#include "core/metrics.h"
+#include "probe/prober.h"
+#include "sim/network.h"
+#include "topo/generator.h"
+
+namespace netd::exp {
+
+enum class Algo { kTomo, kNdEdge, kNdBgpIgp, kNdLg };
+
+[[nodiscard]] const char* to_string(Algo a);
+
+enum class FailureMode {
+  kLinks,             ///< `num_link_failures` random probed links fail
+  kRouter,            ///< one random probed transit router fails
+  kMisconfig,         ///< one per-neighbor-cone export misconfiguration
+  kMisconfigPlusLink, ///< one misconfiguration plus one link failure
+  kMisconfigPrefix,   ///< a *single-prefix* export filter — finer than the
+                      ///< per-neighbor granularity of logical links, used
+                      ///< by the granularity ablation (§3.1 discussion)
+};
+
+struct ScenarioConfig {
+  topo::GeneratorParams topo_params{};
+  std::size_t num_sensors = 10;
+  probe::PlacementKind placement = probe::PlacementKind::kRandomStub;
+  std::size_t num_placements = 10;
+  std::size_t trials_per_placement = 100;
+  FailureMode mode = FailureMode::kLinks;
+  std::size_t num_link_failures = 1;
+  /// Fraction of on-path transit ASes that block traceroutes (f_b, §5.4).
+  double frac_blocked = 0.0;
+  /// Fraction of ASes providing a Looking Glass (Fig. 12).
+  double frac_lg = 1.0;
+  /// AS-X is core AS 0 when true, a random non-sensor stub otherwise (§5.3).
+  bool operator_at_core = true;
+  std::uint64_t seed = 42;
+  /// Failure draws per trial before giving up on causing unreachability.
+  std::size_t max_attempts_per_trial = 60;
+};
+
+struct TrialResult {
+  double diagnosability = 0.0;
+  bool router_detected = false;  ///< kRouter mode: H hit ≥1 link of the router
+  std::map<Algo, core::LinkMetrics> link;
+  std::map<Algo, core::AsMetrics> as_level;
+};
+
+/// One diagnosable failure episode, as handed to for_each_episode():
+/// everything an algorithm variant needs to run and be scored.
+struct EpisodeContext {
+  const probe::Mesh& before;
+  const probe::Mesh& after;
+  const core::ControlPlaneObs& cp;
+  /// Non-null when the scenario deploys Looking Glasses.
+  const lg::LookingGlassService* lg = nullptr;
+  topo::AsId operator_as;
+  const std::set<std::string>& failed_links;  ///< ground truth F
+  const std::set<int>& failed_ases;           ///< ground truth F at AS level
+  const std::set<int>& universe;              ///< ASes covered by probes
+  double diagnosability = 0.0;
+};
+
+class Runner {
+ public:
+  explicit Runner(const ScenarioConfig& cfg);
+  /// Runs the protocol on a caller-provided topology (cfg.topo_params is
+  /// ignored) — e.g. a topo::random_internet() instance or a loaded file.
+  Runner(topo::Topology topology, const ScenarioConfig& cfg);
+
+  /// Runs the full protocol; trials that never caused unreachability
+  /// within the attempt budget are skipped (not reported).
+  [[nodiscard]] std::vector<TrialResult> run(const std::vector<Algo>& algos);
+
+  /// Low-level access to the evaluation protocol: invokes `fn` once per
+  /// diagnosable episode (placements × trials, resampled exactly as in
+  /// run()). Used by the ablation benchmarks to score custom algorithm
+  /// variants. `deploy_lg` forces Looking Glass construction even when the
+  /// high-level run() would not need it.
+  void for_each_episode(const std::function<void(const EpisodeContext&)>& fn,
+                        bool deploy_lg = false);
+
+  [[nodiscard]] const sim::Network& network() const { return net_; }
+
+ private:
+  ScenarioConfig cfg_;
+  sim::Network net_;
+};
+
+/// Builds AS-X's ControlPlaneObs from the simulator's observation buffers.
+[[nodiscard]] core::ControlPlaneObs collect_control_plane(
+    const sim::Network& net);
+
+/// Canonical key of a topology link (both router names, undirected).
+[[nodiscard]] std::string link_key(const topo::Topology& topo,
+                                   topo::LinkId l);
+
+/// Applies the paper's §3.1 misconfiguration: `exporter` stops announcing,
+/// over `link`, every sensor prefix it currently routes via its
+/// out-neighbor AS `next_as` (the cone "towards AS C"). Call
+/// net.reconverge() afterwards.
+void inject_cone_misconfig(sim::Network& net, topo::RouterId exporter,
+                           topo::LinkId link, topo::AsId next_as,
+                           const std::vector<probe::Sensor>& sensors);
+
+}  // namespace netd::exp

@@ -1,0 +1,66 @@
+#include "graph/graph.h"
+
+#include <cassert>
+
+namespace netd::graph {
+
+NodeId Graph::intern_node(std::string_view label, NodeKind kind, int asn) {
+  auto it = node_by_label_.find(std::string(label));
+  if (it != node_by_label_.end()) {
+    Node& n = nodes_[it->second.value()];
+    if (n.asn == -1) n.asn = asn;
+    return it->second;
+  }
+  const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
+  nodes_.push_back(Node{std::string(label), kind, asn});
+  node_by_label_.emplace(std::string(label), id);
+  return id;
+}
+
+std::optional<NodeId> Graph::find_node(std::string_view label) const {
+  auto it = node_by_label_.find(std::string(label));
+  if (it == node_by_label_.end()) return std::nullopt;
+  return it->second;
+}
+
+EdgeId Graph::intern_edge(NodeId src, NodeId dst) {
+  assert(src.valid() && dst.valid());
+  assert(src != dst && "self-loops never occur in traceroute paths");
+  const auto key = pair_key(src, dst);
+  auto it = edge_by_pair_.find(key);
+  if (it != edge_by_pair_.end()) return it->second;
+  const EdgeId id{static_cast<std::uint32_t>(edges_.size())};
+  edges_.push_back(Edge{src, dst});
+  edge_by_pair_.emplace(key, id);
+  return id;
+}
+
+std::optional<EdgeId> Graph::find_edge(NodeId src, NodeId dst) const {
+  auto it = edge_by_pair_.find(pair_key(src, dst));
+  if (it == edge_by_pair_.end()) return std::nullopt;
+  return it->second;
+}
+
+Path Graph::make_path(const std::vector<std::string>& labels) {
+  assert(labels.size() >= 2);
+  Path p;
+  auto first = find_node(labels.front());
+  auto last = find_node(labels.back());
+  assert(first && last);
+  p.src = *first;
+  p.dst = *last;
+  for (std::size_t i = 0; i + 1 < labels.size(); ++i) {
+    auto a = find_node(labels[i]);
+    auto b = find_node(labels[i + 1]);
+    assert(a && b);
+    p.edges.push_back(intern_edge(*a, *b));
+  }
+  return p;
+}
+
+std::string Graph::edge_label(EdgeId id) const {
+  const Edge& e = edge(id);
+  return node(e.src).label + " -> " + node(e.dst).label;
+}
+
+}  // namespace netd::graph

@@ -1,0 +1,89 @@
+// Directed graph used by the inference (tomography) side of NetDiagnoser.
+//
+// This is the graph "G" of the paper: the union of traceroute paths between
+// sensors. Nodes are interned by string label (router address, sensor name,
+// unidentified-hop token, or logical-node label like "y1(B)"); edges are
+// directed hops between consecutive labels. The diagnosis algorithms operate
+// purely on NodeId/EdgeId index spaces.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace netd::graph {
+
+using NodeId = util::Id<struct NodeTag>;
+using EdgeId = util::Id<struct EdgeTag>;
+
+/// What a node in the inferred graph stands for.
+enum class NodeKind {
+  kRouter,        ///< identified router interface
+  kSensor,        ///< probing sensor (end host)
+  kUnidentified,  ///< traceroute star / private address (UH)
+  kLogical,       ///< synthetic node introduced by logical-link expansion
+};
+
+struct Node {
+  std::string label;
+  NodeKind kind = NodeKind::kRouter;
+  /// AS number of the hop, or -1 when unknown (UHs before LG tagging).
+  int asn = -1;
+};
+
+struct Edge {
+  NodeId src;
+  NodeId dst;
+};
+
+/// A directed source→destination walk recorded as consecutive edges.
+struct Path {
+  NodeId src;
+  NodeId dst;
+  std::vector<EdgeId> edges;
+};
+
+class Graph {
+ public:
+  /// Returns the node with this label, creating it if absent. Kind/asn are
+  /// set on creation; on re-intern an unknown asn may be upgraded to a
+  /// known one but never changed to a different known value.
+  NodeId intern_node(std::string_view label, NodeKind kind, int asn = -1);
+
+  [[nodiscard]] std::optional<NodeId> find_node(std::string_view label) const;
+
+  /// Returns the edge src→dst, creating it if absent.
+  EdgeId intern_edge(NodeId src, NodeId dst);
+
+  [[nodiscard]] std::optional<EdgeId> find_edge(NodeId src, NodeId dst) const;
+
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_[id.value()]; }
+  [[nodiscard]] const Edge& edge(EdgeId id) const { return edges_[id.value()]; }
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  /// Builds a path by interning every consecutive pair of `labels` as an
+  /// edge. Each label must already be interned.
+  Path make_path(const std::vector<std::string>& labels);
+
+  /// Human-readable "u -> v" form of an edge, for diagnostics.
+  [[nodiscard]] std::string edge_label(EdgeId id) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::unordered_map<std::string, NodeId> node_by_label_;
+  // Edge lookup keyed by (src, dst) packed into 64 bits.
+  std::unordered_map<std::uint64_t, EdgeId> edge_by_pair_;
+
+  static std::uint64_t pair_key(NodeId a, NodeId b) {
+    return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
+  }
+};
+
+}  // namespace netd::graph

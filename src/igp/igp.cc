@@ -1,0 +1,110 @@
+#include "igp/igp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <tuple>
+
+namespace netd::igp {
+
+using topo::AsId;
+using topo::LinkId;
+using topo::RouterId;
+
+IgpState::IgpState(const topo::Topology& topo) : topo_(topo) {
+  local_index_.resize(topo_.num_routers());
+  for (const auto& as : topo_.ases()) {
+    for (std::size_t i = 0; i < as.routers.size(); ++i) {
+      local_index_[as.routers[i].value()] = i;
+    }
+  }
+  per_as_.resize(topo_.num_ases());
+  recompute_all();
+}
+
+void IgpState::recompute_all() {
+  for (const auto& as : topo_.ases()) recompute_as(as.id);
+}
+
+void IgpState::recompute_as(AsId as_id) {
+  const auto& as = topo_.as_of(as_id);
+  const std::size_t n = as.routers.size();
+  PerAs& state = per_as_[as_id.value()];
+  state.dist.assign(n, std::vector<int>(n, kUnreachable));
+  state.first_link.assign(n, std::vector<LinkId>(n, LinkId{}));
+
+  // Dijkstra from every router; ties broken on (distance, router id) so the
+  // forwarding state is deterministic across runs.
+  for (std::size_t s = 0; s < n; ++s) {
+    const RouterId src = as.routers[s];
+    if (!topo_.router(src).up) continue;
+    auto& dist = state.dist[s];
+    auto& first = state.first_link[s];
+    dist[s] = 0;
+    using Item = std::tuple<int, std::uint32_t>;  // (distance, router id)
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    pq.push({0, src.value()});
+    std::vector<bool> done(n, false);
+    while (!pq.empty()) {
+      const auto [d, rv] = pq.top();
+      pq.pop();
+      const RouterId r{rv};
+      const std::size_t li = local(r);
+      if (done[li]) continue;
+      done[li] = true;
+      for (LinkId l : topo_.links_of(r)) {
+        const auto& link = topo_.link(l);
+        if (link.interdomain || !topo_.link_usable(l)) continue;
+        const RouterId nb = topo_.other_end(l, r);
+        const std::size_t ni = local(nb);
+        const int nd = d + link.igp_weight;
+        if (nd < dist[ni]) {
+          dist[ni] = nd;
+          // First hop: inherit from r unless r is the source, in which
+          // case the first hop is this link itself.
+          first[ni] = (r == src) ? l : first[li];
+          pq.push({nd, nb.value()});
+        }
+      }
+    }
+  }
+}
+
+std::optional<LinkId> IgpState::next_hop(RouterId from, RouterId to) const {
+  assert(topo_.router(from).as == topo_.router(to).as);
+  assert(from != to);
+  const auto& state = per_as_[topo_.router(from).as.value()];
+  const LinkId l = state.first_link[local(from)][local(to)];
+  if (!l.valid()) return std::nullopt;
+  return l;
+}
+
+std::vector<LinkId> IgpState::equal_cost_next_hops(RouterId from,
+                                                   RouterId to) const {
+  assert(topo_.router(from).as == topo_.router(to).as);
+  assert(from != to);
+  std::vector<LinkId> out;
+  const int total = distance(from, to);
+  if (total == kUnreachable) return out;
+  // A first hop over link l is on *a* shortest path iff
+  // weight(l) + dist(neighbor, to) == dist(from, to).
+  for (LinkId l : topo_.links_of(from)) {
+    const auto& link = topo_.link(l);
+    if (link.interdomain || !topo_.link_usable(l)) continue;
+    const RouterId nb = topo_.other_end(l, from);
+    const int rest = distance(nb, to);
+    if (rest != kUnreachable && link.igp_weight + rest == total) {
+      out.push_back(l);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int IgpState::distance(RouterId from, RouterId to) const {
+  assert(topo_.router(from).as == topo_.router(to).as);
+  const auto& state = per_as_[topo_.router(from).as.value()];
+  return state.dist[local(from)][local(to)];
+}
+
+}  // namespace netd::igp

@@ -1,0 +1,62 @@
+// Link-state intradomain routing (the IS-IS of the paper's C-BGP setup).
+//
+// Each AS runs shortest-path-first over its usable intradomain links.
+// The state answers "next link from router u toward router v" for routers
+// of the same AS, and exposes IGP distances used by the BGP decision
+// process (hot-potato tie-break). Failure injection calls recompute_as()
+// after toggling link/router state.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace netd::igp {
+
+class IgpState {
+ public:
+  static constexpr int kUnreachable = std::numeric_limits<int>::max();
+
+  /// `topo` must outlive this object.
+  explicit IgpState(const topo::Topology& topo);
+
+  void recompute_all();
+  void recompute_as(topo::AsId as);
+
+  /// First link on the shortest path from `from` to `to` (same AS,
+  /// from != to); nullopt when `to` is IGP-unreachable.
+  [[nodiscard]] std::optional<topo::LinkId> next_hop(topo::RouterId from,
+                                                     topo::RouterId to) const;
+
+  /// All equal-cost first links from `from` toward `to` (ECMP), in
+  /// ascending link-id order; empty when unreachable. next_hop() is
+  /// always an element of this set.
+  [[nodiscard]] std::vector<topo::LinkId> equal_cost_next_hops(
+      topo::RouterId from, topo::RouterId to) const;
+
+  /// IGP distance, kUnreachable if disconnected. distance(r, r) == 0.
+  [[nodiscard]] int distance(topo::RouterId from, topo::RouterId to) const;
+
+  [[nodiscard]] bool reachable(topo::RouterId from, topo::RouterId to) const {
+    return distance(from, to) != kUnreachable;
+  }
+
+ private:
+  struct PerAs {
+    // Matrices indexed by [src local index][dst local index].
+    std::vector<std::vector<int>> dist;
+    std::vector<std::vector<topo::LinkId>> first_link;
+  };
+
+  const topo::Topology& topo_;
+  std::vector<PerAs> per_as_;
+  std::vector<std::size_t> local_index_;  // router id -> index within its AS
+
+  [[nodiscard]] std::size_t local(topo::RouterId r) const {
+    return local_index_[r.value()];
+  }
+};
+
+}  // namespace netd::igp

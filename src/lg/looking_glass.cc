@@ -1,0 +1,64 @@
+#include "lg/looking_glass.h"
+
+namespace netd::lg {
+
+using topo::AsId;
+using topo::PrefixId;
+using topo::RouterId;
+
+LgTable::LgTable(const sim::Network& net) {
+  const auto& topo = net.topology();
+  num_ases_ = topo.num_ases();
+  paths_.resize(num_ases_ * num_ases_);
+  for (const auto& as : topo.ases()) {
+    // The LG answers from the first live router of the AS; with converged
+    // iBGP, any router's AS-level view is representative.
+    RouterId vantage;
+    for (RouterId r : as.routers) {
+      if (topo.router(r).up) {
+        vantage = r;
+        break;
+      }
+    }
+    if (!vantage.valid()) continue;
+    for (std::uint32_t p = 0; p < num_ases_; ++p) {
+      auto& slot = paths_[as.id.value() * num_ases_ + p];
+      if (PrefixId{p} == topo.prefix_of(as.id)) {
+        slot = {as.id};  // own prefix
+        continue;
+      }
+      const auto route = net.bgp().best(vantage, PrefixId{p});
+      if (!route) continue;
+      slot.reserve(route->as_path.size() + 1);
+      slot.push_back(as.id);
+      slot.insert(slot.end(), route->as_path.begin(), route->as_path.end());
+    }
+  }
+}
+
+std::optional<std::vector<AsId>> LgTable::as_path(AsId as,
+                                                  PrefixId prefix) const {
+  const auto& slot = paths_[as.value() * num_ases_ + prefix.value()];
+  if (slot.empty()) return std::nullopt;
+  return slot;
+}
+
+LookingGlassService::LookingGlassService(const LgTable& table,
+                                         std::set<std::uint32_t> available,
+                                         AsId operator_as)
+    : table_(table),
+      available_(std::move(available)),
+      operator_as_(operator_as) {}
+
+bool LookingGlassService::available(AsId as) const {
+  if (operator_as_.valid() && as == operator_as_) return true;
+  return available_.count(as.value()) != 0;
+}
+
+std::optional<std::vector<AsId>> LookingGlassService::query(
+    AsId as, PrefixId prefix) const {
+  if (!available(as)) return std::nullopt;
+  return table_.as_path(as, prefix);
+}
+
+}  // namespace netd::lg

@@ -1,0 +1,56 @@
+// Looking Glass service (paper §3.4).
+//
+// A Looking Glass server in AS A answers "what is your AS path toward
+// prefix P". We materialize the answers for every (AS, prefix) pair from a
+// converged network into a table, then expose them subject to a
+// per-AS availability set (Fig. 12 varies the fraction of ASes that run an
+// LG). The operator's own AS answers from its own BGP table and is
+// therefore always available (paper: "For mapping downstream UHs, AS-X can
+// use its own BGP information").
+#pragma once
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace netd::lg {
+
+/// Immutable snapshot of every AS's view: as_path[as][prefix] is the AS
+/// path from `as` to `prefix` (starting with `as`, ending at the origin),
+/// empty when the AS has no route.
+class LgTable {
+ public:
+  explicit LgTable(const sim::Network& net);
+
+  /// Full AS path from `as` toward `prefix`; nullopt when no route.
+  [[nodiscard]] std::optional<std::vector<topo::AsId>> as_path(
+      topo::AsId as, topo::PrefixId prefix) const;
+
+ private:
+  std::size_t num_ases_;
+  // Flattened [as * num_ases_ + prefix]; empty vector = no route.
+  std::vector<std::vector<topo::AsId>> paths_;
+};
+
+/// The queryable service: an LgTable filtered by which ASes actually run a
+/// Looking Glass. The operator AS always answers (its own BGP view).
+class LookingGlassService {
+ public:
+  LookingGlassService(const LgTable& table, std::set<std::uint32_t> available,
+                      topo::AsId operator_as);
+
+  [[nodiscard]] bool available(topo::AsId as) const;
+
+  /// AS path from `as` to `prefix` if that AS is queryable and has a route.
+  [[nodiscard]] std::optional<std::vector<topo::AsId>> query(
+      topo::AsId as, topo::PrefixId prefix) const;
+
+ private:
+  const LgTable& table_;
+  std::set<std::uint32_t> available_;
+  topo::AsId operator_as_;
+};
+
+}  // namespace netd::lg

@@ -1,0 +1,51 @@
+#include "probe/detector.h"
+
+#include <cassert>
+
+namespace netd::probe {
+
+UnreachabilityDetector::UnreachabilityDetector(std::size_t threshold)
+    : threshold_(threshold) {
+  assert(threshold_ >= 1);
+}
+
+std::vector<std::size_t> UnreachabilityDetector::observe(const Mesh& mesh) {
+  if (consecutive_failures_.empty()) {
+    consecutive_failures_.assign(mesh.paths.size(), 0);
+    alarmed_.assign(mesh.paths.size(), false);
+  }
+  assert(consecutive_failures_.size() == mesh.paths.size());
+
+  std::vector<std::size_t> fired;
+  for (std::size_t i = 0; i < mesh.paths.size(); ++i) {
+    if (mesh.paths[i].ok) {
+      consecutive_failures_[i] = 0;
+      alarmed_[i] = false;
+      continue;
+    }
+    ++consecutive_failures_[i];
+    if (!alarmed_[i] && consecutive_failures_[i] >= threshold_) {
+      alarmed_[i] = true;
+      fired.push_back(i);
+    }
+  }
+  return fired;
+}
+
+bool UnreachabilityDetector::alarmed(std::size_t pair_index) const {
+  return pair_index < alarmed_.size() && alarmed_[pair_index];
+}
+
+bool UnreachabilityDetector::any_alarm() const {
+  for (bool a : alarmed_) {
+    if (a) return true;
+  }
+  return false;
+}
+
+void UnreachabilityDetector::reset() {
+  consecutive_failures_.clear();
+  alarmed_.clear();
+}
+
+}  // namespace netd::probe

@@ -1,0 +1,45 @@
+// Robust unreachability detection (paper §6).
+//
+// Transient events — link flaps, single lost probes — must not invoke the
+// troubleshooter. The detector consumes successive full-mesh snapshots and
+// raises an alarm for a sensor pair only when the pair has failed in
+// `threshold` consecutive measurements; a single working measurement
+// clears the pair again.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "probe/prober.h"
+
+namespace netd::probe {
+
+class UnreachabilityDetector {
+ public:
+  /// `threshold` >= 1: number of consecutive failed measurements before a
+  /// pair's alarm fires (the paper suggests "several successive
+  /// measurements"; 1 reproduces the naive single-shot behavior).
+  explicit UnreachabilityDetector(std::size_t threshold = 3);
+
+  /// Feeds one full-mesh snapshot (all snapshots must cover the same
+  /// pairs in the same order). Returns the indices (into mesh.paths) of
+  /// pairs whose alarm fired on *this* snapshot.
+  std::vector<std::size_t> observe(const Mesh& mesh);
+
+  /// Whether the pair's alarm is currently raised.
+  [[nodiscard]] bool alarmed(std::size_t pair_index) const;
+
+  /// Any pair currently alarmed — the "invoke the troubleshooter" signal.
+  [[nodiscard]] bool any_alarm() const;
+
+  [[nodiscard]] std::size_t threshold() const { return threshold_; }
+
+  void reset();
+
+ private:
+  std::size_t threshold_;
+  std::vector<std::size_t> consecutive_failures_;
+  std::vector<bool> alarmed_;
+};
+
+}  // namespace netd::probe

@@ -1,0 +1,183 @@
+#include "probe/prober.h"
+
+#include <cassert>
+
+namespace netd::probe {
+
+using topo::LinkId;
+using topo::RouterId;
+
+std::vector<LinkId> Mesh::probed_links() const {
+  std::set<std::uint32_t> seen;
+  for (const auto& p : paths) {
+    if (!p.ok) continue;
+    for (LinkId l : p.links) seen.insert(l.value());
+  }
+  std::vector<LinkId> out;
+  out.reserve(seen.size());
+  for (std::uint32_t v : seen) out.push_back(LinkId{v});
+  return out;
+}
+
+std::set<int> Mesh::covered_ases(const topo::Topology& topo) const {
+  std::set<int> out;
+  for (const auto& p : paths) {
+    for (const auto& h : p.hops) {
+      if (h.router.valid()) {
+        out.insert(static_cast<int>(topo.as_of_router(h.router).value()));
+      } else if (h.asn >= 0) {
+        out.insert(h.asn);
+      }
+    }
+  }
+  return out;
+}
+
+bool is_load_balanced_change(const ParisPaths& before, const TracePath& after) {
+  if (!after.ok) return false;
+  for (const auto& alt : before.alternatives) {
+    if (!alt.ok || alt.hops.size() != after.hops.size()) continue;
+    bool same = true;
+    for (std::size_t i = 0; i < alt.hops.size() && same; ++i) {
+      same = alt.hops[i].label == after.hops[i].label;
+    }
+    if (same) return true;
+  }
+  return false;
+}
+
+Prober::Prober(const sim::Network& net, std::vector<Sensor> sensors,
+               std::set<std::uint32_t> blocked_ases)
+    : net_(net), sensors_(std::move(sensors)), blocked_(std::move(blocked_ases)) {}
+
+namespace {
+
+/// splitmix64, for deterministic per-(seed, pair, hop, attempt) drops.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+TracePath Prober::render(std::size_t i, std::size_t j,
+                         const sim::TraceResult& tr,
+                         std::size_t attempt) const {
+  const auto& topo = net_.topology();
+  const Sensor& si = sensors_[i];
+  const Sensor& sj = sensors_[j];
+  TracePath tp;
+  tp.src = i;
+  tp.dst = j;
+
+  // Source sensor hop.
+  tp.hops.push_back(Hop{si.name, graph::NodeKind::kSensor,
+                        static_cast<int>(si.as.value()), si.attach});
+
+  std::size_t uh_count = 0;
+  for (RouterId r : tr.hops) {
+    const auto& router = topo.router(r);
+    Hop h;
+    h.router = r;
+    // ICMP rate limiting: the hop fails to answer this attempt.
+    const bool rate_limited =
+        icmp_drop_prob_ > 0.0 &&
+        static_cast<double>(mix(icmp_seed_ ^ (r.value() * 0x10001ull) ^
+                                ((i * 251 + j) << 20) ^ (attempt << 44))) /
+                static_cast<double>(~0ull) <
+            icmp_drop_prob_;
+    if (blocked_.count(router.as.value()) != 0 || rate_limited) {
+      // Anonymized: a star unique to this path occurrence.
+      h.label = "uh:p" + std::to_string(i) + "-" + std::to_string(j) + ":h" +
+                std::to_string(uh_count++);
+      h.kind = graph::NodeKind::kUnidentified;
+      h.asn = -1;
+    } else {
+      h.label = router.name;
+      h.kind = graph::NodeKind::kRouter;
+      h.asn = static_cast<int>(router.as.value());
+    }
+    tp.hops.push_back(std::move(h));
+  }
+  tp.links = tr.links;
+  tp.ok = tr.ok;
+  if (tr.ok) {
+    // Destination sensor hop (the probe reached the end host).
+    tp.hops.push_back(Hop{sj.name, graph::NodeKind::kSensor,
+                          static_cast<int>(sj.as.value()), sj.attach});
+  }
+  return tp;
+}
+
+Mesh Prober::measure() const {
+  Mesh mesh;
+  for (std::size_t i = 0; i < sensors_.size(); ++i) {
+    for (std::size_t j = 0; j < sensors_.size(); ++j) {
+      if (i == j) continue;
+      mesh.paths.push_back(render(
+          i, j, net_.trace_flow(sensors_[i].attach, sensors_[j].attach,
+                                flow_)));
+    }
+  }
+  return mesh;
+}
+
+Mesh Prober::measure_with_retries(std::size_t attempts) const {
+  assert(attempts >= 1);
+  Mesh merged = measure();  // attempt 0
+  for (std::size_t a = 1; a < attempts; ++a) {
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < sensors_.size(); ++i) {
+      for (std::size_t j = 0; j < sensors_.size(); ++j) {
+        if (i == j) continue;
+        TracePath& acc = merged.paths[k];
+        // Same converged state: only the set of answering hops differs.
+        const TracePath retry = render(
+            i, j, net_.trace_flow(sensors_[i].attach, sensors_[j].attach,
+                                  flow_),
+            a);
+        assert(retry.hops.size() == acc.hops.size());
+        for (std::size_t p = 0; p < acc.hops.size(); ++p) {
+          if (acc.hops[p].kind == graph::NodeKind::kUnidentified &&
+              retry.hops[p].kind != graph::NodeKind::kUnidentified) {
+            acc.hops[p] = retry.hops[p];
+          }
+        }
+        ++k;
+      }
+    }
+  }
+  // Star tokens must stay unique per (pair, position): renumber leftovers.
+  for (auto& path : merged.paths) {
+    std::size_t uh_count = 0;
+    for (auto& h : path.hops) {
+      if (h.kind == graph::NodeKind::kUnidentified) {
+        h.label = "uh:p" + std::to_string(path.src) + "-" +
+                  std::to_string(path.dst) + ":h" + std::to_string(uh_count++);
+      }
+    }
+  }
+  return merged;
+}
+
+ParisMesh Prober::measure_paris(std::size_t max_paths) const {
+  ParisMesh mesh;
+  for (std::size_t i = 0; i < sensors_.size(); ++i) {
+    for (std::size_t j = 0; j < sensors_.size(); ++j) {
+      if (i == j) continue;
+      ParisPaths pp;
+      pp.src = i;
+      pp.dst = j;
+      for (const auto& tr : net_.enumerate_paths(
+               sensors_[i].attach, sensors_[j].attach, max_paths)) {
+        pp.alternatives.push_back(render(i, j, tr));
+      }
+      mesh.pairs.push_back(std::move(pp));
+    }
+  }
+  return mesh;
+}
+
+}  // namespace netd::probe

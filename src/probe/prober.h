@@ -1,0 +1,124 @@
+// Full-mesh traceroute measurement with traceroute-blocking ASes.
+//
+// The prober runs the simulator's traceroute between every ordered sensor
+// pair and renders each hop the way the troubleshooter would see it:
+// identified routers show their address-derived label and AS; routers in
+// blocked ASes become unidentified hops (UHs) with a token unique to
+// (path, position) — stars in a real traceroute cannot be correlated
+// across paths, and the paper's §3.4 all-or-nothing blocking model is
+// reproduced exactly.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "graph/graph.h"
+#include "probe/sensors.h"
+#include "sim/network.h"
+
+namespace netd::probe {
+
+/// One rendered traceroute hop.
+struct Hop {
+  std::string label;                      ///< router name, sensor name, or UH token
+  graph::NodeKind kind = graph::NodeKind::kRouter;
+  int asn = -1;                           ///< known AS (identified hops only)
+  topo::RouterId router;                  ///< ground truth (invalid for sensor hops)
+};
+
+/// One measured path between sensors (ordered pair).
+struct TracePath {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  bool ok = false;
+  std::vector<Hop> hops;               ///< sensor, hops..., sensor (complete iff ok)
+  std::vector<topo::LinkId> links;     ///< ground-truth topology links traversed
+};
+
+/// A full-mesh snapshot at one instant (T− or T+).
+struct Mesh {
+  std::vector<TracePath> paths;  ///< all ordered pairs, row-major (i, j), i != j
+
+  /// Ground-truth topology links on working paths — the pool failures are
+  /// sampled from (the paper breaks links "in E").
+  [[nodiscard]] std::vector<topo::LinkId> probed_links() const;
+  /// Ground-truth ASes covered by the probes (sensor + transit ASes).
+  [[nodiscard]] std::set<int> covered_ases(const topo::Topology& topo) const;
+};
+
+/// The Paris-traceroute view of one sensor pair: every ECMP alternative
+/// the pair's traffic can take (paper footnote 2 — load-balanced path
+/// changes must not be mistaken for reroutes).
+struct ParisPaths {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  std::vector<TracePath> alternatives;
+};
+
+/// Full-mesh Paris snapshot, index-aligned with Mesh::paths.
+struct ParisMesh {
+  std::vector<ParisPaths> pairs;
+};
+
+/// True when the single observed T+ path is one of the pair's T− ECMP
+/// alternatives — i.e. the "change" is load balancing, not a reroute.
+[[nodiscard]] bool is_load_balanced_change(const ParisPaths& before,
+                                           const TracePath& after);
+
+class Prober {
+ public:
+  /// `net` must outlive the prober. `blocked_ases` hide all their routers.
+  Prober(const sim::Network& net, std::vector<Sensor> sensors,
+         std::set<std::uint32_t> blocked_ases = {});
+
+  /// Measures the full mesh at the network's current converged state.
+  /// UH tokens are keyed by (pair, position) only — stars observed at T−
+  /// and T+ are indistinguishable in reality, so the renderings align.
+  [[nodiscard]] Mesh measure() const;
+
+  /// Paris-traceroute measurement: enumerates every ECMP path per pair
+  /// (up to `max_paths` each), rendered with the same blocking rules.
+  [[nodiscard]] ParisMesh measure_paris(std::size_t max_paths = 32) const;
+
+  [[nodiscard]] const std::vector<Sensor>& sensors() const { return sensors_; }
+
+  /// Flow identifier used for single-path measurements. Flow 0 (default)
+  /// models an ECMP-unaware deterministic network; distinct non-zero flows
+  /// hash onto (possibly) different equal-cost paths — the classic
+  /// traceroute instability Paris traceroute fixes.
+  void set_flow(std::uint64_t flow) { flow_ = flow; }
+  [[nodiscard]] std::uint64_t flow() const { return flow_; }
+
+  /// ICMP rate limiting (§3.4): each identified hop independently fails
+  /// to answer with probability `prob` per traceroute attempt, appearing
+  /// as a star. Deterministic per (seed, pair, hop, attempt).
+  void set_icmp_drop(double prob, std::uint64_t seed = 1) {
+    icmp_drop_prob_ = prob;
+    icmp_seed_ = seed;
+  }
+
+  /// Measures the mesh `attempts` times and merges: a hop is identified
+  /// if any attempt saw it — the paper's "repeating the traceroute"
+  /// remedy for rate-limited hops. attempts == 1 equals measure().
+  [[nodiscard]] Mesh measure_with_retries(std::size_t attempts) const;
+  [[nodiscard]] const std::set<std::uint32_t>& blocked() const {
+    return blocked_;
+  }
+
+ private:
+  /// Renders one simulator trace into the troubleshooter's view
+  /// (sensor endpoints added, blocked-AS hops anonymized, rate-limited
+  /// hops starred). `attempt` seeds the per-attempt ICMP drops.
+  [[nodiscard]] TracePath render(std::size_t i, std::size_t j,
+                                 const sim::TraceResult& tr,
+                                 std::size_t attempt = 0) const;
+
+  const sim::Network& net_;
+  std::vector<Sensor> sensors_;
+  std::set<std::uint32_t> blocked_;
+  std::uint64_t flow_ = 0;
+  double icmp_drop_prob_ = 0.0;
+  std::uint64_t icmp_seed_ = 1;
+};
+
+}  // namespace netd::probe

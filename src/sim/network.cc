@@ -1,0 +1,202 @@
+#include "sim/network.h"
+
+#include <cassert>
+
+namespace netd::sim {
+
+using topo::AsId;
+using topo::LinkId;
+using topo::PrefixId;
+using topo::RouterId;
+
+namespace {
+constexpr std::size_t kMaxHops = 64;
+}
+
+Network::Network(topo::Topology topology)
+    : topo_(std::move(topology)), igp_(topo_), bgp_(topo_, igp_) {}
+
+void Network::converge() { bgp_.converge_initial(); }
+
+namespace {
+
+/// splitmix64-style mixer for per-(flow, router) ECMP hashing.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::vector<LinkId> Network::next_links(RouterId r, RouterId dst) const {
+  const AsId dst_as = topo_.as_of_router(dst);
+  if (topo_.as_of_router(r) == dst_as) {
+    return igp_.equal_cost_next_hops(r, dst);
+  }
+  const auto route = bgp_.best(r, topo_.prefix_of(dst_as));
+  if (!route) return {};  // no route: blackhole
+  if (route->egress_router == r) {
+    if (!topo_.link_usable(route->egress_link)) return {};
+    return {route->egress_link};
+  }
+  return igp_.equal_cost_next_hops(r, route->egress_router);
+}
+
+TraceResult Network::trace(RouterId src, RouterId dst) const {
+  return trace_flow(src, dst, 0);
+}
+
+TraceResult Network::trace_flow(RouterId src, RouterId dst,
+                                std::uint64_t flow) const {
+  TraceResult out;
+  out.hops.push_back(src);
+  if (!topo_.router(src).up || !topo_.router(dst).up) return out;
+
+  RouterId r = src;
+  for (std::size_t step = 0; step < kMaxHops; ++step) {
+    if (r == dst) {
+      out.ok = true;
+      return out;
+    }
+    const std::vector<LinkId> candidates = next_links(r, dst);
+    if (candidates.empty()) return out;
+    // Flow 0 models an ECMP-unaware deterministic router (always the
+    // first equal-cost hop); other flows hash per router.
+    const std::size_t idx =
+        flow == 0 ? 0
+                  : static_cast<std::size_t>(mix(flow ^ (r.value() * 0x51ull)) %
+                                             candidates.size());
+    const LinkId next = candidates[idx];
+    if (!topo_.link_usable(next)) return out;
+    const RouterId nb = topo_.other_end(next, r);
+    if (!topo_.router(nb).up) return out;
+    out.links.push_back(next);
+    out.hops.push_back(nb);
+    r = nb;
+  }
+  return out;  // forwarding loop: dropped after TTL exhaustion
+}
+
+std::vector<TraceResult> Network::enumerate_paths(RouterId src, RouterId dst,
+                                                  std::size_t max_paths) const {
+  std::vector<TraceResult> out;
+  if (!topo_.router(src).up || !topo_.router(dst).up) {
+    TraceResult t;
+    t.hops.push_back(src);
+    out.push_back(std::move(t));
+    return out;
+  }
+  // DFS over equal-cost branches; each prefix is extended until the
+  // destination, a blackhole, or the hop cap.
+  struct Frame {
+    TraceResult partial;
+  };
+  std::vector<Frame> stack;
+  {
+    Frame f;
+    f.partial.hops.push_back(src);
+    stack.push_back(std::move(f));
+  }
+  while (!stack.empty() && out.size() < max_paths) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    const RouterId r = f.partial.hops.back();
+    if (r == dst) {
+      f.partial.ok = true;
+      out.push_back(std::move(f.partial));
+      continue;
+    }
+    if (f.partial.hops.size() > kMaxHops) {
+      out.push_back(std::move(f.partial));  // loop-dropped branch
+      continue;
+    }
+    const std::vector<LinkId> candidates = next_links(r, dst);
+    bool branched = false;
+    for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+      if (!topo_.link_usable(*it)) continue;
+      const RouterId nb = topo_.other_end(*it, r);
+      if (!topo_.router(nb).up) continue;
+      Frame child;
+      child.partial = f.partial;
+      child.partial.links.push_back(*it);
+      child.partial.hops.push_back(nb);
+      stack.push_back(std::move(child));
+      branched = true;
+    }
+    if (!branched) out.push_back(std::move(f.partial));  // dead end
+  }
+  return out;
+}
+
+void Network::fail_link(LinkId l) {
+  topo_.set_link_up(l, false);
+  const auto& link = topo_.link(l);
+  if (!link.interdomain) {
+    igp_.recompute_as(topo_.as_of_router(link.a));
+    record_igp_down(l);
+  }
+  bgp_.on_link_state_change(l);
+}
+
+void Network::fail_router(RouterId r) {
+  topo_.set_router_up(r, false);
+  const AsId as = topo_.as_of_router(r);
+  igp_.recompute_as(as);
+  // The operator's IGP sees every intradomain link of the dead router go
+  // down if the router is inside AS-X.
+  for (LinkId l : topo_.links_of(r)) {
+    if (!topo_.link(l).interdomain) record_igp_down(l);
+  }
+  bgp_.on_router_state_change(r);
+}
+
+void Network::misconfigure_export(RouterId r, LinkId l, PrefixId p) {
+  bgp_.add_export_filter(r, l, p);
+}
+
+void Network::set_operator_as(AsId as) {
+  operator_as_ = as;
+  bgp_.set_tapped_as(as);
+}
+
+void Network::start_recording() {
+  recording_ = true;
+  igp_events_.clear();
+  bgp_.clear_messages();
+}
+
+void Network::record_igp_down(LinkId l) {
+  if (!recording_ || !operator_as_.valid()) return;
+  if (topo_.as_of_router(topo_.link(l).a) != operator_as_) return;
+  igp_events_.push_back(l);
+}
+
+Network::Snapshot Network::snapshot() const {
+  Snapshot snap;
+  snap.bgp = bgp_.snapshot();
+  snap.link_up.reserve(topo_.num_links());
+  for (const auto& l : topo_.links()) snap.link_up.push_back(l.up);
+  snap.router_up.reserve(topo_.num_routers());
+  for (const auto& r : topo_.routers()) snap.router_up.push_back(r.up);
+  return snap;
+}
+
+void Network::restore(const Snapshot& snap) {
+  assert(snap.link_up.size() == topo_.num_links());
+  assert(snap.router_up.size() == topo_.num_routers());
+  for (std::size_t i = 0; i < snap.link_up.size(); ++i) {
+    topo_.set_link_up(LinkId{static_cast<std::uint32_t>(i)}, snap.link_up[i]);
+  }
+  for (std::size_t i = 0; i < snap.router_up.size(); ++i) {
+    topo_.set_router_up(RouterId{static_cast<std::uint32_t>(i)},
+                        snap.router_up[i]);
+  }
+  igp_.recompute_all();
+  bgp_.restore(snap.bgp);
+  recording_ = false;
+  igp_events_.clear();
+}
+
+}  // namespace netd::sim

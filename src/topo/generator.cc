@@ -1,0 +1,212 @@
+#include "topo/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <vector>
+
+#include "topo/templates.h"
+#include "util/rng.h"
+
+namespace netd::topo {
+namespace {
+
+/// AS-level plan entry used before materialization.
+struct PlannedAs {
+  AsClass cls = AsClass::kStub;
+  std::vector<std::size_t> providers;  // plan indices
+};
+
+}  // namespace
+
+Topology generate(const GeneratorParams& params) {
+  assert(params.target_ases >= 3);
+  util::Rng rng(params.seed);
+
+  // ---- Plan the AS-level tree -------------------------------------------
+  std::vector<PlannedAs> plan;
+  plan.push_back({AsClass::kCore, {}});  // 0: Abilene analogue
+  plan.push_back({AsClass::kCore, {}});  // 1: GEANT analogue
+  plan.push_back({AsClass::kCore, {}});  // 2: WIDE analogue
+
+  std::vector<std::size_t> cores = {0, 1, 2};
+  std::vector<std::size_t> tier2s;
+  for (std::size_t i = 0; i < params.pool_tier2; ++i) {
+    PlannedAs as{AsClass::kTier2, {}};
+    const std::size_t p1 = rng.pick(cores);
+    as.providers.push_back(p1);
+    if (rng.bernoulli(params.tier2_multihomed_frac)) {
+      std::size_t p2 = p1;
+      while (p2 == p1) p2 = rng.pick(cores);
+      as.providers.push_back(p2);
+    }
+    tier2s.push_back(plan.size());
+    plan.push_back(std::move(as));
+  }
+  for (std::size_t i = 0; i < params.pool_stubs; ++i) {
+    PlannedAs as{AsClass::kStub, {}};
+    const bool on_core = tier2s.empty() || rng.bernoulli(params.stub_on_core_frac);
+    const std::size_t p1 = on_core ? rng.pick(cores) : rng.pick(tier2s);
+    as.providers.push_back(p1);
+    if (rng.bernoulli(params.stub_multihomed_frac)) {
+      // Second provider drawn from all transit ASes, distinct from p1.
+      std::vector<std::size_t> pool = cores;
+      pool.insert(pool.end(), tier2s.begin(), tier2s.end());
+      std::size_t p2 = p1;
+      while (p2 == p1) p2 = rng.pick(pool);
+      as.providers.push_back(p2);
+    }
+    plan.push_back(std::move(as));
+  }
+
+  // ---- BFS scale-down from the cores (paper §4) -------------------------
+  // Explore provider->customer edges breadth-first; keep the first
+  // `target_ases` ASes discovered.
+  std::vector<std::vector<std::size_t>> customers(plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    for (std::size_t p : plan[i].providers) customers[p].push_back(i);
+  }
+  std::vector<bool> selected(plan.size(), false);
+  std::vector<std::size_t> order;
+  std::deque<std::size_t> frontier = {0, 1, 2};
+  selected[0] = selected[1] = selected[2] = true;
+  while (!frontier.empty() && order.size() < params.target_ases) {
+    const std::size_t cur = frontier.front();
+    frontier.pop_front();
+    order.push_back(cur);
+    for (std::size_t c : customers[cur]) {
+      if (!selected[c] && order.size() + frontier.size() < params.target_ases) {
+        selected[c] = true;
+        frontier.push_back(c);
+      }
+    }
+  }
+  while (!frontier.empty() && order.size() < params.target_ases) {
+    order.push_back(frontier.front());
+    frontier.pop_front();
+  }
+  // De-select anything not in `order` (frontier overshoot guard).
+  std::fill(selected.begin(), selected.end(), false);
+  for (std::size_t i : order) selected[i] = true;
+
+  // ---- Materialize routers and links ------------------------------------
+  Topology topo;
+  std::vector<AsId> as_of_plan(plan.size(), AsId{});
+  std::vector<std::vector<RouterId>> routers_of_plan(plan.size());
+
+  const IntraTemplate* core_tpls[3] = {&abilene_template(), &geant_template(),
+                                       &wide_template()};
+  for (std::size_t idx : order) {
+    const PlannedAs& p = plan[idx];
+    const AsId as = topo.add_as(p.cls);
+    as_of_plan[idx] = as;
+    switch (p.cls) {
+      case AsClass::kCore:
+        routers_of_plan[idx] = instantiate(topo, as, *core_tpls[idx]);
+        break;
+      case AsClass::kTier2:
+        routers_of_plan[idx] =
+            instantiate(topo, as, hub_and_spoke(params.tier2_spokes));
+        break;
+      case AsClass::kStub:
+        routers_of_plan[idx] = {topo.add_router(as)};
+        break;
+    }
+  }
+
+  // Core full mesh: the interconnection points of Abilene/GEANT/WIDE are
+  // fixed; we model them as `core_peer_links` peer links between randomly
+  // chosen border routers of each pair.
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = i + 1; j < 3; ++j) {
+      for (std::size_t k = 0; k < params.core_peer_links; ++k) {
+        const RouterId a = rng.pick(routers_of_plan[i]);
+        const RouterId b = rng.pick(routers_of_plan[j]);
+        topo.add_inter_link(a, b, Relationship::kPeer);
+      }
+    }
+  }
+
+  // Optional tier-2 <-> tier-2 peering (settlement-free regional fabric).
+  if (params.tier2_peering_frac > 0.0) {
+    std::vector<std::size_t> t2_selected;
+    for (std::size_t idx : order) {
+      if (plan[idx].cls == AsClass::kTier2) t2_selected.push_back(idx);
+    }
+    for (std::size_t i = 0; i < t2_selected.size(); ++i) {
+      for (std::size_t j = i + 1; j < t2_selected.size(); ++j) {
+        if (!rng.bernoulli(params.tier2_peering_frac)) continue;
+        const RouterId a = rng.pick(routers_of_plan[t2_selected[i]]);
+        const RouterId b = rng.pick(routers_of_plan[t2_selected[j]]);
+        topo.add_inter_link(a, b, Relationship::kPeer);
+      }
+    }
+  }
+
+  // Customer-provider links. The customer-side border router is random for
+  // tier-2s (any of the 12) and the single router for stubs; the
+  // provider-side router is random within the provider AS.
+  for (std::size_t idx : order) {
+    const PlannedAs& p = plan[idx];
+    for (std::size_t prov : p.providers) {
+      if (!selected[prov]) continue;  // multihoming link lost in scale-down
+      const RouterId cust_r = rng.pick(routers_of_plan[idx]);
+      const RouterId prov_r = rng.pick(routers_of_plan[prov]);
+      // From the customer router's viewpoint the neighbor is its provider.
+      topo.add_inter_link(cust_r, prov_r, Relationship::kProvider);
+    }
+  }
+  return topo;
+}
+
+Topology tiny_topology() {
+  // Mirrors the shape of the paper's Fig. 2 at small scale:
+  //   AS0, AS1: 3-router cores (triangle), peered.
+  //   AS2, AS3: 3-router tier-2s (chain), customers of a core each.
+  //   AS4..AS7: stubs; AS4,AS5 under AS2; AS6,AS7 under AS3; AS7 multihomed
+  //   to AS2 as well.
+  Topology t;
+  const AsId core0 = t.add_as(AsClass::kCore);
+  const AsId core1 = t.add_as(AsClass::kCore);
+  const AsId t2a = t.add_as(AsClass::kTier2);
+  const AsId t2b = t.add_as(AsClass::kTier2);
+  const AsId s4 = t.add_as(AsClass::kStub);
+  const AsId s5 = t.add_as(AsClass::kStub);
+  const AsId s6 = t.add_as(AsClass::kStub);
+  const AsId s7 = t.add_as(AsClass::kStub);
+
+  auto triangle = [&](AsId as) {
+    RouterId a = t.add_router(as), b = t.add_router(as), c = t.add_router(as);
+    t.add_intra_link(a, b);
+    t.add_intra_link(b, c);
+    t.add_intra_link(a, c);
+    return std::vector<RouterId>{a, b, c};
+  };
+  auto chain = [&](AsId as) {
+    RouterId a = t.add_router(as), b = t.add_router(as), c = t.add_router(as);
+    t.add_intra_link(a, b);
+    t.add_intra_link(b, c);
+    return std::vector<RouterId>{a, b, c};
+  };
+
+  const auto c0 = triangle(core0);
+  const auto c1 = triangle(core1);
+  const auto a = chain(t2a);
+  const auto b = chain(t2b);
+  const RouterId r4 = t.add_router(s4);
+  const RouterId r5 = t.add_router(s5);
+  const RouterId r6 = t.add_router(s6);
+  const RouterId r7 = t.add_router(s7);
+
+  t.add_inter_link(c0[1], c1[1], Relationship::kPeer);
+  t.add_inter_link(a[0], c0[0], Relationship::kProvider);  // t2a -> core0
+  t.add_inter_link(b[0], c1[0], Relationship::kProvider);  // t2b -> core1
+  t.add_inter_link(r4, a[2], Relationship::kProvider);
+  t.add_inter_link(r5, a[1], Relationship::kProvider);
+  t.add_inter_link(r6, b[2], Relationship::kProvider);
+  t.add_inter_link(r7, b[1], Relationship::kProvider);
+  t.add_inter_link(r7, a[1], Relationship::kProvider);  // multihomed stub
+  return t;
+}
+
+}  // namespace netd::topo

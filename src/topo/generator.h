@@ -1,0 +1,46 @@
+// Generator for the paper's evaluation topology (§4 "Network topology").
+//
+// Reproduces the construction: three full-mesh core ASes (Abilene, GEANT,
+// WIDE router-level templates), a pool of tier-2 transit ASes (12-router
+// hub-and-spoke, 50% multihomed) and single-router stub ASes (25%
+// multihomed), scaled down by a breadth-first search from the cores that
+// keeps the first `target_ases` ASes — 165 by default, yielding the paper's
+// 3 core / 22 tier-2 / 140 stub split.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/topology.h"
+
+namespace netd::topo {
+
+struct GeneratorParams {
+  /// Pool sizes before BFS scale-down.
+  std::size_t pool_tier2 = 22;
+  std::size_t pool_stubs = 200;
+  /// BFS scale-down target (paper: 165).
+  std::size_t target_ases = 165;
+  /// Fraction of tier-2 / stub ASes with two providers (paper: 0.5 / 0.25).
+  double tier2_multihomed_frac = 0.5;
+  double stub_multihomed_frac = 0.25;
+  /// Fraction of stubs whose (first) provider is a core AS.
+  double stub_on_core_frac = 0.15;
+  /// Spokes per tier-2 AS (12-router hub-and-spoke => 11).
+  std::size_t tier2_spokes = 11;
+  /// Peer links added between each pair of core ASes.
+  std::size_t core_peer_links = 2;
+  /// Probability that a pair of tier-2 ASes peers directly (settlement-
+  /// free). The paper's topology has none; raising this adds the path
+  /// diversity of regional peering fabrics.
+  double tier2_peering_frac = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Builds the multi-AS topology. ASes 0..2 are always the three cores.
+[[nodiscard]] Topology generate(const GeneratorParams& params);
+
+/// A tiny fixed topology handy for unit tests and the examples: two core
+/// ASes, two tier-2s and four stubs with known ids.
+[[nodiscard]] Topology tiny_topology();
+
+}  // namespace netd::topo

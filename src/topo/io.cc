@@ -1,0 +1,148 @@
+#include "topo/io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace netd::topo {
+
+namespace {
+
+const char* class_name(AsClass c) { return to_string(c); }
+
+std::optional<AsClass> parse_class(const std::string& s) {
+  if (s == "core") return AsClass::kCore;
+  if (s == "tier2") return AsClass::kTier2;
+  if (s == "stub") return AsClass::kStub;
+  return std::nullopt;
+}
+
+std::optional<Relationship> parse_rel(const std::string& s) {
+  if (s == "customer") return Relationship::kCustomer;
+  if (s == "provider") return Relationship::kProvider;
+  if (s == "peer") return Relationship::kPeer;
+  return std::nullopt;
+}
+
+bool fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+}  // namespace
+
+void write_text(const Topology& topo, std::ostream& os) {
+  os << "netd-topology v1\n";
+  for (const auto& as : topo.ases()) {
+    os << "as " << class_name(as.cls) << " " << as.routers.size() << "\n";
+  }
+  for (const auto& link : topo.links()) {
+    if (link.interdomain) {
+      os << "inter " << link.a.value() << " " << link.b.value() << " "
+         << to_string(link.rel_b_from_a) << "\n";
+    } else {
+      os << "intra " << link.a.value() << " " << link.b.value() << " "
+         << link.igp_weight << "\n";
+    }
+  }
+}
+
+std::optional<Topology> read_text(std::istream& is, std::string* error) {
+  std::string line;
+  if (!std::getline(is, line) || line != "netd-topology v1") {
+    fail(error, "missing 'netd-topology v1' header");
+    return std::nullopt;
+  }
+  Topology topo;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string kind;
+    ss >> kind;
+    const std::string where = "line " + std::to_string(line_no);
+    if (kind == "as") {
+      std::string cls;
+      std::size_t count = 0;
+      if (!(ss >> cls >> count)) {
+        fail(error, where + ": malformed 'as'");
+        return std::nullopt;
+      }
+      const auto c = parse_class(cls);
+      if (!c) {
+        fail(error, where + ": unknown AS class '" + cls + "'");
+        return std::nullopt;
+      }
+      const AsId as = topo.add_as(*c);
+      for (std::size_t i = 0; i < count; ++i) topo.add_router(as);
+    } else if (kind == "intra" || kind == "inter") {
+      std::uint32_t a = 0, b = 0;
+      if (!(ss >> a >> b)) {
+        fail(error, where + ": malformed link");
+        return std::nullopt;
+      }
+      if (a >= topo.num_routers() || b >= topo.num_routers()) {
+        fail(error, where + ": router id out of range");
+        return std::nullopt;
+      }
+      if (kind == "intra") {
+        int weight = 1;
+        if (!(ss >> weight)) {
+          fail(error, where + ": missing IGP weight");
+          return std::nullopt;
+        }
+        if (topo.as_of_router(RouterId{a}) != topo.as_of_router(RouterId{b})) {
+          fail(error, where + ": intra link spans two ASes");
+          return std::nullopt;
+        }
+        topo.add_intra_link(RouterId{a}, RouterId{b}, weight);
+      } else {
+        std::string rel;
+        if (!(ss >> rel)) {
+          fail(error, where + ": missing relationship");
+          return std::nullopt;
+        }
+        const auto r = parse_rel(rel);
+        if (!r) {
+          fail(error, where + ": unknown relationship '" + rel + "'");
+          return std::nullopt;
+        }
+        if (topo.as_of_router(RouterId{a}) == topo.as_of_router(RouterId{b})) {
+          fail(error, where + ": inter link within one AS");
+          return std::nullopt;
+        }
+        topo.add_inter_link(RouterId{a}, RouterId{b}, *r);
+      }
+    } else {
+      fail(error, where + ": unknown record '" + kind + "'");
+      return std::nullopt;
+    }
+  }
+  return topo;
+}
+
+void write_dot(const Topology& topo, std::ostream& os) {
+  os << "graph netd {\n  overlap=false;\n  node [shape=circle, fontsize=9];\n";
+  for (const auto& as : topo.ases()) {
+    os << "  subgraph cluster_as" << as.id.value() << " {\n"
+       << "    label=\"" << as.name << " (" << class_name(as.cls) << ")\";\n";
+    for (RouterId r : as.routers) {
+      os << "    r" << r.value() << " [label=\"" << topo.router(r).name
+         << "\"];\n";
+    }
+    os << "  }\n";
+  }
+  for (const auto& link : topo.links()) {
+    os << "  r" << link.a.value() << " -- r" << link.b.value();
+    if (link.interdomain) {
+      const char* style =
+          link.rel_b_from_a == Relationship::kPeer ? "dashed" : "bold";
+      os << " [style=" << style << "]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace netd::topo

@@ -1,0 +1,33 @@
+// Topology serialization: a line-oriented text format (exact round-trip)
+// and Graphviz DOT export for visualization.
+//
+// Text format v1:
+//   netd-topology v1
+//   as <class>(core|tier2|stub) <router-count>     # one per AS, in id order
+//   intra <router-a> <router-b> <igp-weight>
+//   inter <router-a> <router-b> <rel-of-b-from-a>(customer|provider|peer)
+//
+// Router ids are the global ids the loader reproduces by re-adding ASes
+// and routers in order, so a save/load round-trip is bit-exact.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "topo/topology.h"
+
+namespace netd::topo {
+
+void write_text(const Topology& topo, std::ostream& os);
+
+/// Parses the text format; returns std::nullopt and fills `error` (when
+/// non-null) on malformed input.
+[[nodiscard]] std::optional<Topology> read_text(std::istream& is,
+                                                std::string* error = nullptr);
+
+/// Graphviz DOT (undirected), routers grouped into AS clusters,
+/// interdomain links styled by relationship.
+void write_dot(const Topology& topo, std::ostream& os);
+
+}  // namespace netd::topo

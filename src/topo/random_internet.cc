@@ -1,0 +1,148 @@
+#include "topo/random_internet.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace netd::topo {
+
+namespace {
+
+/// Random connected intradomain graph: a random spanning tree (each new
+/// router attaches to a uniformly chosen earlier one) plus extra random
+/// chords, all with random IGP weights.
+std::vector<RouterId> random_intra(Topology& topo, AsId as, std::size_t n,
+                                   double extra_frac, int max_weight,
+                                   util::Rng& rng) {
+  assert(n >= 1);
+  std::vector<RouterId> routers;
+  routers.reserve(n);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> used;
+  auto connect = [&](RouterId a, RouterId b) {
+    // NB: std::minmax(rvalue, rvalue) would return dangling references.
+    const std::pair<std::uint32_t, std::uint32_t> key = {
+        std::min(a.value(), b.value()), std::max(a.value(), b.value())};
+    if (!used.insert(key).second) return;  // parallel links would collide
+                                           // with the canonical link keys
+    topo.add_intra_link(a, b,
+                        static_cast<int>(rng.uniform(
+                            1, static_cast<std::uint32_t>(max_weight))));
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    routers.push_back(topo.add_router(as));
+    if (i > 0) {
+      connect(routers[rng.uniform(0, static_cast<std::uint32_t>(i - 1))],
+              routers.back());
+    }
+  }
+  const auto extras =
+      static_cast<std::size_t>(extra_frac * static_cast<double>(n));
+  for (std::size_t k = 0; k < extras && n >= 3; ++k) {
+    const RouterId a = rng.pick(routers);
+    const RouterId b = rng.pick(routers);
+    if (a != b) connect(a, b);
+  }
+  return routers;
+}
+
+}  // namespace
+
+Topology random_internet(const RandomInternetParams& params) {
+  assert(params.num_tier1 >= 1);
+  util::Rng rng(params.seed);
+  Topology topo;
+
+  // Tier-1 clique.
+  std::vector<AsId> tier1;
+  std::vector<std::vector<RouterId>> tier1_routers;
+  for (std::size_t i = 0; i < params.num_tier1; ++i) {
+    const AsId as = topo.add_as(AsClass::kCore);
+    tier1.push_back(as);
+    tier1_routers.push_back(random_intra(topo, as, params.tier1_routers,
+                                         params.intra_extra_edges,
+                                         params.max_igp_weight, rng));
+  }
+  for (std::size_t i = 0; i < tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1.size(); ++j) {
+      topo.add_inter_link(rng.pick(tier1_routers[i]),
+                          rng.pick(tier1_routers[j]), Relationship::kPeer);
+    }
+  }
+
+  // Tier-2: one or two tier-1 providers, lateral peering.
+  std::vector<AsId> tier2;
+  std::vector<std::vector<RouterId>> tier2_routers;
+  for (std::size_t i = 0; i < params.num_tier2; ++i) {
+    const AsId as = topo.add_as(AsClass::kTier2);
+    tier2.push_back(as);
+    tier2_routers.push_back(random_intra(topo, as, params.tier2_routers,
+                                         params.intra_extra_edges,
+                                         params.max_igp_weight, rng));
+    const std::size_t p1 = rng.uniform(
+        0, static_cast<std::uint32_t>(params.num_tier1 - 1));
+    topo.add_inter_link(rng.pick(tier2_routers[i]),
+                        rng.pick(tier1_routers[p1]), Relationship::kProvider);
+    if (params.num_tier1 >= 2 && rng.bernoulli(params.tier2_multihoming)) {
+      std::size_t p2 = p1;
+      while (p2 == p1) {
+        p2 = rng.uniform(0, static_cast<std::uint32_t>(params.num_tier1 - 1));
+      }
+      topo.add_inter_link(rng.pick(tier2_routers[i]),
+                          rng.pick(tier1_routers[p2]),
+                          Relationship::kProvider);
+    }
+  }
+  for (std::size_t i = 0; i < tier2.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier2.size(); ++j) {
+      if (rng.bernoulli(params.tier2_peering_frac)) {
+        topo.add_inter_link(rng.pick(tier2_routers[i]),
+                            rng.pick(tier2_routers[j]), Relationship::kPeer);
+      }
+    }
+  }
+
+  // Stubs: preferential attachment over transit ASes — an AS's chance of
+  // gaining the next customer grows with the customers it already has.
+  std::vector<std::vector<RouterId>*> transit;
+  std::vector<std::size_t> weight;  // 1 + current customer count
+  for (auto& r : tier2_routers) {
+    transit.push_back(&r);
+    weight.push_back(1);
+  }
+  for (auto& r : tier1_routers) {
+    transit.push_back(&r);
+    weight.push_back(1);
+  }
+  auto pick_provider = [&]() {
+    std::size_t total = 0;
+    for (std::size_t w : weight) total += w;
+    std::size_t roll = rng.uniform(1, static_cast<std::uint32_t>(total));
+    for (std::size_t i = 0; i < weight.size(); ++i) {
+      if (roll <= weight[i]) return i;
+      roll -= weight[i];
+    }
+    return weight.size() - 1;
+  };
+  for (std::size_t s = 0; s < params.num_stubs; ++s) {
+    const AsId as = topo.add_as(AsClass::kStub);
+    const RouterId r = topo.add_router(as);
+    const std::size_t p1 = pick_provider();
+    ++weight[p1];
+    topo.add_inter_link(r, rng.pick(*transit[p1]), Relationship::kProvider);
+    if (rng.bernoulli(params.stub_multihoming)) {
+      std::size_t p2 = p1;
+      while (p2 == p1 && transit.size() > 1) p2 = pick_provider();
+      if (p2 != p1) {
+        ++weight[p2];
+        topo.add_inter_link(r, rng.pick(*transit[p2]),
+                            Relationship::kProvider);
+      }
+    }
+  }
+  return topo;
+}
+
+}  // namespace netd::topo

@@ -1,0 +1,40 @@
+// A randomized Internet-like topology family, independent of the paper's
+// Abilene/GEANT/WIDE construction.
+//
+// Three tiers: a clique of tier-1 ASes (random connected router meshes),
+// tier-2 transit ASes multihomed into the tier-1s with optional lateral
+// peering, and stub ASes attached preferentially (heavier customer cones
+// attract more customers, giving the heavy-tailed degree distribution of
+// the real AS graph). Used by bench_topology_robustness to check that the
+// NetDiagnoser results do not depend on the specific evaluation topology.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/topology.h"
+
+namespace netd::topo {
+
+struct RandomInternetParams {
+  std::size_t num_tier1 = 5;
+  std::size_t num_tier2 = 25;
+  std::size_t num_stubs = 150;
+  /// Routers per tier-1 / tier-2 AS (stubs always have one router).
+  std::size_t tier1_routers = 14;
+  std::size_t tier2_routers = 8;
+  /// Extra intradomain edges beyond the random spanning tree, as a
+  /// fraction of the router count.
+  double intra_extra_edges = 0.5;
+  /// Max random IGP weight (weights uniform in [1, max]).
+  int max_igp_weight = 5;
+  double tier2_multihoming = 0.6;
+  double stub_multihoming = 0.3;
+  /// Probability that any two tier-2 ASes peer directly.
+  double tier2_peering_frac = 0.08;
+  std::uint64_t seed = 1;
+};
+
+/// ASes 0..num_tier1-1 are the tier-1 clique.
+[[nodiscard]] Topology random_internet(const RandomInternetParams& params);
+
+}  // namespace netd::topo

@@ -1,0 +1,83 @@
+#include "topo/templates.h"
+
+namespace netd::topo {
+
+const IntraTemplate& abilene_template() {
+  // The 11-PoP Abilene/Internet2 backbone:
+  // 0 Seattle, 1 Sunnyvale, 2 Los Angeles, 3 Denver, 4 Kansas City,
+  // 5 Houston, 6 Indianapolis, 7 Atlanta, 8 Chicago, 9 New York,
+  // 10 Washington DC.
+  static const IntraTemplate tpl{
+      "abilene",
+      11,
+      {{0, 1}, {0, 3}, {1, 2}, {1, 3}, {2, 5}, {3, 4}, {4, 5},
+       {4, 6}, {5, 7}, {6, 8}, {6, 7}, {7, 10}, {8, 9}, {9, 10}},
+  };
+  return tpl;
+}
+
+const IntraTemplate& geant_template() {
+  // 23-router GEANT analogue: a well-connected western-European core
+  // (routers 0..7) with national spokes (8..22), density matching the 2007
+  // GEANT map (~38 links over 23 PoPs).
+  static const IntraTemplate tpl{
+      "geant",
+      23,
+      {
+          // core mesh: 0 UK, 1 FR, 2 DE, 3 NL, 4 IT, 5 CH, 6 AT, 7 ES
+          {0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 5}, {1, 7}, {2, 3},
+          {2, 5}, {2, 6}, {3, 6}, {4, 5}, {4, 6}, {4, 7}, {5, 6},
+          // spokes, most dual-homed into the core
+          {8, 0},  {8, 3},            // IE
+          {9, 0},                     // PT via UK
+          {10, 1}, {10, 7},           // BE
+          {11, 2}, {11, 6},           // CZ
+          {12, 2}, {12, 3},           // DK
+          {13, 12},                   // SE via DK
+          {14, 13}, {14, 2},          // FI
+          {15, 6},  {15, 11},         // SK
+          {16, 6},  {16, 4},          // SI
+          {17, 6},                    // HU
+          {18, 17}, {18, 4},          // HR
+          {19, 4},                    // GR
+          {20, 19}, {20, 17},         // RO
+          {21, 7},                    // future expansion (IL analogue)
+          {22, 0},  {22, 3},          // NO
+      },
+  };
+  return tpl;
+}
+
+const IntraTemplate& wide_template() {
+  // 9-router WIDE analogue: Tokyo-centred dual-hub with regional spokes,
+  // matching the size and sparsity of the WIDE backbone.
+  static const IntraTemplate tpl{
+      "wide",
+      9,
+      {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 4}, {3, 4}, {3, 5},
+       {4, 6}, {5, 7}, {6, 8}, {7, 8}, {0, 5}},
+  };
+  return tpl;
+}
+
+IntraTemplate hub_and_spoke(std::size_t spokes) {
+  IntraTemplate tpl{"hub_and_spoke", spokes + 1, {}};
+  tpl.edges.reserve(spokes);
+  for (std::size_t s = 1; s <= spokes; ++s) tpl.edges.push_back({0, s});
+  return tpl;
+}
+
+std::vector<RouterId> instantiate(Topology& topo, AsId as,
+                                  const IntraTemplate& tpl) {
+  std::vector<RouterId> routers;
+  routers.reserve(tpl.num_routers);
+  for (std::size_t i = 0; i < tpl.num_routers; ++i) {
+    routers.push_back(topo.add_router(as));
+  }
+  for (auto [a, b] : tpl.edges) {
+    topo.add_intra_link(routers[a], routers[b]);
+  }
+  return routers;
+}
+
+}  // namespace netd::topo

@@ -1,0 +1,39 @@
+// Router-level intradomain templates for the evaluation topology.
+//
+// The paper uses the real 2007 router-level maps of Abilene, GEANT and WIDE
+// for the three core ASes and a 12-router hub-and-spoke for tier-2 ASes.
+// The Abilene map below is the canonical 11-PoP Internet2 backbone; the
+// GEANT and WIDE maps are same-size, same-density analogues (the original
+// 2007 link lists are no longer published — see DESIGN.md §4).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace netd::topo {
+
+/// An intradomain template: `num_routers` routers plus an edge list over
+/// local router indices (every edge gets IGP weight 1).
+struct IntraTemplate {
+  const char* name;
+  std::size_t num_routers;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+};
+
+[[nodiscard]] const IntraTemplate& abilene_template();  ///< 11 routers
+[[nodiscard]] const IntraTemplate& geant_template();    ///< 23 routers
+[[nodiscard]] const IntraTemplate& wide_template();     ///< 9 routers
+
+/// Hub-and-spoke with `spokes`+1 routers; router 0 is the hub. The paper's
+/// tier-2 template is 12 routers total (11 spokes).
+[[nodiscard]] IntraTemplate hub_and_spoke(std::size_t spokes);
+
+/// Instantiates `tpl` as the router set of `as` inside `topo`; returns the
+/// created routers in template order.
+std::vector<RouterId> instantiate(Topology& topo, AsId as,
+                                  const IntraTemplate& tpl);
+
+}  // namespace netd::topo

@@ -1,0 +1,72 @@
+#include "topo/topology.h"
+
+namespace netd::topo {
+
+AsId Topology::add_as(AsClass cls) {
+  const AsId id{static_cast<std::uint32_t>(ases_.size())};
+  As as;
+  as.id = id;
+  as.cls = cls;
+  as.name = "AS" + std::to_string(id.value());
+  ases_.push_back(std::move(as));
+  return id;
+}
+
+RouterId Topology::add_router(AsId as) {
+  assert(as.value() < ases_.size());
+  const RouterId id{static_cast<std::uint32_t>(routers_.size())};
+  const auto local_index =
+      static_cast<std::uint32_t>(ases_[as.value()].routers.size());
+  Router r;
+  r.id = id;
+  r.as = as;
+  r.name = ases_[as.value()].name + ":r" + std::to_string(local_index);
+  r.address = "10." + std::to_string(as.value()) + "." +
+              std::to_string(local_index) + ".1";
+  routers_.push_back(std::move(r));
+  ases_[as.value()].routers.push_back(id);
+  adjacency_.emplace_back();
+  return id;
+}
+
+LinkId Topology::add_intra_link(RouterId a, RouterId b, int igp_weight) {
+  assert(router(a).as == router(b).as);
+  assert(a != b);
+  const LinkId id{static_cast<std::uint32_t>(links_.size())};
+  links_.push_back(Link{id, a, b, igp_weight, /*up=*/true,
+                        /*interdomain=*/false, Relationship::kPeer});
+  adjacency_[a.value()].push_back(id);
+  adjacency_[b.value()].push_back(id);
+  return id;
+}
+
+LinkId Topology::add_inter_link(RouterId a, RouterId b,
+                                Relationship rel_b_from_a) {
+  assert(router(a).as != router(b).as);
+  const LinkId id{static_cast<std::uint32_t>(links_.size())};
+  links_.push_back(Link{id, a, b, /*igp_weight=*/1, /*up=*/true,
+                        /*interdomain=*/true, rel_b_from_a});
+  adjacency_[a.value()].push_back(id);
+  adjacency_[b.value()].push_back(id);
+  return id;
+}
+
+RouterId Topology::other_end(LinkId l, RouterId r) const {
+  const Link& lk = link(l);
+  assert(lk.a == r || lk.b == r);
+  return lk.a == r ? lk.b : lk.a;
+}
+
+Relationship Topology::neighbor_relationship(LinkId l, RouterId r) const {
+  const Link& lk = link(l);
+  assert(lk.interdomain);
+  assert(lk.a == r || lk.b == r);
+  return lk.a == r ? lk.rel_b_from_a : reverse(lk.rel_b_from_a);
+}
+
+bool Topology::link_usable(LinkId l) const {
+  const Link& lk = link(l);
+  return lk.up && router(lk.a).up && router(lk.b).up;
+}
+
+}  // namespace netd::topo

@@ -1,0 +1,100 @@
+// Physical network model: ASes, routers, links, relationships, addresses.
+//
+// The model mirrors what the paper's C-BGP setup needs: a router-level
+// multi-AS graph where every interdomain link carries a business
+// relationship (for BGP policy) and every intradomain link an IGP weight.
+// Links and routers have an up/down state toggled by failure injection.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "topo/types.h"
+
+namespace netd::topo {
+
+struct Router {
+  RouterId id;
+  AsId as;
+  std::string name;     ///< e.g. "AS7:r3"
+  std::string address;  ///< synthetic interface address, e.g. "10.7.3.1"
+  bool up = true;
+};
+
+struct Link {
+  LinkId id;
+  RouterId a;
+  RouterId b;
+  int igp_weight = 1;
+  bool up = true;
+  bool interdomain = false;
+  /// Relationship of b's AS as seen from a's AS (interdomain links only).
+  Relationship rel_b_from_a = Relationship::kPeer;
+};
+
+struct As {
+  AsId id;
+  AsClass cls = AsClass::kStub;
+  std::string name;  ///< e.g. "AS12"
+  std::vector<RouterId> routers;
+};
+
+class Topology {
+ public:
+  AsId add_as(AsClass cls);
+  RouterId add_router(AsId as);
+  /// Adds an intradomain link (both routers must be in the same AS).
+  LinkId add_intra_link(RouterId a, RouterId b, int igp_weight = 1);
+  /// Adds an interdomain link; `rel_b_from_a` describes b's AS from a's AS
+  /// (kCustomer = b's AS is a customer of a's AS).
+  LinkId add_inter_link(RouterId a, RouterId b, Relationship rel_b_from_a);
+
+  [[nodiscard]] const As& as_of(AsId id) const { return ases_[id.value()]; }
+  [[nodiscard]] const Router& router(RouterId id) const {
+    return routers_[id.value()];
+  }
+  [[nodiscard]] const Link& link(LinkId id) const { return links_[id.value()]; }
+
+  [[nodiscard]] std::size_t num_ases() const { return ases_.size(); }
+  [[nodiscard]] std::size_t num_routers() const { return routers_.size(); }
+  [[nodiscard]] std::size_t num_links() const { return links_.size(); }
+
+  [[nodiscard]] const std::vector<As>& ases() const { return ases_; }
+  [[nodiscard]] const std::vector<Router>& routers() const { return routers_; }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+
+  /// All links (up or down) incident to a router.
+  [[nodiscard]] const std::vector<LinkId>& links_of(RouterId r) const {
+    return adjacency_[r.value()];
+  }
+
+  /// The router at the far end of `l` from `r`.
+  [[nodiscard]] RouterId other_end(LinkId l, RouterId r) const;
+
+  /// Relationship of the AS reached by leaving router `r` over interdomain
+  /// link `l`, as seen from r's AS.
+  [[nodiscard]] Relationship neighbor_relationship(LinkId l, RouterId r) const;
+
+  /// A link is usable iff itself and both endpoint routers are up.
+  [[nodiscard]] bool link_usable(LinkId l) const;
+
+  void set_link_up(LinkId l, bool up) { links_[l.value()].up = up; }
+  void set_router_up(RouterId r, bool up) { routers_[r.value()].up = up; }
+
+  /// Every AS originates one prefix named after it.
+  [[nodiscard]] PrefixId prefix_of(AsId as) const { return as; }
+
+  /// AS owning a router — the IP-to-AS mapping of the paper (exact here).
+  [[nodiscard]] AsId as_of_router(RouterId r) const {
+    return routers_[r.value()].as;
+  }
+
+ private:
+  std::vector<As> ases_;
+  std::vector<Router> routers_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> adjacency_;  // indexed by router id
+};
+
+}  // namespace netd::topo

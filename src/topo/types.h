@@ -1,0 +1,59 @@
+// Identifier and enum vocabulary of the physical-network model.
+#pragma once
+
+#include "util/ids.h"
+
+namespace netd::topo {
+
+using AsId = util::Id<struct AsTag>;
+using RouterId = util::Id<struct RouterTag>;
+using LinkId = util::Id<struct LinkTag>;
+
+/// Each AS originates exactly one prefix, identified by its origin AS.
+/// (The paper's "most specific prefix" subtleties collapse under the
+/// one-prefix-per-AS model; see DESIGN.md.)
+using PrefixId = AsId;
+
+/// Tier of an AS in the paper's evaluation topology.
+enum class AsClass {
+  kCore,   ///< Abilene / GEANT / WIDE analogues, full-mesh peers
+  kTier2,  ///< 12-router hub-and-spoke transit ASes
+  kStub,   ///< single-router edge ASes
+};
+
+/// Business relationship of the *remote* AS as seen from the local AS over
+/// one interdomain link.
+enum class Relationship {
+  kCustomer,  ///< remote AS pays us (we provide transit)
+  kProvider,  ///< we pay the remote AS
+  kPeer,      ///< settlement-free peer
+};
+
+[[nodiscard]] constexpr Relationship reverse(Relationship r) {
+  switch (r) {
+    case Relationship::kCustomer: return Relationship::kProvider;
+    case Relationship::kProvider: return Relationship::kCustomer;
+    case Relationship::kPeer: return Relationship::kPeer;
+  }
+  return Relationship::kPeer;
+}
+
+[[nodiscard]] constexpr const char* to_string(AsClass c) {
+  switch (c) {
+    case AsClass::kCore: return "core";
+    case AsClass::kTier2: return "tier2";
+    case AsClass::kStub: return "stub";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(Relationship r) {
+  switch (r) {
+    case Relationship::kCustomer: return "customer";
+    case Relationship::kProvider: return "provider";
+    case Relationship::kPeer: return "peer";
+  }
+  return "?";
+}
+
+}  // namespace netd::topo

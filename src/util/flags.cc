@@ -1,0 +1,76 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace netd::util {
+
+Flags Flags::parse(int argc, const char* const* argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      f.positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      f.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" unless the next token is another flag (then boolean).
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      f.values_[body] = argv[++i];
+    } else {
+      f.values_[body] = "true";
+    }
+  }
+  return f;
+}
+
+std::string Flags::get(const std::string& name, const std::string& def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+long long Flags::get_int(const std::string& name, long long def) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || it->second.empty()) {
+    errors_.push_back("flag --" + name + " expects an integer, got '" +
+                      it->second + "'");
+    return def;
+  }
+  return v;
+}
+
+double Flags::get_double(const std::string& name, double def) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0' || it->second.empty()) {
+    errors_.push_back("flag --" + name + " expects a number, got '" +
+                      it->second + "'");
+    return def;
+  }
+  return v;
+}
+
+bool Flags::get_bool(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  return it->second != "false" && it->second != "0";
+}
+
+void Flags::allow(const std::vector<std::string>& known) {
+  for (const auto& [name, _] : values_) {
+    bool found = false;
+    for (const auto& k : known) found = found || k == name;
+    if (!found) errors_.push_back("unknown flag --" + name);
+  }
+}
+
+}  // namespace netd::util

@@ -1,0 +1,53 @@
+// Minimal command-line flag parsing for the CLI and tools.
+//
+// Supports "--name value", "--name=value" and boolean "--name". Unparsed
+// leading arguments become positional. No external dependencies.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace netd::util {
+
+class Flags {
+ public:
+  /// Parses argv; returns std::nullopt (and sets error()) on malformed
+  /// input such as a dangling "--name" that expects a value in strict
+  /// mode. Unknown flags are kept (validate with allow()).
+  static Flags parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return values_.count(name) != 0;
+  }
+
+  /// String flag with default.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& def = "") const;
+  /// Integer flag with default; malformed values record an error.
+  [[nodiscard]] long long get_int(const std::string& name, long long def);
+  /// Double flag with default; malformed values record an error.
+  [[nodiscard]] double get_double(const std::string& name, double def);
+  /// Boolean flag: present (with no/true value) => true.
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Records every flag not in `known` as an error.
+  void allow(const std::vector<std::string>& known);
+
+  [[nodiscard]] const std::vector<std::string>& errors() const {
+    return errors_;
+  }
+  [[nodiscard]] bool ok() const { return errors_.empty(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace netd::util

@@ -1,0 +1,54 @@
+// Strong integer id types.
+//
+// The simulator juggles many kinds of small integer identifiers (routers,
+// ASes, links, paths, prefixes). Mixing them up compiles fine with plain
+// ints, so each gets its own strong type. Ids are trivially copyable,
+// ordered, hashable and printable; an id is "valid" unless it carries the
+// sentinel value.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace netd::util {
+
+/// Strong typedef over a 32-bit index. `Tag` distinguishes unrelated id
+/// spaces at compile time; `kInvalid` is the sentinel for "no id".
+template <typename Tag>
+class Id {
+ public:
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t v) : v_(v) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return v_; }
+  [[nodiscard]] constexpr bool valid() const { return v_ != kInvalid; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.v_ != b.v_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.v_ < b.v_; }
+  friend constexpr bool operator>(Id a, Id b) { return a.v_ > b.v_; }
+  friend constexpr bool operator<=(Id a, Id b) { return a.v_ <= b.v_; }
+  friend constexpr bool operator>=(Id a, Id b) { return a.v_ >= b.v_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.v_;
+  }
+
+ private:
+  std::uint32_t v_ = kInvalid;
+};
+
+}  // namespace netd::util
+
+namespace std {
+template <typename Tag>
+struct hash<netd::util::Id<Tag>> {
+  size_t operator()(netd::util::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,97 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace netd::util {
+
+void Summary::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+}
+
+double Summary::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double ss = 0.0;
+  for (double x : samples_) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::stderr_mean() const {
+  if (samples_.empty()) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(samples_.size()));
+}
+
+double Summary::min() const {
+  assert(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  assert(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::percentile(double q) const {
+  assert(!samples_.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+double Summary::cdf_at(double x) const {
+  if (samples_.empty()) return 0.0;
+  const auto n = static_cast<double>(
+      std::count_if(samples_.begin(), samples_.end(),
+                    [x](double s) { return s <= x; }));
+  return n / static_cast<double>(samples_.size());
+}
+
+double Summary::frac_at_least(double x) const {
+  if (samples_.empty()) return 0.0;
+  const auto n = static_cast<double>(
+      std::count_if(samples_.begin(), samples_.end(),
+                    [x](double s) { return s >= x; }));
+  return n / static_cast<double>(samples_.size());
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> samples) {
+  std::vector<CdfPoint> out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    // Collapse runs of equal values into their final cumulative probability.
+    if (i + 1 < samples.size() && samples[i + 1] == samples[i]) continue;
+    out.push_back({samples[i], static_cast<double>(i + 1) / n});
+  }
+  return out;
+}
+
+std::vector<CdfPoint> cdf_on_grid(const std::vector<double>& samples,
+                                  double lo, double hi, std::size_t bins) {
+  assert(bins > 0 && hi > lo);
+  Summary s;
+  s.add_all(samples);
+  std::vector<CdfPoint> out;
+  out.reserve(bins + 1);
+  for (std::size_t i = 0; i <= bins; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(bins);
+    out.push_back({x, s.cdf_at(x)});
+  }
+  return out;
+}
+
+}  // namespace netd::util

@@ -1,0 +1,55 @@
+// Small statistics toolkit used by the experiment harness: empirical CDFs
+// (the shape every figure in the paper is reported in), means, and
+// percentiles.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace netd::util {
+
+/// Accumulates samples and reports empirical-distribution queries.
+class Summary {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void add_all(const std::vector<double>& xs);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 with < 2 samples.
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean: stddev / sqrt(n).
+  [[nodiscard]] double stderr_mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// q in [0,1]; nearest-rank percentile. Requires at least one sample.
+  [[nodiscard]] double percentile(double q) const;
+  /// Fraction of samples <= x (the empirical CDF evaluated at x).
+  [[nodiscard]] double cdf_at(double x) const;
+  /// Fraction of samples >= x.
+  [[nodiscard]] double frac_at_least(double x) const;
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// One point of an empirical CDF: P(X <= value) = cum_prob.
+struct CdfPoint {
+  double value = 0.0;
+  double cum_prob = 0.0;
+};
+
+/// Full empirical CDF of the samples (one point per distinct value).
+[[nodiscard]] std::vector<CdfPoint> empirical_cdf(std::vector<double> samples);
+
+/// CDF evaluated on a fixed grid of `bins`+1 points spanning [lo, hi];
+/// convenient for printing comparable series across algorithms.
+[[nodiscard]] std::vector<CdfPoint> cdf_on_grid(const std::vector<double>& samples,
+                                                double lo, double hi,
+                                                std::size_t bins);
+
+}  // namespace netd::util

@@ -1,0 +1,37 @@
+// Fixed-width table printer for bench output. Each figure-reproduction
+// binary prints its series as an aligned table (and optionally CSV) so the
+// paper's plots can be regenerated from stdout.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace netd::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; values are formatted with `precision` decimal places.
+  void add_row(const std::vector<double>& values);
+  /// Append a row with an arbitrary string in the first column.
+  void add_row(const std::string& label, const std::vector<double>& values);
+
+  void set_precision(int p) { precision_ = p; }
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int precision_ = 3;
+
+  [[nodiscard]] std::string fmt(double v) const;
+};
+
+}  // namespace netd::util

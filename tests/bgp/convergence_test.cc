@@ -1,0 +1,182 @@
+// Deeper BGP behaviors: hot-potato, iBGP egress switchover, policy
+// interactions, filter lifecycles.
+#include <gtest/gtest.h>
+
+#include "bgp/engine.h"
+#include "topo/generator.h"
+
+namespace netd::bgp {
+namespace {
+
+using topo::AsClass;
+using topo::AsId;
+using topo::LinkId;
+using topo::PrefixId;
+using topo::Relationship;
+using topo::RouterId;
+using topo::Topology;
+
+/// AS0 is a 3-router chain r0-r1-r2; a customer stub AS1 is dual-attached
+/// at r0 and r2 (two eBGP sessions to the same neighbor AS).
+struct DualAttach {
+  Topology t;
+  RouterId r0, r1, r2, stub;
+  LinkId near, far;
+
+  DualAttach() {
+    const AsId as0 = t.add_as(AsClass::kTier2);
+    const AsId as1 = t.add_as(AsClass::kStub);
+    r0 = t.add_router(as0);
+    r1 = t.add_router(as0);
+    r2 = t.add_router(as0);
+    t.add_intra_link(r0, r1, 1);
+    t.add_intra_link(r1, r2, 1);
+    stub = t.add_router(as1);
+    near = t.add_inter_link(stub, r0, Relationship::kProvider);
+    far = t.add_inter_link(stub, r2, Relationship::kProvider);
+  }
+};
+
+TEST(BgpConvergence, HotPotatoPicksNearestEgress) {
+  DualAttach d;
+  igp::IgpState igp(d.t);
+  BgpEngine bgp(d.t, igp);
+  bgp.converge_initial();
+  // r0 and r2 each use their local session; r1 is equidistant and breaks
+  // the tie deterministically. All three must route via an egress that is
+  // IGP-nearest.
+  const auto at_r0 = bgp.best(d.r0, PrefixId{1});
+  const auto at_r2 = bgp.best(d.r2, PrefixId{1});
+  ASSERT_TRUE(at_r0 && at_r2);
+  EXPECT_EQ(at_r0->egress_router, d.r0);
+  EXPECT_EQ(at_r0->egress_link, d.near);
+  EXPECT_EQ(at_r2->egress_router, d.r2);
+  EXPECT_EQ(at_r2->egress_link, d.far);
+}
+
+TEST(BgpConvergence, EgressSwitchoverOnSessionLoss) {
+  DualAttach d;
+  igp::IgpState igp(d.t);
+  BgpEngine bgp(d.t, igp);
+  bgp.converge_initial();
+  d.t.set_link_up(d.near, false);
+  bgp.on_link_state_change(d.near);
+  bgp.run_to_convergence();
+  // r0 must now reach the stub via r2's session (iBGP-learned).
+  const auto at_r0 = bgp.best(d.r0, PrefixId{1});
+  ASSERT_TRUE(at_r0.has_value());
+  EXPECT_EQ(at_r0->egress_router, d.r2);
+  EXPECT_EQ(at_r0->egress_link, d.far);
+}
+
+TEST(BgpConvergence, EgressSwitchbackOnSessionRestore) {
+  DualAttach d;
+  igp::IgpState igp(d.t);
+  BgpEngine bgp(d.t, igp);
+  bgp.converge_initial();
+  const auto before = bgp.best(d.r0, PrefixId{1});
+  d.t.set_link_up(d.near, false);
+  bgp.on_link_state_change(d.near);
+  bgp.run_to_convergence();
+  d.t.set_link_up(d.near, true);
+  bgp.on_link_state_change(d.near);
+  bgp.run_to_convergence();
+  const auto after = bgp.best(d.r0, PrefixId{1});
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(*after, *before);
+}
+
+TEST(BgpConvergence, IgpShiftMovesEgress) {
+  // Make r0's path to its own session more expensive than crossing to r2:
+  // hot-potato at r1 flips.
+  DualAttach d;
+  igp::IgpState igp(d.t);
+  BgpEngine bgp(d.t, igp);
+  bgp.converge_initial();
+  const auto at_r1_before = bgp.best(d.r1, PrefixId{1});
+  ASSERT_TRUE(at_r1_before.has_value());
+  // Fail the r0-r1 link: r1's only egress-reachable border is r2.
+  for (const auto& link : d.t.links()) {
+    if (!link.interdomain && ((link.a == d.r0 && link.b == d.r1) ||
+                              (link.a == d.r1 && link.b == d.r0))) {
+      d.t.set_link_up(link.id, false);
+      igp.recompute_as(AsId{0});
+      bgp.on_link_state_change(link.id);
+      break;
+    }
+  }
+  bgp.run_to_convergence();
+  const auto at_r1 = bgp.best(d.r1, PrefixId{1});
+  ASSERT_TRUE(at_r1.has_value());
+  EXPECT_EQ(at_r1->egress_router, d.r2);
+}
+
+TEST(BgpConvergence, PeerDoesNotTransitToPeer) {
+  // Classic violation check: X peers with Y and Z; Y's prefix must not be
+  // offered to Z through X.
+  Topology t;
+  const AsId x = t.add_as(AsClass::kTier2);
+  const AsId y = t.add_as(AsClass::kTier2);
+  const AsId z = t.add_as(AsClass::kTier2);
+  const RouterId rx = t.add_router(x);
+  const RouterId ry = t.add_router(y);
+  const RouterId rz = t.add_router(z);
+  t.add_inter_link(rx, ry, Relationship::kPeer);
+  t.add_inter_link(rx, rz, Relationship::kPeer);
+  igp::IgpState igp(t);
+  BgpEngine bgp(t, igp);
+  bgp.converge_initial();
+  EXPECT_TRUE(bgp.best(rx, PrefixId{1}).has_value());
+  EXPECT_TRUE(bgp.best(rx, PrefixId{2}).has_value());
+  // z has no route to y (would require peer->peer transit through x).
+  EXPECT_FALSE(bgp.best(rz, PrefixId{1}).has_value());
+  EXPECT_FALSE(bgp.best(ry, PrefixId{2}).has_value());
+}
+
+TEST(BgpConvergence, CustomerConeIsTransited) {
+  // X provides to C; X peers with Y: Y must reach C through X.
+  Topology t;
+  const AsId x = t.add_as(AsClass::kTier2);
+  const AsId y = t.add_as(AsClass::kTier2);
+  const AsId c = t.add_as(AsClass::kStub);
+  const RouterId rx = t.add_router(x);
+  const RouterId ry = t.add_router(y);
+  const RouterId rc = t.add_router(c);
+  t.add_inter_link(rx, ry, Relationship::kPeer);
+  t.add_inter_link(rc, rx, Relationship::kProvider);
+  igp::IgpState igp(t);
+  BgpEngine bgp(t, igp);
+  bgp.converge_initial();
+  const auto route = bgp.best(ry, PrefixId{2});
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->as_path, (std::vector<AsId>{x, c}));
+}
+
+TEST(BgpConvergence, FilterOnOneSessionLeavesOtherSession) {
+  DualAttach d;
+  igp::IgpState igp(d.t);
+  BgpEngine bgp(d.t, igp);
+  bgp.converge_initial();
+  // The stub stops announcing its prefix over the near session only.
+  bgp.add_export_filter(d.stub, d.near, PrefixId{1});
+  bgp.run_to_convergence();
+  const auto at_r0 = bgp.best(d.r0, PrefixId{1});
+  ASSERT_TRUE(at_r0.has_value());
+  EXPECT_EQ(at_r0->egress_router, d.r2);  // rerouted via the far session
+}
+
+TEST(BgpConvergence, EventCountersAdvance) {
+  DualAttach d;
+  igp::IgpState igp(d.t);
+  BgpEngine bgp(d.t, igp);
+  bgp.converge_initial();
+  const auto events = bgp.events_processed();
+  EXPECT_GT(events, 0u);
+  d.t.set_link_up(d.near, false);
+  bgp.on_link_state_change(d.near);
+  bgp.run_to_convergence();
+  EXPECT_GT(bgp.events_processed(), events);
+}
+
+}  // namespace
+}  // namespace netd::bgp

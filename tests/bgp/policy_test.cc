@@ -1,0 +1,99 @@
+#include "bgp/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace netd::bgp {
+namespace {
+
+using topo::AsClass;
+using topo::AsId;
+using topo::LinkId;
+using topo::Relationship;
+using topo::RouterId;
+using topo::Topology;
+
+/// r0 (AS0) has a customer AS1, a peer AS2 and a provider AS3.
+class PolicyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const AsId as0 = t_.add_as(AsClass::kTier2);
+    const AsId as1 = t_.add_as(AsClass::kStub);
+    const AsId as2 = t_.add_as(AsClass::kTier2);
+    const AsId as3 = t_.add_as(AsClass::kCore);
+    r0_ = t_.add_router(as0);
+    const RouterId r1 = t_.add_router(as1);
+    const RouterId r2 = t_.add_router(as2);
+    const RouterId r3 = t_.add_router(as3);
+    to_customer_ = t_.add_inter_link(r0_, r1, Relationship::kCustomer);
+    to_peer_ = t_.add_inter_link(r0_, r2, Relationship::kPeer);
+    to_provider_ = t_.add_inter_link(r0_, r3, Relationship::kProvider);
+  }
+
+  Route route_with_pref(int pref) {
+    Route r;
+    r.prefix = AsId{1};
+    r.as_path = {AsId{1}};
+    r.egress_router = r0_;
+    r.egress_link = to_customer_;
+    r.local_pref = pref;
+    return r;
+  }
+
+  Topology t_;
+  RouterId r0_;
+  LinkId to_customer_, to_peer_, to_provider_;
+  ExportFilters filters_;
+};
+
+TEST_F(PolicyTest, CustomerRouteExportsEverywhere) {
+  const Route r = route_with_pref(kCustomerPref);
+  EXPECT_TRUE(export_allowed(t_, r0_, to_customer_, r, filters_));
+  EXPECT_TRUE(export_allowed(t_, r0_, to_peer_, r, filters_));
+  EXPECT_TRUE(export_allowed(t_, r0_, to_provider_, r, filters_));
+}
+
+TEST_F(PolicyTest, OriginatedRouteExportsEverywhere) {
+  const Route r = route_with_pref(kOriginPref);
+  EXPECT_TRUE(export_allowed(t_, r0_, to_customer_, r, filters_));
+  EXPECT_TRUE(export_allowed(t_, r0_, to_peer_, r, filters_));
+  EXPECT_TRUE(export_allowed(t_, r0_, to_provider_, r, filters_));
+}
+
+TEST_F(PolicyTest, PeerRouteOnlyToCustomers) {
+  const Route r = route_with_pref(kPeerPref);
+  EXPECT_TRUE(export_allowed(t_, r0_, to_customer_, r, filters_));
+  EXPECT_FALSE(export_allowed(t_, r0_, to_peer_, r, filters_));
+  EXPECT_FALSE(export_allowed(t_, r0_, to_provider_, r, filters_));
+}
+
+TEST_F(PolicyTest, ProviderRouteOnlyToCustomers) {
+  const Route r = route_with_pref(kProviderPref);
+  EXPECT_TRUE(export_allowed(t_, r0_, to_customer_, r, filters_));
+  EXPECT_FALSE(export_allowed(t_, r0_, to_peer_, r, filters_));
+  EXPECT_FALSE(export_allowed(t_, r0_, to_provider_, r, filters_));
+}
+
+TEST_F(PolicyTest, FilterSuppressesOneSessionOnly) {
+  const Route r = route_with_pref(kCustomerPref);
+  filters_.add(r0_, to_peer_, r.prefix);
+  EXPECT_TRUE(export_allowed(t_, r0_, to_customer_, r, filters_));
+  EXPECT_FALSE(export_allowed(t_, r0_, to_peer_, r, filters_));
+  EXPECT_TRUE(export_allowed(t_, r0_, to_provider_, r, filters_));
+}
+
+TEST_F(PolicyTest, FilterIsPerPrefix) {
+  Route r = route_with_pref(kCustomerPref);
+  filters_.add(r0_, to_peer_, AsId{42});
+  EXPECT_TRUE(export_allowed(t_, r0_, to_peer_, r, filters_));
+}
+
+TEST_F(PolicyTest, FilterClear) {
+  filters_.add(r0_, to_peer_, AsId{1});
+  EXPECT_FALSE(filters_.empty());
+  filters_.clear();
+  EXPECT_TRUE(filters_.empty());
+  EXPECT_FALSE(filters_.suppressed(r0_, to_peer_, AsId{1}));
+}
+
+}  // namespace
+}  // namespace netd::bgp

@@ -1,0 +1,89 @@
+#include "bgp/route.h"
+
+#include <gtest/gtest.h>
+
+namespace netd::bgp {
+namespace {
+
+using topo::AsId;
+using topo::LinkId;
+using topo::RouterId;
+
+Route make(int pref, std::size_t path_len, std::uint32_t egress_r = 1,
+           std::uint32_t egress_l = 1) {
+  Route r;
+  r.prefix = AsId{9};
+  r.as_path.assign(path_len, AsId{2});
+  r.egress_router = RouterId{egress_r};
+  r.egress_link = LinkId{egress_l};
+  r.local_pref = pref;
+  return r;
+}
+
+TEST(BetterRoute, LocalPrefDominates) {
+  const Route cust = make(kCustomerPref, 5);
+  const Route peer = make(kPeerPref, 1);
+  EXPECT_TRUE(better_route(cust, 100, false, peer, 0, true));
+  EXPECT_FALSE(better_route(peer, 0, true, cust, 100, false));
+}
+
+TEST(BetterRoute, PrefOrderingMatchesGaoRexford) {
+  EXPECT_GT(kOriginPref, kCustomerPref);
+  EXPECT_GT(kCustomerPref, kPeerPref);
+  EXPECT_GT(kPeerPref, kProviderPref);
+}
+
+TEST(BetterRoute, ShorterAsPathWinsAtEqualPref) {
+  const Route shorter = make(kPeerPref, 2);
+  const Route longer = make(kPeerPref, 3);
+  EXPECT_TRUE(better_route(shorter, 10, false, longer, 0, true));
+}
+
+TEST(BetterRoute, EbgpBeatsIbgpAtEqualPrefAndLength) {
+  const Route a = make(kPeerPref, 2);
+  const Route b = make(kPeerPref, 2);
+  EXPECT_TRUE(better_route(a, 0, true, b, 0, false));
+  EXPECT_FALSE(better_route(a, 0, false, b, 0, true));
+}
+
+TEST(BetterRoute, HotPotatoIgpDistance) {
+  const Route a = make(kPeerPref, 2, 1);
+  const Route b = make(kPeerPref, 2, 2);
+  EXPECT_TRUE(better_route(a, 3, false, b, 7, false));
+  EXPECT_FALSE(better_route(a, 7, false, b, 3, false));
+}
+
+TEST(BetterRoute, DeterministicFinalTieBreak) {
+  const Route a = make(kPeerPref, 2, /*egress_r=*/1);
+  const Route b = make(kPeerPref, 2, /*egress_r=*/2);
+  EXPECT_TRUE(better_route(a, 4, false, b, 4, false));
+  EXPECT_FALSE(better_route(b, 4, false, a, 4, false));
+}
+
+TEST(BetterRoute, StrictOrdering) {
+  const Route a = make(kPeerPref, 2);
+  // A route is never strictly better than itself.
+  EXPECT_FALSE(better_route(a, 4, false, a, 4, false));
+}
+
+TEST(Route, OriginatedFlag) {
+  EXPECT_TRUE(make(kOriginPref, 0).originated());
+  EXPECT_FALSE(make(kCustomerPref, 1).originated());
+}
+
+TEST(Route, EqualityComparesAllFields) {
+  const Route a = make(kPeerPref, 2);
+  Route b = a;
+  EXPECT_EQ(a, b);
+  b.as_path.push_back(AsId{5});
+  EXPECT_FALSE(a == b);
+  b = a;
+  b.local_pref = kCustomerPref;
+  EXPECT_FALSE(a == b);
+  b = a;
+  b.egress_link = LinkId{42};
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace netd::bgp

@@ -1,0 +1,74 @@
+#include "core/diagnosability.h"
+
+#include <gtest/gtest.h>
+
+#include "mesh_builder.h"
+
+namespace netd::core {
+namespace {
+
+using core::testing::MeshBuilder;
+
+TEST(Diagnosability, EmptyGraphIsZero) {
+  const probe::Mesh empty;
+  const auto dg = build_diagnosis_graph(empty, empty, false);
+  EXPECT_DOUBLE_EQ(diagnosability(dg), 0.0);
+}
+
+TEST(Diagnosability, ChainSharedByOnePathIsMinimal) {
+  // One path: all links share the single hitting set {path0}: D = 1/n.
+  const auto m = MeshBuilder()
+                     .ok(0, 1, {"s0@1!s", "a@1", "b@1", "c@1", "s1@1!s"})
+                     .build();
+  const auto dg = build_diagnosis_graph(m, m, false);
+  EXPECT_DOUBLE_EQ(diagnosability(dg), 1.0 / 4.0);
+}
+
+TEST(Diagnosability, DistinctPathsPerLinkIsOne) {
+  // Star: every link is traversed by a unique pair of paths.
+  const auto m = MeshBuilder()
+                     .ok(0, 1, {"s0@1!s", "hub@1", "s1@1!s"})
+                     .ok(1, 0, {"s1@1!s", "hub@1", "s0@1!s"})
+                     .ok(0, 2, {"s0@1!s", "hub@1", "s2@1!s"})
+                     .build();
+  const auto dg = build_diagnosis_graph(m, m, false);
+  // Edges: s0>hub {p0,p2}, hub>s1 {p0}, s1>hub {p1}, hub>s0 {p1}, hub>s2 {p2}.
+  // hub>s0 and s1>hub share {p1}: 4 distinct sets / 5 edges.
+  EXPECT_DOUBLE_EQ(diagnosability(dg), 4.0 / 5.0);
+}
+
+TEST(Diagnosability, MoreProbesImproveD) {
+  const auto sparse =
+      MeshBuilder().ok(0, 1, {"s0@1!s", "a@1", "b@1", "s1@1!s"}).build();
+  const auto dense = MeshBuilder()
+                         .ok(0, 1, {"s0@1!s", "a@1", "b@1", "s1@1!s"})
+                         .ok(2, 1, {"s2@1!s", "a@1", "b@1", "s1@1!s"})
+                         .ok(2, 3, {"s2@1!s", "a@1", "s3@1!s"})
+                         .build();
+  const auto d1 = diagnosability(build_diagnosis_graph(sparse, sparse, false));
+  const auto d2 = diagnosability(build_diagnosis_graph(dense, dense, false));
+  EXPECT_GT(d2, d1);
+}
+
+TEST(Diagnosability, InUnitInterval) {
+  const auto m = MeshBuilder()
+                     .ok(0, 1, {"s0@1!s", "a@1", "s1@1!s"})
+                     .ok(1, 0, {"s1@1!s", "a@1", "s0@1!s"})
+                     .build();
+  const double d = diagnosability(build_diagnosis_graph(m, m, false));
+  EXPECT_GT(d, 0.0);
+  EXPECT_LE(d, 1.0);
+}
+
+TEST(Diagnosability, IgnoresAfterOnlyEdges) {
+  const auto before =
+      MeshBuilder().ok(0, 1, {"s0@1!s", "a@1", "s1@1!s"}).build();
+  const auto after =
+      MeshBuilder().ok(0, 1, {"s0@1!s", "b@1", "s1@1!s"}).build();
+  const auto with_reroute = build_diagnosis_graph(before, after, false);
+  const auto base = build_diagnosis_graph(before, before, false);
+  EXPECT_DOUBLE_EQ(diagnosability(with_reroute), diagnosability(base));
+}
+
+}  // namespace
+}  // namespace netd::core

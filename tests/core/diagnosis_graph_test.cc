@@ -1,0 +1,157 @@
+#include "core/diagnosis_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "mesh_builder.h"
+
+namespace netd::core {
+namespace {
+
+using core::testing::MeshBuilder;
+
+TEST(UndirectedKey, CanonicalOrder) {
+  EXPECT_EQ(undirected_key("a", "b"), "a|b");
+  EXPECT_EQ(undirected_key("b", "a"), "a|b");
+}
+
+TEST(DiagnosisGraph, InternsBothDirectionsAsDistinctEdges) {
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@4!s", "r1@1", "r2@1", "s1@5!s"})
+                          .ok(1, 0, {"s1@5!s", "r2@1", "r1@1", "s0@4!s"})
+                          .build();
+  const auto dg = build_diagnosis_graph(before, before, false);
+  ASSERT_EQ(dg.paths.size(), 2u);
+  // r1->r2 and r2->r1 are distinct directed edges with one physical key.
+  EXPECT_EQ(dg.g.num_edges(), 6u);
+  EXPECT_TRUE(dg.probed_keys.count("r1|r2"));
+  EXPECT_EQ(dg.probed_keys.size(), 3u);  // s0|r1, r1|r2, r2|s1
+}
+
+TEST(DiagnosisGraph, DirectedKeys) {
+  const auto before =
+      MeshBuilder().ok(0, 1, {"s0@4!s", "r1@1", "r2@1", "s1@5!s"}).build();
+  const auto dg = build_diagnosis_graph(before, before, false);
+  EXPECT_EQ(dg.info(dg.paths[0].before[1]).directed_key, "r1>r2");
+  EXPECT_EQ(dg.info(dg.paths[0].before[1]).phys_key, "r1|r2");
+}
+
+TEST(DiagnosisGraph, SkipsPairsDeadBeforeTheEvent) {
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@4!s", "r1@1", "s1@5!s"})
+                          .fail(1, 0, {"s1@5!s"})
+                          .build();
+  const auto dg = build_diagnosis_graph(before, before, false);
+  EXPECT_EQ(dg.paths.size(), 1u);
+}
+
+TEST(DiagnosisGraph, MarksFailedAfterPaths) {
+  const auto before =
+      MeshBuilder().ok(0, 1, {"s0@4!s", "r1@1", "s1@5!s"}).build();
+  const auto after = MeshBuilder().fail(0, 1, {"s0@4!s", "r1@1"}).build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  ASSERT_EQ(dg.paths.size(), 1u);
+  EXPECT_FALSE(dg.paths[0].ok_after);
+  EXPECT_TRUE(dg.paths[0].after.empty());
+  EXPECT_EQ(dg.paths[0].dest_asn, 5);
+}
+
+TEST(DiagnosisGraph, DetectsReroutedPaths) {
+  const auto before =
+      MeshBuilder().ok(0, 1, {"s0@4!s", "r1@1", "r2@1", "s1@5!s"}).build();
+  const auto after =
+      MeshBuilder().ok(0, 1, {"s0@4!s", "r1@1", "r3@1", "r2@1", "s1@5!s"}).build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  ASSERT_EQ(dg.paths.size(), 1u);
+  EXPECT_TRUE(dg.paths[0].ok_after);
+  EXPECT_TRUE(dg.paths[0].rerouted);
+}
+
+TEST(DiagnosisGraph, UnchangedPathIsNotRerouted) {
+  const auto m =
+      MeshBuilder().ok(0, 1, {"s0@4!s", "r1@1", "s1@5!s"}).build();
+  const auto dg = build_diagnosis_graph(m, m, false);
+  EXPECT_FALSE(dg.paths[0].rerouted);
+}
+
+TEST(DiagnosisGraph, LogicalExpansionOfInterdomainHop) {
+  // Path crosses AS1 -> AS2 -> AS3: hop r2@2 is entered from AS1 and the
+  // next AS beyond AS2 is AS3 (Fig. 3: r1 -> r2(AS3) -> r2).
+  const auto m = MeshBuilder()
+                     .ok(0, 1, {"s0@1!s", "r1@1", "r2@2", "r3@3", "s1@3!s"})
+                     .build();
+  const auto dg = build_diagnosis_graph(m, m, true);
+  const auto mid = dg.g.find_node("r2(AS3)");
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_EQ(dg.g.node(*mid).kind, graph::NodeKind::kLogical);
+  EXPECT_EQ(dg.g.node(*mid).asn, 2);
+  // The path has 4 physical hops -> 2 interdomain hops expand to 2 edges
+  // each: s0-r1 (intra), r1->r2(AS3)->r2, r2->r3(AS3)->r3, r3-s1.
+  EXPECT_EQ(dg.paths[0].before.size(), 6u);
+}
+
+TEST(DiagnosisGraph, LogicalEdgesInheritPhysicalKey) {
+  const auto m = MeshBuilder()
+                     .ok(0, 1, {"s0@1!s", "r1@1", "r2@2", "r3@3", "s1@3!s"})
+                     .build();
+  const auto dg = build_diagnosis_graph(m, m, true);
+  std::size_t logical = 0;
+  for (const auto& info : dg.edges) {
+    if (info.logical) {
+      ++logical;
+      EXPECT_TRUE(info.phys_key == "r1|r2" || info.phys_key == "r2|r3");
+    }
+  }
+  EXPECT_EQ(logical, 4u);
+  // Physical universe is unchanged by the expansion.
+  EXPECT_EQ(dg.probed_keys.size(), 4u);
+}
+
+TEST(DiagnosisGraph, LogicalExpansionLastAsUsesOwnAs) {
+  // Destination AS3 is the last AS: W = 3 for the final interdomain hop.
+  const auto m =
+      MeshBuilder().ok(0, 1, {"s0@1!s", "r1@1", "r3@3", "s1@3!s"}).build();
+  const auto dg = build_diagnosis_graph(m, m, true);
+  EXPECT_TRUE(dg.g.find_node("r3(AS3)").has_value());
+}
+
+TEST(DiagnosisGraph, TwoDestinationsSplitLogicalNodes) {
+  // Same physical link r1->r2; beyond AS2 the paths diverge to AS3 / AS4
+  // => two distinct logical middle nodes (the point of §3.1).
+  const auto m =
+      MeshBuilder()
+          .ok(0, 1, {"s0@1!s", "r1@1", "r2@2", "r3@3", "s1@3!s"})
+          .ok(0, 2, {"s0@1!s", "r1@1", "r2@2", "r4@4", "s2@4!s"})
+          .build();
+  const auto dg = build_diagnosis_graph(m, m, true);
+  EXPECT_TRUE(dg.g.find_node("r2(AS3)").has_value());
+  EXPECT_TRUE(dg.g.find_node("r2(AS4)").has_value());
+}
+
+TEST(DiagnosisGraph, UhEdgesAreFlaggedAndOwnAPath) {
+  const auto m = MeshBuilder()
+                     .ok(0, 1, {"s0@1!s", "r1@1", "uh:p0-1:h0", "r3@3", "s1@3!s"})
+                     .build();
+  const auto dg = build_diagnosis_graph(m, m, false);
+  std::size_t uh_edges = 0;
+  for (const auto& info : dg.edges) {
+    if (info.unidentified) {
+      ++uh_edges;
+      EXPECT_EQ(info.before_path, 0);
+    }
+  }
+  EXPECT_EQ(uh_edges, 2u);  // r1->uh and uh->r3
+}
+
+TEST(DiagnosisGraph, NoLogicalExpansionAroundUhHops) {
+  const auto m = MeshBuilder()
+                     .ok(0, 1, {"s0@1!s", "r1@1", "uh:p0-1:h0", "r3@3", "s1@3!s"})
+                     .build();
+  const auto dg = build_diagnosis_graph(m, m, true);
+  for (std::size_t n = 0; n < dg.g.num_nodes(); ++n) {
+    EXPECT_NE(dg.g.node(graph::NodeId{static_cast<std::uint32_t>(n)}).kind,
+              graph::NodeKind::kLogical);
+  }
+}
+
+}  // namespace
+}  // namespace netd::core

@@ -1,0 +1,157 @@
+// Exact minimum hitting set (branch and bound) vs the greedy.
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "mesh_builder.h"
+#include "util/rng.h"
+
+namespace netd::core {
+namespace {
+
+using core::testing::MeshBuilder;
+
+Demands make_demands(const std::vector<std::vector<std::uint32_t>>& sets,
+                     std::uint32_t n_edges) {
+  Demands d;
+  d.failure_sets = sets;
+  d.admissible.assign(n_edges, 1);
+  for (std::uint32_t e = 0; e < n_edges; ++e) d.candidates.push_back(e);
+  return d;
+}
+
+TEST(ExactHittingSet, SingleSet) {
+  const auto res = minimum_hitting_set(make_demands({{0, 1, 2}}, 3));
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->size(), 1u);
+}
+
+TEST(ExactHittingSet, DisjointSetsNeedOneEach) {
+  const auto res =
+      minimum_hitting_set(make_demands({{0, 1}, {2, 3}, {4, 5}}, 6));
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->size(), 3u);
+}
+
+TEST(ExactHittingSet, SharedElementCoversAll) {
+  const auto res =
+      minimum_hitting_set(make_demands({{0, 7}, {1, 7}, {2, 7}}, 8));
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(*res, std::vector<std::uint32_t>{7});
+}
+
+TEST(ExactHittingSet, BeatsNaiveGreedyOnAdversarialInstance) {
+  // Classic greedy-trap: element 9 hits sets {0,1}, element 8 hits {2,3},
+  // but a decoy 7 hits three sets {0,2,4}; greedy takes 7 first and needs
+  // three picks total; the optimum is {9, 8, x} too... construct the
+  // standard instance where greedy needs 3 and optimal needs 2:
+  //   S1={a,b} S2={a,c} S3={b,d} S4={c,d}
+  // optimal {b,c} (hits S1,S3 and S2,S4); greedy may pick a (hits S1,S2)
+  // then needs b/d and c/d -> 3 elements.
+  const auto res = minimum_hitting_set(
+      make_demands({{0, 1}, {0, 2}, {1, 3}, {2, 3}}, 4));
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->size(), 2u);
+}
+
+TEST(ExactHittingSet, UnexplainableDemandsSkipped) {
+  Demands d = make_demands({{0, 1}, {2}}, 3);
+  d.admissible[2] = 0;  // demand {2} has no admissible candidate
+  const auto res = minimum_hitting_set(d);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->size(), 1u);
+}
+
+TEST(ExactHittingSet, EmptyInstance) {
+  const auto res = minimum_hitting_set(make_demands({}, 4));
+  ASSERT_TRUE(res.has_value());
+  EXPECT_TRUE(res->empty());
+}
+
+TEST(ExactHittingSet, BudgetExhaustionReturnsNullopt) {
+  // 12 pairwise-overlapping random sets, budget of 1 node.
+  ExactOptions opt;
+  opt.max_nodes = 1;
+  const auto res = minimum_hitting_set(
+      make_demands({{0, 1}, {1, 2}, {2, 3}, {3, 4}}, 5), opt);
+  EXPECT_FALSE(res.has_value());
+}
+
+TEST(ExactHittingSet, NeverLargerThanGreedyOnRealEpisodes) {
+  // Synthetic diagnosis instances: exact |H| <= greedy |H| (greedy adds
+  // whole tie sets, so it is often strictly larger).
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@1!s", "a@1", "b@1", "s1@1!s"})
+                          .ok(0, 2, {"s0@1!s", "a@1", "c@1", "s2@1!s"})
+                          .ok(3, 1, {"s3@1!s", "d@1", "b@1", "s1@1!s"})
+                          .build();
+  const auto after = MeshBuilder()
+                         .fail(0, 1, {"s0@1!s"})
+                         .ok(0, 2, {"s0@1!s", "a@1", "c@1", "s2@1!s"})
+                         .fail(3, 1, {"s3@1!s"})
+                         .build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  SolverOptions opt;
+  const auto greedy = solve(dg, opt);
+  const auto demands = build_demands(dg, opt);
+  ExactOptions eopt;
+  eopt.cover_reroutes = false;
+  const auto exact = minimum_hitting_set(demands, eopt);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_LE(exact->size(), greedy.hypothesis_edges.size());
+  EXPECT_GE(exact->size(), 1u);
+  // The exact solution hits every non-empty failure set.
+  for (const auto& fs : demands.failure_sets) {
+    bool has_admissible = false;
+    for (auto e : fs) has_admissible = has_admissible || demands.admissible[e];
+    if (!has_admissible) continue;
+    bool hit = false;
+    for (auto e : *exact) {
+      hit = hit || std::find(fs.begin(), fs.end(), e) != fs.end();
+    }
+    EXPECT_TRUE(hit);
+  }
+}
+
+TEST(ExactHittingSet, RandomInstancesAreValidAndMinimalish) {
+  util::Rng rng(77);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::uint32_t n = 6 + rng.uniform(0, 6);
+    std::vector<std::vector<std::uint32_t>> sets;
+    const std::size_t k = 2 + rng.uniform(0, 5);
+    for (std::size_t s = 0; s < k; ++s) {
+      std::vector<std::uint32_t> set;
+      const std::size_t len = 1 + rng.uniform(0, 3);
+      for (std::size_t i = 0; i < len; ++i) {
+        set.push_back(rng.uniform(0, n - 1));
+      }
+      sets.push_back(set);
+    }
+    const auto res = minimum_hitting_set(make_demands(sets, n));
+    ASSERT_TRUE(res.has_value());
+    // Valid cover.
+    for (const auto& set : sets) {
+      bool hit = false;
+      for (auto e : *res) {
+        hit = hit || std::find(set.begin(), set.end(), e) != set.end();
+      }
+      EXPECT_TRUE(hit);
+    }
+    // No single element can be dropped (local minimality of an optimum).
+    for (std::size_t drop = 0; drop < res->size(); ++drop) {
+      bool still_covers = true;
+      for (const auto& set : sets) {
+        bool hit = false;
+        for (std::size_t i = 0; i < res->size(); ++i) {
+          if (i == drop) continue;
+          hit = hit ||
+                std::find(set.begin(), set.end(), (*res)[i]) != set.end();
+        }
+        still_covers = still_covers && hit;
+      }
+      EXPECT_FALSE(still_covers) << "element " << drop << " is redundant";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace netd::core

@@ -1,0 +1,89 @@
+// Logical-link granularity (LogicalMode) behaviors.
+#include <gtest/gtest.h>
+
+#include "core/solver.h"
+#include "mesh_builder.h"
+
+namespace netd::core {
+namespace {
+
+using core::testing::MeshBuilder;
+
+probe::Mesh two_dest_before() {
+  // Both destinations live in AS3 beyond the b@2 hop: per-neighbor
+  // granularity merges them (W = 3 for both); per-prefix splits them.
+  return MeshBuilder()
+      .ok(0, 1, {"s0@1!s", "a@1", "b@2", "c@3", "s1@3!s"})
+      .ok(0, 2, {"s0@1!s", "a@1", "b@2", "c@3", "d@3", "s2@3!s"})
+      .build();
+}
+
+TEST(Granularity, PerNeighborMergesSameNextAs) {
+  const auto m = two_dest_before();
+  const auto dg = build_diagnosis_graph(m, m, LogicalMode::kPerNeighbor);
+  EXPECT_TRUE(dg.g.find_node("b(AS3)").has_value());
+  EXPECT_FALSE(dg.g.find_node("b(pfx3)").has_value());
+}
+
+TEST(Granularity, PerPrefixSplitsByDestination) {
+  const auto m = MeshBuilder()
+                     .ok(0, 1, {"s0@1!s", "a@1", "b@2", "c@3", "s1@3!s"})
+                     .ok(0, 2, {"s0@1!s", "a@1", "b@2", "d@4", "s2@4!s"})
+                     .build();
+  const auto dg = build_diagnosis_graph(m, m, LogicalMode::kPerPrefix);
+  EXPECT_TRUE(dg.g.find_node("b(pfx3)").has_value());
+  EXPECT_TRUE(dg.g.find_node("b(pfx4)").has_value());
+}
+
+TEST(Granularity, PerPrefixGraphIsAtLeastAsLarge) {
+  const auto m = two_dest_before();
+  const auto per_neighbor =
+      build_diagnosis_graph(m, m, LogicalMode::kPerNeighbor);
+  const auto per_prefix = build_diagnosis_graph(m, m, LogicalMode::kPerPrefix);
+  EXPECT_GE(per_prefix.edges.size(), per_neighbor.edges.size());
+  // Physical universe identical regardless of granularity.
+  EXPECT_EQ(per_prefix.probed_keys, per_neighbor.probed_keys);
+}
+
+TEST(Granularity, SinglePrefixFilterNeedsPerPrefix) {
+  // The filter kills only dest s1 (prefix AS3) on the a->b session while
+  // dest s2 (prefix AS4, reached *via* AS3, so the next AS after b is
+  // also 3) keeps working: per-neighbor logical links are shared with the
+  // working path and exonerated; per-prefix ones are not.
+  const auto before =
+      MeshBuilder()
+          .ok(0, 1, {"s0@1!s", "a@1", "b@2", "c@3", "s1@3!s"})
+          .ok(0, 2, {"s0@1!s", "a@1", "b@2", "c@3", "e@4", "s2@4!s"})
+          .build();
+  const auto after =
+      MeshBuilder()
+          .fail(0, 1, {"s0@1!s", "a@1"})
+          .ok(0, 2, {"s0@1!s", "a@1", "b@2", "c@3", "e@4", "s2@4!s"})
+          .build();
+  SolverOptions opt;
+  opt.use_reroutes = true;
+
+  const auto nb = build_diagnosis_graph(before, after,
+                                        LogicalMode::kPerNeighbor);
+  const auto rn = solve(nb, opt);
+  EXPECT_FALSE(rn.links.count("a|b"));
+
+  const auto pp = build_diagnosis_graph(before, after,
+                                        LogicalMode::kPerPrefix);
+  const auto rp = solve(pp, opt);
+  EXPECT_TRUE(rp.links.count("a|b"));
+}
+
+TEST(Granularity, BoolOverloadMatchesEnum) {
+  const auto m = two_dest_before();
+  const auto via_bool = build_diagnosis_graph(m, m, true);
+  const auto via_enum = build_diagnosis_graph(m, m, LogicalMode::kPerNeighbor);
+  EXPECT_EQ(via_bool.edges.size(), via_enum.edges.size());
+  EXPECT_EQ(via_bool.g.num_nodes(), via_enum.g.num_nodes());
+  const auto via_false = build_diagnosis_graph(m, m, false);
+  const auto via_none = build_diagnosis_graph(m, m, LogicalMode::kNone);
+  EXPECT_EQ(via_false.edges.size(), via_none.edges.size());
+}
+
+}  // namespace
+}  // namespace netd::core

@@ -1,0 +1,90 @@
+#include "core/json_export.h"
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "mesh_builder.h"
+
+namespace netd::core {
+namespace {
+
+using core::testing::MeshBuilder;
+
+AlgorithmOutput simple_case() {
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@1!s", "a@1", "b@1", "s1@1!s"})
+                          .ok(0, 2, {"s0@1!s", "a@1", "c@1", "s2@1!s"})
+                          .build();
+  const auto after = MeshBuilder()
+                         .fail(0, 1, {"s0@1!s"})
+                         .ok(0, 2, {"s0@1!s", "a@1", "c@1", "s2@1!s"})
+                         .build();
+  return run_tomo(before, after);
+}
+
+TEST(JsonExport, SummaryFields) {
+  const auto out = simple_case();
+  const auto json = to_json(out.graph, out.result);
+  EXPECT_NE(json.find("\"pairs\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"failed\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"rerouted\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"unexplained_failure_sets\":0"), std::string::npos);
+}
+
+TEST(JsonExport, HypothesisEntries) {
+  const auto out = simple_case();
+  const auto json = to_json(out.graph, out.result);
+  EXPECT_NE(json.find("\"link\":\"a|b\""), std::string::npos);
+  EXPECT_NE(json.find("\"score\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"ases\":[1]"), std::string::npos);
+  EXPECT_NE(json.find("\"implicated_ases\":[1]"), std::string::npos);
+}
+
+TEST(JsonExport, BalancedBracesAndQuotes) {
+  const auto out = simple_case();
+  const auto json = to_json(out.graph, out.result);
+  int depth = 0;
+  std::size_t quotes = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) {
+      in_string = !in_string;
+      ++quotes;
+    }
+    if (in_string) continue;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(quotes % 2, 0u);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(JsonExport, LogicalFlagSurfaces) {
+  const auto before =
+      MeshBuilder()
+          .ok(0, 1, {"s0@1!s", "a@1", "b@2", "c@3", "s1@3!s"})
+          .ok(0, 2, {"s0@1!s", "a@1", "b@2", "d@4", "s2@4!s"})
+          .build();
+  const auto after =
+      MeshBuilder()
+          .fail(0, 1, {"s0@1!s", "a@1"})
+          .ok(0, 2, {"s0@1!s", "a@1", "b@2", "d@4", "s2@4!s"})
+          .build();
+  const auto out = run_nd_edge(before, after);
+  const auto json = to_json(out.graph, out.result);
+  EXPECT_NE(json.find("\"logical\":true"), std::string::npos);
+}
+
+TEST(JsonEscape, ControlAndSpecialCharacters) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+  EXPECT_EQ(json_escape("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace netd::core

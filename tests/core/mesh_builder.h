@@ -1,0 +1,68 @@
+// Test helper: construct synthetic probe::Mesh objects without a simulator,
+// so the diagnosis algorithms can be exercised on hand-drawn scenarios
+// (e.g. the paper's Fig. 1 tree).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "probe/prober.h"
+
+namespace netd::core::testing {
+
+/// Hop spec "label@asn" (identified router), "label@asn!s" (sensor),
+/// or "label" (unidentified, asn unknown).
+inline probe::Hop make_hop(const std::string& spec) {
+  probe::Hop h;
+  const auto at = spec.find('@');
+  if (at == std::string::npos) {
+    h.label = spec;
+    h.kind = graph::NodeKind::kUnidentified;
+    h.asn = -1;
+    return h;
+  }
+  h.label = spec.substr(0, at);
+  std::string rest = spec.substr(at + 1);
+  if (!rest.empty() && rest.back() == 's') {
+    h.kind = graph::NodeKind::kSensor;
+    rest.pop_back();
+    if (!rest.empty() && rest.back() == '!') rest.pop_back();
+  } else {
+    h.kind = graph::NodeKind::kRouter;
+  }
+  h.asn = std::stoi(rest);
+  return h;
+}
+
+class MeshBuilder {
+ public:
+  /// Adds a working path src->dst through the listed hops.
+  MeshBuilder& ok(std::size_t src, std::size_t dst,
+                  const std::vector<std::string>& hops) {
+    return add(src, dst, hops, true);
+  }
+
+  /// Adds a failed path (hops are what the truncated traceroute saw).
+  MeshBuilder& fail(std::size_t src, std::size_t dst,
+                    const std::vector<std::string>& hops) {
+    return add(src, dst, hops, false);
+  }
+
+  [[nodiscard]] probe::Mesh build() const { return mesh_; }
+
+ private:
+  MeshBuilder& add(std::size_t src, std::size_t dst,
+                   const std::vector<std::string>& hops, bool is_ok) {
+    probe::TracePath p;
+    p.src = src;
+    p.dst = dst;
+    p.ok = is_ok;
+    for (const auto& s : hops) p.hops.push_back(make_hop(s));
+    mesh_.paths.push_back(std::move(p));
+    return *this;
+  }
+
+  probe::Mesh mesh_;
+};
+
+}  // namespace netd::core::testing

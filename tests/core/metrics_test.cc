@@ -1,0 +1,80 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace netd::core {
+namespace {
+
+const std::set<std::string> kProbed = {"a", "b", "c", "d", "e",
+                                       "f", "g", "h", "i", "j"};
+
+TEST(LinkMetrics, PerfectDiagnosis) {
+  const auto m = link_metrics({"a"}, {"a"}, kProbed);
+  EXPECT_DOUBLE_EQ(m.sensitivity, 1.0);
+  EXPECT_DOUBLE_EQ(m.specificity, 1.0);
+  EXPECT_EQ(m.hypothesis_size, 1u);
+  EXPECT_EQ(m.num_probed, 10u);
+}
+
+TEST(LinkMetrics, TotalMiss) {
+  const auto m = link_metrics({"b"}, {"a"}, kProbed);
+  EXPECT_DOUBLE_EQ(m.sensitivity, 0.0);
+  // 8 true negatives out of 9 non-failed.
+  EXPECT_DOUBLE_EQ(m.specificity, 8.0 / 9.0);
+}
+
+TEST(LinkMetrics, PartialSensitivity) {
+  const auto m = link_metrics({"a", "c"}, {"a", "b"}, kProbed);
+  EXPECT_DOUBLE_EQ(m.sensitivity, 0.5);
+  EXPECT_DOUBLE_EQ(m.specificity, 7.0 / 8.0);
+}
+
+TEST(LinkMetrics, PaperSpecificityExample) {
+  // §4: |E| = 150, |F| = 1, |H| = 10 -> specificity = 140/149.
+  std::set<std::string> probed;
+  for (int i = 0; i < 150; ++i) probed.insert("l" + std::to_string(i));
+  std::set<std::string> hyp;
+  for (int i = 0; i < 10; ++i) hyp.insert("l" + std::to_string(i));
+  const auto m = link_metrics(hyp, {"l0"}, probed);
+  EXPECT_DOUBLE_EQ(m.sensitivity, 1.0);
+  EXPECT_NEAR(m.specificity, 140.0 / 149.0, 1e-12);
+}
+
+TEST(LinkMetrics, EmptyHypothesis) {
+  const auto m = link_metrics({}, {"a"}, kProbed);
+  EXPECT_DOUBLE_EQ(m.sensitivity, 0.0);
+  EXPECT_DOUBLE_EQ(m.specificity, 1.0);
+}
+
+TEST(LinkMetrics, HypothesisOutsideProbedDoesNotHurtSpecificity) {
+  // Keys outside E (can happen for ground-truth F restricted views) are
+  // not counted against the probed universe.
+  const auto m = link_metrics({"zz", "a"}, {"a"}, kProbed);
+  EXPECT_DOUBLE_EQ(m.specificity, 1.0);
+}
+
+TEST(AsMetrics, PerfectAsDiagnosis) {
+  const auto m = as_metrics({3}, {3}, {1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(m.sensitivity, 1.0);
+  EXPECT_DOUBLE_EQ(m.specificity, 1.0);
+}
+
+TEST(AsMetrics, FalsePositivesLowerSpecificity) {
+  const auto m = as_metrics({3, 4, 5}, {3}, {1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(m.sensitivity, 1.0);
+  EXPECT_DOUBLE_EQ(m.specificity, 0.5);  // 2 of 4 non-failed implicated
+}
+
+TEST(AsMetrics, InterdomainFailureCoversTwoAses) {
+  const auto m = as_metrics({3}, {3, 4}, {1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(m.sensitivity, 0.5);
+}
+
+TEST(AsMetrics, UniverseRestriction) {
+  // Hypothesis ASes outside the probed universe are ignored.
+  const auto m = as_metrics({3, 99}, {3}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(m.specificity, 1.0);
+}
+
+}  // namespace
+}  // namespace netd::core

@@ -1,0 +1,183 @@
+// ND-bgpigp: control-plane-assisted diagnosis (paper §3.3).
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "exp/runner.h"
+#include "probe/prober.h"
+#include "sim/network.h"
+#include "topo/generator.h"
+#include "util/rng.h"
+
+namespace netd::core {
+namespace {
+
+using topo::AsId;
+using topo::LinkId;
+
+class NdBgpIgpTest : public ::testing::Test {
+ protected:
+  NdBgpIgpTest() : net_(topo::generate(topo::GeneratorParams{})) {
+    net_.converge();
+    net_.set_operator_as(AsId{0});
+    util::Rng rng(41);
+    sensors_ = probe::place_sensors(
+        net_.topology(), probe::PlacementKind::kRandomStub, 10, rng);
+  }
+
+  /// Runs one failure, returns {before, after, cp} or nullopt if the
+  /// failure did not break any path.
+  struct Episode {
+    probe::Mesh before, after;
+    ControlPlaneObs cp;
+  };
+  std::optional<Episode> episode(const std::vector<LinkId>& victims) {
+    probe::Prober prober(net_, sensors_);
+    Episode ep;
+    ep.before = prober.measure();
+    net_.start_recording();
+    for (LinkId l : victims) net_.fail_link(l);
+    net_.reconverge();
+    ep.after = prober.measure();
+    bool invoked = false;
+    for (std::size_t k = 0; k < ep.before.paths.size(); ++k) {
+      invoked = invoked || (ep.before.paths[k].ok && !ep.after.paths[k].ok);
+    }
+    if (!invoked) return std::nullopt;
+    ep.cp = exp::collect_control_plane(net_);
+    return ep;
+  }
+
+  sim::Network net_;
+  std::vector<probe::Sensor> sensors_;
+};
+
+TEST_F(NdBgpIgpTest, IgpFeedPinpointsOperatorInternalFailure) {
+  // Fail probed intradomain links inside AS-X until one causes
+  // unreachability (the well-meshed core reroutes around most single
+  // internal failures, so try pairs of links sharing a router too).
+  probe::Prober prober(net_, sensors_);
+  const auto base_snapshot = net_.snapshot();
+  const auto base = prober.measure();
+  std::vector<LinkId> internal;
+  for (LinkId l : base.probed_links()) {
+    const auto& link = net_.topology().link(l);
+    if (!link.interdomain && net_.topology().as_of_router(link.a) == AsId{0}) {
+      internal.push_back(l);
+    }
+  }
+  if (internal.empty()) GTEST_SKIP() << "no probed intra-AS0 link";
+  bool exercised = false;
+  for (std::size_t i = 0; i < internal.size() && !exercised; ++i) {
+    for (std::size_t j = i; j < internal.size() && !exercised; ++j) {
+      std::vector<LinkId> victims = {internal[i]};
+      if (j != i) victims.push_back(internal[j]);
+      const auto ep = episode(victims);
+      if (ep) {
+        exercised = true;
+        ASSERT_FALSE(ep->cp.igp_down_keys.empty());
+        const auto out = run_nd_bgpigp(ep->before, ep->after, ep->cp);
+        for (LinkId v : victims) {
+          EXPECT_TRUE(
+              out.result.links.count(exp::link_key(net_.topology(), v)));
+        }
+      }
+      net_.restore(base_snapshot);
+      net_.set_operator_as(AsId{0});
+    }
+  }
+  if (!exercised) {
+    GTEST_SKIP() << "no intra-AS0 failure caused unreachability";
+  }
+}
+
+TEST_F(NdBgpIgpTest, HypothesisNeverLargerThanNdEdge) {
+  util::Rng rng(43);
+  probe::Prober prober(net_, sensors_);
+  const auto base_snapshot = net_.snapshot();
+  const auto base = prober.measure();
+  const auto pool = base.probed_links();
+  for (int t = 0; t < 10; ++t) {
+    const auto ep = episode(rng.sample(pool, 3));
+    if (ep) {
+      const auto edge = run_nd_edge(ep->before, ep->after);
+      const auto bgpigp = run_nd_bgpigp(ep->before, ep->after, ep->cp);
+      // Control-plane pruning only removes candidates; it never hurts
+      // sensitivity of the true failed links and never widens H beyond
+      // what the IGP feed itself confirms.
+      EXPECT_LE(bgpigp.result.links.size(),
+                edge.result.links.size() + ep->cp.igp_down_keys.size());
+    }
+    net_.restore(base_snapshot);
+    net_.set_operator_as(AsId{0});
+  }
+}
+
+TEST_F(NdBgpIgpTest, SensitivityMatchesNdEdgeOnLinkFailures) {
+  util::Rng rng(47);
+  probe::Prober prober(net_, sensors_);
+  const auto base_snapshot = net_.snapshot();
+  const auto base = prober.measure();
+  const auto pool = base.probed_links();
+  int compared = 0;
+  for (int t = 0; t < 10; ++t) {
+    const auto victims = rng.sample(pool, 2);
+    const auto ep = episode(victims);
+    if (ep) {
+      ++compared;
+      std::set<std::string> truth;
+      for (LinkId l : victims) {
+        truth.insert(exp::link_key(net_.topology(), l));
+      }
+      const auto edge = run_nd_edge(ep->before, ep->after);
+      const auto bgpigp = run_nd_bgpigp(ep->before, ep->after, ep->cp);
+      const auto me = link_metrics(edge.result.links, truth,
+                                   edge.graph.probed_keys);
+      const auto mb = link_metrics(bgpigp.result.links, truth,
+                                   bgpigp.graph.probed_keys);
+      EXPECT_GE(mb.sensitivity, me.sensitivity);
+      // Withdrawal pruning should not cost specificity.
+      EXPECT_GE(mb.specificity + 1e-9, me.specificity);
+    }
+    net_.restore(base_snapshot);
+    net_.set_operator_as(AsId{0});
+  }
+  EXPECT_GT(compared, 0);
+}
+
+TEST_F(NdBgpIgpTest, WithdrawalsArriveAtOperatorForRemoteFailures) {
+  // Cut a random single-homed stub's uplink: AS-X (a core) must hear
+  // withdrawals for that prefix.
+  const auto& topo = net_.topology();
+  LinkId uplink;
+  AsId stub;
+  for (const auto& s : sensors_) {
+    std::size_t inter = 0;
+    LinkId last;
+    for (LinkId l : topo.links_of(s.attach)) {
+      if (topo.link(l).interdomain) {
+        ++inter;
+        last = l;
+      }
+    }
+    if (inter != 1) continue;
+    // A stub hanging directly off AS-X would be observed as a session
+    // death, not a received withdrawal — skip those.
+    if (topo.as_of_router(topo.other_end(last, s.attach)) == AsId{0}) {
+      continue;
+    }
+    uplink = last;
+    stub = s.as;
+    break;
+  }
+  if (!uplink.valid()) GTEST_SKIP() << "all sensor stubs multihomed";
+  const auto ep = episode({uplink});
+  ASSERT_TRUE(ep.has_value());  // single-homed: must break paths
+  bool saw = false;
+  for (const auto& w : ep->cp.withdrawals) {
+    saw = saw || w.dest_asn == static_cast<int>(stub.value());
+  }
+  EXPECT_TRUE(saw);
+}
+
+}  // namespace
+}  // namespace netd::core

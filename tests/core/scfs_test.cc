@@ -1,0 +1,139 @@
+// Duffield's SCFS on single-source trees (paper §2.1, Fig. 1).
+#include <gtest/gtest.h>
+
+#include "core/scfs.h"
+#include "mesh_builder.h"
+
+namespace netd::core {
+namespace {
+
+using core::testing::MeshBuilder;
+
+TEST(Scfs, Figure1MarksLinkClosestToSource) {
+  // Fig. 1: the tree branches at r6; r9-r11 fails, breaking s1->s2 while
+  // s1->s3 keeps working. SCFS blames r6-r7 — the link closest to the
+  // source that explains the failure.
+  const auto before =
+      MeshBuilder()
+          .ok(0, 1, {"s1@1!s", "r6@1", "r7@1", "r9@1", "r11@1", "s2@1!s"})
+          .ok(0, 2, {"s1@1!s", "r6@1", "r8@1", "r10@1", "s3@1!s"})
+          .build();
+  const auto after =
+      MeshBuilder()
+          .fail(0, 1, {"s1@1!s", "r6@1", "r7@1", "r9@1"})
+          .ok(0, 2, {"s1@1!s", "r6@1", "r8@1", "r10@1", "s3@1!s"})
+          .build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  const auto res = scfs(dg, 0);
+  EXPECT_EQ(res.links, std::set<std::string>{"r6|r7"});
+  EXPECT_EQ(res.unexplained_failure_sets, 0u);
+}
+
+TEST(Scfs, OneLinkPerBadSubtree) {
+  // Two destinations fail below the same branch: one shared first bad
+  // link explains both (the "smallest common failure set").
+  const auto before =
+      MeshBuilder()
+          .ok(0, 1, {"s0@1!s", "a@1", "b@1", "c@1", "s1@1!s"})
+          .ok(0, 2, {"s0@1!s", "a@1", "b@1", "d@1", "s2@1!s"})
+          .ok(0, 3, {"s0@1!s", "a@1", "e@1", "s3@1!s"})
+          .build();
+  const auto after =
+      MeshBuilder()
+          .fail(0, 1, {"s0@1!s", "a@1"})
+          .fail(0, 2, {"s0@1!s", "a@1"})
+          .ok(0, 3, {"s0@1!s", "a@1", "e@1", "s3@1!s"})
+          .build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  const auto res = scfs(dg, 0);
+  EXPECT_EQ(res.links, std::set<std::string>{"a|b"});
+}
+
+TEST(Scfs, IndependentSubtreesGetSeparateLinks) {
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@1!s", "a@1", "b@1", "s1@1!s"})
+                          .ok(0, 2, {"s0@1!s", "a@1", "c@1", "s2@1!s"})
+                          .ok(0, 3, {"s0@1!s", "a@1", "s3@1!s"})
+                          .build();
+  const auto after = MeshBuilder()
+                         .fail(0, 1, {"s0@1!s", "a@1"})
+                         .fail(0, 2, {"s0@1!s", "a@1"})
+                         .ok(0, 3, {"s0@1!s", "a@1", "s3@1!s"})
+                         .build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  const auto res = scfs(dg, 0);
+  EXPECT_EQ(res.links, std::set<std::string>({"a|b", "a|c"}));
+}
+
+TEST(Scfs, RootFailureBlamesFirstLink) {
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@1!s", "a@1", "b@1", "s1@1!s"})
+                          .ok(0, 2, {"s0@1!s", "a@1", "c@1", "s2@1!s"})
+                          .build();
+  const auto after = MeshBuilder()
+                         .fail(0, 1, {"s0@1!s"})
+                         .fail(0, 2, {"s0@1!s"})
+                         .build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  const auto res = scfs(dg, 0);
+  EXPECT_EQ(res.links, std::set<std::string>{"a|s0"});
+}
+
+TEST(Scfs, NoFailuresNoHypothesis) {
+  const auto m = MeshBuilder().ok(0, 1, {"s0@1!s", "a@1", "s1@1!s"}).build();
+  const auto dg = build_diagnosis_graph(m, m, false);
+  const auto res = scfs(dg, 0);
+  EXPECT_TRUE(res.links.empty());
+}
+
+TEST(Scfs, FullyGoodFailedPathIsUnexplained) {
+  // The partial-failure pathology SCFS cannot express (paper §2.5 #1):
+  // every link of the failed path also carries a working path.
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@1!s", "a@1", "s1@1!s"})
+                          .ok(0, 2, {"s0@1!s", "a@1", "s1@1!s", "s2@1!s"})
+                          .build();
+  const auto after =
+      MeshBuilder()
+          .fail(0, 1, {"s0@1!s"})
+          .ok(0, 2, {"s0@1!s", "a@1", "s1@1!s", "s2@1!s"})
+          .build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  const auto res = scfs(dg, 0);
+  EXPECT_TRUE(res.links.empty());
+  EXPECT_EQ(res.unexplained_failure_sets, 1u);
+}
+
+TEST(Scfs, IgnoresOtherSources) {
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@1!s", "a@1", "s1@1!s"})
+                          .ok(2, 1, {"s2@1!s", "b@1", "s1@1!s"})
+                          .build();
+  const auto after = MeshBuilder()
+                         .ok(0, 1, {"s0@1!s", "a@1", "s1@1!s"})
+                         .fail(2, 1, {"s2@1!s"})
+                         .build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  const auto res = scfs(dg, 0);
+  EXPECT_TRUE(res.links.empty());  // the failure belongs to source 2
+  EXPECT_FALSE(scfs(dg, 2).links.empty());
+}
+
+TEST(Scfs, RankedMirrorsLinks) {
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@1!s", "a@1", "b@1", "s1@1!s"})
+                          .ok(0, 2, {"s0@1!s", "a@1", "s2@1!s"})
+                          .build();
+  const auto after = MeshBuilder()
+                         .fail(0, 1, {"s0@1!s"})
+                         .ok(0, 2, {"s0@1!s", "a@1", "s2@1!s"})
+                         .build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  const auto res = scfs(dg, 0);
+  std::set<std::string> keys;
+  for (const auto& r : res.ranked) keys.insert(r.phys_key);
+  EXPECT_EQ(keys, res.links);
+}
+
+}  // namespace
+}  // namespace netd::core

@@ -1,0 +1,386 @@
+#include "core/solver.h"
+
+#include "core/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "mesh_builder.h"
+
+namespace netd::core {
+namespace {
+
+using core::testing::MeshBuilder;
+
+/// Two sensors, one failed path: every link of the path ties at score 1,
+/// so the paper's algorithm returns all of them.
+TEST(Solver, SingleFailedPathReturnsWholeChain) {
+  const auto before =
+      MeshBuilder().ok(0, 1, {"s0@1!s", "a@1", "b@1", "s1@1!s"}).build();
+  const auto after = MeshBuilder().fail(0, 1, {"s0@1!s"}).build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  const auto res = solve(dg, SolverOptions{});
+  EXPECT_EQ(res.links.size(), 3u);  // s0|a, a|b, b|s1
+  EXPECT_EQ(res.unexplained_failure_sets, 0u);
+}
+
+TEST(Solver, WorkingPathExoneratesSharedLinks) {
+  // 0->1 fails; 0->2 works and shares the first link.
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@1!s", "a@1", "b@1", "s1@1!s"})
+                          .ok(0, 2, {"s0@1!s", "a@1", "c@1", "s2@1!s"})
+                          .build();
+  const auto after = MeshBuilder()
+                         .fail(0, 1, {"s0@1!s"})
+                         .ok(0, 2, {"s0@1!s", "a@1", "c@1", "s2@1!s"})
+                         .build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  const auto res = solve(dg, SolverOptions{});
+  EXPECT_FALSE(res.links.count("a|s0"));
+  EXPECT_TRUE(res.links.count("a|b"));
+  EXPECT_TRUE(res.links.count("b|s1"));
+}
+
+TEST(Solver, GreedyPrefersLinkCoveringMostFailures) {
+  // Three failed paths all share link a-b; each also has a private tail.
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@1!s", "a@1", "b@1", "c@1", "s1@1!s"})
+                          .ok(0, 2, {"s0@1!s", "a@1", "b@1", "d@1", "s2@1!s"})
+                          .ok(0, 3, {"s0@1!s", "a@1", "b@1", "e@1", "s3@1!s"})
+                          .build();
+  const auto after = MeshBuilder()
+                         .fail(0, 1, {"s0@1!s"})
+                         .fail(0, 2, {"s0@1!s"})
+                         .fail(0, 3, {"s0@1!s"})
+                         .build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  const auto res = solve(dg, SolverOptions{});
+  // The shared prefix links (score 3) are chosen; private tails (score 1)
+  // are all explained by then and never enter H.
+  EXPECT_EQ(res.links, std::set<std::string>({"a|s0", "a|b"}));
+  EXPECT_EQ(res.unexplained_failure_sets, 0u);
+}
+
+TEST(Solver, HypothesisIntersectsEveryExplainableFailureSet) {
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@1!s", "a@1", "b@1", "s1@1!s"})
+                          .ok(2, 3, {"s2@1!s", "c@1", "d@1", "s3@1!s"})
+                          .build();
+  const auto after = MeshBuilder()
+                         .fail(0, 1, {"s0@1!s"})
+                         .fail(2, 3, {"s2@1!s"})
+                         .build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  const auto res = solve(dg, SolverOptions{});
+  // Independent failures need separate explanations.
+  bool first = false, second = false;
+  for (const auto& l : res.links) {
+    if (l == "a|b" || l == "s0|a" || l == "b|s1") first = true;
+    if (l == "c|d" || l == "s2|c" || l == "d|s3") second = true;
+  }
+  EXPECT_TRUE(first);
+  EXPECT_TRUE(second);
+  EXPECT_EQ(res.unexplained_failure_sets, 0u);
+}
+
+TEST(Solver, MisconfigBlindWithoutLogicalLinks) {
+  // Link a-b carries a working path, yet the path to s1 through it fails
+  // (partial failure). Plain Tomo can explain nothing.
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@1!s", "a@1", "b@2", "s1@2!s"})
+                          .ok(0, 2, {"s0@1!s", "a@1", "b@2", "s2@2!s"})
+                          .build();
+  const auto after = MeshBuilder()
+                         .fail(0, 1, {"s0@1!s", "a@1"})
+                         .ok(0, 2, {"s0@1!s", "a@1", "b@2", "s2@2!s"})
+                         .build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  const auto res = solve(dg, SolverOptions{});
+  // Every link of the failed path is on the working path except b->s1.
+  EXPECT_EQ(res.links, std::set<std::string>{"b|s1"});
+}
+
+TEST(Solver, RerouteSetsRecoverRerouteableFailures) {
+  // Path 0->1 fails hard; path 0->2 reroutes from a-c to a-d.
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@1!s", "a@1", "b@1", "s1@1!s"})
+                          .ok(0, 2, {"s0@1!s", "a@1", "c@1", "s2@1!s"})
+                          .build();
+  const auto after = MeshBuilder()
+                         .fail(0, 1, {"s0@1!s"})
+                         .ok(0, 2, {"s0@1!s", "a@1", "d@1", "s2@1!s"})
+                         .build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+
+  SolverOptions tomo;  // no reroutes
+  const auto rt = solve(dg, tomo);
+  // Tomo believes the old 0->2 path still works: a-c exonerated.
+  EXPECT_FALSE(rt.links.count("a|c"));
+
+  SolverOptions nd;
+  nd.use_reroutes = true;
+  const auto re = solve(dg, nd);
+  // ND-edge adds a reroute set {a-c, c-s2} and hypothesizes from it.
+  const bool reroute_explained =
+      re.links.count("a|c") != 0 || re.links.count("c|s2") != 0;
+  EXPECT_TRUE(reroute_explained);
+}
+
+TEST(Solver, RerouteWeightsChangeScores) {
+  // One failure set {x} and two reroute sets both containing y.
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@1!s", "x@1", "s1@1!s"})
+                          .ok(0, 2, {"s0@1!s", "y@1", "s2@1!s"})
+                          .ok(0, 3, {"s0@1!s", "y@1", "s3@1!s"})
+                          .build();
+  const auto after = MeshBuilder()
+                         .fail(0, 1, {"s0@1!s"})
+                         .ok(0, 2, {"s0@1!s", "z@1", "s2@1!s"})
+                         .ok(0, 3, {"s0@1!s", "z@1", "s3@1!s"})
+                         .build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  SolverOptions opt;
+  opt.use_reroutes = true;
+  opt.weight_reroutes = 0.0;  // ignore reroutes entirely
+  const auto res = solve(dg, opt);
+  for (const auto& l : res.links) {
+    EXPECT_TRUE(l == "s0|x" || l == "s1|x") << l;
+  }
+}
+
+TEST(Solver, IgpSeedExplainsMatchingFailureSets) {
+  const auto before =
+      MeshBuilder().ok(0, 1, {"s0@1!s", "a@1", "b@1", "s1@1!s"}).build();
+  const auto after = MeshBuilder().fail(0, 1, {"s0@1!s"}).build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  SolverOptions opt;
+  opt.use_control_plane = true;
+  ControlPlaneObs cp;
+  cp.igp_down_keys = {"a|b"};
+  const auto res = solve(dg, opt, &cp);
+  // The IGP-confirmed link explains the failure alone: exact diagnosis.
+  EXPECT_EQ(res.links, std::set<std::string>{"a|b"});
+}
+
+TEST(Solver, WithdrawalPrunesUpstreamLinks) {
+  // Failed path s0 -> a -> b -> c -> s1; withdrawal for AS5's prefix
+  // received at b from c proves the failure is beyond c.
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@1!s", "a@1", "b@1", "c@5", "s1@5!s"})
+                          .build();
+  const auto after = MeshBuilder().fail(0, 1, {"s0@1!s"}).build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  SolverOptions opt;
+  opt.use_control_plane = true;
+  ControlPlaneObs cp;
+  cp.withdrawals = {{"b>c", 5}};
+  const auto res = solve(dg, opt, &cp);
+  EXPECT_FALSE(res.links.count("s0|a"));
+  EXPECT_FALSE(res.links.count("a|b"));
+  EXPECT_FALSE(res.links.count("b|c"));
+  EXPECT_TRUE(res.links.count("c|s1"));
+}
+
+TEST(Solver, WithdrawalForOtherDestinationDoesNotPrune) {
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@1!s", "a@1", "b@1", "c@5", "s1@5!s"})
+                          .build();
+  const auto after = MeshBuilder().fail(0, 1, {"s0@1!s"}).build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  SolverOptions opt;
+  opt.use_control_plane = true;
+  ControlPlaneObs cp;
+  cp.withdrawals = {{"b>c", 7}};  // different prefix
+  const auto res = solve(dg, opt, &cp);
+  EXPECT_EQ(res.links.size(), 4u);  // whole chain ties
+}
+
+TEST(Solver, UnidentifiedLinksIgnoredByDefault) {
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@1!s", "a@1", "uh:p0-1:h0", "b@2", "s1@2!s"})
+                          .build();
+  const auto after = MeshBuilder().fail(0, 1, {"s0@1!s"}).build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  const auto res = solve(dg, SolverOptions{});
+  for (graph::EdgeId e : res.hypothesis_edges) {
+    EXPECT_FALSE(dg.info(e).unidentified);
+  }
+}
+
+TEST(Solver, UhClusteringKeepsUnidentifiedCandidates) {
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@1!s", "a@1", "uh:p0-1:h0", "b@2", "s1@2!s"})
+                          .build();
+  const auto after = MeshBuilder().fail(0, 1, {"s0@1!s"}).build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  SolverOptions opt;
+  opt.uh_clustering = true;
+  opt.ignore_unidentified = false;
+  UhTagMap tags;
+  const auto uh = dg.g.find_node("uh:p0-1:h0");
+  ASSERT_TRUE(uh.has_value());
+  tags.tags[uh->value()] = {9};
+  const auto res = solve(dg, opt, nullptr, &tags);
+  bool any_uh = false;
+  for (graph::EdgeId e : res.hypothesis_edges) {
+    any_uh = any_uh || dg.info(e).unidentified;
+  }
+  EXPECT_TRUE(any_uh);
+  EXPECT_TRUE(res.ases.count(9));
+}
+
+TEST(Solver, ClusteredLinksShareScore) {
+  // Two failed paths, each crossing the same blocked AS as a run of two
+  // UHs tagged {9}. The UH-UH links cluster (same tags, different paths,
+  // one failure set each), so their joint score (2) beats every
+  // identified link (1) and the cluster alone explains both failures.
+  const auto before =
+      MeshBuilder()
+          .ok(0, 1, {"s0@1!s", "a@1", "u1", "u2", "b@2", "s1@2!s"})
+          .ok(2, 3, {"s2@3!s", "c@3", "u3", "u4", "d@2", "s3@2!s"})
+          .build();
+  const auto after = MeshBuilder()
+                         .fail(0, 1, {"s0@1!s"})
+                         .fail(2, 3, {"s2@3!s"})
+                         .build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  SolverOptions opt;
+  opt.uh_clustering = true;
+  opt.ignore_unidentified = false;
+  UhTagMap tags;
+  for (const char* u : {"u1", "u2", "u3", "u4"}) {
+    tags.tags[dg.g.find_node(u)->value()] = {9};
+  }
+  const auto res = solve(dg, opt, nullptr, &tags);
+  EXPECT_EQ(res.unexplained_failure_sets, 0u);
+  ASSERT_FALSE(res.hypothesis_edges.empty());
+  for (graph::EdgeId e : res.hypothesis_edges) {
+    EXPECT_TRUE(dg.info(e).unidentified);
+  }
+  EXPECT_EQ(res.ases, std::set<int>({9}));
+}
+
+TEST(Solver, UnresolvedUhTagsCountAsUnknown) {
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@1!s", "u1", "s1@2!s"})
+                          .build();
+  const auto after = MeshBuilder().fail(0, 1, {"s0@1!s"}).build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  SolverOptions opt;
+  opt.uh_clustering = true;
+  opt.ignore_unidentified = false;
+  UhTagMap tags;  // empty: unresolved
+  const auto res = solve(dg, opt, nullptr, &tags);
+  EXPECT_GT(res.unknown_as_links, 0u);
+}
+
+TEST(Solver, EmptyFailureSetsAreReportedUnexplained) {
+  // All links of the failed path lie on working paths (a misconfig seen
+  // without logical links): nothing can explain the failure.
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@1!s", "a@1", "s1@1!s"})
+                          .ok(0, 2, {"s0@1!s", "a@1", "s1@1!s", "s2@1!s"})
+                          .build();
+  const auto after =
+      MeshBuilder()
+          .fail(0, 1, {"s0@1!s"})
+          .ok(0, 2, {"s0@1!s", "a@1", "s1@1!s", "s2@1!s"})
+          .build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  const auto res = solve(dg, SolverOptions{});
+  EXPECT_TRUE(res.links.empty());
+  EXPECT_EQ(res.unexplained_failure_sets, 1u);
+}
+
+TEST(Solver, NoFailuresYieldsEmptyHypothesis) {
+  const auto m = MeshBuilder().ok(0, 1, {"s0@1!s", "a@1", "s1@1!s"}).build();
+  const auto dg = build_diagnosis_graph(m, m, false);
+  const auto res = solve(dg, SolverOptions{});
+  EXPECT_TRUE(res.links.empty());
+  EXPECT_TRUE(res.hypothesis_edges.empty());
+}
+
+}  // namespace
+}  // namespace netd::core
+
+namespace netd::core {
+namespace {
+
+using core::testing::MeshBuilder;
+
+TEST(SolverRanking, StrongestEvidenceFirst) {
+  // Link a-b breaks three paths; the private tails break one each — but
+  // ties are absorbed, so compare a shared (score 3) vs an isolated
+  // failure (score 1).
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@1!s", "a@1", "b@1", "c@1", "s1@1!s"})
+                          .ok(0, 2, {"s0@1!s", "a@1", "b@1", "d@1", "s2@1!s"})
+                          .ok(0, 3, {"s0@1!s", "a@1", "b@1", "e@1", "s3@1!s"})
+                          .ok(4, 5, {"s4@1!s", "z@1", "s5@1!s"})
+                          .build();
+  const auto after = MeshBuilder()
+                         .fail(0, 1, {"s0@1!s"})
+                         .fail(0, 2, {"s0@1!s"})
+                         .fail(0, 3, {"s0@1!s"})
+                         .fail(4, 5, {"s4@1!s"})
+                         .build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  const auto res = solve(dg, SolverOptions{});
+  ASSERT_GE(res.ranked.size(), 2u);
+  EXPECT_DOUBLE_EQ(res.ranked.front().score, 3.0);
+  EXPECT_EQ(res.ranked.front().round, 0);
+  // The isolated failure's links come later with score 1.
+  bool saw_isolated = false;
+  for (const auto& r : res.ranked) {
+    if (r.phys_key == "s4|z" || r.phys_key == "s5|z") {
+      saw_isolated = true;
+      EXPECT_DOUBLE_EQ(r.score, 1.0);
+      EXPECT_GT(r.round, 0);
+    }
+  }
+  EXPECT_TRUE(saw_isolated);
+  // ranked covers exactly the hypothesis keys.
+  std::set<std::string> keys;
+  for (const auto& r : res.ranked) keys.insert(r.phys_key);
+  EXPECT_EQ(keys, res.links);
+}
+
+TEST(SolverRanking, IgpSeedsRankFirst) {
+  const auto before =
+      MeshBuilder().ok(0, 1, {"s0@1!s", "a@1", "b@1", "s1@1!s"}).build();
+  const auto after = MeshBuilder().fail(0, 1, {"s0@1!s"}).build();
+  const auto dg = build_diagnosis_graph(before, after, false);
+  SolverOptions opt;
+  opt.use_control_plane = true;
+  ControlPlaneObs cp;
+  cp.igp_down_keys = {"a|b"};
+  const auto res = solve(dg, opt, &cp);
+  ASSERT_FALSE(res.ranked.empty());
+  EXPECT_EQ(res.ranked.front().phys_key, "a|b");
+  EXPECT_EQ(res.ranked.front().round, -1);
+}
+
+TEST(SolverWithdrawal, MisconfigAtWithdrawalLinkSurvivesPrune) {
+  // The withdrawal for dest prefix 2 arrives at a from b — and the
+  // misconfiguration IS at b's export toward a. The physical prune must
+  // keep the logical edges of a>b so the misconfigured link stays
+  // accusable (the solver's documented exception).
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@1!s", "a@1", "b@2", "c@3", "s1@3!s"})
+                          .ok(0, 2, {"s0@1!s", "a@1", "b@2", "d@4", "s2@4!s"})
+                          .build();
+  const auto after =
+      MeshBuilder()
+          .fail(0, 1, {"s0@1!s", "a@1"})
+          .ok(0, 2, {"s0@1!s", "a@1", "b@2", "d@4", "s2@4!s"})
+          .build();
+  const auto dg = build_diagnosis_graph(before, after, true);
+  SolverOptions opt = nd_bgpigp_options();
+  ControlPlaneObs cp;
+  cp.withdrawals = {{"a>b", 3}};
+  const auto res = solve(dg, opt, &cp);
+  EXPECT_TRUE(res.links.count("a|b"));
+  EXPECT_FALSE(res.links.count("a|s0"));  // upstream still pruned
+}
+
+}  // namespace
+}  // namespace netd::core

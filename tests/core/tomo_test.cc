@@ -1,0 +1,115 @@
+// Tomo on the paper's Fig. 1 single-source tree and related scenarios.
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+#include "mesh_builder.h"
+
+namespace netd::core {
+namespace {
+
+using core::testing::MeshBuilder;
+
+/// Fig. 1: s1 probes s2 (via r6-r7-r9-r11) and s3 (via r6-r7-r8-r10).
+/// Only the path to s2 breaks (r9-r11 failed). Every link in the failed
+/// path that is not shared with the working path is a candidate; they all
+/// tie, giving the chain r7-r9-r11-s2.
+TEST(Tomo, Figure1Scenario) {
+  const auto before =
+      MeshBuilder()
+          .ok(0, 1, {"s1@1!s", "r6@1", "r7@1", "r9@1", "r11@1", "s2@1!s"})
+          .ok(0, 2, {"s1@1!s", "r6@1", "r7@1", "r8@1", "r10@1", "s3@1!s"})
+          .build();
+  const auto after =
+      MeshBuilder()
+          .fail(0, 1, {"s1@1!s", "r6@1", "r7@1", "r9@1"})
+          .ok(0, 2, {"s1@1!s", "r6@1", "r7@1", "r8@1", "r10@1", "s3@1!s"})
+          .build();
+  const auto out = run_tomo(before, after);
+  // Shared prefix (s1-r6, r6-r7) lies on the working path: exonerated.
+  EXPECT_FALSE(out.result.links.count("r6|s1"));
+  EXPECT_FALSE(out.result.links.count("r6|r7"));
+  // The unshared suffix cannot be narrowed down further (paper §2.1).
+  EXPECT_EQ(out.result.links,
+            std::set<std::string>({"r7|r9", "r11|r9", "r11|s2"}));
+}
+
+TEST(Tomo, CrossProbesNarrowTheChain) {
+  // Cross probes exonerate the access links that carry working paths; the
+  // remaining candidates all tie at score 1 and are reported together
+  // (the paper's Algorithm 1 adds the whole set of maximum-score links).
+  const auto before =
+      MeshBuilder()
+          .ok(0, 1, {"s0@1!s", "a@1", "b@1", "s1@1!s"})
+          .ok(1, 0, {"s1@1!s", "b@1", "a@1", "s0@1!s"})
+          .ok(0, 2, {"s0@1!s", "a@1", "s2@1!s"})
+          .ok(1, 2, {"s1@1!s", "b@1", "s2@1!s"})
+          .build();
+  const auto after =
+      MeshBuilder()
+          .fail(0, 1, {"s0@1!s", "a@1"})
+          .fail(1, 0, {"s1@1!s", "b@1"})
+          .ok(0, 2, {"s0@1!s", "a@1", "s2@1!s"})
+          .ok(1, 2, {"s1@1!s", "b@1", "s2@1!s"})
+          .build();
+  const auto out = run_tomo(before, after);
+  EXPECT_TRUE(out.result.links.count("a|b"));
+  // The links of the two working spokes are exonerated.
+  EXPECT_FALSE(out.result.links.count("a|s2"));
+  EXPECT_FALSE(out.result.links.count("b|s2"));
+  EXPECT_EQ(out.result.links,
+            std::set<std::string>({"a|b", "a|s0", "b|s1"}));
+}
+
+TEST(Tomo, MissesReroutableFailure) {
+  // Both paths keep working after rerouting around x-y: Tomo sees no
+  // failed path at all (it would not even be invoked).
+  const auto before =
+      MeshBuilder().ok(0, 1, {"s0@1!s", "x@1", "y@1", "s1@1!s"}).build();
+  const auto after =
+      MeshBuilder().ok(0, 1, {"s0@1!s", "x@1", "z@1", "y@1", "s1@1!s"}).build();
+  const auto out = run_tomo(before, after);
+  EXPECT_TRUE(out.result.links.empty());
+}
+
+TEST(Tomo, MisconfigurationYieldsZeroSensitivity) {
+  // Partial failure of a-b: works for s2, fails for s1 (paper §2.5 #1).
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@1!s", "a@1", "b@2", "s1@2!s"})
+                          .ok(0, 2, {"s0@1!s", "a@1", "b@2", "s2@2!s"})
+                          .build();
+  const auto after = MeshBuilder()
+                         .fail(0, 1, {"s0@1!s", "a@1"})
+                         .ok(0, 2, {"s0@1!s", "a@1", "b@2", "s2@2!s"})
+                         .build();
+  const auto out = run_tomo(before, after);
+  // Tomo never blames the misconfigured interdomain link a-b.
+  EXPECT_FALSE(out.result.links.count("a|b"));
+}
+
+TEST(Tomo, GraphIsBuiltWithoutLogicalLinks) {
+  const auto m =
+      MeshBuilder().ok(0, 1, {"s0@1!s", "a@1", "b@2", "s1@2!s"}).build();
+  const auto out = run_tomo(m, m);
+  for (std::size_t i = 0; i < out.graph.edges.size(); ++i) {
+    EXPECT_FALSE(out.graph.edges[i].logical);
+  }
+}
+
+TEST(Tomo, MultipleIndependentFailuresAllExplained) {
+  const auto before = MeshBuilder()
+                          .ok(0, 1, {"s0@1!s", "a@1", "s1@1!s"})
+                          .ok(2, 3, {"s2@1!s", "b@1", "s3@1!s"})
+                          .ok(4, 5, {"s4@1!s", "c@1", "s5@1!s"})
+                          .build();
+  const auto after = MeshBuilder()
+                         .fail(0, 1, {"s0@1!s"})
+                         .fail(2, 3, {"s2@1!s"})
+                         .fail(4, 5, {"s4@1!s"})
+                         .build();
+  const auto out = run_tomo(before, after);
+  EXPECT_EQ(out.result.unexplained_failure_sets, 0u);
+  EXPECT_GE(out.result.links.size(), 3u);
+}
+
+}  // namespace
+}  // namespace netd::core

@@ -1,0 +1,133 @@
+#include "core/troubleshooter.h"
+
+#include <gtest/gtest.h>
+
+#include "exp/runner.h"
+#include "sim/network.h"
+#include "topo/generator.h"
+
+namespace netd::core {
+namespace {
+
+using topo::AsId;
+using topo::LinkId;
+
+class TroubleshooterTest : public ::testing::Test {
+ protected:
+  TroubleshooterTest() : net_(topo::tiny_topology()) {
+    net_.converge();
+    for (std::uint32_t as : {4u, 5u, 6u}) {
+      sensors_.push_back(probe::Sensor{
+          "s" + std::to_string(sensors_.size()),
+          net_.topology().as_of(AsId{as}).routers.front(), AsId{as}});
+    }
+    prober_.emplace(net_, sensors_);
+    snap_ = net_.snapshot();
+  }
+
+  LinkId stub6_uplink() {
+    for (const auto& l : net_.topology().links()) {
+      if (l.interdomain && (net_.topology().as_of_router(l.a) == AsId{6} ||
+                            net_.topology().as_of_router(l.b) == AsId{6})) {
+        return l.id;
+      }
+    }
+    return LinkId{};
+  }
+
+  sim::Network net_;
+  std::vector<probe::Sensor> sensors_;
+  std::optional<probe::Prober> prober_;
+  sim::Network::Snapshot snap_;
+};
+
+TEST_F(TroubleshooterTest, HealthyRoundsNeverDiagnose) {
+  Troubleshooter ts;
+  ts.set_baseline(prober_->measure());
+  for (int r = 0; r < 5; ++r) {
+    EXPECT_FALSE(ts.observe(prober_->measure()).has_value());
+  }
+  EXPECT_FALSE(ts.alarmed());
+}
+
+TEST_F(TroubleshooterTest, FlapIsFiltered) {
+  Troubleshooter::Config cfg;
+  cfg.alarm_threshold = 3;
+  Troubleshooter ts(cfg);
+  ts.set_baseline(prober_->measure());
+
+  net_.fail_link(stub6_uplink());
+  net_.reconverge();
+  EXPECT_FALSE(ts.observe(prober_->measure()).has_value());  // round 1 bad
+  net_.restore(snap_);
+  EXPECT_FALSE(ts.observe(prober_->measure()).has_value());  // recovered
+  EXPECT_FALSE(ts.alarmed());
+}
+
+TEST_F(TroubleshooterTest, PersistentFailureDiagnosedOnce) {
+  Troubleshooter::Config cfg;
+  cfg.alarm_threshold = 2;
+  Troubleshooter ts(cfg);
+  ts.set_baseline(prober_->measure());
+
+  const LinkId victim = stub6_uplink();
+  net_.fail_link(victim);
+  net_.reconverge();
+  EXPECT_FALSE(ts.observe(prober_->measure()).has_value());
+  const auto diag = ts.observe(prober_->measure());
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_TRUE(diag->result.links.count(exp::link_key(net_.topology(), victim)));
+  // Already-alarmed pairs do not re-fire.
+  EXPECT_FALSE(ts.observe(prober_->measure()).has_value());
+  EXPECT_TRUE(ts.alarmed());
+}
+
+TEST_F(TroubleshooterTest, BaselineRollsForwardOnHealthyRounds) {
+  Troubleshooter ts;
+  ts.set_baseline(prober_->measure());
+  // A reroutable event: stub 7 is multihomed; fail its preferred uplink.
+  const auto tr = net_.trace(net_.topology().as_of(AsId{7}).routers.front(),
+                             sensors_[0].attach);
+  (void)tr;
+  // Use a core-core peer failure that reroutes everything via... the tiny
+  // topology has one peer link; instead fail an intra-core link, which is
+  // recoverable inside the triangle.
+  LinkId intra;
+  for (const auto& l : net_.topology().links()) {
+    if (!l.interdomain && net_.topology().as_of_router(l.a) == AsId{0}) {
+      intra = l.id;
+      break;
+    }
+  }
+  net_.fail_link(intra);
+  net_.reconverge();
+  const auto round = prober_->measure();
+  bool all_ok = true;
+  for (const auto& p : round.paths) all_ok = all_ok && p.ok;
+  ASSERT_TRUE(all_ok) << "intra-core failure should be recoverable";
+  EXPECT_FALSE(ts.observe(round).has_value());
+  // Baseline must now equal the rerouted round.
+  for (std::size_t i = 0; i < round.paths.size(); ++i) {
+    ASSERT_EQ(ts.baseline().paths[i].hops.size(), round.paths[i].hops.size());
+  }
+}
+
+TEST_F(TroubleshooterTest, ControlPlaneOptIn) {
+  Troubleshooter::Config cfg;
+  cfg.alarm_threshold = 1;
+  cfg.solver = nd_bgpigp_options();
+  Troubleshooter ts(cfg);
+  net_.set_operator_as(AsId{0});
+  ts.set_baseline(prober_->measure());
+  net_.start_recording();
+  const LinkId victim = stub6_uplink();
+  net_.fail_link(victim);
+  net_.reconverge();
+  const auto cp = exp::collect_control_plane(net_);
+  const auto diag = ts.observe(prober_->measure(), &cp);
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_TRUE(diag->result.links.count(exp::link_key(net_.topology(), victim)));
+}
+
+}  // namespace
+}  // namespace netd::core

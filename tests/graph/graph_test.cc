@@ -1,0 +1,99 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace netd::graph {
+namespace {
+
+TEST(Graph, InternNodeIsIdempotent) {
+  Graph g;
+  const NodeId a = g.intern_node("r1", NodeKind::kRouter, 3);
+  const NodeId b = g.intern_node("r1", NodeKind::kRouter, 3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(g.num_nodes(), 1u);
+}
+
+TEST(Graph, InternNodeUpgradesUnknownAsn) {
+  Graph g;
+  const NodeId a = g.intern_node("r1", NodeKind::kRouter, -1);
+  EXPECT_EQ(g.node(a).asn, -1);
+  g.intern_node("r1", NodeKind::kRouter, 5);
+  EXPECT_EQ(g.node(a).asn, 5);
+}
+
+TEST(Graph, InternNodeKeepsKnownAsn) {
+  Graph g;
+  const NodeId a = g.intern_node("r1", NodeKind::kRouter, 5);
+  g.intern_node("r1", NodeKind::kRouter, -1);
+  EXPECT_EQ(g.node(a).asn, 5);
+}
+
+TEST(Graph, FindNode) {
+  Graph g;
+  g.intern_node("x", NodeKind::kSensor, 1);
+  EXPECT_TRUE(g.find_node("x").has_value());
+  EXPECT_FALSE(g.find_node("y").has_value());
+}
+
+TEST(Graph, EdgesAreDirected) {
+  Graph g;
+  const NodeId a = g.intern_node("a", NodeKind::kRouter, 1);
+  const NodeId b = g.intern_node("b", NodeKind::kRouter, 1);
+  const EdgeId ab = g.intern_edge(a, b);
+  const EdgeId ba = g.intern_edge(b, a);
+  EXPECT_NE(ab, ba);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Graph, InternEdgeIsIdempotent) {
+  Graph g;
+  const NodeId a = g.intern_node("a", NodeKind::kRouter, 1);
+  const NodeId b = g.intern_node("b", NodeKind::kRouter, 1);
+  EXPECT_EQ(g.intern_edge(a, b), g.intern_edge(a, b));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, FindEdge) {
+  Graph g;
+  const NodeId a = g.intern_node("a", NodeKind::kRouter, 1);
+  const NodeId b = g.intern_node("b", NodeKind::kRouter, 1);
+  const EdgeId e = g.intern_edge(a, b);
+  EXPECT_EQ(g.find_edge(a, b), e);
+  EXPECT_FALSE(g.find_edge(b, a).has_value());
+}
+
+TEST(Graph, MakePathConnectsConsecutiveLabels) {
+  Graph g;
+  for (const char* l : {"s1", "r1", "r2", "s2"}) {
+    g.intern_node(l, NodeKind::kRouter, 1);
+  }
+  const Path p = g.make_path({"s1", "r1", "r2", "s2"});
+  ASSERT_EQ(p.edges.size(), 3u);
+  EXPECT_EQ(g.node(p.src).label, "s1");
+  EXPECT_EQ(g.node(p.dst).label, "s2");
+  EXPECT_EQ(g.edge_label(p.edges[1]), "r1 -> r2");
+}
+
+TEST(Graph, SharedEdgesAcrossPaths) {
+  Graph g;
+  for (const char* l : {"a", "b", "c", "d"}) {
+    g.intern_node(l, NodeKind::kRouter, 1);
+  }
+  const Path p1 = g.make_path({"a", "b", "c"});
+  const Path p2 = g.make_path({"d", "b", "c"});
+  EXPECT_EQ(p1.edges[1], p2.edges[1]);  // b->c shared
+  EXPECT_NE(p1.edges[0], p2.edges[0]);
+}
+
+TEST(Graph, NodeKindsPreserved) {
+  Graph g;
+  const NodeId s = g.intern_node("s", NodeKind::kSensor, 2);
+  const NodeId u = g.intern_node("uh:1", NodeKind::kUnidentified, -1);
+  const NodeId l = g.intern_node("r(AS9)", NodeKind::kLogical, 4);
+  EXPECT_EQ(g.node(s).kind, NodeKind::kSensor);
+  EXPECT_EQ(g.node(u).kind, NodeKind::kUnidentified);
+  EXPECT_EQ(g.node(l).kind, NodeKind::kLogical);
+}
+
+}  // namespace
+}  // namespace netd::graph

@@ -1,0 +1,133 @@
+#include "igp/igp.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/generator.h"
+
+namespace netd::igp {
+namespace {
+
+using topo::AsClass;
+using topo::AsId;
+using topo::LinkId;
+using topo::RouterId;
+using topo::Topology;
+
+/// Square AS: r0-r1-r3 and r0-r2-r3, plus a heavy direct r0-r3 link.
+class IgpSquare : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    as_ = t_.add_as(AsClass::kTier2);
+    for (int i = 0; i < 4; ++i) r_.push_back(t_.add_router(as_));
+    l01_ = t_.add_intra_link(r_[0], r_[1], 1);
+    l13_ = t_.add_intra_link(r_[1], r_[3], 1);
+    l02_ = t_.add_intra_link(r_[0], r_[2], 1);
+    l23_ = t_.add_intra_link(r_[2], r_[3], 1);
+    l03_ = t_.add_intra_link(r_[0], r_[3], 5);
+  }
+
+  Topology t_;
+  AsId as_;
+  std::vector<RouterId> r_;
+  LinkId l01_, l13_, l02_, l23_, l03_;
+};
+
+TEST_F(IgpSquare, ShortestPathDistances) {
+  IgpState igp(t_);
+  EXPECT_EQ(igp.distance(r_[0], r_[0]), 0);
+  EXPECT_EQ(igp.distance(r_[0], r_[1]), 1);
+  EXPECT_EQ(igp.distance(r_[0], r_[3]), 2);  // via r1 or r2, not the 5-link
+  EXPECT_EQ(igp.distance(r_[1], r_[2]), 2);
+}
+
+TEST_F(IgpSquare, NextHopFollowsShortestPath) {
+  IgpState igp(t_);
+  const auto nh = igp.next_hop(r_[0], r_[3]);
+  ASSERT_TRUE(nh.has_value());
+  EXPECT_TRUE(*nh == l01_ || *nh == l02_);
+  EXPECT_NE(*nh, l03_);
+}
+
+TEST_F(IgpSquare, DeterministicTieBreak) {
+  IgpState a(t_), b(t_);
+  EXPECT_EQ(a.next_hop(r_[0], r_[3]), b.next_hop(r_[0], r_[3]));
+  EXPECT_EQ(a.next_hop(r_[1], r_[2]), b.next_hop(r_[1], r_[2]));
+}
+
+TEST_F(IgpSquare, ReroutesAroundFailedLink) {
+  IgpState igp(t_);
+  t_.set_link_up(l01_, false);
+  igp.recompute_as(as_);
+  EXPECT_EQ(igp.distance(r_[0], r_[1]), 3);  // r0-r2-r3-r1
+  EXPECT_EQ(igp.next_hop(r_[0], r_[1]), l02_);
+}
+
+TEST_F(IgpSquare, FallsBackToHeavyLinkWhenNeeded) {
+  IgpState igp(t_);
+  t_.set_link_up(l01_, false);
+  t_.set_link_up(l02_, false);
+  igp.recompute_as(as_);
+  EXPECT_EQ(igp.distance(r_[0], r_[3]), 5);
+  EXPECT_EQ(igp.next_hop(r_[0], r_[3]), l03_);
+}
+
+TEST_F(IgpSquare, DisconnectedIsUnreachable) {
+  IgpState igp(t_);
+  t_.set_link_up(l01_, false);
+  t_.set_link_up(l02_, false);
+  t_.set_link_up(l03_, false);
+  igp.recompute_as(as_);
+  EXPECT_FALSE(igp.reachable(r_[0], r_[3]));
+  EXPECT_EQ(igp.distance(r_[0], r_[3]), IgpState::kUnreachable);
+  EXPECT_FALSE(igp.next_hop(r_[0], r_[3]).has_value());
+  // r1, r2, r3 remain mutually reachable.
+  EXPECT_TRUE(igp.reachable(r_[1], r_[2]));
+}
+
+TEST_F(IgpSquare, DownRouterIsExcluded) {
+  IgpState igp(t_);
+  t_.set_router_up(r_[1], false);
+  t_.set_router_up(r_[2], false);
+  igp.recompute_as(as_);
+  EXPECT_EQ(igp.distance(r_[0], r_[3]), 5);  // only the direct heavy link
+}
+
+TEST_F(IgpSquare, RecomputeRestoresState) {
+  IgpState igp(t_);
+  t_.set_link_up(l01_, false);
+  igp.recompute_as(as_);
+  t_.set_link_up(l01_, true);
+  igp.recompute_as(as_);
+  EXPECT_EQ(igp.distance(r_[0], r_[1]), 1);
+}
+
+TEST(Igp, InterdomainLinksAreIgnored) {
+  Topology t;
+  const AsId a = t.add_as(AsClass::kStub);
+  const AsId b = t.add_as(AsClass::kStub);
+  const RouterId ra = t.add_router(a);
+  const RouterId rb = t.add_router(b);
+  t.add_inter_link(ra, rb, topo::Relationship::kPeer);
+  IgpState igp(t);
+  // Same-AS queries only; each AS has one router, trivially reachable.
+  EXPECT_EQ(igp.distance(ra, ra), 0);
+  EXPECT_EQ(igp.distance(rb, rb), 0);
+}
+
+TEST(Igp, WorksOnGeneratedTopology) {
+  const Topology t = topo::generate(topo::GeneratorParams{});
+  IgpState igp(t);
+  // Every intra-AS router pair of the cores must be mutually reachable.
+  for (std::uint32_t asv = 0; asv < 3; ++asv) {
+    const auto& as = t.as_of(AsId{asv});
+    for (RouterId u : as.routers) {
+      for (RouterId v : as.routers) {
+        EXPECT_TRUE(igp.reachable(u, v));
+        EXPECT_EQ(igp.distance(u, v), igp.distance(v, u));  // symmetric weights
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace netd::igp

@@ -1,0 +1,143 @@
+// End-to-end runs of the experiment harness (exp::Runner).
+#include <gtest/gtest.h>
+
+#include "exp/runner.h"
+
+namespace netd::exp {
+namespace {
+
+ScenarioConfig small_config() {
+  ScenarioConfig cfg;
+  cfg.num_placements = 2;
+  cfg.trials_per_placement = 5;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Runner, ProducesRequestedTrials) {
+  Runner runner(small_config());
+  const auto results = runner.run({Algo::kTomo, Algo::kNdEdge});
+  EXPECT_GT(results.size(), 0u);
+  EXPECT_LE(results.size(), 10u);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.link.count(Algo::kTomo));
+    ASSERT_TRUE(r.link.count(Algo::kNdEdge));
+  }
+}
+
+TEST(Runner, MetricsAreInRange) {
+  Runner runner(small_config());
+  const auto results = runner.run({Algo::kNdEdge});
+  for (const auto& r : results) {
+    const auto& m = r.link.at(Algo::kNdEdge);
+    EXPECT_GE(m.sensitivity, 0.0);
+    EXPECT_LE(m.sensitivity, 1.0);
+    EXPECT_GE(m.specificity, 0.0);
+    EXPECT_LE(m.specificity, 1.0);
+    EXPECT_GT(m.num_probed, 0u);
+    EXPECT_GT(r.diagnosability, 0.0);
+    EXPECT_LE(r.diagnosability, 1.0);
+    const auto& a = r.as_level.at(Algo::kNdEdge);
+    EXPECT_GE(a.sensitivity, 0.0);
+    EXPECT_LE(a.specificity, 1.0);
+  }
+}
+
+TEST(Runner, DeterministicForFixedSeed) {
+  Runner r1(small_config());
+  Runner r2(small_config());
+  const auto a = r1.run({Algo::kNdEdge});
+  const auto b = r2.run({Algo::kNdEdge});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].link.at(Algo::kNdEdge).sensitivity,
+                     b[i].link.at(Algo::kNdEdge).sensitivity);
+    EXPECT_DOUBLE_EQ(a[i].link.at(Algo::kNdEdge).specificity,
+                     b[i].link.at(Algo::kNdEdge).specificity);
+  }
+}
+
+TEST(Runner, MisconfigurationMode) {
+  ScenarioConfig cfg = small_config();
+  cfg.mode = FailureMode::kMisconfig;
+  Runner runner(cfg);
+  const auto results = runner.run({Algo::kTomo, Algo::kNdEdge});
+  ASSERT_GT(results.size(), 0u);
+  double tomo = 0, nd = 0;
+  for (const auto& r : results) {
+    tomo += r.link.at(Algo::kTomo).sensitivity;
+    nd += r.link.at(Algo::kNdEdge).sensitivity;
+  }
+  EXPECT_GE(nd, tomo);
+}
+
+TEST(Runner, RouterFailureMode) {
+  ScenarioConfig cfg = small_config();
+  cfg.mode = FailureMode::kRouter;
+  Runner runner(cfg);
+  const auto results = runner.run({Algo::kNdEdge});
+  ASSERT_GT(results.size(), 0u);
+  std::size_t detected = 0;
+  for (const auto& r : results) detected += r.router_detected;
+  // ND-edge identified the failed router in (nearly) every run (§5.2).
+  EXPECT_GE(detected * 10, results.size() * 8);
+}
+
+TEST(Runner, BlockedTraceroutesWithNdLg) {
+  ScenarioConfig cfg = small_config();
+  cfg.frac_blocked = 0.5;
+  cfg.trials_per_placement = 3;
+  Runner runner(cfg);
+  const auto results = runner.run({Algo::kNdBgpIgp, Algo::kNdLg});
+  ASSERT_GT(results.size(), 0u);
+  double lg = 0, bgpigp = 0;
+  for (const auto& r : results) {
+    lg += r.as_level.at(Algo::kNdLg).sensitivity;
+    bgpigp += r.as_level.at(Algo::kNdBgpIgp).sensitivity;
+  }
+  EXPECT_GE(lg, bgpigp);
+}
+
+TEST(Runner, OperatorAtStubStillWorks) {
+  ScenarioConfig cfg = small_config();
+  cfg.operator_at_core = false;
+  cfg.trials_per_placement = 3;
+  Runner runner(cfg);
+  const auto results = runner.run({Algo::kNdBgpIgp});
+  EXPECT_GT(results.size(), 0u);
+}
+
+TEST(CollectControlPlane, TranslatesToLabelSpace) {
+  sim::Network net(topo::tiny_topology());
+  net.converge();
+  net.set_operator_as(topo::AsId{0});
+  net.start_recording();
+  // Fail an AS0-internal link.
+  for (const auto& l : net.topology().links()) {
+    if (!l.interdomain && net.topology().as_of_router(l.a) == topo::AsId{0}) {
+      net.fail_link(l.id);
+      break;
+    }
+  }
+  net.reconverge();
+  const auto cp = collect_control_plane(net);
+  ASSERT_EQ(cp.igp_down_keys.size(), 1u);
+  EXPECT_NE(cp.igp_down_keys[0].find("AS0:"), std::string::npos);
+  EXPECT_NE(cp.igp_down_keys[0].find('|'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netd::exp
+
+namespace netd::exp {
+namespace {
+
+TEST(AlgoNames, ToStringCoversAll) {
+  EXPECT_STREQ(to_string(Algo::kTomo), "Tomo");
+  EXPECT_STREQ(to_string(Algo::kNdEdge), "ND-edge");
+  EXPECT_STREQ(to_string(Algo::kNdBgpIgp), "ND-bgpigp");
+  EXPECT_STREQ(to_string(Algo::kNdLg), "ND-LG");
+}
+
+}  // namespace
+}  // namespace netd::exp

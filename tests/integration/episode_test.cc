@@ -1,0 +1,116 @@
+// The for_each_episode protocol itself: ground truth consistency,
+// determinism, and the exact evaluation conventions of §4.
+#include <gtest/gtest.h>
+
+#include "exp/runner.h"
+
+namespace netd::exp {
+namespace {
+
+ScenarioConfig tiny_cfg(std::uint64_t seed = 7) {
+  ScenarioConfig cfg;
+  cfg.num_placements = 2;
+  cfg.trials_per_placement = 4;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Episode, GroundTruthIsConsistent) {
+  Runner runner(tiny_cfg());
+  std::size_t episodes = 0;
+  runner.for_each_episode([&](const EpisodeContext& ep) {
+    ++episodes;
+    // F non-empty and within the probed universe at AS level.
+    EXPECT_FALSE(ep.failed_links.empty());
+    EXPECT_FALSE(ep.failed_ases.empty());
+    for (int as : ep.failed_ases) {
+      EXPECT_TRUE(ep.universe.count(as));
+    }
+    // Some pair must actually have broken.
+    bool broken = false;
+    for (std::size_t k = 0; k < ep.before.paths.size(); ++k) {
+      broken = broken ||
+               (ep.before.paths[k].ok && !ep.after.paths[k].ok);
+    }
+    EXPECT_TRUE(broken);
+    EXPECT_GT(ep.diagnosability, 0.0);
+    EXPECT_LE(ep.diagnosability, 1.0);
+  });
+  EXPECT_GT(episodes, 0u);
+}
+
+TEST(Episode, MeshesAreIndexAligned) {
+  Runner runner(tiny_cfg(9));
+  runner.for_each_episode([&](const EpisodeContext& ep) {
+    ASSERT_EQ(ep.before.paths.size(), ep.after.paths.size());
+    for (std::size_t k = 0; k < ep.before.paths.size(); ++k) {
+      EXPECT_EQ(ep.before.paths[k].src, ep.after.paths[k].src);
+      EXPECT_EQ(ep.before.paths[k].dst, ep.after.paths[k].dst);
+    }
+  });
+}
+
+TEST(Episode, DeterministicSequence) {
+  std::vector<std::string> a, b;
+  for (auto* out : {&a, &b}) {
+    Runner runner(tiny_cfg(11));
+    runner.for_each_episode([&](const EpisodeContext& ep) {
+      std::string sig;
+      for (const auto& l : ep.failed_links) sig += l + ";";
+      out->push_back(sig);
+    });
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(Episode, LgPresentOnlyWhenRequested) {
+  Runner r1(tiny_cfg(13));
+  r1.for_each_episode(
+      [&](const EpisodeContext& ep) { EXPECT_EQ(ep.lg, nullptr); });
+  Runner r2(tiny_cfg(13));
+  r2.for_each_episode(
+      [&](const EpisodeContext& ep) { EXPECT_NE(ep.lg, nullptr); },
+      /*deploy_lg=*/true);
+}
+
+TEST(Episode, BlockedScenarioDeploysLg) {
+  ScenarioConfig cfg = tiny_cfg(15);
+  cfg.frac_blocked = 0.4;
+  cfg.trials_per_placement = 2;
+  Runner runner(cfg);
+  std::size_t uh_pairs = 0;
+  runner.for_each_episode([&](const EpisodeContext& ep) {
+    EXPECT_NE(ep.lg, nullptr);
+    for (const auto& p : ep.before.paths) {
+      for (const auto& h : p.hops) {
+        if (h.kind == graph::NodeKind::kUnidentified) {
+          ++uh_pairs;
+          return;
+        }
+      }
+    }
+  });
+  EXPECT_GT(uh_pairs, 0u);
+}
+
+TEST(Episode, MisconfigModeFailsNoPhysicalLink) {
+  ScenarioConfig cfg = tiny_cfg(17);
+  cfg.mode = FailureMode::kMisconfig;
+  Runner runner(cfg);
+  runner.for_each_episode([&](const EpisodeContext& ep) {
+    // Exactly one misconfigured link in F; the physical plant is intact.
+    EXPECT_EQ(ep.failed_links.size(), 1u);
+  });
+}
+
+TEST(Episode, RouterModeFailsAllItsProbedLinks) {
+  ScenarioConfig cfg = tiny_cfg(19);
+  cfg.mode = FailureMode::kRouter;
+  Runner runner(cfg);
+  runner.for_each_episode([&](const EpisodeContext& ep) {
+    EXPECT_GE(ep.failed_links.size(), 1u);
+  });
+}
+
+}  // namespace
+}  // namespace netd::exp

@@ -1,0 +1,154 @@
+// Statistical reproduction of the paper's headline claims at reduced run
+// counts. These are the qualitative shapes the benchmarks regenerate at
+// full scale (see EXPERIMENTS.md).
+#include <gtest/gtest.h>
+
+#include "exp/runner.h"
+#include "util/stats.h"
+
+namespace netd::exp {
+namespace {
+
+ScenarioConfig base_config(std::uint64_t seed = 101) {
+  ScenarioConfig cfg;
+  cfg.num_placements = 3;
+  cfg.trials_per_placement = 8;
+  cfg.seed = seed;
+  return cfg;
+}
+
+double mean_link_sensitivity(const std::vector<TrialResult>& rs, Algo a) {
+  util::Summary s;
+  for (const auto& r : rs) s.add(r.link.at(a).sensitivity);
+  return s.mean();
+}
+
+TEST(PaperClaims, TomoPerfectOnSingleLinkFailures) {
+  // §5.1: "Tomo is able to find the failed link when there is only a
+  // single link failure (sensitivity is one for almost all instances)".
+  ScenarioConfig cfg = base_config();
+  cfg.num_link_failures = 1;
+  Runner runner(cfg);
+  const auto rs = runner.run({Algo::kTomo});
+  ASSERT_GT(rs.size(), 10u);
+  std::size_t perfect = 0;
+  for (const auto& r : rs) {
+    perfect += r.link.at(Algo::kTomo).sensitivity == 1.0;
+  }
+  // "sensitivity is one for almost all simulation instances": unlike the
+  // paper's idealized claim, a single non-recoverable failure can still
+  // reroute *some* pairs (partial recoverability), which Tomo's working
+  // constraints then mis-use; a small residue below 1.0 remains.
+  EXPECT_GE(perfect * 10, rs.size() * 8);
+}
+
+TEST(PaperClaims, TomoDegradesWithMultipleFailures) {
+  // §5.1: sensitivity drops for 2-3 simultaneous failures.
+  ScenarioConfig one = base_config(103);
+  one.num_link_failures = 1;
+  ScenarioConfig three = base_config(103);
+  three.num_link_failures = 3;
+  const auto r1 = Runner(one).run({Algo::kTomo});
+  const auto r3 = Runner(three).run({Algo::kTomo});
+  ASSERT_GT(r1.size(), 0u);
+  ASSERT_GT(r3.size(), 0u);
+  EXPECT_GT(mean_link_sensitivity(r1, Algo::kTomo),
+            mean_link_sensitivity(r3, Algo::kTomo));
+}
+
+TEST(PaperClaims, NdEdgeBeatsTomoOnThreeFailures) {
+  // Fig. 7 top: ND-edge ~1, Tomo clearly lower.
+  ScenarioConfig cfg = base_config(107);
+  cfg.num_link_failures = 3;
+  Runner runner(cfg);
+  const auto rs = runner.run({Algo::kTomo, Algo::kNdEdge});
+  ASSERT_GT(rs.size(), 0u);
+  const double tomo = mean_link_sensitivity(rs, Algo::kTomo);
+  const double nd = mean_link_sensitivity(rs, Algo::kNdEdge);
+  EXPECT_GT(nd, tomo);
+  EXPECT_GE(nd, 0.9);
+}
+
+TEST(PaperClaims, TomoNearZeroOnMisconfigurations) {
+  // Fig. 6 bottom: sensitivity zero in ~90% of misconfiguration cases.
+  ScenarioConfig cfg = base_config(109);
+  cfg.mode = FailureMode::kMisconfig;
+  Runner runner(cfg);
+  const auto rs = runner.run({Algo::kTomo, Algo::kNdEdge});
+  ASSERT_GT(rs.size(), 0u);
+  std::size_t tomo_zero = 0, nd_one = 0;
+  for (const auto& r : rs) {
+    tomo_zero += r.link.at(Algo::kTomo).sensitivity == 0.0;
+    nd_one += r.link.at(Algo::kNdEdge).sensitivity == 1.0;
+  }
+  EXPECT_GE(tomo_zero * 10, rs.size() * 7);
+  EXPECT_GE(nd_one * 10, rs.size() * 8);
+}
+
+TEST(PaperClaims, NdEdgeSpecificityHigh) {
+  // Fig. 8: specificity > 0.9 for single link failures.
+  ScenarioConfig cfg = base_config(113);
+  Runner runner(cfg);
+  const auto rs = runner.run({Algo::kNdEdge});
+  ASSERT_GT(rs.size(), 0u);
+  util::Summary s;
+  for (const auto& r : rs) s.add(r.link.at(Algo::kNdEdge).specificity);
+  EXPECT_GE(s.mean(), 0.9);
+}
+
+TEST(PaperClaims, BgpIgpSpecificityAtLeastNdEdge) {
+  // Fig. 10: control-plane data improves (or preserves) specificity at
+  // equal sensitivity.
+  ScenarioConfig cfg = base_config(127);
+  cfg.num_link_failures = 3;
+  Runner runner(cfg);
+  const auto rs = runner.run({Algo::kNdEdge, Algo::kNdBgpIgp});
+  ASSERT_GT(rs.size(), 0u);
+  util::Summary edge, bgp;
+  for (const auto& r : rs) {
+    edge.add(r.link.at(Algo::kNdEdge).specificity);
+    bgp.add(r.link.at(Algo::kNdBgpIgp).specificity);
+  }
+  EXPECT_GE(bgp.mean() + 1e-9, edge.mean());
+  // Withdrawal pruning assumes one failure per failed path; with several
+  // simultaneous failures it can prune a true source-side link in a few
+  // episodes. The paper's CDFs (1000 runs) do not resolve this ~1% effect;
+  // we tolerate it explicitly.
+  EXPECT_GE(mean_link_sensitivity(rs, Algo::kNdBgpIgp),
+            mean_link_sensitivity(rs, Algo::kNdEdge) - 0.05);
+}
+
+TEST(PaperClaims, NdLgSensitivityRobustToBlocking) {
+  // Fig. 11: ND-LG AS-sensitivity stays high as f_b grows while
+  // ND-bgpigp's collapses toward 1 - f_b.
+  ScenarioConfig cfg = base_config(131);
+  cfg.frac_blocked = 0.6;
+  cfg.trials_per_placement = 6;
+  Runner runner(cfg);
+  const auto rs = runner.run({Algo::kNdBgpIgp, Algo::kNdLg});
+  ASSERT_GT(rs.size(), 0u);
+  util::Summary lg, bgp;
+  for (const auto& r : rs) {
+    lg.add(r.as_level.at(Algo::kNdLg).sensitivity);
+    bgp.add(r.as_level.at(Algo::kNdBgpIgp).sensitivity);
+  }
+  EXPECT_GT(lg.mean(), bgp.mean());
+  EXPECT_GE(lg.mean(), 0.55);
+}
+
+TEST(PaperClaims, DiagnosabilityInPaperBand) {
+  // §4: with 10 random-stub sensors the paper sees D(G) in 0.25..0.6
+  // (and 0.41 on PlanetLab).
+  ScenarioConfig cfg = base_config(137);
+  cfg.trials_per_placement = 1;
+  Runner runner(cfg);
+  const auto rs = runner.run({Algo::kTomo});
+  ASSERT_GT(rs.size(), 0u);
+  for (const auto& r : rs) {
+    EXPECT_GT(r.diagnosability, 0.15);
+    EXPECT_LT(r.diagnosability, 0.75);
+  }
+}
+
+}  // namespace
+}  // namespace netd::exp

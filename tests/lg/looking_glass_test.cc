@@ -1,0 +1,96 @@
+#include "lg/looking_glass.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/generator.h"
+
+namespace netd::lg {
+namespace {
+
+using topo::AsId;
+using topo::PrefixId;
+
+class LgTest : public ::testing::Test {
+ protected:
+  LgTest() : net_(topo::tiny_topology()) { net_.converge(); }
+  sim::Network net_;
+};
+
+TEST_F(LgTest, OwnPrefixIsTrivialPath) {
+  const LgTable table(net_);
+  const auto p = table.as_path(AsId{3}, PrefixId{3});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, std::vector<AsId>{AsId{3}});
+}
+
+TEST_F(LgTest, PathStartsAtQueriedAsAndEndsAtOrigin) {
+  const LgTable table(net_);
+  const auto p = table.as_path(AsId{4}, PrefixId{6});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->front(), AsId{4});
+  EXPECT_EQ(p->back(), AsId{6});
+  EXPECT_GE(p->size(), 3u);
+}
+
+TEST_F(LgTest, PathMatchesTracerouteAsSequence) {
+  const LgTable table(net_);
+  const auto& topo = net_.topology();
+  const auto tr = net_.trace(topo.as_of(AsId{4}).routers.front(),
+                             topo.as_of(AsId{6}).routers.front());
+  ASSERT_TRUE(tr.ok);
+  std::vector<AsId> as_seq;
+  for (const auto r : tr.hops) {
+    const AsId as = topo.as_of_router(r);
+    if (as_seq.empty() || as_seq.back() != as) as_seq.push_back(as);
+  }
+  const auto p = table.as_path(AsId{4}, PrefixId{6});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, as_seq);
+}
+
+TEST_F(LgTest, UnreachablePrefixHasNoPath) {
+  // Cut stub 6 off, rebuild the table: no route anywhere.
+  topo::LinkId uplink;
+  for (const auto& l : net_.topology().links()) {
+    if (l.interdomain && (net_.topology().as_of_router(l.a) == AsId{6} ||
+                          net_.topology().as_of_router(l.b) == AsId{6})) {
+      uplink = l.id;
+      break;
+    }
+  }
+  net_.fail_link(uplink);
+  net_.reconverge();
+  const LgTable table(net_);
+  EXPECT_FALSE(table.as_path(AsId{4}, PrefixId{6}).has_value());
+}
+
+TEST_F(LgTest, ServiceAvailabilityFilter) {
+  const LgTable table(net_);
+  const LookingGlassService svc(table, {4u}, AsId{0});
+  EXPECT_TRUE(svc.available(AsId{4}));
+  EXPECT_FALSE(svc.available(AsId{5}));
+  EXPECT_TRUE(svc.query(AsId{4}, PrefixId{6}).has_value());
+  EXPECT_FALSE(svc.query(AsId{5}, PrefixId{6}).has_value());
+}
+
+TEST_F(LgTest, OperatorAsAlwaysAnswers) {
+  const LgTable table(net_);
+  const LookingGlassService svc(table, {}, AsId{0});
+  EXPECT_TRUE(svc.available(AsId{0}));
+  EXPECT_TRUE(svc.query(AsId{0}, PrefixId{6}).has_value());
+}
+
+TEST_F(LgTest, TableOnGeneratedTopologyIsComplete) {
+  sim::Network net(topo::generate(topo::GeneratorParams{}));
+  net.converge();
+  const LgTable table(net);
+  // Sample: every core AS can resolve every prefix.
+  for (std::uint32_t as = 0; as < 3; ++as) {
+    for (std::uint32_t p = 0; p < net.topology().num_ases(); p += 13) {
+      EXPECT_TRUE(table.as_path(AsId{as}, PrefixId{p}).has_value());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace netd::lg

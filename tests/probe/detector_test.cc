@@ -1,0 +1,82 @@
+#include "probe/detector.h"
+
+#include <gtest/gtest.h>
+
+namespace netd::probe {
+namespace {
+
+Mesh mesh_with(const std::vector<bool>& oks) {
+  Mesh m;
+  for (std::size_t i = 0; i < oks.size(); ++i) {
+    TracePath p;
+    p.src = i;
+    p.dst = (i + 1) % oks.size();
+    p.ok = oks[i];
+    m.paths.push_back(std::move(p));
+  }
+  return m;
+}
+
+TEST(Detector, SingleFlapSuppressed) {
+  UnreachabilityDetector det(3);
+  EXPECT_TRUE(det.observe(mesh_with({false, true})).empty());
+  EXPECT_TRUE(det.observe(mesh_with({true, true})).empty());
+  EXPECT_FALSE(det.any_alarm());
+}
+
+TEST(Detector, PersistentFailureFiresAfterThreshold) {
+  UnreachabilityDetector det(3);
+  EXPECT_TRUE(det.observe(mesh_with({false, true})).empty());
+  EXPECT_TRUE(det.observe(mesh_with({false, true})).empty());
+  const auto fired = det.observe(mesh_with({false, true}));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 0u);
+  EXPECT_TRUE(det.alarmed(0));
+  EXPECT_FALSE(det.alarmed(1));
+  EXPECT_TRUE(det.any_alarm());
+}
+
+TEST(Detector, FiresOnlyOncePerOutage) {
+  UnreachabilityDetector det(2);
+  det.observe(mesh_with({false}));
+  EXPECT_EQ(det.observe(mesh_with({false})).size(), 1u);
+  EXPECT_TRUE(det.observe(mesh_with({false})).empty());  // still down: no re-fire
+  EXPECT_TRUE(det.alarmed(0));
+}
+
+TEST(Detector, RecoveryClearsAlarmAndCounter) {
+  UnreachabilityDetector det(2);
+  det.observe(mesh_with({false}));
+  det.observe(mesh_with({false}));
+  EXPECT_TRUE(det.alarmed(0));
+  det.observe(mesh_with({true}));
+  EXPECT_FALSE(det.alarmed(0));
+  // Counter restarted: one more failure does not re-fire at threshold 2.
+  EXPECT_TRUE(det.observe(mesh_with({false})).empty());
+  EXPECT_EQ(det.observe(mesh_with({false})).size(), 1u);
+}
+
+TEST(Detector, ThresholdOneIsNaiveDetection) {
+  UnreachabilityDetector det(1);
+  const auto fired = det.observe(mesh_with({false, false, true}));
+  EXPECT_EQ(fired.size(), 2u);
+}
+
+TEST(Detector, IndependentPairs) {
+  UnreachabilityDetector det(2);
+  det.observe(mesh_with({false, true, false}));
+  const auto fired = det.observe(mesh_with({false, false, true}));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 0u);
+}
+
+TEST(Detector, ResetForgetsEverything) {
+  UnreachabilityDetector det(2);
+  det.observe(mesh_with({false}));
+  det.reset();
+  EXPECT_TRUE(det.observe(mesh_with({false})).empty());
+  EXPECT_FALSE(det.any_alarm());
+}
+
+}  // namespace
+}  // namespace netd::probe

@@ -1,0 +1,160 @@
+#include "probe/prober.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/generator.h"
+
+namespace netd::probe {
+namespace {
+
+using topo::AsId;
+using topo::RouterId;
+
+class ProberTest : public ::testing::Test {
+ protected:
+  ProberTest() : net_(topo::tiny_topology()) {
+    net_.converge();
+    for (std::uint32_t as : {4u, 5u, 6u}) {
+      sensors_.push_back(
+          Sensor{"s" + std::to_string(sensors_.size()),
+                 net_.topology().as_of(AsId{as}).routers.front(), AsId{as}});
+    }
+  }
+
+  sim::Network net_;
+  std::vector<Sensor> sensors_;
+};
+
+TEST_F(ProberTest, FullMeshHasAllOrderedPairs) {
+  Prober p(net_, sensors_);
+  const Mesh m = p.measure();
+  EXPECT_EQ(m.paths.size(), 6u);  // 3 * 2
+  for (const auto& path : m.paths) {
+    EXPECT_NE(path.src, path.dst);
+    EXPECT_TRUE(path.ok);
+  }
+}
+
+TEST_F(ProberTest, PathsStartAndEndWithSensors) {
+  Prober p(net_, sensors_);
+  const Mesh m = p.measure();
+  for (const auto& path : m.paths) {
+    EXPECT_EQ(path.hops.front().kind, graph::NodeKind::kSensor);
+    EXPECT_EQ(path.hops.front().label, sensors_[path.src].name);
+    EXPECT_EQ(path.hops.back().kind, graph::NodeKind::kSensor);
+    EXPECT_EQ(path.hops.back().label, sensors_[path.dst].name);
+  }
+}
+
+TEST_F(ProberTest, IdentifiedHopsCarryAsns) {
+  Prober p(net_, sensors_);
+  const Mesh m = p.measure();
+  for (const auto& path : m.paths) {
+    for (const auto& h : path.hops) {
+      EXPECT_GE(h.asn, 0);
+      EXPECT_TRUE(h.router.valid());
+    }
+  }
+}
+
+TEST_F(ProberTest, GroundTruthLinksAlignWithHops) {
+  Prober p(net_, sensors_);
+  const Mesh m = p.measure();
+  for (const auto& path : m.paths) {
+    // hops = [sensor, r0.., rk, sensor]; links connect the routers.
+    EXPECT_EQ(path.links.size() + 3, path.hops.size());
+  }
+}
+
+TEST_F(ProberTest, BlockedAsBecomesUnidentified) {
+  Prober p(net_, sensors_, {2u});  // tier-2 AS2 blocks
+  const Mesh m = p.measure();
+  bool saw_uh = false;
+  for (const auto& path : m.paths) {
+    for (const auto& h : path.hops) {
+      if (h.kind == graph::NodeKind::kUnidentified) {
+        saw_uh = true;
+        EXPECT_EQ(h.asn, -1);
+        EXPECT_TRUE(h.router.valid());  // ground truth retained
+        EXPECT_EQ(net_.topology().as_of_router(h.router), AsId{2});
+      } else if (h.router.valid()) {
+        EXPECT_NE(net_.topology().as_of_router(h.router), AsId{2});
+      }
+    }
+  }
+  EXPECT_TRUE(saw_uh);
+}
+
+TEST_F(ProberTest, UhTokensUniquePerPath) {
+  Prober p(net_, sensors_, {2u});
+  const Mesh m = p.measure();
+  std::map<std::string, std::pair<std::size_t, std::size_t>> owner;
+  for (const auto& path : m.paths) {
+    for (const auto& h : path.hops) {
+      if (h.kind != graph::NodeKind::kUnidentified) continue;
+      const auto key = std::make_pair(path.src, path.dst);
+      auto [it, inserted] = owner.emplace(h.label, key);
+      EXPECT_TRUE(inserted || it->second == key)
+          << "UH token " << h.label << " reused across paths";
+    }
+  }
+}
+
+TEST_F(ProberTest, UhTokensStableAcrossMeasurements) {
+  Prober p(net_, sensors_, {2u});
+  const Mesh m1 = p.measure();
+  const Mesh m2 = p.measure();
+  ASSERT_EQ(m1.paths.size(), m2.paths.size());
+  for (std::size_t i = 0; i < m1.paths.size(); ++i) {
+    ASSERT_EQ(m1.paths[i].hops.size(), m2.paths[i].hops.size());
+    for (std::size_t k = 0; k < m1.paths[i].hops.size(); ++k) {
+      EXPECT_EQ(m1.paths[i].hops[k].label, m2.paths[i].hops[k].label);
+    }
+  }
+}
+
+TEST_F(ProberTest, ProbedLinksAreUniqueAndOnPaths) {
+  Prober p(net_, sensors_);
+  const Mesh m = p.measure();
+  const auto links = m.probed_links();
+  std::set<std::uint32_t> s;
+  for (auto l : links) EXPECT_TRUE(s.insert(l.value()).second);
+  EXPECT_GT(links.size(), 5u);
+}
+
+TEST_F(ProberTest, CoveredAsesIncludeSensorsAndTransit) {
+  Prober p(net_, sensors_);
+  const Mesh m = p.measure();
+  const auto covered = m.covered_ases(net_.topology());
+  for (const auto& s : sensors_) {
+    EXPECT_TRUE(covered.count(static_cast<int>(s.as.value())));
+  }
+  EXPECT_TRUE(covered.count(0));  // core AS0 carries 4<->6 traffic
+}
+
+TEST_F(ProberTest, FailedPathRecordedAsNotOk) {
+  // Cut stub 6's uplink.
+  topo::LinkId uplink;
+  for (const auto& l : net_.topology().links()) {
+    if (l.interdomain && (net_.topology().as_of_router(l.a) == AsId{6} ||
+                          net_.topology().as_of_router(l.b) == AsId{6})) {
+      uplink = l.id;
+      break;
+    }
+  }
+  net_.fail_link(uplink);
+  net_.reconverge();
+  Prober p(net_, sensors_);
+  const Mesh m = p.measure();
+  for (const auto& path : m.paths) {
+    const bool involves_s2 = path.src == 2 || path.dst == 2;
+    EXPECT_EQ(path.ok, !involves_s2);
+    if (!path.ok) {
+      // Partial path: no destination sensor hop.
+      EXPECT_NE(path.hops.back().label, sensors_[path.dst].name);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace netd::probe

@@ -1,0 +1,132 @@
+// ICMP rate limiting and the retry remedy (paper §3.4).
+#include <gtest/gtest.h>
+
+#include "probe/prober.h"
+#include "sim/network.h"
+#include "topo/generator.h"
+
+namespace netd::probe {
+namespace {
+
+using topo::AsId;
+
+class RateLimitTest : public ::testing::Test {
+ protected:
+  RateLimitTest() : net_(topo::tiny_topology()) {
+    net_.converge();
+    for (std::uint32_t as : {4u, 5u, 6u}) {
+      sensors_.push_back(Sensor{
+          "s" + std::to_string(sensors_.size()),
+          net_.topology().as_of(AsId{as}).routers.front(), AsId{as}});
+    }
+  }
+
+  static std::size_t count_uh(const Mesh& m) {
+    std::size_t n = 0;
+    for (const auto& p : m.paths) {
+      for (const auto& h : p.hops) {
+        n += h.kind == graph::NodeKind::kUnidentified;
+      }
+    }
+    return n;
+  }
+
+  sim::Network net_;
+  std::vector<Sensor> sensors_;
+};
+
+TEST_F(RateLimitTest, NoDropsByDefault) {
+  Prober p(net_, sensors_);
+  EXPECT_EQ(count_uh(p.measure()), 0u);
+}
+
+TEST_F(RateLimitTest, DropsProduceStars) {
+  Prober p(net_, sensors_);
+  p.set_icmp_drop(0.4, 7);
+  EXPECT_GT(count_uh(p.measure()), 0u);
+}
+
+TEST_F(RateLimitTest, DropsAreDeterministicPerSeed) {
+  Prober a(net_, sensors_), b(net_, sensors_);
+  a.set_icmp_drop(0.4, 7);
+  b.set_icmp_drop(0.4, 7);
+  const Mesh ma = a.measure(), mb = b.measure();
+  for (std::size_t k = 0; k < ma.paths.size(); ++k) {
+    for (std::size_t h = 0; h < ma.paths[k].hops.size(); ++h) {
+      EXPECT_EQ(ma.paths[k].hops[h].label, mb.paths[k].hops[h].label);
+    }
+  }
+}
+
+TEST_F(RateLimitTest, DifferentSeedsDropDifferently) {
+  Prober a(net_, sensors_), b(net_, sensors_);
+  a.set_icmp_drop(0.4, 7);
+  b.set_icmp_drop(0.4, 8);
+  const Mesh ma = a.measure(), mb = b.measure();
+  bool differs = false;
+  for (std::size_t k = 0; k < ma.paths.size() && !differs; ++k) {
+    for (std::size_t h = 0; h < ma.paths[k].hops.size() && !differs; ++h) {
+      differs = ma.paths[k].hops[h].kind != mb.paths[k].hops[h].kind;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(RateLimitTest, RetriesRecoverIdentifiedHops) {
+  Prober p(net_, sensors_);
+  p.set_icmp_drop(0.3, 11);
+  const std::size_t single = count_uh(p.measure());
+  const std::size_t retried = count_uh(p.measure_with_retries(6));
+  EXPECT_GT(single, 0u);
+  EXPECT_LT(retried, single);
+  // 0.3^6 ≈ 0.07%: the tiny mesh should be fully resolved.
+  EXPECT_EQ(retried, 0u);
+}
+
+TEST_F(RateLimitTest, RetriedMeshMatchesCleanMesh) {
+  Prober clean(net_, sensors_);
+  const Mesh reference = clean.measure();
+  Prober limited(net_, sensors_);
+  limited.set_icmp_drop(0.3, 13);
+  const Mesh merged = limited.measure_with_retries(8);
+  ASSERT_EQ(merged.paths.size(), reference.paths.size());
+  for (std::size_t k = 0; k < merged.paths.size(); ++k) {
+    ASSERT_EQ(merged.paths[k].hops.size(), reference.paths[k].hops.size());
+    for (std::size_t h = 0; h < merged.paths[k].hops.size(); ++h) {
+      EXPECT_EQ(merged.paths[k].hops[h].label,
+                reference.paths[k].hops[h].label);
+    }
+  }
+}
+
+TEST_F(RateLimitTest, BlockedAsesStayBlockedDespiteRetries) {
+  Prober p(net_, sensors_, {3u});
+  p.set_icmp_drop(0.3, 17);
+  const Mesh merged = p.measure_with_retries(8);
+  bool saw_blocked_uh = false;
+  for (const auto& path : merged.paths) {
+    for (const auto& h : path.hops) {
+      if (h.kind == graph::NodeKind::kUnidentified) {
+        ASSERT_TRUE(h.router.valid());
+        EXPECT_EQ(net_.topology().as_of_router(h.router), AsId{3});
+        saw_blocked_uh = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_blocked_uh);
+}
+
+TEST_F(RateLimitTest, SingleAttemptEqualsMeasure) {
+  Prober p(net_, sensors_);
+  p.set_icmp_drop(0.3, 19);
+  const Mesh a = p.measure();
+  const Mesh b = p.measure_with_retries(1);
+  for (std::size_t k = 0; k < a.paths.size(); ++k) {
+    for (std::size_t h = 0; h < a.paths[k].hops.size(); ++h) {
+      EXPECT_EQ(a.paths[k].hops[h].label, b.paths[k].hops[h].label);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace netd::probe

@@ -1,0 +1,105 @@
+#include "probe/sensors.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/generator.h"
+
+namespace netd::probe {
+namespace {
+
+using topo::AsClass;
+using topo::Topology;
+
+class SensorsTest : public ::testing::Test {
+ protected:
+  SensorsTest() : topo_(topo::generate(topo::GeneratorParams{})), rng_(5) {}
+
+  Topology topo_;
+  util::Rng rng_;
+};
+
+TEST_F(SensorsTest, RandomStubPlacementUsesDistinctStubAses) {
+  const auto sensors =
+      place_sensors(topo_, PlacementKind::kRandomStub, 10, rng_);
+  ASSERT_EQ(sensors.size(), 10u);
+  std::set<std::uint32_t> ases;
+  for (const auto& s : sensors) {
+    EXPECT_EQ(topo_.as_of(s.as).cls, AsClass::kStub);
+    ases.insert(s.as.value());
+    EXPECT_EQ(topo_.as_of_router(s.attach), s.as);
+  }
+  EXPECT_EQ(ases.size(), 10u);
+}
+
+TEST_F(SensorsTest, SensorNamesAreSequential) {
+  const auto sensors =
+      place_sensors(topo_, PlacementKind::kRandomStub, 4, rng_);
+  EXPECT_EQ(sensors[0].name, "s0");
+  EXPECT_EQ(sensors[3].name, "s3");
+}
+
+TEST_F(SensorsTest, SameAsPlacementPutsAllInOneAs) {
+  const auto sensors = place_sensors(topo_, PlacementKind::kSameAs, 10, rng_);
+  std::set<std::uint32_t> ases, routers;
+  for (const auto& s : sensors) {
+    ases.insert(s.as.value());
+    routers.insert(s.attach.value());
+  }
+  EXPECT_EQ(ases.size(), 1u);
+  EXPECT_GE(routers.size(), 9u);  // spread across routers
+  // The host AS is the biggest one (GEANT analogue: 23 routers).
+  EXPECT_EQ(topo_.as_of(sensors[0].as).routers.size(), 23u);
+}
+
+TEST_F(SensorsTest, SameAsPlacementWrapsWhenOverRouterCount) {
+  const auto sensors = place_sensors(topo_, PlacementKind::kSameAs, 50, rng_);
+  EXPECT_EQ(sensors.size(), 50u);
+}
+
+TEST_F(SensorsTest, DistantAsPlacementSplitsAcrossTwoAses) {
+  const auto sensors =
+      place_sensors(topo_, PlacementKind::kDistantAs, 10, rng_);
+  std::map<std::uint32_t, int> count;
+  for (const auto& s : sensors) ++count[s.as.value()];
+  ASSERT_EQ(count.size(), 2u);
+  for (const auto& [as, n] : count) EXPECT_EQ(n, 5);
+}
+
+TEST_F(SensorsTest, DistantAsPairHasDisjointProvidersWhenPossible) {
+  const auto sensors =
+      place_sensors(topo_, PlacementKind::kDistantAs, 10, rng_);
+  std::set<std::uint32_t> ases;
+  for (const auto& s : sensors) ases.insert(s.as.value());
+  // Both are tier-2 ASes.
+  for (auto as : ases) {
+    EXPECT_EQ(topo_.as_of(topo::AsId{as}).cls, AsClass::kTier2);
+  }
+}
+
+TEST_F(SensorsTest, SplitPlacementAddsIntermediateSensors) {
+  const auto sensors =
+      place_sensors(topo_, PlacementKind::kDistantAsSplit, 10, rng_);
+  std::set<std::uint32_t> ases;
+  for (const auto& s : sensors) ases.insert(s.as.value());
+  EXPECT_GE(ases.size(), 3u);  // two ends + intermediates
+  // Intermediate ASes are cores (the providers of the two ends).
+  bool has_core = false;
+  for (auto as : ases) {
+    if (topo_.as_of(topo::AsId{as}).cls == AsClass::kCore) has_core = true;
+  }
+  EXPECT_TRUE(has_core);
+}
+
+TEST_F(SensorsTest, PlacementsAreRngDeterministic) {
+  util::Rng r1(99), r2(99);
+  const auto a = place_sensors(topo_, PlacementKind::kRandomStub, 8, r1);
+  const auto b = place_sensors(topo_, PlacementKind::kRandomStub, 8, r2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].attach, b[i].attach);
+  }
+}
+
+}  // namespace
+}  // namespace netd::probe

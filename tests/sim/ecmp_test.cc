@@ -1,0 +1,158 @@
+// ECMP forwarding, flow hashing and Paris-style path enumeration.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/network.h"
+#include "topo/generator.h"
+
+namespace netd::sim {
+namespace {
+
+using topo::AsClass;
+using topo::AsId;
+using topo::LinkId;
+using topo::Relationship;
+using topo::RouterId;
+
+/// One AS with two equal-cost two-hop routes between r0 and r3, plus a
+/// stub destination behind r3 and a stub source attached to r0.
+class EcmpNetwork : public ::testing::Test {
+ protected:
+  EcmpNetwork() {
+    topo::Topology t;
+    const AsId core = t.add_as(AsClass::kTier2);
+    r0_ = t.add_router(core);
+    r1_ = t.add_router(core);
+    r2_ = t.add_router(core);
+    r3_ = t.add_router(core);
+    t.add_intra_link(r0_, r1_);
+    t.add_intra_link(r1_, r3_);
+    t.add_intra_link(r0_, r2_);
+    t.add_intra_link(r2_, r3_);
+    const AsId src_as = t.add_as(AsClass::kStub);
+    const AsId dst_as = t.add_as(AsClass::kStub);
+    src_ = t.add_router(src_as);
+    dst_ = t.add_router(dst_as);
+    t.add_inter_link(src_, r0_, Relationship::kProvider);
+    t.add_inter_link(dst_, r3_, Relationship::kProvider);
+    net_.emplace(std::move(t));
+    net_->converge();
+  }
+
+  RouterId r0_, r1_, r2_, r3_, src_, dst_;
+  std::optional<Network> net_;
+};
+
+TEST_F(EcmpNetwork, EqualCostNextHopsFound) {
+  const auto hops = net_->igp().equal_cost_next_hops(r0_, r3_);
+  EXPECT_EQ(hops.size(), 2u);
+}
+
+TEST_F(EcmpNetwork, DefaultTraceIsDeterministic) {
+  const auto a = net_->trace(src_, dst_);
+  const auto b = net_->trace(src_, dst_);
+  ASSERT_TRUE(a.ok);
+  EXPECT_EQ(a.hops, b.hops);
+}
+
+TEST_F(EcmpNetwork, FlowsSpreadOverEqualCostPaths) {
+  std::set<std::vector<std::uint32_t>> distinct;
+  for (std::uint64_t flow = 1; flow <= 32; ++flow) {
+    const auto tr = net_->trace_flow(src_, dst_, flow);
+    ASSERT_TRUE(tr.ok);
+    std::vector<std::uint32_t> ids;
+    for (const auto r : tr.hops) ids.push_back(r.value());
+    distinct.insert(ids);
+  }
+  EXPECT_EQ(distinct.size(), 2u);  // via r1 and via r2
+}
+
+TEST_F(EcmpNetwork, SameFlowSamePath) {
+  for (std::uint64_t flow : {7ull, 99ull}) {
+    const auto a = net_->trace_flow(src_, dst_, flow);
+    const auto b = net_->trace_flow(src_, dst_, flow);
+    EXPECT_EQ(a.hops, b.hops);
+  }
+}
+
+TEST_F(EcmpNetwork, EnumeratePathsFindsBothAlternatives) {
+  const auto paths = net_->enumerate_paths(src_, dst_);
+  ASSERT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) {
+    EXPECT_TRUE(p.ok);
+    EXPECT_EQ(p.hops.front(), src_);
+    EXPECT_EQ(p.hops.back(), dst_);
+    EXPECT_EQ(p.hops.size(), 5u);  // src, r0, r1|r2, r3, dst
+  }
+  EXPECT_NE(paths[0].hops, paths[1].hops);
+}
+
+TEST_F(EcmpNetwork, EnumerationRespectsCap) {
+  EXPECT_EQ(net_->enumerate_paths(src_, dst_, 1).size(), 1u);
+}
+
+TEST_F(EcmpNetwork, EnumerationCoversEveryFlowPath) {
+  std::set<std::vector<std::uint32_t>> enumerated;
+  for (const auto& p : net_->enumerate_paths(src_, dst_)) {
+    std::vector<std::uint32_t> ids;
+    for (const auto r : p.hops) ids.push_back(r.value());
+    enumerated.insert(ids);
+  }
+  for (std::uint64_t flow = 0; flow < 64; ++flow) {
+    const auto tr = net_->trace_flow(src_, dst_, flow);
+    std::vector<std::uint32_t> ids;
+    for (const auto r : tr.hops) ids.push_back(r.value());
+    EXPECT_TRUE(enumerated.count(ids)) << "flow " << flow;
+  }
+}
+
+TEST_F(EcmpNetwork, FailedBranchDropsToSinglePath) {
+  // Kill one of the two equal-cost branches.
+  for (const auto& l : net_->topology().links()) {
+    if ((l.a == r1_ || l.b == r1_) && !l.interdomain) {
+      net_->fail_link(l.id);
+      break;
+    }
+  }
+  net_->reconverge();
+  const auto paths = net_->enumerate_paths(src_, dst_);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(paths[0].ok);
+}
+
+TEST_F(EcmpNetwork, BlackholeEnumerationReturnsFailedBranch) {
+  net_->fail_router(dst_);
+  net_->reconverge();
+  const auto paths = net_->enumerate_paths(src_, dst_);
+  ASSERT_FALSE(paths.empty());
+  for (const auto& p : paths) EXPECT_FALSE(p.ok);
+}
+
+TEST(EcmpPaperTopology, DefaultTraceMatchesFirstEnumeratedPath) {
+  Network net(topo::generate(topo::GeneratorParams{}));
+  net.converge();
+  const auto& topo = net.topology();
+  std::vector<RouterId> stubs;
+  for (const auto& as : topo.ases()) {
+    if (as.cls == AsClass::kStub) stubs.push_back(as.routers.front());
+  }
+  for (std::size_t i = 0; i < 6; ++i) {
+    const RouterId a = stubs[i * 7], b = stubs[stubs.size() - 1 - i * 9];
+    if (a == b) continue;
+    const auto single = net.trace(a, b);
+    const auto all = net.enumerate_paths(a, b, 64);
+    ASSERT_FALSE(all.empty());
+    // trace() (flow 0, always-first) equals the first enumerated path.
+    EXPECT_EQ(single.hops, all.front().hops);
+    // Every enumeration is loop-free and ends at the destination.
+    for (const auto& p : all) {
+      ASSERT_TRUE(p.ok);
+      std::set<std::uint32_t> seen;
+      for (const auto r : p.hops) EXPECT_TRUE(seen.insert(r.value()).second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace netd::sim

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+#include "topo/generator.h"
+
+namespace netd::sim {
+namespace {
+
+using topo::AsId;
+using topo::LinkId;
+using topo::PrefixId;
+using topo::RouterId;
+
+class FailureTest : public ::testing::Test {
+ protected:
+  FailureTest() : net_(topo::tiny_topology()) {
+    net_.converge();
+    net_.set_operator_as(AsId{0});
+  }
+
+  RouterId stub_router(std::uint32_t as) {
+    return net_.topology().as_of(AsId{as}).routers.front();
+  }
+
+  /// First link of the given kind on the current 4->6 path.
+  LinkId path_link(bool interdomain) {
+    const auto tr = net_.trace(stub_router(4), stub_router(6));
+    for (LinkId l : tr.links) {
+      if (net_.topology().link(l).interdomain == interdomain) return l;
+    }
+    return LinkId{};
+  }
+
+  Network net_;
+};
+
+TEST_F(FailureTest, SingleHomedStubLinkFailureIsNonRecoverable) {
+  // Stub AS4's only uplink.
+  LinkId uplink;
+  for (const auto& l : net_.topology().links()) {
+    if (l.interdomain && (net_.topology().as_of_router(l.a) == AsId{4} ||
+                          net_.topology().as_of_router(l.b) == AsId{4})) {
+      uplink = l.id;
+      break;
+    }
+  }
+  net_.fail_link(uplink);
+  net_.reconverge();
+  EXPECT_FALSE(net_.trace(stub_router(4), stub_router(6)).ok);
+  EXPECT_FALSE(net_.trace(stub_router(6), stub_router(4)).ok);
+}
+
+TEST_F(FailureTest, MultihomedStubRecoversByRerouting) {
+  // Stub AS7 is multihomed (providers AS3 and AS2). Fail the link it
+  // currently uses toward AS4 and expect a working rerouted path.
+  const auto before = net_.trace(stub_router(7), stub_router(4));
+  ASSERT_TRUE(before.ok);
+  LinkId first_uplink;
+  for (LinkId l : before.links) {
+    if (net_.topology().link(l).interdomain) {
+      first_uplink = l;
+      break;
+    }
+  }
+  net_.fail_link(first_uplink);
+  net_.reconverge();
+  const auto after = net_.trace(stub_router(7), stub_router(4));
+  ASSERT_TRUE(after.ok);
+  EXPECT_NE(after.links, before.links);
+}
+
+TEST_F(FailureTest, IntraCoreFailureRecordsIgpEvent) {
+  net_.start_recording();
+  const LinkId l = path_link(/*interdomain=*/false);
+  // Find an intra link specifically inside AS0 (the operator).
+  LinkId core_link;
+  for (const auto& link : net_.topology().links()) {
+    if (!link.interdomain &&
+        net_.topology().as_of_router(link.a) == AsId{0}) {
+      core_link = link.id;
+      break;
+    }
+  }
+  (void)l;
+  net_.fail_link(core_link);
+  net_.reconverge();
+  ASSERT_EQ(net_.igp_link_down_events().size(), 1u);
+  EXPECT_EQ(net_.igp_link_down_events()[0], core_link);
+}
+
+TEST_F(FailureTest, ForeignIntraFailureNotInIgpFeed) {
+  net_.start_recording();
+  LinkId foreign;
+  for (const auto& link : net_.topology().links()) {
+    if (!link.interdomain &&
+        net_.topology().as_of_router(link.a) == AsId{1}) {
+      foreign = link.id;
+      break;
+    }
+  }
+  net_.fail_link(foreign);
+  net_.reconverge();
+  EXPECT_TRUE(net_.igp_link_down_events().empty());
+}
+
+TEST_F(FailureTest, OperatorRouterFailureReportsItsIgpLinks) {
+  net_.start_recording();
+  const RouterId r = net_.topology().as_of(AsId{0}).routers[1];
+  std::size_t expected = 0;
+  for (LinkId l : net_.topology().links_of(r)) {
+    if (!net_.topology().link(l).interdomain) ++expected;
+  }
+  net_.fail_router(r);
+  net_.reconverge();
+  EXPECT_EQ(net_.igp_link_down_events().size(), expected);
+}
+
+TEST_F(FailureTest, WithdrawalsObservedAtOperator) {
+  net_.start_recording();
+  // Kill stub AS6's uplink: AS0 must receive withdrawals for prefix 6.
+  LinkId uplink;
+  for (const auto& l : net_.topology().links()) {
+    if (l.interdomain && (net_.topology().as_of_router(l.a) == AsId{6} ||
+                          net_.topology().as_of_router(l.b) == AsId{6})) {
+      uplink = l.id;
+      break;
+    }
+  }
+  net_.fail_link(uplink);
+  net_.reconverge();
+  bool saw = false;
+  for (const auto& m : net_.bgp_messages()) {
+    if (m.withdraw && m.prefix == PrefixId{6}) saw = true;
+    EXPECT_EQ(net_.topology().as_of_router(m.at), AsId{0});
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST_F(FailureTest, RecordingOffByDefault) {
+  LinkId core_link;
+  for (const auto& link : net_.topology().links()) {
+    if (!link.interdomain &&
+        net_.topology().as_of_router(link.a) == AsId{0}) {
+      core_link = link.id;
+      break;
+    }
+  }
+  net_.fail_link(core_link);
+  net_.reconverge();
+  EXPECT_TRUE(net_.igp_link_down_events().empty());
+}
+
+TEST_F(FailureTest, RouterFailureEquivalentToAllLinksDown) {
+  const RouterId victim = net_.topology().as_of(AsId{2}).routers[1];
+  net_.fail_router(victim);
+  net_.reconverge();
+  for (LinkId l : net_.topology().links_of(victim)) {
+    EXPECT_FALSE(net_.topology().link_usable(l));
+  }
+  // Traffic avoids the dead router where possible.
+  const auto tr = net_.trace(stub_router(4), stub_router(5));
+  for (const auto h : tr.hops) EXPECT_NE(h, victim);
+}
+
+}  // namespace
+}  // namespace netd::sim

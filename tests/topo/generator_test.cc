@@ -1,0 +1,214 @@
+#include "topo/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <set>
+
+namespace netd::topo {
+namespace {
+
+GeneratorParams default_params(std::uint64_t seed = 1) {
+  GeneratorParams p;
+  p.seed = seed;
+  return p;
+}
+
+TEST(Generator, PaperScaleCounts) {
+  const Topology t = generate(default_params());
+  EXPECT_EQ(t.num_ases(), 165u);
+  std::size_t core = 0, tier2 = 0, stub = 0;
+  for (const auto& as : t.ases()) {
+    switch (as.cls) {
+      case AsClass::kCore: ++core; break;
+      case AsClass::kTier2: ++tier2; break;
+      case AsClass::kStub: ++stub; break;
+    }
+  }
+  EXPECT_EQ(core, 3u);
+  EXPECT_EQ(tier2, 22u);
+  EXPECT_EQ(stub, 140u);
+}
+
+TEST(Generator, CoreAsesUseTheTemplates) {
+  const Topology t = generate(default_params());
+  EXPECT_EQ(t.as_of(AsId{0}).routers.size(), 11u);  // Abilene
+  EXPECT_EQ(t.as_of(AsId{1}).routers.size(), 23u);  // GEANT analogue
+  EXPECT_EQ(t.as_of(AsId{2}).routers.size(), 9u);   // WIDE analogue
+}
+
+TEST(Generator, Tier2AreHubAndSpoke12) {
+  const Topology t = generate(default_params());
+  for (const auto& as : t.ases()) {
+    if (as.cls == AsClass::kTier2) {
+      EXPECT_EQ(as.routers.size(), 12u);
+    }
+    if (as.cls == AsClass::kStub) {
+      EXPECT_EQ(as.routers.size(), 1u);
+    }
+  }
+}
+
+TEST(Generator, CoresAreFullMeshPeered) {
+  const Topology t = generate(default_params());
+  std::set<std::pair<std::uint32_t, std::uint32_t>> peered;
+  for (const auto& link : t.links()) {
+    if (!link.interdomain) continue;
+    const AsId a = t.as_of_router(link.a);
+    const AsId b = t.as_of_router(link.b);
+    if (a.value() < 3 && b.value() < 3) {
+      EXPECT_EQ(link.rel_b_from_a, Relationship::kPeer);
+      peered.insert({std::min(a.value(), b.value()),
+                     std::max(a.value(), b.value())});
+    }
+  }
+  EXPECT_EQ(peered.size(), 3u);  // 0-1, 0-2, 1-2
+}
+
+TEST(Generator, EveryNonCoreAsHasAProvider) {
+  const Topology t = generate(default_params());
+  std::set<std::uint32_t> with_provider;
+  for (const auto& link : t.links()) {
+    if (!link.interdomain) continue;
+    const AsId a = t.as_of_router(link.a);
+    const AsId b = t.as_of_router(link.b);
+    if (link.rel_b_from_a == Relationship::kProvider) {
+      with_provider.insert(a.value());
+    }
+    if (link.rel_b_from_a == Relationship::kCustomer) {
+      with_provider.insert(b.value());
+    }
+  }
+  for (const auto& as : t.ases()) {
+    if (as.cls == AsClass::kCore) continue;
+    EXPECT_TRUE(with_provider.count(as.id.value()))
+        << as.name << " has no provider";
+  }
+}
+
+TEST(Generator, AsGraphIsConnectedViaProviderEdges) {
+  const Topology t = generate(default_params());
+  std::vector<std::set<std::uint32_t>> adj(t.num_ases());
+  for (const auto& link : t.links()) {
+    if (!link.interdomain) continue;
+    const auto a = t.as_of_router(link.a).value();
+    const auto b = t.as_of_router(link.b).value();
+    adj[a].insert(b);
+    adj[b].insert(a);
+  }
+  std::set<std::uint32_t> seen = {0};
+  std::deque<std::uint32_t> frontier = {0};
+  while (!frontier.empty()) {
+    const auto cur = frontier.front();
+    frontier.pop_front();
+    for (auto n : adj[cur]) {
+      if (seen.insert(n).second) frontier.push_back(n);
+    }
+  }
+  EXPECT_EQ(seen.size(), t.num_ases());
+}
+
+TEST(Generator, MultihomingFractionsRoughlyRespected) {
+  const Topology t = generate(default_params(3));
+  std::map<std::uint32_t, int> providers;
+  for (const auto& link : t.links()) {
+    if (!link.interdomain) continue;
+    const AsId a = t.as_of_router(link.a);
+    const AsId b = t.as_of_router(link.b);
+    if (link.rel_b_from_a == Relationship::kProvider) ++providers[a.value()];
+    if (link.rel_b_from_a == Relationship::kCustomer) ++providers[b.value()];
+  }
+  int multi_stub = 0, total_stub = 0;
+  for (const auto& as : t.ases()) {
+    if (as.cls != AsClass::kStub) continue;
+    ++total_stub;
+    if (providers[as.id.value()] >= 2) ++multi_stub;
+  }
+  // 25% requested; BFS scale-down can drop second-provider links, so
+  // accept a broad band around it.
+  const double frac = static_cast<double>(multi_stub) / total_stub;
+  EXPECT_GT(frac, 0.10);
+  EXPECT_LT(frac, 0.40);
+}
+
+TEST(Generator, DeterministicForFixedSeed) {
+  const Topology a = generate(default_params(9));
+  const Topology b = generate(default_params(9));
+  ASSERT_EQ(a.num_links(), b.num_links());
+  for (std::size_t i = 0; i < a.num_links(); ++i) {
+    EXPECT_EQ(a.links()[i].a, b.links()[i].a);
+    EXPECT_EQ(a.links()[i].b, b.links()[i].b);
+  }
+}
+
+TEST(Generator, SeedsProduceDifferentWirings) {
+  const Topology a = generate(default_params(1));
+  const Topology b = generate(default_params(2));
+  bool differs = a.num_links() != b.num_links();
+  for (std::size_t i = 0; !differs && i < a.num_links(); ++i) {
+    differs = a.links()[i].a != b.links()[i].a || a.links()[i].b != b.links()[i].b;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generator, ScaleDownTargetsSmallerTopologies) {
+  GeneratorParams p = default_params();
+  p.target_ases = 50;
+  const Topology t = generate(p);
+  EXPECT_EQ(t.num_ases(), 50u);
+}
+
+TEST(TinyTopology, Shape) {
+  const Topology t = tiny_topology();
+  EXPECT_EQ(t.num_ases(), 8u);
+  EXPECT_EQ(t.num_routers(), 16u);
+  // Multihomed stub AS7 has two interdomain links.
+  std::size_t as7_links = 0;
+  for (const auto& link : t.links()) {
+    if (!link.interdomain) continue;
+    if (t.as_of_router(link.a).value() == 7 ||
+        t.as_of_router(link.b).value() == 7) {
+      ++as7_links;
+    }
+  }
+  EXPECT_EQ(as7_links, 2u);
+}
+
+}  // namespace
+}  // namespace netd::topo
+
+namespace netd::topo {
+namespace {
+
+TEST(Generator, Tier2PeeringOption) {
+  GeneratorParams p;
+  p.seed = 5;
+  p.tier2_peering_frac = 0.2;
+  const Topology t = generate(p);
+  std::size_t t2_peerings = 0;
+  for (const auto& link : t.links()) {
+    if (!link.interdomain || link.rel_b_from_a != Relationship::kPeer) {
+      continue;
+    }
+    const auto ca = t.as_of(t.as_of_router(link.a)).cls;
+    const auto cb = t.as_of(t.as_of_router(link.b)).cls;
+    if (ca == AsClass::kTier2 && cb == AsClass::kTier2) ++t2_peerings;
+  }
+  // 22 tier-2s, 231 pairs at 20%: expect a healthy number of peerings.
+  EXPECT_GT(t2_peerings, 20u);
+  EXPECT_LT(t2_peerings, 90u);
+}
+
+TEST(Generator, NoTier2PeeringByDefault) {
+  const Topology t = generate(GeneratorParams{});
+  for (const auto& link : t.links()) {
+    if (!link.interdomain || link.rel_b_from_a != Relationship::kPeer) {
+      continue;
+    }
+    EXPECT_EQ(t.as_of(t.as_of_router(link.a)).cls, AsClass::kCore);
+    EXPECT_EQ(t.as_of(t.as_of_router(link.b)).cls, AsClass::kCore);
+  }
+}
+
+}  // namespace
+}  // namespace netd::topo

@@ -1,0 +1,115 @@
+#include "topo/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "topo/generator.h"
+
+namespace netd::topo {
+namespace {
+
+TEST(TopoIo, RoundTripTiny) {
+  const Topology original = tiny_topology();
+  std::stringstream ss;
+  write_text(original, ss);
+  std::string error;
+  const auto loaded = read_text(ss, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->num_ases(), original.num_ases());
+  ASSERT_EQ(loaded->num_routers(), original.num_routers());
+  ASSERT_EQ(loaded->num_links(), original.num_links());
+  for (std::size_t i = 0; i < original.num_links(); ++i) {
+    const auto& a = original.links()[i];
+    const auto& b = loaded->links()[i];
+    EXPECT_EQ(a.a, b.a);
+    EXPECT_EQ(a.b, b.b);
+    EXPECT_EQ(a.interdomain, b.interdomain);
+    EXPECT_EQ(a.igp_weight, b.igp_weight);
+    EXPECT_EQ(a.rel_b_from_a, b.rel_b_from_a);
+  }
+  for (std::size_t i = 0; i < original.num_ases(); ++i) {
+    EXPECT_EQ(original.ases()[i].cls, loaded->ases()[i].cls);
+  }
+}
+
+TEST(TopoIo, RoundTripGenerated) {
+  GeneratorParams p;
+  p.target_ases = 40;
+  p.pool_tier2 = 8;
+  p.pool_stubs = 50;
+  const Topology original = generate(p);
+  std::stringstream ss;
+  write_text(original, ss);
+  const auto loaded = read_text(ss);
+  ASSERT_TRUE(loaded.has_value());
+  std::stringstream again;
+  write_text(*loaded, again);
+  std::stringstream first;
+  write_text(original, first);
+  EXPECT_EQ(first.str(), again.str());
+}
+
+TEST(TopoIo, RejectsMissingHeader) {
+  std::stringstream ss("as core 3\n");
+  std::string error;
+  EXPECT_FALSE(read_text(ss, &error).has_value());
+  EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(TopoIo, RejectsUnknownClass) {
+  std::stringstream ss("netd-topology v1\nas mega 3\n");
+  std::string error;
+  EXPECT_FALSE(read_text(ss, &error).has_value());
+  EXPECT_NE(error.find("class"), std::string::npos);
+}
+
+TEST(TopoIo, RejectsOutOfRangeRouter) {
+  std::stringstream ss("netd-topology v1\nas stub 1\nintra 0 5 1\n");
+  std::string error;
+  EXPECT_FALSE(read_text(ss, &error).has_value());
+  EXPECT_NE(error.find("range"), std::string::npos);
+}
+
+TEST(TopoIo, RejectsCrossAsIntraLink) {
+  std::stringstream ss(
+      "netd-topology v1\nas stub 1\nas stub 1\nintra 0 1 1\n");
+  std::string error;
+  EXPECT_FALSE(read_text(ss, &error).has_value());
+  EXPECT_NE(error.find("spans"), std::string::npos);
+}
+
+TEST(TopoIo, RejectsIntraAsInterLink) {
+  std::stringstream ss(
+      "netd-topology v1\nas tier2 2\ninter 0 1 peer\n");
+  std::string error;
+  EXPECT_FALSE(read_text(ss, &error).has_value());
+  EXPECT_NE(error.find("within"), std::string::npos);
+}
+
+TEST(TopoIo, SkipsCommentsAndBlankLines) {
+  std::stringstream ss(
+      "netd-topology v1\n# a comment\n\nas stub 1\nas tier2 2\n"
+      "inter 0 1 provider\n");
+  const auto t = read_text(ss);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->num_ases(), 2u);
+  EXPECT_EQ(t->num_links(), 1u);
+  EXPECT_EQ(t->neighbor_relationship(LinkId{0}, RouterId{0}),
+            Relationship::kProvider);
+}
+
+TEST(TopoIo, DotContainsClustersAndEdges) {
+  const Topology t = tiny_topology();
+  std::stringstream ss;
+  write_dot(t, ss);
+  const std::string dot = ss.str();
+  EXPECT_NE(dot.find("graph netd"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_as0"), std::string::npos);
+  EXPECT_NE(dot.find("--"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // peer link
+}
+
+
+}  // namespace
+}  // namespace netd::topo

@@ -1,0 +1,150 @@
+#include "topo/random_internet.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <set>
+
+#include "sim/network.h"
+
+namespace netd::topo {
+namespace {
+
+RandomInternetParams small(std::uint64_t seed = 3) {
+  RandomInternetParams p;
+  p.num_tier1 = 3;
+  p.num_tier2 = 8;
+  p.num_stubs = 40;
+  p.tier1_routers = 6;
+  p.tier2_routers = 4;
+  p.seed = seed;
+  return p;
+}
+
+TEST(RandomInternet, TierCounts) {
+  const Topology t = random_internet(small());
+  std::size_t core = 0, tier2 = 0, stub = 0;
+  for (const auto& as : t.ases()) {
+    switch (as.cls) {
+      case AsClass::kCore: ++core; break;
+      case AsClass::kTier2: ++tier2; break;
+      case AsClass::kStub: ++stub; break;
+    }
+  }
+  EXPECT_EQ(core, 3u);
+  EXPECT_EQ(tier2, 8u);
+  EXPECT_EQ(stub, 40u);
+}
+
+TEST(RandomInternet, Tier1IsAClique) {
+  const Topology t = random_internet(small());
+  std::set<std::pair<std::uint32_t, std::uint32_t>> peered;
+  for (const auto& l : t.links()) {
+    if (!l.interdomain || l.rel_b_from_a != Relationship::kPeer) continue;
+    const auto a = t.as_of_router(l.a).value();
+    const auto b = t.as_of_router(l.b).value();
+    if (a < 3 && b < 3) peered.insert({std::min(a, b), std::max(a, b)});
+  }
+  EXPECT_EQ(peered.size(), 3u);  // 3 choose 2
+}
+
+TEST(RandomInternet, IntradomainGraphsAreConnected) {
+  const Topology t = random_internet(small());
+  for (const auto& as : t.ases()) {
+    std::set<std::uint32_t> seen = {as.routers.front().value()};
+    std::deque<RouterId> frontier = {as.routers.front()};
+    while (!frontier.empty()) {
+      const RouterId cur = frontier.front();
+      frontier.pop_front();
+      for (LinkId l : t.links_of(cur)) {
+        if (t.link(l).interdomain) continue;
+        const RouterId nb = t.other_end(l, cur);
+        if (seen.insert(nb.value()).second) frontier.push_back(nb);
+      }
+    }
+    EXPECT_EQ(seen.size(), as.routers.size()) << as.name;
+  }
+}
+
+TEST(RandomInternet, NoParallelIntraLinks) {
+  const Topology t = random_internet(small(9));
+  std::set<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (const auto& l : t.links()) {
+    if (l.interdomain) continue;
+    const std::pair<std::uint32_t, std::uint32_t> key = {
+        std::min(l.a.value(), l.b.value()), std::max(l.a.value(), l.b.value())};
+    EXPECT_TRUE(pairs.insert(key).second)
+        << "parallel link " << t.router(l.a).name << "-"
+        << t.router(l.b).name;
+  }
+}
+
+TEST(RandomInternet, EveryStubHasAProvider) {
+  const Topology t = random_internet(small());
+  for (const auto& as : t.ases()) {
+    if (as.cls != AsClass::kStub) continue;
+    bool has_provider = false;
+    for (LinkId l : t.links_of(as.routers.front())) {
+      if (t.link(l).interdomain &&
+          t.neighbor_relationship(l, as.routers.front()) ==
+              Relationship::kProvider) {
+        has_provider = true;
+      }
+    }
+    EXPECT_TRUE(has_provider) << as.name;
+  }
+}
+
+TEST(RandomInternet, PreferentialAttachmentSkewsDegrees) {
+  RandomInternetParams p = small(11);
+  p.num_stubs = 120;
+  const Topology t = random_internet(p);
+  // Customer counts across transit ASes should be visibly skewed:
+  // max noticeably above the mean.
+  std::map<std::uint32_t, int> customers;
+  for (const auto& l : t.links()) {
+    if (!l.interdomain) continue;
+    if (l.rel_b_from_a == Relationship::kProvider) {
+      ++customers[t.as_of_router(l.b).value()];
+    } else if (l.rel_b_from_a == Relationship::kCustomer) {
+      ++customers[t.as_of_router(l.a).value()];
+    }
+  }
+  int max_c = 0, total = 0, n = 0;
+  for (const auto& [as, c] : customers) {
+    max_c = std::max(max_c, c);
+    total += c;
+    ++n;
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_GT(max_c * n, 2 * total);  // max > 2x mean
+}
+
+TEST(RandomInternet, FullReachabilityAfterConvergence) {
+  sim::Network net(random_internet(small(5)));
+  net.converge();
+  const auto& topo = net.topology();
+  std::vector<RouterId> stubs;
+  for (const auto& as : topo.ases()) {
+    if (as.cls == AsClass::kStub) stubs.push_back(as.routers.front());
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto tr =
+        net.trace(stubs[i * 3], stubs[stubs.size() - 1 - i * 2]);
+    EXPECT_TRUE(tr.ok);
+  }
+}
+
+TEST(RandomInternet, DeterministicPerSeed) {
+  const Topology a = random_internet(small(21));
+  const Topology b = random_internet(small(21));
+  ASSERT_EQ(a.num_links(), b.num_links());
+  for (std::size_t i = 0; i < a.num_links(); ++i) {
+    EXPECT_EQ(a.links()[i].a, b.links()[i].a);
+    EXPECT_EQ(a.links()[i].b, b.links()[i].b);
+    EXPECT_EQ(a.links()[i].igp_weight, b.links()[i].igp_weight);
+  }
+}
+
+}  // namespace
+}  // namespace netd::topo

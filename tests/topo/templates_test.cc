@@ -1,0 +1,87 @@
+#include "topo/templates.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace netd::topo {
+namespace {
+
+void expect_connected(const IntraTemplate& tpl) {
+  // Union-find over template edges.
+  std::vector<std::size_t> parent(tpl.num_routers);
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    return parent[x] == x ? x : parent[x] = find(parent[x]);
+  };
+  for (auto [a, b] : tpl.edges) parent[find(a)] = find(b);
+  std::set<std::size_t> roots;
+  for (std::size_t i = 0; i < parent.size(); ++i) roots.insert(find(i));
+  EXPECT_EQ(roots.size(), 1u) << tpl.name << " is disconnected";
+}
+
+TEST(Templates, AbileneHasElevenPops) {
+  EXPECT_EQ(abilene_template().num_routers, 11u);
+  EXPECT_EQ(abilene_template().edges.size(), 14u);
+}
+
+TEST(Templates, GeantHasTwentyThreeRouters) {
+  EXPECT_EQ(geant_template().num_routers, 23u);
+}
+
+TEST(Templates, WideHasNineRouters) {
+  EXPECT_EQ(wide_template().num_routers, 9u);
+}
+
+TEST(Templates, AllCoreTemplatesConnected) {
+  expect_connected(abilene_template());
+  expect_connected(geant_template());
+  expect_connected(wide_template());
+}
+
+TEST(Templates, EdgeIndicesInRange) {
+  for (const auto* tpl :
+       {&abilene_template(), &geant_template(), &wide_template()}) {
+    for (auto [a, b] : tpl->edges) {
+      EXPECT_LT(a, tpl->num_routers);
+      EXPECT_LT(b, tpl->num_routers);
+      EXPECT_NE(a, b);
+    }
+  }
+}
+
+TEST(Templates, NoDuplicateEdges) {
+  for (const auto* tpl :
+       {&abilene_template(), &geant_template(), &wide_template()}) {
+    std::set<std::pair<std::size_t, std::size_t>> seen;
+    for (auto [a, b] : tpl->edges) {
+      const auto key = std::minmax(a, b);
+      EXPECT_TRUE(seen.insert(key).second)
+          << tpl->name << " duplicates " << a << "-" << b;
+    }
+  }
+}
+
+TEST(Templates, HubAndSpokeShape) {
+  const auto tpl = hub_and_spoke(11);
+  EXPECT_EQ(tpl.num_routers, 12u);  // the paper's tier-2 size
+  EXPECT_EQ(tpl.edges.size(), 11u);
+  for (auto [a, b] : tpl.edges) {
+    EXPECT_EQ(a, 0u);  // all edges touch the hub
+    EXPECT_GE(b, 1u);
+  }
+  expect_connected(tpl);
+}
+
+TEST(Templates, InstantiateCreatesRoutersAndLinks) {
+  Topology t;
+  const AsId as = t.add_as(AsClass::kCore);
+  const auto routers = instantiate(t, as, abilene_template());
+  EXPECT_EQ(routers.size(), 11u);
+  EXPECT_EQ(t.num_routers(), 11u);
+  EXPECT_EQ(t.num_links(), 14u);
+  for (const auto& link : t.links()) EXPECT_FALSE(link.interdomain);
+}
+
+}  // namespace
+}  // namespace netd::topo

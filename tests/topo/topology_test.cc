@@ -1,0 +1,98 @@
+#include "topo/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace netd::topo {
+namespace {
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    as1_ = t_.add_as(AsClass::kTier2);
+    as2_ = t_.add_as(AsClass::kStub);
+    r1_ = t_.add_router(as1_);
+    r2_ = t_.add_router(as1_);
+    r3_ = t_.add_router(as2_);
+    intra_ = t_.add_intra_link(r1_, r2_, 5);
+    inter_ = t_.add_inter_link(r3_, r1_, Relationship::kProvider);
+  }
+
+  Topology t_;
+  AsId as1_, as2_;
+  RouterId r1_, r2_, r3_;
+  LinkId intra_, inter_;
+};
+
+TEST_F(TopologyTest, NamesAreDerivedFromIds) {
+  EXPECT_EQ(t_.as_of(as1_).name, "AS0");
+  EXPECT_EQ(t_.router(r2_).name, "AS0:r1");
+  EXPECT_EQ(t_.router(r3_).name, "AS1:r0");
+}
+
+TEST_F(TopologyTest, AddressesAreUnique) {
+  EXPECT_NE(t_.router(r1_).address, t_.router(r2_).address);
+  EXPECT_EQ(t_.router(r1_).address, "10.0.0.1");
+}
+
+TEST_F(TopologyTest, RoutersRegisteredInAs) {
+  ASSERT_EQ(t_.as_of(as1_).routers.size(), 2u);
+  EXPECT_EQ(t_.as_of(as1_).routers[0], r1_);
+  EXPECT_EQ(t_.as_of(as2_).routers.size(), 1u);
+}
+
+TEST_F(TopologyTest, IntraLinkProperties) {
+  const Link& l = t_.link(intra_);
+  EXPECT_FALSE(l.interdomain);
+  EXPECT_EQ(l.igp_weight, 5);
+  EXPECT_TRUE(l.up);
+}
+
+TEST_F(TopologyTest, InterLinkRelationshipFromBothSides) {
+  // r3's AS buys transit from r1's AS.
+  EXPECT_EQ(t_.neighbor_relationship(inter_, r3_), Relationship::kProvider);
+  EXPECT_EQ(t_.neighbor_relationship(inter_, r1_), Relationship::kCustomer);
+}
+
+TEST_F(TopologyTest, OtherEnd) {
+  EXPECT_EQ(t_.other_end(intra_, r1_), r2_);
+  EXPECT_EQ(t_.other_end(intra_, r2_), r1_);
+}
+
+TEST_F(TopologyTest, AdjacencyTracksBothEndpoints) {
+  EXPECT_EQ(t_.links_of(r1_).size(), 2u);  // intra + inter
+  EXPECT_EQ(t_.links_of(r2_).size(), 1u);
+  EXPECT_EQ(t_.links_of(r3_).size(), 1u);
+}
+
+TEST_F(TopologyTest, LinkUsableReflectsLinkState) {
+  EXPECT_TRUE(t_.link_usable(intra_));
+  t_.set_link_up(intra_, false);
+  EXPECT_FALSE(t_.link_usable(intra_));
+  t_.set_link_up(intra_, true);
+  EXPECT_TRUE(t_.link_usable(intra_));
+}
+
+TEST_F(TopologyTest, LinkUsableReflectsRouterState) {
+  t_.set_router_up(r2_, false);
+  EXPECT_FALSE(t_.link_usable(intra_));
+  EXPECT_TRUE(t_.link_usable(inter_));  // r1, r3 still up
+}
+
+TEST_F(TopologyTest, PrefixOfAsIsTheAsItself) {
+  EXPECT_EQ(t_.prefix_of(as1_), as1_);
+  EXPECT_EQ(t_.as_of_router(r3_), as2_);
+}
+
+TEST(Relationship, ReverseIsInvolution) {
+  EXPECT_EQ(reverse(Relationship::kCustomer), Relationship::kProvider);
+  EXPECT_EQ(reverse(Relationship::kProvider), Relationship::kCustomer);
+  EXPECT_EQ(reverse(Relationship::kPeer), Relationship::kPeer);
+}
+
+TEST(Relationship, ToString) {
+  EXPECT_STREQ(to_string(Relationship::kPeer), "peer");
+  EXPECT_STREQ(to_string(AsClass::kCore), "core");
+}
+
+}  // namespace
+}  // namespace netd::topo

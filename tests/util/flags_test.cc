@@ -1,0 +1,103 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace netd::util {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, SpaceSeparatedValue) {
+  auto f = parse({"--seed", "42"});
+  EXPECT_TRUE(f.has("seed"));
+  EXPECT_EQ(f.get_int("seed", 0), 42);
+}
+
+TEST(Flags, EqualsValue) {
+  auto f = parse({"--mode=links"});
+  EXPECT_EQ(f.get("mode"), "links");
+}
+
+TEST(Flags, BooleanFlag) {
+  auto f = parse({"--verbose", "--out", "x"});
+  EXPECT_TRUE(f.get_bool("verbose"));
+  EXPECT_FALSE(f.get_bool("quiet"));
+  EXPECT_EQ(f.get("out"), "x");
+}
+
+TEST(Flags, BooleanBeforeAnotherFlag) {
+  auto f = parse({"--a", "--b", "7"});
+  EXPECT_TRUE(f.get_bool("a"));
+  EXPECT_EQ(f.get_int("b", 0), 7);
+}
+
+TEST(Flags, ExplicitFalse) {
+  auto f = parse({"--x=false", "--y=0"});
+  EXPECT_FALSE(f.get_bool("x"));
+  EXPECT_FALSE(f.get_bool("y"));
+}
+
+TEST(Flags, Positionals) {
+  auto f = parse({"run", "--n", "3", "extra"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "run");
+  EXPECT_EQ(f.positional()[1], "extra");
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  auto f = parse({});
+  EXPECT_EQ(f.get("x", "def"), "def");
+  EXPECT_EQ(f.get_int("n", 9), 9);
+  EXPECT_DOUBLE_EQ(f.get_double("d", 1.5), 1.5);
+}
+
+TEST(Flags, MalformedIntRecordsError) {
+  auto f = parse({"--n", "abc"});
+  EXPECT_EQ(f.get_int("n", 5), 5);
+  EXPECT_FALSE(f.ok());
+}
+
+TEST(Flags, MalformedDoubleRecordsError) {
+  auto f = parse({"--d", "1.2.3"});
+  EXPECT_DOUBLE_EQ(f.get_double("d", 0.5), 0.5);
+  EXPECT_FALSE(f.ok());
+}
+
+TEST(Flags, DoubleParses) {
+  auto f = parse({"--frac", "0.25"});
+  EXPECT_DOUBLE_EQ(f.get_double("frac", 0), 0.25);
+  EXPECT_TRUE(f.ok());
+}
+
+TEST(Flags, AllowRejectsUnknown) {
+  auto f = parse({"--known", "1", "--oops", "2"});
+  f.allow({"known"});
+  ASSERT_EQ(f.errors().size(), 1u);
+  EXPECT_NE(f.errors()[0].find("oops"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netd::util
+
+namespace netd::util {
+namespace {
+
+TEST(Flags, RepeatedFlagLastWins) {
+  std::vector<const char*> argv = {"prog", "--n", "1", "--n", "2"};
+  auto f = Flags::parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(f.get_int("n", 0), 2);
+}
+
+TEST(Flags, EmptyValueViaEquals) {
+  std::vector<const char*> argv = {"prog", "--name="};
+  auto f = Flags::parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(f.has("name"));
+  EXPECT_EQ(f.get("name", "def"), "");
+}
+
+}  // namespace
+}  // namespace netd::util

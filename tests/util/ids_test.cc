@@ -1,0 +1,55 @@
+#include "util/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <type_traits>
+#include <unordered_set>
+
+namespace netd::util {
+namespace {
+
+using TestId = Id<struct TestTag>;
+using OtherId = Id<struct OtherTag>;
+
+TEST(Id, DefaultIsInvalid) {
+  TestId id;
+  EXPECT_FALSE(id.valid());
+}
+
+TEST(Id, ConstructedIsValid) {
+  TestId id{3};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 3u);
+}
+
+TEST(Id, Ordering) {
+  EXPECT_LT(TestId{1}, TestId{2});
+  EXPECT_GT(TestId{5}, TestId{2});
+  EXPECT_LE(TestId{2}, TestId{2});
+  EXPECT_GE(TestId{2}, TestId{2});
+  EXPECT_EQ(TestId{4}, TestId{4});
+  EXPECT_NE(TestId{4}, TestId{5});
+}
+
+TEST(Id, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<TestId, OtherId>);
+  SUCCEED();
+}
+
+TEST(Id, Hashable) {
+  std::unordered_set<TestId> s;
+  s.insert(TestId{1});
+  s.insert(TestId{2});
+  s.insert(TestId{1});
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Id, StreamOutput) {
+  std::ostringstream os;
+  os << TestId{7} << " " << TestId{};
+  EXPECT_EQ(os.str(), "7 <invalid>");
+}
+
+}  // namespace
+}  // namespace netd::util

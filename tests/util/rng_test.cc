@@ -1,0 +1,106 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace netd::util {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0, 1000), b.uniform(0, 1000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool differed = false;
+  for (int i = 0; i < 32 && !differed; ++i) {
+    differed = a.uniform(0, 1 << 30) != b.uniform(0, 1 << 30);
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform(3, 3), 3u);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, SampleReturnsDistinctElements) {
+  Rng rng(9);
+  std::vector<int> v;
+  for (int i = 0; i < 50; ++i) v.push_back(i);
+  const auto s = rng.sample(v, 20);
+  EXPECT_EQ(s.size(), 20u);
+  EXPECT_EQ(std::set<int>(s.begin(), s.end()).size(), 20u);
+}
+
+TEST(Rng, SampleWholeVector) {
+  Rng rng(9);
+  const std::vector<int> v = {1, 2, 3};
+  const auto s = rng.sample(v, 3);
+  EXPECT_EQ(std::set<int>(s.begin(), s.end()), std::set<int>({1, 2, 3}));
+}
+
+TEST(Rng, PickCoversAllElements) {
+  Rng rng(13);
+  const std::vector<int> v = {10, 20, 30};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.pick(v));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, ForkStreamsAreReproducible) {
+  Rng a(77), b(77);
+  const auto sa = a.fork();
+  const auto sb = b.fork();
+  EXPECT_EQ(sa, sb);
+  Rng child_a(sa), child_b(sb);
+  EXPECT_EQ(child_a.uniform(0, 1 << 20), child_b.uniform(0, 1 << 20));
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(21);
+  std::vector<int> v = {1, 2, 2, 3, 4, 5};
+  const std::multiset<int> before(v.begin(), v.end());
+  rng.shuffle(v);
+  EXPECT_EQ(std::multiset<int>(v.begin(), v.end()), before);
+}
+
+}  // namespace
+}  // namespace netd::util

@@ -1,0 +1,126 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace netd::util {
+namespace {
+
+TEST(Summary, MeanOfKnownSamples) {
+  Summary s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(Summary, MeanOfEmptyIsZero) {
+  Summary s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Summary, MinMax) {
+  Summary s;
+  s.add_all({3.0, -1.0, 7.5, 0.0});
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.5);
+}
+
+TEST(Summary, PercentileNearestRank) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.9), 90.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+}
+
+TEST(Summary, PercentileSingleSample) {
+  Summary s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 42.0);
+}
+
+TEST(Summary, CdfAt) {
+  Summary s;
+  s.add_all({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(100.0), 1.0);
+}
+
+TEST(Summary, FracAtLeast) {
+  Summary s;
+  s.add_all({0.0, 0.5, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(s.frac_at_least(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.frac_at_least(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.frac_at_least(1.5), 0.0);
+}
+
+TEST(EmpiricalCdf, CollapsesDuplicates) {
+  const auto cdf = empirical_cdf({1.0, 1.0, 2.0, 3.0});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[0].cum_prob, 0.5);
+  EXPECT_DOUBLE_EQ(cdf[1].value, 2.0);
+  EXPECT_DOUBLE_EQ(cdf[1].cum_prob, 0.75);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 3.0);
+  EXPECT_DOUBLE_EQ(cdf[2].cum_prob, 1.0);
+}
+
+TEST(EmpiricalCdf, EmptyInput) { EXPECT_TRUE(empirical_cdf({}).empty()); }
+
+TEST(EmpiricalCdf, IsMonotone) {
+  const auto cdf = empirical_cdf({5.0, 3.0, 8.0, 3.0, 1.0, 9.0});
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LT(cdf[i - 1].value, cdf[i].value);
+    EXPECT_LE(cdf[i - 1].cum_prob, cdf[i].cum_prob);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().cum_prob, 1.0);
+}
+
+TEST(CdfOnGrid, EndpointsAndShape) {
+  const auto grid = cdf_on_grid({0.0, 0.25, 0.5, 0.75, 1.0}, 0.0, 1.0, 4);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.front().value, 0.0);
+  EXPECT_DOUBLE_EQ(grid.front().cum_prob, 0.2);
+  EXPECT_DOUBLE_EQ(grid.back().value, 1.0);
+  EXPECT_DOUBLE_EQ(grid.back().cum_prob, 1.0);
+}
+
+}  // namespace
+}  // namespace netd::util
+
+namespace netd::util {
+namespace {
+
+TEST(Summary, StddevOfKnownSamples) {
+  Summary s;
+  s.add_all({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_NEAR(s.stderr_mean(), 2.138 / std::sqrt(8.0), 1e-3);
+}
+
+TEST(Summary, StddevDegenerate) {
+  Summary s;
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(Summary, StddevOfConstantIsZero) {
+  Summary s;
+  s.add_all({3.0, 3.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace netd::util

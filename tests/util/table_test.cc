@@ -1,0 +1,66 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace netd::util {
+namespace {
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t({"x", "y"});
+  t.add_row({1.0, 2.5});
+  t.add_row({3.0, 4.25});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("x"), std::string::npos);
+  EXPECT_NE(out.find("2.500"), std::string::npos);
+  EXPECT_NE(out.find("4.250"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, LabeledRows) {
+  Table t({"algo", "sens"});
+  t.add_row("Tomo", {0.5});
+  t.add_row("ND-edge", {1.0});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("ND-edge"), std::string::npos);
+}
+
+TEST(Table, CsvFormat) {
+  Table t({"a", "b"});
+  t.set_precision(1);
+  t.add_row({1.0, 2.0});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1.0,2.0\n");
+}
+
+TEST(Table, PrecisionControl) {
+  Table t({"v"});
+  t.set_precision(5);
+  t.add_row({0.123456789});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "v\n0.12346\n");
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"name", "v"});
+  t.add_row("a-very-long-label", {1.0});
+  t.add_row("x", {2.0});
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream is(os.str());
+  std::string l1, l2, l3;
+  std::getline(is, l1);
+  std::getline(is, l2);
+  std::getline(is, l3);
+  EXPECT_EQ(l1.size(), l2.size());
+  EXPECT_EQ(l2.size(), l3.size());
+}
+
+}  // namespace
+}  // namespace netd::util
