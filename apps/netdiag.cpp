@@ -143,7 +143,7 @@ std::optional<probe::PlacementKind> parse_placement(const std::string& s) {
 int cmd_run(util::Flags& flags) {
   flags.allow({"topo-seed", "ases", "tier2", "stubs", "mode", "failures",
                "sensors", "placements", "trials", "placement", "blocked",
-               "lg", "operator", "seed", "algos", "help"});
+               "lg", "operator", "seed", "algos", "threads", "help"});
   if (!flags.ok() || flags.get_bool("help")) {
     std::cerr
         << "netdiag run [--mode links|misconfig|misconfig-link|router]\n"
@@ -151,7 +151,9 @@ int cmd_run(util::Flags& flags) {
            "            [--trials T] [--placement random|same-as|distant-as|"
            "distant-as-split]\n"
            "            [--blocked F] [--lg F] [--operator core|stub]\n"
-           "            [--seed S] [--algos tomo,nd-edge,nd-bgpigp,nd-lg]\n";
+           "            [--seed S] [--algos tomo,nd-edge,nd-bgpigp,nd-lg]\n"
+           "            [--threads N]  (0 = one per hardware thread; results\n"
+           "                            are identical for every value)\n";
     for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
     return flags.ok() ? 0 : 2;
   }
@@ -169,6 +171,7 @@ int cmd_run(util::Flags& flags) {
   cfg.frac_lg = flags.get_double("lg", 1.0);
   cfg.operator_at_core = flags.get("operator", "core") != "stub";
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  cfg.num_threads = static_cast<std::size_t>(flags.get_int("threads", 0));
   if (flags.has("placement")) {
     const auto kind = parse_placement(flags.get("placement"));
     if (!kind) return 2;

@@ -16,7 +16,8 @@ int main() {
   auto cfg = bench::scaled_config(1000);
   cfg.num_link_failures = 3;
   exp::Runner runner(cfg);
-  const auto rs = runner.run({Algo::kNdEdge, Algo::kNdBgpIgp});
+  const auto rs = bench::timed_run("fig10_bgpigp", runner,
+                                   {Algo::kNdEdge, Algo::kNdBgpIgp}, cfg);
 
   bench::print_cdf_table(
       "CDF of sensitivity",

@@ -21,7 +21,9 @@ int main() {
     cfg.frac_blocked = fb;
     cfg.frac_lg = 1.0;
     exp::Runner runner(cfg);
-    const auto rs = runner.run({Algo::kNdLg, Algo::kNdBgpIgp});
+    const auto rs =
+        bench::timed_run("fig11_blocked_fb" + std::to_string(fb).substr(0, 3),
+                         runner, {Algo::kNdLg, Algo::kNdBgpIgp}, cfg);
     t.add_row({fb, bench::mean(bench::as_sensitivity(rs, Algo::kNdLg)),
                bench::mean(bench::as_specificity(rs, Algo::kNdLg)),
                bench::mean(bench::as_sensitivity(rs, Algo::kNdBgpIgp)),

@@ -19,7 +19,8 @@ int main() {
     auto cfg = bench::scaled_config(600 + x);
     cfg.num_link_failures = x;
     exp::Runner runner(cfg);
-    const auto rs = runner.run({Algo::kTomo});
+    const auto rs = bench::timed_run("fig6_tomo_links_x" + std::to_string(x),
+                                     runner, {Algo::kTomo}, cfg);
     top.push_back({std::to_string(x) + " failure(s)",
                    bench::link_sensitivity(rs, Algo::kTomo)});
     std::cout << "link failures x=" << x << ": " << rs.size()
@@ -34,7 +35,8 @@ int main() {
     auto cfg = bench::scaled_config(660);
     cfg.mode = exp::FailureMode::kMisconfig;
     exp::Runner runner(cfg);
-    const auto rs = runner.run({Algo::kTomo});
+    const auto rs =
+        bench::timed_run("fig6_tomo_misconfig", runner, {Algo::kTomo}, cfg);
     bottom.push_back({"1 misconfig", bench::link_sensitivity(rs, Algo::kTomo)});
   }
   {
@@ -42,7 +44,8 @@ int main() {
     cfg.mode = exp::FailureMode::kMisconfigPlusLink;
     cfg.num_link_failures = 1;
     exp::Runner runner(cfg);
-    const auto rs = runner.run({Algo::kTomo});
+    const auto rs = bench::timed_run("fig6_tomo_misconfig_link", runner,
+                                     {Algo::kTomo}, cfg);
     bottom.push_back(
         {"misconfig+link", bench::link_sensitivity(rs, Algo::kTomo)});
   }

@@ -16,7 +16,8 @@ int main() {
     auto cfg = bench::scaled_config(700);
     cfg.num_link_failures = 3;
     exp::Runner runner(cfg);
-    const auto rs = runner.run({Algo::kTomo, Algo::kNdEdge});
+    const auto rs = bench::timed_run("fig7_ndedge_links", runner,
+                                     {Algo::kTomo, Algo::kNdEdge}, cfg);
     bench::print_cdf_table(
         "CDF of sensitivity, three link failures",
         {{"Tomo", bench::link_sensitivity(rs, Algo::kTomo)},
@@ -32,7 +33,8 @@ int main() {
     cfg.mode = exp::FailureMode::kMisconfigPlusLink;
     cfg.num_link_failures = 1;
     exp::Runner runner(cfg);
-    const auto rs = runner.run({Algo::kTomo, Algo::kNdEdge});
+    const auto rs = bench::timed_run("fig7_ndedge_misconfig_link", runner,
+                                     {Algo::kTomo, Algo::kNdEdge}, cfg);
     bench::print_cdf_table(
         "CDF of sensitivity, misconfiguration + link failure",
         {{"Tomo", bench::link_sensitivity(rs, Algo::kTomo)},

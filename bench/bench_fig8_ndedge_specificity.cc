@@ -19,7 +19,8 @@ int main() {
     auto cfg = bench::scaled_config(800);
     cfg.num_link_failures = 1;
     exp::Runner runner(cfg);
-    const auto rs = runner.run({Algo::kNdEdge});
+    const auto rs =
+        bench::timed_run("fig8_ndedge_link", runner, {Algo::kNdEdge}, cfg);
     series.push_back(
         {"1 link failure", bench::link_specificity(rs, Algo::kNdEdge)});
   }
@@ -27,7 +28,8 @@ int main() {
     auto cfg = bench::scaled_config(801);
     cfg.mode = exp::FailureMode::kMisconfig;
     exp::Runner runner(cfg);
-    const auto rs = runner.run({Algo::kNdEdge});
+    const auto rs =
+        bench::timed_run("fig8_ndedge_misconfig", runner, {Algo::kNdEdge}, cfg);
     series.push_back(
         {"1 misconfig", bench::link_specificity(rs, Algo::kNdEdge)});
   }

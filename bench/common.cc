@@ -1,10 +1,14 @@
 #include "common.h"
 
+#include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <numeric>
+
+#include "util/thread_pool.h"
 
 namespace netd::bench {
 namespace {
@@ -21,8 +25,36 @@ exp::ScenarioConfig scaled_config(std::uint64_t seed) {
   exp::ScenarioConfig cfg;
   cfg.num_placements = env_or("ND_PLACEMENTS", 4);
   cfg.trials_per_placement = env_or("ND_TRIALS", 25);
+  cfg.num_threads = env_or("ND_THREADS", 0);
   cfg.seed = seed;
   return cfg;
+}
+
+std::vector<exp::TrialResult> timed_run(const std::string& bench,
+                                        exp::Runner& runner,
+                                        const std::vector<exp::Algo>& algos,
+                                        const exp::ScenarioConfig& cfg) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto rs = runner.run(algos);
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  const std::size_t threads =
+      std::min(util::ThreadPool::resolve_threads(cfg.num_threads),
+               std::max<std::size_t>(1, cfg.num_placements));
+  std::cout << "[perf] " << bench << ": " << wall_ms << " ms  (threads="
+            << threads << ")\n";
+  if (const char* path = std::getenv("ND_PERF_JSON");
+      path != nullptr && *path != '\0') {
+    std::ofstream os(path, std::ios::app);
+    if (os) {
+      os << "{\"bench\":\"" << bench << "\",\"wall_ms\":" << wall_ms
+         << ",\"threads\":" << threads
+         << ",\"placements\":" << cfg.num_placements
+         << ",\"trials\":" << cfg.trials_per_placement << "}\n";
+    }
+  }
+  return rs;
 }
 
 namespace {
@@ -125,6 +157,8 @@ void banner(const std::string& what) {
             << what << "\n"
             << "placements=" << env_or("ND_PLACEMENTS", 4)
             << " trials/placement=" << env_or("ND_TRIALS", 25)
+            << " threads="
+            << util::ThreadPool::resolve_threads(env_or("ND_THREADS", 0))
             << "  (paper: 10 x 100; set ND_PLACEMENTS/ND_TRIALS to scale)\n"
             << "==============================================================\n";
 }

@@ -5,8 +5,12 @@
 // size and scale up via environment variables:
 //   ND_PLACEMENTS  sensor placements per scenario   (paper: 10)
 //   ND_TRIALS      failure trials per placement     (paper: 100)
+//   ND_THREADS     runner worker threads (0 = one per hardware thread);
+//                  results are identical for every value
 //   ND_CSV_DIR     when set, every printed table is also written there
 //                  as CSV for plotting
+//   ND_PERF_JSON   when set to a file path, every timed scenario appends
+//                  one {"bench",...,"wall_ms",...} JSON record there
 #pragma once
 
 #include <string>
@@ -23,6 +27,13 @@ namespace netd::bench {
 
 /// Default scenario config with bench-scaled run counts applied.
 [[nodiscard]] exp::ScenarioConfig scaled_config(std::uint64_t seed);
+
+/// Runs one scenario and records its wall-clock: prints a "[perf]" line
+/// and, when ND_PERF_JSON names a file, appends a JSON record
+/// {bench, wall_ms, threads, placements, trials} to it.
+[[nodiscard]] std::vector<exp::TrialResult> timed_run(
+    const std::string& bench, exp::Runner& runner,
+    const std::vector<exp::Algo>& algos, const exp::ScenarioConfig& cfg);
 
 // Metric extraction from trial results.
 [[nodiscard]] std::vector<double> link_sensitivity(

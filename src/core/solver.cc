@@ -226,28 +226,78 @@ Result solve(const DiagnosisGraph& dg, const SolverOptions& opt,
       groups[it->second].push_back(e);
     }
   }
-  auto group_covered = [&](const std::vector<std::uint32_t>& members,
-                           const std::vector<std::vector<std::uint32_t>>& of_edge,
-                           const std::vector<char>& explained) {
-    std::size_t count = 0;
-    std::unordered_set<std::uint32_t> seen;
-    for (std::uint32_t e : members) {
-      if (!in_u[e]) continue;
-      for (std::uint32_t s : of_edge[e]) {
-        if (!explained[s] && seen.insert(s).second) ++count;
-      }
-      // Cluster augmentation (singleton UH groups only in practice).
-      if (cluster_of[e] >= 0) {
-        for (std::uint32_t m : cluster_members[cluster_of[e]]) {
-          if (m != e && dg.edges[m].before_path != dg.edges[e].before_path) {
-            for (std::uint32_t s : of_edge[m]) {
-              if (!explained[s] && seen.insert(s).second) ++count;
+  // ---- Cached group coverage --------------------------------------------------
+  // Scoring used to rebuild an unordered_set per (group, round) to count
+  // the distinct unexplained sets a group can explain — O(groups × members
+  // × set lists) of hashing and allocation per round. The member set a
+  // group draws coverage from is fixed for the whole loop (selection only
+  // ever removes whole groups, and cluster-mate contributions never check
+  // membership), so each group's distinct (failure, reroute) set lists are
+  // computed once with epoch-stamped scratch arrays, and live counts of
+  // the still-unexplained ones are maintained incrementally: explaining a
+  // set decrements exactly the groups that cover it.
+  const std::size_t num_groups = groups.size();
+  std::vector<std::vector<std::uint32_t>> cov_f(num_groups), cov_r(num_groups);
+  {
+    std::vector<std::uint32_t> f_seen(failure_sets.size(), 0);
+    std::vector<std::uint32_t> r_seen(reroute_sets.size(), 0);
+    std::uint32_t epoch = 0;
+    for (std::uint32_t g = 0; g < num_groups; ++g) {
+      ++epoch;
+      auto add = [epoch](const std::vector<std::uint32_t>& sets,
+                         std::vector<std::uint32_t>& seen,
+                         std::vector<std::uint32_t>& cov) {
+        for (std::uint32_t s : sets) {
+          if (seen[s] != epoch) {
+            seen[s] = epoch;
+            cov.push_back(s);
+          }
+        }
+      };
+      for (std::uint32_t e : groups[g]) {
+        if (!in_u[e]) continue;  // IGP-seeded selections are already out
+        add(f_of_edge[e], f_seen, cov_f[g]);
+        add(r_of_edge[e], r_seen, cov_r[g]);
+        // Cluster augmentation (singleton UH groups only in practice).
+        if (cluster_of[e] >= 0) {
+          for (std::uint32_t m : cluster_members[cluster_of[e]]) {
+            if (m != e && dg.edges[m].before_path != dg.edges[e].before_path) {
+              add(f_of_edge[m], f_seen, cov_f[g]);
+              add(r_of_edge[m], r_seen, cov_r[g]);
             }
           }
         }
       }
     }
-    return count;
+  }
+  std::vector<std::vector<std::uint32_t>> f_groups(failure_sets.size());
+  std::vector<std::vector<std::uint32_t>> r_groups(reroute_sets.size());
+  std::vector<std::size_t> cnt_f(num_groups, 0), cnt_r(num_groups, 0);
+  for (std::uint32_t g = 0; g < num_groups; ++g) {
+    for (std::uint32_t s : cov_f[g]) {
+      f_groups[s].push_back(g);
+      cnt_f[g] += !f_explained[s];
+    }
+    for (std::uint32_t s : cov_r[g]) {
+      r_groups[s].push_back(g);
+      cnt_r[g] += !r_explained[s];
+    }
+  }
+  // A selected group keeps its cluster-mates' sets unexplained, so it must
+  // be retired explicitly — exactly what skipping its no-longer-in-U
+  // members achieved before.
+  std::vector<char> group_active(num_groups, 1);
+  auto explain_sets = [&](const std::vector<std::uint32_t>& sets,
+                          std::vector<char>& explained,
+                          const std::vector<std::vector<std::uint32_t>>& of_set,
+                          std::vector<std::size_t>& cnt) {
+    for (std::uint32_t s : sets) {
+      if (explained[s]) continue;
+      explained[s] = 1;
+      for (std::uint32_t g : of_set[s]) {
+        if (group_active[g]) --cnt[g];
+      }
+    }
   };
 
   // ---- Greedy max-score loop (Algorithm 1) -----------------------------------
@@ -255,14 +305,10 @@ Result solve(const DiagnosisGraph& dg, const SolverOptions& opt,
   for (;; ++round) {
     double best = 0.0;
     std::vector<std::uint32_t> max_set;
-    for (std::uint32_t g = 0; g < groups.size(); ++g) {
-      const double score =
-          opt.weight_failures *
-              static_cast<double>(group_covered(groups[g], f_of_edge,
-                                                f_explained)) +
-          opt.weight_reroutes *
-              static_cast<double>(group_covered(groups[g], r_of_edge,
-                                                r_explained));
+    for (std::uint32_t g = 0; g < num_groups; ++g) {
+      if (!group_active[g]) continue;
+      const double score = opt.weight_failures * static_cast<double>(cnt_f[g]) +
+                           opt.weight_reroutes * static_cast<double>(cnt_r[g]);
       if (score > best) {
         best = score;
         max_set.assign(1, g);
@@ -273,10 +319,14 @@ Result solve(const DiagnosisGraph& dg, const SolverOptions& opt,
     if (best <= 0.0) break;
     // The paper adds the whole set of maximum-score links.
     for (std::uint32_t g : max_set) {
+      group_active[g] = 0;
       for (std::uint32_t e : groups[g]) {
         if (in_u[e]) {
           record_rank(dg.edges[e].phys_key, best, round);
-          select_edge(e);
+          hypothesis.push_back(EdgeId{e});
+          in_u[e] = 0;
+          explain_sets(f_of_edge[e], f_explained, f_groups, cnt_f);
+          explain_sets(r_of_edge[e], r_explained, r_groups, cnt_r);
         }
       }
     }

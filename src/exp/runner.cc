@@ -8,6 +8,7 @@
 #include "core/diagnosability.h"
 #include "lg/looking_glass.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace netd::exp {
 
@@ -208,188 +209,355 @@ Runner::Runner(topo::Topology topology, const ScenarioConfig& cfg)
   net_.converge();
 }
 
-void Runner::for_each_episode(
-    const std::function<void(const EpisodeContext&)>& fn, bool deploy_lg) {
-  const auto& topo = net_.topology();
-  const bool need_lg = deploy_lg || cfg_.frac_blocked > 0.0;
+namespace {
 
-  const sim::Network::Snapshot base = net_.snapshot();
-  std::optional<lg::LgTable> lg_table;
-  if (need_lg) lg_table.emplace(net_);
+/// Runs the §4 protocol for one placement on `net` (which must be at the
+/// converged base state captured in `base`), invoking `sink` once per
+/// diagnosable episode. Leaves `net` restored to `base`. All randomness
+/// comes from `seed` — the placement's pre-forked stream — so the outcome
+/// is independent of which thread or network clone executes it.
+/// `lg_table` is non-null iff the scenario deploys Looking Glasses.
+void run_placement(const ScenarioConfig& cfg, sim::Network& net,
+                   const sim::Network::Snapshot& base, std::uint64_t seed,
+                   const lg::LgTable* lg_table,
+                   const std::function<void(const EpisodeContext&)>& sink) {
+  const auto& topo = net.topology();
+  util::Rng rng(seed);
+  const std::vector<Sensor> sensors =
+      probe::place_sensors(topo, cfg.placement, cfg.num_sensors, rng);
+  std::set<std::uint32_t> sensor_ases;
+  for (const auto& s : sensors) sensor_ases.insert(s.as.value());
 
-  util::Rng root(cfg_.seed);
-
-  for (std::size_t pl = 0; pl < cfg_.num_placements; ++pl) {
-    util::Rng rng(root.fork());
-    const std::vector<Sensor> sensors =
-        probe::place_sensors(topo, cfg_.placement, cfg_.num_sensors, rng);
-    std::set<std::uint32_t> sensor_ases;
-    for (const auto& s : sensors) sensor_ases.insert(s.as.value());
-
-    // AS-X: core AS 0, or a random stub hosting no sensor (§5.3).
-    AsId op_as{0};
-    if (!cfg_.operator_at_core) {
-      std::vector<AsId> stubs;
-      for (const auto& as : topo.ases()) {
-        if (as.cls == topo::AsClass::kStub &&
-            sensor_ases.count(as.id.value()) == 0) {
-          stubs.push_back(as.id);
-        }
-      }
-      if (!stubs.empty()) op_as = rng.pick(stubs);
-    }
-    net_.set_operator_as(op_as);
-
-    // Ground-truth mesh (never blocked) — used for failure sampling and
-    // ground-truth AS coverage.
-    Prober ground(net_, sensors);
-    const Mesh gmesh = ground.measure();
-
-    // ASes that block traceroutes: a fraction f_b of the on-path transit
-    // ASes (sensor ASes and AS-X itself never block).
-    std::set<std::uint32_t> blocked;
-    if (cfg_.frac_blocked > 0.0) {
-      std::vector<std::uint32_t> blockable;
-      for (int asn : gmesh.covered_ases(topo)) {
-        const auto v = static_cast<std::uint32_t>(asn);
-        if (sensor_ases.count(v) == 0 && v != op_as.value()) {
-          blockable.push_back(v);
-        }
-      }
-      const auto k = static_cast<std::size_t>(
-          cfg_.frac_blocked * static_cast<double>(blockable.size()) + 0.5);
-      for (std::uint32_t v :
-           rng.sample(blockable, std::min(k, blockable.size()))) {
-        blocked.insert(v);
+  // AS-X: core AS 0, or a random stub hosting no sensor (§5.3).
+  AsId op_as{0};
+  if (!cfg.operator_at_core) {
+    std::vector<AsId> stubs;
+    for (const auto& as : topo.ases()) {
+      if (as.cls == topo::AsClass::kStub &&
+          sensor_ases.count(as.id.value()) == 0) {
+        stubs.push_back(as.id);
       }
     }
+    if (!stubs.empty()) op_as = rng.pick(stubs);
+  }
+  net.set_operator_as(op_as);
 
-    // Looking Glass availability: a fraction of all ASes.
-    std::optional<lg::LookingGlassService> lg_svc;
-    if (need_lg) {
-      std::set<std::uint32_t> avail;
-      for (const auto& as : topo.ases()) {
-        if (rng.bernoulli(cfg_.frac_lg)) avail.insert(as.id.value());
+  // Ground-truth mesh (never blocked) — used for failure sampling and
+  // ground-truth AS coverage.
+  Prober ground(net, sensors);
+  const Mesh gmesh = ground.measure();
+
+  // ASes that block traceroutes: a fraction f_b of the on-path transit
+  // ASes (sensor ASes and AS-X itself never block).
+  std::set<std::uint32_t> blocked;
+  if (cfg.frac_blocked > 0.0) {
+    std::vector<std::uint32_t> blockable;
+    for (int asn : gmesh.covered_ases(topo)) {
+      const auto v = static_cast<std::uint32_t>(asn);
+      if (sensor_ases.count(v) == 0 && v != op_as.value()) {
+        blockable.push_back(v);
       }
-      lg_svc.emplace(*lg_table, std::move(avail), op_as);
     }
+    const auto k = static_cast<std::size_t>(
+        cfg.frac_blocked * static_cast<double>(blockable.size()) + 0.5);
+    for (std::uint32_t v :
+         rng.sample(blockable, std::min(k, blockable.size()))) {
+      blocked.insert(v);
+    }
+  }
 
-    Prober prober(net_, sensors, blocked);
-    const Mesh before = prober.measure();
+  // Looking Glass availability: a fraction of all ASes.
+  std::optional<lg::LookingGlassService> lg_svc;
+  if (lg_table != nullptr) {
+    std::set<std::uint32_t> avail;
+    for (const auto& as : topo.ases()) {
+      if (rng.bernoulli(cfg.frac_lg)) avail.insert(as.id.value());
+    }
+    lg_svc.emplace(*lg_table, std::move(avail), op_as);
+  }
 
-    const std::vector<LinkId> pool = gmesh.probed_links();
-    const std::vector<Misconfig> mcs = misconfig_candidates(topo, gmesh);
-    const std::vector<PrefixMisconfig> pmcs =
-        prefix_misconfig_candidates(topo, gmesh);
-    const std::vector<RouterId> router_pool = router_candidates(gmesh, sensors);
-    if (pool.size() < cfg_.num_link_failures) continue;
+  Prober prober(net, sensors, blocked);
+  const Mesh before = prober.measure();
 
-    const double diag = core::diagnosability(
-        core::build_diagnosis_graph(before, before, /*logical_links=*/false));
+  const std::vector<LinkId> pool = gmesh.probed_links();
+  const std::vector<Misconfig> mcs = misconfig_candidates(topo, gmesh);
+  const std::vector<PrefixMisconfig> pmcs =
+      prefix_misconfig_candidates(topo, gmesh);
+  const std::vector<RouterId> router_pool = router_candidates(gmesh, sensors);
+  if (pool.size() < cfg.num_link_failures) return;
 
-    for (std::size_t trial = 0; trial < cfg_.trials_per_placement; ++trial) {
-      // Draw failures until the event breaks some path (the paper's
-      // troubleshooter is only invoked on unreachability).
-      bool invoked = false;
-      std::vector<LinkId> failed_links;
-      RouterId failed_router;
-      std::optional<Misconfig> mc;
-      std::optional<PrefixMisconfig> pmc;
-      Mesh after;
-      for (std::size_t attempt = 0;
-           attempt < cfg_.max_attempts_per_trial && !invoked; ++attempt) {
-        failed_links.clear();
-        failed_router = RouterId{};
-        mc.reset();
-        pmc.reset();
-        switch (cfg_.mode) {
-          case FailureMode::kLinks:
-            failed_links = rng.sample(pool, cfg_.num_link_failures);
-            break;
-          case FailureMode::kRouter:
-            if (router_pool.empty()) break;
-            failed_router = rng.pick(router_pool);
-            break;
-          case FailureMode::kMisconfig:
-            if (mcs.empty()) break;
-            mc = rng.pick(mcs);
-            break;
-          case FailureMode::kMisconfigPlusLink:
-            if (mcs.empty()) break;
-            mc = rng.pick(mcs);
-            failed_links = rng.sample(pool, cfg_.num_link_failures);
-            break;
-          case FailureMode::kMisconfigPrefix:
-            if (pmcs.empty()) break;
-            pmc = rng.pick(pmcs);
-            break;
-        }
-        if (failed_links.empty() && !failed_router.valid() && !mc && !pmc) {
+  const double diag = core::diagnosability(
+      core::build_diagnosis_graph(before, before, /*logical_links=*/false));
+
+  for (std::size_t trial = 0; trial < cfg.trials_per_placement; ++trial) {
+    // Draw failures until the event breaks some path (the paper's
+    // troubleshooter is only invoked on unreachability).
+    bool invoked = false;
+    std::vector<LinkId> failed_links;
+    RouterId failed_router;
+    std::optional<Misconfig> mc;
+    std::optional<PrefixMisconfig> pmc;
+    Mesh after;
+    for (std::size_t attempt = 0;
+         attempt < cfg.max_attempts_per_trial && !invoked; ++attempt) {
+      failed_links.clear();
+      failed_router = RouterId{};
+      mc.reset();
+      pmc.reset();
+      switch (cfg.mode) {
+        case FailureMode::kLinks:
+          failed_links = rng.sample(pool, cfg.num_link_failures);
+          break;
+        case FailureMode::kRouter:
+          if (router_pool.empty()) break;
+          failed_router = rng.pick(router_pool);
+          break;
+        case FailureMode::kMisconfig:
+          if (mcs.empty()) break;
+          mc = rng.pick(mcs);
+          break;
+        case FailureMode::kMisconfigPlusLink:
+          if (mcs.empty()) break;
+          mc = rng.pick(mcs);
+          failed_links = rng.sample(pool, cfg.num_link_failures);
+          break;
+        case FailureMode::kMisconfigPrefix:
+          if (pmcs.empty()) break;
+          pmc = rng.pick(pmcs);
+          break;
+      }
+      if (failed_links.empty() && !failed_router.valid() && !mc && !pmc) {
+        break;
+      }
+
+      net.start_recording();
+      for (LinkId l : failed_links) net.fail_link(l);
+      if (failed_router.valid()) net.fail_router(failed_router);
+      if (mc) {
+        inject_cone_misconfig(net, mc->exporter, mc->link, mc->next_as,
+                              sensors);
+      }
+      if (pmc) net.misconfigure_export(pmc->exporter, pmc->link, pmc->prefix);
+      net.reconverge();
+      // Cheap invocation check: the troubleshooter only fires when a
+      // previously-working pair broke, so retrace just those pairs (no
+      // mesh rendering) and pay for the full T+ mesh only on the attempt
+      // that actually caused unreachability.
+      for (const auto& p : before.paths) {
+        if (!p.ok) continue;
+        if (!net.trace_flow(sensors[p.src].attach, sensors[p.dst].attach,
+                            prober.flow())
+                 .ok) {
+          invoked = true;
           break;
         }
-
-        net_.start_recording();
-        for (LinkId l : failed_links) net_.fail_link(l);
-        if (failed_router.valid()) net_.fail_router(failed_router);
-        if (mc) {
-          inject_cone_misconfig(net_, mc->exporter, mc->link, mc->next_as,
-                                sensors);
-        }
-        if (pmc) net_.misconfigure_export(pmc->exporter, pmc->link, pmc->prefix);
-        net_.reconverge();
+      }
+      if (invoked) {
         after = prober.measure();
-        for (std::size_t k = 0; k < before.paths.size(); ++k) {
-          if (before.paths[k].ok && !after.paths[k].ok) {
-            invoked = true;
-            break;
-          }
-        }
-        if (!invoked) net_.restore(base);
+      } else {
+        net.restore(base);
       }
-      if (!invoked) continue;  // this trial never caused unreachability
+    }
+    if (!invoked) continue;  // this trial never caused unreachability
 
-      // Ground truth F at link and AS granularity.
-      std::set<std::string> f_links;
-      std::set<int> f_ases;
-      auto add_failed = [&](LinkId l) {
-        f_links.insert(link_key(topo, l));
+    // Ground truth F at link and AS granularity.
+    std::set<std::string> f_links;
+    std::set<int> f_ases;
+    auto add_failed = [&](LinkId l) {
+      f_links.insert(link_key(topo, l));
+      const auto& link = topo.link(l);
+      f_ases.insert(static_cast<int>(topo.as_of_router(link.a).value()));
+      f_ases.insert(static_cast<int>(topo.as_of_router(link.b).value()));
+    };
+    for (LinkId l : failed_links) add_failed(l);
+    if (mc) add_failed(mc->link);
+    if (pmc) add_failed(pmc->link);
+    if (failed_router.valid()) {
+      for (LinkId l : pool) {
         const auto& link = topo.link(l);
-        f_ases.insert(static_cast<int>(topo.as_of_router(link.a).value()));
-        f_ases.insert(static_cast<int>(topo.as_of_router(link.b).value()));
-      };
-      for (LinkId l : failed_links) add_failed(l);
-      if (mc) add_failed(mc->link);
-      if (pmc) add_failed(pmc->link);
-      if (failed_router.valid()) {
-        for (LinkId l : pool) {
-          const auto& link = topo.link(l);
-          if (link.a == failed_router || link.b == failed_router) {
-            add_failed(l);
-          }
+        if (link.a == failed_router || link.b == failed_router) {
+          add_failed(l);
         }
-        f_ases.insert(
-            static_cast<int>(topo.as_of_router(failed_router).value()));
       }
+      f_ases.insert(
+          static_cast<int>(topo.as_of_router(failed_router).value()));
+    }
 
-      // AS universe: ground-truth coverage of the probes (T− and T+).
-      std::set<int> universe = gmesh.covered_ases(topo);
-      for (int a : after.covered_ases(topo)) universe.insert(a);
-      for (int a : f_ases) universe.insert(a);
+    // AS universe: ground-truth coverage of the probes (T− and T+).
+    std::set<int> universe = gmesh.covered_ases(topo);
+    for (int a : after.covered_ases(topo)) universe.insert(a);
+    for (int a : f_ases) universe.insert(a);
 
-      const core::ControlPlaneObs cp = collect_control_plane(net_);
+    const core::ControlPlaneObs cp = collect_control_plane(net);
 
-      EpisodeContext ctx{before,
-                         after,
-                         cp,
-                         lg_svc ? &*lg_svc : nullptr,
-                         op_as,
-                         f_links,
-                         f_ases,
-                         universe,
-                         diag};
+    EpisodeContext ctx{before,
+                       after,
+                       cp,
+                       lg_svc ? &*lg_svc : nullptr,
+                       op_as,
+                       f_links,
+                       f_ases,
+                       universe,
+                       diag};
+    sink(ctx);
+    net.restore(base);
+    net.set_operator_as(op_as);
+  }
+}
+
+/// Scores one episode for run(): runs every requested algorithm and
+/// derives the per-trial metrics. Pure per-episode work — safe to call
+/// from pool workers.
+TrialResult score_episode(const EpisodeContext& ep,
+                          const std::vector<Algo>& algos, FailureMode mode) {
+  TrialResult tr;
+  tr.diagnosability = ep.diagnosability;
+  for (Algo algo : algos) {
+    core::AlgorithmOutput out;
+    switch (algo) {
+      case Algo::kTomo:
+        out = core::run_tomo(ep.before, ep.after);
+        break;
+      case Algo::kNdEdge:
+        out = core::run_nd_edge(ep.before, ep.after);
+        break;
+      case Algo::kNdBgpIgp:
+        out = core::run_nd_bgpigp(ep.before, ep.after, ep.cp);
+        break;
+      case Algo::kNdLg:
+        assert(ep.lg != nullptr);
+        out = core::run_nd_lg(ep.before, ep.after, ep.cp, *ep.lg,
+                              ep.operator_as);
+        break;
+    }
+    if (!ep.failed_links.empty()) {
+      tr.link[algo] = core::link_metrics(out.result.links, ep.failed_links,
+                                         out.graph.probed_keys);
+    }
+    tr.as_level[algo] =
+        core::as_metrics(out.result.ases, ep.failed_ases, ep.universe);
+    if (mode == FailureMode::kRouter) {
+      for (const auto& k : out.result.links) {
+        if (ep.failed_links.count(k) != 0) {
+          tr.router_detected = true;
+          break;
+        }
+      }
+    }
+  }
+  return tr;
+}
+
+/// Everything one episode contributes to a deferred for_each_episode
+/// callback, copied out of the worker-local EpisodeContext.
+struct EpisodeData {
+  Mesh after;
+  core::ControlPlaneObs cp;
+  std::set<std::string> f_links;
+  std::set<int> f_ases;
+  std::set<int> universe;
+};
+
+/// Per-placement bundle backing the deferred callbacks of one placement.
+struct PlacementData {
+  Mesh before;
+  std::optional<lg::LookingGlassService> lg_svc;
+  AsId op_as{0};
+  double diag = 0.0;
+  std::vector<EpisodeData> episodes;
+};
+
+}  // namespace
+
+std::size_t Runner::effective_threads() const {
+  return std::min(util::ThreadPool::resolve_threads(cfg_.num_threads),
+                  std::max<std::size_t>(1, cfg_.num_placements));
+}
+
+void Runner::map_episodes(
+    bool need_lg,
+    const std::function<void(std::size_t, const EpisodeContext&)>& sink) {
+  // The LG answer table is a function of the shared base state; build it
+  // once and let every placement's service filter it.
+  std::optional<lg::LgTable> lg_table;
+  if (need_lg) lg_table.emplace(net_);
+  const lg::LgTable* table = lg_table ? &*lg_table : nullptr;
+
+  // Pre-fork one seed per placement, in placement order — the same
+  // sequence the serial loop consumes, so sharding cannot change any
+  // placement's draws.
+  util::Rng root(cfg_.seed);
+  std::vector<std::uint64_t> seeds(cfg_.num_placements);
+  for (auto& s : seeds) s = root.fork();
+
+  const std::size_t threads = effective_threads();
+  if (threads <= 1) {
+    const sim::Network::Snapshot base = net_.snapshot();
+    for (std::size_t pl = 0; pl < cfg_.num_placements; ++pl) {
+      run_placement(cfg_, net_, base, seeds[pl], table,
+                    [&](const EpisodeContext& ep) { sink(pl, ep); });
+    }
+    return;
+  }
+
+  // Placement-granularity sharding: worker w owns the contiguous block
+  // [w·P/T, (w+1)·P/T) on a private clone of the network (re-converged
+  // from the same topology, hence bit-identical routing state), so every
+  // placement's episodes are produced by exactly one thread.
+  util::ThreadPool pool(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    const std::size_t begin = w * cfg_.num_placements / threads;
+    const std::size_t end = (w + 1) * cfg_.num_placements / threads;
+    if (begin == end) continue;
+    pool.submit([this, begin, end, table, &seeds, &sink] {
+      sim::Network net(net_.topology());
+      net.converge();
+      const sim::Network::Snapshot base = net.snapshot();
+      for (std::size_t pl = begin; pl < end; ++pl) {
+        run_placement(cfg_, net, base, seeds[pl], table,
+                      [&](const EpisodeContext& ep) { sink(pl, ep); });
+      }
+    });
+  }
+  pool.wait_all();
+}
+
+void Runner::for_each_episode(
+    const std::function<void(const EpisodeContext&)>& fn, bool deploy_lg) {
+  const bool need_lg = deploy_lg || cfg_.frac_blocked > 0.0;
+  if (effective_threads() <= 1) {
+    map_episodes(need_lg,
+                 [&](std::size_t, const EpisodeContext& ep) { fn(ep); });
+    return;
+  }
+
+  // Parallel mode: workers materialize each placement's episodes; the
+  // callbacks replay here in placement order, so `fn` never needs to be
+  // thread-safe and observes the same sequence as a serial run.
+  std::vector<PlacementData> data(cfg_.num_placements);
+  map_episodes(need_lg, [&](std::size_t pl, const EpisodeContext& ep) {
+    PlacementData& d = data[pl];
+    if (d.episodes.empty()) {
+      d.before = ep.before;
+      if (ep.lg != nullptr) d.lg_svc.emplace(*ep.lg);
+      d.op_as = ep.operator_as;
+      d.diag = ep.diagnosability;
+    }
+    d.episodes.push_back(EpisodeData{ep.after, ep.cp, ep.failed_links,
+                                     ep.failed_ases, ep.universe});
+  });
+  for (const PlacementData& d : data) {
+    for (const EpisodeData& e : d.episodes) {
+      EpisodeContext ctx{d.before,
+                         e.after,
+                         e.cp,
+                         d.lg_svc ? &*d.lg_svc : nullptr,
+                         d.op_as,
+                         e.f_links,
+                         e.f_ases,
+                         e.universe,
+                         d.diag};
       fn(ctx);
-      net_.restore(base);
-      net_.set_operator_as(op_as);
     }
   }
 }
@@ -397,48 +565,17 @@ void Runner::for_each_episode(
 std::vector<TrialResult> Runner::run(const std::vector<Algo>& algos) {
   const bool need_lg =
       std::find(algos.begin(), algos.end(), Algo::kNdLg) != algos.end();
+  // Each placement's bucket is filled by the single worker that owns it;
+  // concatenating in placement order makes the output independent of
+  // scheduling.
+  std::vector<std::vector<TrialResult>> buckets(cfg_.num_placements);
+  map_episodes(need_lg, [&](std::size_t pl, const EpisodeContext& ep) {
+    buckets[pl].push_back(score_episode(ep, algos, cfg_.mode));
+  });
   std::vector<TrialResult> results;
-  for_each_episode(
-      [&](const EpisodeContext& ep) {
-        TrialResult tr;
-        tr.diagnosability = ep.diagnosability;
-        for (Algo algo : algos) {
-          core::AlgorithmOutput out;
-          switch (algo) {
-            case Algo::kTomo:
-              out = core::run_tomo(ep.before, ep.after);
-              break;
-            case Algo::kNdEdge:
-              out = core::run_nd_edge(ep.before, ep.after);
-              break;
-            case Algo::kNdBgpIgp:
-              out = core::run_nd_bgpigp(ep.before, ep.after, ep.cp);
-              break;
-            case Algo::kNdLg:
-              assert(ep.lg != nullptr);
-              out = core::run_nd_lg(ep.before, ep.after, ep.cp, *ep.lg,
-                                    ep.operator_as);
-              break;
-          }
-          if (!ep.failed_links.empty()) {
-            tr.link[algo] = core::link_metrics(out.result.links,
-                                               ep.failed_links,
-                                               out.graph.probed_keys);
-          }
-          tr.as_level[algo] =
-              core::as_metrics(out.result.ases, ep.failed_ases, ep.universe);
-          if (cfg_.mode == FailureMode::kRouter) {
-            for (const auto& k : out.result.links) {
-              if (ep.failed_links.count(k) != 0) {
-                tr.router_detected = true;
-                break;
-              }
-            }
-          }
-        }
-        results.push_back(std::move(tr));
-      },
-      need_lg);
+  for (auto& bucket : buckets) {
+    for (TrialResult& tr : bucket) results.push_back(std::move(tr));
+  }
   return results;
 }
 

@@ -50,6 +50,11 @@ struct ScenarioConfig {
   std::uint64_t seed = 42;
   /// Failure draws per trial before giving up on causing unreachability.
   std::size_t max_attempts_per_trial = 60;
+  /// Worker threads for the placement-sharded runner; 0 = one per
+  /// hardware thread. Results are bit-identical for every value: each
+  /// placement draws from its own pre-forked RNG stream and runs on a
+  /// private network clone, and episodes are merged in placement order.
+  std::size_t num_threads = 0;
 };
 
 struct TrialResult {
@@ -89,13 +94,26 @@ class Runner {
   /// diagnosable episode (placements × trials, resampled exactly as in
   /// run()). Used by the ablation benchmarks to score custom algorithm
   /// variants. `deploy_lg` forces Looking Glass construction even when the
-  /// high-level run() would not need it.
+  /// high-level run() would not need it. `fn` always runs on the calling
+  /// thread, in placement order — when cfg.num_threads enables parallelism
+  /// the episodes are generated on pool workers and replayed here, so
+  /// callers need no synchronization.
   void for_each_episode(const std::function<void(const EpisodeContext&)>& fn,
                         bool deploy_lg = false);
 
   [[nodiscard]] const sim::Network& network() const { return net_; }
 
  private:
+  /// Core of the protocol: invokes `sink(placement, episode)` for every
+  /// diagnosable episode. With more than one effective thread, sinks for
+  /// distinct placements run concurrently on pool workers (each placement
+  /// is owned by exactly one worker, on a private network clone); sinks
+  /// must only touch per-placement state. Serial mode calls sinks inline.
+  void map_episodes(
+      bool need_lg,
+      const std::function<void(std::size_t, const EpisodeContext&)>& sink);
+  [[nodiscard]] std::size_t effective_threads() const;
+
   ScenarioConfig cfg_;
   sim::Network net_;
 };

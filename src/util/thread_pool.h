@@ -1,0 +1,60 @@
+// A fixed-size worker pool for sharding deterministic simulation work.
+//
+// Deliberately minimal — no work stealing, no futures, no task priorities:
+// callers submit closures and wait for the batch to drain. Determinism is
+// the submitter's job (shard work so that the output of each task is
+// independent of scheduling, then merge in a fixed order); the pool only
+// promises that every submitted task runs exactly once and that wait_all()
+// observes all side effects of completed tasks.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace netd::util {
+
+class ThreadPool {
+ public:
+  /// Spawns exactly `num_threads` workers (>= 1; pass the result of
+  /// resolve_threads() to honor a user-facing "0 = all cores" knob).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains outstanding tasks (wait_all semantics), then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called concurrently with wait_all().
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. If any task threw,
+  /// rethrows the first exception (the remaining tasks still run).
+  void wait_all();
+
+  [[nodiscard]] std::size_t num_threads() const { return workers_.size(); }
+
+  /// Maps the user-facing thread-count knob to a worker count: 0 means
+  /// "all hardware threads" (at least 1); anything else is taken as-is.
+  [[nodiscard]] static std::size_t resolve_threads(std::size_t requested);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable batch_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  ///< queued + currently executing
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace netd::util
