@@ -1,8 +1,14 @@
-// netdiag — the NetDiagnoser command-line tool.
+// netdiag — the NetDiagnoser command-line tool. All commands:
 //
 //   netdiag topo      generate/inspect/export the evaluation topology
 //   netdiag run       run a full evaluation scenario, print metric tables
+//                     (or record a svc event trace with --record FILE)
 //   netdiag diagnose  walk through one failure episode verbosely
+//   netdiag watch     simulate the continuous NOC loop: flap filtering plus
+//                     automatic diagnosis (--record FILE captures a trace)
+//   netdiag serve     run the diagnosis service daemon (svc wire protocol)
+//   netdiag submit    send one protocol request to a running daemon
+//   netdiag replay    re-run a recorded event trace, verifying diagnoses
 //
 // Run `netdiag <command> --help` for the flags of each command.
 #include <fstream>
@@ -18,6 +24,11 @@
 #include "lg/looking_glass.h"
 #include "probe/prober.h"
 #include "sim/network.h"
+#include "svc/client.h"
+#include "svc/protocol.h"
+#include "svc/server.h"
+#include "svc/socket.h"
+#include "svc/trace.h"
 #include "topo/generator.h"
 #include "topo/io.h"
 #include "util/flags.h"
@@ -39,16 +50,21 @@ int usage() {
       "            specificity tables per algorithm\n"
       "  diagnose  inject one failure and show each algorithm's hypothesis\n"
       "  watch     simulate the continuous NOC loop: flap filtering plus\n"
-      "            automatic diagnosis when an alarm fires\n";
+      "            automatic diagnosis when an alarm fires\n"
+      "            (--record FILE captures the rounds as an event trace)\n"
+      "  serve     run the diagnosis service daemon\n"
+      "  submit    send one protocol request to a daemon, print the reply\n"
+      "  replay    re-run a recorded event trace (in process or through a\n"
+      "            socket) and verify the diagnoses match the recording\n";
   return 2;
 }
 
 topo::GeneratorParams topo_params(util::Flags& flags) {
   topo::GeneratorParams p;
-  p.seed = static_cast<std::uint64_t>(flags.get_int("topo-seed", 1));
-  p.target_ases = static_cast<std::size_t>(flags.get_int("ases", 165));
-  p.pool_tier2 = static_cast<std::size_t>(flags.get_int("tier2", 22));
-  p.pool_stubs = static_cast<std::size_t>(flags.get_int("stubs", 200));
+  p.seed = static_cast<std::uint64_t>(flags.get_uint("topo-seed", 1));
+  p.target_ases = flags.get_uint("ases", 165);
+  p.pool_tier2 = flags.get_uint("tier2", 22);
+  p.pool_stubs = flags.get_uint("stubs", 200);
   return p;
 }
 
@@ -143,7 +159,8 @@ std::optional<probe::PlacementKind> parse_placement(const std::string& s) {
 int cmd_run(util::Flags& flags) {
   flags.allow({"topo-seed", "ases", "tier2", "stubs", "mode", "failures",
                "sensors", "placements", "trials", "placement", "blocked",
-               "lg", "operator", "seed", "algos", "threads", "help"});
+               "lg", "operator", "seed", "algos", "threads", "record",
+               "threshold", "help"});
   if (!flags.ok() || flags.get_bool("help")) {
     std::cerr
         << "netdiag run [--mode links|misconfig|misconfig-link|router]\n"
@@ -153,25 +170,25 @@ int cmd_run(util::Flags& flags) {
            "            [--blocked F] [--lg F] [--operator core|stub]\n"
            "            [--seed S] [--algos tomo,nd-edge,nd-bgpigp,nd-lg]\n"
            "            [--threads N]  (0 = one per hardware thread; results\n"
-           "                            are identical for every value)\n";
+           "                            are identical for every value)\n"
+           "            [--record FILE [--threshold K]]  write the episodes\n"
+           "                            as a svc event trace instead of\n"
+           "                            scoring them\n";
     for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
     return flags.ok() ? 0 : 2;
   }
 
   exp::ScenarioConfig cfg;
   cfg.topo_params = topo_params(flags);
-  cfg.num_sensors = static_cast<std::size_t>(flags.get_int("sensors", 10));
-  cfg.num_placements =
-      static_cast<std::size_t>(flags.get_int("placements", 5));
-  cfg.trials_per_placement =
-      static_cast<std::size_t>(flags.get_int("trials", 20));
-  cfg.num_link_failures =
-      static_cast<std::size_t>(flags.get_int("failures", 1));
+  cfg.num_sensors = flags.get_uint("sensors", 10);
+  cfg.num_placements = flags.get_uint("placements", 5);
+  cfg.trials_per_placement = flags.get_uint("trials", 20);
+  cfg.num_link_failures = flags.get_uint("failures", 1);
   cfg.frac_blocked = flags.get_double("blocked", 0.0);
   cfg.frac_lg = flags.get_double("lg", 1.0);
   cfg.operator_at_core = flags.get("operator", "core") != "stub";
-  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
-  cfg.num_threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  cfg.seed = static_cast<std::uint64_t>(flags.get_uint("seed", 42));
+  cfg.num_threads = flags.get_uint("threads", 0);
   if (flags.has("placement")) {
     const auto kind = parse_placement(flags.get("placement"));
     if (!kind) return 2;
@@ -201,6 +218,23 @@ int cmd_run(util::Flags& flags) {
             << " blocked=" << cfg.frac_blocked << " lg=" << cfg.frac_lg
             << "\n";
   exp::Runner runner(cfg);
+  if (const std::string f = flags.get("record"); !f.empty()) {
+    std::ofstream os(f);
+    if (!os) {
+      std::cerr << "netdiag: cannot write " << f << "\n";
+      return 1;
+    }
+    svc::SessionConfig scfg;
+    scfg.alarm_threshold = flags.get_uint("threshold", 1);
+    std::string error;
+    const auto episodes = runner.record_trace(os, scfg, &error);
+    if (!episodes) {
+      std::cerr << "netdiag: " << error << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << f << " (" << *episodes << " episodes)\n";
+    return 0;
+  }
   const auto results = runner.run(*algos);
   std::cout << results.size() << " diagnosable episodes\n\n";
   if (results.empty()) return 0;
@@ -241,17 +275,17 @@ int cmd_diagnose(util::Flags& flags) {
   const auto& topo = net.topology();
   net.set_operator_as(topo::AsId{0});
 
-  util::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 7)));
+  util::Rng rng(static_cast<std::uint64_t>(flags.get_uint("seed", 7)));
   const auto sensors = probe::place_sensors(
       topo, probe::PlacementKind::kRandomStub,
-      static_cast<std::size_t>(flags.get_int("sensors", 10)), rng);
+      flags.get_uint("sensors", 10), rng);
   probe::Prober prober(net, sensors);
   const auto before = prober.measure();
   const auto dg = core::build_diagnosis_graph(before, before, false);
   std::cout << "probed links: " << dg.probed_keys.size()
             << ", diagnosability: " << core::diagnosability(dg) << "\n";
 
-  const auto k = static_cast<std::size_t>(flags.get_int("failures", 2));
+  const auto k = flags.get_uint("failures", 2);
   const auto pool = before.probed_links();
   if (pool.size() < k) {
     std::cerr << "netdiag: not enough probed links\n";
@@ -308,11 +342,13 @@ int cmd_diagnose(util::Flags& flags) {
 int cmd_watch(util::Flags& flags) {
   flags.allow({"topo-seed", "ases", "tier2", "stubs", "topo", "seed",
                "sensors", "rounds", "threshold", "fail-round", "flap-round",
-               "help"});
+               "record", "help"});
   if (!flags.ok() || flags.get_bool("help")) {
     std::cerr << "netdiag watch [--seed S] [--sensors N] [--rounds R]\n"
                  "              [--threshold K] [--flap-round A]"
-                 " [--fail-round B]\n";
+                 " [--fail-round B]\n"
+                 "              [--record FILE]  (capture an event trace for"
+                 " netdiag replay)\n";
     for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
     return flags.ok() ? 0 : 2;
   }
@@ -322,18 +358,35 @@ int cmd_watch(util::Flags& flags) {
   net.converge();
   net.set_operator_as(topo::AsId{0});
 
-  util::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 7)));
+  util::Rng rng(static_cast<std::uint64_t>(flags.get_uint("seed", 7)));
   const auto sensors = probe::place_sensors(
       net.topology(), probe::PlacementKind::kRandomStub,
-      static_cast<std::size_t>(flags.get_int("sensors", 10)), rng);
+      flags.get_uint("sensors", 10), rng);
   probe::Prober prober(net, sensors);
 
   core::Troubleshooter::Config cfg;
-  cfg.alarm_threshold =
-      static_cast<std::size_t>(flags.get_int("threshold", 3));
+  cfg.alarm_threshold = flags.get_uint("threshold", 3);
   cfg.solver = core::nd_bgpigp_options();
   core::Troubleshooter ts(cfg);
-  ts.set_baseline(prober.measure());
+
+  // --record streams every baseline/round (and the diagnosis, if one
+  // fires) as a svc event trace that `netdiag replay` can re-run.
+  std::ofstream trace_os;
+  std::optional<svc::TraceRecorder> recorder;
+  if (const std::string f = flags.get("record"); !f.empty()) {
+    trace_os.open(f);
+    if (!trace_os) {
+      std::cerr << "netdiag: cannot write " << f << "\n";
+      return 1;
+    }
+    svc::SessionConfig scfg;
+    scfg.alarm_threshold = cfg.alarm_threshold;
+    recorder.emplace(trace_os, scfg);
+  }
+
+  const auto baseline_mesh = prober.measure();
+  ts.set_baseline(baseline_mesh);
+  if (recorder) recorder->baseline(baseline_mesh);
 
   const auto rounds = flags.get_int("rounds", 10);
   const auto flap_round = flags.get_int("flap-round", 2);
@@ -378,8 +431,11 @@ int cmd_watch(util::Flags& flags) {
                 << " down persistently] ";
     }
     const auto cp = exp::collect_control_plane(net);
-    const auto diag = ts.observe(prober.measure(), &cp);
+    const auto mesh = prober.measure();
+    if (recorder) recorder->round(mesh, &cp);
+    const auto diag = ts.observe(mesh, &cp);
     if (diag) {
+      if (recorder) recorder->diagnosis(*diag);
       std::cout << "ALARM -> diagnosis\n\n";
       std::set<std::string> truth = {exp::link_key(net.topology(), fail_victim)};
       std::cout << core::render_report(diag->graph, diag->result, &truth);
@@ -388,6 +444,167 @@ int cmd_watch(util::Flags& flags) {
     std::cout << (ts.alarmed() ? "alarmed" : "quiet") << "\n";
   }
   std::cout << "no alarm within " << rounds << " rounds\n";
+  return 0;
+}
+
+int cmd_serve(util::Flags& flags) {
+  flags.allow({"listen", "threads", "help"});
+  if (!flags.ok() || flags.get_bool("help")) {
+    std::cerr << "netdiag serve [--listen unix:PATH|HOST:PORT|:PORT]"
+                 " [--threads N]\n"
+                 "runs until a client sends the shutdown op\n";
+    for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
+    return flags.ok() ? 0 : 2;
+  }
+  std::string error;
+  const auto ep = svc::Endpoint::parse(flags.get("listen", ":7433"), &error);
+  if (!ep) {
+    std::cerr << "netdiag: " << error << "\n";
+    return 2;
+  }
+  svc::Server::Options opts;
+  opts.endpoint = *ep;
+  opts.num_threads = flags.get_uint("threads", 8);
+  svc::Server server(std::move(opts));
+  if (!server.start(&error)) {
+    std::cerr << "netdiag: " << error << "\n";
+    return 1;
+  }
+  std::cout << "netdiag: listening on " << server.endpoint().to_string()
+            << "\n" << std::flush;
+  server.wait();
+  server.stop();
+  std::cout << "netdiag: server stopped\n";
+  return 0;
+}
+
+int cmd_submit(util::Flags& flags) {
+  flags.allow({"connect", "op", "session", "threshold", "algo", "granularity",
+               "help"});
+  if (!flags.ok() || flags.get_bool("help")) {
+    std::cerr
+        << "netdiag submit [--connect ADDR] --op hello|query|stats|shutdown\n"
+           "               [--session NAME] [--threshold K] [--algo A]\n"
+           "               [--granularity G]\n"
+           "prints the response frame; observation streams are fed with\n"
+           "`netdiag replay FILE --connect ADDR`\n";
+    for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
+    return flags.ok() ? 0 : 2;
+  }
+  std::string error;
+  const auto ep = svc::Endpoint::parse(flags.get("connect", ":7433"), &error);
+  if (!ep) {
+    std::cerr << "netdiag: " << error << "\n";
+    return 2;
+  }
+  const std::string op = flags.get("op", "stats");
+  const std::string session = flags.get("session", "default");
+  svc::Request req;
+  if (op == "hello") {
+    svc::SessionConfig scfg;
+    scfg.alarm_threshold = flags.get_uint("threshold", scfg.alarm_threshold);
+    scfg.algo = flags.get("algo", scfg.algo);
+    scfg.granularity = flags.get("granularity", scfg.granularity);
+    req = svc::HelloRequest{session, std::move(scfg)};
+  } else if (op == "query") {
+    req = svc::QueryRequest{session};
+  } else if (op == "stats") {
+    req = svc::StatsRequest{};
+  } else if (op == "shutdown") {
+    req = svc::ShutdownRequest{};
+  } else {
+    std::cerr << "netdiag: unknown op '" << op
+              << "' (hello, query, stats, shutdown)\n";
+    return 2;
+  }
+  auto client = svc::Client::connect(*ep, &error);
+  if (!client) {
+    std::cerr << "netdiag: " << error << "\n";
+    return 1;
+  }
+  const auto rsp = client->call(req, &error);
+  if (!rsp) {
+    std::cerr << "netdiag: " << error << "\n";
+    return 1;
+  }
+  std::cout << svc::serialize(*rsp) << "\n";
+  return std::holds_alternative<svc::ErrorResponse>(*rsp) ? 1 : 0;
+}
+
+int cmd_replay(util::Flags& flags) {
+  flags.allow({"via-socket", "connect", "session", "help"});
+  const bool bad_args = flags.positional().size() != 1;
+  if (!flags.ok() || flags.get_bool("help") || bad_args) {
+    std::cerr
+        << "netdiag replay FILE [--via-socket | --connect ADDR]"
+           " [--session NAME]\n"
+           "re-runs the recorded observation stream through a fresh\n"
+           "troubleshooter — in process by default, through a private\n"
+           "single-use daemon on a temporary unix socket (--via-socket),\n"
+           "or against a live daemon (--connect) — and fails when any\n"
+           "diagnosis differs from the recording\n";
+    for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
+    return flags.ok() && !bad_args ? 0 : 2;
+  }
+  const std::string file = flags.positional()[0];
+  std::ifstream is(file);
+  if (!is) {
+    std::cerr << "netdiag: cannot open " << file << "\n";
+    return 1;
+  }
+  std::string error;
+  const auto trace = svc::read_trace(is, &error);
+  if (!trace) {
+    std::cerr << "netdiag: " << file << ": " << error << "\n";
+    return 1;
+  }
+
+  svc::ReplayResult result;
+  if (flags.get_bool("via-socket") || flags.has("connect")) {
+    std::optional<svc::Server> server;
+    svc::Endpoint ep;
+    if (flags.has("connect")) {
+      const auto parsed = svc::Endpoint::parse(flags.get("connect"), &error);
+      if (!parsed) {
+        std::cerr << "netdiag: " << error << "\n";
+        return 2;
+      }
+      ep = *parsed;
+    } else {
+      // The observations still cross a real socket boundary: a private
+      // daemon bound next to the trace file serves just this replay.
+      svc::Server::Options opts;
+      opts.endpoint.kind = svc::Endpoint::Kind::kUnix;
+      opts.endpoint.path = file + ".sock";
+      server.emplace(std::move(opts));
+      if (!server->start(&error)) {
+        std::cerr << "netdiag: " << error << "\n";
+        return 1;
+      }
+      ep = server->endpoint();
+    }
+    auto client = svc::Client::connect(ep, &error);
+    if (!client) {
+      std::cerr << "netdiag: " << error << "\n";
+      return 1;
+    }
+    result = svc::replay_through(*client, flags.get("session", "replay"),
+                                 *trace);
+    if (server) server->stop();
+  } else {
+    result = svc::replay_in_process(*trace);
+  }
+
+  std::cout << "replayed " << result.baselines << " episode(s), "
+            << result.rounds << " round(s), " << result.diagnoses
+            << " diagnosis/es\n";
+  if (!result.ok()) {
+    for (const auto& m : result.mismatches) {
+      std::cerr << "mismatch: " << m << "\n";
+    }
+    return 1;
+  }
+  std::cout << "replay matches the recording\n";
   return 0;
 }
 
@@ -401,5 +618,8 @@ int main(int argc, char** argv) {
   if (cmd == "run") return cmd_run(flags);
   if (cmd == "diagnose") return cmd_diagnose(flags);
   if (cmd == "watch") return cmd_watch(flags);
+  if (cmd == "serve") return cmd_serve(flags);
+  if (cmd == "submit") return cmd_submit(flags);
+  if (cmd == "replay") return cmd_replay(flags);
   return usage();
 }

@@ -1,0 +1,165 @@
+// Service-layer benchmark: how much the wire costs.
+//
+// Records one exp::Runner trace, then times four stages of the service
+// stack on the identical input:
+//   svc_record_trace       runner episodes -> JSONL (codec write path)
+//   svc_codec_reparse      parse + reserialize every trace line
+//   svc_replay_in_process  trace -> fresh Troubleshooter, no socket
+//   svc_replay_socket      the same replay through a live unix-socket
+//                          server via svc::Client
+// The in-process/socket pair bounds the protocol + dispatch overhead per
+// observation round. Emits the usual ND_PERF_JSON records.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+
+#include "common.h"
+#include "svc/client.h"
+#include "svc/json.h"
+#include "svc/protocol.h"
+#include "svc/server.h"
+#include "svc/socket.h"
+#include "svc/trace.h"
+
+using namespace netd;
+
+namespace {
+
+class Timer {
+ public:
+  Timer() : t0_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// Same record shape as bench::timed_run so BENCH_svc.json rows align
+/// with the figure benchmarks'.
+void perf(const std::string& bench, double wall_ms, std::size_t threads,
+          const exp::ScenarioConfig& cfg) {
+  std::cout << "[perf] " << bench << ": " << wall_ms
+            << " ms  (threads=" << threads << ")\n";
+  if (const char* path = std::getenv("ND_PERF_JSON");
+      path != nullptr && *path != '\0') {
+    std::ofstream os(path, std::ios::app);
+    if (os) {
+      os << "{\"bench\":\"" << bench << "\",\"wall_ms\":" << wall_ms
+         << ",\"threads\":" << threads
+         << ",\"placements\":" << cfg.num_placements
+         << ",\"trials\":" << cfg.trials_per_placement << "}\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Service layer: trace codec and replay, in-process vs socket");
+
+  auto cfg = bench::scaled_config(9100);
+  cfg.num_link_failures = 1;
+  exp::Runner runner(cfg);
+
+  svc::SessionConfig scfg;
+  scfg.alarm_threshold = 2;
+
+  // Record (timed): the write path of the codec plus the live diagnoses.
+  std::ostringstream trace_os;
+  std::string error;
+  Timer t_record;
+  const auto episodes = runner.record_trace(trace_os, scfg, &error);
+  const double record_ms = t_record.ms();
+  if (!episodes.has_value()) {
+    std::cerr << "record_trace failed: " << error << "\n";
+    return 1;
+  }
+  const std::string jsonl = trace_os.str();
+  perf("svc_record_trace", record_ms, 1, cfg);
+
+  // Codec: parse + reserialize every line; byte identity is pinned by the
+  // tests, here we only pay for it.
+  std::size_t lines = 0;
+  {
+    Timer t;
+    std::istringstream is(jsonl);
+    std::string line;
+    std::size_t bytes = 0;
+    while (std::getline(is, line)) {
+      ++lines;
+      const auto j = svc::Json::parse(line, &error);
+      if (!j.has_value()) {
+        std::cerr << "trace line failed to parse: " << error << "\n";
+        return 1;
+      }
+      bytes += j->dump().size();
+    }
+    perf("svc_codec_reparse", t.ms(), 1, cfg);
+    std::cout << "  trace: " << *episodes << " episodes, " << lines
+              << " lines, " << bytes << " bytes\n";
+  }
+
+  // Replay without a socket: pure Troubleshooter re-execution.
+  std::istringstream is(jsonl);
+  const auto records = svc::read_trace(is, &error);
+  if (!records.has_value()) {
+    std::cerr << "read_trace failed: " << error << "\n";
+    return 1;
+  }
+  {
+    Timer t;
+    const auto result = svc::replay_in_process(*records);
+    const double ms = t.ms();
+    if (!result.ok()) {
+      std::cerr << "in-process replay diverged: " << result.mismatches[0]
+                << "\n";
+      return 1;
+    }
+    perf("svc_replay_in_process", ms, 1, cfg);
+  }
+
+  // Replay across a real unix socket: protocol + dispatch overhead on top.
+  const std::string sock_path =
+      "/tmp/bench_svc." + std::to_string(::getpid()) + ".sock";
+  svc::Server::Options opts;
+  opts.endpoint.kind = svc::Endpoint::Kind::kUnix;
+  opts.endpoint.path = sock_path;
+  opts.num_threads = 2;
+  svc::Server server(opts);
+  if (!server.start(&error)) {
+    std::cerr << "server start failed: " << error << "\n";
+    return 1;
+  }
+  {
+    auto client = svc::Client::connect(server.endpoint(), &error);
+    if (!client.has_value()) {
+      std::cerr << "connect failed: " << error << "\n";
+      return 1;
+    }
+    Timer t;
+    const auto result = svc::replay_through(*client, "bench", *records);
+    const double ms = t.ms();
+    if (!result.ok()) {
+      std::cerr << "socket replay diverged: " << result.mismatches[0] << "\n";
+      return 1;
+    }
+    perf("svc_replay_socket", ms, opts.num_threads, cfg);
+    std::cout << "  replayed " << result.rounds << " rounds, "
+              << result.diagnoses << " diagnoses\n";
+  }
+  server.stop();
+  std::remove(sock_path.c_str());
+
+  std::cout << "\nExpected: socket replay tracks in-process replay within a"
+               " small constant factor; the gap is the wire + dispatch cost"
+               " per round.\n";
+  return 0;
+}

@@ -7,6 +7,7 @@
 
 #include "core/diagnosability.h"
 #include "lg/looking_glass.h"
+#include "svc/trace.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -560,6 +561,29 @@ void Runner::for_each_episode(
       fn(ctx);
     }
   }
+}
+
+std::optional<std::size_t> Runner::record_trace(std::ostream& os,
+                                                const svc::SessionConfig& config,
+                                                std::string* error) {
+  const auto resolved = config.resolve(error);
+  if (!resolved) return std::nullopt;
+  svc::TraceRecorder recorder(os, config);
+  core::Troubleshooter ts(*resolved);
+  std::size_t episodes = 0;
+  for_each_episode([&](const EpisodeContext& ep) {
+    ++episodes;
+    ts.set_baseline(ep.before);
+    recorder.baseline(ep.before);
+    // The failure persists across rounds, so the alarm fires exactly on
+    // round `alarm_threshold` and that round carries the diagnosis.
+    for (std::size_t r = 0; r < config.alarm_threshold; ++r) {
+      recorder.round(ep.after, &ep.cp);
+      const auto out = ts.observe(ep.after, &ep.cp);
+      if (out.has_value()) recorder.diagnosis(*out);
+    }
+  });
+  return episodes;
 }
 
 std::vector<TrialResult> Runner::run(const std::vector<Algo>& algos) {

@@ -7,7 +7,10 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <map>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/algorithms.h"
@@ -15,6 +18,7 @@
 #include "core/metrics.h"
 #include "probe/prober.h"
 #include "sim/network.h"
+#include "svc/protocol.h"
 #include "topo/generator.h"
 
 namespace netd::exp {
@@ -100,6 +104,18 @@ class Runner {
   /// callers need no synchronization.
   void for_each_episode(const std::function<void(const EpisodeContext&)>& fn,
                         bool deploy_lg = false);
+
+  /// Records the evaluation protocol as a svc event trace (see
+  /// svc/trace.h): per diagnosable episode, one `baseline` (T−) followed
+  /// by `config.alarm_threshold` identical failure rounds — so the alarm
+  /// fires on the last one — and the diagnosis a live troubleshooter
+  /// produced for them. Episodes appear in placement order regardless of
+  /// cfg.num_threads, so the file is bit-stable for a given scenario.
+  /// Returns the episode count, or std::nullopt (with `error`) when the
+  /// config names an unknown algo/granularity.
+  std::optional<std::size_t> record_trace(std::ostream& os,
+                                          const svc::SessionConfig& config,
+                                          std::string* error = nullptr);
 
   [[nodiscard]] const sim::Network& network() const { return net_; }
 

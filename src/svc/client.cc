@@ -1,0 +1,50 @@
+#include "svc/client.h"
+
+namespace netd::svc {
+
+Client::Client(Fd fd) : fd_(std::move(fd)), reader_(fd_.get(), kMaxFrameBytes) {}
+
+std::optional<Client> Client::connect(const Endpoint& ep, std::string* error) {
+  Fd fd = connect_to(ep, error);
+  if (!fd.valid()) return std::nullopt;
+  return Client(std::move(fd));
+}
+
+std::optional<std::string> Client::call_raw(const std::string& frame,
+                                            std::string* error) {
+  if (!fd_.valid()) {
+    if (error != nullptr) *error = "client is closed";
+    return std::nullopt;
+  }
+  if (!write_all(fd_.get(), frame + "\n")) {
+    if (error != nullptr) *error = "write failed (server gone?)";
+    return std::nullopt;
+  }
+  std::string line;
+  switch (reader_.read_line(&line)) {
+    case LineReader::Status::kLine:
+      return line;
+    case LineReader::Status::kEof:
+      if (error != nullptr) *error = "server closed the connection";
+      return std::nullopt;
+    case LineReader::Status::kOversize:
+      if (error != nullptr) *error = "response exceeds frame size cap";
+      return std::nullopt;
+    case LineReader::Status::kError:
+      if (error != nullptr) *error = "read failed";
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<Response> Client::call(const Request& req, std::string* error) {
+  const auto line = call_raw(serialize(req), error);
+  if (!line.has_value()) return std::nullopt;
+  auto rsp = parse_response(*line, error);
+  if (!rsp.has_value()) return std::nullopt;
+  return rsp;
+}
+
+void Client::close() { fd_.reset(); }
+
+}  // namespace netd::svc

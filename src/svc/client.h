@@ -1,0 +1,62 @@
+// Blocking protocol client used by `netdiag submit`, `netdiag replay`
+// and the tests: one connection, strict request/response lockstep.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "svc/protocol.h"
+#include "svc/socket.h"
+
+namespace netd::svc {
+
+class Client {
+ public:
+  /// Connects; std::nullopt (with `error`) when the endpoint is
+  /// unreachable.
+  [[nodiscard]] static std::optional<Client> connect(const Endpoint& ep,
+                                                     std::string* error);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Sends one request and blocks for its response. ErrorResponse carries
+  /// server-side failures; transport failures (disconnect, unparseable
+  /// response) come back as std::nullopt with `error` set.
+  [[nodiscard]] std::optional<Response> call(const Request& req,
+                                             std::string* error);
+
+  /// Raw frame escape hatch for torture tests: writes `frame` + '\n'
+  /// verbatim and reads one response line.
+  [[nodiscard]] std::optional<std::string> call_raw(const std::string& frame,
+                                                    std::string* error);
+
+  /// Tears down the connection (subsequent calls fail).
+  void close();
+
+ private:
+  explicit Client(Fd fd);
+
+  Fd fd_;
+  LineReader reader_;
+};
+
+/// One-line convenience: true when `call` returned the non-error response
+/// alternative `T`, which is then copied to `out`.
+template <typename T>
+[[nodiscard]] bool expect_response(std::optional<Response> rsp, T* out,
+                                   std::string* error) {
+  if (!rsp.has_value()) return false;
+  if (const auto* err = std::get_if<ErrorResponse>(&*rsp)) {
+    if (error != nullptr && error->empty()) *error = err->message;
+    return false;
+  }
+  if (const auto* typed = std::get_if<T>(&*rsp)) {
+    if (out != nullptr) *out = *typed;
+    return true;
+  }
+  if (error != nullptr && error->empty()) *error = "unexpected response type";
+  return false;
+}
+
+}  // namespace netd::svc

@@ -1,0 +1,37 @@
+#include "svc/metrics.h"
+
+namespace netd::svc {
+
+void ServiceMetrics::record(const std::string& op, bool ok,
+                            double latency_us) {
+  PerOp& p = ops[op];
+  ++p.count;
+  if (!ok) ++p.errors;
+  p.latency_us.add(latency_us);
+}
+
+Json ServiceMetrics::to_json() const {
+  Json j = Json::object();
+  j.set("connections", Json::uinteger(connections));
+  j.set("sessions_created", Json::uinteger(sessions_created));
+  j.set("malformed_frames", Json::uinteger(malformed_frames));
+  j.set("oversized_frames", Json::uinteger(oversized_frames));
+  j.set("disconnects_mid_request", Json::uinteger(disconnects_mid_request));
+  Json ops_json = Json::object();
+  for (const auto& [name, p] : ops) {
+    Json op = Json::object();
+    op.set("count", Json::uinteger(p.count));
+    op.set("errors", Json::uinteger(p.errors));
+    Json lat = Json::object();
+    lat.set("p50", Json::number(p.latency_us.percentile(0.5)));
+    lat.set("p90", Json::number(p.latency_us.percentile(0.9)));
+    lat.set("p99", Json::number(p.latency_us.percentile(0.99)));
+    lat.set("max", Json::number(p.latency_us.max()));
+    op.set("lat_us", std::move(lat));
+    ops_json.set(name, std::move(op));
+  }
+  j.set("ops", std::move(ops_json));
+  return j;
+}
+
+}  // namespace netd::svc

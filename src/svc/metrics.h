@@ -1,0 +1,42 @@
+// Request/latency accounting for the diagnosis service, surfaced by the
+// protocol's `stats` verb.
+//
+// One util::Histogram per op keeps latency percentiles in fixed memory
+// (the server is long-lived; a sample-keeping Summary would grow without
+// bound). The server serializes access with its own mutex; this type is
+// plain data plus formatting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "svc/json.h"
+#include "util/stats.h"
+
+namespace netd::svc {
+
+struct ServiceMetrics {
+  struct PerOp {
+    std::uint64_t count = 0;
+    std::uint64_t errors = 0;
+    /// Wall-clock request handling time in microseconds.
+    util::Histogram latency_us;
+  };
+
+  /// Keyed by op name; ordered so stats output is stable.
+  std::map<std::string, PerOp> ops;
+  std::uint64_t connections = 0;        ///< accepted connections, lifetime
+  std::uint64_t sessions_created = 0;
+  std::uint64_t malformed_frames = 0;   ///< frames that failed to parse
+  std::uint64_t oversized_frames = 0;   ///< frames over the size cap
+  std::uint64_t disconnects_mid_request = 0;
+
+  void record(const std::string& op, bool ok, double latency_us);
+
+  /// {"connections":N,...,"ops":{"observe":{"count":n,"errors":e,
+  ///   "lat_us":{"p50":..,"p90":..,"p99":..,"max":..}},...}}
+  [[nodiscard]] Json to_json() const;
+};
+
+}  // namespace netd::svc

@@ -1,0 +1,507 @@
+#include "svc/protocol.h"
+
+#include <type_traits>
+
+#include "core/algorithms.h"
+
+namespace netd::svc {
+
+namespace {
+
+// Hop kinds on the wire: one-letter tags keep full-mesh frames small.
+const char* kind_tag(graph::NodeKind k) {
+  switch (k) {
+    case graph::NodeKind::kRouter: return "r";
+    case graph::NodeKind::kSensor: return "s";
+    case graph::NodeKind::kUnidentified: return "u";
+    case graph::NodeKind::kLogical: return "l";
+  }
+  return "r";
+}
+
+std::optional<graph::NodeKind> kind_from_tag(const std::string& t) {
+  if (t == "r") return graph::NodeKind::kRouter;
+  if (t == "s") return graph::NodeKind::kSensor;
+  if (t == "u") return graph::NodeKind::kUnidentified;
+  if (t == "l") return graph::NodeKind::kLogical;
+  return std::nullopt;
+}
+
+bool set_error(std::string* error, const std::string& what) {
+  if (error != nullptr && error->empty()) *error = what;
+  return false;
+}
+
+const Json* require(const Json& obj, std::string_view key, Json::Type type,
+                    std::string* error) {
+  const Json* v = obj.find(key);
+  if (v == nullptr) {
+    set_error(error, "missing field '" + std::string(key) + "'");
+    return nullptr;
+  }
+  if (v->type() != type) {
+    set_error(error, "field '" + std::string(key) + "' has wrong type");
+    return nullptr;
+  }
+  return v;
+}
+
+std::optional<std::size_t> require_uint(const Json& obj, std::string_view key,
+                                        std::string* error) {
+  const Json* v = require(obj, key, Json::Type::kNumber, error);
+  if (v == nullptr) return std::nullopt;
+  const long long n = v->as_int();
+  if (n < 0) {
+    set_error(error, "field '" + std::string(key) + "' must be >= 0");
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+std::optional<core::Troubleshooter::Config> SessionConfig::resolve(
+    std::string* error) const {
+  core::Troubleshooter::Config cfg;
+  if (alarm_threshold == 0) {
+    set_error(error, "alarm threshold must be >= 1");
+    return std::nullopt;
+  }
+  cfg.alarm_threshold = alarm_threshold;
+  if (algo == "tomo") {
+    cfg.solver = core::tomo_options();
+  } else if (algo == "nd-edge") {
+    cfg.solver = core::nd_edge_options();
+  } else if (algo == "nd-bgpigp") {
+    cfg.solver = core::nd_bgpigp_options();
+  } else {
+    set_error(error, "unknown algorithm '" + algo +
+                         "' (tomo, nd-edge, nd-bgpigp)");
+    return std::nullopt;
+  }
+  if (granularity == "none") {
+    cfg.granularity = core::LogicalMode::kNone;
+  } else if (granularity == "per-neighbor") {
+    cfg.granularity = core::LogicalMode::kPerNeighbor;
+  } else if (granularity == "per-prefix") {
+    cfg.granularity = core::LogicalMode::kPerPrefix;
+  } else {
+    set_error(error, "unknown granularity '" + granularity +
+                         "' (none, per-neighbor, per-prefix)");
+    return std::nullopt;
+  }
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs.
+
+Json mesh_to_json(const probe::Mesh& mesh) {
+  Json paths = Json::array();
+  for (const auto& p : mesh.paths) {
+    Json jp = Json::object();
+    jp.set("src", Json::uinteger(p.src));
+    jp.set("dst", Json::uinteger(p.dst));
+    jp.set("ok", Json::boolean(p.ok));
+    Json hops = Json::array();
+    for (const auto& h : p.hops) {
+      Json jh = Json::array();
+      jh.push_back(Json::string(h.label));
+      jh.push_back(Json::string(kind_tag(h.kind)));
+      jh.push_back(Json::integer(h.asn));
+      jh.push_back(Json::integer(
+          h.router.valid() ? static_cast<long long>(h.router.value()) : -1));
+      hops.push_back(std::move(jh));
+    }
+    jp.set("hops", std::move(hops));
+    Json links = Json::array();
+    for (topo::LinkId l : p.links) links.push_back(Json::uinteger(l.value()));
+    jp.set("links", std::move(links));
+    paths.push_back(std::move(jp));
+  }
+  Json j = Json::object();
+  j.set("paths", std::move(paths));
+  return j;
+}
+
+std::optional<probe::Mesh> mesh_from_json(const Json& j, std::string* error) {
+  if (!j.is_object()) {
+    set_error(error, "mesh must be an object");
+    return std::nullopt;
+  }
+  const Json* paths = require(j, "paths", Json::Type::kArray, error);
+  if (paths == nullptr) return std::nullopt;
+  probe::Mesh mesh;
+  mesh.paths.reserve(paths->size());
+  for (std::size_t i = 0; i < paths->size(); ++i) {
+    const Json& jp = (*paths)[i];
+    if (!jp.is_object()) {
+      set_error(error, "mesh path " + std::to_string(i) + " must be an object");
+      return std::nullopt;
+    }
+    probe::TracePath p;
+    const auto src = require_uint(jp, "src", error);
+    const auto dst = require_uint(jp, "dst", error);
+    const Json* ok = require(jp, "ok", Json::Type::kBool, error);
+    const Json* hops = require(jp, "hops", Json::Type::kArray, error);
+    const Json* links = require(jp, "links", Json::Type::kArray, error);
+    if (!src || !dst || ok == nullptr || hops == nullptr || links == nullptr) {
+      return std::nullopt;
+    }
+    p.src = *src;
+    p.dst = *dst;
+    p.ok = ok->as_bool();
+    p.hops.reserve(hops->size());
+    for (std::size_t k = 0; k < hops->size(); ++k) {
+      const Json& jh = (*hops)[k];
+      if (!jh.is_array() || jh.size() != 4 || !jh[0].is_string() ||
+          !jh[1].is_string() || !jh[2].is_number() || !jh[3].is_number()) {
+        set_error(error, "mesh hop must be [label, kind, asn, router]");
+        return std::nullopt;
+      }
+      probe::Hop h;
+      h.label = jh[0].as_string();
+      const auto kind = kind_from_tag(jh[1].as_string());
+      if (!kind) {
+        set_error(error, "unknown hop kind '" + jh[1].as_string() + "'");
+        return std::nullopt;
+      }
+      h.kind = *kind;
+      h.asn = static_cast<int>(jh[2].as_int());
+      const long long router = jh[3].as_int();
+      if (router >= 0) h.router = topo::RouterId{static_cast<std::uint32_t>(router)};
+      p.hops.push_back(std::move(h));
+    }
+    p.links.reserve(links->size());
+    for (std::size_t k = 0; k < links->size(); ++k) {
+      if (!(*links)[k].is_number() || (*links)[k].as_int() < 0) {
+        set_error(error, "mesh link ids must be non-negative numbers");
+        return std::nullopt;
+      }
+      p.links.push_back(
+          topo::LinkId{static_cast<std::uint32_t>((*links)[k].as_int())});
+    }
+    mesh.paths.push_back(std::move(p));
+  }
+  return mesh;
+}
+
+Json cp_to_json(const core::ControlPlaneObs& cp) {
+  Json igp = Json::array();
+  for (const auto& k : cp.igp_down_keys) igp.push_back(Json::string(k));
+  Json wd = Json::array();
+  for (const auto& w : cp.withdrawals) {
+    Json jw = Json::array();
+    jw.push_back(Json::string(w.directed_key));
+    jw.push_back(Json::integer(w.dest_asn));
+    wd.push_back(std::move(jw));
+  }
+  Json j = Json::object();
+  j.set("igp", std::move(igp));
+  j.set("wd", std::move(wd));
+  return j;
+}
+
+std::optional<core::ControlPlaneObs> cp_from_json(const Json& j,
+                                                  std::string* error) {
+  if (!j.is_object()) {
+    set_error(error, "cp must be an object");
+    return std::nullopt;
+  }
+  const Json* igp = require(j, "igp", Json::Type::kArray, error);
+  const Json* wd = require(j, "wd", Json::Type::kArray, error);
+  if (igp == nullptr || wd == nullptr) return std::nullopt;
+  core::ControlPlaneObs cp;
+  cp.igp_down_keys.reserve(igp->size());
+  for (std::size_t i = 0; i < igp->size(); ++i) {
+    if (!(*igp)[i].is_string()) {
+      set_error(error, "cp.igp entries must be strings");
+      return std::nullopt;
+    }
+    cp.igp_down_keys.push_back((*igp)[i].as_string());
+  }
+  cp.withdrawals.reserve(wd->size());
+  for (std::size_t i = 0; i < wd->size(); ++i) {
+    const Json& jw = (*wd)[i];
+    if (!jw.is_array() || jw.size() != 2 || !jw[0].is_string() ||
+        !jw[1].is_number()) {
+      set_error(error, "cp.wd entries must be [directed_key, dest_asn]");
+      return std::nullopt;
+    }
+    cp.withdrawals.push_back(core::ControlPlaneObs::Withdrawal{
+        jw[0].as_string(), static_cast<int>(jw[1].as_int())});
+  }
+  return cp;
+}
+
+Json session_config_to_json(const SessionConfig& cfg) {
+  Json j = Json::object();
+  j.set("threshold", Json::uinteger(cfg.alarm_threshold));
+  j.set("algo", Json::string(cfg.algo));
+  j.set("granularity", Json::string(cfg.granularity));
+  return j;
+}
+
+std::optional<SessionConfig> session_config_from_json(const Json& j,
+                                                      std::string* error) {
+  if (!j.is_object()) {
+    set_error(error, "config must be an object");
+    return std::nullopt;
+  }
+  const auto threshold = require_uint(j, "threshold", error);
+  const Json* algo = require(j, "algo", Json::Type::kString, error);
+  const Json* gran = require(j, "granularity", Json::Type::kString, error);
+  if (!threshold || algo == nullptr || gran == nullptr) return std::nullopt;
+  SessionConfig cfg;
+  cfg.alarm_threshold = *threshold;
+  cfg.algo = algo->as_string();
+  cfg.granularity = gran->as_string();
+  // Reject unknown names at the protocol boundary, not at first use.
+  if (!cfg.resolve(error)) return std::nullopt;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Requests.
+
+namespace {
+
+Json frame_header() {
+  Json j = Json::object();
+  j.set("v", Json::integer(kProtocolVersion));
+  return j;
+}
+
+}  // namespace
+
+std::string serialize(const Request& req) {
+  Json j = frame_header();
+  std::visit(
+      [&j](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, HelloRequest>) {
+          j.set("op", Json::string("hello"));
+          j.set("session", Json::string(r.session));
+          j.set("config", session_config_to_json(r.config));
+        } else if constexpr (std::is_same_v<T, SetBaselineRequest>) {
+          j.set("op", Json::string("set_baseline"));
+          j.set("session", Json::string(r.session));
+          j.set("mesh", mesh_to_json(r.mesh));
+        } else if constexpr (std::is_same_v<T, ObserveRequest>) {
+          j.set("op", Json::string("observe"));
+          j.set("session", Json::string(r.session));
+          j.set("mesh", mesh_to_json(r.mesh));
+          if (r.cp.has_value()) j.set("cp", cp_to_json(*r.cp));
+        } else if constexpr (std::is_same_v<T, QueryRequest>) {
+          j.set("op", Json::string("query"));
+          j.set("session", Json::string(r.session));
+        } else if constexpr (std::is_same_v<T, StatsRequest>) {
+          j.set("op", Json::string("stats"));
+        } else if constexpr (std::is_same_v<T, ShutdownRequest>) {
+          j.set("op", Json::string("shutdown"));
+        }
+      },
+      req);
+  return j.dump();
+}
+
+namespace {
+
+std::optional<Json> parse_frame(std::string_view frame, std::string* error) {
+  if (frame.size() > kMaxFrameBytes) {
+    set_error(error, "frame exceeds " + std::to_string(kMaxFrameBytes) +
+                         " bytes");
+    return std::nullopt;
+  }
+  auto j = Json::parse(frame, error);
+  if (!j) return std::nullopt;
+  if (!j->is_object()) {
+    set_error(error, "frame must be a JSON object");
+    return std::nullopt;
+  }
+  const Json* v = j->find("v");
+  if (v == nullptr || !v->is_number() ||
+      v->as_int() != kProtocolVersion) {
+    set_error(error, "missing or unsupported protocol version");
+    return std::nullopt;
+  }
+  return j;
+}
+
+std::optional<std::string> get_session(const Json& j, std::string* error) {
+  const Json* s = require(j, "session", Json::Type::kString, error);
+  if (s == nullptr) return std::nullopt;
+  if (s->as_string().empty()) {
+    set_error(error, "session name must not be empty");
+    return std::nullopt;
+  }
+  return s->as_string();
+}
+
+}  // namespace
+
+std::optional<Request> parse_request(std::string_view frame,
+                                     std::string* error) {
+  const auto j = parse_frame(frame, error);
+  if (!j) return std::nullopt;
+  const Json* op = require(*j, "op", Json::Type::kString, error);
+  if (op == nullptr) return std::nullopt;
+  const std::string& name = op->as_string();
+
+  if (name == "hello") {
+    const auto session = get_session(*j, error);
+    const Json* cfg = require(*j, "config", Json::Type::kObject, error);
+    if (!session || cfg == nullptr) return std::nullopt;
+    const auto config = session_config_from_json(*cfg, error);
+    if (!config) return std::nullopt;
+    return Request{HelloRequest{*session, *config}};
+  }
+  if (name == "set_baseline") {
+    const auto session = get_session(*j, error);
+    const Json* mesh = require(*j, "mesh", Json::Type::kObject, error);
+    if (!session || mesh == nullptr) return std::nullopt;
+    auto m = mesh_from_json(*mesh, error);
+    if (!m) return std::nullopt;
+    return Request{SetBaselineRequest{*session, std::move(*m)}};
+  }
+  if (name == "observe") {
+    const auto session = get_session(*j, error);
+    const Json* mesh = require(*j, "mesh", Json::Type::kObject, error);
+    if (!session || mesh == nullptr) return std::nullopt;
+    auto m = mesh_from_json(*mesh, error);
+    if (!m) return std::nullopt;
+    ObserveRequest req{*session, std::move(*m), std::nullopt};
+    if (const Json* cp = j->find("cp"); cp != nullptr) {
+      auto obs = cp_from_json(*cp, error);
+      if (!obs) return std::nullopt;
+      req.cp = std::move(*obs);
+    }
+    return Request{std::move(req)};
+  }
+  if (name == "query") {
+    const auto session = get_session(*j, error);
+    if (!session) return std::nullopt;
+    return Request{QueryRequest{*session}};
+  }
+  if (name == "stats") return Request{StatsRequest{}};
+  if (name == "shutdown") return Request{ShutdownRequest{}};
+  set_error(error, "unknown op '" + name + "'");
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Responses.
+
+std::string serialize(const Response& rsp) {
+  Json j = frame_header();
+  std::visit(
+      [&j](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, ErrorResponse>) {
+          j.set("ok", Json::boolean(false));
+          j.set("error", Json::string(r.message));
+        } else if constexpr (std::is_same_v<T, HelloResponse>) {
+          j.set("ok", Json::boolean(true));
+          j.set("op", Json::string("hello"));
+          j.set("session", Json::string(r.session));
+          j.set("created", Json::boolean(r.created));
+          j.set("config", session_config_to_json(r.config));
+        } else if constexpr (std::is_same_v<T, SetBaselineResponse>) {
+          j.set("ok", Json::boolean(true));
+          j.set("op", Json::string("set_baseline"));
+          j.set("pairs", Json::uinteger(r.pairs));
+        } else if constexpr (std::is_same_v<T, ObserveResponse>) {
+          j.set("ok", Json::boolean(true));
+          j.set("op", Json::string("observe"));
+          j.set("round", Json::uinteger(r.round));
+          j.set("alarmed", Json::boolean(r.alarmed));
+          if (r.diagnosis.has_value()) {
+            j.set("diagnosis", Json::raw(*r.diagnosis));
+          }
+        } else if constexpr (std::is_same_v<T, QueryResponse>) {
+          j.set("ok", Json::boolean(true));
+          j.set("op", Json::string("query"));
+          j.set("round", Json::uinteger(r.round));
+          if (r.diagnosis.has_value()) {
+            j.set("diagnosis", Json::raw(*r.diagnosis));
+          }
+        } else if constexpr (std::is_same_v<T, StatsResponse>) {
+          j.set("ok", Json::boolean(true));
+          j.set("op", Json::string("stats"));
+          j.set("stats", Json::raw(r.stats));
+        } else if constexpr (std::is_same_v<T, ShutdownResponse>) {
+          j.set("ok", Json::boolean(true));
+          j.set("op", Json::string("shutdown"));
+        }
+      },
+      rsp);
+  return j.dump();
+}
+
+std::optional<Response> parse_response(std::string_view frame,
+                                       std::string* error) {
+  const auto j = parse_frame(frame, error);
+  if (!j) return std::nullopt;
+  const Json* ok = require(*j, "ok", Json::Type::kBool, error);
+  if (ok == nullptr) return std::nullopt;
+  if (!ok->as_bool()) {
+    const Json* msg = require(*j, "error", Json::Type::kString, error);
+    if (msg == nullptr) return std::nullopt;
+    return Response{ErrorResponse{msg->as_string()}};
+  }
+  const Json* op = require(*j, "op", Json::Type::kString, error);
+  if (op == nullptr) return std::nullopt;
+  const std::string& name = op->as_string();
+
+  if (name == "hello") {
+    const auto session = get_session(*j, error);
+    const Json* created = require(*j, "created", Json::Type::kBool, error);
+    const Json* cfg = require(*j, "config", Json::Type::kObject, error);
+    if (!session || created == nullptr || cfg == nullptr) return std::nullopt;
+    const auto config = session_config_from_json(*cfg, error);
+    if (!config) return std::nullopt;
+    return Response{HelloResponse{*session, created->as_bool(), *config}};
+  }
+  if (name == "set_baseline") {
+    const auto pairs = require_uint(*j, "pairs", error);
+    if (!pairs) return std::nullopt;
+    return Response{SetBaselineResponse{*pairs}};
+  }
+  if (name == "observe") {
+    const auto round = require_uint(*j, "round", error);
+    const Json* alarmed = require(*j, "alarmed", Json::Type::kBool, error);
+    if (!round || alarmed == nullptr) return std::nullopt;
+    ObserveResponse rsp{*round, alarmed->as_bool(), std::nullopt};
+    if (const Json* d = j->find("diagnosis"); d != nullptr) {
+      if (!d->is_object()) {
+        set_error(error, "diagnosis must be an object");
+        return std::nullopt;
+      }
+      rsp.diagnosis = d->dump();
+    }
+    return Response{std::move(rsp)};
+  }
+  if (name == "query") {
+    const auto round = require_uint(*j, "round", error);
+    if (!round) return std::nullopt;
+    QueryResponse rsp{*round, std::nullopt};
+    if (const Json* d = j->find("diagnosis"); d != nullptr) {
+      if (!d->is_object()) {
+        set_error(error, "diagnosis must be an object");
+        return std::nullopt;
+      }
+      rsp.diagnosis = d->dump();
+    }
+    return Response{std::move(rsp)};
+  }
+  if (name == "stats") {
+    const Json* stats = require(*j, "stats", Json::Type::kObject, error);
+    if (stats == nullptr) return std::nullopt;
+    return Response{StatsResponse{stats->dump()}};
+  }
+  if (name == "shutdown") return Response{ShutdownResponse{}};
+  set_error(error, "unknown op '" + name + "'");
+  return std::nullopt;
+}
+
+}  // namespace netd::svc

@@ -1,0 +1,159 @@
+// The netdiag service wire protocol, version 1.
+//
+// Newline-delimited JSON frames over a byte stream (TCP or a Unix-domain
+// socket): one request per line, one response per line, strictly in order.
+// Every frame carries {"v":1} and requests carry an "op". The ops mirror
+// the in-process core::Troubleshooter facade so a remote observation feed
+// drives exactly the deployment loop of paper §6:
+//
+//   hello         create-or-attach a named diagnosis session
+//   set_baseline  install the healthy T− full-mesh snapshot
+//   observe       feed one measurement round (+ optional control-plane
+//                 observations); returns the diagnosis when an alarm fires
+//   query         fetch the latest diagnosis of a session
+//   stats         service request/latency counters (util::Histogram)
+//   shutdown      stop the server after responding
+//
+// Serialization reuses the Json document type, so serialize(parse(x)) is
+// byte-identical for every message this module produced — the protocol
+// tests pin that property per message type. Embedded diagnosis documents
+// are spliced verbatim from core::to_json and survive round-trips
+// unchanged.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "core/solver.h"
+#include "core/troubleshooter.h"
+#include "probe/prober.h"
+#include "svc/json.h"
+
+namespace netd::svc {
+
+inline constexpr int kProtocolVersion = 1;
+/// Hard cap on one frame's bytes; oversized frames are a protocol error.
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+/// The Troubleshooter configuration a session runs with, in wire/trace
+/// form. `algo` selects the solver preset ("tomo", "nd-edge" or
+/// "nd-bgpigp"; ND-LG needs a Looking Glass service and is not exposed
+/// over the wire), `granularity` the logical-link expansion ("none",
+/// "per-neighbor", "per-prefix").
+struct SessionConfig {
+  std::size_t alarm_threshold = 1;
+  std::string algo = "nd-bgpigp";
+  std::string granularity = "per-neighbor";
+
+  /// Maps onto the in-process facade's config; std::nullopt (with a
+  /// message in `error`) when algo/granularity name nothing.
+  [[nodiscard]] std::optional<core::Troubleshooter::Config> resolve(
+      std::string* error = nullptr) const;
+
+  [[nodiscard]] bool operator==(const SessionConfig&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// Requests.
+
+struct HelloRequest {
+  std::string session;
+  SessionConfig config;
+};
+
+struct SetBaselineRequest {
+  std::string session;
+  probe::Mesh mesh;
+};
+
+struct ObserveRequest {
+  std::string session;
+  probe::Mesh mesh;
+  std::optional<core::ControlPlaneObs> cp;
+};
+
+struct QueryRequest {
+  std::string session;
+};
+
+struct StatsRequest {};
+
+struct ShutdownRequest {};
+
+using Request = std::variant<HelloRequest, SetBaselineRequest, ObserveRequest,
+                             QueryRequest, StatsRequest, ShutdownRequest>;
+
+// ---------------------------------------------------------------------------
+// Responses.
+
+struct ErrorResponse {
+  std::string message;
+};
+
+struct HelloResponse {
+  std::string session;
+  bool created = false;  ///< false = attached to an existing session
+  SessionConfig config;  ///< the session's effective configuration
+};
+
+struct SetBaselineResponse {
+  std::size_t pairs = 0;
+};
+
+struct ObserveResponse {
+  std::size_t round = 0;   ///< 1-based round index within the session
+  bool alarmed = false;    ///< any pair's alarm currently raised
+  /// Present exactly when this round fired a diagnosis: the core::to_json
+  /// document, verbatim.
+  std::optional<std::string> diagnosis;
+};
+
+struct QueryResponse {
+  std::size_t round = 0;  ///< round of the latest diagnosis (0 = none yet)
+  std::optional<std::string> diagnosis;
+};
+
+struct StatsResponse {
+  std::string stats;  ///< ServiceMetrics::to_json document, verbatim
+};
+
+struct ShutdownResponse {};
+
+using Response =
+    std::variant<ErrorResponse, HelloResponse, SetBaselineResponse,
+                 ObserveResponse, QueryResponse, StatsResponse,
+                 ShutdownResponse>;
+
+// ---------------------------------------------------------------------------
+// Frame serialization. Serializers emit one line *without* the trailing
+// newline (the transport adds it); parsers accept exactly one document.
+
+[[nodiscard]] std::string serialize(const Request& req);
+[[nodiscard]] std::string serialize(const Response& rsp);
+
+/// Parses + validates one request frame. On failure returns std::nullopt
+/// with a diagnostic in `error` (never throws on hostile input).
+[[nodiscard]] std::optional<Request> parse_request(std::string_view frame,
+                                                   std::string* error);
+[[nodiscard]] std::optional<Response> parse_response(std::string_view frame,
+                                                     std::string* error);
+
+// ---------------------------------------------------------------------------
+// Payload codecs, shared with the event-trace format.
+
+[[nodiscard]] Json mesh_to_json(const probe::Mesh& mesh);
+[[nodiscard]] std::optional<probe::Mesh> mesh_from_json(const Json& j,
+                                                        std::string* error);
+
+[[nodiscard]] Json cp_to_json(const core::ControlPlaneObs& cp);
+[[nodiscard]] std::optional<core::ControlPlaneObs> cp_from_json(
+    const Json& j, std::string* error);
+
+[[nodiscard]] Json session_config_to_json(const SessionConfig& cfg);
+[[nodiscard]] std::optional<SessionConfig> session_config_from_json(
+    const Json& j, std::string* error);
+
+}  // namespace netd::svc

@@ -1,0 +1,289 @@
+#include "svc/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <type_traits>
+
+#include "core/json_export.h"
+
+namespace netd::svc {
+
+namespace {
+
+const char* op_name(const Request& req) {
+  return std::visit(
+      [](const auto& r) -> const char* {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, HelloRequest>) {
+          return "hello";
+        } else if constexpr (std::is_same_v<T, SetBaselineRequest>) {
+          return "set_baseline";
+        } else if constexpr (std::is_same_v<T, ObserveRequest>) {
+          return "observe";
+        } else if constexpr (std::is_same_v<T, QueryRequest>) {
+          return "query";
+        } else if constexpr (std::is_same_v<T, StatsRequest>) {
+          return "stats";
+        } else {
+          return "shutdown";
+        }
+      },
+      req);
+}
+
+}  // namespace
+
+Server::Server(Options opts) : opts_(std::move(opts)) {
+  if (opts_.num_threads == 0) opts_.num_threads = 1;
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  int bound_port = opts_.endpoint.port;
+  listener_ = listen_on(opts_.endpoint, error, &bound_port);
+  if (!listener_.valid()) return false;
+  opts_.endpoint.port = bound_port;
+  pool_ = std::make_unique<util::ThreadPool>(opts_.num_threads);
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    started_ = true;
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(lifecycle_mu_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (!started_ || stopped_) {
+      stopped_ = true;
+      return;
+    }
+    stopped_ = true;
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+  stopping_.store(true);
+  // Unblock the acceptor (shutdown() makes a blocked accept() return on
+  // Linux; close alone can leave it parked), then join it so no new
+  // connections can be submitted to the pool.
+  if (listener_.valid()) ::shutdown(listener_.get(), SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.reset();
+  if (opts_.endpoint.kind == Endpoint::Kind::kUnix) {
+    ::unlink(opts_.endpoint.path.c_str());
+  }
+  // Wake every connection handler blocked in recv(); they tear down on
+  // the resulting EOF. The handlers own and close their fds.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (int fd : live_conns_) ::shutdown(fd, SHUT_RDWR);
+  }
+  pool_.reset();  // drains remaining handlers
+}
+
+std::string Server::stats_json() const {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  return metrics_.to_json().dump();
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listener_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) break;
+      if (errno == EINTR) continue;
+      break;  // listener broken; nothing sensible left to do
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      live_conns_.insert(fd);
+    }
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      ++metrics_.connections;
+    }
+    pool_->submit([this, fd] { serve_connection(fd); });
+  }
+}
+
+void Server::serve_connection(int fd) {
+  LineReader reader(fd, opts_.max_frame_bytes);
+  std::string line;
+  bool shutdown_after = false;
+  while (!shutdown_after) {
+    const LineReader::Status status = reader.read_line(&line);
+    if (status == LineReader::Status::kEof) break;
+    if (status == LineReader::Status::kError) {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      ++metrics_.disconnects_mid_request;
+      break;
+    }
+    if (status == LineReader::Status::kOversize) {
+      {
+        std::lock_guard<std::mutex> lock(metrics_mu_);
+        ++metrics_.oversized_frames;
+      }
+      // The stream cannot be resynchronized past an unterminated giant
+      // frame; report and drop the connection.
+      (void)write_all(fd, serialize(Response{ErrorResponse{
+                              "frame exceeds size cap"}}) +
+                              "\n");
+      break;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::string parse_error;
+    const auto req = parse_request(line, &parse_error);
+    if (!req) {
+      {
+        std::lock_guard<std::mutex> lock(metrics_mu_);
+        ++metrics_.malformed_frames;
+      }
+      if (!write_all(fd, serialize(Response{ErrorResponse{
+                             "bad request: " + parse_error}}) +
+                             "\n")) {
+        break;
+      }
+      continue;
+    }
+
+    Response rsp;
+    try {
+      rsp = dispatch(*req);
+    } catch (const std::exception& e) {
+      rsp = ErrorResponse{std::string("internal error: ") + e.what()};
+    } catch (...) {
+      rsp = ErrorResponse{"internal error"};
+    }
+    const bool ok = !std::holds_alternative<ErrorResponse>(rsp);
+    shutdown_after = std::holds_alternative<ShutdownRequest>(*req) && ok;
+    const bool written = write_all(fd, serialize(rsp) + "\n");
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    {
+      std::lock_guard<std::mutex> lock(metrics_mu_);
+      metrics_.record(op_name(*req), ok, us);
+    }
+    if (!written) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    live_conns_.erase(fd);
+  }
+  ::close(fd);
+  if (shutdown_after) {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    shutdown_requested_ = true;
+    shutdown_cv_.notify_all();
+  }
+}
+
+Response Server::dispatch(const Request& req) {
+  return std::visit([this](const auto& r) { return handle(r); }, req);
+}
+
+std::shared_ptr<Server::Session> Server::find_session(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = sessions_.find(name);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+Response Server::handle(const HelloRequest& req) {
+  std::string error;
+  const auto resolved = req.config.resolve(&error);
+  if (!resolved) return ErrorResponse{error};
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = sessions_.find(req.session);
+  if (it != sessions_.end()) {
+    // Attach. A conflicting config would silently change the semantics of
+    // everyone else's session, so it is refused rather than adopted.
+    if (!(it->second->config == req.config)) {
+      return ErrorResponse{"session '" + req.session +
+                           "' exists with a different config"};
+    }
+    return HelloResponse{req.session, false, it->second->config};
+  }
+  sessions_.emplace(req.session,
+                    std::make_shared<Session>(req.config, *resolved));
+  {
+    std::lock_guard<std::mutex> mlock(metrics_mu_);
+    ++metrics_.sessions_created;
+  }
+  return HelloResponse{req.session, true, req.config};
+}
+
+Response Server::handle(const SetBaselineRequest& req) {
+  auto session = find_session(req.session);
+  if (session == nullptr) {
+    return ErrorResponse{"unknown session '" + req.session + "' (hello first)"};
+  }
+  std::lock_guard<std::mutex> lock(session->mu);
+  session->ts.set_baseline(req.mesh);
+  session->round = 0;
+  session->diagnosis_round = 0;
+  session->diagnosis.clear();
+  return SetBaselineResponse{req.mesh.paths.size()};
+}
+
+Response Server::handle(const ObserveRequest& req) {
+  auto session = find_session(req.session);
+  if (session == nullptr) {
+    return ErrorResponse{"unknown session '" + req.session + "' (hello first)"};
+  }
+  std::lock_guard<std::mutex> lock(session->mu);
+  if (!session->ts.has_baseline()) {
+    return ErrorResponse{"session '" + req.session + "' has no baseline"};
+  }
+  if (req.mesh.paths.size() != session->ts.baseline().paths.size()) {
+    return ErrorResponse{
+        "mesh covers " + std::to_string(req.mesh.paths.size()) +
+        " pairs but the baseline covers " +
+        std::to_string(session->ts.baseline().paths.size())};
+  }
+  ++session->round;
+  const core::ControlPlaneObs* cp =
+      req.cp.has_value() ? &*req.cp : nullptr;
+  const auto out = session->ts.observe(req.mesh, cp);
+  ObserveResponse rsp{session->round, session->ts.alarmed(), std::nullopt};
+  if (out.has_value()) {
+    session->diagnosis = core::to_json(out->graph, out->result);
+    session->diagnosis_round = session->round;
+    rsp.diagnosis = session->diagnosis;
+  }
+  return rsp;
+}
+
+Response Server::handle(const QueryRequest& req) {
+  auto session = find_session(req.session);
+  if (session == nullptr) {
+    return ErrorResponse{"unknown session '" + req.session + "' (hello first)"};
+  }
+  std::lock_guard<std::mutex> lock(session->mu);
+  QueryResponse rsp{session->diagnosis_round, std::nullopt};
+  if (!session->diagnosis.empty()) rsp.diagnosis = session->diagnosis;
+  return rsp;
+}
+
+Response Server::handle(const StatsRequest&) {
+  return StatsResponse{stats_json()};
+}
+
+Response Server::handle(const ShutdownRequest&) { return ShutdownResponse{}; }
+
+}  // namespace netd::svc

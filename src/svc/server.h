@@ -1,0 +1,117 @@
+// The diagnosis service daemon: accepts protocol connections and drives
+// one core::Troubleshooter per named session.
+//
+// Threading model: a dedicated acceptor thread hands each connection to
+// the shared util::ThreadPool; a connection occupies one worker for its
+// lifetime (blocking line IO), so `num_threads` bounds the number of
+// concurrently served connections — further connections queue in the
+// pool. Sessions are create-or-attach by name: any connection may feed or
+// query any session, which is what lets a prober fleet share one
+// troubleshooter state. Per-session mutexes serialize observation rounds;
+// a registry mutex guards the name table; a metrics mutex guards the
+// counters. Nothing a peer sends — malformed frames, oversized frames,
+// a disconnect mid-request — can take the server down: bad frames earn
+// an ErrorResponse (or a teardown of that one connection), never a crash.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "core/troubleshooter.h"
+#include "svc/metrics.h"
+#include "svc/protocol.h"
+#include "svc/socket.h"
+#include "util/thread_pool.h"
+
+namespace netd::svc {
+
+class Server {
+ public:
+  struct Options {
+    Endpoint endpoint;
+    /// Worker threads (= max concurrently served connections).
+    std::size_t num_threads = 8;
+    /// Per-frame byte cap (connection is closed when exceeded).
+    std::size_t max_frame_bytes = kMaxFrameBytes;
+  };
+
+  explicit Server(Options opts);
+  /// Stops and joins everything still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the acceptor. False (with `error`) when the
+  /// endpoint cannot be bound.
+  [[nodiscard]] bool start(std::string* error);
+
+  /// Blocks until stop() is called or a client sends `shutdown`.
+  void wait();
+
+  /// Idempotent; unblocks wait(), closes the listener and all live
+  /// connections, drains the pool.
+  void stop();
+
+  /// Endpoint actually bound (TCP port resolved when 0 was requested).
+  [[nodiscard]] const Endpoint& endpoint() const { return opts_.endpoint; }
+
+  /// Current metrics as the stats-verb JSON document.
+  [[nodiscard]] std::string stats_json() const;
+
+ private:
+  struct Session {
+    std::mutex mu;
+    SessionConfig config;
+    core::Troubleshooter ts;
+    std::size_t round = 0;           ///< observation rounds fed so far
+    std::size_t diagnosis_round = 0; ///< round of last fired diagnosis
+    std::string diagnosis;           ///< last diagnosis document ("" = none)
+
+    Session(SessionConfig cfg, core::Troubleshooter::Config resolved)
+        : config(std::move(cfg)), ts(resolved) {}
+  };
+
+  void accept_loop();
+  void serve_connection(int fd);
+  [[nodiscard]] Response dispatch(const Request& req);
+
+  Response handle(const HelloRequest& req);
+  Response handle(const SetBaselineRequest& req);
+  Response handle(const ObserveRequest& req);
+  Response handle(const QueryRequest& req);
+  Response handle(const StatsRequest& req);
+  Response handle(const ShutdownRequest& req);
+
+  [[nodiscard]] std::shared_ptr<Session> find_session(const std::string& name);
+
+  Options opts_;
+  Fd listener_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::thread acceptor_;
+
+  std::mutex registry_mu_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+
+  mutable std::mutex metrics_mu_;
+  ServiceMetrics metrics_;
+
+  std::mutex lifecycle_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::mutex conns_mu_;
+  std::set<int> live_conns_;
+};
+
+}  // namespace netd::svc

@@ -1,0 +1,237 @@
+#include "svc/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace netd::svc {
+
+namespace {
+
+bool set_error(std::string* error, const std::string& what) {
+  if (error != nullptr && error->empty()) {
+    *error = what + " (" + std::strerror(errno) + ")";
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<Endpoint> Endpoint::parse(const std::string& spec,
+                                        std::string* error) {
+  Endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.kind = Kind::kUnix;
+    ep.path = spec.substr(5);
+    if (ep.path.empty()) {
+      if (error != nullptr) *error = "empty unix socket path";
+      return std::nullopt;
+    }
+    if (ep.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      if (error != nullptr) *error = "unix socket path too long";
+      return std::nullopt;
+    }
+    return ep;
+  }
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    if (error != nullptr) {
+      *error = "expected 'unix:PATH', 'host:port' or ':port', got '" + spec +
+               "'";
+    }
+    return std::nullopt;
+  }
+  ep.kind = Kind::kTcp;
+  if (colon != 0) ep.host = spec.substr(0, colon);
+  const std::string port = spec.substr(colon + 1);
+  char* end = nullptr;
+  const long p = std::strtol(port.c_str(), &end, 10);
+  if (port.empty() || end == nullptr || *end != '\0' || p < 0 || p > 65535) {
+    if (error != nullptr) *error = "invalid port '" + port + "'";
+    return std::nullopt;
+  }
+  ep.port = static_cast<int>(p);
+  return ep;
+}
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return host + ":" + std::to_string(port);
+}
+
+Fd::~Fd() { reset(); }
+
+Fd& Fd::operator=(Fd&& o) noexcept {
+  if (this != &o) {
+    reset();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+int Fd::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+namespace {
+
+bool fill_tcp_addr(const Endpoint& ep, sockaddr_in* addr, std::string* error) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(static_cast<std::uint16_t>(ep.port));
+  const std::string host = ep.host == "localhost" ? "127.0.0.1" : ep.host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    if (error != nullptr) *error = "invalid IPv4 address '" + ep.host + "'";
+    return false;
+  }
+  return true;
+}
+
+void fill_unix_addr(const Endpoint& ep, sockaddr_un* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::strncpy(addr->sun_path, ep.path.c_str(), sizeof(addr->sun_path) - 1);
+}
+
+}  // namespace
+
+Fd listen_on(const Endpoint& ep, std::string* error, int* bound_port) {
+  if (error != nullptr) error->clear();
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+      set_error(error, "socket()");
+      return Fd();
+    }
+    ::unlink(ep.path.c_str());
+    sockaddr_un addr;
+    fill_unix_addr(ep, &addr);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      set_error(error, "bind(" + ep.path + ")");
+      return Fd();
+    }
+    if (::listen(fd.get(), 64) != 0) {
+      set_error(error, "listen(" + ep.path + ")");
+      return Fd();
+    }
+    return fd;
+  }
+
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    set_error(error, "socket()");
+    return Fd();
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  if (!fill_tcp_addr(ep, &addr, error)) return Fd();
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    set_error(error, "bind(" + ep.to_string() + ")");
+    return Fd();
+  }
+  if (::listen(fd.get(), 64) != 0) {
+    set_error(error, "listen(" + ep.to_string() + ")");
+    return Fd();
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual), &len) ==
+        0) {
+      *bound_port = ntohs(actual.sin_port);
+    }
+  }
+  return fd;
+}
+
+Fd connect_to(const Endpoint& ep, std::string* error) {
+  if (error != nullptr) error->clear();
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+      set_error(error, "socket()");
+      return Fd();
+    }
+    sockaddr_un addr;
+    fill_unix_addr(ep, &addr);
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      set_error(error, "connect(" + ep.path + ")");
+      return Fd();
+    }
+    return fd;
+  }
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    set_error(error, "socket()");
+    return Fd();
+  }
+  sockaddr_in addr;
+  if (!fill_tcp_addr(ep, &addr, error)) return Fd();
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    set_error(error, "connect(" + ep.to_string() + ")");
+    return Fd();
+  }
+  return fd;
+}
+
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+LineReader::Status LineReader::read_line(std::string* out) {
+  out->clear();
+  while (true) {
+    const auto nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      // A complete line beyond the cap is just as oversized as an
+      // unterminated one — it must not reach the parser.
+      if (nl > max_) return Status::kOversize;
+      out->assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      return Status::kLine;
+    }
+    if (buf_.size() > max_) return Status::kOversize;
+    if (eof_) return buf_.empty() ? Status::kEof : Status::kError;
+    char chunk[16384];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::kError;
+    }
+    if (n == 0) {
+      eof_ = true;
+      // A final unterminated fragment is a framing error, not a frame.
+      if (!buf_.empty()) return Status::kError;
+      return Status::kEof;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace netd::svc

@@ -1,0 +1,82 @@
+// Thin POSIX socket layer for the diagnosis service: address parsing,
+// RAII descriptors, listen/connect helpers and bounded line-framed IO.
+//
+// Only what the server and client need — blocking IO, TCP (IPv4 loopback
+// or address) and Unix-domain stream sockets. The LineReader enforces the
+// frame-size cap at the transport so a hostile peer cannot balloon memory
+// before the JSON parser ever runs.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace netd::svc {
+
+/// A service address: "unix:/path/to.sock", "host:port", or ":port"
+/// (binds/connects on 127.0.0.1). Port 0 asks the kernel for a free port
+/// (the bound port is readable off the listening Fd).
+struct Endpoint {
+  enum class Kind { kTcp, kUnix };
+  Kind kind = Kind::kTcp;
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string path;  ///< kUnix only
+
+  [[nodiscard]] static std::optional<Endpoint> parse(const std::string& spec,
+                                                     std::string* error);
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Owning file descriptor (move-only).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd();
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  int release();
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds + listens. On TCP with port 0 the chosen port is returned via
+/// `bound_port`. Unix paths are unlinked first (the server owns the path).
+[[nodiscard]] Fd listen_on(const Endpoint& ep, std::string* error,
+                           int* bound_port = nullptr);
+
+/// Blocking connect.
+[[nodiscard]] Fd connect_to(const Endpoint& ep, std::string* error);
+
+/// Writes all of `data`, retrying on short writes/EINTR. False on error.
+[[nodiscard]] bool write_all(int fd, std::string_view data);
+
+/// Reads newline-terminated frames off a socket with a hard size cap.
+class LineReader {
+ public:
+  explicit LineReader(int fd, std::size_t max_line) : fd_(fd), max_(max_line) {}
+
+  enum class Status { kLine, kEof, kOversize, kError };
+
+  /// Blocks for the next frame. The returned line excludes the '\n'.
+  /// kOversize means the peer sent more than max_line bytes without a
+  /// newline — the stream cannot be resynchronized and must be closed.
+  Status read_line(std::string* out);
+
+ private:
+  int fd_;
+  std::size_t max_;
+  std::string buf_;
+  bool eof_ = false;
+};
+
+}  // namespace netd::svc

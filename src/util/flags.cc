@@ -46,6 +46,24 @@ long long Flags::get_int(const std::string& name, long long def) {
   return v;
 }
 
+std::size_t Flags::get_uint(const std::string& name, std::size_t def) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || it->second.empty()) {
+    errors_.push_back("flag --" + name + " expects a non-negative integer, "
+                      "got '" + it->second + "'");
+    return def;
+  }
+  if (v < 0) {
+    errors_.push_back("flag --" + name + " must be non-negative, got '" +
+                      it->second + "'");
+    return def;
+  }
+  return static_cast<std::size_t>(v);
+}
+
 double Flags::get_double(const std::string& name, double def) {
   auto it = values_.find(name);
   if (it == values_.end()) return def;

@@ -31,9 +31,12 @@ class Flags {
                                 const std::string& def = "") const;
   /// Integer flag with default; malformed values record an error.
   [[nodiscard]] long long get_int(const std::string& name, long long def);
+  /// Unsigned flag with default; malformed *and negative* values record an
+  /// error (counts must never wrap to huge sizes via a silent cast).
+  [[nodiscard]] std::size_t get_uint(const std::string& name, std::size_t def);
   /// Double flag with default; malformed values record an error.
   [[nodiscard]] double get_double(const std::string& name, double def);
-  /// Boolean flag: present (with no/true value) => true.
+  /// Boolean flag: present => true, except the explicit "false"/"0" values.
   [[nodiscard]] bool get_bool(const std::string& name) const;
 
   /// Records every flag not in `known` as an error.

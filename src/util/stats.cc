@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 namespace netd::util {
@@ -64,6 +65,86 @@ double Summary::frac_at_least(double x) const {
       std::count_if(samples_.begin(), samples_.end(),
                     [x](double s) { return s >= x; }));
   return n / static_cast<double>(samples_.size());
+}
+
+Histogram::Histogram(double lo, double growth, std::size_t buckets)
+    : lo_(lo), growth_(growth), counts_(buckets + 1, 0) {
+  assert(lo > 0.0 && growth > 1.0 && buckets > 0);
+}
+
+void Histogram::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  std::size_t i = 0;
+  double upper = lo_;
+  while (x > upper && i + 1 < counts_.size()) {
+    upper *= growth_;
+    ++i;
+  }
+  ++counts_[i];
+}
+
+void Histogram::merge(const Histogram& other) {
+  assert(other.lo_ == lo_ && other.growth_ == growth_ &&
+         other.counts_.size() == counts_.size());
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::min() const { return count_ == 0 ? 0.0 : min_; }
+double Histogram::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double Histogram::percentile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  double upper = lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      // The overflow bucket has no finite edge; the exact max bounds it.
+      return i + 1 == counts_.size() ? max_ : std::min(upper, max_);
+    }
+    upper *= growth_;
+  }
+  return max_;
+}
+
+std::vector<Histogram::Bucket> Histogram::nonzero_buckets() const {
+  std::vector<Bucket> out;
+  double upper = lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] != 0) {
+      out.push_back({i + 1 == counts_.size()
+                         ? std::numeric_limits<double>::infinity()
+                         : upper,
+                     counts_[i]});
+    }
+    upper *= growth_;
+  }
+  return out;
 }
 
 std::vector<CdfPoint> empirical_cdf(std::vector<double> samples) {

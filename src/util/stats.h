@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,50 @@ class Summary {
 
  private:
   std::vector<double> samples_;
+};
+
+/// Fixed-memory counting histogram with exponentially growing bucket
+/// edges, built for service latency metrics: O(1) add, no per-sample
+/// storage (a Summary keeps every sample and would grow unbounded in a
+/// long-lived server), mergeable across threads, and percentile upper
+/// bounds good to one bucket width.
+///
+/// Bucket i (0-based) counts samples in (lo*growth^(i-1), lo*growth^i];
+/// bucket 0 counts everything <= lo, and one overflow bucket catches the
+/// rest. Defaults cover 1us..~100s at 2x resolution when samples are in
+/// microseconds.
+class Histogram {
+ public:
+  explicit Histogram(double lo = 1.0, double growth = 2.0,
+                     std::size_t buckets = 28);
+
+  void add(double x);
+  void merge(const Histogram& other);  ///< other must have identical shape
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;  ///< exact; 0 when empty
+  [[nodiscard]] double max() const;  ///< exact; 0 when empty
+  /// q in [0,1]; upper bound of the bucket holding the nearest-rank
+  /// sample (max() when it falls in the overflow bucket). 0 when empty.
+  [[nodiscard]] double percentile(double q) const;
+
+  struct Bucket {
+    double upper = 0.0;  ///< inclusive upper edge; +inf for overflow
+    std::uint64_t count = 0;
+  };
+  /// Non-empty buckets, in increasing edge order.
+  [[nodiscard]] std::vector<Bucket> nonzero_buckets() const;
+
+ private:
+  double lo_;
+  double growth_;
+  std::vector<std::uint64_t> counts_;  ///< buckets + trailing overflow
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
 };
 
 /// One point of an empirical CDF: P(X <= value) = cum_prob.

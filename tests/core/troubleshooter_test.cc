@@ -112,6 +112,51 @@ TEST_F(TroubleshooterTest, BaselineRollsForwardOnHealthyRounds) {
   }
 }
 
+TEST_F(TroubleshooterTest, RolledForwardBaselineAnchorsTheNextDiagnosis) {
+  Troubleshooter::Config cfg;
+  cfg.alarm_threshold = 2;
+  Troubleshooter ts(cfg);
+  ts.set_baseline(prober_->measure());
+
+  // Phase 1: a recoverable intra-core failure. Every pair reroutes inside
+  // the core triangle, the round counts as healthy, and the rerouted mesh
+  // must become the new T− baseline.
+  LinkId intra;
+  for (const auto& l : net_.topology().links()) {
+    if (!l.interdomain && net_.topology().as_of_router(l.a) == AsId{0}) {
+      intra = l.id;
+      break;
+    }
+  }
+  net_.fail_link(intra);
+  net_.reconverge();
+  const auto rerouted = prober_->measure();
+  for (const auto& p : rerouted.paths) {
+    ASSERT_TRUE(p.ok) << "intra-core failure should be recoverable";
+  }
+  EXPECT_FALSE(ts.observe(rerouted).has_value());
+  bool baseline_probes_intra = false;
+  for (const auto& p : ts.baseline().paths) {
+    for (LinkId l : p.links) baseline_probes_intra |= (l == intra);
+  }
+  EXPECT_FALSE(baseline_probes_intra)
+      << "rolled-forward baseline still routes over the dead link";
+
+  // Phase 2: a distinct persistent failure is diagnosed against the
+  // rolled-forward baseline, not the original one.
+  const LinkId victim = stub6_uplink();
+  net_.fail_link(victim);
+  net_.reconverge();
+  EXPECT_FALSE(ts.observe(prober_->measure()).has_value());  // round 1 of 2
+  const auto diag = ts.observe(prober_->measure());
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_TRUE(diag->result.links.count(exp::link_key(net_.topology(), victim)));
+  // The diagnosis graph was built from the new T−, where the repaired-away
+  // intra-core link is no longer probed.
+  EXPECT_EQ(diag->graph.probed_keys.count(exp::link_key(net_.topology(), intra)),
+            0u);
+}
+
 TEST_F(TroubleshooterTest, ControlPlaneOptIn) {
   Troubleshooter::Config cfg;
   cfg.alarm_threshold = 1;

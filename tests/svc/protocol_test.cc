@@ -1,0 +1,208 @@
+#include "svc/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace netd::svc {
+namespace {
+
+probe::Mesh sample_mesh() {
+  probe::Mesh mesh;
+  probe::TracePath p0;
+  p0.src = 0;
+  p0.dst = 1;
+  p0.ok = true;
+  p0.hops = {
+      {"s0", graph::NodeKind::kSensor, 4, topo::RouterId{}},
+      {"AS0:r1", graph::NodeKind::kRouter, 0, topo::RouterId{7}},
+      {"*3", graph::NodeKind::kUnidentified, -1, topo::RouterId{}},
+      {"AS5|AS6", graph::NodeKind::kLogical, -1, topo::RouterId{}},
+      {"s1", graph::NodeKind::kSensor, 5, topo::RouterId{}},
+  };
+  p0.links = {topo::LinkId{3}, topo::LinkId{9}};
+  probe::TracePath p1;
+  p1.src = 1;
+  p1.dst = 0;
+  p1.ok = false;
+  p1.hops = {{"s1", graph::NodeKind::kSensor, 5, topo::RouterId{}}};
+  mesh.paths = {std::move(p0), std::move(p1)};
+  return mesh;
+}
+
+core::ControlPlaneObs sample_cp() {
+  core::ControlPlaneObs cp;
+  cp.igp_down_keys = {"AS0:r1-AS0:r2"};
+  cp.withdrawals.push_back({"AS3>AS4", 5});
+  cp.withdrawals.push_back({"AS4>AS3", 4});
+  return cp;
+}
+
+const char kDiagnosisDoc[] =
+    R"({"links":[{"link":"a-b","score":1.5,"round":2,"logical":false}]})";
+
+/// The tentpole wire property: serialize -> parse -> serialize must be
+/// byte-identical. Checked below once per message type, both directions.
+std::string reserialized(const Request& req) {
+  const std::string frame = serialize(req);
+  std::string error;
+  const auto parsed = parse_request(frame, &error);
+  EXPECT_TRUE(parsed.has_value()) << frame << ": " << error;
+  EXPECT_EQ(parsed->index(), req.index());
+  return parsed ? serialize(*parsed) : "";
+}
+
+std::string reserialized(const Response& rsp) {
+  const std::string frame = serialize(rsp);
+  std::string error;
+  const auto parsed = parse_response(frame, &error);
+  EXPECT_TRUE(parsed.has_value()) << frame << ": " << error;
+  EXPECT_EQ(parsed->index(), rsp.index());
+  return parsed ? serialize(*parsed) : "";
+}
+
+TEST(Protocol, EveryRequestTypeRoundTripsByteIdentical) {
+  SessionConfig cfg;
+  cfg.alarm_threshold = 3;
+  cfg.algo = "nd-edge";
+  cfg.granularity = "per-prefix";
+  const std::vector<Request> requests = {
+      HelloRequest{"noc-1", cfg},
+      SetBaselineRequest{"noc-1", sample_mesh()},
+      ObserveRequest{"noc-1", sample_mesh(), sample_cp()},
+      ObserveRequest{"noc-1", sample_mesh(), std::nullopt},
+      QueryRequest{"noc-1"},
+      StatsRequest{},
+      ShutdownRequest{},
+  };
+  for (const Request& req : requests) {
+    EXPECT_EQ(reserialized(req), serialize(req));
+  }
+}
+
+TEST(Protocol, EveryResponseTypeRoundTripsByteIdentical) {
+  SessionConfig cfg;
+  const std::vector<Response> responses = {
+      ErrorResponse{"no such session 'x'"},
+      HelloResponse{"noc-1", true, cfg},
+      SetBaselineResponse{90},
+      ObserveResponse{4, true, std::string(kDiagnosisDoc)},
+      ObserveResponse{2, false, std::nullopt},
+      QueryResponse{4, std::string(kDiagnosisDoc)},
+      QueryResponse{0, std::nullopt},
+      StatsResponse{R"({"connections":1,"ops":{}})"},
+      ShutdownResponse{},
+  };
+  for (const Response& rsp : responses) {
+    EXPECT_EQ(reserialized(rsp), serialize(rsp));
+  }
+}
+
+TEST(Protocol, RequestFramesCarryVersionAndOp) {
+  const std::string frame = serialize(Request{QueryRequest{"s"}});
+  const auto j = Json::parse(frame);
+  ASSERT_TRUE(j.has_value());
+  ASSERT_NE(j->find("v"), nullptr);
+  EXPECT_EQ(j->find("v")->as_int(), kProtocolVersion);
+  ASSERT_NE(j->find("op"), nullptr);
+  EXPECT_EQ(j->find("op")->as_string(), "query");
+}
+
+TEST(Protocol, MeshCodecPreservesEveryField) {
+  const probe::Mesh mesh = sample_mesh();
+  std::string error;
+  const auto back = mesh_from_json(mesh_to_json(mesh), &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  ASSERT_EQ(back->paths.size(), mesh.paths.size());
+  for (std::size_t i = 0; i < mesh.paths.size(); ++i) {
+    const auto& a = mesh.paths[i];
+    const auto& b = back->paths[i];
+    EXPECT_EQ(a.src, b.src);
+    EXPECT_EQ(a.dst, b.dst);
+    EXPECT_EQ(a.ok, b.ok);
+    ASSERT_EQ(a.hops.size(), b.hops.size());
+    for (std::size_t k = 0; k < a.hops.size(); ++k) {
+      EXPECT_EQ(a.hops[k].label, b.hops[k].label);
+      EXPECT_EQ(a.hops[k].kind, b.hops[k].kind);
+      EXPECT_EQ(a.hops[k].asn, b.hops[k].asn);
+      EXPECT_EQ(a.hops[k].router, b.hops[k].router);
+    }
+    EXPECT_EQ(a.links, b.links);
+  }
+}
+
+TEST(Protocol, ControlPlaneCodecRoundTrips) {
+  const core::ControlPlaneObs cp = sample_cp();
+  std::string error;
+  const auto back = cp_from_json(cp_to_json(cp), &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->igp_down_keys, cp.igp_down_keys);
+  ASSERT_EQ(back->withdrawals.size(), cp.withdrawals.size());
+  for (std::size_t i = 0; i < cp.withdrawals.size(); ++i) {
+    EXPECT_EQ(back->withdrawals[i].directed_key, cp.withdrawals[i].directed_key);
+    EXPECT_EQ(back->withdrawals[i].dest_asn, cp.withdrawals[i].dest_asn);
+  }
+}
+
+TEST(Protocol, SessionConfigValidatesOnParse) {
+  SessionConfig cfg;
+  std::string error;
+  EXPECT_TRUE(session_config_from_json(session_config_to_json(cfg), &error)
+                  .has_value());
+
+  cfg.algo = "nd-lg";  // needs a Looking Glass; not exposed over the wire
+  EXPECT_FALSE(session_config_from_json(session_config_to_json(cfg), &error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
+
+  cfg = SessionConfig{};
+  cfg.granularity = "sideways";
+  EXPECT_FALSE(session_config_from_json(session_config_to_json(cfg), &error)
+                   .has_value());
+}
+
+TEST(Protocol, ParseRequestRejectsHostileFrames) {
+  for (const std::string& bad : std::vector<std::string>{
+           std::string("not json at all"),
+           std::string("{}"),                                // no version/op
+           std::string(R"({"v":2,"op":"query","session":"s"})"),  // bad version
+           std::string(R"({"v":1,"op":"frobnicate"})"),      // unknown op
+           std::string(R"({"v":1,"op":"hello"})"),           // missing fields
+           std::string(R"({"v":1,"op":"observe","session":"s"})"),  // no mesh
+           std::string(R"([1,2,3])"),                        // not an object
+       }) {
+    std::string error;
+    EXPECT_FALSE(parse_request(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(Protocol, ParseResponseRejectsHostileFrames) {
+  for (const std::string& bad : std::vector<std::string>{
+           std::string(""),
+           std::string(R"({"v":1})"),            // no ok
+           std::string(R"({"v":1,"ok":true})"),  // no op
+           std::string(R"({"v":1,"ok":false})"), // error without message
+       }) {
+    std::string error;
+    EXPECT_FALSE(parse_response(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(Protocol, EmbeddedDiagnosisSurvivesVerbatim) {
+  const Response rsp = ObserveResponse{1, true, std::string(kDiagnosisDoc)};
+  const std::string frame = serialize(rsp);
+  std::string error;
+  const auto parsed = parse_response(frame, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const auto* obs = std::get_if<ObserveResponse>(&*parsed);
+  ASSERT_NE(obs, nullptr);
+  ASSERT_TRUE(obs->diagnosis.has_value());
+  EXPECT_EQ(*obs->diagnosis, kDiagnosisDoc);
+}
+
+}  // namespace
+}  // namespace netd::svc

@@ -1,0 +1,145 @@
+#include "svc/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+
+namespace netd::svc {
+namespace {
+
+/// A real (small) scenario's trace, produced by the exp runner. Shared
+/// across tests — recording is the expensive part.
+const std::string& scenario_trace() {
+  static const std::string trace = [] {
+    exp::ScenarioConfig cfg;
+    cfg.topo_params.target_ases = 40;
+    cfg.topo_params.pool_stubs = 80;
+    cfg.topo_params.pool_tier2 = 10;
+    cfg.num_placements = 1;
+    cfg.trials_per_placement = 3;
+    exp::Runner runner(cfg);
+    std::ostringstream os;
+    SessionConfig scfg;
+    scfg.alarm_threshold = 2;
+    std::string error;
+    const auto episodes = runner.record_trace(os, scfg, &error);
+    EXPECT_TRUE(episodes.has_value()) << error;
+    EXPECT_GT(*episodes, 0u);
+    return os.str();
+  }();
+  return trace;
+}
+
+TEST(Trace, RecorderWritesStructurallyValidJsonl) {
+  std::istringstream is(scenario_trace());
+  std::string error;
+  const auto trace = read_trace(is, &error);
+  ASSERT_TRUE(trace.has_value()) << error;
+  ASSERT_FALSE(trace->empty());
+  EXPECT_EQ(trace->front().type, TraceRecord::Type::kConfig);
+  EXPECT_EQ(trace->front().config.alarm_threshold, 2u);
+  std::size_t baselines = 0, rounds = 0, diagnoses = 0;
+  for (const auto& rec : *trace) {
+    switch (rec.type) {
+      case TraceRecord::Type::kConfig: break;
+      case TraceRecord::Type::kBaseline: ++baselines; break;
+      case TraceRecord::Type::kRound: ++rounds; break;
+      case TraceRecord::Type::kDiagnosis:
+        ++diagnoses;
+        EXPECT_FALSE(rec.diagnosis.empty());
+        break;
+    }
+  }
+  EXPECT_GT(baselines, 0u);
+  // Each episode feeds exactly alarm_threshold rounds and must diagnose.
+  EXPECT_EQ(rounds, 2 * baselines);
+  EXPECT_EQ(diagnoses, baselines);
+}
+
+TEST(Trace, InProcessReplayReproducesEveryDiagnosis) {
+  std::istringstream is(scenario_trace());
+  std::string error;
+  const auto trace = read_trace(is, &error);
+  ASSERT_TRUE(trace.has_value()) << error;
+  const ReplayResult result = replay_in_process(*trace);
+  EXPECT_TRUE(result.ok()) << result.mismatches.front();
+  EXPECT_GT(result.baselines, 0u);
+  EXPECT_EQ(result.rounds, 2 * result.baselines);
+  EXPECT_EQ(result.diagnoses, result.baselines);
+}
+
+TEST(Trace, ReplayFlagsACorruptedDiagnosis) {
+  std::istringstream is(scenario_trace());
+  std::string error;
+  auto trace = read_trace(is, &error);
+  ASSERT_TRUE(trace.has_value()) << error;
+  for (auto& rec : *trace) {
+    if (rec.type == TraceRecord::Type::kDiagnosis) {
+      rec.diagnosis = R"({"links":[],"ases":[]})";  // not what the run saw
+      break;
+    }
+  }
+  const ReplayResult result = replay_in_process(*trace);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Trace, RejectsStructurallyInvalidStreams) {
+  const std::string config =
+      R"({"v":1,"type":"config","config":)"
+      R"({"threshold":1,"algo":"nd-bgpigp","granularity":"per-neighbor"}})";
+  const std::string mesh = R"("mesh":{"paths":[]})";
+  struct Case {
+    std::string text;
+    std::string why;
+  };
+  const std::vector<Case> cases = {
+      {"", "empty trace"},
+      {"{not json}\n", "malformed line"},
+      {R"({"v":1,"type":"baseline",)" + mesh + "}\n", "no config first"},
+      {config + "\n" + R"({"v":1,"type":"round",)" + mesh + "}\n",
+       "round before baseline"},
+      {config + "\n" + config + "\n", "config repeated"},
+      {config + "\n" + R"({"v":1,"type":"wat"})" + "\n", "unknown type"},
+      {R"({"v":9,"type":"config","config":{}})" + std::string("\n"),
+       "unsupported version"},
+  };
+  for (const auto& c : cases) {
+    std::istringstream is(c.text);
+    std::string error;
+    EXPECT_FALSE(read_trace(is, &error).has_value()) << c.why;
+    EXPECT_FALSE(error.empty()) << c.why;
+  }
+}
+
+TEST(Trace, DiagnosisRoundMustMatchStreamPosition) {
+  std::string text = scenario_trace();
+  // Tamper with the first diagnosis's round field.
+  const auto pos = text.find(R"("type":"diagnosis","round":)");
+  ASSERT_NE(pos, std::string::npos);
+  const auto digit = pos + std::string(R"("type":"diagnosis","round":)").size();
+  text[digit] = '9';
+  std::istringstream is(text);
+  std::string error;
+  EXPECT_FALSE(read_trace(is, &error).has_value());
+  EXPECT_NE(error.find("round"), std::string::npos) << error;
+}
+
+TEST(Trace, RecorderCountsRoundsPerEpisode) {
+  std::ostringstream os;
+  SessionConfig cfg;
+  TraceRecorder rec(os, cfg);
+  probe::Mesh empty;
+  rec.baseline(empty);
+  rec.round(empty, nullptr);
+  rec.round(empty, nullptr);
+  EXPECT_EQ(rec.rounds(), 2u);
+  rec.baseline(empty);  // new episode resets the counter
+  EXPECT_EQ(rec.rounds(), 0u);
+}
+
+}  // namespace
+}  // namespace netd::svc

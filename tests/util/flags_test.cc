@@ -73,6 +73,27 @@ TEST(Flags, DoubleParses) {
   EXPECT_TRUE(f.ok());
 }
 
+TEST(Flags, UintParses) {
+  auto f = parse({"--count", "12"});
+  EXPECT_EQ(f.get_uint("count", 0), 12u);
+  EXPECT_EQ(f.get_uint("absent", 7), 7u);
+  EXPECT_TRUE(f.ok());
+}
+
+TEST(Flags, MalformedUintRecordsError) {
+  auto f = parse({"--count", "twelve"});
+  EXPECT_EQ(f.get_uint("count", 5), 5u);
+  EXPECT_FALSE(f.ok());
+}
+
+TEST(Flags, NegativeUintRecordsError) {
+  // A silent size_t cast would turn -1 into 2^64-1; get_uint must refuse.
+  auto f = parse({"--count", "-1"});
+  EXPECT_EQ(f.get_uint("count", 5), 5u);
+  ASSERT_FALSE(f.ok());
+  EXPECT_NE(f.errors()[0].find("non-negative"), std::string::npos);
+}
+
 TEST(Flags, AllowRejectsUnknown) {
   auto f = parse({"--known", "1", "--oops", "2"});
   f.allow({"known"});

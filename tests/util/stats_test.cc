@@ -124,3 +124,72 @@ TEST(Summary, StddevOfConstantIsZero) {
 
 }  // namespace
 }  // namespace netd::util
+
+namespace netd::util {
+namespace {
+
+TEST(Histogram, EmptyReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_TRUE(h.nonzero_buckets().empty());
+}
+
+TEST(Histogram, ExactMomentsApproximatePercentiles) {
+  Histogram h;
+  for (double x : {1.0, 2.0, 3.0, 100.0}) h.add(x);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 26.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);   // min/max are exact, not bucketized
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  // Bucket edges are 1, 2, 4, 8, ... so the percentile upper bounds are
+  // within one power of two of the true value.
+  EXPECT_DOUBLE_EQ(h.percentile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.75), 4.0);
+  // The top sample's bucket edge (128) is clamped by the exact max.
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+}
+
+TEST(Histogram, PercentileClampedByExactMax) {
+  Histogram h(1.0, 2.0, 4);  // edges 1, 2, 4, 8; overflow beyond
+  h.add(1000.0);
+  // The sample lands in the overflow bucket, whose upper edge is +inf;
+  // the exact max is the honest answer there.
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 1000.0);
+}
+
+TEST(Histogram, MergeMatchesCombinedStream) {
+  Histogram a, b, all;
+  for (double x : {1.0, 5.0, 9.0}) { a.add(x); all.add(x); }
+  for (double x : {2.0, 700.0}) { b.add(x); all.add(x); }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.percentile(q), all.percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(Histogram, NonzeroBucketsAreSparse) {
+  Histogram h;
+  h.add(1.5);
+  h.add(1.7);
+  h.add(30.0);
+  const auto buckets = h.nonzero_buckets();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets[0].upper, 2.0);
+  EXPECT_EQ(buckets[0].count, 2u);
+  EXPECT_DOUBLE_EQ(buckets[1].upper, 32.0);
+  EXPECT_EQ(buckets[1].count, 1u);
+}
+
+}  // namespace
+}  // namespace netd::util
