@@ -448,11 +448,20 @@ int cmd_watch(util::Flags& flags) {
 }
 
 int cmd_serve(util::Flags& flags) {
-  flags.allow({"listen", "threads", "help"});
+  flags.allow({"listen", "threads", "idle-timeout-ms", "max-pending",
+               "max-sessions", "drain-timeout-ms", "retry-after-ms",
+               "chaos-seed", "help"});
   if (!flags.ok() || flags.get_bool("help")) {
     std::cerr << "netdiag serve [--listen unix:PATH|HOST:PORT|:PORT]"
                  " [--threads N]\n"
-                 "runs until a client sends the shutdown op\n";
+                 "              [--idle-timeout-ms MS] [--max-pending N]"
+                 " [--max-sessions N]\n"
+                 "              [--drain-timeout-ms MS] [--retry-after-ms MS]"
+                 " [--chaos-seed S]\n"
+                 "runs until a client sends the shutdown op; --idle-timeout-ms 0"
+                 " disables the\nper-connection frame deadline, --chaos-seed"
+                 " arms seeded fault injection on\nevery response (testing"
+                 " only)\n";
     for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
     return flags.ok() ? 0 : 2;
   }
@@ -465,6 +474,16 @@ int cmd_serve(util::Flags& flags) {
   svc::Server::Options opts;
   opts.endpoint = *ep;
   opts.num_threads = flags.get_uint("threads", 8);
+  opts.idle_timeout_ms = flags.get_int("idle-timeout-ms", 30000);
+  opts.max_pending = flags.get_uint("max-pending", 64);
+  opts.max_sessions = flags.get_uint("max-sessions", 0);
+  opts.drain_timeout_ms = flags.get_int("drain-timeout-ms", 2000);
+  opts.retry_after_ms =
+      static_cast<std::uint64_t>(flags.get_uint("retry-after-ms", 100));
+  if (flags.has("chaos-seed")) {
+    opts.fault_plan = svc::FaultPlan::chaos(
+        static_cast<std::uint64_t>(flags.get_uint("chaos-seed", 1)));
+  }
   svc::Server server(std::move(opts));
   if (!server.start(&error)) {
     std::cerr << "netdiag: " << error << "\n";
@@ -478,14 +497,24 @@ int cmd_serve(util::Flags& flags) {
   return 0;
 }
 
+/// Client resilience knobs shared by `submit` and `replay --connect`.
+svc::Client::Options client_options(util::Flags& flags) {
+  svc::Client::Options copts;
+  copts.connect_timeout_ms = flags.get_int("connect-timeout-ms", 5000);
+  copts.request_timeout_ms = flags.get_int("request-timeout-ms", 30000);
+  copts.max_retries = flags.get_uint("retries", 3);
+  return copts;
+}
+
 int cmd_submit(util::Flags& flags) {
   flags.allow({"connect", "op", "session", "threshold", "algo", "granularity",
-               "help"});
+               "retries", "connect-timeout-ms", "request-timeout-ms", "help"});
   if (!flags.ok() || flags.get_bool("help")) {
     std::cerr
         << "netdiag submit [--connect ADDR] --op hello|query|stats|shutdown\n"
            "               [--session NAME] [--threshold K] [--algo A]\n"
-           "               [--granularity G]\n"
+           "               [--granularity G] [--retries N]\n"
+           "               [--connect-timeout-ms MS] [--request-timeout-ms MS]\n"
            "prints the response frame; observation streams are fed with\n"
            "`netdiag replay FILE --connect ADDR`\n";
     for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
@@ -517,7 +546,7 @@ int cmd_submit(util::Flags& flags) {
               << "' (hello, query, stats, shutdown)\n";
     return 2;
   }
-  auto client = svc::Client::connect(*ep, &error);
+  auto client = svc::Client::connect(*ep, client_options(flags), &error);
   if (!client) {
     std::cerr << "netdiag: " << error << "\n";
     return 1;
@@ -532,12 +561,15 @@ int cmd_submit(util::Flags& flags) {
 }
 
 int cmd_replay(util::Flags& flags) {
-  flags.allow({"via-socket", "connect", "session", "help"});
+  flags.allow({"via-socket", "connect", "session", "retries",
+               "connect-timeout-ms", "request-timeout-ms", "help"});
   const bool bad_args = flags.positional().size() != 1;
   if (!flags.ok() || flags.get_bool("help") || bad_args) {
     std::cerr
         << "netdiag replay FILE [--via-socket | --connect ADDR]"
            " [--session NAME]\n"
+           "               [--retries N] [--connect-timeout-ms MS]"
+           " [--request-timeout-ms MS]\n"
            "re-runs the recorded observation stream through a fresh\n"
            "troubleshooter — in process by default, through a private\n"
            "single-use daemon on a temporary unix socket (--via-socket),\n"
@@ -583,7 +615,7 @@ int cmd_replay(util::Flags& flags) {
       }
       ep = server->endpoint();
     }
-    auto client = svc::Client::connect(ep, &error);
+    auto client = svc::Client::connect(ep, client_options(flags), &error);
     if (!client) {
       std::cerr << "netdiag: " << error << "\n";
       return 1;

@@ -46,6 +46,22 @@ bool is_load_balanced_change(const ParisPaths& before, const TracePath& after) {
   return false;
 }
 
+bool merge_retry_hops(TracePath& acc, const TracePath& retry) {
+  // A retry against an unchanged converged state renders the same hop
+  // count; a mismatch means the network moved under us (a reroute between
+  // attempts, or one attempt reached the destination and the other did
+  // not). Merging misaligned hops would stitch two different paths
+  // together, so keep the accumulated rendering as-is.
+  if (retry.hops.size() != acc.hops.size()) return false;
+  for (std::size_t p = 0; p < acc.hops.size(); ++p) {
+    if (acc.hops[p].kind == graph::NodeKind::kUnidentified &&
+        retry.hops[p].kind != graph::NodeKind::kUnidentified) {
+      acc.hops[p] = retry.hops[p];
+    }
+  }
+  return true;
+}
+
 Prober::Prober(const sim::Network& net, std::vector<Sensor> sensors,
                std::set<std::uint32_t> blocked_ases)
     : net_(net), sensors_(std::move(sensors)), blocked_(std::move(blocked_ases)) {}
@@ -138,13 +154,8 @@ Mesh Prober::measure_with_retries(std::size_t attempts) const {
             i, j, net_.trace_flow(sensors_[i].attach, sensors_[j].attach,
                                   flow_),
             a);
-        assert(retry.hops.size() == acc.hops.size());
-        for (std::size_t p = 0; p < acc.hops.size(); ++p) {
-          if (acc.hops[p].kind == graph::NodeKind::kUnidentified &&
-              retry.hops[p].kind != graph::NodeKind::kUnidentified) {
-            acc.hops[p] = retry.hops[p];
-          }
-        }
+        // A false return (reconverged mid-measurement) keeps attempt 0.
+        (void)merge_retry_hops(acc, retry);
         ++k;
       }
     }

@@ -65,6 +65,13 @@ struct ParisMesh {
 [[nodiscard]] bool is_load_balanced_change(const ParisPaths& before,
                                            const TracePath& after);
 
+/// Merges one retry rendering of the same pair into the accumulated path:
+/// every hop starred in `acc` (ICMP rate-limited) but identified in
+/// `retry` is filled in. Returns false — leaving `acc` untouched — when
+/// the two renderings disagree in length and cannot be aligned hop by hop
+/// (the converged state changed between attempts).
+[[nodiscard]] bool merge_retry_hops(TracePath& acc, const TracePath& retry);
+
 class Prober {
  public:
   /// `net` must outlive the prober. `blocked_ases` hide all their routers.

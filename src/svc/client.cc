@@ -1,13 +1,54 @@
 #include "svc/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/backoff.h"
+
 namespace netd::svc {
 
-Client::Client(Fd fd) : fd_(std::move(fd)), reader_(fd_.get(), kMaxFrameBytes) {}
+Client::Client(const Endpoint& ep, const Options& opts, Fd fd)
+    : ep_(ep), opts_(opts), fd_(std::move(fd)), rng_(opts.seed) {
+  if (fd_.valid()) reader_.emplace(fd_.get(), kMaxFrameBytes);
+  if (opts_.fault_plan.enabled()) {
+    injector_ = std::make_unique<FaultInjector>(opts_.fault_plan);
+  }
+}
 
 std::optional<Client> Client::connect(const Endpoint& ep, std::string* error) {
-  Fd fd = connect_to(ep, error);
-  if (!fd.valid()) return std::nullopt;
-  return Client(std::move(fd));
+  return connect(ep, Options{}, error);
+}
+
+std::optional<Client> Client::connect(const Endpoint& ep, const Options& opts,
+                                      std::string* error) {
+  Client c(ep, opts, Fd());
+  if (!c.ensure_connected(error)) return std::nullopt;
+  return c;
+}
+
+bool Client::ensure_connected(std::string* error) {
+  if (fd_.valid()) return true;
+  std::string last;
+  for (std::size_t attempt = 0; attempt <= opts_.max_retries; ++attempt) {
+    if (attempt > 0) backoff(attempt);
+    last.clear();
+    Fd fd = connect_to(ep_, &last, opts_.connect_timeout_ms);
+    if (fd.valid()) {
+      fd_ = std::move(fd);
+      reader_.emplace(fd_.get(), kMaxFrameBytes);
+      return true;
+    }
+  }
+  if (error != nullptr && error->empty()) *error = last;
+  return false;
+}
+
+void Client::backoff(std::size_t attempt) {
+  const int ms = util::backoff_ms(static_cast<int>(attempt),
+                                  opts_.backoff_base_ms, opts_.backoff_max_ms,
+                                  rng_);
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
 std::optional<std::string> Client::call_raw(const std::string& frame,
@@ -16,12 +57,13 @@ std::optional<std::string> Client::call_raw(const std::string& frame,
     if (error != nullptr) *error = "client is closed";
     return std::nullopt;
   }
-  if (!write_all(fd_.get(), frame + "\n")) {
+  if (!write_all(fd_.get(), frame + "\n", opts_.request_timeout_ms)) {
     if (error != nullptr) *error = "write failed (server gone?)";
     return std::nullopt;
   }
   std::string line;
-  switch (reader_.read_line(&line)) {
+  reader_->set_timeout_ms(opts_.request_timeout_ms);
+  switch (reader_->read_line(&line)) {
     case LineReader::Status::kLine:
       return line;
     case LineReader::Status::kEof:
@@ -30,6 +72,9 @@ std::optional<std::string> Client::call_raw(const std::string& frame,
     case LineReader::Status::kOversize:
       if (error != nullptr) *error = "response exceeds frame size cap";
       return std::nullopt;
+    case LineReader::Status::kTimeout:
+      if (error != nullptr) *error = "request timed out";
+      return std::nullopt;
     case LineReader::Status::kError:
       if (error != nullptr) *error = "read failed";
       return std::nullopt;
@@ -37,14 +82,112 @@ std::optional<std::string> Client::call_raw(const std::string& frame,
   return std::nullopt;
 }
 
-std::optional<Response> Client::call(const Request& req, std::string* error) {
-  const auto line = call_raw(serialize(req), error);
-  if (!line.has_value()) return std::nullopt;
-  auto rsp = parse_response(*line, error);
+std::optional<Response> Client::exchange(const std::string& frame,
+                                         std::string* error, bool* transport) {
+  *transport = true;
+  const std::string wire = frame + "\n";
+  const bool written =
+      injector_ != nullptr
+          ? injector_->write_frame(fd_.get(), wire, opts_.request_timeout_ms)
+          : write_all(fd_.get(), wire, opts_.request_timeout_ms);
+  if (!written) {
+    // Either the wire failed or our own chaos injector killed the frame;
+    // both leave the stream state unknown.
+    if (error != nullptr && error->empty()) {
+      *error = "write failed (server gone?)";
+    }
+    return std::nullopt;
+  }
+  std::string line;
+  reader_->set_timeout_ms(opts_.request_timeout_ms);
+  switch (reader_->read_line(&line)) {
+    case LineReader::Status::kLine:
+      break;
+    case LineReader::Status::kEof:
+      if (error != nullptr && error->empty()) {
+        *error = "server closed the connection";
+      }
+      return std::nullopt;
+    case LineReader::Status::kOversize:
+      if (error != nullptr && error->empty()) {
+        *error = "response exceeds frame size cap";
+      }
+      return std::nullopt;
+    case LineReader::Status::kTimeout:
+      if (error != nullptr && error->empty()) *error = "request timed out";
+      return std::nullopt;
+    case LineReader::Status::kError:
+      if (error != nullptr && error->empty()) *error = "read failed";
+      return std::nullopt;
+  }
+  // A response that does not parse means the stream can no longer be
+  // trusted (a corrupted or torn frame) — reconnect before retrying.
+  auto rsp = parse_response(line, error);
   if (!rsp.has_value()) return std::nullopt;
+  *transport = false;
   return rsp;
 }
 
-void Client::close() { fd_.reset(); }
+std::optional<Response> Client::call(const Request& req, std::string* error) {
+  Request to_send = req;
+  if (opts_.max_retries > 0) {
+    // Stamp the observe once, before any attempt: every retry of this
+    // logical request reuses the number, which is what lets the server
+    // recognize and deduplicate it.
+    if (auto* obs = std::get_if<ObserveRequest>(&to_send);
+        obs != nullptr && !obs->seq.has_value()) {
+      obs->seq = next_seq_++;
+    }
+  }
+  const std::string frame = serialize(to_send);
+
+  std::string last_error;
+  for (std::size_t attempt = 0;; ++attempt) {
+    const bool last_try = attempt >= opts_.max_retries;
+    last_error.clear();
+    if (!ensure_connected(&last_error)) {
+      if (error != nullptr && error->empty()) *error = last_error;
+      return std::nullopt;  // ensure_connected already burned the retries
+    }
+    bool transport = false;
+    auto rsp = exchange(frame, &last_error, &transport);
+    if (rsp.has_value()) {
+      if (const auto* err = std::get_if<ErrorResponse>(&*rsp);
+          err != nullptr && !last_try) {
+        if (err->code == kErrOverloaded) {
+          const auto wait_ms = static_cast<int>(std::min<std::uint64_t>(
+              err->retry_after_ms.value_or(
+                  static_cast<std::uint64_t>(opts_.backoff_base_ms)),
+              static_cast<std::uint64_t>(opts_.backoff_max_ms)));
+          std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+          // Shed connections are closed server-side after the response.
+          close();
+          continue;
+        }
+        if (err->code == kErrBadFrame) {
+          // The server rejected a mangled frame but answered in order:
+          // the stream is still in lockstep, resend on it.
+          continue;
+        }
+      }
+      return rsp;
+    }
+    if (transport) close();
+    if (last_try) {
+      if (error != nullptr && error->empty()) *error = last_error;
+      return std::nullopt;
+    }
+    backoff(attempt + 1);
+  }
+}
+
+void Client::close() {
+  fd_.reset();
+  reader_.reset();
+}
+
+FaultCounters Client::fault_counters() const {
+  return injector_ != nullptr ? injector_->counters() : FaultCounters{};
+}
 
 }  // namespace netd::svc

@@ -1,0 +1,119 @@
+#include "svc/fault.h"
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <thread>
+
+#include "svc/socket.h"
+
+namespace netd::svc {
+
+FaultPlan FaultPlan::chaos(std::uint64_t seed) {
+  FaultPlan p;
+  p.seed = seed;
+  p.delay_prob = 0.10;
+  p.delay_ms = 5;
+  p.drop_prob = 0.04;
+  p.truncate_prob = 0.04;
+  p.corrupt_prob = 0.04;
+  p.reset_prob = 0.03;
+  return p;
+}
+
+Json FaultCounters::to_json() const {
+  Json j = Json::object();
+  j.set("delays", Json::uinteger(delays));
+  j.set("drops", Json::uinteger(drops));
+  j.set("truncations", Json::uinteger(truncations));
+  j.set("corruptions", Json::uinteger(corruptions));
+  j.set("resets", Json::uinteger(resets));
+  j.set("total", Json::uinteger(total()));
+  return j;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan), rng_(plan.seed) {}
+
+FaultInjector::Action FaultInjector::draw(const std::string& frame,
+                                          std::size_t* cut,
+                                          std::size_t* byte) {
+  // Destructive faults are mutually exclusive per frame; the draw order
+  // is part of the deterministic schedule.
+  if (rng_.bernoulli(plan_.drop_prob)) return Action::kDrop;
+  if (rng_.bernoulli(plan_.reset_prob)) {
+    *cut = frame.size() > 1 ? rng_.uniform(0, static_cast<std::uint32_t>(
+                                                  frame.size() - 1))
+                            : 0;
+    return Action::kReset;
+  }
+  if (rng_.bernoulli(plan_.truncate_prob)) {
+    *cut = frame.size() > 1 ? rng_.uniform(1, static_cast<std::uint32_t>(
+                                                  frame.size() - 1))
+                            : 0;
+    return Action::kTruncate;
+  }
+  if (rng_.bernoulli(plan_.corrupt_prob) && frame.size() > 1) {
+    // Never corrupt the trailing '\n': the mangled frame must still be
+    // delivered as one line so the receiver rejects it at the parser,
+    // exercising the bad_frame path rather than the framing path.
+    *byte = rng_.uniform(0, static_cast<std::uint32_t>(frame.size() - 2));
+    return Action::kCorrupt;
+  }
+  if (rng_.bernoulli(plan_.delay_prob)) return Action::kDelay;
+  return Action::kPass;
+}
+
+bool FaultInjector::write_frame(int fd, std::string frame, int timeout_ms) {
+  if (!plan_.enabled()) return write_all(fd, frame, timeout_ms);
+
+  std::size_t cut = 0;
+  std::size_t byte = 0;
+  Action action;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    action = draw(frame, &cut, &byte);
+    switch (action) {
+      case Action::kDelay: ++counts_.delays; break;
+      case Action::kDrop: ++counts_.drops; break;
+      case Action::kTruncate: ++counts_.truncations; break;
+      case Action::kCorrupt: ++counts_.corruptions; break;
+      case Action::kReset: ++counts_.resets; break;
+      case Action::kPass: break;
+    }
+  }
+
+  switch (action) {
+    case Action::kPass:
+      return write_all(fd, frame, timeout_ms);
+    case Action::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(plan_.delay_ms));
+      return write_all(fd, frame, timeout_ms);
+    case Action::kCorrupt:
+      frame[byte] = '\x01';
+      return write_all(fd, frame, timeout_ms);
+    case Action::kDrop:
+      return false;
+    case Action::kTruncate:
+      (void)write_all(fd, std::string_view(frame).substr(0, cut), timeout_ms);
+      return false;
+    case Action::kReset: {
+      (void)write_all(fd, std::string_view(frame).substr(0, cut), timeout_ms);
+      // Arm an abortive close: when the owner closes the fd the kernel
+      // sends RST instead of FIN, so the peer sees a hard reset mid-frame.
+      linger lg{};
+      lg.l_onoff = 1;
+      lg.l_linger = 0;
+      ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+      return false;
+    }
+  }
+  return false;
+}
+
+FaultCounters FaultInjector::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+}  // namespace netd::svc

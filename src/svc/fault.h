@@ -1,0 +1,98 @@
+// Deterministic fault injection for the service wire: the chaos harness
+// the robustness layer is tested against.
+//
+// A FaultPlan is a seeded schedule over outgoing frames. For every frame
+// the injector draws from a util::Rng (mt19937_64 seeded by the plan), so
+// the same plan applied to the same frame sequence injects the identical
+// faults — chaos soaks are replayable bit-for-bit from one seed. Faults
+// model what real networks and peers do to a diagnosis service:
+//
+//   delay       the frame is held back before being written
+//   drop        the connection dies before the frame is written (FIN)
+//   truncate    a prefix of the frame is written, then the stream ends
+//   corrupt     one byte is overwritten with 0x01 — an unescaped control
+//               character no valid frame contains, so the receiver's JSON
+//               parser always rejects the mangled frame (the fault is
+//               detectable, never a silent diagnosis change)
+//   reset       a prefix is written and the connection is marked for an
+//               abortive close (RST via SO_LINGER 0)
+//
+// At most one destructive fault fires per frame. The injector only
+// decides and writes; the fd's owner still closes it, which is when
+// drop/truncate/reset become visible to the peer.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "svc/json.h"
+#include "util/rng.h"
+
+namespace netd::svc {
+
+/// Seeded per-frame fault schedule. All probabilities are independent
+/// per frame; enabled() is false for the default (all-zero) plan, which
+/// makes the wrapper a pass-through.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double delay_prob = 0.0;
+  int delay_ms = 0;
+  double drop_prob = 0.0;
+  double truncate_prob = 0.0;
+  double corrupt_prob = 0.0;
+  double reset_prob = 0.0;
+
+  [[nodiscard]] bool enabled() const {
+    return delay_prob > 0 || drop_prob > 0 || truncate_prob > 0 ||
+           corrupt_prob > 0 || reset_prob > 0;
+  }
+
+  /// The canonical soak mix: every fault kind armed, aggressive enough to
+  /// fire many times per replay yet survivable with a handful of retries.
+  [[nodiscard]] static FaultPlan chaos(std::uint64_t seed);
+};
+
+/// Counters for every fault the injector fired, surfaced through the
+/// `stats` verb (server side) or Client::fault_counters() (client side).
+struct FaultCounters {
+  std::uint64_t delays = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t truncations = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t resets = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return delays + drops + truncations + corruptions + resets;
+  }
+  [[nodiscard]] Json to_json() const;
+};
+
+/// Applies a FaultPlan to outgoing frames on a socket. Thread-safe: one
+/// injector may serve every connection of a server (the draw order then
+/// depends on scheduling, but single-connection soaks stay deterministic).
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  /// Writes `frame` (which must include its trailing '\n'), applying at
+  /// most one fault. Returns false when the connection was deliberately
+  /// killed (drop/truncate/reset) or the write itself failed; the caller
+  /// must close the fd, at which point the peer observes the fault.
+  [[nodiscard]] bool write_frame(int fd, std::string frame,
+                                 int timeout_ms = -1);
+
+  [[nodiscard]] FaultCounters counters() const;
+
+ private:
+  enum class Action { kPass, kDelay, kDrop, kTruncate, kCorrupt, kReset };
+  [[nodiscard]] Action draw(const std::string& frame, std::size_t* cut,
+                            std::size_t* byte);
+
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  util::Rng rng_;
+  FaultCounters counts_;
+};
+
+}  // namespace netd::svc

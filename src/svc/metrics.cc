@@ -17,6 +17,10 @@ Json ServiceMetrics::to_json() const {
   j.set("malformed_frames", Json::uinteger(malformed_frames));
   j.set("oversized_frames", Json::uinteger(oversized_frames));
   j.set("disconnects_mid_request", Json::uinteger(disconnects_mid_request));
+  j.set("idle_timeouts", Json::uinteger(idle_timeouts));
+  j.set("shed_requests", Json::uinteger(shed_requests));
+  j.set("dedup_hits", Json::uinteger(dedup_hits));
+  j.set("faults", faults.to_json());
   Json ops_json = Json::object();
   for (const auto& [name, p] : ops) {
     Json op = Json::object();

@@ -11,6 +11,7 @@
 #include <map>
 #include <string>
 
+#include "svc/fault.h"
 #include "svc/json.h"
 #include "util/stats.h"
 
@@ -31,11 +32,17 @@ struct ServiceMetrics {
   std::uint64_t malformed_frames = 0;   ///< frames that failed to parse
   std::uint64_t oversized_frames = 0;   ///< frames over the size cap
   std::uint64_t disconnects_mid_request = 0;
+  std::uint64_t idle_timeouts = 0;      ///< connections cut by the idle deadline
+  std::uint64_t shed_requests = 0;      ///< refused with `overloaded`
+  std::uint64_t dedup_hits = 0;         ///< retried observes answered from cache
+  /// Faults the server's own injector fired (chaos runs; all zero in
+  /// production).
+  FaultCounters faults;
 
   void record(const std::string& op, bool ok, double latency_us);
 
-  /// {"connections":N,...,"ops":{"observe":{"count":n,"errors":e,
-  ///   "lat_us":{"p50":..,"p90":..,"p99":..,"max":..}},...}}
+  /// {"connections":N,...,"faults":{...},"ops":{"observe":{"count":n,
+  ///   "errors":e,"lat_us":{"p50":..,"p90":..,"p99":..,"max":..}},...}}
   [[nodiscard]] Json to_json() const;
 };
 

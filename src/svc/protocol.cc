@@ -292,6 +292,7 @@ std::string serialize(const Request& req) {
           j.set("session", Json::string(r.session));
           j.set("mesh", mesh_to_json(r.mesh));
           if (r.cp.has_value()) j.set("cp", cp_to_json(*r.cp));
+          if (r.seq.has_value()) j.set("seq", Json::uinteger(*r.seq));
         } else if constexpr (std::is_same_v<T, QueryRequest>) {
           j.set("op", Json::string("query"));
           j.set("session", Json::string(r.session));
@@ -370,11 +371,16 @@ std::optional<Request> parse_request(std::string_view frame,
     if (!session || mesh == nullptr) return std::nullopt;
     auto m = mesh_from_json(*mesh, error);
     if (!m) return std::nullopt;
-    ObserveRequest req{*session, std::move(*m), std::nullopt};
+    ObserveRequest req{*session, std::move(*m), std::nullopt, std::nullopt};
     if (const Json* cp = j->find("cp"); cp != nullptr) {
       auto obs = cp_from_json(*cp, error);
       if (!obs) return std::nullopt;
       req.cp = std::move(*obs);
+    }
+    if (j->find("seq") != nullptr) {
+      const auto seq = require_uint(*j, "seq", error);
+      if (!seq) return std::nullopt;
+      req.seq = static_cast<std::uint64_t>(*seq);
     }
     return Request{std::move(req)};
   }
@@ -400,6 +406,10 @@ std::string serialize(const Response& rsp) {
         if constexpr (std::is_same_v<T, ErrorResponse>) {
           j.set("ok", Json::boolean(false));
           j.set("error", Json::string(r.message));
+          if (!r.code.empty()) j.set("code", Json::string(r.code));
+          if (r.retry_after_ms.has_value()) {
+            j.set("retry_after_ms", Json::uinteger(*r.retry_after_ms));
+          }
         } else if constexpr (std::is_same_v<T, HelloResponse>) {
           j.set("ok", Json::boolean(true));
           j.set("op", Json::string("hello"));
@@ -447,7 +457,20 @@ std::optional<Response> parse_response(std::string_view frame,
   if (!ok->as_bool()) {
     const Json* msg = require(*j, "error", Json::Type::kString, error);
     if (msg == nullptr) return std::nullopt;
-    return Response{ErrorResponse{msg->as_string()}};
+    ErrorResponse err{msg->as_string(), "", std::nullopt};
+    if (const Json* code = j->find("code"); code != nullptr) {
+      if (!code->is_string()) {
+        set_error(error, "error code must be a string");
+        return std::nullopt;
+      }
+      err.code = code->as_string();
+    }
+    if (j->find("retry_after_ms") != nullptr) {
+      const auto after = require_uint(*j, "retry_after_ms", error);
+      if (!after) return std::nullopt;
+      err.retry_after_ms = static_cast<std::uint64_t>(*after);
+    }
+    return Response{std::move(err)};
   }
   const Json* op = require(*j, "op", Json::Type::kString, error);
   if (op == nullptr) return std::nullopt;

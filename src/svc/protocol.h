@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -37,6 +38,15 @@ namespace netd::svc {
 inline constexpr int kProtocolVersion = 1;
 /// Hard cap on one frame's bytes; oversized frames are a protocol error.
 inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+// Structured ErrorResponse codes. Errors without a code are semantic
+// (wrong session, bad config, ...) and must not be retried blindly; these
+// two name transient conditions a client may retry:
+//   bad_frame   the frame did not survive the wire (unparseable /
+//               oversized) — the stream is still in sync, resend
+//   overloaded  the server shed the request; honor retry_after_ms
+inline constexpr const char* kErrBadFrame = "bad_frame";
+inline constexpr const char* kErrOverloaded = "overloaded";
 
 /// The Troubleshooter configuration a session runs with, in wire/trace
 /// form. `algo` selects the solver preset ("tomo", "nd-edge" or
@@ -73,6 +83,17 @@ struct ObserveRequest {
   std::string session;
   probe::Mesh mesh;
   std::optional<core::ControlPlaneObs> cp;
+  /// Per-session sequence number for exactly-once observation rounds: a
+  /// retried observe carrying the seq of the round the server already
+  /// applied is answered from the session's cache instead of feeding the
+  /// round twice. Absent = no dedup (pre-retry clients).
+  std::optional<std::uint64_t> seq;
+
+  ObserveRequest() = default;
+  ObserveRequest(std::string s, probe::Mesh m,
+                 std::optional<core::ControlPlaneObs> c,
+                 std::optional<std::uint64_t> q = std::nullopt)
+      : session(std::move(s)), mesh(std::move(m)), cp(std::move(c)), seq(q) {}
 };
 
 struct QueryRequest {
@@ -91,6 +112,17 @@ using Request = std::variant<HelloRequest, SetBaselineRequest, ObserveRequest,
 
 struct ErrorResponse {
   std::string message;
+  /// Machine-readable code (kErrBadFrame, kErrOverloaded); empty for
+  /// semantic errors.
+  std::string code;
+  /// With kErrOverloaded: how long the client should back off before
+  /// retrying, in milliseconds.
+  std::optional<std::uint64_t> retry_after_ms;
+
+  ErrorResponse() = default;
+  ErrorResponse(std::string msg, std::string c = "",
+                std::optional<std::uint64_t> retry = std::nullopt)
+      : message(std::move(msg)), code(std::move(c)), retry_after_ms(retry) {}
 };
 
 struct HelloResponse {

@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <type_traits>
@@ -47,6 +48,9 @@ bool Server::start(std::string* error) {
   listener_ = listen_on(opts_.endpoint, error, &bound_port);
   if (!listener_.valid()) return false;
   opts_.endpoint.port = bound_port;
+  if (opts_.fault_plan.enabled()) {
+    injector_ = std::make_unique<FaultInjector>(opts_.fault_plan);
+  }
   pool_ = std::make_unique<util::ThreadPool>(opts_.num_threads);
   {
     std::lock_guard<std::mutex> lock(lifecycle_mu_);
@@ -82,8 +86,15 @@ void Server::stop() {
   if (opts_.endpoint.kind == Endpoint::Kind::kUnix) {
     ::unlink(opts_.endpoint.path.c_str());
   }
-  // Wake every connection handler blocked in recv(); they tear down on
-  // the resulting EOF. The handlers own and close their fds.
+  // Graceful drain: handlers poll in bounded chunks, notice stopping_ at
+  // their next wakeup and exit after finishing the request in hand. Only
+  // connections still alive past the drain budget are force-closed.
+  if (opts_.drain_timeout_ms > 0) {
+    std::unique_lock<std::mutex> lock(conns_mu_);
+    conns_cv_.wait_for(lock,
+                       std::chrono::milliseconds(opts_.drain_timeout_ms),
+                       [this] { return live_conns_.empty(); });
+  }
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     for (int fd : live_conns_) ::shutdown(fd, SHUT_RDWR);
@@ -93,7 +104,19 @@ void Server::stop() {
 
 std::string Server::stats_json() const {
   std::lock_guard<std::mutex> lock(metrics_mu_);
+  if (injector_ != nullptr) {
+    // The injector keeps its own counts (it runs outside metrics_mu_);
+    // fold the live values in at read time.
+    ServiceMetrics snapshot = metrics_;
+    snapshot.faults = injector_->counters();
+    return snapshot.to_json().dump();
+  }
   return metrics_.to_json().dump();
+}
+
+Response Server::overloaded_response() const {
+  return ErrorResponse{"server overloaded, retry later", kErrOverloaded,
+                       opts_.retry_after_ms};
 }
 
 void Server::accept_loop() {
@@ -109,23 +132,68 @@ void Server::accept_loop() {
       break;
     }
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      live_conns_.insert(fd);
-    }
-    {
       std::lock_guard<std::mutex> lock(metrics_mu_);
       ++metrics_.connections;
     }
+    // Overload shedding: every worker is busy and the waiting line is at
+    // its cap — tell the peer to come back instead of queueing unbounded.
+    if (opts_.max_pending > 0 && pending_.load() >= opts_.max_pending) {
+      {
+        std::lock_guard<std::mutex> lock(metrics_mu_);
+        ++metrics_.shed_requests;
+      }
+      (void)write_all(fd, serialize(Response{overloaded_response()}) + "\n",
+                      1000);
+      ::close(fd);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      live_conns_.insert(fd);
+    }
+    pending_.fetch_add(1);
     pool_->submit([this, fd] { serve_connection(fd); });
   }
 }
 
+bool Server::send_frame(int fd, const std::string& line) {
+  // Response writes get a bounded budget once deadlines are configured,
+  // so a peer that stops reading cannot pin the worker in send().
+  const int timeout_ms = opts_.idle_timeout_ms > 0 ? opts_.idle_timeout_ms : -1;
+  if (injector_ != nullptr) {
+    return injector_->write_frame(fd, line + "\n", timeout_ms);
+  }
+  return write_all(fd, line + "\n", timeout_ms);
+}
+
 void Server::serve_connection(int fd) {
+  pending_.fetch_sub(1);  // this connection now holds a worker
   LineReader reader(fd, opts_.max_frame_bytes);
+  // Poll in bounded chunks so the handler observes stop() promptly even
+  // with no idle deadline configured; the deadline itself is accumulated
+  // across chunks.
+  const int chunk_ms =
+      opts_.idle_timeout_ms > 0 ? std::min(opts_.idle_timeout_ms, 100) : 100;
+  reader.set_timeout_ms(chunk_ms);
+  int idle_ms = 0;
   std::string line;
   bool shutdown_after = false;
-  while (!shutdown_after) {
+  while (!shutdown_after && !stopping_.load()) {
     const LineReader::Status status = reader.read_line(&line);
+    if (status == LineReader::Status::kTimeout) {
+      idle_ms += chunk_ms;
+      if (opts_.idle_timeout_ms > 0 && idle_ms >= opts_.idle_timeout_ms) {
+        // Slow loris: no complete frame within the budget. Cut the
+        // connection and free this worker for peers that do talk.
+        {
+          std::lock_guard<std::mutex> lock(metrics_mu_);
+          ++metrics_.idle_timeouts;
+        }
+        break;
+      }
+      continue;
+    }
+    idle_ms = 0;
     if (status == LineReader::Status::kEof) break;
     if (status == LineReader::Status::kError) {
       std::lock_guard<std::mutex> lock(metrics_mu_);
@@ -139,9 +207,9 @@ void Server::serve_connection(int fd) {
       }
       // The stream cannot be resynchronized past an unterminated giant
       // frame; report and drop the connection.
-      (void)write_all(fd, serialize(Response{ErrorResponse{
-                              "frame exceeds size cap"}}) +
-                              "\n");
+      (void)send_frame(fd, serialize(Response{ErrorResponse{
+                               "frame exceeds size cap", kErrBadFrame,
+                               std::nullopt}}));
       break;
     }
 
@@ -153,9 +221,11 @@ void Server::serve_connection(int fd) {
         std::lock_guard<std::mutex> lock(metrics_mu_);
         ++metrics_.malformed_frames;
       }
-      if (!write_all(fd, serialize(Response{ErrorResponse{
-                             "bad request: " + parse_error}}) +
-                             "\n")) {
+      // bad_frame: the stream is still framed correctly, so a retrying
+      // client may resend on this same connection.
+      if (!send_frame(fd, serialize(Response{ErrorResponse{
+                              "bad request: " + parse_error, kErrBadFrame,
+                              std::nullopt}}))) {
         break;
       }
       continue;
@@ -171,7 +241,7 @@ void Server::serve_connection(int fd) {
     }
     const bool ok = !std::holds_alternative<ErrorResponse>(rsp);
     shutdown_after = std::holds_alternative<ShutdownRequest>(*req) && ok;
-    const bool written = write_all(fd, serialize(rsp) + "\n");
+    const bool written = send_frame(fd, serialize(rsp));
     const double us = std::chrono::duration<double, std::micro>(
                           std::chrono::steady_clock::now() - t0)
                           .count();
@@ -185,6 +255,7 @@ void Server::serve_connection(int fd) {
     std::lock_guard<std::mutex> lock(conns_mu_);
     live_conns_.erase(fd);
   }
+  conns_cv_.notify_all();
   ::close(fd);
   if (shutdown_after) {
     std::lock_guard<std::mutex> lock(lifecycle_mu_);
@@ -219,6 +290,13 @@ Response Server::handle(const HelloRequest& req) {
     }
     return HelloResponse{req.session, false, it->second->config};
   }
+  if (opts_.max_sessions > 0 && sessions_.size() >= opts_.max_sessions) {
+    {
+      std::lock_guard<std::mutex> mlock(metrics_mu_);
+      ++metrics_.shed_requests;
+    }
+    return overloaded_response();
+  }
   sessions_.emplace(req.session,
                     std::make_shared<Session>(req.config, *resolved));
   {
@@ -247,6 +325,16 @@ Response Server::handle(const ObserveRequest& req) {
     return ErrorResponse{"unknown session '" + req.session + "' (hello first)"};
   }
   std::lock_guard<std::mutex> lock(session->mu);
+  // Exactly-once rounds: a retried observe whose response was lost on the
+  // wire carries the seq the session already applied — answer it from the
+  // cache instead of feeding the same round twice.
+  if (req.seq.has_value() && session->last_seq == req.seq) {
+    {
+      std::lock_guard<std::mutex> mlock(metrics_mu_);
+      ++metrics_.dedup_hits;
+    }
+    return session->last_seq_response;
+  }
   if (!session->ts.has_baseline()) {
     return ErrorResponse{"session '" + req.session + "' has no baseline"};
   }
@@ -265,6 +353,10 @@ Response Server::handle(const ObserveRequest& req) {
     session->diagnosis = core::to_json(out->graph, out->result);
     session->diagnosis_round = session->round;
     rsp.diagnosis = session->diagnosis;
+  }
+  if (req.seq.has_value()) {
+    session->last_seq = req.seq;
+    session->last_seq_response = rsp;
   }
   return rsp;
 }

@@ -12,6 +12,22 @@
 // counters. Nothing a peer sends — malformed frames, oversized frames,
 // a disconnect mid-request — can take the server down: bad frames earn
 // an ErrorResponse (or a teardown of that one connection), never a crash.
+//
+// Fault tolerance on top of that baseline:
+//   - idle deadline: a worker polls instead of blocking; a peer that
+//     fails to deliver a complete frame within idle_timeout_ms (stalled,
+//     drip-feeding, or simply silent) is disconnected and the worker
+//     freed, so slow-loris peers cannot pin the pool.
+//   - overload shedding: connections beyond the bounded pending queue
+//     and sessions beyond max_sessions earn a structured `overloaded`
+//     ErrorResponse carrying retry_after_ms instead of unbounded queueing.
+//   - exactly-once observes: a retried observe carrying an already-applied
+//     sequence number is answered from the session's response cache.
+//   - graceful drain: stop() lets in-flight requests finish (workers
+//     notice the stop at their next poll wakeup) before force-closing
+//     whatever remains past drain_timeout_ms.
+//   - chaos: an optional FaultPlan injects seeded faults into every
+//     response written, with counts surfaced through the stats verb.
 #pragma once
 
 #include <atomic>
@@ -25,6 +41,7 @@
 #include <thread>
 
 #include "core/troubleshooter.h"
+#include "svc/fault.h"
 #include "svc/metrics.h"
 #include "svc/protocol.h"
 #include "svc/socket.h"
@@ -40,6 +57,24 @@ class Server {
     std::size_t num_threads = 8;
     /// Per-frame byte cap (connection is closed when exceeded).
     std::size_t max_frame_bytes = kMaxFrameBytes;
+    /// Budget, per connection, for one complete request frame to arrive;
+    /// exceeded => the connection is cut and its worker freed. 0 = never.
+    int idle_timeout_ms = 0;
+    /// Accepted connections allowed to wait for a free worker; beyond
+    /// this the acceptor sheds with `overloaded` + retry_after_ms.
+    /// 0 = unbounded (legacy behavior).
+    std::size_t max_pending = 0;
+    /// Cap on concurrently existing sessions; further hellos that would
+    /// create one are shed with `overloaded`. 0 = unbounded.
+    std::size_t max_sessions = 0;
+    /// stop(): how long in-flight requests may finish before their
+    /// connections are force-closed.
+    int drain_timeout_ms = 2000;
+    /// Advertised in `overloaded` responses.
+    std::uint64_t retry_after_ms = 100;
+    /// Chaos: seeded faults injected into every response frame written.
+    /// Disabled (all probabilities zero) in production.
+    FaultPlan fault_plan;
   };
 
   explicit Server(Options opts);
@@ -74,6 +109,10 @@ class Server {
     std::size_t round = 0;           ///< observation rounds fed so far
     std::size_t diagnosis_round = 0; ///< round of last fired diagnosis
     std::string diagnosis;           ///< last diagnosis document ("" = none)
+    /// Exactly-once retry cache: the last applied observe seq and its
+    /// response, replayed verbatim when the same seq arrives again.
+    std::optional<std::uint64_t> last_seq;
+    ObserveResponse last_seq_response;
 
     Session(SessionConfig cfg, core::Troubleshooter::Config resolved)
         : config(std::move(cfg)), ts(resolved) {}
@@ -81,7 +120,11 @@ class Server {
 
   void accept_loop();
   void serve_connection(int fd);
+  /// Response write path; routes through the fault injector when chaos
+  /// is armed. False = connection must be torn down.
+  [[nodiscard]] bool send_frame(int fd, const std::string& line);
   [[nodiscard]] Response dispatch(const Request& req);
+  [[nodiscard]] Response overloaded_response() const;
 
   Response handle(const HelloRequest& req);
   Response handle(const SetBaselineRequest& req);
@@ -96,6 +139,9 @@ class Server {
   Fd listener_;
   std::unique_ptr<util::ThreadPool> pool_;
   std::thread acceptor_;
+  std::unique_ptr<FaultInjector> injector_;  ///< armed only under chaos
+  /// Accepted connections still waiting for a worker to pick them up.
+  std::atomic<std::size_t> pending_{0};
 
   std::mutex registry_mu_;
   std::map<std::string, std::shared_ptr<Session>> sessions_;
@@ -111,6 +157,7 @@ class Server {
   bool stopped_ = false;
 
   std::mutex conns_mu_;
+  std::condition_variable conns_cv_;  ///< signaled when a connection ends
   std::set<int> live_conns_;
 };
 

@@ -1,0 +1,30 @@
+// Bounded exponential backoff with deterministic jitter.
+//
+// Retry storms synchronize when every client sleeps the same schedule;
+// jitter decorrelates them. The jitter draws come from a caller-owned Rng,
+// so a seeded client produces the identical backoff sequence on every run
+// — retries stay inside the repo's replayable-experiments discipline.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace netd::util {
+
+/// Sleep budget for retry `attempt` (1-based): base * 2^(attempt-1),
+/// capped at `max_ms`, then jittered to [1/2, 1] of the capped value.
+[[nodiscard]] inline int backoff_ms(int attempt, int base_ms, int max_ms,
+                                    Rng& rng) {
+  if (attempt < 1) attempt = 1;
+  if (base_ms < 1) base_ms = 1;
+  std::int64_t ms = base_ms;
+  for (int i = 1; i < attempt && ms < max_ms; ++i) ms *= 2;
+  ms = std::min<std::int64_t>(ms, max_ms);
+  const auto half = static_cast<std::uint32_t>(ms / 2);
+  return static_cast<int>(ms - half +
+                          rng.uniform(0, half > 0 ? half : 0));
+}
+
+}  // namespace netd::util

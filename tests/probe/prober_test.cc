@@ -25,6 +25,52 @@ class ProberTest : public ::testing::Test {
   std::vector<Sensor> sensors_;
 };
 
+Hop make_hop(const std::string& label, graph::NodeKind kind) {
+  return Hop{label, kind, kind == graph::NodeKind::kUnidentified ? -1 : 1,
+             RouterId{}};
+}
+
+TEST(MergeRetryHopsTest, FillsStarsFromAlignedRetry) {
+  TracePath acc;
+  acc.hops = {make_hop("s0", graph::NodeKind::kSensor),
+              make_hop("uh:p0-1:h0", graph::NodeKind::kUnidentified),
+              make_hop("r2", graph::NodeKind::kRouter),
+              make_hop("s1", graph::NodeKind::kSensor)};
+  TracePath retry;
+  retry.hops = {make_hop("s0", graph::NodeKind::kSensor),
+                make_hop("r1", graph::NodeKind::kRouter),
+                make_hop("uh:p0-1:h1", graph::NodeKind::kUnidentified),
+                make_hop("s1", graph::NodeKind::kSensor)};
+  ASSERT_TRUE(merge_retry_hops(acc, retry));
+  // The star was filled from the retry; the already-identified hop kept.
+  EXPECT_EQ(acc.hops[1].label, "r1");
+  EXPECT_EQ(acc.hops[1].kind, graph::NodeKind::kRouter);
+  EXPECT_EQ(acc.hops[2].label, "r2");
+}
+
+TEST(MergeRetryHopsTest, MisalignedRetryIsRejectedNotMerged) {
+  // A retry rendering with a different hop count (the network reconverged
+  // between attempts, or one attempt died early) must not be stitched into
+  // the accumulator — in Release builds the old code merged the common
+  // prefix of two different paths.
+  TracePath acc;
+  acc.hops = {make_hop("s0", graph::NodeKind::kSensor),
+              make_hop("uh:p0-1:h0", graph::NodeKind::kUnidentified),
+              make_hop("s1", graph::NodeKind::kSensor)};
+  const TracePath before = acc;
+  TracePath retry;
+  retry.hops = {make_hop("s0", graph::NodeKind::kSensor),
+                make_hop("r1", graph::NodeKind::kRouter),
+                make_hop("r9", graph::NodeKind::kRouter),
+                make_hop("s1", graph::NodeKind::kSensor)};
+  EXPECT_FALSE(merge_retry_hops(acc, retry));
+  ASSERT_EQ(acc.hops.size(), before.hops.size());
+  for (std::size_t i = 0; i < acc.hops.size(); ++i) {
+    EXPECT_EQ(acc.hops[i].label, before.hops[i].label) << i;
+    EXPECT_EQ(acc.hops[i].kind, before.hops[i].kind) << i;
+  }
+}
+
 TEST_F(ProberTest, FullMeshHasAllOrderedPairs) {
   Prober p(net_, sensors_);
   const Mesh m = p.measure();

@@ -73,6 +73,7 @@ TEST(Protocol, EveryRequestTypeRoundTripsByteIdentical) {
       SetBaselineRequest{"noc-1", sample_mesh()},
       ObserveRequest{"noc-1", sample_mesh(), sample_cp()},
       ObserveRequest{"noc-1", sample_mesh(), std::nullopt},
+      ObserveRequest{"noc-1", sample_mesh(), std::nullopt, 17},
       QueryRequest{"noc-1"},
       StatsRequest{},
       ShutdownRequest{},
@@ -86,6 +87,8 @@ TEST(Protocol, EveryResponseTypeRoundTripsByteIdentical) {
   SessionConfig cfg;
   const std::vector<Response> responses = {
       ErrorResponse{"no such session 'x'"},
+      ErrorResponse{"resend", kErrBadFrame},
+      ErrorResponse{"busy", kErrOverloaded, 250},
       HelloResponse{"noc-1", true, cfg},
       SetBaselineResponse{90},
       ObserveResponse{4, true, std::string(kDiagnosisDoc)},

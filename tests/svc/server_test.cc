@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <sstream>
@@ -306,6 +308,103 @@ TEST_F(ServerTest, ShutdownOpStopsTheServer) {
                               &error))
       << error;
   server_->wait();  // returns because the shutdown op fired
+}
+
+TEST(ServerIdleTimeoutTest, StalledConnectionsCannotStarveFreshClients) {
+  // The slow-loris acceptance test: every worker is pinned by a peer that
+  // sent half a frame and went quiet. With an idle deadline the workers
+  // free themselves and a fresh client is served within the budget.
+  Server::Options opts;
+  opts.endpoint.port = 0;
+  opts.num_threads = 2;
+  opts.idle_timeout_ms = 300;
+  Server server(std::move(opts));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  std::vector<Fd> stalled;
+  for (std::size_t i = 0; i < 2; ++i) {  // one per worker
+    Fd fd = connect_to(server.endpoint(), &error);
+    ASSERT_TRUE(fd.valid()) << error;
+    ASSERT_TRUE(write_all(fd.get(), R"({"v":1,"op":"sta)"));  // no newline
+    stalled.push_back(std::move(fd));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const auto start = std::chrono::steady_clock::now();
+  auto fresh = Client::connect(server.endpoint(), &error);
+  ASSERT_TRUE(fresh.has_value()) << error;
+  StatsResponse stats;
+  ASSERT_TRUE(expect_response(fresh->call(Request{StatsRequest{}}, &error),
+                              &stats, &error))
+      << error;
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  // Served as soon as a stalled peer hit its deadline, well before any
+  // blocking-forever failure mode (the test itself would hang).
+  EXPECT_LT(waited.count(), 5000);
+
+  const auto j = Json::parse(stats.stats);
+  ASSERT_TRUE(j.has_value());
+  ASSERT_NE(j->find("idle_timeouts"), nullptr);
+  EXPECT_GE(j->find("idle_timeouts")->as_int(), 1);
+  server.stop();
+}
+
+TEST(ServerUnixSocketTest, StaleSocketFileIsReclaimedOnStart) {
+  // A killed daemon leaves its socket file behind; a restart must detect
+  // that nothing answers on it and rebind instead of failing.
+  const std::string path = ::testing::TempDir() + "svc_stale.sock";
+  ::unlink(path.c_str());
+  {
+    Endpoint ep;
+    ep.kind = Endpoint::Kind::kUnix;
+    ep.path = path;
+    std::string error;
+    Fd listener = listen_on(ep, &error);
+    ASSERT_TRUE(listener.valid()) << error;
+  }  // closed WITHOUT unlink: the file stays, dead
+
+  Server::Options opts;
+  opts.endpoint.kind = Endpoint::Kind::kUnix;
+  opts.endpoint.path = path;
+  Server server(std::move(opts));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  auto c = Client::connect(server.endpoint(), &error);
+  ASSERT_TRUE(c.has_value()) << error;
+  StatsResponse stats;
+  ASSERT_TRUE(expect_response(c->call(Request{StatsRequest{}}, &error), &stats,
+                              &error))
+      << error;
+  server.stop();
+}
+
+TEST(ServerUnixSocketTest, LiveSocketIsNeverClobbered) {
+  const std::string path = ::testing::TempDir() + "svc_live.sock";
+  ::unlink(path.c_str());
+  Server::Options opts;
+  opts.endpoint.kind = Endpoint::Kind::kUnix;
+  opts.endpoint.path = path;
+  Server first(std::move(opts));
+  std::string error;
+  ASSERT_TRUE(first.start(&error)) << error;
+
+  Server::Options opts2;
+  opts2.endpoint.kind = Endpoint::Kind::kUnix;
+  opts2.endpoint.path = path;
+  Server second(std::move(opts2));
+  EXPECT_FALSE(second.start(&error));
+  EXPECT_NE(error.find("live server"), std::string::npos) << error;
+
+  // The first server is unharmed.
+  auto c = Client::connect(first.endpoint(), &error);
+  ASSERT_TRUE(c.has_value()) << error;
+  StatsResponse stats;
+  ASSERT_TRUE(expect_response(c->call(Request{StatsRequest{}}, &error), &stats,
+                              &error))
+      << error;
+  first.stop();
 }
 
 TEST(ServerUnixSocketTest, ServesOverUnixDomainSocket) {

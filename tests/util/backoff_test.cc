@@ -1,0 +1,42 @@
+#include "util/backoff.h"
+
+#include <gtest/gtest.h>
+
+namespace netd::util {
+namespace {
+
+TEST(BackoffTest, GrowsExponentiallyAndCaps) {
+  Rng rng(1);
+  int prev_hi = 0;
+  for (int attempt = 1; attempt <= 20; ++attempt) {
+    const int ms = backoff_ms(attempt, 10, 1000, rng);
+    // Jitter keeps each draw in [ceil(cap/2), cap] of the capped value.
+    const int cap = std::min(1000, 10 << (attempt - 1 > 10 ? 10 : attempt - 1));
+    EXPECT_GE(ms, cap / 2) << attempt;
+    EXPECT_LE(ms, cap) << attempt;
+    prev_hi = cap;
+  }
+  EXPECT_EQ(prev_hi, 1000);  // the schedule saturated at the cap
+}
+
+TEST(BackoffTest, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  bool all_equal_c = true;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const int x = backoff_ms(attempt, 10, 1000, a);
+    const int y = backoff_ms(attempt, 10, 1000, b);
+    EXPECT_EQ(x, y);
+    all_equal_c = all_equal_c && x == backoff_ms(attempt, 10, 1000, c);
+  }
+  EXPECT_FALSE(all_equal_c);  // a different seed draws a different schedule
+}
+
+TEST(BackoffTest, DegenerateInputsAreClamped) {
+  Rng rng(1);
+  EXPECT_GE(backoff_ms(0, 10, 1000, rng), 5);   // attempt clamped to 1
+  EXPECT_GE(backoff_ms(3, 0, 1000, rng), 1);    // base clamped to 1
+  EXPECT_LE(backoff_ms(30, 10, 50, rng), 50);   // no overflow past the cap
+}
+
+}  // namespace
+}  // namespace netd::util
