@@ -9,10 +9,14 @@
 //   netdiag serve     run the diagnosis service daemon (svc wire protocol)
 //   netdiag submit    send one protocol request to a running daemon
 //   netdiag replay    re-run a recorded event trace, verifying diagnoses
+//   netdiag requarantine  replay watchdog-quarantined trials from a
+//                     campaign checkpoint and recover their results
 //
 // Run `netdiag <command> --help` for the flags of each command.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 
 #include "core/algorithms.h"
@@ -20,6 +24,7 @@
 #include "core/json_export.h"
 #include "core/report.h"
 #include "core/troubleshooter.h"
+#include "exp/checkpoint.h"
 #include "exp/runner.h"
 #include "lg/looking_glass.h"
 #include "probe/prober.h"
@@ -55,7 +60,9 @@ int usage() {
       "  serve     run the diagnosis service daemon\n"
       "  submit    send one protocol request to a daemon, print the reply\n"
       "  replay    re-run a recorded event trace (in process or through a\n"
-      "            socket) and verify the diagnoses match the recording\n";
+      "            socket) and verify the diagnoses match the recording\n"
+      "  requarantine  replay the trials a campaign's watchdog quarantined\n"
+      "            (from a --checkpoint file) and recover their results\n";
   return 2;
 }
 
@@ -160,7 +167,8 @@ int cmd_run(util::Flags& flags) {
   flags.allow({"topo-seed", "ases", "tier2", "stubs", "mode", "failures",
                "sensors", "placements", "trials", "placement", "blocked",
                "lg", "operator", "seed", "algos", "threads", "record",
-               "threshold", "help"});
+               "threshold", "checkpoint", "resume", "trial-deadline-ms",
+               "csv", "max-placements", "help"});
   if (!flags.ok() || flags.get_bool("help")) {
     std::cerr
         << "netdiag run [--mode links|misconfig|misconfig-link|router]\n"
@@ -173,7 +181,21 @@ int cmd_run(util::Flags& flags) {
            "                            are identical for every value)\n"
            "            [--record FILE [--threshold K]]  write the episodes\n"
            "                            as a svc event trace instead of\n"
-           "                            scoring them\n";
+           "                            scoring them\n"
+           "crash-safe campaigns:\n"
+           "            [--checkpoint FILE]  persist completed placements\n"
+           "                            atomically; a killed run restarted\n"
+           "                            with --resume continues where it\n"
+           "                            stopped and produces byte-identical\n"
+           "                            results\n"
+           "            [--resume]      load --checkpoint FILE if it exists\n"
+           "            [--trial-deadline-ms MS]  per-trial watchdog: a\n"
+           "                            trial over budget is quarantined\n"
+           "                            (see netdiag requarantine), never\n"
+           "                            aborts the campaign\n"
+           "            [--csv FILE]    write per-trial metrics as CSV\n"
+           "            [--max-placements N]  run at most N new placements\n"
+           "                            this invocation (chunked campaigns)\n";
     for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
     return flags.ok() ? 0 : 2;
   }
@@ -189,6 +211,8 @@ int cmd_run(util::Flags& flags) {
   cfg.operator_at_core = flags.get("operator", "core") != "stub";
   cfg.seed = static_cast<std::uint64_t>(flags.get_uint("seed", 42));
   cfg.num_threads = flags.get_uint("threads", 0);
+  cfg.trial_deadline_ms =
+      static_cast<std::uint64_t>(flags.get_uint("trial-deadline-ms", 0));
   if (flags.has("placement")) {
     const auto kind = parse_placement(flags.get("placement"));
     if (!kind) return 2;
@@ -217,16 +241,45 @@ int cmd_run(util::Flags& flags) {
             << cfg.num_placements << "x" << cfg.trials_per_placement
             << " blocked=" << cfg.frac_blocked << " lg=" << cfg.frac_lg
             << "\n";
+  exp::CampaignOptions copts;
+  copts.checkpoint_path = flags.get("checkpoint");
+  copts.resume = flags.get_bool("resume");
+  copts.max_new_placements = flags.get_uint("max-placements", 0);
+  const bool campaign = !copts.checkpoint_path.empty() || copts.resume ||
+                        flags.has("csv") || flags.has("max-placements") ||
+                        cfg.trial_deadline_ms > 0;
+  const auto print_campaign_summary = [](const exp::CampaignResult& res) {
+    std::cout << "campaign: " << res.completed_placements << "/"
+              << res.total_placements << " placements done ("
+              << res.resumed_placements << " resumed), " << res.episodes
+              << " episodes";
+    if (!res.quarantined.empty()) {
+      std::cout << ", " << res.quarantined.size()
+                << " quarantined trial(s) — replay with netdiag requarantine";
+    }
+    std::cout << "\n";
+  };
+
   exp::Runner runner(cfg);
   if (const std::string f = flags.get("record"); !f.empty()) {
+    svc::SessionConfig scfg;
+    scfg.alarm_threshold = flags.get_uint("threshold", 1);
+    std::string error;
+    if (campaign) {
+      const auto res = runner.record_campaign(f, scfg, copts, &error);
+      if (!res) {
+        std::cerr << "netdiag: " << error << "\n";
+        return 1;
+      }
+      std::cout << "wrote " << f << " (" << res->episodes << " episodes)\n";
+      print_campaign_summary(*res);
+      return 0;
+    }
     std::ofstream os(f);
     if (!os) {
       std::cerr << "netdiag: cannot write " << f << "\n";
       return 1;
     }
-    svc::SessionConfig scfg;
-    scfg.alarm_threshold = flags.get_uint("threshold", 1);
-    std::string error;
     const auto episodes = runner.record_trace(os, scfg, &error);
     if (!episodes) {
       std::cerr << "netdiag: " << error << "\n";
@@ -235,7 +288,30 @@ int cmd_run(util::Flags& flags) {
     std::cout << "wrote " << f << " (" << *episodes << " episodes)\n";
     return 0;
   }
-  const auto results = runner.run(*algos);
+
+  std::vector<exp::TrialResult> results;
+  if (campaign) {
+    std::string error;
+    const auto res = runner.run_campaign(*algos, copts, &error);
+    if (!res) {
+      std::cerr << "netdiag: " << error << "\n";
+      return 1;
+    }
+    print_campaign_summary(*res);
+    if (const std::string f = flags.get("csv"); !f.empty()) {
+      std::ofstream os(f);
+      if (!os) {
+        std::cerr << "netdiag: cannot write " << f << "\n";
+        return 1;
+      }
+      exp::write_csv(os, res->trials, *algos);
+      std::cout << "wrote " << f << " (" << res->trials.size() << " rows)\n";
+    }
+    results.reserve(res->trials.size());
+    for (const auto& st : res->trials) results.push_back(st.result);
+  } else {
+    results = runner.run(*algos);
+  }
   std::cout << results.size() << " diagnosable episodes\n\n";
   if (results.empty()) return 0;
 
@@ -450,7 +526,7 @@ int cmd_watch(util::Flags& flags) {
 int cmd_serve(util::Flags& flags) {
   flags.allow({"listen", "threads", "idle-timeout-ms", "max-pending",
                "max-sessions", "drain-timeout-ms", "retry-after-ms",
-               "chaos-seed", "help"});
+               "chaos-seed", "campaign-checkpoint", "help"});
   if (!flags.ok() || flags.get_bool("help")) {
     std::cerr << "netdiag serve [--listen unix:PATH|HOST:PORT|:PORT]"
                  " [--threads N]\n"
@@ -458,10 +534,13 @@ int cmd_serve(util::Flags& flags) {
                  " [--max-sessions N]\n"
                  "              [--drain-timeout-ms MS] [--retry-after-ms MS]"
                  " [--chaos-seed S]\n"
+                 "              [--campaign-checkpoint FILE]\n"
                  "runs until a client sends the shutdown op; --idle-timeout-ms 0"
                  " disables the\nper-connection frame deadline, --chaos-seed"
                  " arms seeded fault injection on\nevery response (testing"
-                 " only)\n";
+                 " only); --campaign-checkpoint surfaces a running\n"
+                 "campaign's progress (completed placements, quarantined"
+                 " trials) through the\nstats verb\n";
     for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
     return flags.ok() ? 0 : 2;
   }
@@ -483,6 +562,28 @@ int cmd_serve(util::Flags& flags) {
   if (flags.has("chaos-seed")) {
     opts.fault_plan = svc::FaultPlan::chaos(
         static_cast<std::uint64_t>(flags.get_uint("chaos-seed", 1)));
+  }
+  if (const std::string f = flags.get("campaign-checkpoint"); !f.empty()) {
+    // The checkpoint is replaced atomically by the campaign process
+    // (rename(2)), so reading it on every stats request always sees one
+    // complete version — no coordination needed.
+    opts.campaign_stats = [f]() {
+      svc::Json j = svc::Json::object();
+      std::string cerror;
+      const auto ck = exp::Checkpoint::load(f, &cerror);
+      if (!ck) {
+        j.set("error", svc::Json::string(cerror));
+        return j;
+      }
+      j.set("completed_placements",
+            svc::Json::uinteger(ck->completed_placements));
+      j.set("total_placements",
+            svc::Json::uinteger(ck->scenario.num_placements));
+      j.set("episodes", svc::Json::uinteger(ck->episodes));
+      j.set("quarantined", svc::Json::uinteger(ck->quarantined.size()));
+      j.set("recording", svc::Json::boolean(ck->recording));
+      return j;
+    };
   }
   svc::Server server(std::move(opts));
   if (!server.start(&error)) {
@@ -640,6 +741,88 @@ int cmd_replay(util::Flags& flags) {
   return 0;
 }
 
+int cmd_requarantine(util::Flags& flags) {
+  flags.allow({"checkpoint", "algos", "csv", "help"});
+  if (!flags.ok() || flags.get_bool("help") || !flags.has("checkpoint")) {
+    std::cerr
+        << "netdiag requarantine --checkpoint FILE [--algos LIST] [--csv "
+           "FILE]\n"
+           "replays every placement holding a watchdog-quarantined trial —\n"
+           "serially, watchdog off, from the placement's pre-forked RNG\n"
+           "stream, so the draws match the original campaign — and recovers\n"
+           "the quarantined trials' per-trial metrics\n";
+    for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
+    return flags.ok() && flags.get_bool("help") ? 0 : 2;
+  }
+  const std::string path = flags.get("checkpoint");
+  std::string error;
+  auto ck = exp::Checkpoint::load(path, &error);
+  if (!ck) {
+    std::cerr << "netdiag: " << error << "\n";
+    return 1;
+  }
+  if (ck->quarantined.empty()) {
+    std::cout << "no quarantined trials in " << path << "\n";
+    return 0;
+  }
+
+  std::vector<exp::Algo> algos = ck->algos;
+  if (flags.has("algos")) {
+    const auto parsed = parse_algos(flags.get("algos"));
+    if (!parsed) return 2;
+    algos = *parsed;
+  }
+  if (algos.empty()) algos = {exp::Algo::kNdBgpIgp};
+
+  // RNG parity: Looking Glasses consume per-AS draws during placement
+  // setup, so the replay must deploy them exactly when the original
+  // campaign did — never because the requested algos changed.
+  const auto has_lg = [](const std::vector<exp::Algo>& v) {
+    return std::find(v.begin(), v.end(), exp::Algo::kNdLg) != v.end();
+  };
+  const bool deploy_lg = ck->recording ? ck->scenario.frac_blocked > 0.0
+                                       : has_lg(ck->algos);
+  if (!deploy_lg && has_lg(algos)) {
+    std::cerr << "netdiag: the original campaign deployed no Looking "
+                 "Glasses; nd-lg cannot be scored on replay\n";
+    return 2;
+  }
+
+  exp::ScenarioConfig cfg = ck->scenario;
+  cfg.num_threads = 1;
+  exp::Runner runner(cfg);
+  std::set<std::size_t> placements;
+  for (const auto& q : ck->quarantined) placements.insert(q.placement);
+  std::vector<exp::ScoredTrial> recovered;
+  for (std::size_t pl : placements) {
+    for (const auto& st : runner.replay_placement(pl, algos, deploy_lg)) {
+      for (const auto& q : ck->quarantined) {
+        if (q.placement == st.placement && q.trial == st.trial) {
+          recovered.push_back(st);
+          break;
+        }
+      }
+    }
+  }
+  std::cout << "replayed " << placements.size() << " placement(s), recovered "
+            << recovered.size() << " of " << ck->quarantined.size()
+            << " quarantined trial(s)\n";
+  for (const auto& st : recovered) {
+    std::cout << "  placement " << st.placement << " trial " << st.trial
+              << ": diagnosability " << st.result.diagnosability << "\n";
+  }
+  if (const std::string f = flags.get("csv"); !f.empty()) {
+    std::ofstream os(f);
+    if (!os) {
+      std::cerr << "netdiag: cannot write " << f << "\n";
+      return 1;
+    }
+    exp::write_csv(os, recovered, algos);
+    std::cout << "wrote " << f << " (" << recovered.size() << " rows)\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -653,5 +836,6 @@ int main(int argc, char** argv) {
   if (cmd == "serve") return cmd_serve(flags);
   if (cmd == "submit") return cmd_submit(flags);
   if (cmd == "replay") return cmd_replay(flags);
+  if (cmd == "requarantine") return cmd_requarantine(flags);
   return usage();
 }

@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <fstream>
 #include <map>
+#include <mutex>
 #include <optional>
 
 #include "core/diagnosability.h"
+#include "exp/checkpoint.h"
 #include "lg/looking_glass.h"
 #include "svc/trace.h"
+#include "util/atomic_file.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -29,6 +34,14 @@ const char* to_string(Algo a) {
     case Algo::kNdLg: return "ND-LG";
   }
   return "?";
+}
+
+std::optional<Algo> algo_from_string(std::string_view s) {
+  if (s == "Tomo") return Algo::kTomo;
+  if (s == "ND-edge") return Algo::kNdEdge;
+  if (s == "ND-bgpigp") return Algo::kNdBgpIgp;
+  if (s == "ND-LG") return Algo::kNdLg;
+  return std::nullopt;
 }
 
 std::string link_key(const topo::Topology& topo, LinkId l) {
@@ -212,16 +225,27 @@ Runner::Runner(topo::Topology topology, const ScenarioConfig& cfg)
 
 namespace {
 
+std::uint64_t steady_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 /// Runs the §4 protocol for one placement on `net` (which must be at the
-/// converged base state captured in `base`), invoking `sink` once per
-/// diagnosable episode. Leaves `net` restored to `base`. All randomness
-/// comes from `seed` — the placement's pre-forked stream — so the outcome
-/// is independent of which thread or network clone executes it.
-/// `lg_table` is non-null iff the scenario deploys Looking Glasses.
-void run_placement(const ScenarioConfig& cfg, sim::Network& net,
-                   const sim::Network::Snapshot& base, std::uint64_t seed,
-                   const lg::LgTable* lg_table,
-                   const std::function<void(const EpisodeContext&)>& sink) {
+/// converged base state captured in `base`), invoking `sink(trial,
+/// episode)` once per diagnosable episode. Leaves `net` restored to
+/// `base`. All randomness comes from `seed` — the placement's pre-forked
+/// stream — so the outcome is independent of which thread or network
+/// clone executes it. `lg_table` is non-null iff the scenario deploys
+/// Looking Glasses. Returns the trial indices the per-trial watchdog
+/// (cfg.trial_deadline_ms) abandoned; always empty with the watchdog off.
+std::vector<std::size_t> run_placement(
+    const ScenarioConfig& cfg, sim::Network& net,
+    const sim::Network::Snapshot& base, std::uint64_t seed,
+    const lg::LgTable* lg_table,
+    const std::function<void(std::size_t, const EpisodeContext&)>& sink) {
+  std::vector<std::size_t> quarantined;
   const auto& topo = net.topology();
   util::Rng rng(seed);
   const std::vector<Sensor> sensors =
@@ -285,12 +309,25 @@ void run_placement(const ScenarioConfig& cfg, sim::Network& net,
   const std::vector<PrefixMisconfig> pmcs =
       prefix_misconfig_candidates(topo, gmesh);
   const std::vector<RouterId> router_pool = router_candidates(gmesh, sensors);
-  if (pool.size() < cfg.num_link_failures) return;
+  if (pool.size() < cfg.num_link_failures) return quarantined;
 
   const double diag = core::diagnosability(
       core::build_diagnosis_graph(before, before, /*logical_links=*/false));
 
+  // Watchdog clock: cooperative deadline checks sit between attempts and
+  // after the expensive T+ mesh measurement — the two places a trial
+  // spends its time.
+  const auto now_ms = [&cfg]() {
+    return cfg.now_ms ? cfg.now_ms() : steady_now_ms();
+  };
+
   for (std::size_t trial = 0; trial < cfg.trials_per_placement; ++trial) {
+    const std::uint64_t trial_start = cfg.trial_deadline_ms > 0 ? now_ms() : 0;
+    const auto deadline_expired = [&]() {
+      return cfg.trial_deadline_ms > 0 &&
+             now_ms() - trial_start >= cfg.trial_deadline_ms;
+    };
+    bool quarantine = false;
     // Draw failures until the event breaks some path (the paper's
     // troubleshooter is only invoked on unreachability).
     bool invoked = false;
@@ -301,6 +338,10 @@ void run_placement(const ScenarioConfig& cfg, sim::Network& net,
     Mesh after;
     for (std::size_t attempt = 0;
          attempt < cfg.max_attempts_per_trial && !invoked; ++attempt) {
+      if (deadline_expired()) {  // net is at `base` here
+        quarantine = true;
+        break;
+      }
       failed_links.clear();
       failed_router = RouterId{};
       mc.reset();
@@ -355,9 +396,21 @@ void run_placement(const ScenarioConfig& cfg, sim::Network& net,
       }
       if (invoked) {
         after = prober.measure();
+        if (deadline_expired()) {
+          // Abandon the whole trial, not just the attempt: a half-scored
+          // episode is worse than a quarantined one.
+          net.restore(base);
+          net.set_operator_as(op_as);
+          quarantine = true;
+          break;
+        }
       } else {
         net.restore(base);
       }
+    }
+    if (quarantine) {
+      quarantined.push_back(trial);
+      continue;
     }
     if (!invoked) continue;  // this trial never caused unreachability
 
@@ -400,10 +453,11 @@ void run_placement(const ScenarioConfig& cfg, sim::Network& net,
                        f_ases,
                        universe,
                        diag};
-    sink(ctx);
+    sink(trial, ctx);
     net.restore(base);
     net.set_operator_as(op_as);
   }
+  return quarantined;
 }
 
 /// Scores one episode for run(): runs every requested algorithm and
@@ -477,7 +531,9 @@ std::size_t Runner::effective_threads() const {
 
 void Runner::map_episodes(
     bool need_lg,
-    const std::function<void(std::size_t, const EpisodeContext&)>& sink) {
+    const std::function<void(std::size_t, std::size_t, const EpisodeContext&)>&
+        sink,
+    const MapHooks* hooks) {
   // The LG answer table is a function of the shared base state; build it
   // once and let every placement's service filter it.
   std::optional<lg::LgTable> lg_table;
@@ -485,18 +541,34 @@ void Runner::map_episodes(
   const lg::LgTable* table = lg_table ? &*lg_table : nullptr;
 
   // Pre-fork one seed per placement, in placement order — the same
-  // sequence the serial loop consumes, so sharding cannot change any
-  // placement's draws.
+  // sequence the serial loop consumes, so sharding (or skipping resumed
+  // placements) cannot change any placement's draws.
   util::Rng root(cfg_.seed);
   std::vector<std::uint64_t> seeds(cfg_.num_placements);
   for (auto& s : seeds) s = root.fork();
+
+  const auto should_run = [&](std::size_t pl) {
+    return hooks == nullptr || hooks->run_only == nullptr ||
+           hooks->run_only->count(pl) != 0;
+  };
+  const auto run_one = [&](sim::Network& net,
+                           const sim::Network::Snapshot& base,
+                           std::size_t pl) {
+    auto quarantined =
+        run_placement(cfg_, net, base, seeds[pl], table,
+                      [&](std::size_t trial, const EpisodeContext& ep) {
+                        sink(pl, trial, ep);
+                      });
+    if (hooks != nullptr && hooks->on_placement_done) {
+      hooks->on_placement_done(pl, seeds[pl], std::move(quarantined));
+    }
+  };
 
   const std::size_t threads = effective_threads();
   if (threads <= 1) {
     const sim::Network::Snapshot base = net_.snapshot();
     for (std::size_t pl = 0; pl < cfg_.num_placements; ++pl) {
-      run_placement(cfg_, net_, base, seeds[pl], table,
-                    [&](const EpisodeContext& ep) { sink(pl, ep); });
+      if (should_run(pl)) run_one(net_, base, pl);
     }
     return;
   }
@@ -510,13 +582,15 @@ void Runner::map_episodes(
     const std::size_t begin = w * cfg_.num_placements / threads;
     const std::size_t end = (w + 1) * cfg_.num_placements / threads;
     if (begin == end) continue;
-    pool.submit([this, begin, end, table, &seeds, &sink] {
+    bool any = false;
+    for (std::size_t pl = begin; pl < end && !any; ++pl) any = should_run(pl);
+    if (!any) continue;
+    pool.submit([this, begin, end, &should_run, &run_one] {
       sim::Network net(net_.topology());
       net.converge();
       const sim::Network::Snapshot base = net.snapshot();
       for (std::size_t pl = begin; pl < end; ++pl) {
-        run_placement(cfg_, net, base, seeds[pl], table,
-                      [&](const EpisodeContext& ep) { sink(pl, ep); });
+        if (should_run(pl)) run_one(net, base, pl);
       }
     });
   }
@@ -527,8 +601,8 @@ void Runner::for_each_episode(
     const std::function<void(const EpisodeContext&)>& fn, bool deploy_lg) {
   const bool need_lg = deploy_lg || cfg_.frac_blocked > 0.0;
   if (effective_threads() <= 1) {
-    map_episodes(need_lg,
-                 [&](std::size_t, const EpisodeContext& ep) { fn(ep); });
+    map_episodes(need_lg, [&](std::size_t, std::size_t,
+                              const EpisodeContext& ep) { fn(ep); });
     return;
   }
 
@@ -536,7 +610,8 @@ void Runner::for_each_episode(
   // callbacks replay here in placement order, so `fn` never needs to be
   // thread-safe and observes the same sequence as a serial run.
   std::vector<PlacementData> data(cfg_.num_placements);
-  map_episodes(need_lg, [&](std::size_t pl, const EpisodeContext& ep) {
+  map_episodes(need_lg, [&](std::size_t pl, std::size_t,
+                            const EpisodeContext& ep) {
     PlacementData& d = data[pl];
     if (d.episodes.empty()) {
       d.before = ep.before;
@@ -593,14 +668,331 @@ std::vector<TrialResult> Runner::run(const std::vector<Algo>& algos) {
   // concatenating in placement order makes the output independent of
   // scheduling.
   std::vector<std::vector<TrialResult>> buckets(cfg_.num_placements);
-  map_episodes(need_lg, [&](std::size_t pl, const EpisodeContext& ep) {
-    buckets[pl].push_back(score_episode(ep, algos, cfg_.mode));
-  });
+  map_episodes(need_lg,
+               [&](std::size_t pl, std::size_t, const EpisodeContext& ep) {
+                 buckets[pl].push_back(score_episode(ep, algos, cfg_.mode));
+               });
   std::vector<TrialResult> results;
   for (auto& bucket : buckets) {
     for (TrialResult& tr : bucket) results.push_back(std::move(tr));
   }
   return results;
+}
+
+namespace {
+
+/// Loads `opts.checkpoint_path` when resuming (a missing file is a fresh
+/// start, not an error), verifies it belongs to this campaign, and
+/// otherwise returns `fresh`. std::nullopt (with `error`) on I/O failure
+/// or a fingerprint mismatch.
+std::optional<Checkpoint> open_campaign(const Checkpoint& fresh,
+                                        const CampaignOptions& opts,
+                                        std::string* error) {
+  if (opts.resume && !opts.checkpoint_path.empty() &&
+      util::file_size(opts.checkpoint_path).has_value()) {
+    auto loaded = Checkpoint::load(opts.checkpoint_path, error);
+    if (!loaded) return std::nullopt;
+    if (loaded->fingerprint() != fresh.fingerprint()) {
+      if (error != nullptr) {
+        *error = opts.checkpoint_path +
+                 ": checkpoint belongs to a different campaign "
+                 "(scenario / algos / recording mode mismatch)";
+      }
+      return std::nullopt;
+    }
+    return loaded;
+  }
+  return fresh;
+}
+
+/// The contiguous block of not-yet-completed placements this invocation
+/// runs (all of them unless opts.max_new_placements caps the chunk — a
+/// contiguous chunk, so the committed prefix never gets a hole).
+std::set<std::size_t> placements_to_run(std::size_t completed,
+                                        std::size_t total,
+                                        const CampaignOptions& opts) {
+  std::set<std::size_t> out;
+  std::size_t budget = opts.max_new_placements == 0 ? total
+                                                    : opts.max_new_placements;
+  for (std::size_t pl = completed; pl < total && budget > 0; ++pl, --budget) {
+    out.insert(pl);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<CampaignResult> Runner::run_campaign(
+    const std::vector<Algo>& algos, const CampaignOptions& opts,
+    std::string* error) {
+  const bool need_lg =
+      std::find(algos.begin(), algos.end(), Algo::kNdLg) != algos.end();
+  Checkpoint fresh;
+  fresh.scenario = cfg_;
+  fresh.algos = algos;
+  auto opened = open_campaign(fresh, opts, error);
+  if (!opened) return std::nullopt;
+  Checkpoint ck = std::move(*opened);
+  const std::size_t num_placements = cfg_.num_placements;
+  const std::size_t resumed = ck.completed_placements;
+  const std::set<std::size_t> run_only =
+      placements_to_run(resumed, num_placements, opts);
+  // Persist the starting state up front so a kill before the first
+  // placement commit still leaves a loadable checkpoint behind.
+  if (!opts.checkpoint_path.empty() && !ck.save(opts.checkpoint_path, error)) {
+    return std::nullopt;
+  }
+
+  // Workers finish placements out of order; only the contiguous done-
+  // prefix is appended to the checkpoint and persisted, so the file never
+  // claims a placement whose predecessors are still in flight.
+  std::mutex mu;
+  std::vector<std::vector<ScoredTrial>> pending(num_placements);
+  std::vector<std::vector<std::size_t>> pending_q(num_placements);
+  std::vector<std::uint64_t> pending_seed(num_placements, 0);
+  std::vector<bool> done(num_placements, false);
+  for (std::size_t pl = 0; pl < resumed; ++pl) done[pl] = true;
+  std::string commit_error;
+
+  MapHooks hooks;
+  hooks.run_only = &run_only;
+  hooks.on_placement_done = [&](std::size_t pl, std::uint64_t seed,
+                                std::vector<std::size_t> quarantined) {
+    std::lock_guard<std::mutex> lock(mu);
+    pending_seed[pl] = seed;
+    pending_q[pl] = std::move(quarantined);
+    done[pl] = true;
+    bool advanced = false;
+    while (ck.completed_placements < num_placements &&
+           done[ck.completed_placements]) {
+      const std::size_t p = ck.completed_placements;
+      ck.results.push_back(std::move(pending[p]));
+      ck.episodes += ck.results.back().size();
+      for (std::size_t t : pending_q[p]) {
+        ck.quarantined.push_back(QuarantinedTrial{p, t, pending_seed[p]});
+      }
+      ++ck.completed_placements;
+      advanced = true;
+    }
+    if (advanced && !opts.checkpoint_path.empty() && commit_error.empty()) {
+      std::string e;
+      if (!ck.save(opts.checkpoint_path, &e)) commit_error = e;
+    }
+  };
+
+  map_episodes(
+      need_lg,
+      [&](std::size_t pl, std::size_t trial, const EpisodeContext& ep) {
+        pending[pl].push_back(
+            ScoredTrial{pl, trial, score_episode(ep, algos, cfg_.mode)});
+      },
+      &hooks);
+
+  if (!commit_error.empty()) {
+    if (error != nullptr) *error = commit_error;
+    return std::nullopt;
+  }
+  CampaignResult res;
+  res.total_placements = num_placements;
+  res.completed_placements = ck.completed_placements;
+  res.resumed_placements = resumed;
+  res.episodes = ck.episodes;
+  res.quarantined = ck.quarantined;
+  for (const auto& bucket : ck.results) {
+    for (const auto& st : bucket) res.trials.push_back(st);
+  }
+  return res;
+}
+
+std::optional<CampaignResult> Runner::record_campaign(
+    const std::string& trace_path, const svc::SessionConfig& config,
+    const CampaignOptions& opts, std::string* error) {
+  const auto resolved = config.resolve(error);
+  if (!resolved) return std::nullopt;
+  // Matches record_trace() / for_each_episode(): Looking Glasses are
+  // deployed iff traceroute blocking is on.
+  const bool need_lg = cfg_.frac_blocked > 0.0;
+
+  Checkpoint fresh;
+  fresh.scenario = cfg_;
+  fresh.recording = true;
+  fresh.record_config = config;
+  auto opened = open_campaign(fresh, opts, error);
+  if (!opened) return std::nullopt;
+  Checkpoint ck = std::move(*opened);
+  const std::size_t num_placements = cfg_.num_placements;
+  const std::size_t resumed = ck.completed_placements;
+  const std::set<std::size_t> run_only =
+      placements_to_run(resumed, num_placements, opts);
+
+  // Trace file: resume truncates back to the committed byte offset —
+  // dropping any partial trailing line a crash left — and appends; a
+  // fresh campaign truncates the whole file and re-emits the config line.
+  bool emit_config = true;
+  std::ios_base::openmode mode = std::ios_base::trunc;
+  if (ck.trace_bytes > 0) {
+    const auto size = util::file_size(trace_path);
+    if (!size || *size < ck.trace_bytes) {
+      if (error != nullptr) {
+        *error = trace_path + ": shorter than the checkpoint's committed "
+                 "offset — wrong or lost trace file";
+      }
+      return std::nullopt;
+    }
+    if (!util::truncate_file(trace_path, ck.trace_bytes, error)) {
+      return std::nullopt;
+    }
+    // The committed offset is a line boundary by construction; refuse a
+    // file that disagrees (wrong file, manual edits).
+    std::ifstream in(trace_path, std::ios_base::binary);
+    in.seekg(static_cast<std::streamoff>(ck.trace_bytes - 1));
+    char c = 0;
+    if (!in.get(c) || c != '\n') {
+      if (error != nullptr) {
+        *error = trace_path + ": committed offset is not a line boundary";
+      }
+      return std::nullopt;
+    }
+    emit_config = false;
+    mode = std::ios_base::app;
+  }
+  std::ofstream os(trace_path, std::ios_base::out | mode);
+  if (!os) {
+    if (error != nullptr) *error = "cannot open " + trace_path;
+    return std::nullopt;
+  }
+  if (!opts.checkpoint_path.empty() && !ck.save(opts.checkpoint_path, error)) {
+    return std::nullopt;
+  }
+
+  svc::TraceRecorder recorder(os, config, emit_config);
+  core::Troubleshooter ts(*resolved);
+
+  // Same prefix-commit protocol as run_campaign, except a committed
+  // placement's episodes are *replayed into the trace* (in placement
+  // order, by whichever worker extended the prefix) before the checkpoint
+  // referencing their bytes is written. Troubleshooter::set_baseline
+  // resets the detector, so episodes are independent and a recorder
+  // restarted mid-campaign emits identical bytes.
+  std::mutex mu;
+  std::vector<PlacementData> data(num_placements);
+  std::vector<std::vector<std::size_t>> pending_q(num_placements);
+  std::vector<std::uint64_t> pending_seed(num_placements, 0);
+  std::vector<bool> done(num_placements, false);
+  for (std::size_t pl = 0; pl < resumed; ++pl) done[pl] = true;
+  std::string commit_error;
+
+  MapHooks hooks;
+  hooks.run_only = &run_only;
+  hooks.on_placement_done = [&](std::size_t pl, std::uint64_t seed,
+                                std::vector<std::size_t> quarantined) {
+    std::lock_guard<std::mutex> lock(mu);
+    pending_seed[pl] = seed;
+    pending_q[pl] = std::move(quarantined);
+    done[pl] = true;
+    bool advanced = false;
+    while (ck.completed_placements < num_placements &&
+           done[ck.completed_placements]) {
+      const std::size_t p = ck.completed_placements;
+      PlacementData& d = data[p];
+      for (const EpisodeData& e : d.episodes) {
+        ts.set_baseline(d.before);
+        recorder.baseline(d.before);
+        for (std::size_t r = 0; r < config.alarm_threshold; ++r) {
+          recorder.round(e.after, &e.cp);
+          const auto out = ts.observe(e.after, &e.cp);
+          if (out.has_value()) recorder.diagnosis(*out);
+        }
+        ++ck.episodes;
+      }
+      d.episodes.clear();
+      d.episodes.shrink_to_fit();  // committed — free the bulk of the data
+      for (std::size_t t : pending_q[p]) {
+        ck.quarantined.push_back(QuarantinedTrial{p, t, pending_seed[p]});
+      }
+      ++ck.completed_placements;
+      advanced = true;
+    }
+    if (!advanced || !commit_error.empty()) return;
+    // Durability order: trace bytes hit disk before the checkpoint that
+    // references their length is committed.
+    os.flush();
+    if (!os) {
+      commit_error = "write error on " + trace_path;
+      return;
+    }
+    std::string e;
+    if (!util::fsync_file(trace_path, &e)) {
+      commit_error = e;
+      return;
+    }
+    const auto size = util::file_size(trace_path);
+    if (!size) {
+      commit_error = "stat failed on " + trace_path;
+      return;
+    }
+    ck.trace_bytes = *size;
+    if (!opts.checkpoint_path.empty() && !ck.save(opts.checkpoint_path, &e)) {
+      commit_error = e;
+    }
+  };
+
+  map_episodes(
+      need_lg,
+      [&](std::size_t pl, std::size_t, const EpisodeContext& ep) {
+        PlacementData& d = data[pl];
+        if (d.episodes.empty()) {
+          d.before = ep.before;
+          if (ep.lg != nullptr) d.lg_svc.emplace(*ep.lg);
+          d.op_as = ep.operator_as;
+          d.diag = ep.diagnosability;
+        }
+        d.episodes.push_back(EpisodeData{ep.after, ep.cp, ep.failed_links,
+                                         ep.failed_ases, ep.universe});
+      },
+      &hooks);
+
+  if (!commit_error.empty()) {
+    if (error != nullptr) *error = commit_error;
+    return std::nullopt;
+  }
+  os.flush();
+  if (!os) {
+    if (error != nullptr) *error = "write error on " + trace_path;
+    return std::nullopt;
+  }
+  CampaignResult res;
+  res.total_placements = num_placements;
+  res.completed_placements = ck.completed_placements;
+  res.resumed_placements = resumed;
+  res.episodes = ck.episodes;
+  res.quarantined = ck.quarantined;
+  return res;
+}
+
+std::vector<ScoredTrial> Runner::replay_placement(std::size_t placement,
+                                                  const std::vector<Algo>& algos,
+                                                  bool deploy_lg) {
+  std::vector<ScoredTrial> out;
+  if (placement >= cfg_.num_placements) return out;
+  ScenarioConfig cfg = cfg_;
+  cfg.trial_deadline_ms = 0;  // the replay runs to completion, no watchdog
+
+  std::optional<lg::LgTable> lg_table;
+  if (deploy_lg) lg_table.emplace(net_);
+  const lg::LgTable* table = lg_table ? &*lg_table : nullptr;
+
+  util::Rng root(cfg_.seed);
+  std::vector<std::uint64_t> seeds(cfg_.num_placements);
+  for (auto& s : seeds) s = root.fork();
+
+  const sim::Network::Snapshot base = net_.snapshot();
+  run_placement(cfg, net_, base, seeds[placement], table,
+                [&](std::size_t trial, const EpisodeContext& ep) {
+                  out.push_back(ScoredTrial{
+                      placement, trial, score_episode(ep, algos, cfg.mode)});
+                });
+  return out;
 }
 
 }  // namespace netd::exp

@@ -6,11 +6,14 @@
 // algorithms.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/algorithms.h"
@@ -26,6 +29,8 @@ namespace netd::exp {
 enum class Algo { kTomo, kNdEdge, kNdBgpIgp, kNdLg };
 
 [[nodiscard]] const char* to_string(Algo a);
+/// Inverse of to_string(); std::nullopt for unknown names.
+[[nodiscard]] std::optional<Algo> algo_from_string(std::string_view s);
 
 enum class FailureMode {
   kLinks,             ///< `num_link_failures` random probed links fail
@@ -59,6 +64,20 @@ struct ScenarioConfig {
   /// placement draws from its own pre-forked RNG stream and runs on a
   /// private network clone, and episodes are merged in placement order.
   std::size_t num_threads = 0;
+  /// Per-trial watchdog: wall-clock budget for one failure episode, in
+  /// milliseconds; 0 (default) disables it. The deadline is checked
+  /// cooperatively between failure-sampling attempts and after the
+  /// expensive measurement steps; a trial that exceeds it is abandoned,
+  /// recorded in the campaign's quarantine list, and the campaign moves
+  /// on to the next trial. Note that abandoning a trial early changes the
+  /// RNG draws of *later trials in the same placement* relative to a
+  /// deadline-free run; other placements are unaffected (pre-forked
+  /// streams). Not part of the checkpoint fingerprint, so a quarantined
+  /// trial can be replayed later with the watchdog off.
+  std::uint64_t trial_deadline_ms = 0;
+  /// Watchdog clock override (monotonic milliseconds), used by tests to
+  /// force deterministic quarantines. Empty = std::chrono::steady_clock.
+  std::function<std::uint64_t()> now_ms;
 };
 
 struct TrialResult {
@@ -66,6 +85,55 @@ struct TrialResult {
   bool router_detected = false;  ///< kRouter mode: H hit ≥1 link of the router
   std::map<Algo, core::LinkMetrics> link;
   std::map<Algo, core::AsMetrics> as_level;
+};
+
+/// A TrialResult pinned to its protocol position. The campaign CSV and the
+/// checkpoint both carry (placement, trial) so interrupted-and-resumed
+/// runs are comparable row by row.
+struct ScoredTrial {
+  std::size_t placement = 0;
+  std::size_t trial = 0;  ///< trial index within the placement
+  TrialResult result;
+};
+
+/// One trial the watchdog abandoned: everything needed to replay it alone
+/// (the placement's pre-forked RNG stream reproduces the trial exactly).
+struct QuarantinedTrial {
+  std::size_t placement = 0;
+  std::size_t trial = 0;
+  std::uint64_t seed = 0;  ///< the placement's pre-forked RNG stream
+};
+
+/// Crash-safety knobs for run_campaign() / record_campaign().
+struct CampaignOptions {
+  /// Checkpoint file persisted atomically after every completed placement
+  /// (util::atomic_write_file); empty = run without persistence.
+  std::string checkpoint_path;
+  /// Load `checkpoint_path` if it exists and skip the placements it
+  /// already holds. A missing file is not an error (fresh start); a file
+  /// written by a different scenario/algos combination is.
+  bool resume = false;
+  /// Run at most this many not-yet-completed placements, then return with
+  /// the campaign partially done (0 = finish it). Lets tests and chunked
+  /// cron-style campaigns exercise the resume path without being killed.
+  std::size_t max_new_placements = 0;
+};
+
+struct CampaignResult {
+  /// Results of the committed placement prefix, in (placement, trial)
+  /// order — byte-stable across interruption/resume for a given scenario.
+  std::vector<ScoredTrial> trials;
+  /// Trials the watchdog abandoned (committed placements only), sorted by
+  /// (placement, trial).
+  std::vector<QuarantinedTrial> quarantined;
+  std::size_t total_placements = 0;
+  std::size_t completed_placements = 0;  ///< contiguous prefix done
+  std::size_t resumed_placements = 0;    ///< loaded from the checkpoint
+  std::size_t episodes = 0;  ///< diagnosable episodes scored or recorded
+
+  [[nodiscard]] bool complete() const {
+    return completed_placements == total_placements;
+  }
 };
 
 /// One diagnosable failure episode, as handed to for_each_episode():
@@ -94,6 +162,37 @@ class Runner {
   /// within the attempt budget are skipped (not reported).
   [[nodiscard]] std::vector<TrialResult> run(const std::vector<Algo>& algos);
 
+  /// Crash-safe variant of run(): persists completed-placement results to
+  /// `opts.checkpoint_path` (atomic write-temp-fsync-rename) after every
+  /// placement, resumes from it, and quarantines trials the per-trial
+  /// watchdog abandons instead of aborting. Because every placement draws
+  /// from its own pre-forked RNG stream, a campaign interrupted after any
+  /// placement and resumed yields byte-identical ScoredTrial sequences to
+  /// an uninterrupted run. std::nullopt (with `error`) on checkpoint I/O
+  /// or fingerprint-mismatch failures.
+  [[nodiscard]] std::optional<CampaignResult> run_campaign(
+      const std::vector<Algo>& algos, const CampaignOptions& opts,
+      std::string* error = nullptr);
+
+  /// Crash-safe variant of record_trace(): writes the event trace to
+  /// `trace_path` and checkpoints (trace byte offset + completed
+  /// placements) after every placement. On resume the trace file is
+  /// truncated back to the last committed offset — dropping any partial
+  /// trailing line the crash left — and appended from the next placement,
+  /// so the final file is byte-identical to an uninterrupted recording.
+  [[nodiscard]] std::optional<CampaignResult> record_campaign(
+      const std::string& trace_path, const svc::SessionConfig& config,
+      const CampaignOptions& opts, std::string* error = nullptr);
+
+  /// Re-runs a single placement serially with the watchdog off and scores
+  /// every diagnosable episode — the `netdiag requarantine` path: replay
+  /// the placement that quarantined a trial and recover its result.
+  /// `deploy_lg` must match the original campaign's Looking Glass
+  /// deployment (run_campaign: algos included ND-LG; record_campaign:
+  /// cfg.frac_blocked > 0) so the placement's RNG draws line up.
+  [[nodiscard]] std::vector<ScoredTrial> replay_placement(
+      std::size_t placement, const std::vector<Algo>& algos, bool deploy_lg);
+
   /// Low-level access to the evaluation protocol: invokes `fn` once per
   /// diagnosable episode (placements × trials, resampled exactly as in
   /// run()). Used by the ablation benchmarks to score custom algorithm
@@ -120,14 +219,29 @@ class Runner {
   [[nodiscard]] const sim::Network& network() const { return net_; }
 
  private:
-  /// Core of the protocol: invokes `sink(placement, episode)` for every
-  /// diagnosable episode. With more than one effective thread, sinks for
-  /// distinct placements run concurrently on pool workers (each placement
-  /// is owned by exactly one worker, on a private network clone); sinks
-  /// must only touch per-placement state. Serial mode calls sinks inline.
-  void map_episodes(
-      bool need_lg,
-      const std::function<void(std::size_t, const EpisodeContext&)>& sink);
+  /// Extra plumbing for the crash-safe campaign paths.
+  struct MapHooks {
+    /// Placements to execute; nullptr = all. Skipped placements still
+    /// consume their pre-forked seed, so skipping cannot perturb others.
+    const std::set<std::size_t>* run_only = nullptr;
+    /// Invoked (on the owning worker) after a placement's last episode,
+    /// with the placement's seed and the trial indices the watchdog
+    /// quarantined. Never invoked for skipped placements.
+    std::function<void(std::size_t pl, std::uint64_t seed,
+                       std::vector<std::size_t> quarantined)>
+        on_placement_done;
+  };
+
+  /// Core of the protocol: invokes `sink(placement, trial, episode)` for
+  /// every diagnosable episode. With more than one effective thread, sinks
+  /// for distinct placements run concurrently on pool workers (each
+  /// placement is owned by exactly one worker, on a private network
+  /// clone); sinks must only touch per-placement state. Serial mode calls
+  /// sinks inline.
+  void map_episodes(bool need_lg,
+                    const std::function<void(std::size_t, std::size_t,
+                                             const EpisodeContext&)>& sink,
+                    const MapHooks* hooks = nullptr);
   [[nodiscard]] std::size_t effective_threads() const;
 
   ScenarioConfig cfg_;

@@ -162,8 +162,6 @@ std::string Json::dump() const {
 
 namespace {
 
-constexpr std::size_t kMaxDepth = 96;
-
 class Parser {
  public:
   Parser(std::string_view text, std::string* error)
@@ -209,12 +207,16 @@ class Parser {
   }
 
   bool parse_value(Json& out, std::size_t depth) {
-    if (depth > kMaxDepth) {
-      fail("nesting too deep");
-      return false;
-    }
     if (eof()) {
       fail("unexpected end of input");
+      return false;
+    }
+    // `depth` is the number of enclosing containers; opening another
+    // array/object past kMaxParseDepth is rejected, so containers nest at
+    // most kMaxParseDepth levels. Scalars at the limit are fine — only
+    // containers recurse.
+    if (depth >= Json::kMaxParseDepth && (peek() == '[' || peek() == '{')) {
+      fail("nesting too deep");
       return false;
     }
     switch (peek()) {

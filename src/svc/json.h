@@ -31,6 +31,13 @@ class Json {
  public:
   enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
 
+  /// Maximum container nesting parse() accepts: arrays/objects may nest
+  /// at most this many levels; one deeper fails with a structured
+  /// "nesting too deep" error naming the byte offset — the bound that
+  /// keeps hostile input from exhausting the stack. Documents this
+  /// module itself writes stay far below it.
+  static constexpr std::size_t kMaxParseDepth = 96;
+
   Json() = default;  ///< null
 
   // Factories (constructors stay trivial so vectors of Json are cheap).

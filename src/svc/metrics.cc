@@ -20,6 +20,7 @@ Json ServiceMetrics::to_json() const {
   j.set("idle_timeouts", Json::uinteger(idle_timeouts));
   j.set("shed_requests", Json::uinteger(shed_requests));
   j.set("dedup_hits", Json::uinteger(dedup_hits));
+  j.set("quarantined_trials", Json::uinteger(quarantined_trials));
   j.set("faults", faults.to_json());
   Json ops_json = Json::object();
   for (const auto& [name, p] : ops) {

@@ -35,6 +35,9 @@ struct ServiceMetrics {
   std::uint64_t idle_timeouts = 0;      ///< connections cut by the idle deadline
   std::uint64_t shed_requests = 0;      ///< refused with `overloaded`
   std::uint64_t dedup_hits = 0;         ///< retried observes answered from cache
+  /// Watchdog-quarantined trials in the campaign this server fronts
+  /// (mirrored from the campaign checkpoint; 0 when none is attached).
+  std::uint64_t quarantined_trials = 0;
   /// Faults the server's own injector fired (chaos runs; all zero in
   /// production).
   FaultCounters faults;

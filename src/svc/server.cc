@@ -103,15 +103,31 @@ void Server::stop() {
 }
 
 std::string Server::stats_json() const {
-  std::lock_guard<std::mutex> lock(metrics_mu_);
+  // The campaign provider may do file I/O (it typically reads a
+  // checkpoint); call it before taking the metrics lock.
+  std::optional<Json> campaign;
+  if (opts_.campaign_stats) campaign = opts_.campaign_stats();
+
+  ServiceMetrics snapshot;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    snapshot = metrics_;
+  }
   if (injector_ != nullptr) {
     // The injector keeps its own counts (it runs outside metrics_mu_);
     // fold the live values in at read time.
-    ServiceMetrics snapshot = metrics_;
     snapshot.faults = injector_->counters();
-    return snapshot.to_json().dump();
   }
-  return metrics_.to_json().dump();
+  if (campaign) {
+    const Json* q = campaign->find("quarantined");
+    if (q != nullptr && q->is_number() && q->as_int() >= 0) {
+      snapshot.quarantined_trials = static_cast<std::uint64_t>(q->as_int());
+    }
+    Json j = snapshot.to_json();
+    j.set("campaign", std::move(*campaign));
+    return j.dump();
+  }
+  return snapshot.to_json().dump();
 }
 
 Response Server::overloaded_response() const {

@@ -33,6 +33,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -75,6 +76,12 @@ class Server {
     /// Chaos: seeded faults injected into every response frame written.
     /// Disabled (all probabilities zero) in production.
     FaultPlan fault_plan;
+    /// When set, the stats verb merges this provider's document under a
+    /// "campaign" key and mirrors its "quarantined" count into
+    /// metrics.quarantined_trials — how a server fronting a checkpointed
+    /// experiment campaign surfaces its progress. Called outside the
+    /// metrics lock on every stats request; must be thread-safe.
+    std::function<Json()> campaign_stats;
   };
 
   explicit Server(Options opts);

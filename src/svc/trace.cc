@@ -19,8 +19,10 @@ Json record_header(const char* type) {
 
 }  // namespace
 
-TraceRecorder::TraceRecorder(std::ostream& os, const SessionConfig& config)
+TraceRecorder::TraceRecorder(std::ostream& os, const SessionConfig& config,
+                             bool emit_config)
     : os_(os) {
+  if (!emit_config) return;
   Json j = record_header("config");
   j.set("config", session_config_to_json(config));
   os_ << j.dump() << "\n";

@@ -42,9 +42,12 @@ struct TraceRecord {
 
 /// Streams trace records to `os` (one line each). The config line is
 /// written by the constructor; rounds are counted per baseline.
+/// `emit_config = false` suppresses the config line — used when resuming
+/// an interrupted recording whose file already starts with one.
 class TraceRecorder {
  public:
-  TraceRecorder(std::ostream& os, const SessionConfig& config);
+  TraceRecorder(std::ostream& os, const SessionConfig& config,
+                bool emit_config = true);
 
   void baseline(const probe::Mesh& mesh);
   void round(const probe::Mesh& mesh, const core::ControlPlaneObs* cp);

@@ -32,9 +32,10 @@ bool fail(std::string* error, const std::string& msg) {
 }  // namespace
 
 void write_text(const Topology& topo, std::ostream& os) {
-  os << "netd-topology v1\n";
+  os << "netd-topology v2\n";
   for (const auto& as : topo.ases()) {
-    os << "as " << class_name(as.cls) << " " << as.routers.size() << "\n";
+    os << "as " << as.id.value() << " " << class_name(as.cls) << " "
+       << as.routers.size() << "\n";
   }
   for (const auto& link : topo.links()) {
     if (link.interdomain) {
@@ -45,16 +46,27 @@ void write_text(const Topology& topo, std::ostream& os) {
          << link.igp_weight << "\n";
     }
   }
+  os << "end " << topo.num_routers() << " " << topo.num_links() << "\n";
 }
 
 std::optional<Topology> read_text(std::istream& is, std::string* error) {
   std::string line;
-  if (!std::getline(is, line) || line != "netd-topology v1") {
-    fail(error, "missing 'netd-topology v1' header");
+  if (!std::getline(is, line)) {
+    fail(error, "missing 'netd-topology' header");
+    return std::nullopt;
+  }
+  int version = 0;
+  if (line == "netd-topology v1") {
+    version = 1;
+  } else if (line == "netd-topology v2") {
+    version = 2;
+  } else {
+    fail(error, "missing 'netd-topology v1|v2' header");
     return std::nullopt;
   }
   Topology topo;
   std::size_t line_no = 1;
+  bool saw_end = false;
   while (std::getline(is, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#') continue;
@@ -62,10 +74,32 @@ std::optional<Topology> read_text(std::istream& is, std::string* error) {
     std::string kind;
     ss >> kind;
     const std::string where = "line " + std::to_string(line_no);
+    if (saw_end) {
+      fail(error, where + ": record after 'end' footer");
+      return std::nullopt;
+    }
     if (kind == "as") {
       std::string cls;
       std::size_t count = 0;
-      if (!(ss >> cls >> count)) {
+      if (version >= 2) {
+        // v2 carries the AS id so a duplicated or reordered `as` line is
+        // an error rather than a silently renumbered topology.
+        std::size_t id = 0;
+        if (!(ss >> id >> cls >> count)) {
+          fail(error, where + ": malformed 'as'");
+          return std::nullopt;
+        }
+        if (id < topo.num_ases()) {
+          fail(error, where + ": duplicate AS id " + std::to_string(id));
+          return std::nullopt;
+        }
+        if (id > topo.num_ases()) {
+          fail(error, where + ": non-contiguous AS id " + std::to_string(id) +
+                          " (expected " + std::to_string(topo.num_ases()) +
+                          ")");
+          return std::nullopt;
+        }
+      } else if (!(ss >> cls >> count)) {
         fail(error, where + ": malformed 'as'");
         return std::nullopt;
       }
@@ -83,7 +117,8 @@ std::optional<Topology> read_text(std::istream& is, std::string* error) {
         return std::nullopt;
       }
       if (a >= topo.num_routers() || b >= topo.num_routers()) {
-        fail(error, where + ": router id out of range");
+        fail(error, where + ": dangling link endpoint: router id out of "
+                            "range");
         return std::nullopt;
       }
       if (kind == "intra") {
@@ -114,10 +149,31 @@ std::optional<Topology> read_text(std::istream& is, std::string* error) {
         }
         topo.add_inter_link(RouterId{a}, RouterId{b}, *r);
       }
+    } else if (kind == "end" && version >= 2) {
+      std::size_t routers = 0, links = 0;
+      if (!(ss >> routers >> links)) {
+        fail(error, where + ": malformed 'end' footer");
+        return std::nullopt;
+      }
+      if (routers != topo.num_routers() || links != topo.num_links()) {
+        fail(error, where + ": 'end' footer counts (" +
+                        std::to_string(routers) + " routers, " +
+                        std::to_string(links) + " links) do not match the "
+                        "records read (" +
+                        std::to_string(topo.num_routers()) + ", " +
+                        std::to_string(topo.num_links()) + ") — truncated "
+                        "or corrupted file");
+        return std::nullopt;
+      }
+      saw_end = true;
     } else {
       fail(error, where + ": unknown record '" + kind + "'");
       return std::nullopt;
     }
+  }
+  if (version >= 2 && !saw_end) {
+    fail(error, "missing 'end' footer — truncated file");
+    return std::nullopt;
   }
   return topo;
 }

@@ -1,11 +1,19 @@
 // Topology serialization: a line-oriented text format (exact round-trip)
 // and Graphviz DOT export for visualization.
 //
-// Text format v1:
-//   netd-topology v1
-//   as <class>(core|tier2|stub) <router-count>     # one per AS, in id order
+// Text format v2 (what write_text emits):
+//   netd-topology v2
+//   as <id> <class>(core|tier2|stub) <router-count>  # one per AS, id order
 //   intra <router-a> <router-b> <igp-weight>
 //   inter <router-a> <router-b> <rel-of-b-from-a>(customer|provider|peer)
+//   end <router-count> <link-count>                  # footer, last record
+//
+// v2 is self-checking: explicit AS ids catch duplicated/reordered `as`
+// lines, link endpoints must name existing routers (no dangling ids), and
+// the mandatory `end` footer with total counts catches truncation — a
+// file cut off mid-stream fails to load instead of yielding a silently
+// smaller topology. The v1 format (same records, no AS ids, no footer) is
+// still read for old files.
 //
 // Router ids are the global ids the loader reproduces by re-adding ASes
 // and routers in order, so a save/load round-trip is bit-exact.

@@ -2,10 +2,14 @@
 // ECMP-rich substrates, swept over seeds.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
 
 #include "core/algorithms.h"
+#include "exp/checkpoint.h"
 #include "exp/runner.h"
+#include "svc/json.h"
+#include "util/atomic_file.h"
 #include "probe/prober.h"
 #include "sim/network.h"
 #include "topo/io.h"
@@ -132,9 +136,15 @@ TEST(ParserFuzz, TopoReaderSurvivesGarbage) {
   const std::vector<std::string> tokens = {
       "as",    "intra", "inter",   "core", "tier2", "stub",  "peer",
       "provider", "customer", "-1", "0",  "1",     "99999", "x",
-      "netd-topology", "v1", "", "#"};
+      "netd-topology", "v1", "v2", "end", "", "#"};
   for (int iter = 0; iter < 200; ++iter) {
-    std::string doc = rng.bernoulli(0.5) ? "netd-topology v1\n" : "";
+    std::string doc;
+    const double header = rng.uniform01();
+    if (header < 0.35) {
+      doc = "netd-topology v1\n";
+    } else if (header < 0.7) {
+      doc = "netd-topology v2\n";
+    }
     const std::size_t lines = rng.uniform(0, 8);
     for (std::size_t l = 0; l < lines; ++l) {
       const std::size_t words = rng.uniform(0, 5);
@@ -150,6 +160,96 @@ TEST(ParserFuzz, TopoReaderSurvivesGarbage) {
       EXPECT_FALSE(error.empty());
     }
   }
+}
+
+TEST(ParserFuzz, JsonDeepNestingNeverCrashes) {
+  // Sweep container nesting around the public depth bound, mixing arrays
+  // and objects: at or under svc::Json::kMaxParseDepth the document
+  // parses, beyond it the parser reports "nesting too deep" — never a
+  // stack overflow. (The CI sanitizer job runs this under ASan+UBSan.)
+  util::Rng rng(44);
+  for (std::size_t depth = svc::Json::kMaxParseDepth - 4;
+       depth <= svc::Json::kMaxParseDepth + 8; ++depth) {
+    std::string open, close;
+    for (std::size_t i = 0; i < depth; ++i) {
+      if (rng.bernoulli(0.5)) {
+        open += "[";
+        close.insert(0, "]");
+      } else {
+        open += "{\"k\":";
+        close.insert(0, "}");
+      }
+    }
+    std::string error;
+    const auto j = svc::Json::parse(open + "0" + close, &error);
+    if (depth <= svc::Json::kMaxParseDepth) {
+      EXPECT_TRUE(j.has_value()) << "depth " << depth << ": " << error;
+    } else {
+      EXPECT_FALSE(j.has_value()) << "depth " << depth;
+      EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+    }
+  }
+}
+
+TEST(ParserFuzz, TruncatedCheckpointNeverCrashes) {
+  // A crash can leave a torn checkpoint only if the atomic-rename protocol
+  // is bypassed (e.g. a partial copy off a dying disk); Checkpoint::load
+  // must reject every proper prefix of a valid document with a structured
+  // error, never crash or return a half-built checkpoint.
+  exp::ScenarioConfig cfg;
+  cfg.num_placements = 2;
+  cfg.trials_per_placement = 2;
+  exp::Checkpoint ck;
+  ck.scenario = cfg;
+  ck.algos = {exp::Algo::kTomo, exp::Algo::kNdBgpIgp};
+  ck.completed_placements = 2;
+  ck.episodes = 3;
+  for (std::size_t pl = 0; pl < 2; ++pl) {
+    std::vector<exp::ScoredTrial> bucket;
+    exp::ScoredTrial st;
+    st.placement = pl;
+    st.trial = 0;
+    st.result.diagnosability = 0.5 + 0.25 * static_cast<double>(pl);
+    core::LinkMetrics lm;
+    lm.sensitivity = 1.0 / 3.0;
+    lm.specificity = 0.9999999999999999;
+    lm.hypothesis_size = 2;
+    lm.num_probed = 17;
+    st.result.link[exp::Algo::kTomo] = lm;
+    core::AsMetrics am;
+    am.sensitivity = 1.0;
+    am.specificity = 0.125;
+    am.hypothesis_size = 1;
+    st.result.as_level[exp::Algo::kNdBgpIgp] = am;
+    bucket.push_back(std::move(st));
+    ck.results.push_back(std::move(bucket));
+  }
+  ck.quarantined.push_back({1, 1, 123456789ull});
+
+  // Every proper prefix of the JSON body is malformed (the top-level
+  // object is unterminated), so load must reject each one with an error.
+  const std::string doc = ck.to_json().dump();
+  const std::string path =
+      ::testing::TempDir() + "/netd_fuzz_truncated_checkpoint.json";
+  std::size_t rejected = 0;
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    std::string error;
+    ASSERT_TRUE(util::atomic_write_file(path, doc.substr(0, len), &error))
+        << error;
+    error.clear();
+    const auto loaded = exp::Checkpoint::load(path, &error);
+    EXPECT_FALSE(loaded.has_value()) << "prefix of " << len << " bytes";
+    EXPECT_FALSE(error.empty()) << "prefix of " << len << " bytes";
+    ++rejected;
+  }
+  EXPECT_EQ(rejected, doc.size());
+  // The untruncated document round-trips.
+  std::string error;
+  ASSERT_TRUE(util::atomic_write_file(path, doc + "\n", &error)) << error;
+  const auto loaded = exp::Checkpoint::load(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->to_json().dump(), doc);
+  std::remove(path.c_str());
 }
 
 TEST(ParserFuzz, FlagsSurviveGarbage) {

@@ -116,6 +116,29 @@ TEST(Json, BoundsRecursionDepth) {
   EXPECT_TRUE(Json::parse(ok).has_value());
 }
 
+TEST(Json, RecursionDepthBoundaryIsExact) {
+  // Exactly kMaxParseDepth container levels parse; one more is rejected
+  // with the structured error (not a crash), and the limit is the public
+  // constant — not a magic number buried in the parser.
+  const auto nested = [](std::size_t levels) {
+    return std::string(levels, '[') + std::string(levels, ']');
+  };
+  EXPECT_TRUE(Json::parse(nested(Json::kMaxParseDepth)).has_value());
+  std::string error;
+  EXPECT_FALSE(
+      Json::parse(nested(Json::kMaxParseDepth + 1), &error).has_value());
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+
+  // Objects count against the same budget as arrays.
+  std::string obj;
+  for (std::size_t i = 0; i < Json::kMaxParseDepth + 1; ++i) obj += "{\"k\":";
+  obj += "0";
+  for (std::size_t i = 0; i < Json::kMaxParseDepth + 1; ++i) obj += "}";
+  error.clear();
+  EXPECT_FALSE(Json::parse(obj, &error).has_value());
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+}
+
 TEST(Json, FindAndAccessors) {
   const auto j = Json::parse(R"({"n":3,"s":"x","b":true,"a":[1,2]})");
   ASSERT_TRUE(j.has_value());

@@ -99,6 +99,71 @@ TEST(TopoIo, SkipsCommentsAndBlankLines) {
             Relationship::kProvider);
 }
 
+TEST(TopoIo, AcceptsLegacyV1WithoutIdsOrFooter) {
+  std::stringstream ss(
+      "netd-topology v1\nas core 2\nas stub 1\ninter 0 2 customer\n");
+  std::string error;
+  const auto t = read_text(ss, &error);
+  ASSERT_TRUE(t.has_value()) << error;
+  EXPECT_EQ(t->num_ases(), 2u);
+  EXPECT_EQ(t->num_routers(), 3u);
+}
+
+TEST(TopoIo, RejectsDuplicateAsId) {
+  std::stringstream ss(
+      "netd-topology v2\nas 0 core 2\nas 0 stub 1\nend 3 0\n");
+  std::string error;
+  EXPECT_FALSE(read_text(ss, &error).has_value());
+  EXPECT_NE(error.find("duplicate AS id 0"), std::string::npos) << error;
+}
+
+TEST(TopoIo, RejectsNonContiguousAsId) {
+  std::stringstream ss(
+      "netd-topology v2\nas 0 core 2\nas 2 stub 1\nend 3 0\n");
+  std::string error;
+  EXPECT_FALSE(read_text(ss, &error).has_value());
+  EXPECT_NE(error.find("non-contiguous AS id 2"), std::string::npos) << error;
+}
+
+TEST(TopoIo, RejectsTruncatedV2File) {
+  // A v2 file chopped mid-stream loses its `end` footer; the loader must
+  // refuse it rather than return a silently smaller topology.
+  const Topology original = tiny_topology();
+  std::stringstream full;
+  write_text(original, full);
+  std::string text = full.str();
+  text.resize(text.size() / 2);
+  text.resize(text.rfind('\n') + 1);  // cut at a line boundary
+  std::stringstream ss(text);
+  std::string error;
+  EXPECT_FALSE(read_text(ss, &error).has_value());
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+}
+
+TEST(TopoIo, RejectsRecordAfterEndFooter) {
+  std::stringstream ss(
+      "netd-topology v2\nas 0 stub 1\nend 1 0\nas 1 stub 1\n");
+  std::string error;
+  EXPECT_FALSE(read_text(ss, &error).has_value());
+  EXPECT_NE(error.find("after 'end'"), std::string::npos) << error;
+}
+
+TEST(TopoIo, RejectsEndFooterCountMismatch) {
+  std::stringstream ss(
+      "netd-topology v2\nas 0 stub 1\nas 1 stub 1\nend 7 0\n");
+  std::string error;
+  EXPECT_FALSE(read_text(ss, &error).has_value());
+  EXPECT_NE(error.find("do not match"), std::string::npos) << error;
+}
+
+TEST(TopoIo, DanglingEndpointErrorNamesTheProblem) {
+  std::stringstream ss(
+      "netd-topology v2\nas 0 stub 1\nintra 0 9 1\nend 1 0\n");
+  std::string error;
+  EXPECT_FALSE(read_text(ss, &error).has_value());
+  EXPECT_NE(error.find("dangling link endpoint"), std::string::npos) << error;
+}
+
 TEST(TopoIo, DotContainsClustersAndEdges) {
   const Topology t = tiny_topology();
   std::stringstream ss;

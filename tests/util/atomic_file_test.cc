@@ -1,0 +1,93 @@
+// util::atomic_file: the write-temp → fsync → rename primitives under the
+// campaign checkpoint. Readers must only ever see a complete version.
+#include "util/atomic_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace netd::util {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  const std::string p = ::testing::TempDir() + "/" + name;
+  std::remove(p.c_str());
+  return p;
+}
+
+TEST(AtomicFile, WriteReadRoundTrip) {
+  const std::string path = tmp_path("netd_af_roundtrip.txt");
+  std::string payload = "line one\nline two\n";
+  payload.push_back('\0');  // embedded NUL must survive the round trip
+  payload += "binary too";
+  std::string error;
+  ASSERT_TRUE(atomic_write_file(path, payload, &error)) << error;
+  const auto back = read_file(path, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(*back, payload);
+  EXPECT_EQ(file_size(path), payload.size());
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, OverwriteReplacesWholeContents) {
+  const std::string path = tmp_path("netd_af_overwrite.txt");
+  std::string error;
+  ASSERT_TRUE(atomic_write_file(path, std::string(4096, 'a'), &error))
+      << error;
+  ASSERT_TRUE(atomic_write_file(path, "short", &error)) << error;
+  const auto back = read_file(path, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  // No tail of the longer previous version survives the rename.
+  EXPECT_EQ(*back, "short");
+}
+
+TEST(AtomicFile, WriteIntoMissingDirectoryFailsWithError) {
+  std::string error;
+  EXPECT_FALSE(atomic_write_file(
+      ::testing::TempDir() + "/netd_af_no_such_dir/x.txt", "data", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(AtomicFile, ReadMissingFileFailsWithError) {
+  std::string error;
+  EXPECT_FALSE(
+      read_file(tmp_path("netd_af_missing.txt"), &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(AtomicFile, FileSizeOfMissingFileIsNullopt) {
+  EXPECT_FALSE(file_size(tmp_path("netd_af_missing2.txt")).has_value());
+}
+
+TEST(AtomicFile, TruncateDropsTornTail) {
+  const std::string path = tmp_path("netd_af_truncate.txt");
+  std::string error;
+  ASSERT_TRUE(atomic_write_file(path, "committed\npartial garb", &error))
+      << error;
+  ASSERT_TRUE(truncate_file(path, 10, &error)) << error;  // "committed\n"
+  const auto back = read_file(path, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(*back, "committed\n");
+  EXPECT_EQ(file_size(path), 10u);
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, TruncateMissingFileFails) {
+  std::string error;
+  EXPECT_FALSE(truncate_file(tmp_path("netd_af_missing3.txt"), 0, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(AtomicFile, FsyncFileExistingSucceedsMissingFails) {
+  const std::string path = tmp_path("netd_af_fsync.txt");
+  std::string error;
+  ASSERT_TRUE(atomic_write_file(path, "x", &error)) << error;
+  EXPECT_TRUE(fsync_file(path, &error)) << error;
+  std::remove(path.c_str());
+  EXPECT_FALSE(fsync_file(path, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace netd::util

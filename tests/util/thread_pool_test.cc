@@ -1,0 +1,67 @@
+// util::ThreadPool error propagation: a task that throws must not take a
+// worker (or the process) down — the first exception is captured and
+// rethrown on the thread that calls wait_all(), after the batch drains.
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace netd::util {
+namespace {
+
+TEST(ThreadPool, WaitAllRethrowsTaskException) {
+  ThreadPool pool(4);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  try {
+    pool.wait_all();
+    FAIL() << "wait_all() swallowed the task's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "task failed");
+  }
+}
+
+TEST(ThreadPool, RemainingTasksStillRunAfterAThrow) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.submit([] { throw std::logic_error("first"); });
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&completed] { ++completed; });
+  }
+  EXPECT_THROW(pool.wait_all(), std::logic_error);
+  // wait_all() drains the whole batch before rethrowing: every healthy
+  // task ran exactly once despite the earlier failure.
+  EXPECT_EQ(completed.load(), 16);
+}
+
+TEST(ThreadPool, OnlyTheFirstExceptionIsKeptAndStateResets) {
+  ThreadPool pool(1);  // one worker => deterministic task order
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::runtime_error("second"); });
+  try {
+    pool.wait_all();
+    FAIL() << "wait_all() swallowed the exceptions";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "first");
+  }
+  // The error slot is consumed by the rethrow: a later healthy batch on
+  // the same pool completes cleanly.
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&completed] { ++completed; });
+  }
+  EXPECT_NO_THROW(pool.wait_all());
+  EXPECT_EQ(completed.load(), 8);
+}
+
+TEST(ThreadPool, DestructorSurvivesAThrowingTask) {
+  // No wait_all(): the destructor drains and must swallow the error
+  // (nowhere to rethrow) without terminating.
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("dropped on the floor"); });
+}
+
+}  // namespace
+}  // namespace netd::util
