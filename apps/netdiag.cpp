@@ -8,16 +8,21 @@
 //                     automatic diagnosis (--record FILE captures a trace)
 //   netdiag serve     run the diagnosis service daemon (svc wire protocol)
 //   netdiag submit    send one protocol request to a running daemon
+//   netdiag top       poll a daemon's `metrics` verb and render the
+//                     Prometheus samples as a live table
 //   netdiag replay    re-run a recorded event trace, verifying diagnoses
 //   netdiag requarantine  replay watchdog-quarantined trials from a
 //                     campaign checkpoint and recover their results
 //
 // Run `netdiag <command> --help` for the flags of each command.
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "core/algorithms.h"
 #include "core/diagnosability.h"
@@ -27,6 +32,8 @@
 #include "exp/checkpoint.h"
 #include "exp/runner.h"
 #include "lg/looking_glass.h"
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "probe/prober.h"
 #include "sim/network.h"
 #include "svc/client.h"
@@ -36,6 +43,7 @@
 #include "svc/trace.h"
 #include "topo/generator.h"
 #include "topo/io.h"
+#include "util/atomic_file.h"
 #include "util/flags.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -59,6 +67,8 @@ int usage() {
       "            (--record FILE captures the rounds as an event trace)\n"
       "  serve     run the diagnosis service daemon\n"
       "  submit    send one protocol request to a daemon, print the reply\n"
+      "  top       poll a daemon's `metrics` verb once per interval and\n"
+      "            render the Prometheus samples as a table\n"
       "  replay    re-run a recorded event trace (in process or through a\n"
       "            socket) and verify the diagnoses match the recording\n"
       "  requarantine  replay the trials a campaign's watchdog quarantined\n"
@@ -163,12 +173,54 @@ std::optional<probe::PlacementKind> parse_placement(const std::string& s) {
   return std::nullopt;
 }
 
+/// Observability outputs of `netdiag run`: installs the trace sink when
+/// --trace-out is set, and on destruction — i.e. on every exit path of
+/// cmd_run — writes the Chrome trace and/or the Prometheus metrics
+/// snapshot the flags requested. Failures are reported but do not change
+/// the command's exit code: the run itself already succeeded or failed.
+class ObsOutputs {
+ public:
+  explicit ObsOutputs(util::Flags& flags)
+      : trace_path_(flags.get("trace-out")),
+        metrics_path_(flags.get("metrics-out")) {
+    if (!trace_path_.empty()) obs::TraceSink::install();
+  }
+
+  ~ObsOutputs() {
+    std::string error;
+    if (!trace_path_.empty()) {
+      if (obs::TraceSink::write_chrome_trace(trace_path_, &error)) {
+        std::cout << "wrote " << trace_path_ << " ("
+                  << obs::TraceSink::snapshot().size() << " spans)\n";
+      } else {
+        std::cerr << "netdiag: " << error << "\n";
+      }
+      obs::TraceSink::uninstall();
+    }
+    if (!metrics_path_.empty()) {
+      if (util::atomic_write_file(metrics_path_,
+                                  obs::render_global_prometheus(), &error)) {
+        std::cout << "wrote " << metrics_path_ << "\n";
+      } else {
+        std::cerr << "netdiag: " << error << "\n";
+      }
+    }
+  }
+
+  ObsOutputs(const ObsOutputs&) = delete;
+  ObsOutputs& operator=(const ObsOutputs&) = delete;
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+};
+
 int cmd_run(util::Flags& flags) {
   flags.allow({"topo-seed", "ases", "tier2", "stubs", "mode", "failures",
                "sensors", "placements", "trials", "placement", "blocked",
                "lg", "operator", "seed", "algos", "threads", "record",
                "threshold", "checkpoint", "resume", "trial-deadline-ms",
-               "csv", "max-placements", "help"});
+               "csv", "max-placements", "trace-out", "metrics-out", "help"});
   if (!flags.ok() || flags.get_bool("help")) {
     std::cerr
         << "netdiag run [--mode links|misconfig|misconfig-link|router]\n"
@@ -195,7 +247,14 @@ int cmd_run(util::Flags& flags) {
            "                            aborts the campaign\n"
            "            [--csv FILE]    write per-trial metrics as CSV\n"
            "            [--max-placements N]  run at most N new placements\n"
-           "                            this invocation (chunked campaigns)\n";
+           "                            this invocation (chunked campaigns)\n"
+           "observability:\n"
+           "            [--trace-out FILE]  capture structured spans and\n"
+           "                            write a Chrome trace_event JSON file\n"
+           "                            (open in Perfetto; span IDs are\n"
+           "                            deterministic per seed)\n"
+           "            [--metrics-out FILE]  write the run's counters and\n"
+           "                            histograms in Prometheus text format\n";
     for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
     return flags.ok() ? 0 : 2;
   }
@@ -235,6 +294,8 @@ int cmd_run(util::Flags& flags) {
   const auto algos = parse_algos(flags.get(
       "algos", cfg.frac_blocked > 0 ? "nd-bgpigp,nd-lg" : "tomo,nd-edge"));
   if (!algos) return 2;
+
+  const ObsOutputs obs_outputs(flags);
 
   std::cout << "scenario: mode=" << mode << " failures=" << cfg.num_link_failures
             << " sensors=" << cfg.num_sensors << " placements x trials="
@@ -612,11 +673,13 @@ int cmd_submit(util::Flags& flags) {
                "retries", "connect-timeout-ms", "request-timeout-ms", "help"});
   if (!flags.ok() || flags.get_bool("help")) {
     std::cerr
-        << "netdiag submit [--connect ADDR] --op hello|query|stats|shutdown\n"
+        << "netdiag submit [--connect ADDR] "
+           "--op hello|query|stats|metrics|shutdown\n"
            "               [--session NAME] [--threshold K] [--algo A]\n"
            "               [--granularity G] [--retries N]\n"
            "               [--connect-timeout-ms MS] [--request-timeout-ms MS]\n"
-           "prints the response frame; observation streams are fed with\n"
+           "prints the response frame (metrics prints the Prometheus text\n"
+           "body); observation streams are fed with\n"
            "`netdiag replay FILE --connect ADDR`\n";
     for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
     return flags.ok() ? 0 : 2;
@@ -640,11 +703,13 @@ int cmd_submit(util::Flags& flags) {
     req = svc::QueryRequest{session};
   } else if (op == "stats") {
     req = svc::StatsRequest{};
+  } else if (op == "metrics") {
+    req = svc::MetricsRequest{};
   } else if (op == "shutdown") {
     req = svc::ShutdownRequest{};
   } else {
     std::cerr << "netdiag: unknown op '" << op
-              << "' (hello, query, stats, shutdown)\n";
+              << "' (hello, query, stats, metrics, shutdown)\n";
     return 2;
   }
   auto client = svc::Client::connect(*ep, client_options(flags), &error);
@@ -657,8 +722,97 @@ int cmd_submit(util::Flags& flags) {
     std::cerr << "netdiag: " << error << "\n";
     return 1;
   }
+  if (const auto* m = std::get_if<svc::MetricsResponse>(&*rsp)) {
+    std::cout << m->text;  // multi-line Prometheus text, not a JSON frame
+    return 0;
+  }
   std::cout << svc::serialize(*rsp) << "\n";
   return std::holds_alternative<svc::ErrorResponse>(*rsp) ? 1 : 0;
+}
+
+/// One parsed Prometheus exposition line: `name{labels} value`.
+struct PromSample {
+  std::string series;  ///< name plus the rendered label set, verbatim
+  double value = 0.0;
+};
+
+/// Minimal Prometheus text-format reader for `netdiag top`: keeps every
+/// sample line (skipping # HELP/# TYPE comments and blanks), splitting at
+/// the final space. Unparsable lines are dropped rather than fatal — top
+/// is a viewer, not a validator.
+std::vector<PromSample> parse_prometheus(const std::string& text) {
+  std::vector<PromSample> out;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto sp = line.rfind(' ');
+    if (sp == std::string::npos || sp + 1 >= line.size()) continue;
+    const char* begin = line.c_str() + sp + 1;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) continue;
+    out.push_back({line.substr(0, sp), v});
+  }
+  return out;
+}
+
+int cmd_top(util::Flags& flags) {
+  flags.allow({"connect", "interval-ms", "iterations", "filter", "retries",
+               "connect-timeout-ms", "request-timeout-ms", "help"});
+  if (!flags.ok() || flags.get_bool("help")) {
+    std::cerr
+        << "netdiag top [--connect ADDR] [--interval-ms MS] [--iterations N]\n"
+           "            [--filter SUBSTR] [--retries N]\n"
+           "            [--connect-timeout-ms MS] [--request-timeout-ms MS]\n"
+           "polls the daemon's `metrics` verb once per interval (default\n"
+           "1000 ms) and renders the samples as a table; --iterations 0\n"
+           "(the default) polls until interrupted, --filter keeps only\n"
+           "series whose name contains SUBSTR\n";
+    for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
+    return flags.ok() ? 0 : 2;
+  }
+  std::string error;
+  const auto ep = svc::Endpoint::parse(flags.get("connect", ":7433"), &error);
+  if (!ep) {
+    std::cerr << "netdiag: " << error << "\n";
+    return 2;
+  }
+  const std::uint64_t interval_ms = flags.get_uint("interval-ms", 1000);
+  const std::uint64_t iterations = flags.get_uint("iterations", 0);
+  const std::string filter = flags.get("filter");
+  auto client = svc::Client::connect(*ep, client_options(flags), &error);
+  if (!client) {
+    std::cerr << "netdiag: " << error << "\n";
+    return 1;
+  }
+  for (std::uint64_t i = 0; iterations == 0 || i < iterations; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    const auto rsp = client->call(svc::Request{svc::MetricsRequest{}}, &error);
+    if (!rsp) {
+      std::cerr << "netdiag: " << error << "\n";
+      return 1;
+    }
+    const auto* m = std::get_if<svc::MetricsResponse>(&*rsp);
+    if (!m) {
+      std::cerr << "netdiag: unexpected response: " << svc::serialize(*rsp)
+                << "\n";
+      return 1;
+    }
+    util::Table t({"metric", "value"});
+    for (const auto& s : parse_prometheus(m->text)) {
+      if (!filter.empty() && s.series.find(filter) == std::string::npos) {
+        continue;
+      }
+      t.add_row(s.series, {s.value});
+    }
+    std::cout << "--- poll " << (i + 1) << " ---\n";
+    t.print(std::cout);
+    std::cout.flush();
+  }
+  return 0;
 }
 
 int cmd_replay(util::Flags& flags) {
@@ -835,6 +989,7 @@ int main(int argc, char** argv) {
   if (cmd == "watch") return cmd_watch(flags);
   if (cmd == "serve") return cmd_serve(flags);
   if (cmd == "submit") return cmd_submit(flags);
+  if (cmd == "top") return cmd_top(flags);
   if (cmd == "replay") return cmd_replay(flags);
   if (cmd == "requarantine") return cmd_requarantine(flags);
   return usage();

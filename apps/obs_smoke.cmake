@@ -1,0 +1,34 @@
+# Validates the observability outputs of the netdiag_obs_outputs smoke
+# run (cmake -P script so the check runs on the bare CI box):
+#   - the Chrome trace file is a JSON array with at least one "ph":"X"
+#     event carrying deterministic span ids
+#   - the Prometheus file holds at least one sample line and ends in \n
+file(READ netdiag_obs.trace.json TRACE)
+string(STRIP "${TRACE}" STRIPPED)
+if(NOT STRIPPED MATCHES "^\\[")
+  message(FATAL_ERROR "trace file does not start a JSON array")
+endif()
+if(NOT STRIPPED MATCHES "\\]$")
+  message(FATAL_ERROR "trace file does not close the JSON array")
+endif()
+if(NOT TRACE MATCHES "\"ph\":\"X\"")
+  message(FATAL_ERROR "trace file holds no complete ('X') events")
+endif()
+if(NOT TRACE MATCHES "\"name\":\"placement\"")
+  message(FATAL_ERROR "trace file holds no placement span")
+endif()
+if(NOT TRACE MATCHES "\"name\":\"solve\"")
+  message(FATAL_ERROR "trace file holds no solver span")
+endif()
+
+file(READ netdiag_obs.prom PROM)
+if(NOT PROM MATCHES "netd_solve_total [0-9]+\n")
+  message(FATAL_ERROR "metrics file misses the solver counter")
+endif()
+if(NOT PROM MATCHES "# TYPE netd_runner_trials_total counter\n")
+  message(FATAL_ERROR "metrics file misses the runner trial counter family")
+endif()
+if(NOT PROM MATCHES "\n$")
+  message(FATAL_ERROR "metrics file does not end with a newline")
+endif()
+message(STATUS "observability outputs look sane")

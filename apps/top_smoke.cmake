@@ -1,0 +1,29 @@
+# Smoke test for `netdiag top`: serve on a private unix socket, poll the
+# metrics verb twice through `top`, then shut the daemon down. Driven
+# through sh so one test owns the daemon's whole lifetime.
+if(NOT DEFINED NETDIAG)
+  message(FATAL_ERROR "pass -DNETDIAG=<path to netdiag>")
+endif()
+execute_process(
+  COMMAND sh -c "\
+    rm -f netdiag_top.sock; \
+    '${NETDIAG}' serve --listen unix:netdiag_top.sock --threads 2 & \
+    srv=$!; \
+    for i in $(seq 1 50); do [ -S netdiag_top.sock ] && break; sleep 0.1; done; \
+    '${NETDIAG}' top --connect unix:netdiag_top.sock --iterations 2 \
+        --interval-ms 50; \
+    rc=$?; \
+    '${NETDIAG}' submit --connect unix:netdiag_top.sock --op shutdown \
+        >/dev/null 2>&1; \
+    kill $srv 2>/dev/null; \
+    wait $srv 2>/dev/null; \
+    exit $rc"
+  OUTPUT_VARIABLE out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "netdiag top exited ${rc}:\n${out}")
+endif()
+if(NOT out MATCHES "netd_svc_requests_total")
+  message(FATAL_ERROR "top output misses the per-op counter table:\n${out}")
+endif()
+message(STATUS "netdiag top smoke passed")

@@ -1,5 +1,7 @@
 #include "core/algorithms.h"
 
+#include "obs/span.h"
+
 namespace netd::core {
 
 SolverOptions tomo_options() { return SolverOptions{}; }
@@ -24,16 +26,24 @@ SolverOptions nd_lg_options() {
 }
 
 AlgorithmOutput run_tomo(const probe::Mesh& before, const probe::Mesh& after) {
+  obs::Span span("tomo");
   AlgorithmOutput out;
-  out.graph = build_diagnosis_graph(before, after, /*logical_links=*/false);
+  {
+    obs::Span graph_span("build_graph");
+    out.graph = build_diagnosis_graph(before, after, /*logical_links=*/false);
+  }
   out.result = solve(out.graph, tomo_options());
   return out;
 }
 
 AlgorithmOutput run_nd_edge(const probe::Mesh& before,
                             const probe::Mesh& after) {
+  obs::Span span("nd-edge");
   AlgorithmOutput out;
-  out.graph = build_diagnosis_graph(before, after, /*logical_links=*/true);
+  {
+    obs::Span graph_span("build_graph");
+    out.graph = build_diagnosis_graph(before, after, /*logical_links=*/true);
+  }
   out.result = solve(out.graph, nd_edge_options());
   return out;
 }
@@ -41,8 +51,12 @@ AlgorithmOutput run_nd_edge(const probe::Mesh& before,
 AlgorithmOutput run_nd_bgpigp(const probe::Mesh& before,
                               const probe::Mesh& after,
                               const ControlPlaneObs& cp) {
+  obs::Span span("nd-bgpigp");
   AlgorithmOutput out;
-  out.graph = build_diagnosis_graph(before, after, /*logical_links=*/true);
+  {
+    obs::Span graph_span("build_graph");
+    out.graph = build_diagnosis_graph(before, after, /*logical_links=*/true);
+  }
   out.result = solve(out.graph, nd_bgpigp_options(), &cp);
   return out;
 }
@@ -51,9 +65,16 @@ AlgorithmOutput run_nd_lg(const probe::Mesh& before, const probe::Mesh& after,
                           const ControlPlaneObs& cp,
                           const lg::LookingGlassService& lg,
                           topo::AsId operator_as) {
+  obs::Span span("nd-lg");
   AlgorithmOutput out;
-  out.graph = build_diagnosis_graph(before, after, /*logical_links=*/true);
-  const UhTagMap tags = resolve_uh_tags(before, out.graph, lg, operator_as);
+  {
+    obs::Span graph_span("build_graph");
+    out.graph = build_diagnosis_graph(before, after, /*logical_links=*/true);
+  }
+  const UhTagMap tags = [&] {
+    obs::Span tags_span("resolve_uh_tags");
+    return resolve_uh_tags(before, out.graph, lg, operator_as);
+  }();
   out.result = solve(out.graph, nd_lg_options(), &cp, &tags);
   return out;
 }

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <optional>
 #include <unordered_set>
+
+#include "obs/registry.h"
+#include "obs/span.h"
 
 namespace netd::core {
 
@@ -12,6 +16,36 @@ using graph::NodeId;
 using graph::NodeKind;
 
 namespace {
+
+/// Solver instruments, resolved once per process (the registry lookup
+/// takes a mutex; the instruments themselves are lock-free / sharded).
+struct SolveInstruments {
+  obs::Counter& solves = obs::Registry::global().counter(
+      "netd_solve_total", "Hitting-set solver invocations");
+  obs::Counter& greedy_rounds = obs::Registry::global().counter(
+      "netd_solve_greedy_rounds_total",
+      "Greedy max-score selection rounds across all solves");
+  obs::Counter& cov_cache_hits = obs::Registry::global().counter(
+      "netd_solve_cov_cache_hits_total",
+      "Coverage-cache epoch dedup hits (set already counted this group)");
+  obs::Counter& cov_cache_misses = obs::Registry::global().counter(
+      "netd_solve_cov_cache_misses_total",
+      "Coverage-cache entries built (distinct sets per group)");
+  obs::Histogram& candidates = obs::Registry::global().histogram(
+      "netd_solve_candidates", "Admissible candidate edges per solve");
+  obs::Histogram& groups = obs::Registry::global().histogram(
+      "netd_solve_groups", "Candidate link groups per solve");
+  obs::Histogram& hypothesis = obs::Registry::global().histogram(
+      "netd_solve_hypothesis_edges", "Hypothesis edges selected per solve");
+  obs::Histogram& unexplained = obs::Registry::global().histogram(
+      "netd_solve_unexplained_failure_sets",
+      "Failure sets left unexplained per solve");
+
+  static SolveInstruments& get() {
+    static SolveInstruments i;
+    return i;
+  }
+};
 
 /// Signature of a UH-edge endpoint for cluster rule (i): identified
 /// endpoints must be the same node, unidentified ones must carry equal,
@@ -135,9 +169,16 @@ Demands build_demands(const DiagnosisGraph& dg, const SolverOptions& opt,
 
 Result solve(const DiagnosisGraph& dg, const SolverOptions& opt,
              const ControlPlaneObs* cp, const UhTagMap* tags) {
+  obs::Span solve_span("solve");
+  SolveInstruments& ins = SolveInstruments::get();
+  ins.solves.inc();
   Result result;
   const std::size_t n_edges = dg.edges.size();
-  Demands demands = build_demands(dg, opt, cp);
+  Demands demands = [&] {
+    obs::Span s("build_demands");
+    return build_demands(dg, opt, cp);
+  }();
+  ins.candidates.observe(static_cast<double>(demands.candidates.size()));
   auto& failure_sets = demands.failure_sets;
   auto& reroute_sets = demands.reroute_sets;
   auto& candidates = demands.candidates;
@@ -237,20 +278,26 @@ Result solve(const DiagnosisGraph& dg, const SolverOptions& opt,
   // the still-unexplained ones are maintained incrementally: explaining a
   // set decrements exactly the groups that cover it.
   const std::size_t num_groups = groups.size();
+  ins.groups.observe(static_cast<double>(num_groups));
   std::vector<std::vector<std::uint32_t>> cov_f(num_groups), cov_r(num_groups);
+  std::uint64_t cache_hits = 0, cache_misses = 0;
   {
     std::vector<std::uint32_t> f_seen(failure_sets.size(), 0);
     std::vector<std::uint32_t> r_seen(reroute_sets.size(), 0);
     std::uint32_t epoch = 0;
     for (std::uint32_t g = 0; g < num_groups; ++g) {
       ++epoch;
-      auto add = [epoch](const std::vector<std::uint32_t>& sets,
-                         std::vector<std::uint32_t>& seen,
-                         std::vector<std::uint32_t>& cov) {
+      auto add = [epoch, &cache_hits, &cache_misses](
+                     const std::vector<std::uint32_t>& sets,
+                     std::vector<std::uint32_t>& seen,
+                     std::vector<std::uint32_t>& cov) {
         for (std::uint32_t s : sets) {
           if (seen[s] != epoch) {
             seen[s] = epoch;
             cov.push_back(s);
+            ++cache_misses;
+          } else {
+            ++cache_hits;
           }
         }
       };
@@ -300,7 +347,12 @@ Result solve(const DiagnosisGraph& dg, const SolverOptions& opt,
     }
   };
 
+  ins.cov_cache_hits.inc(cache_hits);
+  ins.cov_cache_misses.inc(cache_misses);
+
   // ---- Greedy max-score loop (Algorithm 1) -----------------------------------
+  std::optional<obs::Span> greedy_span;
+  greedy_span.emplace("greedy");
   int round = 0;
   for (;; ++round) {
     double best = 0.0;
@@ -331,6 +383,8 @@ Result solve(const DiagnosisGraph& dg, const SolverOptions& opt,
       }
     }
   }
+  greedy_span.reset();
+  ins.greedy_rounds.inc(static_cast<std::uint64_t>(round));
 
   // ---- Results ---------------------------------------------------------------
   result.hypothesis_edges = hypothesis;
@@ -356,6 +410,8 @@ Result solve(const DiagnosisGraph& dg, const SolverOptions& opt,
   for (std::uint32_t s = 0; s < failure_sets.size(); ++s) {
     if (!f_explained[s]) ++result.unexplained_failure_sets;
   }
+  ins.hypothesis.observe(static_cast<double>(hypothesis.size()));
+  ins.unexplained.observe(static_cast<double>(result.unexplained_failure_sets));
   std::stable_sort(ranked.begin(), ranked.end(),
                    [](const RankedLink& a, const RankedLink& b) {
                      return a.score > b.score;

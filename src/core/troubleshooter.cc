@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "obs/registry.h"
+#include "obs/span.h"
+
 namespace netd::core {
 
 Troubleshooter::Troubleshooter(Config cfg)
@@ -17,6 +20,13 @@ std::optional<AlgorithmOutput> Troubleshooter::observe(
   assert(has_baseline() && "set_baseline() before observing rounds");
   assert(round.paths.size() == baseline_.paths.size());
 
+  obs::Span span("observe");
+  static obs::Counter& rounds = obs::Registry::global().counter(
+      "netd_ts_rounds_total", "Observation rounds fed to troubleshooters");
+  static obs::Counter& diagnoses = obs::Registry::global().counter(
+      "netd_ts_diagnoses_total", "Diagnoses fired by troubleshooters");
+  rounds.inc();
+
   const auto fired = detector_.observe(round);
 
   bool all_ok = true;
@@ -30,9 +40,13 @@ std::optional<AlgorithmOutput> Troubleshooter::observe(
   if (fired.empty()) return std::nullopt;  // failing, but under threshold
 
   AlgorithmOutput out;
-  out.graph = build_diagnosis_graph(baseline_, round, cfg_.granularity);
+  {
+    obs::Span graph_span("build_graph");
+    out.graph = build_diagnosis_graph(baseline_, round, cfg_.granularity);
+  }
   out.result = solve(out.graph, cfg_.solver,
                      cfg_.solver.use_control_plane ? cp : nullptr);
+  diagnoses.inc();
   return out;
 }
 

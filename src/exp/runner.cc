@@ -11,6 +11,8 @@
 #include "core/diagnosability.h"
 #include "exp/checkpoint.h"
 #include "lg/looking_glass.h"
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "svc/trace.h"
 #include "util/atomic_file.h"
 #include "util/rng.h"
@@ -232,6 +234,27 @@ std::uint64_t steady_now_ms() {
           .count());
 }
 
+/// Campaign-runner instruments, resolved once per process.
+struct RunnerInstruments {
+  obs::Counter& trials = obs::Registry::global().counter(
+      "netd_runner_trials_total", "Trials started across all placements");
+  obs::Counter& attempts = obs::Registry::global().counter(
+      "netd_runner_attempts_total", "Failure-injection attempts");
+  obs::Counter& episodes = obs::Registry::global().counter(
+      "netd_runner_episodes_total", "Diagnosable episodes produced");
+  obs::Counter& quarantined = obs::Registry::global().counter(
+      "netd_runner_quarantined_total", "Trials abandoned by the watchdog");
+  obs::Gauge& watchdog_margin = obs::Registry::global().gauge(
+      "netd_runner_watchdog_margin_ms",
+      "Deadline headroom (ms) of the last watchdog-checked trial; negative "
+      "means the trial blew its budget and was quarantined");
+
+  static RunnerInstruments& get() {
+    static RunnerInstruments i;
+    return i;
+  }
+};
+
 /// Runs the §4 protocol for one placement on `net` (which must be at the
 /// converged base state captured in `base`), invoking `sink(trial,
 /// episode)` once per diagnosable episode. Leaves `net` restored to
@@ -321,7 +344,10 @@ std::vector<std::size_t> run_placement(
     return cfg.now_ms ? cfg.now_ms() : steady_now_ms();
   };
 
+  RunnerInstruments& ins = RunnerInstruments::get();
   for (std::size_t trial = 0; trial < cfg.trials_per_placement; ++trial) {
+    obs::Span trial_span("trial");
+    ins.trials.inc();
     const std::uint64_t trial_start = cfg.trial_deadline_ms > 0 ? now_ms() : 0;
     const auto deadline_expired = [&]() {
       return cfg.trial_deadline_ms > 0 &&
@@ -338,6 +364,7 @@ std::vector<std::size_t> run_placement(
     Mesh after;
     for (std::size_t attempt = 0;
          attempt < cfg.max_attempts_per_trial && !invoked; ++attempt) {
+      ins.attempts.inc();
       if (deadline_expired()) {  // net is at `base` here
         quarantine = true;
         break;
@@ -408,7 +435,13 @@ std::vector<std::size_t> run_placement(
         net.restore(base);
       }
     }
+    if (cfg.trial_deadline_ms > 0) {
+      // Margin the watchdog left on this trial: negative iff quarantined.
+      ins.watchdog_margin.set(static_cast<double>(cfg.trial_deadline_ms) -
+                              static_cast<double>(now_ms() - trial_start));
+    }
     if (quarantine) {
+      ins.quarantined.inc();
       quarantined.push_back(trial);
       continue;
     }
@@ -453,6 +486,7 @@ std::vector<std::size_t> run_placement(
                        f_ases,
                        universe,
                        diag};
+    ins.episodes.inc();
     sink(trial, ctx);
     net.restore(base);
     net.set_operator_as(op_as);
@@ -554,6 +588,14 @@ void Runner::map_episodes(
   const auto run_one = [&](sim::Network& net,
                            const sim::Network::Snapshot& base,
                            std::size_t pl) {
+    // Root span of this placement's trace: the context derives from
+    // (campaign seed, placement index) only, so the span tree is
+    // identical across runs and across --threads settings, and other
+    // threads (the checkpoint commit) can recompute it to join the trace.
+    obs::Span pl_span(
+        "placement",
+        obs::Span::root_context(cfg_.seed, pl, static_cast<std::uint32_t>(pl + 1)),
+        /*salt=*/0);
     auto quarantined =
         run_placement(cfg_, net, base, seeds[pl], table,
                       [&](std::size_t trial, const EpisodeContext& ep) {
@@ -766,6 +808,12 @@ std::optional<CampaignResult> Runner::run_campaign(
     while (ck.completed_placements < num_placements &&
            done[ck.completed_placements]) {
       const std::size_t p = ck.completed_placements;
+      // Joins placement p's trace from whichever worker extends the
+      // prefix: the parent context is recomputed from (seed, p).
+      obs::Span commit_span(
+          "checkpoint_commit",
+          obs::Span::root_context(cfg_.seed, p, static_cast<std::uint32_t>(p + 1)),
+          /*salt=*/1);
       ck.results.push_back(std::move(pending[p]));
       ck.episodes += ck.results.back().size();
       for (std::size_t t : pending_q[p]) {
@@ -894,6 +942,13 @@ std::optional<CampaignResult> Runner::record_campaign(
     while (ck.completed_placements < num_placements &&
            done[ck.completed_placements]) {
       const std::size_t p = ck.completed_placements;
+      // As in run_campaign: the replay-into-trace work joins placement
+      // p's trace via the recomputed root context, and the observe/solve
+      // spans below nest under it ambiently.
+      obs::Span commit_span(
+          "checkpoint_commit",
+          obs::Span::root_context(cfg_.seed, p, static_cast<std::uint32_t>(p + 1)),
+          /*salt=*/1);
       PlacementData& d = data[p];
       for (const EpisodeData& e : d.episodes) {
         ts.set_baseline(d.before);
@@ -987,6 +1042,13 @@ std::vector<ScoredTrial> Runner::replay_placement(std::size_t placement,
   for (auto& s : seeds) s = root.fork();
 
   const sim::Network::Snapshot base = net_.snapshot();
+  // Same root context as the campaign's own run of this placement, so a
+  // traced replay diffs cleanly against the original trace.
+  obs::Span pl_span("placement",
+                    obs::Span::root_context(
+                        cfg_.seed, placement,
+                        static_cast<std::uint32_t>(placement + 1)),
+                    /*salt=*/0);
   run_placement(cfg, net_, base, seeds[placement], table,
                 [&](std::size_t trial, const EpisodeContext& ep) {
                   out.push_back(ScoredTrial{

@@ -1,5 +1,7 @@
 #include "lg/looking_glass.h"
 
+#include "obs/registry.h"
+
 namespace netd::lg {
 
 using topo::AsId;
@@ -57,7 +59,15 @@ bool LookingGlassService::available(AsId as) const {
 
 std::optional<std::vector<AsId>> LookingGlassService::query(
     AsId as, PrefixId prefix) const {
-  if (!available(as)) return std::nullopt;
+  static obs::Counter& queries = obs::Registry::global().counter(
+      "netd_lg_queries_total", "Looking Glass queries issued");
+  static obs::Counter& refused = obs::Registry::global().counter(
+      "netd_lg_refused_total", "Looking Glass queries to unavailable ASes");
+  queries.inc();
+  if (!available(as)) {
+    refused.inc();
+    return std::nullopt;
+  }
   return table_.as_path(as, prefix);
 }
 

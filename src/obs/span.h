@@ -1,0 +1,151 @@
+// Structured tracing: RAII spans with deterministic IDs, exported as a
+// Chrome trace_event JSON file that Perfetto / chrome://tracing opens.
+//
+// Determinism is the point. A span's ID is derived purely from its
+// position in the call tree — trace root from (campaign seed, placement
+// index), children from (parent ID, name hash, per-parent child index) —
+// never from time, thread IDs or addresses. Two runs with the same seed
+// therefore produce the *same* span tree (IDs and parent/child edges);
+// only timestamps differ, so traces can be diffed across runs and across
+// --threads settings (EXPERIMENTS.md has the recipe).
+//
+// Parenting is ambient per thread: constructing a Span makes it the
+// thread's current span, and nested Spans attach to it automatically. To
+// cross a ThreadPool task boundary, derive the root context on the
+// submitting side (or recompute it anywhere from the seed — see
+// root_context) and construct the first Span on the worker with the
+// explicit (parent, salt) overload; everything below nests ambiently.
+// The salt takes the place of the ambient child counter, so IDs stay
+// deterministic no matter which worker runs the task or in what order.
+//
+// Spans record only while a TraceSink is installed (netdiag run
+// --trace-out does that); otherwise construction is one relaxed atomic
+// load and a branch. With NETD_OBS=OFF the bodies compile out entirely
+// and a trace file contains no events.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netd::obs {
+
+/// Identity of one span; `span_id == 0` means "not recording".
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  /// Rendering lane (Chrome "tid"); placements use index+1, lane 0 is
+  /// the coordinating thread.
+  std::uint32_t lane = 0;
+
+  [[nodiscard]] bool valid() const { return span_id != 0; }
+};
+
+/// One finished span, as captured by the sink.
+struct TraceEvent {
+  std::string name;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 = root of its trace
+  std::uint32_t lane = 0;
+  double start_us = 0.0;  ///< relative to sink installation
+  double dur_us = 0.0;
+};
+
+/// Process-global capture buffer. Install once (e.g. for --trace-out),
+/// run the traced workload, then write or drain. All methods are
+/// thread-safe; events are buffered under a mutex — tracing is a
+/// diagnosis tool, not a steady-state production path.
+class TraceSink {
+ public:
+  /// Starts capturing (clears any previous buffer).
+  static void install();
+  [[nodiscard]] static bool active();
+  /// Stops capturing and discards the buffer.
+  static void uninstall();
+
+  /// Current buffer, deterministically ordered by (lane, trace, span id).
+  [[nodiscard]] static std::vector<TraceEvent> snapshot();
+
+  /// Writes the buffer as a Chrome trace_event JSON array (one event per
+  /// line) via util::atomic_write_file. Returns false with `error` on IO
+  /// failure. The sink stays installed.
+  [[nodiscard]] static bool write_chrome_trace(const std::string& path,
+                                               std::string* error);
+
+  /// Internal: called by ~Span.
+  static void emit(TraceEvent ev);
+};
+
+/// RAII span. Construct to open, destroy to close (emits one TraceEvent
+/// if recording). Must be destroyed on the constructing thread, in LIFO
+/// order per thread — i.e. used as a scoped local.
+class Span {
+ public:
+  /// Ambient child of the calling thread's current span. Inert (records
+  /// nothing, costs a branch) when no sink is installed or the thread has
+  /// no current span.
+  explicit Span(const char* name);
+
+  /// Explicit child of `parent` — the cross-thread form. `salt` replaces
+  /// the ambient child counter in the ID derivation and must be chosen
+  /// deterministically by the caller (e.g. the placement index).
+  /// `lane_override` >= 0 moves this span and its ambient descendants to
+  /// that rendering lane.
+  Span(const char* name, const SpanContext& parent, std::uint64_t salt,
+       int lane_override = -1);
+
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  [[nodiscard]] const SpanContext& context() const { return frame_.ctx; }
+
+  /// The calling thread's current span context (invalid when none).
+  [[nodiscard]] static SpanContext current();
+
+  /// The deterministic root context for unit-of-work `index` under
+  /// `seed`: recomputable anywhere, which is how checkpoint commits on
+  /// the coordinator thread join the trace of a placement that ran on a
+  /// worker. Valid (usable as a parent) even when no sink is installed.
+  [[nodiscard]] static SpanContext root_context(std::uint64_t seed,
+                                                std::uint64_t index,
+                                                std::uint32_t lane);
+
+  /// Internal: one entry of the per-thread ambient-parent stack. Public
+  /// only so the implementation's thread_local stack can name it.
+  struct Frame {
+    SpanContext ctx;
+    std::uint64_t next_child = 0;
+  };
+
+ private:
+  void open(const char* name, const SpanContext& parent, std::uint64_t salt,
+            int lane_override);
+
+  Frame frame_;
+  std::uint64_t parent_id_ = 0;
+  const char* name_ = "";
+  double start_us_ = 0.0;
+  bool recording_ = false;
+};
+
+/// Adopts `ctx` as the calling thread's current span for the enclosing
+/// scope without emitting an event — the lightweight way to parent
+/// ambient spans under work that logically belongs to another thread's
+/// span (no-op when `ctx` is invalid or no sink is installed).
+class ScopedParent {
+ public:
+  explicit ScopedParent(const SpanContext& ctx);
+  ~ScopedParent();
+
+  ScopedParent(const ScopedParent&) = delete;
+  ScopedParent& operator=(const ScopedParent&) = delete;
+
+ private:
+  Span::Frame frame_;
+  bool pushed_ = false;
+};
+
+}  // namespace netd::obs

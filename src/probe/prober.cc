@@ -2,7 +2,27 @@
 
 #include <cassert>
 
+#include "obs/registry.h"
+
 namespace netd::probe {
+
+namespace {
+
+/// Probe-plane instruments (registered once; inc() is one relaxed add).
+obs::Counter& probes_sent_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "netd_probe_traceroutes_total", "Traceroute probes rendered");
+  return c;
+}
+
+obs::Counter& blocked_hops_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "netd_probe_blocked_hops_total",
+      "Traceroute hops anonymized (blocked AS or ICMP rate limit)");
+  return c;
+}
+
+}  // namespace
 
 using topo::LinkId;
 using topo::RouterId;
@@ -87,6 +107,7 @@ TracePath Prober::render(std::size_t i, std::size_t j,
   TracePath tp;
   tp.src = i;
   tp.dst = j;
+  probes_sent_counter().inc();
 
   // Source sensor hop.
   tp.hops.push_back(Hop{si.name, graph::NodeKind::kSensor,
@@ -105,6 +126,7 @@ TracePath Prober::render(std::size_t i, std::size_t j,
                 static_cast<double>(~0ull) <
             icmp_drop_prob_;
     if (blocked_.count(router.as.value()) != 0 || rate_limited) {
+      blocked_hops_counter().inc();
       // Anonymized: a star unique to this path occurrence.
       h.label = "uh:p" + std::to_string(i) + "-" + std::to_string(j) + ":h" +
                 std::to_string(uh_count++);

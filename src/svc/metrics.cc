@@ -39,4 +39,75 @@ Json ServiceMetrics::to_json() const {
   return j;
 }
 
+std::vector<obs::Sample> ServiceMetrics::to_samples() const {
+  std::vector<obs::Sample> out;
+  const auto counter = [&out](const char* name, const char* help,
+                              std::uint64_t v) {
+    obs::Sample s;
+    s.name = name;
+    s.help = help;
+    s.type = obs::SampleType::kCounter;
+    s.value = static_cast<double>(v);
+    out.push_back(std::move(s));
+  };
+  counter("netd_svc_connections_total", "Accepted connections", connections);
+  counter("netd_svc_sessions_created_total", "Sessions created",
+          sessions_created);
+  counter("netd_svc_malformed_frames_total", "Frames that failed to parse",
+          malformed_frames);
+  counter("netd_svc_oversized_frames_total", "Frames over the size cap",
+          oversized_frames);
+  counter("netd_svc_disconnects_mid_request_total",
+          "Connections lost mid-request", disconnects_mid_request);
+  counter("netd_svc_idle_timeouts_total",
+          "Connections cut by the idle deadline", idle_timeouts);
+  counter("netd_svc_shed_requests_total", "Requests refused as overloaded",
+          shed_requests);
+  counter("netd_svc_dedup_hits_total", "Retried observes answered from cache",
+          dedup_hits);
+  counter("netd_svc_quarantined_trials_total",
+          "Watchdog-quarantined trials in the fronted campaign",
+          quarantined_trials);
+  const std::pair<const char*, std::uint64_t> fault_kinds[] = {
+      {"delay", faults.delays},
+      {"drop", faults.drops},
+      {"truncate", faults.truncations},
+      {"corrupt", faults.corruptions},
+      {"reset", faults.resets},
+  };
+  for (const auto& [kind, v] : fault_kinds) {
+    obs::Sample s;
+    s.name = "netd_svc_faults_total";
+    s.help = "Chaos faults injected into response frames";
+    s.type = obs::SampleType::kCounter;
+    s.labels = {{"kind", kind}};
+    s.value = static_cast<double>(v);
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, p] : ops) {
+    obs::Sample c;
+    c.name = "netd_svc_requests_total";
+    c.help = "Requests handled, by op";
+    c.type = obs::SampleType::kCounter;
+    c.labels = {{"op", name}};
+    c.value = static_cast<double>(p.count);
+    out.push_back(std::move(c));
+    obs::Sample e;
+    e.name = "netd_svc_request_errors_total";
+    e.help = "Requests answered with an error, by op";
+    e.type = obs::SampleType::kCounter;
+    e.labels = {{"op", name}};
+    e.value = static_cast<double>(p.errors);
+    out.push_back(std::move(e));
+    obs::Sample h;
+    h.name = "netd_svc_request_latency_us";
+    h.help = "Request handling latency (microseconds), by op";
+    h.type = obs::SampleType::kHistogram;
+    h.labels = {{"op", name}};
+    h.hist = p.latency_us;
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
 }  // namespace netd::svc

@@ -10,7 +10,9 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "obs/registry.h"
 #include "svc/fault.h"
 #include "svc/json.h"
 #include "util/stats.h"
@@ -46,7 +48,16 @@ struct ServiceMetrics {
 
   /// {"connections":N,...,"faults":{...},"ops":{"observe":{"count":n,
   ///   "errors":e,"lat_us":{"p50":..,"p90":..,"p99":..,"max":..}},...}}
+  /// This rendering is pinned byte-for-byte by a golden test — the stats
+  /// verb's document must not drift across releases.
   [[nodiscard]] Json to_json() const;
+
+  /// The same numbers as obs samples ("netd_svc_*"), the bridge that lets
+  /// the Prometheus `metrics` verb expose a server's ServiceMetrics next
+  /// to the registry instruments: lifetime counters, per-op
+  /// count/error/latency series labeled {op="..."}, fault counters
+  /// labeled {kind="..."}.
+  [[nodiscard]] std::vector<obs::Sample> to_samples() const;
 };
 
 }  // namespace netd::svc

@@ -298,6 +298,8 @@ std::string serialize(const Request& req) {
           j.set("session", Json::string(r.session));
         } else if constexpr (std::is_same_v<T, StatsRequest>) {
           j.set("op", Json::string("stats"));
+        } else if constexpr (std::is_same_v<T, MetricsRequest>) {
+          j.set("op", Json::string("metrics"));
         } else if constexpr (std::is_same_v<T, ShutdownRequest>) {
           j.set("op", Json::string("shutdown"));
         }
@@ -390,6 +392,7 @@ std::optional<Request> parse_request(std::string_view frame,
     return Request{QueryRequest{*session}};
   }
   if (name == "stats") return Request{StatsRequest{}};
+  if (name == "metrics") return Request{MetricsRequest{}};
   if (name == "shutdown") return Request{ShutdownRequest{}};
   set_error(error, "unknown op '" + name + "'");
   return std::nullopt;
@@ -439,6 +442,10 @@ std::string serialize(const Response& rsp) {
           j.set("ok", Json::boolean(true));
           j.set("op", Json::string("stats"));
           j.set("stats", Json::raw(r.stats));
+        } else if constexpr (std::is_same_v<T, MetricsResponse>) {
+          j.set("ok", Json::boolean(true));
+          j.set("op", Json::string("metrics"));
+          j.set("text", Json::string(r.text));
         } else if constexpr (std::is_same_v<T, ShutdownResponse>) {
           j.set("ok", Json::boolean(true));
           j.set("op", Json::string("shutdown"));
@@ -521,6 +528,11 @@ std::optional<Response> parse_response(std::string_view frame,
     const Json* stats = require(*j, "stats", Json::Type::kObject, error);
     if (stats == nullptr) return std::nullopt;
     return Response{StatsResponse{stats->dump()}};
+  }
+  if (name == "metrics") {
+    const Json* text = require(*j, "text", Json::Type::kString, error);
+    if (text == nullptr) return std::nullopt;
+    return Response{MetricsResponse{text->as_string()}};
   }
   if (name == "shutdown") return Response{ShutdownResponse{}};
   set_error(error, "unknown op '" + name + "'");

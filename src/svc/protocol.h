@@ -12,6 +12,8 @@
 //                 observations); returns the diagnosis when an alarm fires
 //   query         fetch the latest diagnosis of a session
 //   stats         service request/latency counters (util::Histogram)
+//   metrics       Prometheus text-format exposition of the obs registry
+//                 plus the service counters (operator scrape surface)
 //   shutdown      stop the server after responding
 //
 // Serialization reuses the Json document type, so serialize(parse(x)) is
@@ -102,10 +104,13 @@ struct QueryRequest {
 
 struct StatsRequest {};
 
+struct MetricsRequest {};
+
 struct ShutdownRequest {};
 
-using Request = std::variant<HelloRequest, SetBaselineRequest, ObserveRequest,
-                             QueryRequest, StatsRequest, ShutdownRequest>;
+using Request =
+    std::variant<HelloRequest, SetBaselineRequest, ObserveRequest,
+                 QueryRequest, StatsRequest, MetricsRequest, ShutdownRequest>;
 
 // ---------------------------------------------------------------------------
 // Responses.
@@ -152,12 +157,18 @@ struct StatsResponse {
   std::string stats;  ///< ServiceMetrics::to_json document, verbatim
 };
 
+struct MetricsResponse {
+  /// Prometheus text exposition document (\n-separated lines inside one
+  /// JSON string on the wire).
+  std::string text;
+};
+
 struct ShutdownResponse {};
 
 using Response =
     std::variant<ErrorResponse, HelloResponse, SetBaselineResponse,
                  ObserveResponse, QueryResponse, StatsResponse,
-                 ShutdownResponse>;
+                 MetricsResponse, ShutdownResponse>;
 
 // ---------------------------------------------------------------------------
 // Frame serialization. Serializers emit one line *without* the trailing

@@ -6,9 +6,12 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <type_traits>
+#include <vector>
 
 #include "core/json_export.h"
+#include "obs/registry.h"
 
 namespace netd::svc {
 
@@ -28,6 +31,8 @@ const char* op_name(const Request& req) {
           return "query";
         } else if constexpr (std::is_same_v<T, StatsRequest>) {
           return "stats";
+        } else if constexpr (std::is_same_v<T, MetricsRequest>) {
+          return "metrics";
         } else {
           return "shutdown";
         }
@@ -44,6 +49,7 @@ Server::Server(Options opts) : opts_(std::move(opts)) {
 Server::~Server() { stop(); }
 
 bool Server::start(std::string* error) {
+  start_time_ = std::chrono::steady_clock::now();
   int bound_port = opts_.endpoint.port;
   listener_ = listen_on(opts_.endpoint, error, &bound_port);
   if (!listener_.valid()) return false;
@@ -102,11 +108,12 @@ void Server::stop() {
   pool_.reset();  // drains remaining handlers
 }
 
-std::string Server::stats_json() const {
+ServiceMetrics Server::metrics_snapshot(std::optional<Json>* campaign) const {
   // The campaign provider may do file I/O (it typically reads a
-  // checkpoint); call it before taking the metrics lock.
-  std::optional<Json> campaign;
-  if (opts_.campaign_stats) campaign = opts_.campaign_stats();
+  // checkpoint); call it before taking the metrics lock. Done on every
+  // request, so quarantined_trials tracks the live campaign rather than
+  // whatever the checkpoint said when the server attached.
+  if (opts_.campaign_stats) *campaign = opts_.campaign_stats();
 
   ServiceMetrics snapshot;
   {
@@ -118,16 +125,50 @@ std::string Server::stats_json() const {
     // fold the live values in at read time.
     snapshot.faults = injector_->counters();
   }
-  if (campaign) {
-    const Json* q = campaign->find("quarantined");
+  if (campaign->has_value()) {
+    const Json* q = (*campaign)->find("quarantined");
     if (q != nullptr && q->is_number() && q->as_int() >= 0) {
       snapshot.quarantined_trials = static_cast<std::uint64_t>(q->as_int());
     }
-    Json j = snapshot.to_json();
-    j.set("campaign", std::move(*campaign));
-    return j.dump();
   }
-  return snapshot.to_json().dump();
+  return snapshot;
+}
+
+double Server::uptime_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_time_)
+      .count();
+}
+
+std::string Server::stats_json() const {
+  std::optional<Json> campaign;
+  ServiceMetrics snapshot = metrics_snapshot(&campaign);
+  Json j = snapshot.to_json();
+  if (campaign) j.set("campaign", std::move(*campaign));
+  // Appended after the pinned ServiceMetrics keys so pre-existing
+  // consumers see an unchanged prefix. Millisecond resolution keeps the
+  // number lexeme short; both values come from the steady clock.
+  const double up = uptime_seconds();
+  j.set("uptime_seconds", Json::number(std::round(up * 1000.0) / 1000.0));
+  j.set("start_time",
+        Json::uinteger(static_cast<unsigned long long>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                start_time_.time_since_epoch())
+                .count())));
+  return j.dump();
+}
+
+std::string Server::metrics_prometheus() const {
+  std::optional<Json> campaign;
+  const ServiceMetrics snapshot = metrics_snapshot(&campaign);
+  std::vector<obs::Sample> extras = snapshot.to_samples();
+  obs::Sample up;
+  up.name = "netd_svc_uptime_seconds";
+  up.help = "Seconds since the server started (monotonic clock)";
+  up.type = obs::SampleType::kGauge;
+  up.value = uptime_seconds();
+  extras.push_back(std::move(up));
+  return obs::render_global_prometheus(extras);
 }
 
 Response Server::overloaded_response() const {
@@ -390,6 +431,10 @@ Response Server::handle(const QueryRequest& req) {
 
 Response Server::handle(const StatsRequest&) {
   return StatsResponse{stats_json()};
+}
+
+Response Server::handle(const MetricsRequest&) {
+  return MetricsResponse{metrics_prometheus()};
 }
 
 Response Server::handle(const ShutdownRequest&) { return ShutdownResponse{}; }

@@ -31,9 +31,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <optional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -105,8 +107,17 @@ class Server {
   /// Endpoint actually bound (TCP port resolved when 0 was requested).
   [[nodiscard]] const Endpoint& endpoint() const { return opts_.endpoint; }
 
-  /// Current metrics as the stats-verb JSON document.
+  /// Current metrics as the stats-verb JSON document. The historical
+  /// ServiceMetrics fields render byte-identically to previous releases;
+  /// `uptime_seconds` and the monotonic `start_time` (both steady-clock
+  /// derived, so replay determinism is unaffected) are appended after
+  /// them.
   [[nodiscard]] std::string stats_json() const;
+
+  /// Current metrics in Prometheus text exposition format: the global
+  /// obs registry plus this server's ServiceMetrics (netd_svc_*) and
+  /// uptime. Backs the `metrics` verb.
+  [[nodiscard]] std::string metrics_prometheus() const;
 
  private:
   struct Session {
@@ -138,12 +149,25 @@ class Server {
   Response handle(const ObserveRequest& req);
   Response handle(const QueryRequest& req);
   Response handle(const StatsRequest& req);
+  Response handle(const MetricsRequest& req);
   Response handle(const ShutdownRequest& req);
 
   [[nodiscard]] std::shared_ptr<Session> find_session(const std::string& name);
 
+  /// Shared read path of the stats and metrics verbs: queries the
+  /// campaign provider (outside the metrics lock — it may read a
+  /// checkpoint), snapshots the counters, folds the live injector fault
+  /// counts in, and refreshes quarantined_trials from the campaign
+  /// document so neither verb ever serves a stale count.
+  [[nodiscard]] ServiceMetrics metrics_snapshot(
+      std::optional<Json>* campaign) const;
+  [[nodiscard]] double uptime_seconds() const;
+
   Options opts_;
   Fd listener_;
+  /// Monotonic birth time: uptime_seconds and the stats verb's
+  /// `start_time` derive from the steady clock, never wall clock.
+  std::chrono::steady_clock::time_point start_time_{};
   std::unique_ptr<util::ThreadPool> pool_;
   std::thread acceptor_;
   std::unique_ptr<FaultInjector> injector_;  ///< armed only under chaos

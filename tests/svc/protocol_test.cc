@@ -76,6 +76,7 @@ TEST(Protocol, EveryRequestTypeRoundTripsByteIdentical) {
       ObserveRequest{"noc-1", sample_mesh(), std::nullopt, 17},
       QueryRequest{"noc-1"},
       StatsRequest{},
+      MetricsRequest{},
       ShutdownRequest{},
   };
   for (const Request& req : requests) {
@@ -96,6 +97,7 @@ TEST(Protocol, EveryResponseTypeRoundTripsByteIdentical) {
       QueryResponse{4, std::string(kDiagnosisDoc)},
       QueryResponse{0, std::nullopt},
       StatsResponse{R"({"connections":1,"ops":{}})"},
+      MetricsResponse{"# TYPE a counter\na 1\n"},
       ShutdownResponse{},
   };
   for (const Response& rsp : responses) {

@@ -4,6 +4,8 @@
 
 #include <cmath>
 
+#include "util/rng.h"
+
 namespace netd::util {
 namespace {
 
@@ -189,6 +191,81 @@ TEST(Histogram, NonzeroBucketsAreSparse) {
   EXPECT_EQ(buckets[0].count, 2u);
   EXPECT_DOUBLE_EQ(buckets[1].upper, 32.0);
   EXPECT_EQ(buckets[1].count, 1u);
+}
+
+TEST(Histogram, ZeroSamplesEveryPercentileIsZero) {
+  Histogram h;
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(q), 0.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, SingleSampleDominatesEveryStatistic) {
+  Histogram h;
+  h.add(37.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 37.0);
+  EXPECT_DOUBLE_EQ(h.max(), 37.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 37.0);
+  // Every percentile maps to the one sample's bucket; its upper edge (64)
+  // is clamped by the exact max.
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(q), 37.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, ExactBucketBoundariesLandInside) {
+  // Bucket i covers (lo*growth^(i-1), lo*growth^i] — edges are inclusive
+  // upper bounds, so a sample exactly on an edge lands in that bucket,
+  // never the next one up.
+  Histogram h(1.0, 2.0, 8);
+  h.add(1.0);  // == lo: bucket 0 (everything <= lo)
+  h.add(2.0);  // == lo*growth: bucket 1's inclusive upper edge
+  h.add(4.0);  // == lo*growth^2
+  const auto buckets = h.nonzero_buckets();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(buckets[0].upper, 1.0);
+  EXPECT_EQ(buckets[0].count, 1u);
+  EXPECT_DOUBLE_EQ(buckets[1].upper, 2.0);
+  EXPECT_EQ(buckets[1].count, 1u);
+  EXPECT_DOUBLE_EQ(buckets[2].upper, 4.0);
+  EXPECT_EQ(buckets[2].count, 1u);
+}
+
+TEST(Histogram, BelowLoCountsInBucketZero) {
+  Histogram h(1.0, 2.0, 4);
+  h.add(0.0);
+  h.add(0.5);
+  const auto buckets = h.nonzero_buckets();
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_DOUBLE_EQ(buckets[0].upper, 1.0);
+  EXPECT_EQ(buckets[0].count, 2u);
+}
+
+TEST(Histogram, PercentilesMonotoneUnderAdversarialInputs) {
+  // Whatever the input distribution — heavy overflow tails, duplicates,
+  // sub-lo dust — reported percentiles must never invert.
+  for (std::uint64_t seed : {1u, 7u, 42u, 1337u}) {
+    Rng rng(seed);
+    Histogram h(1.0, 2.0, 10);  // overflow beyond 1024: tails exercise it
+    for (int i = 0; i < 2000; ++i) {
+      double x = 0.0;
+      switch (rng.uniform(0, 3)) {
+        case 0: x = rng.uniform01();                  break;  // sub-lo dust
+        case 1: x = rng.uniform(1, 1000);             break;  // in range
+        case 2: x = 1e6 + rng.uniform01() * 1e6;      break;  // overflow tail
+        case 3: x = 64.0;                             break;  // duplicates on an edge
+      }
+      h.add(x);
+      const double p50 = h.percentile(0.5);
+      const double p90 = h.percentile(0.9);
+      const double p99 = h.percentile(0.99);
+      ASSERT_LE(p50, p90) << "seed=" << seed << " i=" << i;
+      ASSERT_LE(p90, p99) << "seed=" << seed << " i=" << i;
+      ASSERT_LE(h.min(), p50) << "seed=" << seed << " i=" << i;
+      ASSERT_LE(p99, h.max()) << "seed=" << seed << " i=" << i;
+    }
+  }
 }
 
 }  // namespace
