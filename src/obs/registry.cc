@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 
 namespace netd::obs {
@@ -22,8 +23,11 @@ std::size_t thread_shard_slot() {
 /// values as integers (counters read naturally), everything else with
 /// enough digits to round-trip monitoring math.
 std::string format_value(double v) {
-  if (v == static_cast<double>(static_cast<long long>(v)) && v > -1e15 &&
-      v < 1e15) {
+  // Range-check before casting: long long conversion is UB outside its
+  // range and for NaN/Inf (both fail the comparisons below, so they fall
+  // through to %g).
+  if (v > -1e15 && v < 1e15 &&
+      v == static_cast<double>(static_cast<long long>(v))) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
     return buf;
@@ -135,8 +139,20 @@ Registry::Entry& Registry::find_or_create(
   std::string key(name);
   key += render_labels(labels);
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& e : entries_)
-    if (e->key == key) return *e;
+  for (auto& e : entries_) {
+    if (e->key != key) continue;
+    if (e->type != type) {
+      // Re-registering a series under a different type is a programmer
+      // error that would make the TYPE line lie about the value shape.
+      // Fail loudly rather than silently reusing the entry.
+      std::fprintf(stderr,
+                   "netd_obs: metric '%s' registered as %s but previously "
+                   "as %s\n",
+                   e->key.c_str(), type_name(type), type_name(e->type));
+      std::abort();
+    }
+    return *e;
+  }
   auto e = std::make_unique<Entry>();
   e->name = std::string(name);
   e->help = std::string(help);
@@ -268,6 +284,13 @@ std::string render_prometheus(const std::vector<Sample>& samples) {
 std::string render_global_prometheus(const std::vector<Sample>& extras) {
   std::vector<Sample> all = Registry::global().collect();
   all.insert(all.end(), extras.begin(), extras.end());
+  // Re-sort the merged list: extras arrive in caller order and may
+  // interleave with registry families; Prometheus parsers require each
+  // family contiguous under a single TYPE line.
+  std::sort(all.begin(), all.end(), [](const Sample& a, const Sample& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return a.labels < b.labels;
+  });
   return render_prometheus(all);
 }
 

@@ -129,7 +129,10 @@ struct Sample {
 };
 
 /// Name + labels registry. register-once, mutate-forever: repeated calls
-/// with the same (name, labels) return the same instrument.
+/// with the same (name, labels) return the same instrument. Re-registering
+/// an existing (name, labels) under a different type is a programmer error
+/// and aborts — silently reusing the entry would emit a TYPE line that
+/// lies about the value shape.
 class Registry {
  public:
   /// The process-wide registry every instrumented subsystem uses.
@@ -182,7 +185,9 @@ class Registry {
 /// order. A trailing newline terminates the document.
 [[nodiscard]] std::string render_prometheus(const std::vector<Sample>& samples);
 
-/// Registry::global().collect() + extras, rendered.
+/// Registry::global().collect() + extras, merged, re-sorted by
+/// (name, labels) so families stay contiguous even when extras share a
+/// namespace with registry instruments, and rendered.
 [[nodiscard]] std::string render_global_prometheus(
     const std::vector<Sample>& extras = {});
 

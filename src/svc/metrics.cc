@@ -84,6 +84,9 @@ std::vector<obs::Sample> ServiceMetrics::to_samples() const {
     s.value = static_cast<double>(v);
     out.push_back(std::move(s));
   }
+  // One loop per family, not one per op: Prometheus requires every
+  // sample of a family to be contiguous under a single # TYPE line, and
+  // real parsers (prometheus/common expfmt) reject a repeated TYPE.
   for (const auto& [name, p] : ops) {
     obs::Sample c;
     c.name = "netd_svc_requests_total";
@@ -92,6 +95,8 @@ std::vector<obs::Sample> ServiceMetrics::to_samples() const {
     c.labels = {{"op", name}};
     c.value = static_cast<double>(p.count);
     out.push_back(std::move(c));
+  }
+  for (const auto& [name, p] : ops) {
     obs::Sample e;
     e.name = "netd_svc_request_errors_total";
     e.help = "Requests answered with an error, by op";
@@ -99,6 +104,8 @@ std::vector<obs::Sample> ServiceMetrics::to_samples() const {
     e.labels = {{"op", name}};
     e.value = static_cast<double>(p.errors);
     out.push_back(std::move(e));
+  }
+  for (const auto& [name, p] : ops) {
     obs::Sample h;
     h.name = "netd_svc_request_latency_us";
     h.help = "Request handling latency (microseconds), by op";

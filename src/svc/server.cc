@@ -150,7 +150,10 @@ std::string Server::stats_json() const {
   // number lexeme short; both values come from the steady clock.
   const double up = uptime_seconds();
   j.set("uptime_seconds", Json::number(std::round(up * 1000.0) / 1000.0));
-  j.set("start_time",
+  // Named to make the clock domain unmistakable: this is
+  // steady_clock::time_since_epoch() (typically time since boot), not a
+  // wall-clock Unix timestamp.
+  j.set("start_monotonic_ms",
         Json::uinteger(static_cast<unsigned long long>(
             std::chrono::duration_cast<std::chrono::milliseconds>(
                 start_time_.time_since_epoch())

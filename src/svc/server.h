@@ -109,9 +109,10 @@ class Server {
 
   /// Current metrics as the stats-verb JSON document. The historical
   /// ServiceMetrics fields render byte-identically to previous releases;
-  /// `uptime_seconds` and the monotonic `start_time` (both steady-clock
-  /// derived, so replay determinism is unaffected) are appended after
-  /// them.
+  /// `uptime_seconds` and `start_monotonic_ms` (both steady-clock
+  /// derived, so replay determinism is unaffected; the name says
+  /// monotonic so nobody reads it as a Unix timestamp) are appended
+  /// after them.
   [[nodiscard]] std::string stats_json() const;
 
   /// Current metrics in Prometheus text exposition format: the global
@@ -166,7 +167,8 @@ class Server {
   Options opts_;
   Fd listener_;
   /// Monotonic birth time: uptime_seconds and the stats verb's
-  /// `start_time` derive from the steady clock, never wall clock.
+  /// `start_monotonic_ms` derive from the steady clock, never wall
+  /// clock.
   std::chrono::steady_clock::time_point start_time_{};
   std::unique_ptr<util::ThreadPool> pool_;
   std::thread acceptor_;

@@ -50,7 +50,18 @@ bool parse_exposition(const std::string& text, ParsedExposition* out,
         *error = "bad comment on line " + std::to_string(lineno);
         return false;
       }
-      if (kind == "TYPE") out->typed_families.push_back(family);
+      if (kind == "TYPE") {
+        // Real Prometheus parsers reject a second TYPE line for the same
+        // family; enforce the same here so interleaved families fail.
+        for (const auto& f : out->typed_families) {
+          if (f == family) {
+            *error = "duplicate TYPE for " + family + " on line " +
+                     std::to_string(lineno);
+            return false;
+          }
+        }
+        out->typed_families.push_back(family);
+      }
       continue;
     }
     const auto sp = line.rfind(' ');
@@ -230,6 +241,16 @@ TEST(Render, OutputParsesWithMinimalParser) {
   }
   EXPECT_DOUBLE_EQ(inf_bucket, 4.0);
   EXPECT_DOUBLE_EQ(count, 4.0);
+}
+
+TEST(Registry, TypeConflictFailsLoudly) {
+  EXPECT_DEATH(
+      {
+        Registry r;
+        (void)r.counter("conflict_total", "first as counter");
+        (void)r.histogram("conflict_total", "now as histogram");
+      },
+      "registered as histogram but previously as counter");
 }
 
 TEST(Render, GlobalIncludesRegisteredInstrumentsAndExtras) {

@@ -3,10 +3,12 @@
 // campaign-mirrored counters, and the appended uptime fields.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -73,6 +75,26 @@ TEST(ServiceMetricsSamples, MirrorsTheJsonNumbers) {
   EXPECT_TRUE(saw_connections);
   EXPECT_TRUE(saw_quarantined);
   EXPECT_TRUE(saw_latency);
+}
+
+/// Regression: with several ops recorded, the per-op families must come
+/// out grouped — a family must never reappear after another family has
+/// started, or the rendered exposition repeats TYPE lines and real
+/// Prometheus parsers reject the scrape.
+TEST(ServiceMetricsSamples, FamiliesAreContiguousAcrossOps) {
+  ServiceMetrics m;
+  m.record("hello", true, 1.0);
+  m.record("observe", true, 10.0);
+  m.record("stats", false, 5.0);
+  std::vector<std::string> family_order;
+  for (const auto& s : m.to_samples()) {
+    if (family_order.empty() || family_order.back() != s.name) {
+      EXPECT_EQ(std::count(family_order.begin(), family_order.end(), s.name),
+                0)
+          << "family " << s.name << " reappears after another family";
+      family_order.push_back(s.name);
+    }
+  }
 }
 
 class MetricsVerbTest : public ::testing::Test {
@@ -153,7 +175,7 @@ TEST_F(MetricsVerbTest, StatsAppendsUptimeAfterThePinnedKeys) {
   const Json* up = first.find("uptime_seconds");
   ASSERT_NE(up, nullptr);
   EXPECT_GE(up->as_double(), 0.0);
-  const Json* start = first.find("start_time");
+  const Json* start = first.find("start_monotonic_ms");
   ASSERT_NE(start, nullptr);
   EXPECT_GT(start->as_int(), 0);
 
@@ -161,33 +183,48 @@ TEST_F(MetricsVerbTest, StatsAppendsUptimeAfterThePinnedKeys) {
   const auto& members = first.members();
   ASSERT_GE(members.size(), 2u);
   EXPECT_EQ(members[members.size() - 2].first, "uptime_seconds");
-  EXPECT_EQ(members[members.size() - 1].first, "start_time");
+  EXPECT_EQ(members[members.size() - 1].first, "start_monotonic_ms");
   EXPECT_EQ(members[0].first, "connections");
 
-  // Monotonic: uptime never goes backwards, start_time never moves.
+  // Monotonic: uptime never goes backwards, the start stamp never moves.
   const Json second = stats_doc(c);
   EXPECT_GE(second.find("uptime_seconds")->as_double(), up->as_double());
-  EXPECT_EQ(second.find("start_time")->as_int(), start->as_int());
+  EXPECT_EQ(second.find("start_monotonic_ms")->as_int(), start->as_int());
 }
 
 TEST_F(MetricsVerbTest, MetricsVerbRendersParseablePrometheusText) {
   Client c = connect();
-  (void)stats_doc(c);  // populate per-op counters
+  // Populate several distinct ops so the per-op families
+  // (requests/errors/latency) each carry more than one series — the case
+  // that used to interleave families and repeat TYPE lines.
+  (void)stats_doc(c);
+  (void)stats_doc(c);
+  (void)metrics_text(c);
   const std::string text = metrics_text(c);
   ASSERT_FALSE(text.empty());
   EXPECT_EQ(text.back(), '\n');
 
-  // Every non-comment line must be `series value` with a numeric value.
+  // Every non-comment line must be `series value` with a numeric value,
+  // and each family must announce its TYPE exactly once (real Prometheus
+  // parsers reject a second TYPE line for the same name).
   std::istringstream is(text);
   std::string line;
   std::size_t samples = 0;
   bool saw_uptime = false, saw_stats_op = false;
+  std::set<std::string> typed_families;
   while (std::getline(is, line)) {
     ASSERT_FALSE(line.empty());
     if (line[0] == '#') {
       EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
                   line.rfind("# TYPE ", 0) == 0)
           << line;
+      if (line.rfind("# TYPE ", 0) == 0) {
+        std::istringstream ls(line);
+        std::string hash, kind, family;
+        ls >> hash >> kind >> family;
+        EXPECT_TRUE(typed_families.insert(family).second)
+            << "duplicate TYPE line for " << family;
+      }
       continue;
     }
     const auto sp = line.rfind(' ');
