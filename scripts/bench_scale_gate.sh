@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Internet-scale solver regression gate: runs bench_scale on the default
+# {165, 2000, 10000}-AS ladder and compares each record's kernel speedup
+# (reference scorer / bitset scorer, both on the same prebuilt demands)
+# against the committed baseline BENCH_scale.json. Fails when any
+# record's speedup regresses by more than ND_GATE_LIMIT_PCT percent
+# (default 20).
+#
+# The speedup is a within-run ratio of two scorers compiled into the
+# same binary and fed identical inputs, so it is robust to absolute
+# machine speed — the right invariant to pin on heterogeneous CI boxes
+# (absolute wall_ms baselines recorded on one machine are meaningless on
+# another; a ratio regression means the kernel itself got slower).
+#
+# Usage: bench_scale_gate.sh [source-dir] [workdir]
+set -eu
+
+SRC=${1:-.}
+WORK=${2:-bench_scale_gate_work}
+LIMIT=${ND_GATE_LIMIT_PCT:-20}
+GEN=${ND_GATE_GENERATOR:-Ninja}
+BASELINE="$SRC/BENCH_scale.json"
+
+[ -f "$BASELINE" ] || { echo "bench_scale_gate: missing $BASELINE"; exit 1; }
+
+mkdir -p "$WORK"
+echo "bench_scale_gate: building Release bench_scale"
+cmake -B "$WORK/build" -S "$SRC" -G "$GEN" -DCMAKE_BUILD_TYPE=Release \
+      >/dev/null
+cmake --build "$WORK/build" --target bench_scale >/dev/null
+echo "bench_scale_gate: running the scale ladder"
+rm -f "$WORK/perf.jsonl"
+ND_PERF_JSON="$WORK/perf.jsonl" "$WORK/build/bench/bench_scale"
+
+awk -v limit="$LIMIT" -v base_file="$BASELINE" '
+  {
+    if (match($0, /"bench":"[^"]*"/) == 0) next
+    name = substr($0, RSTART + 9, RLENGTH - 10)
+    if (match($0, /"speedup":[0-9.eE+-]+/) == 0) next
+    sp = substr($0, RSTART + 10, RLENGTH - 10) + 0
+    key = (FILENAME == base_file) ? "base" : "new"
+    best[key, name] = sp
+    names[name] = 1
+  }
+  END {
+    fail = 0
+    compared = 0
+    for (name in names) {
+      if (!(("base", name) in best) || !(("new", name) in best)) {
+        printf "bench_scale_gate: %s missing from one side\n", name
+        fail = 1
+        continue
+      }
+      b = best["base", name]; n = best["new", name]
+      pct = b > 0 ? (b - n) / b * 100 : 0
+      printf "bench_scale_gate: %-28s base=%6.2fx new=%6.2fx  %+.1f%%\n", \
+             name, b, n, -pct
+      compared++
+      if (pct > limit) {
+        printf "bench_scale_gate: FAIL %s regressed more than %s%%\n", \
+               name, limit
+        fail = 1
+      }
+    }
+    if (compared == 0) {
+      print "bench_scale_gate: FAIL no bench records compared"
+      fail = 1
+    }
+    exit fail
+  }
+' "$BASELINE" "$WORK/perf.jsonl"
+
+echo "bench_scale_gate: PASS (limit ${LIMIT}%)"

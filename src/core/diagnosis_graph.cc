@@ -33,6 +33,8 @@ std::vector<EdgeId> intern_path(DiagnosisGraph& dg,
       EdgeInfo info;
       info.phys_key = undirected_key(u.label, v.label);
       info.directed_key = u.label + ">" + v.label;
+      info.phys_id = dg.phys_keys.intern(info.phys_key);
+      info.dir_id = dg.directed_keys.intern(info.directed_key);
       info.unidentified = u.kind == NodeKind::kUnidentified ||
                           v.kind == NodeKind::kUnidentified;
       info.logical = logical;
@@ -75,30 +77,24 @@ std::vector<EdgeId> intern_path(DiagnosisGraph& dg,
       mid.asn = v.asn;
       const NodeId nm = dg.g.intern_node(mid.label, mid.kind, mid.asn);
       // Both logical halves inherit the physical link's identity.
-      const EdgeId e1 = dg.g.intern_edge(nu, nm);
-      if (e1.value() == dg.edges.size()) {
-        EdgeInfo info;
-        info.phys_key = undirected_key(u.label, v.label);
-        info.directed_key = u.label + ">" + v.label;
-        info.logical = true;
-        info.asn_src = u.asn;
-        info.asn_dst = v.asn;
-        dg.edges.push_back(std::move(info));
-      }
-      dg.probed_keys.insert(dg.edges[e1.value()].phys_key);
-      out.push_back(e1);
-      const EdgeId e2 = dg.g.intern_edge(nm, nv);
-      if (e2.value() == dg.edges.size()) {
-        EdgeInfo info;
-        info.phys_key = undirected_key(u.label, v.label);
-        info.directed_key = u.label + ">" + v.label;
-        info.logical = true;
-        info.asn_src = u.asn;
-        info.asn_dst = v.asn;
-        dg.edges.push_back(std::move(info));
-      }
-      dg.probed_keys.insert(dg.edges[e2.value()].phys_key);
-      out.push_back(e2);
+      auto add_logical = [&](NodeId a, NodeId b) {
+        const EdgeId e = dg.g.intern_edge(a, b);
+        if (e.value() == dg.edges.size()) {
+          EdgeInfo info;
+          info.phys_key = undirected_key(u.label, v.label);
+          info.directed_key = u.label + ">" + v.label;
+          info.phys_id = dg.phys_keys.intern(info.phys_key);
+          info.dir_id = dg.directed_keys.intern(info.directed_key);
+          info.logical = true;
+          info.asn_src = u.asn;
+          info.asn_dst = v.asn;
+          dg.edges.push_back(std::move(info));
+        }
+        dg.probed_keys.insert(dg.edges[e.value()].phys_key);
+        out.push_back(e);
+      };
+      add_logical(nu, nm);
+      add_logical(nm, nv);
     } else {
       add_edge(nu, nv, u, v, /*logical=*/false);
     }

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/interner.h"
 #include "graph/graph.h"
 #include "probe/prober.h"
 
@@ -28,6 +29,12 @@ struct EdgeInfo {
   std::string phys_key;
   /// Directed physical key "u>v"; used to match BGP-withdrawal pruning.
   std::string directed_key;
+  /// Dense interned ids of the two keys (DiagnosisGraph::phys_keys /
+  /// directed_keys), assigned in edge-creation order. The solver's hot
+  /// path works exclusively in this id space; the strings remain for
+  /// reporting and the wire surface.
+  std::uint32_t phys_id = KeyInterner::kNone;
+  std::uint32_t dir_id = KeyInterner::kNone;
   bool unidentified = false;  ///< touches a UH node
   bool logical = false;       ///< produced by logical-link expansion
   int asn_src = -1;           ///< physical endpoint ASNs (-1 unknown)
@@ -67,6 +74,9 @@ struct DiagnosisGraph {
   std::vector<PathObs> paths;   ///< pairs that worked at T− only
   /// All probed physical keys (T− and T+) — the set E of the paper.
   std::set<std::string> probed_keys;
+  /// Dense key id spaces (EdgeInfo::phys_id / dir_id index into these).
+  KeyInterner phys_keys;
+  KeyInterner directed_keys;
 
   [[nodiscard]] const EdgeInfo& info(graph::EdgeId e) const {
     return edges[e.value()];

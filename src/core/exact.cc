@@ -70,7 +70,7 @@ std::optional<std::vector<std::uint32_t>> minimum_hitting_set(
   s.budget = opt.max_nodes;
 
   std::set<std::vector<std::uint32_t>> dedup;
-  auto add_demand = [&](const std::vector<std::uint32_t>& raw) {
+  auto add_demand = [&](std::span<const std::uint32_t> raw) {
     std::vector<std::uint32_t> filtered;
     for (std::uint32_t e : raw) {
       if (demands.admissible[e]) filtered.push_back(e);
@@ -79,9 +79,13 @@ std::optional<std::vector<std::uint32_t>> minimum_hitting_set(
     std::sort(filtered.begin(), filtered.end());
     if (dedup.insert(filtered).second) s.sets.push_back(std::move(filtered));
   };
-  for (const auto& fs : demands.failure_sets) add_demand(fs);
+  for (std::size_t s = 0; s < demands.failure_sets.size(); ++s) {
+    add_demand(demands.failure_sets[s]);
+  }
   if (opt.cover_reroutes) {
-    for (const auto& rs : demands.reroute_sets) add_demand(rs);
+    for (std::size_t s = 0; s < demands.reroute_sets.size(); ++s) {
+      add_demand(demands.reroute_sets[s]);
+    }
   }
   if (s.sets.empty()) return std::vector<std::uint32_t>{};
 

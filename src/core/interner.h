@@ -1,0 +1,71 @@
+// Dense string-key interner for the solver hot path.
+//
+// The diagnosis algorithms canonically identify links by strings (physical
+// key "a|b", directed key "a>b"). Hashing those strings inside the greedy
+// loop is what made coverage scoring pointer-chase-bound, so the graph
+// builder interns every key once into a dense uint32_t id and the solver
+// works purely in id space. Ids are assigned in first-intern order, which
+// the builder visits in edge-creation order — the tie-break contract the
+// goldens pin (see DESIGN.md "Internet-scale solver hot path").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace netd::core {
+
+class KeyInterner {
+ public:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  /// Returns the id for `key`, assigning the next dense id on first sight.
+  std::uint32_t intern(std::string_view key) {
+    auto it = by_key_.find(key);
+    if (it != by_key_.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(keys_.size());
+    keys_.emplace_back(key);
+    by_key_.emplace(keys_.back(), id);
+    return id;
+  }
+
+  /// Id of `key`, or kNone when it was never interned.
+  [[nodiscard]] std::uint32_t find(std::string_view key) const {
+    auto it = by_key_.find(key);
+    return it == by_key_.end() ? kNone : it->second;
+  }
+
+  [[nodiscard]] const std::string& key(std::uint32_t id) const {
+    return keys_[id];
+  }
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+
+  void reserve(std::size_t n) {
+    keys_.reserve(n);
+    by_key_.reserve(n);
+  }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+
+  std::vector<std::string> keys_;
+  // Keys are owned copies (a short string's inline buffer would move when
+  // keys_ reallocates, so views into keys_ cannot back the map); lookups
+  // are heterogeneous so find() never builds a temporary std::string.
+  std::unordered_map<std::string, std::uint32_t, Hash, Eq> by_key_;
+};
+
+}  // namespace netd::core

@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <map>
 #include <optional>
-#include <unordered_set>
 
 #include "obs/registry.h"
 #include "obs/span.h"
+#include "util/bitset.h"
 
 namespace netd::core {
 
@@ -27,10 +28,10 @@ struct SolveInstruments {
       "Greedy max-score selection rounds across all solves");
   obs::Counter& cov_cache_hits = obs::Registry::global().counter(
       "netd_solve_cov_cache_hits_total",
-      "Coverage-cache epoch dedup hits (set already counted this group)");
+      "Coverage-row dedup hits (set already counted this group)");
   obs::Counter& cov_cache_misses = obs::Registry::global().counter(
       "netd_solve_cov_cache_misses_total",
-      "Coverage-cache entries built (distinct sets per group)");
+      "Coverage-row bits set (distinct sets per group)");
   obs::Histogram& candidates = obs::Registry::global().histogram(
       "netd_solve_candidates", "Admissible candidate edges per solve");
   obs::Histogram& groups = obs::Registry::global().histogram(
@@ -40,6 +41,9 @@ struct SolveInstruments {
   obs::Histogram& unexplained = obs::Registry::global().histogram(
       "netd_solve_unexplained_failure_sets",
       "Failure sets left unexplained per solve");
+  obs::Histogram& bitset_words = obs::Registry::global().histogram(
+      "netd_solve_bitset_words",
+      "64-bit words per coverage row (failure + reroute columns) per solve");
 
   static SolveInstruments& get() {
     static SolveInstruments i;
@@ -47,12 +51,10 @@ struct SolveInstruments {
   }
 };
 
-/// Signature of a UH-edge endpoint for cluster rule (i): identified
-/// endpoints must be the same node, unidentified ones must carry equal,
-/// known AS tags. Returns empty string when the endpoint is unresolvable
-/// (such edges never cluster).
-std::string endpoint_signature(const graph::Graph& g, NodeId n,
-                               const UhTagMap* tags) {
+}  // namespace
+
+std::string uh_endpoint_signature(const graph::Graph& g, graph::NodeId n,
+                                  const UhTagMap* tags) {
   const auto& node = g.node(n);
   if (node.kind != NodeKind::kUnidentified) return "n:" + node.label;
   if (tags == nullptr) return {};
@@ -62,8 +64,6 @@ std::string endpoint_signature(const graph::Graph& g, NodeId n,
   for (int a : *t) sig += std::to_string(a) + ",";
   return sig;
 }
-
-}  // namespace
 
 Demands build_demands(const DiagnosisGraph& dg, const SolverOptions& opt,
                       const ControlPlaneObs* cp) {
@@ -80,175 +80,323 @@ Demands build_demands(const DiagnosisGraph& dg, const SolverOptions& opt,
     for (EdgeId e : edges) working[e.value()] = 1;
   }
 
+  // Epoch-stamped scratch shared by every per-path dedup below — the old
+  // per-path unordered_set rebuilds were pure allocator churn.
+  std::vector<std::uint32_t> stamp(n_edges, 0);
+  std::uint32_t epoch = 0;
+
+  // Withdrawal directed keys resolved to dense ids once (a key never
+  // probed matches no edge and is dropped), deduplicated, and bucketed by
+  // destination ASN — pruning a path then consults only the withdrawals
+  // that can match it instead of rescanning the full observation list per
+  // path (the old quadratic sweep dominated Internet-scale solves).
+  // Duplicate (link, prefix) withdrawals prune identically, so dedup
+  // cannot change any failure set.
+  std::unordered_map<int, std::vector<std::uint32_t>> withdrawals_by_asn;
+  if (opt.use_control_plane && cp != nullptr) {
+    // BGP feeds repeat keys in bursts (one announcement per withdrawn
+    // prefix over the same session), so a two-entry lookup cache absorbs
+    // most interner probes.
+    const std::string* last_key[2] = {nullptr, nullptr};
+    std::uint32_t last_id[2] = {KeyInterner::kNone, KeyInterner::kNone};
+    for (const auto& w : cp->withdrawals) {
+      std::uint32_t id;
+      if (last_key[0] != nullptr && *last_key[0] == w.directed_key) {
+        id = last_id[0];
+      } else if (last_key[1] != nullptr && *last_key[1] == w.directed_key) {
+        id = last_id[1];
+        std::swap(last_key[0], last_key[1]);
+        std::swap(last_id[0], last_id[1]);
+      } else {
+        id = dg.directed_keys.find(w.directed_key);
+        last_key[1] = last_key[0];
+        last_id[1] = last_id[0];
+        last_key[0] = &w.directed_key;
+        last_id[0] = id;
+      }
+      if (id == KeyInterner::kNone) continue;
+      withdrawals_by_asn[w.dest_asn].push_back(id);
+    }
+    // Dedup per bucket in one pass. Pruning reads only each bucket's
+    // (unique) deepest on-path matches, which is order-independent, so
+    // sorting here cannot change any failure set.
+    for (auto& [asn, bucket] : withdrawals_by_asn) {
+      std::sort(bucket.begin(), bucket.end());
+      bucket.erase(std::unique(bucket.begin(), bucket.end()), bucket.end());
+    }
+  }
+  // A session-wide outage withdraws the same links toward every dead
+  // prefix, so the per-ASN buckets collapse to a handful of distinct link
+  // sets. Canonicalizing them lets the pruning loop below stamp a bucket's
+  // membership once and reuse it across every destination that shares it.
+  std::vector<std::vector<std::uint32_t>> unique_buckets;
+  std::unordered_map<int, std::uint32_t> bucket_of_asn;
+  {
+    std::map<std::vector<std::uint32_t>, std::uint32_t> canon;
+    for (auto& [asn, bucket] : withdrawals_by_asn) {
+      auto [it, inserted] = canon.emplace(
+          bucket, static_cast<std::uint32_t>(unique_buckets.size()));
+      if (inserted) unique_buckets.push_back(std::move(bucket));
+      bucket_of_asn.emplace(asn, it->second);
+    }
+  }
+
+  // Admissibility is a pure per-edge predicate, resolved into one flat
+  // byte array up front: the fill loops below touch edges in path order
+  // (random access), so folding the working/unidentified tests into a
+  // single precomputed byte halves their cache traffic. Membership in the
+  // candidate set U is still decided inline as each set is filled — only
+  // edges that actually appear in some set are admissible.
+  const bool keep_uh = opt.uh_clustering || !opt.ignore_unidentified;
+  out.admissible.assign(n_edges, 0);
+  std::vector<char> elig(n_edges, 0);
+  for (std::uint32_t e = 0; e < n_edges; ++e) {
+    elig[e] = static_cast<char>(!working[e] &&
+                                (keep_uh || !dg.edges[e].unidentified));
+  }
+
   // ---- Failure sets L (one per broken path), withdrawal-pruned ------------
   auto& failure_sets = out.failure_sets;
+  {
+    std::size_t n_failing = 0, total_len = 0;
+    for (const PathObs& p : dg.paths) {
+      if (p.ok_after) continue;
+      ++n_failing;
+      total_len += p.before.size();
+    }
+    failure_sets.off.reserve(1 + n_failing);
+    failure_sets.items.reserve(total_len);  // upper bound (pre-pruning)
+  }
+  std::vector<char> pruned;
+  // Last on-path position of each withdrawal link, epoch-stamped over the
+  // dense directed-id space.
+  std::vector<std::uint32_t> wd_epoch(dg.directed_keys.size(), 0);
+  std::vector<std::uint32_t> wd_last(dg.directed_keys.size(), 0);
+  std::vector<std::uint32_t> wd_matched;
+  std::uint32_t wd_gen = 0;
+  std::uint32_t stamped_bucket = KeyInterner::kNone;
   for (const PathObs& p : dg.paths) {
     if (p.ok_after) continue;
-    std::vector<char> pruned(p.before.size(), 0);
-    if (opt.use_control_plane && cp != nullptr) {
+    bool use_pruned = false;
+    const auto wb = bucket_of_asn.empty() ? bucket_of_asn.end()
+                                          : bucket_of_asn.find(p.dest_asn);
+    if (wb != bucket_of_asn.end()) {
+      use_pruned = true;
+      pruned.assign(p.before.size(), 0);
       // A withdrawal for this destination's prefix received over link l
       // proves the failure is beyond l: drop everything up to and
       // including l (paper §3.3 example). Exception: the *logical* edges
       // of l itself stay — receiving the withdrawal over l shows l is
       // physically alive, but the withdrawal may itself be the symptom of
-      // a misconfigured export filter at l's far end.
-      for (const auto& w : cp->withdrawals) {
-        if (w.dest_asn != p.dest_asn) continue;
-        std::size_t last = p.before.size();
-        for (std::size_t i = 0; i < p.before.size(); ++i) {
-          if (dg.info(p.before[i]).directed_key == w.directed_key) last = i;
+      // a misconfigured export filter at l's far end. (An edge spared by
+      // one withdrawal's exception is still pruned when any *other*
+      // matching withdrawal reaches its position.)
+      if (stamped_bucket != wb->second) {
+        ++wd_gen;
+        for (std::uint32_t id : unique_buckets[wb->second]) {
+          wd_epoch[id] = wd_gen;
         }
-        if (last == p.before.size()) continue;  // withdrawal link not on path
-        for (std::size_t i = 0; i <= last; ++i) {
+        stamped_bucket = wb->second;
+      }
+      // One pass: record the last on-path position per withdrawal link
+      // (wd_last was reset to 0 below after the previous path that used
+      // this generation, so stale positions never leak across paths).
+      wd_matched.clear();
+      for (std::size_t i = 0; i < p.before.size(); ++i) {
+        const std::uint32_t d = dg.info(p.before[i]).dir_id;
+        if (wd_epoch[d] == wd_gen) {
+          if (wd_last[d] == 0) wd_matched.push_back(d);
+          wd_last[d] = static_cast<std::uint32_t>(i) + 1;  // 1-based; 0 = absent
+        }
+      }
+      // The two deepest distinct matches decide everything: an edge at
+      // position i is pruned iff some match reaches i (i < first), unless
+      // it is a logical edge of the deepest match and no other match
+      // reaches it (i >= second). The max is over distinct ids (one id per
+      // position), so the match order cannot affect the outcome.
+      std::size_t first = 0, second = 0;  // 1-based positions past the match
+      std::uint32_t first_dir = KeyInterner::kNone;
+      for (std::uint32_t id : wd_matched) {
+        const std::uint32_t last = wd_last[id];
+        wd_last[id] = 0;  // reset for the next path
+        if (last > first) {
+          second = first;
+          first = last;
+          first_dir = id;
+        } else if (last > second) {
+          second = last;
+        }
+      }
+      if (first > 0) {
+        for (std::size_t i = 0; i < first; ++i) {
           const EdgeInfo& info = dg.info(p.before[i]);
-          if (info.logical && info.directed_key == w.directed_key) continue;
+          if (info.logical && info.dir_id == first_dir && i + 1 > second) {
+            continue;
+          }
           pruned[i] = 1;
         }
-      }
-      // Degenerate guard: never prune a failure set into emptiness.
-      if (std::all_of(pruned.begin(), pruned.end(),
-                      [](char c) { return c != 0; })) {
-        std::fill(pruned.begin(), pruned.end(), 0);
+        // Degenerate guard: never prune a failure set into emptiness.
+        if (first == p.before.size() &&
+            std::all_of(pruned.begin(), pruned.end(),
+                        [](char c) { return c != 0; })) {
+          std::fill(pruned.begin(), pruned.end(), 0);
+        }
       }
     }
-    std::vector<std::uint32_t> fset;
-    std::unordered_set<std::uint32_t> seen;
+    ++epoch;
     for (std::size_t i = 0; i < p.before.size(); ++i) {
-      if (pruned[i]) continue;
-      if (seen.insert(p.before[i].value()).second) {
-        fset.push_back(p.before[i].value());
+      if (use_pruned && pruned[i]) continue;
+      const std::uint32_t e = p.before[i].value();
+      if (stamp[e] != epoch) {
+        stamp[e] = epoch;
+        failure_sets.items.push_back(e);
+        if (elig[e]) out.admissible[e] = 1;
       }
     }
-    failure_sets.push_back(std::move(fset));
+    failure_sets.end_set();
   }
 
   // ---- Reroute sets R (ND-edge, §3.2) --------------------------------------
   auto& reroute_sets = out.reroute_sets;
   if (opt.use_reroutes) {
+    std::vector<std::uint32_t> after_stamp(n_edges, 0);
+    std::uint32_t after_epoch = 0;
     for (const PathObs& p : dg.paths) {
       if (!p.ok_after || !p.rerouted) continue;
-      std::unordered_set<std::uint32_t> after(p.after.size() * 2);
-      for (EdgeId e : p.after) after.insert(e.value());
-      std::vector<std::uint32_t> rset;
-      std::unordered_set<std::uint32_t> seen;
+      ++after_epoch;
+      for (EdgeId e : p.after) after_stamp[e.value()] = after_epoch;
+      ++epoch;
+      const std::size_t start = reroute_sets.items.size();
       for (EdgeId e : p.before) {
-        if (after.count(e.value()) == 0 && seen.insert(e.value()).second) {
-          rset.push_back(e.value());
+        const std::uint32_t ev = e.value();
+        if (after_stamp[ev] != after_epoch && stamp[ev] != epoch) {
+          stamp[ev] = epoch;
+          reroute_sets.items.push_back(ev);
+          if (elig[ev]) out.admissible[ev] = 1;
         }
       }
-      if (!rset.empty()) reroute_sets.push_back(std::move(rset));
+      if (reroute_sets.items.size() > start) reroute_sets.end_set();
     }
   }
 
   // ---- Candidate set U ------------------------------------------------------
-  const bool keep_uh = opt.uh_clustering || !opt.ignore_unidentified;
-  auto is_admissible = [&](std::uint32_t e) {
-    if (working[e]) return false;
-    if (dg.edges[e].unidentified && !keep_uh) return false;
-    return true;
-  };
-  out.admissible.assign(n_edges, 0);
+  // U = the admissible edges of L ∪ R (the reroute half matters because a
+  // reroutable failure leaves no failed path behind it). The fill loops
+  // above flagged them; one scan of the bitmap emits the ids already in
+  // the ascending order the old sort produced.
   auto& candidates = out.candidates;
-  auto add_candidate = [&](std::uint32_t e) {
-    if (!out.admissible[e] && is_admissible(e)) {
-      out.admissible[e] = 1;
-      candidates.push_back(e);
-    }
-  };
-  for (const auto& fs : failure_sets) {
-    for (std::uint32_t e : fs) add_candidate(e);
+  candidates.reserve(static_cast<std::size_t>(
+      std::count(out.admissible.begin(), out.admissible.end(), char{1})));
+  for (std::uint32_t e = 0; e < n_edges; ++e) {
+    if (out.admissible[e]) candidates.push_back(e);
   }
-  // The links that explain rerouted-but-working paths must also be
-  // considered: a reroutable failure leaves no failed path behind it.
-  for (const auto& rs : reroute_sets) {
-    for (std::uint32_t e : rs) add_candidate(e);
-  }
-  std::sort(candidates.begin(), candidates.end());
   return out;
 }
 
+// The greedy loop runs entirely in dense id space over packed bitset rows:
+// each candidate group has one row per set family (failure, reroute) with
+// bit s set iff the group can explain set s; the still-unexplained sets
+// are two global masks. Rows are materialized once through a rolling
+// scratch BitVec that computes each group's initial score against the
+// masks; from then on the counts are maintained decrementally — a
+// selection "clears columns" (the explained sets' bits drop out of the
+// masks) and each cleared column walks its set→groups CSR to decrement
+// exactly the affected counts. A round is then an argmax scan over two
+// flat count arrays. No hashing, no per-round allocation, no re-counting
+// of rows whose coverage did not change.
 Result solve(const DiagnosisGraph& dg, const SolverOptions& opt,
              const ControlPlaneObs* cp, const UhTagMap* tags) {
   obs::Span solve_span("solve");
+  const Demands demands = [&] {
+    obs::Span s("build_demands");
+    return build_demands(dg, opt, cp);
+  }();
+  return solve(dg, opt, demands, cp, tags);
+}
+
+Result solve(const DiagnosisGraph& dg, const SolverOptions& opt,
+             const Demands& demands, const ControlPlaneObs* cp,
+             const UhTagMap* tags) {
   SolveInstruments& ins = SolveInstruments::get();
   ins.solves.inc();
   Result result;
   const std::size_t n_edges = dg.edges.size();
-  Demands demands = [&] {
-    obs::Span s("build_demands");
-    return build_demands(dg, opt, cp);
-  }();
   ins.candidates.observe(static_cast<double>(demands.candidates.size()));
   auto& failure_sets = demands.failure_sets;
   auto& reroute_sets = demands.reroute_sets;
   auto& candidates = demands.candidates;
   std::vector<char> in_u = demands.admissible;
 
-  // ---- Inverted indices -----------------------------------------------------
-  std::vector<std::vector<std::uint32_t>> f_of_edge(n_edges), r_of_edge(n_edges);
-  for (std::uint32_t s = 0; s < failure_sets.size(); ++s) {
-    for (std::uint32_t e : failure_sets[s]) f_of_edge[e].push_back(s);
+  // IGP link-down evidence, resolved to phys-id flags up front (the
+  // seeding itself runs after the masks exist).
+  std::vector<char> igp_down;
+  if (opt.use_control_plane && cp != nullptr && !cp->igp_down_keys.empty()) {
+    igp_down.assign(dg.phys_keys.size(), 0);
+    bool any = false;
+    for (const std::string& k : cp->igp_down_keys) {
+      const std::uint32_t id = dg.phys_keys.find(k);
+      if (id != KeyInterner::kNone) {
+        igp_down[id] = 1;
+        any = true;
+      }
+    }
+    if (!any) igp_down.clear();
   }
-  for (std::uint32_t s = 0; s < reroute_sets.size(); ++s) {
-    for (std::uint32_t e : reroute_sets[s]) r_of_edge[e].push_back(s);
-  }
-  std::vector<char> f_explained(failure_sets.size(), 0);
-  std::vector<char> r_explained(reroute_sets.size(), 0);
+
+  // ---- Unexplained-set masks -------------------------------------------------
+  util::BitVec unexpl_f(failure_sets.size());
+  util::BitVec unexpl_r(reroute_sets.size());
+  unexpl_f.fill_all();
+  unexpl_r.fill_all();
 
   std::vector<EdgeId> hypothesis;
   std::vector<RankedLink> ranked;
-  std::unordered_map<std::string, std::size_t> rank_of_key;
-  auto record_rank = [&](const std::string& key, double score, int round) {
-    auto [it, inserted] = rank_of_key.emplace(key, ranked.size());
-    if (inserted) {
-      ranked.push_back(RankedLink{key, score, round});
-    } else if (score > ranked[it->second].score) {
-      ranked[it->second].score = score;
+  // Rank bookkeeping in phys-id space: slot of a key in `ranked`, or -1.
+  std::vector<std::int32_t> rank_slot(dg.phys_keys.size(), -1);
+  auto record_rank = [&](std::uint32_t phys_id, double score, int round) {
+    std::int32_t& slot = rank_slot[phys_id];
+    if (slot < 0) {
+      slot = static_cast<std::int32_t>(ranked.size());
+      ranked.push_back(RankedLink{dg.phys_keys.key(phys_id), score, round});
+    } else if (score > ranked[slot].score) {
+      ranked[slot].score = score;
     }
   };
-  auto select_edge = [&](std::uint32_t e) {
-    hypothesis.push_back(EdgeId{e});
-    in_u[e] = 0;
-    for (std::uint32_t s : f_of_edge[e]) f_explained[s] = 1;
-    for (std::uint32_t s : r_of_edge[e]) r_explained[s] = 1;
-  };
-
   // ---- IGP seeding (ND-bgpigp, §3.3) ----------------------------------------
-  if (opt.use_control_plane && cp != nullptr && !cp->igp_down_keys.empty()) {
-    std::unordered_set<std::string> igp(cp->igp_down_keys.begin(),
-                                        cp->igp_down_keys.end());
+  // Seeded edges enter the hypothesis immediately; every set containing a
+  // seeded edge is explained before the greedy phase starts. The mask
+  // clearing is one sequential sweep over the flat set arenas (seeded
+  // edges may be inadmissible, so no candidate-restricted structure could
+  // answer this).
+  if (!igp_down.empty()) {
+    std::vector<char> igp_sel(n_edges, 0);
     for (std::uint32_t e = 0; e < n_edges; ++e) {
-      if (igp.count(dg.edges[e].phys_key) != 0) {
-        record_rank(dg.edges[e].phys_key,
+      if (igp_down[dg.edges[e].phys_id]) {
+        record_rank(dg.edges[e].phys_id,
                     std::numeric_limits<double>::infinity(), -1);
-        select_edge(e);
+        hypothesis.push_back(EdgeId{e});
+        in_u[e] = 0;
+        igp_sel[e] = 1;
+      }
+    }
+    for (std::uint32_t s = 0; s < failure_sets.size(); ++s) {
+      for (std::uint32_t e : failure_sets[s]) {
+        if (igp_sel[e]) {
+          unexpl_f.clear(s);
+          break;
+        }
+      }
+    }
+    for (std::uint32_t s = 0; s < reroute_sets.size(); ++s) {
+      for (std::uint32_t e : reroute_sets[s]) {
+        if (igp_sel[e]) {
+          unexpl_r.clear(s);
+          break;
+        }
       }
     }
   }
 
-  // ---- UH clusters (ND-LG, §3.4) ---------------------------------------------
-  // linkCluster(l): same endpoint AS tags, different path, same number of
-  // failure-set memberships. Stored as cluster id -> members; edges with
-  // unresolvable endpoints stay unclustered.
-  std::vector<std::vector<std::uint32_t>> cluster_members;
-  std::vector<int> cluster_of(n_edges, -1);
-  if (opt.uh_clustering) {
-    std::unordered_map<std::string, std::uint32_t> by_signature;
-    for (std::uint32_t e : candidates) {
-      if (!dg.edges[e].unidentified) continue;
-      const auto& ge = dg.g.edge(EdgeId{e});
-      const std::string s1 = endpoint_signature(dg.g, ge.src, tags);
-      const std::string s2 = endpoint_signature(dg.g, ge.dst, tags);
-      if (s1.empty() || s2.empty()) continue;  // unresolvable endpoint
-      const std::string sig =
-          s1 + "/" + s2 + "/#f" + std::to_string(f_of_edge[e].size());
-      auto [it, inserted] = by_signature.emplace(
-          sig, static_cast<std::uint32_t>(cluster_members.size()));
-      if (inserted) cluster_members.emplace_back();
-      cluster_members[it->second].push_back(e);
-      cluster_of[e] = static_cast<int>(it->second);
-    }
-  }
   // ---- Candidate groups -------------------------------------------------------
   // The unit of selection is a *link*, not a graph edge: all logical
   // pieces of one directed physical hop (u→v(W1), W1→..., u→v(W2), ...)
@@ -257,131 +405,281 @@ Result solve(const DiagnosisGraph& dg, const SolverOptions& opt,
   // link's score across its per-next-AS pieces and intradomain links on
   // the same paths always outscore it. Working logical pieces were never
   // admitted, so the misconfiguration semantics of §3.1 are unchanged.
-  std::vector<std::vector<std::uint32_t>> groups;
+  // Grouping is a flat first-seen map over dense directed-key ids;
+  // iterating candidates in ascending edge-id order reproduces the
+  // insertion order the string-keyed grouping had (the tie-break
+  // contract). Members live in one CSR arena, counted then placed.
+  std::vector<std::uint32_t> own_group(n_edges, KeyInterner::kNone);
+  std::vector<std::uint32_t> grp_off, grp_members;
+  std::size_t num_groups = 0;
   {
-    std::unordered_map<std::string, std::uint32_t> by_key;
+    std::vector<std::uint32_t> group_of_dir(dg.directed_keys.size(),
+                                            KeyInterner::kNone);
+    std::vector<std::uint32_t> counts;
     for (std::uint32_t e : candidates) {
-      auto [it, inserted] = by_key.emplace(
-          dg.edges[e].directed_key, static_cast<std::uint32_t>(groups.size()));
-      if (inserted) groups.emplace_back();
-      groups[it->second].push_back(e);
+      std::uint32_t& slot = group_of_dir[dg.edges[e].dir_id];
+      if (slot == KeyInterner::kNone) {
+        slot = static_cast<std::uint32_t>(counts.size());
+        counts.push_back(0);
+      }
+      own_group[e] = slot;
+      ++counts[slot];
     }
+    num_groups = counts.size();
+    grp_off.assign(num_groups + 1, 0);
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      grp_off[g + 1] = grp_off[g] + counts[g];
+    }
+    grp_members.resize(candidates.size());
+    std::vector<std::uint32_t> cur(grp_off.begin(), grp_off.end() - 1);
+    for (std::uint32_t e : candidates) grp_members[cur[own_group[e]]++] = e;
   }
-  // ---- Cached group coverage --------------------------------------------------
-  // Scoring used to rebuild an unordered_set per (group, round) to count
-  // the distinct unexplained sets a group can explain — O(groups × members
-  // × set lists) of hashing and allocation per round. The member set a
-  // group draws coverage from is fixed for the whole loop (selection only
-  // ever removes whole groups, and cluster-mate contributions never check
-  // membership), so each group's distinct (failure, reroute) set lists are
-  // computed once with epoch-stamped scratch arrays, and live counts of
-  // the still-unexplained ones are maintained incrementally: explaining a
-  // set decrements exactly the groups that cover it.
-  const std::size_t num_groups = groups.size();
-  ins.groups.observe(static_cast<double>(num_groups));
-  std::vector<std::vector<std::uint32_t>> cov_f(num_groups), cov_r(num_groups);
-  std::uint64_t cache_hits = 0, cache_misses = 0;
-  {
-    std::vector<std::uint32_t> f_seen(failure_sets.size(), 0);
-    std::vector<std::uint32_t> r_seen(reroute_sets.size(), 0);
-    std::uint32_t epoch = 0;
-    for (std::uint32_t g = 0; g < num_groups; ++g) {
-      ++epoch;
-      auto add = [epoch, &cache_hits, &cache_misses](
-                     const std::vector<std::uint32_t>& sets,
-                     std::vector<std::uint32_t>& seen,
-                     std::vector<std::uint32_t>& cov) {
-        for (std::uint32_t s : sets) {
-          if (seen[s] != epoch) {
-            seen[s] = epoch;
-            cov.push_back(s);
-            ++cache_misses;
-          } else {
-            ++cache_hits;
+
+  // ---- UH clusters (ND-LG, §3.4) ---------------------------------------------
+  // linkCluster(l): same endpoint AS tags, different path, same number of
+  // failure-set memberships. The cluster relation is folded into per-edge
+  // feed lists: aug_feeds[m] = groups whose coverage row m's set
+  // memberships augment, i.e. groups with an in-U member of m's cluster on
+  // a different path (rule (ii) of §3.4 — the mate contributes coverage
+  // without joining the group).
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> aug_feeds;
+  std::vector<char> has_aug;
+  if (opt.uh_clustering) {
+    // Failure-set membership count per clusterable UH candidate (the "#f"
+    // component of the signature), from one sweep of the flat set arena.
+    std::vector<char> uh_cand(n_edges, 0);
+    for (std::uint32_t e : candidates) {
+      if (dg.edges[e].unidentified) uh_cand[e] = 1;
+    }
+    std::vector<std::uint32_t> uh_fcnt(n_edges, 0);
+    for (std::uint32_t e : failure_sets.items) {
+      if (uh_cand[e]) ++uh_fcnt[e];
+    }
+    std::vector<std::vector<std::uint32_t>> cluster_members;
+    std::unordered_map<std::string, std::uint32_t> by_signature;
+    for (std::uint32_t e : candidates) {
+      if (!uh_cand[e]) continue;
+      const auto& ge = dg.g.edge(EdgeId{e});
+      const std::string s1 = uh_endpoint_signature(dg.g, ge.src, tags);
+      const std::string s2 = uh_endpoint_signature(dg.g, ge.dst, tags);
+      if (s1.empty() || s2.empty()) continue;  // unresolvable endpoint
+      const std::string sig =
+          s1 + "/" + s2 + "/#f" + std::to_string(uh_fcnt[e]);
+      auto [it, inserted] = by_signature.emplace(
+          sig, static_cast<std::uint32_t>(cluster_members.size()));
+      if (inserted) cluster_members.emplace_back();
+      cluster_members[it->second].push_back(e);
+    }
+    has_aug.assign(n_edges, 0);
+    for (const auto& mem : cluster_members) {
+      if (mem.size() < 2) continue;
+      for (std::uint32_t m : mem) {
+        std::vector<std::uint32_t> feeds;
+        for (std::uint32_t e : mem) {
+          if (e == m || !in_u[e]) continue;
+          if (dg.edges[e].before_path == dg.edges[m].before_path) continue;
+          const std::uint32_t g = own_group[e];
+          if (std::find(feeds.begin(), feeds.end(), g) == feeds.end()) {
+            feeds.push_back(g);
           }
         }
-      };
-      for (std::uint32_t e : groups[g]) {
-        if (!in_u[e]) continue;  // IGP-seeded selections are already out
-        add(f_of_edge[e], f_seen, cov_f[g]);
-        add(r_of_edge[e], r_seen, cov_r[g]);
-        // Cluster augmentation (singleton UH groups only in practice).
-        if (cluster_of[e] >= 0) {
-          for (std::uint32_t m : cluster_members[cluster_of[e]]) {
-            if (m != e && dg.edges[m].before_path != dg.edges[e].before_path) {
-              add(f_of_edge[m], f_seen, cov_f[g]);
-              add(r_of_edge[m], r_seen, cov_r[g]);
+        if (!feeds.empty()) {
+          has_aug[m] = 1;
+          aug_feeds.emplace(m, std::move(feeds));
+        }
+      }
+    }
+  }
+
+  // ---- Coverage incidence, one by-set sweep ----------------------------------
+  // Conceptually each group has one packed coverage row per set family
+  // (bit s = "this group explains set s"); the kernel never materializes
+  // the rows. Instead a single sequential sweep over the flat set arenas
+  // emits each distinct (group, set) incidence bit exactly once — the
+  // per-set dedup the rows' test-then-set provided is an epoch stamp in
+  // group-id space, which is a few KB and stays in L1 — accumulating the
+  // initial scores against the unexplained masks on the way. The bits are
+  // kept as two packed pair lists per family, counting-sorted below into
+  //   set → groups   (decrement fan-out when a mask bit clears), and
+  //   group → member sets (what a selection must clear — member coverage
+  //                        only: cluster-augmented bits stay uncleared,
+  //                        exactly as the paper's rule (ii) demands).
+  ins.groups.observe(static_cast<double>(num_groups));
+  ins.bitset_words.observe(static_cast<double>(
+      util::bitset_words(failure_sets.size()) +
+      util::bitset_words(reroute_sets.size())));
+  std::uint64_t cache_hits = 0, cache_misses = 0;
+  std::vector<std::uint64_t> cf(num_groups, 0), cr(num_groups, 0);
+  std::vector<std::uint64_t> row_pairs_f, row_pairs_r;
+  std::vector<std::uint64_t> mem_pairs_f, mem_pairs_r;
+  const bool aug = !aug_feeds.empty();
+  // IGP-seeded selections are already out of U; folding that into the
+  // group map makes "grouped and still live" a single load in the sweep.
+  if (!igp_down.empty()) {
+    for (std::uint32_t e : demands.candidates) {
+      if (!in_u[e]) own_group[e] = KeyInterner::kNone;
+    }
+  }
+  {
+    std::vector<std::uint32_t> rstamp(num_groups, 0);
+    std::vector<std::uint32_t> mstamp(aug ? num_groups : 0, 0);
+    std::uint32_t gen = 0;
+    auto sweep = [&](const SetFamily& fam, const util::BitVec& unexpl,
+                     std::vector<std::uint64_t>& row_pairs,
+                     std::vector<std::uint64_t>& mem_pairs,
+                     std::vector<std::uint64_t>& count) {
+      for (std::uint32_t s = 0; s < fam.size(); ++s) {
+        ++gen;
+        const bool still_unexplained = unexpl.test(s);
+        for (std::uint32_t e : fam[s]) {
+          const std::uint32_t g = own_group[e];
+          if (g != KeyInterner::kNone) {
+            // Without clustering the member and row incidences coincide,
+            // so the single row-pair list is sorted both ways below and
+            // the member stamp is skipped entirely.
+            if (aug && mstamp[g] != gen) {
+              mstamp[g] = gen;
+              mem_pairs.push_back((static_cast<std::uint64_t>(g) << 32) | s);
+            }
+            if (rstamp[g] != gen) {
+              rstamp[g] = gen;
+              row_pairs.push_back((static_cast<std::uint64_t>(s) << 32) | g);
+              if (still_unexplained) ++count[g];
+              ++cache_misses;
+            } else {
+              ++cache_hits;
+            }
+          }
+          if (aug && has_aug[e]) {
+            for (std::uint32_t ga : aug_feeds.find(e)->second) {
+              if (rstamp[ga] != gen) {
+                rstamp[ga] = gen;
+                row_pairs.push_back((static_cast<std::uint64_t>(s) << 32) |
+                                    ga);
+                if (still_unexplained) ++count[ga];
+                ++cache_misses;
+              } else {
+                ++cache_hits;
+              }
             }
           }
         }
       }
-    }
+    };
+    sweep(failure_sets, unexpl_f, row_pairs_f, mem_pairs_f, cf);
+    sweep(reroute_sets, unexpl_r, row_pairs_r, mem_pairs_r, cr);
   }
-  std::vector<std::vector<std::uint32_t>> f_groups(failure_sets.size());
-  std::vector<std::vector<std::uint32_t>> r_groups(reroute_sets.size());
-  std::vector<std::size_t> cnt_f(num_groups, 0), cnt_r(num_groups, 0);
-  for (std::uint32_t g = 0; g < num_groups; ++g) {
-    for (std::uint32_t s : cov_f[g]) {
-      f_groups[s].push_back(g);
-      cnt_f[g] += !f_explained[s];
+  ins.cov_cache_hits.inc(cache_hits);
+  ins.cov_cache_misses.inc(cache_misses);
+
+  // ---- Incidence CSRs (counting sorts of the packed pair lists) -------------
+  // key_shift 32 buckets by the high half and stores the low half; 0 does
+  // the reverse — one pair list yields both orientations.
+  auto build_csr = [](const std::vector<std::uint64_t>& pairs,
+                      std::size_t n_keys, unsigned key_shift,
+                      std::vector<std::uint32_t>& off,
+                      std::vector<std::uint32_t>& val) {
+    off.assign(n_keys + 1, 0);
+    for (std::uint64_t p : pairs) {
+      ++off[static_cast<std::uint32_t>(p >> key_shift) + 1];
     }
-    for (std::uint32_t s : cov_r[g]) {
-      r_groups[s].push_back(g);
-      cnt_r[g] += !r_explained[s];
+    for (std::size_t k = 0; k < n_keys; ++k) off[k + 1] += off[k];
+    val.resize(pairs.size());
+    std::vector<std::uint32_t> cur(off.begin(), off.end() - 1);
+    for (std::uint64_t p : pairs) {
+      val[cur[static_cast<std::uint32_t>(p >> key_shift)]++] =
+          static_cast<std::uint32_t>(p >> (32 - key_shift));
     }
+  };
+  std::vector<std::uint32_t> fsg_off, fsg, rsg_off, rsg;
+  std::vector<std::uint32_t> gms_f_off, gms_f, gms_r_off, gms_r;
+  build_csr(row_pairs_f, failure_sets.size(), 32, fsg_off, fsg);
+  build_csr(row_pairs_r, reroute_sets.size(), 32, rsg_off, rsg);
+  if (aug) {
+    build_csr(mem_pairs_f, num_groups, 32, gms_f_off, gms_f);
+    build_csr(mem_pairs_r, num_groups, 32, gms_r_off, gms_r);
+  } else {
+    build_csr(row_pairs_f, num_groups, 0, gms_f_off, gms_f);
+    build_csr(row_pairs_r, num_groups, 0, gms_r_off, gms_r);
   }
-  // A selected group keeps its cluster-mates' sets unexplained, so it must
-  // be retired explicitly — exactly what skipping its no-longer-in-U
-  // members achieved before.
+  row_pairs_f = {};
+  row_pairs_r = {};
+  mem_pairs_f = {};
+  mem_pairs_r = {};
+
+  // The invariant the greedy loop maintains from here on is
+  // cf[g] == |row_f(g) ∩ unexpl_f| (resp. cr/unexpl_r): whenever a mask
+  // bit s is cleared, the count of every group whose row covers s is
+  // decremented via the set→groups CSR — so each round reads two integers
+  // per group instead of re-counting coverage.
   std::vector<char> group_active(num_groups, 1);
-  auto explain_sets = [&](const std::vector<std::uint32_t>& sets,
-                          std::vector<char>& explained,
-                          const std::vector<std::vector<std::uint32_t>>& of_set,
-                          std::vector<std::size_t>& cnt) {
-    for (std::uint32_t s : sets) {
-      if (explained[s]) continue;
-      explained[s] = 1;
-      for (std::uint32_t g : of_set[s]) {
-        if (group_active[g]) --cnt[g];
+
+  // Greedy-phase selection: retire the group, admit its still-live
+  // members, clear the members' sets from the masks and propagate each
+  // column removal into the covering groups' counts.
+  auto select_group_dec = [&](std::uint32_t g, double best, int round) {
+    group_active[g] = 0;
+    for (std::uint32_t k = grp_off[g]; k < grp_off[g + 1]; ++k) {
+      const std::uint32_t e = grp_members[k];
+      if (!in_u[e]) continue;
+      record_rank(dg.edges[e].phys_id, best, round);
+      hypothesis.push_back(EdgeId{e});
+      in_u[e] = 0;
+    }
+    for (std::uint32_t k = gms_f_off[g]; k < gms_f_off[g + 1]; ++k) {
+      const std::uint32_t s = gms_f[k];
+      if (!unexpl_f.test(s)) continue;
+      unexpl_f.clear(s);
+      for (std::uint32_t j = fsg_off[s]; j < fsg_off[s + 1]; ++j) {
+        --cf[fsg[j]];
+      }
+    }
+    for (std::uint32_t k = gms_r_off[g]; k < gms_r_off[g + 1]; ++k) {
+      const std::uint32_t s = gms_r[k];
+      if (!unexpl_r.test(s)) continue;
+      unexpl_r.clear(s);
+      for (std::uint32_t j = rsg_off[s]; j < rsg_off[s + 1]; ++j) {
+        --cr[rsg[j]];
       }
     }
   };
 
-  ins.cov_cache_hits.inc(cache_hits);
-  ins.cov_cache_misses.inc(cache_misses);
-
   // ---- Greedy max-score loop (Algorithm 1) -----------------------------------
+  // The argmax sweep runs over a live list that is compacted in place:
+  // a group whose score hits zero can never score again (counts are
+  // monotone non-increasing) and a selected group is retired via
+  // group_active, so both drop out permanently and late rounds scan a
+  // shrinking suffix of the original group set. Compaction is stable, so
+  // the ascending-id tie-break order is untouched.
+  std::vector<std::uint32_t> live(num_groups);
+  for (std::uint32_t g = 0; g < num_groups; ++g) live[g] = g;
   std::optional<obs::Span> greedy_span;
   greedy_span.emplace("greedy");
   int round = 0;
+  std::vector<std::uint32_t> max_set;
   for (;; ++round) {
     double best = 0.0;
-    std::vector<std::uint32_t> max_set;
-    for (std::uint32_t g = 0; g < num_groups; ++g) {
+    max_set.clear();
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      const std::uint32_t g = live[i];
       if (!group_active[g]) continue;
-      const double score = opt.weight_failures * static_cast<double>(cnt_f[g]) +
-                           opt.weight_reroutes * static_cast<double>(cnt_r[g]);
+      const double score =
+          opt.weight_failures * static_cast<double>(cf[g]) +
+          opt.weight_reroutes * static_cast<double>(cr[g]);
+      if (score <= 0.0) continue;
+      live[w++] = g;
       if (score > best) {
         best = score;
         max_set.assign(1, g);
-      } else if (score == best && score > 0.0) {
+      } else if (score == best) {
         max_set.push_back(g);
       }
     }
+    live.resize(w);
     if (best <= 0.0) break;
     // The paper adds the whole set of maximum-score links.
-    for (std::uint32_t g : max_set) {
-      group_active[g] = 0;
-      for (std::uint32_t e : groups[g]) {
-        if (in_u[e]) {
-          record_rank(dg.edges[e].phys_key, best, round);
-          hypothesis.push_back(EdgeId{e});
-          in_u[e] = 0;
-          explain_sets(f_of_edge[e], f_explained, f_groups, cnt_f);
-          explain_sets(r_of_edge[e], r_explained, r_groups, cnt_r);
-        }
-      }
-    }
+    for (std::uint32_t g : max_set) select_group_dec(g, best, round);
   }
   greedy_span.reset();
   ins.greedy_rounds.inc(static_cast<std::uint64_t>(round));
@@ -407,9 +705,7 @@ Result solve(const DiagnosisGraph& dg, const SolverOptions& opt,
     }
     if (unknown) ++result.unknown_as_links;
   }
-  for (std::uint32_t s = 0; s < failure_sets.size(); ++s) {
-    if (!f_explained[s]) ++result.unexplained_failure_sets;
-  }
+  result.unexplained_failure_sets = unexpl_f.count();
   ins.hypothesis.observe(static_cast<double>(hypothesis.size()));
   ins.unexplained.observe(static_cast<double>(result.unexplained_failure_sets));
   std::stable_sort(ranked.begin(), ranked.end(),

@@ -12,6 +12,7 @@
 
 #include <optional>
 #include <set>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -95,14 +96,81 @@ struct Result {
                            const ControlPlaneObs* cp = nullptr,
                            const UhTagMap* tags = nullptr);
 
+struct Demands;
+
+/// Scorer-only entry point: runs the greedy kernel on a prebuilt
+/// hitting-set instance (which must come from build_demands with the same
+/// opt/cp). Lets callers amortize demand construction across solvers and
+/// lets the benchmarks time the scorer in isolation.
+[[nodiscard]] Result solve(const DiagnosisGraph& dg, const SolverOptions& opt,
+                           const Demands& demands,
+                           const ControlPlaneObs* cp = nullptr,
+                           const UhTagMap* tags = nullptr);
+
+/// Reference implementation of the greedy scorer, kept byte-identical to
+/// solve(): string-keyed grouping and per-round coverage recounts over
+/// plain set lists — the shape the solver had before the bitset kernel —
+/// with one deliberate fix: the per-(group, round) distinct-set rebuild is
+/// hoisted out of the round loop (each group's coverage list is computed
+/// once), so differential comparisons measure the kernel, not that old
+/// waste. Used by the equivalence tests and bench_scale's speedup pin.
+[[nodiscard]] Result solve_reference(const DiagnosisGraph& dg,
+                                     const SolverOptions& opt,
+                                     const ControlPlaneObs* cp = nullptr,
+                                     const UhTagMap* tags = nullptr);
+
+/// Reference scorer on a prebuilt instance (see the solve() overload).
+[[nodiscard]] Result solve_reference(const DiagnosisGraph& dg,
+                                     const SolverOptions& opt,
+                                     const Demands& demands,
+                                     const ControlPlaneObs* cp = nullptr,
+                                     const UhTagMap* tags = nullptr);
+
+/// Signature of a UH-edge endpoint for cluster rule (i): identified
+/// endpoints must be the same node, unidentified ones must carry equal,
+/// known AS tags. Empty when the endpoint is unresolvable (such edges
+/// never cluster). Shared by solve() and solve_reference().
+[[nodiscard]] std::string uh_endpoint_signature(const graph::Graph& g,
+                                                graph::NodeId n,
+                                                const UhTagMap* tags);
+
 /// The hitting-set instance the solver actually optimizes, exposed so
 /// alternative solvers (e.g. the exact branch-and-bound in exact.h) can
 /// run on identical inputs: withdrawal-pruned failure sets, reroute sets,
 /// and the admissible candidate edges (working and — per options —
 /// unidentified edges removed).
+/// A family of integer sets in CSR form: set s occupies
+/// items[off[s] .. off[s+1]). One flat arena instead of one heap
+/// allocation per set — at Internet scale the solver builds tens of
+/// thousands of sets per solve, and the per-set vectors dominated
+/// build_demands.
+struct SetFamily {
+  std::vector<std::uint32_t> off{0};
+  std::vector<std::uint32_t> items;
+
+  SetFamily() = default;
+  /// Converting constructor for tests / hand-built instances.
+  SetFamily(const std::vector<std::vector<std::uint32_t>>& sets) {  // NOLINT
+    off.reserve(sets.size() + 1);
+    for (const auto& s : sets) {
+      items.insert(items.end(), s.begin(), s.end());
+      off.push_back(static_cast<std::uint32_t>(items.size()));
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return off.size() - 1; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::span<const std::uint32_t> operator[](
+      std::size_t s) const {
+    return {items.data() + off[s], items.data() + off[s + 1]};
+  }
+  /// Appending protocol: push members onto items, then seal the set.
+  void end_set() { off.push_back(static_cast<std::uint32_t>(items.size())); }
+};
+
 struct Demands {
-  std::vector<std::vector<std::uint32_t>> failure_sets;
-  std::vector<std::vector<std::uint32_t>> reroute_sets;
+  SetFamily failure_sets;
+  SetFamily reroute_sets;
   std::vector<std::uint32_t> candidates;      ///< admissible edge ids, sorted
   std::vector<char> admissible;               ///< indexed by edge id
 };

@@ -1,0 +1,214 @@
+// Reference greedy scorer: the string-keyed, list-scanning shape the
+// solver had before the bitset kernel, preserved as the equivalence
+// baseline. One deliberate improvement over the historical code: the
+// per-(group, round) unordered_set rebuild that used to dedup a group's
+// coverage is hoisted — each group's distinct (failure, reroute) set
+// lists are computed once before the greedy loop, and every round merely
+// rescans those lists against the explained flags. That keeps the
+// baseline honest for differential benchmarking (it measures scoring
+// strategy, not gratuitous per-round allocation) while remaining
+// byte-identical to solve() on every input.
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/solver.h"
+
+namespace netd::core {
+
+using graph::EdgeId;
+using graph::NodeId;
+using graph::NodeKind;
+
+Result solve_reference(const DiagnosisGraph& dg, const SolverOptions& opt,
+                       const ControlPlaneObs* cp, const UhTagMap* tags) {
+  const Demands demands = build_demands(dg, opt, cp);
+  return solve_reference(dg, opt, demands, cp, tags);
+}
+
+Result solve_reference(const DiagnosisGraph& dg, const SolverOptions& opt,
+                       const Demands& demands, const ControlPlaneObs* cp,
+                       const UhTagMap* tags) {
+  Result result;
+  const std::size_t n_edges = dg.edges.size();
+  const auto& failure_sets = demands.failure_sets;
+  const auto& reroute_sets = demands.reroute_sets;
+  const auto& candidates = demands.candidates;
+  std::vector<char> in_u = demands.admissible;
+
+  // ---- Inverted indices -----------------------------------------------------
+  std::vector<std::vector<std::uint32_t>> f_of_edge(n_edges),
+      r_of_edge(n_edges);
+  for (std::uint32_t s = 0; s < failure_sets.size(); ++s) {
+    for (std::uint32_t e : failure_sets[s]) f_of_edge[e].push_back(s);
+  }
+  for (std::uint32_t s = 0; s < reroute_sets.size(); ++s) {
+    for (std::uint32_t e : reroute_sets[s]) r_of_edge[e].push_back(s);
+  }
+  std::vector<char> f_explained(failure_sets.size(), 0);
+  std::vector<char> r_explained(reroute_sets.size(), 0);
+
+  std::vector<EdgeId> hypothesis;
+  std::vector<RankedLink> ranked;
+  std::unordered_map<std::string, std::size_t> rank_of_key;
+  auto record_rank = [&](const std::string& key, double score, int round) {
+    auto [it, inserted] = rank_of_key.emplace(key, ranked.size());
+    if (inserted) {
+      ranked.push_back(RankedLink{key, score, round});
+    } else if (score > ranked[it->second].score) {
+      ranked[it->second].score = score;
+    }
+  };
+  auto select_edge = [&](std::uint32_t e) {
+    hypothesis.push_back(EdgeId{e});
+    in_u[e] = 0;
+    for (std::uint32_t s : f_of_edge[e]) f_explained[s] = 1;
+    for (std::uint32_t s : r_of_edge[e]) r_explained[s] = 1;
+  };
+
+  // ---- IGP seeding (ND-bgpigp, §3.3) ----------------------------------------
+  if (opt.use_control_plane && cp != nullptr && !cp->igp_down_keys.empty()) {
+    std::unordered_set<std::string> igp(cp->igp_down_keys.begin(),
+                                        cp->igp_down_keys.end());
+    for (std::uint32_t e = 0; e < n_edges; ++e) {
+      if (igp.count(dg.edges[e].phys_key) != 0) {
+        record_rank(dg.edges[e].phys_key,
+                    std::numeric_limits<double>::infinity(), -1);
+        select_edge(e);
+      }
+    }
+  }
+
+  // ---- UH clusters (ND-LG, §3.4) ---------------------------------------------
+  std::vector<std::vector<std::uint32_t>> cluster_members;
+  std::vector<int> cluster_of(n_edges, -1);
+  if (opt.uh_clustering) {
+    std::unordered_map<std::string, std::uint32_t> by_signature;
+    for (std::uint32_t e : candidates) {
+      if (!dg.edges[e].unidentified) continue;
+      const auto& ge = dg.g.edge(EdgeId{e});
+      const std::string s1 = uh_endpoint_signature(dg.g, ge.src, tags);
+      const std::string s2 = uh_endpoint_signature(dg.g, ge.dst, tags);
+      if (s1.empty() || s2.empty()) continue;  // unresolvable endpoint
+      const std::string sig =
+          s1 + "/" + s2 + "/#f" + std::to_string(f_of_edge[e].size());
+      auto [it, inserted] = by_signature.emplace(
+          sig, static_cast<std::uint32_t>(cluster_members.size()));
+      if (inserted) cluster_members.emplace_back();
+      cluster_members[it->second].push_back(e);
+      cluster_of[e] = static_cast<int>(it->second);
+    }
+  }
+
+  // ---- Candidate groups (string-keyed, first-seen order) ----------------------
+  std::vector<std::vector<std::uint32_t>> groups;
+  {
+    std::unordered_map<std::string, std::uint32_t> by_key;
+    for (std::uint32_t e : candidates) {
+      auto [it, inserted] = by_key.emplace(
+          dg.edges[e].directed_key, static_cast<std::uint32_t>(groups.size()));
+      if (inserted) groups.emplace_back();
+      groups[it->second].push_back(e);
+    }
+  }
+
+  // ---- Hoisted group coverage -------------------------------------------------
+  // Distinct (failure, reroute) set lists per group, computed once. The
+  // historical scorer rebuilt an unordered_set of these per (group, round);
+  // the member set a group draws coverage from never changes inside the
+  // loop, so that rebuild was pure waste — hoisted here, the rounds only
+  // rescan the lists against the explained flags.
+  const std::size_t num_groups = groups.size();
+  std::vector<std::vector<std::uint32_t>> cov_f(num_groups), cov_r(num_groups);
+  for (std::uint32_t g = 0; g < num_groups; ++g) {
+    std::unordered_set<std::uint32_t> fs, rs;
+    auto add = [](const std::vector<std::uint32_t>& sets,
+                  std::unordered_set<std::uint32_t>& seen,
+                  std::vector<std::uint32_t>& cov) {
+      for (std::uint32_t s : sets) {
+        if (seen.insert(s).second) cov.push_back(s);
+      }
+    };
+    for (std::uint32_t e : groups[g]) {
+      if (!in_u[e]) continue;  // IGP-seeded selections are already out
+      add(f_of_edge[e], fs, cov_f[g]);
+      add(r_of_edge[e], rs, cov_r[g]);
+      if (cluster_of[e] >= 0) {
+        for (std::uint32_t m : cluster_members[cluster_of[e]]) {
+          if (m != e && dg.edges[m].before_path != dg.edges[e].before_path) {
+            add(f_of_edge[m], fs, cov_f[g]);
+            add(r_of_edge[m], rs, cov_r[g]);
+          }
+        }
+      }
+    }
+  }
+  std::vector<char> group_active(num_groups, 1);
+
+  // ---- Greedy max-score loop (Algorithm 1), per-round recount -----------------
+  int round = 0;
+  for (;; ++round) {
+    double best = 0.0;
+    std::vector<std::uint32_t> max_set;
+    for (std::uint32_t g = 0; g < num_groups; ++g) {
+      if (!group_active[g]) continue;
+      std::size_t cf = 0, cr = 0;
+      for (std::uint32_t s : cov_f[g]) cf += !f_explained[s];
+      for (std::uint32_t s : cov_r[g]) cr += !r_explained[s];
+      const double score = opt.weight_failures * static_cast<double>(cf) +
+                           opt.weight_reroutes * static_cast<double>(cr);
+      if (score > best) {
+        best = score;
+        max_set.assign(1, g);
+      } else if (score == best && score > 0.0) {
+        max_set.push_back(g);
+      }
+    }
+    if (best <= 0.0) break;
+    // The paper adds the whole set of maximum-score links.
+    for (std::uint32_t g : max_set) {
+      group_active[g] = 0;
+      for (std::uint32_t e : groups[g]) {
+        if (in_u[e]) {
+          record_rank(dg.edges[e].phys_key, best, round);
+          select_edge(e);
+        }
+      }
+    }
+  }
+
+  // ---- Results ---------------------------------------------------------------
+  result.hypothesis_edges = hypothesis;
+  for (EdgeId e : hypothesis) {
+    result.links.insert(dg.info(e).phys_key);
+    const auto& ge = dg.g.edge(e);
+    bool unknown = false;
+    for (NodeId n : {ge.src, ge.dst}) {
+      const auto& node = dg.g.node(n);
+      if (node.kind == NodeKind::kUnidentified) {
+        const std::vector<int>* t = tags != nullptr ? tags->find(n) : nullptr;
+        if (t != nullptr) {
+          result.ases.insert(t->begin(), t->end());
+        } else {
+          unknown = true;
+        }
+      } else if (node.asn >= 0) {
+        result.ases.insert(node.asn);
+      }
+    }
+    if (unknown) ++result.unknown_as_links;
+  }
+  for (std::uint32_t s = 0; s < failure_sets.size(); ++s) {
+    if (!f_explained[s]) ++result.unexplained_failure_sets;
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedLink& a, const RankedLink& b) {
+                     return a.score > b.score;
+                   });
+  result.ranked = std::move(ranked);
+  return result;
+}
+
+}  // namespace netd::core

@@ -1,16 +1,31 @@
 #include "graph/graph.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace netd::graph {
 
+namespace {
+
+[[noreturn]] void id_overflow(const char* what) {
+  std::fprintf(stderr,
+               "graph::Graph: %s id space exhausted (2^31 entries) — the "
+               "packed pair key and signed index consumers would overflow\n",
+               what);
+  std::abort();
+}
+
+}  // namespace
+
 NodeId Graph::intern_node(std::string_view label, NodeKind kind, int asn) {
-  auto it = node_by_label_.find(std::string(label));
+  auto it = node_by_label_.find(label);
   if (it != node_by_label_.end()) {
     Node& n = nodes_[it->second.value()];
     if (n.asn == -1) n.asn = asn;
     return it->second;
   }
+  if (nodes_.size() >= kMaxIds) id_overflow("node");
   const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
   nodes_.push_back(Node{std::string(label), kind, asn});
   node_by_label_.emplace(std::string(label), id);
@@ -18,7 +33,7 @@ NodeId Graph::intern_node(std::string_view label, NodeKind kind, int asn) {
 }
 
 std::optional<NodeId> Graph::find_node(std::string_view label) const {
-  auto it = node_by_label_.find(std::string(label));
+  auto it = node_by_label_.find(label);
   if (it == node_by_label_.end()) return std::nullopt;
   return it->second;
 }
@@ -29,6 +44,7 @@ EdgeId Graph::intern_edge(NodeId src, NodeId dst) {
   const auto key = pair_key(src, dst);
   auto it = edge_by_pair_.find(key);
   if (it != edge_by_pair_.end()) return it->second;
+  if (edges_.size() >= kMaxIds) id_overflow("edge");
   const EdgeId id{static_cast<std::uint32_t>(edges_.size())};
   edges_.push_back(Edge{src, dst});
   edge_by_pair_.emplace(key, id);
@@ -49,6 +65,7 @@ Path Graph::make_path(const std::vector<std::string>& labels) {
   assert(first && last);
   p.src = *first;
   p.dst = *last;
+  p.edges.reserve(labels.size() - 1);
   for (std::size_t i = 0; i + 1 < labels.size(); ++i) {
     auto a = find_node(labels[i]);
     auto b = find_node(labels[i + 1]);
@@ -56,6 +73,13 @@ Path Graph::make_path(const std::vector<std::string>& labels) {
     p.edges.push_back(intern_edge(*a, *b));
   }
   return p;
+}
+
+void Graph::reserve(std::size_t nodes, std::size_t edges) {
+  nodes_.reserve(nodes);
+  node_by_label_.reserve(nodes);
+  edges_.reserve(edges);
+  edge_by_pair_.reserve(edges);
 }
 
 std::string Graph::edge_label(EdgeId id) const {

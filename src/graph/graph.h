@@ -49,6 +49,13 @@ struct Path {
 
 class Graph {
  public:
+  /// Hard cap on node/edge ids: the edge lookup packs two node ids into
+  /// one uint64_t (32 bits each) and several consumers index edges with
+  /// signed 32-bit ints, so interning aborts loudly rather than wrap once
+  /// a graph reaches 2^31 nodes or edges (reachable at 100k-AS scale with
+  /// per-prefix logical expansion).
+  static constexpr std::uint32_t kMaxIds = 0x80000000u;
+
   /// Returns the node with this label, creating it if absent. Kind/asn are
   /// set on creation; on re-intern an unknown asn may be upgraded to a
   /// known one but never changed to a different known value.
@@ -71,17 +78,38 @@ class Graph {
   /// edge. Each label must already be interned.
   Path make_path(const std::vector<std::string>& labels);
 
+  /// Pre-sizes the arenas (node/edge vectors and lookup tables) so
+  /// large-mesh construction does not rehash/reallocate while interning.
+  void reserve(std::size_t nodes, std::size_t edges);
+
   /// Human-readable "u -> v" form of an edge, for diagnostics.
   [[nodiscard]] std::string edge_label(EdgeId id) const;
 
  private:
+  struct LabelHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct LabelEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+
   std::vector<Node> nodes_;
   std::vector<Edge> edges_;
-  std::unordered_map<std::string, NodeId> node_by_label_;
+  // Heterogeneous lookup: find_node(string_view) must not allocate a
+  // temporary std::string on the mesh-interning hot path.
+  std::unordered_map<std::string, NodeId, LabelHash, LabelEq> node_by_label_;
   // Edge lookup keyed by (src, dst) packed into 64 bits.
   std::unordered_map<std::uint64_t, EdgeId> edge_by_pair_;
 
   static std::uint64_t pair_key(NodeId a, NodeId b) {
+    // Safe for any id intern_node can hand out: ids are capped below
+    // kMaxIds (< 2^32), so the shifted halves cannot collide.
     return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
   }
 };

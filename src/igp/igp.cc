@@ -19,6 +19,35 @@ IgpState::IgpState(const topo::Topology& topo) : topo_(topo) {
     }
   }
   per_as_.resize(topo_.num_ases());
+  // Freeze the per-AS intradomain adjacency into CSR form once; link
+  // up/down state stays dynamic (checked per scan via link_usable).
+  for (const auto& as : topo_.ases()) {
+    PerAs& state = per_as_[as.id.value()];
+    const std::size_t n = as.routers.size();
+    state.n = n;
+    state.arc_off.assign(n + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const RouterId r = as.routers[i];
+      std::uint32_t intra = 0;
+      for (LinkId l : topo_.links_of(r)) {
+        if (!topo_.link(l).interdomain) ++intra;
+      }
+      state.arc_off[i + 1] = state.arc_off[i] + intra;
+    }
+    state.arcs.resize(state.arc_off[n]);
+    for (std::size_t i = 0; i < n; ++i) {
+      const RouterId r = as.routers[i];
+      std::uint32_t at = state.arc_off[i];
+      for (LinkId l : topo_.links_of(r)) {
+        const auto& link = topo_.link(l);
+        if (link.interdomain) continue;
+        const RouterId nb = topo_.other_end(l, r);
+        state.arcs[at++] = IntraArc{
+            l, static_cast<std::uint32_t>(local_index_[nb.value()]),
+            link.igp_weight};
+      }
+    }
+  }
   recompute_all();
 }
 
@@ -30,40 +59,41 @@ void IgpState::recompute_as(AsId as_id) {
   const auto& as = topo_.as_of(as_id);
   const std::size_t n = as.routers.size();
   PerAs& state = per_as_[as_id.value()];
-  state.dist.assign(n, std::vector<int>(n, kUnreachable));
-  state.first_link.assign(n, std::vector<LinkId>(n, LinkId{}));
+  state.dist.assign(n * n, kUnreachable);
+  state.first_link.assign(n * n, LinkId{});
 
   // Dijkstra from every router; ties broken on (distance, router id) so the
   // forwarding state is deterministic across runs.
+  std::vector<bool> done(n);
   for (std::size_t s = 0; s < n; ++s) {
     const RouterId src = as.routers[s];
     if (!topo_.router(src).up) continue;
-    auto& dist = state.dist[s];
-    auto& first = state.first_link[s];
+    int* dist = state.dist.data() + s * n;
+    LinkId* first = state.first_link.data() + s * n;
     dist[s] = 0;
     using Item = std::tuple<int, std::uint32_t>;  // (distance, router id)
     std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
     pq.push({0, src.value()});
-    std::vector<bool> done(n, false);
+    std::fill(done.begin(), done.end(), false);
     while (!pq.empty()) {
       const auto [d, rv] = pq.top();
       pq.pop();
-      const RouterId r{rv};
-      const std::size_t li = local(r);
+      const std::size_t li = local(RouterId{rv});
       if (done[li]) continue;
       done[li] = true;
-      for (LinkId l : topo_.links_of(r)) {
-        const auto& link = topo_.link(l);
-        if (link.interdomain || !topo_.link_usable(l)) continue;
-        const RouterId nb = topo_.other_end(l, r);
-        const std::size_t ni = local(nb);
-        const int nd = d + link.igp_weight;
+      const std::uint32_t ab = state.arc_off[li];
+      const std::uint32_t ae = state.arc_off[li + 1];
+      for (std::uint32_t a = ab; a != ae; ++a) {
+        const IntraArc& arc = state.arcs[a];
+        if (!topo_.link_usable(arc.link)) continue;
+        const std::size_t ni = arc.neighbor_local;
+        const int nd = d + arc.weight;
         if (nd < dist[ni]) {
           dist[ni] = nd;
-          // First hop: inherit from r unless r is the source, in which
-          // case the first hop is this link itself.
-          first[ni] = (r == src) ? l : first[li];
-          pq.push({nd, nb.value()});
+          // First hop: inherit from the popped router unless it is the
+          // source, in which case the first hop is this link itself.
+          first[ni] = (li == s) ? arc.link : first[li];
+          pq.push({nd, as.routers[ni].value()});
         }
       }
     }
@@ -74,37 +104,47 @@ std::optional<LinkId> IgpState::next_hop(RouterId from, RouterId to) const {
   assert(topo_.router(from).as == topo_.router(to).as);
   assert(from != to);
   const auto& state = per_as_[topo_.router(from).as.value()];
-  const LinkId l = state.first_link[local(from)][local(to)];
+  const LinkId l = state.first_link[local(from) * state.n + local(to)];
   if (!l.valid()) return std::nullopt;
   return l;
 }
 
 std::vector<LinkId> IgpState::equal_cost_next_hops(RouterId from,
                                                    RouterId to) const {
+  std::vector<LinkId> out;
+  equal_cost_next_hops_into(from, to, out);
+  return out;
+}
+
+void IgpState::equal_cost_next_hops_into(RouterId from, RouterId to,
+                                         std::vector<LinkId>& out) const {
   assert(topo_.router(from).as == topo_.router(to).as);
   assert(from != to);
-  std::vector<LinkId> out;
-  const int total = distance(from, to);
-  if (total == kUnreachable) return out;
+  out.clear();
+  const auto& state = per_as_[topo_.router(from).as.value()];
+  const std::size_t fl = local(from);
+  const std::size_t tl = local(to);
+  const int total = state.d(fl, tl);
+  if (total == kUnreachable) return;
   // A first hop over link l is on *a* shortest path iff
   // weight(l) + dist(neighbor, to) == dist(from, to).
-  for (LinkId l : topo_.links_of(from)) {
-    const auto& link = topo_.link(l);
-    if (link.interdomain || !topo_.link_usable(l)) continue;
-    const RouterId nb = topo_.other_end(l, from);
-    const int rest = distance(nb, to);
-    if (rest != kUnreachable && link.igp_weight + rest == total) {
-      out.push_back(l);
+  const std::uint32_t ab = state.arc_off[fl];
+  const std::uint32_t ae = state.arc_off[fl + 1];
+  for (std::uint32_t a = ab; a != ae; ++a) {
+    const IntraArc& arc = state.arcs[a];
+    if (!topo_.link_usable(arc.link)) continue;
+    const int rest = state.d(arc.neighbor_local, tl);
+    if (rest != kUnreachable && arc.weight + rest == total) {
+      out.push_back(arc.link);
     }
   }
   std::sort(out.begin(), out.end());
-  return out;
 }
 
 int IgpState::distance(RouterId from, RouterId to) const {
   assert(topo_.router(from).as == topo_.router(to).as);
   const auto& state = per_as_[topo_.router(from).as.value()];
-  return state.dist[local(from)][local(to)];
+  return state.d(local(from), local(to));
 }
 
 }  // namespace netd::igp

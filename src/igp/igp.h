@@ -5,6 +5,13 @@
 // of the same AS, and exposes IGP distances used by the BGP decision
 // process (hot-potato tie-break). Failure injection calls recompute_as()
 // after toggling link/router state.
+//
+// The per-AS intradomain adjacency is frozen into CSR arrays (flat
+// neighbor/link/weight triples per local router) at construction: Dijkstra
+// and the ECMP fan-out — the innermost loops of both reconvergence and
+// every simulated traceroute hop — scan contiguous memory instead of
+// chasing the topology's per-router link vectors, and the ECMP query has
+// an append variant so the forwarding walk never allocates per hop.
 #pragma once
 
 #include <limits>
@@ -36,6 +43,11 @@ class IgpState {
   [[nodiscard]] std::vector<topo::LinkId> equal_cost_next_hops(
       topo::RouterId from, topo::RouterId to) const;
 
+  /// Allocation-free variant: replaces `out`'s contents with the ECMP set
+  /// (same order as equal_cost_next_hops), reusing its capacity.
+  void equal_cost_next_hops_into(topo::RouterId from, topo::RouterId to,
+                                 std::vector<topo::LinkId>& out) const;
+
   /// IGP distance, kUnreachable if disconnected. distance(r, r) == 0.
   [[nodiscard]] int distance(topo::RouterId from, topo::RouterId to) const;
 
@@ -44,10 +56,25 @@ class IgpState {
   }
 
  private:
+  /// One intradomain neighbor reachable over one link.
+  struct IntraArc {
+    topo::LinkId link;
+    std::uint32_t neighbor_local;  ///< local index of the far-end router
+    int weight;
+  };
+
   struct PerAs {
-    // Matrices indexed by [src local index][dst local index].
-    std::vector<std::vector<int>> dist;
-    std::vector<std::vector<topo::LinkId>> first_link;
+    // Matrices indexed by [src local index][dst local index], flattened.
+    std::vector<int> dist;
+    std::vector<topo::LinkId> first_link;
+    std::size_t n = 0;
+    // CSR intradomain adjacency over local router indices.
+    std::vector<std::uint32_t> arc_off;  ///< n + 1 offsets
+    std::vector<IntraArc> arcs;
+
+    [[nodiscard]] int d(std::size_t s, std::size_t t) const {
+      return dist[s * n + t];
+    }
   };
 
   const topo::Topology& topo_;

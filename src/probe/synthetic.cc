@@ -1,0 +1,117 @@
+#include "probe/synthetic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace netd::probe {
+
+using topo::LinkId;
+using topo::RouterId;
+
+SyntheticProber::SyntheticProber(const topo::Topology& topo,
+                                 std::vector<Sensor> sensors)
+    : topo_(topo), sensors_(std::move(sensors)) {
+  const std::size_t n = topo_.num_routers();
+  adj_off_.assign(n + 1, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    adj_off_[r + 1] = static_cast<std::uint32_t>(
+        adj_off_[r] + topo_.links_of(RouterId{static_cast<std::uint32_t>(r)})
+                          .size());
+  }
+  adj_.resize(adj_off_[n]);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto& links = topo_.links_of(RouterId{static_cast<std::uint32_t>(r)});
+    std::copy(links.begin(), links.end(), adj_.begin() + adj_off_[r]);
+  }
+}
+
+Mesh SyntheticProber::measure() const {
+  constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+  const std::size_t n = topo_.num_routers();
+  Mesh mesh;
+  mesh.paths.reserve(sensors_.size() * (sensors_.size() - 1));
+
+  // Per-source BFS scratch, reused across sources.
+  std::vector<std::uint32_t> dist(n);
+  std::vector<LinkId> parent(n);
+  std::vector<std::uint32_t> queue;
+  queue.reserve(n);
+  std::vector<RouterId> rev_hops;
+
+  for (std::size_t i = 0; i < sensors_.size(); ++i) {
+    const RouterId src = sensors_[i].attach;
+    std::fill(dist.begin(), dist.end(), kUnreached);
+    queue.clear();
+    if (topo_.router(src).up) {
+      dist[src.value()] = 0;
+      queue.push_back(src.value());
+    }
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::uint32_t r = queue[head];
+      const std::uint32_t d = dist[r];
+      for (std::uint32_t k = adj_off_[r]; k < adj_off_[r + 1]; ++k) {
+        const LinkId l = adj_[k];
+        if (!topo_.link_usable(l)) continue;
+        const std::uint32_t nb =
+            topo_.other_end(l, RouterId{r}).value();
+        if (dist[nb] != kUnreached) continue;  // first discovery wins:
+                                               // FIFO + adjacency order is
+                                               // the deterministic tie-break
+        dist[nb] = d + 1;
+        parent[nb] = l;
+        queue.push_back(nb);
+      }
+    }
+
+    for (std::size_t j = 0; j < sensors_.size(); ++j) {
+      if (i == j) continue;
+      const Sensor& si = sensors_[i];
+      const Sensor& sj = sensors_[j];
+      TracePath tp;
+      tp.src = i;
+      tp.dst = j;
+      tp.hops.push_back(Hop{si.name, graph::NodeKind::kSensor,
+                            static_cast<int>(si.as.value()), si.attach});
+      const RouterId dst = sensors_[j].attach;
+      const bool reached =
+          topo_.router(dst).up && dist[dst.value()] != kUnreached;
+      if (!reached) {
+        // Unreachable pair: rendered like a trace that died at the source
+        // (the diagnosis only needs the ok flag and the T− path).
+        tp.hops.push_back(Hop{topo_.router(src).name, graph::NodeKind::kRouter,
+                              static_cast<int>(si.as.value()), src});
+        tp.ok = false;
+        mesh.paths.push_back(std::move(tp));
+        continue;
+      }
+      // Reconstruct dst -> src over parent links, then emit forwards.
+      rev_hops.clear();
+      RouterId r = dst;
+      while (r != src) {
+        rev_hops.push_back(r);
+        r = topo_.other_end(parent[r.value()], r);
+      }
+      tp.hops.push_back(Hop{topo_.router(src).name, graph::NodeKind::kRouter,
+                            static_cast<int>(si.as.value()), src});
+      tp.links.reserve(rev_hops.size());
+      RouterId prev = src;
+      for (auto it = rev_hops.rbegin(); it != rev_hops.rend(); ++it) {
+        const RouterId hop = *it;
+        tp.links.push_back(parent[hop.value()]);
+        const auto& router = topo_.router(hop);
+        tp.hops.push_back(Hop{router.name, graph::NodeKind::kRouter,
+                              static_cast<int>(router.as.value()), hop});
+        prev = hop;
+      }
+      (void)prev;
+      tp.ok = true;
+      tp.hops.push_back(Hop{sj.name, graph::NodeKind::kSensor,
+                            static_cast<int>(sj.as.value()), sj.attach});
+      mesh.paths.push_back(std::move(tp));
+    }
+  }
+  return mesh;
+}
+
+}  // namespace netd::probe

@@ -1,0 +1,45 @@
+// BGP-free measurement substrate for Internet-scale benchmarks.
+//
+// Full BGP convergence is infeasible at 10k–100k ASes (the engine keeps a
+// per-router RIB over every prefix), but the solver's inputs only need a
+// consistent full-mesh of forwarding paths at T− and T+. The synthetic
+// prober renders the same probe::Mesh surface from BFS shortest paths
+// (hop-count metric, deterministic FIFO/adjacency-order tie-break) over
+// the topology's *usable* links, so diagnosis-graph construction and both
+// solver implementations run on byte-identical inputs at any scale.
+//
+// Paths are deterministic per topology: re-measuring after failing links
+// yields reroutes (changed working paths) and unreachabilities exactly
+// like the simulator does, just without policy routing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "probe/prober.h"
+#include "topo/topology.h"
+
+namespace netd::probe {
+
+class SyntheticProber {
+ public:
+  /// `topo` must outlive the prober. Adjacency is frozen (CSR) at
+  /// construction; link/router up-state is read at each measure() call.
+  SyntheticProber(const topo::Topology& topo, std::vector<Sensor> sensors);
+
+  /// Measures the full sensor mesh (ordered pairs, row-major, i != j)
+  /// over BFS shortest paths through currently-usable links.
+  [[nodiscard]] Mesh measure() const;
+
+  [[nodiscard]] const std::vector<Sensor>& sensors() const { return sensors_; }
+
+ private:
+  const topo::Topology& topo_;
+  std::vector<Sensor> sensors_;
+  // CSR adjacency over router ids, frozen at construction (the arena the
+  // per-source BFS walks; usability is re-checked per link per call).
+  std::vector<std::uint32_t> adj_off_;
+  std::vector<topo::LinkId> adj_;
+};
+
+}  // namespace netd::probe

@@ -30,18 +30,23 @@ std::uint64_t mix(std::uint64_t x) {
 
 }  // namespace
 
-std::vector<LinkId> Network::next_links(RouterId r, RouterId dst) const {
+void Network::next_links_into(RouterId r, RouterId dst,
+                              std::vector<LinkId>& out) const {
   const AsId dst_as = topo_.as_of_router(dst);
   if (topo_.as_of_router(r) == dst_as) {
-    return igp_.equal_cost_next_hops(r, dst);
+    igp_.equal_cost_next_hops_into(r, dst, out);
+    return;
   }
+  out.clear();
   const auto route = bgp_.best(r, topo_.prefix_of(dst_as));
-  if (!route) return {};  // no route: blackhole
+  if (!route) return;  // no route: blackhole
   if (route->egress_router == r) {
-    if (!topo_.link_usable(route->egress_link)) return {};
-    return {route->egress_link};
+    if (topo_.link_usable(route->egress_link)) {
+      out.push_back(route->egress_link);
+    }
+    return;
   }
-  return igp_.equal_cost_next_hops(r, route->egress_router);
+  igp_.equal_cost_next_hops_into(r, route->egress_router, out);
 }
 
 TraceResult Network::trace(RouterId src, RouterId dst) const {
@@ -55,12 +60,13 @@ TraceResult Network::trace_flow(RouterId src, RouterId dst,
   if (!topo_.router(src).up || !topo_.router(dst).up) return out;
 
   RouterId r = src;
+  std::vector<LinkId> candidates;  // reused across hops
   for (std::size_t step = 0; step < kMaxHops; ++step) {
     if (r == dst) {
       out.ok = true;
       return out;
     }
-    const std::vector<LinkId> candidates = next_links(r, dst);
+    next_links_into(r, dst, candidates);
     if (candidates.empty()) return out;
     // Flow 0 models an ECMP-unaware deterministic router (always the
     // first equal-cost hop); other flows hash per router.
@@ -99,6 +105,7 @@ std::vector<TraceResult> Network::enumerate_paths(RouterId src, RouterId dst,
     f.partial.hops.push_back(src);
     stack.push_back(std::move(f));
   }
+  std::vector<LinkId> candidates;  // reused across frames
   while (!stack.empty() && out.size() < max_paths) {
     Frame f = std::move(stack.back());
     stack.pop_back();
@@ -112,7 +119,7 @@ std::vector<TraceResult> Network::enumerate_paths(RouterId src, RouterId dst,
       out.push_back(std::move(f.partial));  // loop-dropped branch
       continue;
     }
-    const std::vector<LinkId> candidates = next_links(r, dst);
+    next_links_into(r, dst, candidates);
     bool branched = false;
     for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
       if (!topo_.link_usable(*it)) continue;

@@ -91,9 +91,11 @@ class Network {
  private:
   void record_igp_down(topo::LinkId l);
   /// Usable next links from `r` toward `dst` (ECMP set intra-AS, the BGP
-  /// egress interdomain); empty on blackhole.
-  [[nodiscard]] std::vector<topo::LinkId> next_links(topo::RouterId r,
-                                                     topo::RouterId dst) const;
+  /// egress interdomain); empty on blackhole. Replaces `out`'s contents,
+  /// reusing its capacity — the forwarding walk calls this once per hop
+  /// for every probed pair, so it must not allocate.
+  void next_links_into(topo::RouterId r, topo::RouterId dst,
+                       std::vector<topo::LinkId>& out) const;
 
   topo::Topology topo_;
   igp::IgpState igp_;

@@ -1,8 +1,9 @@
 #include "topo/io.h"
 
+#include <charconv>
 #include <istream>
 #include <ostream>
-#include <sstream>
+#include <string_view>
 
 namespace netd::topo {
 
@@ -10,14 +11,14 @@ namespace {
 
 const char* class_name(AsClass c) { return to_string(c); }
 
-std::optional<AsClass> parse_class(const std::string& s) {
+std::optional<AsClass> parse_class(std::string_view s) {
   if (s == "core") return AsClass::kCore;
   if (s == "tier2") return AsClass::kTier2;
   if (s == "stub") return AsClass::kStub;
   return std::nullopt;
 }
 
-std::optional<Relationship> parse_rel(const std::string& s) {
+std::optional<Relationship> parse_rel(std::string_view s) {
   if (s == "customer") return Relationship::kCustomer;
   if (s == "provider") return Relationship::kProvider;
   if (s == "peer") return Relationship::kPeer;
@@ -28,6 +29,43 @@ bool fail(std::string* error, const std::string& msg) {
   if (error != nullptr) *error = msg;
   return false;
 }
+
+/// Whitespace-token scanner over one line. A 100k-AS file has ~500k
+/// records; the istringstream-per-line this replaces spent the load in
+/// allocator and locale machinery.
+class Tokens {
+ public:
+  explicit Tokens(std::string_view line) : rest_(line) {}
+
+  /// Next whitespace-delimited token; empty when the line is exhausted.
+  std::string_view next() {
+    std::size_t b = rest_.find_first_not_of(" \t\r");
+    if (b == std::string_view::npos) {
+      rest_ = {};
+      return {};
+    }
+    std::size_t e = rest_.find_first_of(" \t\r", b);
+    std::string_view tok = rest_.substr(b, e == std::string_view::npos
+                                               ? std::string_view::npos
+                                               : e - b);
+    rest_ = e == std::string_view::npos ? std::string_view{} : rest_.substr(e);
+    return tok;
+  }
+
+  /// Parses the next token as an unsigned integer; false on absence or
+  /// trailing garbage.
+  template <typename T>
+  bool next_num(T& out) {
+    const std::string_view tok = next();
+    if (tok.empty()) return false;
+    const auto [p, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), out);
+    return ec == std::errc{} && p == tok.data() + tok.size();
+  }
+
+ private:
+  std::string_view rest_;
+};
 
 }  // namespace
 
@@ -70,93 +108,96 @@ std::optional<Topology> read_text(std::istream& is, std::string* error) {
   while (std::getline(is, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#') continue;
-    std::istringstream ss(line);
-    std::string kind;
-    ss >> kind;
-    const std::string where = "line " + std::to_string(line_no);
+    Tokens toks{line};
+    const std::string_view kind = toks.next();
+    if (kind.empty()) continue;  // whitespace-only line
+    // Built only on error paths; the hot path stays allocation-free.
+    const auto where = [&] { return "line " + std::to_string(line_no); };
     if (saw_end) {
-      fail(error, where + ": record after 'end' footer");
+      fail(error, where() + ": record after 'end' footer");
       return std::nullopt;
     }
     if (kind == "as") {
-      std::string cls;
+      std::string_view cls;
       std::size_t count = 0;
       if (version >= 2) {
         // v2 carries the AS id so a duplicated or reordered `as` line is
         // an error rather than a silently renumbered topology.
         std::size_t id = 0;
-        if (!(ss >> id >> cls >> count)) {
-          fail(error, where + ": malformed 'as'");
+        if (!toks.next_num(id) || (cls = toks.next()).empty() ||
+            !toks.next_num(count)) {
+          fail(error, where() + ": malformed 'as'");
           return std::nullopt;
         }
         if (id < topo.num_ases()) {
-          fail(error, where + ": duplicate AS id " + std::to_string(id));
+          fail(error, where() + ": duplicate AS id " + std::to_string(id));
           return std::nullopt;
         }
         if (id > topo.num_ases()) {
-          fail(error, where + ": non-contiguous AS id " + std::to_string(id) +
+          fail(error, where() + ": non-contiguous AS id " + std::to_string(id) +
                           " (expected " + std::to_string(topo.num_ases()) +
                           ")");
           return std::nullopt;
         }
-      } else if (!(ss >> cls >> count)) {
-        fail(error, where + ": malformed 'as'");
+      } else if ((cls = toks.next()).empty() || !toks.next_num(count)) {
+        fail(error, where() + ": malformed 'as'");
         return std::nullopt;
       }
       const auto c = parse_class(cls);
       if (!c) {
-        fail(error, where + ": unknown AS class '" + cls + "'");
+        fail(error, where() + ": unknown AS class '" + std::string(cls) + "'");
         return std::nullopt;
       }
       const AsId as = topo.add_as(*c);
       for (std::size_t i = 0; i < count; ++i) topo.add_router(as);
     } else if (kind == "intra" || kind == "inter") {
       std::uint32_t a = 0, b = 0;
-      if (!(ss >> a >> b)) {
-        fail(error, where + ": malformed link");
+      if (!toks.next_num(a) || !toks.next_num(b)) {
+        fail(error, where() + ": malformed link");
         return std::nullopt;
       }
       if (a >= topo.num_routers() || b >= topo.num_routers()) {
-        fail(error, where + ": dangling link endpoint: router id out of "
-                            "range");
+        fail(error, where() + ": dangling link endpoint: router id out of "
+                             "range");
         return std::nullopt;
       }
       if (kind == "intra") {
         int weight = 1;
-        if (!(ss >> weight)) {
-          fail(error, where + ": missing IGP weight");
+        if (!toks.next_num(weight)) {
+          fail(error, where() + ": missing IGP weight");
           return std::nullopt;
         }
         if (topo.as_of_router(RouterId{a}) != topo.as_of_router(RouterId{b})) {
-          fail(error, where + ": intra link spans two ASes");
+          fail(error, where() + ": intra link spans two ASes");
           return std::nullopt;
         }
         topo.add_intra_link(RouterId{a}, RouterId{b}, weight);
       } else {
-        std::string rel;
-        if (!(ss >> rel)) {
-          fail(error, where + ": missing relationship");
+        const std::string_view rel = toks.next();
+        if (rel.empty()) {
+          fail(error, where() + ": missing relationship");
           return std::nullopt;
         }
         const auto r = parse_rel(rel);
         if (!r) {
-          fail(error, where + ": unknown relationship '" + rel + "'");
+          fail(error,
+               where() + ": unknown relationship '" + std::string(rel) + "'");
           return std::nullopt;
         }
         if (topo.as_of_router(RouterId{a}) == topo.as_of_router(RouterId{b})) {
-          fail(error, where + ": inter link within one AS");
+          fail(error, where() + ": inter link within one AS");
           return std::nullopt;
         }
         topo.add_inter_link(RouterId{a}, RouterId{b}, *r);
       }
     } else if (kind == "end" && version >= 2) {
       std::size_t routers = 0, links = 0;
-      if (!(ss >> routers >> links)) {
-        fail(error, where + ": malformed 'end' footer");
+      if (!toks.next_num(routers) || !toks.next_num(links)) {
+        fail(error, where() + ": malformed 'end' footer");
         return std::nullopt;
       }
       if (routers != topo.num_routers() || links != topo.num_links()) {
-        fail(error, where + ": 'end' footer counts (" +
+        fail(error, where() + ": 'end' footer counts (" +
                         std::to_string(routers) + " routers, " +
                         std::to_string(links) + " links) do not match the "
                         "records read (" +
@@ -167,7 +208,7 @@ std::optional<Topology> read_text(std::istream& is, std::string* error) {
       }
       saw_end = true;
     } else {
-      fail(error, where + ": unknown record '" + kind + "'");
+      fail(error, where() + ": unknown record '" + std::string(kind) + "'");
       return std::nullopt;
     }
   }

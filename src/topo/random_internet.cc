@@ -1,7 +1,9 @@
 #include "topo/random_internet.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cstdint>
 #include <set>
 #include <utility>
 
@@ -55,6 +57,26 @@ Topology random_internet(const RandomInternetParams& params) {
   util::Rng rng(params.seed);
   Topology topo;
 
+  // Reserve-once arenas: at 100k ASes the append paths must not spend
+  // their time reallocating. Estimates deliberately round up.
+  {
+    const std::size_t ases =
+        params.num_tier1 + params.num_tier2 + params.num_stubs;
+    const std::size_t routers = params.num_tier1 * params.tier1_routers +
+                                params.num_tier2 * params.tier2_routers +
+                                params.num_stubs;
+    const std::size_t intra = routers + static_cast<std::size_t>(
+                                            params.intra_extra_edges *
+                                            static_cast<double>(routers));
+    const std::size_t inter =
+        params.num_tier1 * params.num_tier1 + 2 * params.num_tier2 +
+        2 * params.num_stubs +
+        static_cast<std::size_t>(params.tier2_peering_frac *
+                                 static_cast<double>(params.num_tier2) *
+                                 static_cast<double>(params.num_tier2) / 2.0);
+    topo.reserve(ases, routers, intra + inter);
+  }
+
   // Tier-1 clique.
   std::vector<AsId> tier1;
   std::vector<std::vector<RouterId>> tier1_routers;
@@ -106,37 +128,53 @@ Topology random_internet(const RandomInternetParams& params) {
 
   // Stubs: preferential attachment over transit ASes — an AS's chance of
   // gaining the next customer grows with the customers it already has.
+  // Weights live in a Fenwick tree so each draw is O(log transit) instead
+  // of a linear rescan (the rescan made 100k-stub generation quadratic);
+  // the (roll, index) mapping is identical to the old linear walk, so the
+  // generated topology is unchanged for any seed.
   std::vector<std::vector<RouterId>*> transit;
-  std::vector<std::size_t> weight;  // 1 + current customer count
-  for (auto& r : tier2_routers) {
-    transit.push_back(&r);
-    weight.push_back(1);
-  }
-  for (auto& r : tier1_routers) {
-    transit.push_back(&r);
-    weight.push_back(1);
-  }
-  auto pick_provider = [&]() {
-    std::size_t total = 0;
-    for (std::size_t w : weight) total += w;
-    std::size_t roll = rng.uniform(1, static_cast<std::uint32_t>(total));
-    for (std::size_t i = 0; i < weight.size(); ++i) {
-      if (roll <= weight[i]) return i;
-      roll -= weight[i];
+  for (auto& r : tier2_routers) transit.push_back(&r);
+  for (auto& r : tier1_routers) transit.push_back(&r);
+  const std::size_t n_transit = transit.size();
+  std::vector<std::uint64_t> fen(n_transit + 1, 0);  // 1-based Fenwick
+  std::uint64_t total_weight = 0;
+  auto fen_add = [&](std::size_t i, std::uint64_t delta) {
+    for (std::size_t k = i + 1; k <= n_transit; k += k & (~k + 1)) {
+      fen[k] += delta;
     }
-    return weight.size() - 1;
+    total_weight += delta;
+  };
+  // Smallest index i with prefix_sum(0..i) >= roll (roll >= 1).
+  auto fen_find = [&](std::uint64_t roll) {
+    std::size_t pos = 0;
+    std::size_t mask = std::size_t{1} << (std::bit_width(n_transit));
+    while (mask > 0) {
+      const std::size_t next = pos + mask;
+      if (next <= n_transit && fen[next] < roll) {
+        pos = next;
+        roll -= fen[next];
+      }
+      mask >>= 1;
+    }
+    return pos < n_transit ? pos : n_transit - 1;
+  };
+  for (std::size_t i = 0; i < n_transit; ++i) fen_add(i, 1);
+  auto pick_provider = [&]() {
+    const std::uint64_t roll =
+        rng.uniform(1, static_cast<std::uint32_t>(total_weight));
+    return fen_find(roll);
   };
   for (std::size_t s = 0; s < params.num_stubs; ++s) {
     const AsId as = topo.add_as(AsClass::kStub);
     const RouterId r = topo.add_router(as);
     const std::size_t p1 = pick_provider();
-    ++weight[p1];
+    fen_add(p1, 1);
     topo.add_inter_link(r, rng.pick(*transit[p1]), Relationship::kProvider);
     if (rng.bernoulli(params.stub_multihoming)) {
       std::size_t p2 = p1;
       while (p2 == p1 && transit.size() > 1) p2 = pick_provider();
       if (p2 != p1) {
-        ++weight[p2];
+        fen_add(p2, 1);
         topo.add_inter_link(r, rng.pick(*transit[p2]),
                             Relationship::kProvider);
       }

@@ -2,6 +2,14 @@
 
 namespace netd::topo {
 
+void Topology::reserve(std::size_t ases, std::size_t routers,
+                       std::size_t links) {
+  ases_.reserve(ases);
+  routers_.reserve(routers);
+  links_.reserve(links);
+  adjacency_.reserve(routers);
+}
+
 AsId Topology::add_as(AsClass cls) {
   const AsId id{static_cast<std::uint32_t>(ases_.size())};
   As as;

@@ -42,6 +42,10 @@ struct As {
 
 class Topology {
  public:
+  /// Pre-sizes the AS/router/link arenas (including per-router adjacency
+  /// slots) so Internet-scale generation appends without reallocating.
+  void reserve(std::size_t ases, std::size_t routers, std::size_t links);
+
   AsId add_as(AsClass cls);
   RouterId add_router(AsId as);
   /// Adds an intradomain link (both routers must be in the same AS).

@@ -1,0 +1,110 @@
+// Packed 64-bit bitset rows for the solver's coverage kernel.
+//
+// BitMatrix is a reserve-once arena of fixed-width rows (one contiguous
+// allocation, rows addressed by index) so a path×link incidence structure
+// of tens of thousands of rows costs one allocation and scans run
+// word-parallel: scoring is AND + popcount over whole 64-bit words,
+// elimination clears single columns in place. BitVec is the same packed
+// layout for a single row (the "still unexplained" masks).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace netd::util {
+
+/// Number of 64-bit words needed for `bits` bits.
+[[nodiscard]] constexpr std::size_t bitset_words(std::size_t bits) {
+  return (bits + 63) / 64;
+}
+
+/// One packed bitset (row) over a fixed universe of bits.
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t bits)
+      : bits_(bits), words_(bitset_words(bits), 0) {}
+
+  [[nodiscard]] std::size_t size() const { return bits_; }
+  [[nodiscard]] std::size_t num_words() const { return words_.size(); }
+
+  void set(std::size_t i) { words_[i >> 6] |= (std::uint64_t{1} << (i & 63)); }
+  void clear(std::size_t i) {
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  void fill_all() {
+    for (auto& w : words_) w = ~std::uint64_t{0};
+    trim();
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += std::popcount(w);
+    return n;
+  }
+
+  [[nodiscard]] const std::uint64_t* data() const { return words_.data(); }
+  [[nodiscard]] std::uint64_t* data() { return words_.data(); }
+
+ private:
+  /// Zeroes the unused tail bits of the last word so count() stays exact.
+  void trim() {
+    if (bits_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (std::uint64_t{1} << (bits_ % 64)) - 1;
+    }
+  }
+
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Fixed-width rows over one contiguous word arena.
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  BitMatrix(std::size_t rows, std::size_t bits)
+      : rows_(rows),
+        bits_(bits),
+        width_(bitset_words(bits)),
+        words_(rows * bitset_words(bits), 0) {}
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_; }
+  [[nodiscard]] std::size_t row_bits() const { return bits_; }
+  [[nodiscard]] std::size_t row_words() const { return width_; }
+
+  [[nodiscard]] const std::uint64_t* row(std::size_t r) const {
+    return words_.data() + r * width_;
+  }
+  [[nodiscard]] std::uint64_t* row(std::size_t r) {
+    return words_.data() + r * width_;
+  }
+
+  void set(std::size_t r, std::size_t bit) {
+    row(r)[bit >> 6] |= (std::uint64_t{1} << (bit & 63));
+  }
+  [[nodiscard]] bool test(std::size_t r, std::size_t bit) const {
+    return (row(r)[bit >> 6] >> (bit & 63)) & 1;
+  }
+
+  /// popcount(row(r) & mask). `mask` must have row_words() words.
+  [[nodiscard]] std::size_t and_count(std::size_t r,
+                                      const std::uint64_t* mask) const {
+    const std::uint64_t* w = row(r);
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < width_; ++i) n += std::popcount(w[i] & mask[i]);
+    return n;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t bits_ = 0;
+  std::size_t width_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace netd::util

@@ -100,7 +100,8 @@ TEST(ExactHittingSet, NeverLargerThanGreedyOnRealEpisodes) {
   EXPECT_LE(exact->size(), greedy.hypothesis_edges.size());
   EXPECT_GE(exact->size(), 1u);
   // The exact solution hits every non-empty failure set.
-  for (const auto& fs : demands.failure_sets) {
+  for (std::size_t s = 0; s < demands.failure_sets.size(); ++s) {
+    const auto fs = demands.failure_sets[s];
     bool has_admissible = false;
     for (auto e : fs) has_admissible = has_admissible || demands.admissible[e];
     if (!has_admissible) continue;
