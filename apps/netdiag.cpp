@@ -1,10 +1,12 @@
 // netdiag — the NetDiagnoser command-line tool. All commands:
 //
 //   netdiag topo      generate/inspect/export the evaluation topology
+//   netdiag plan      choose an identifiability-maximizing sensor placement
+//                     from a candidate pool (greedy planner, src/plan)
 //   netdiag run       run a full evaluation scenario, print metric tables
 //                     (or record a svc event trace with --record FILE)
 //   netdiag diagnose  walk through one failure episode verbosely
-//   netdiag watch     simulate the continuous NOC loop: flap filtering plus
+///   netdiag watch     simulate the continuous NOC loop: flap filtering plus
 //                     automatic diagnosis (--record FILE captures a trace)
 //   netdiag serve     run the diagnosis service daemon (svc wire protocol)
 //   netdiag submit    send one protocol request to a running daemon
@@ -20,6 +22,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <numeric>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -34,6 +37,7 @@
 #include "lg/looking_glass.h"
 #include "obs/registry.h"
 #include "obs/span.h"
+#include "plan/planner.h"
 #include "probe/prober.h"
 #include "sim/network.h"
 #include "svc/client.h"
@@ -43,8 +47,10 @@
 #include "svc/trace.h"
 #include "topo/generator.h"
 #include "topo/io.h"
+#include "topo/random_internet.h"
 #include "util/atomic_file.h"
 #include "util/flags.h"
+#include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -59,6 +65,8 @@ int usage() {
       "commands:\n"
       "  topo      generate the paper's evaluation topology; print stats,\n"
       "            optionally dump it (--dump FILE) or export DOT (--dot FILE)\n"
+      "  plan      greedily choose the probe-budget sensor subset of a\n"
+      "            candidate pool that maximizes failure identifiability\n"
       "  run       run an evaluation scenario and print sensitivity/\n"
       "            specificity tables per algorithm\n"
       "  diagnose  inject one failure and show each algorithm's hypothesis\n"
@@ -215,18 +223,192 @@ class ObsOutputs {
   std::string metrics_path_;
 };
 
+int cmd_plan(util::Flags& flags) {
+  flags.allow({"topo-seed", "ases", "tier2", "stubs", "topo", "internet",
+               "budget", "candidates", "granularity", "placement", "seed",
+               "threads", "eager", "compare-random", "json", "csv", "help"});
+  if (!flags.ok() || flags.get_bool("help")) {
+    std::cerr
+        << "netdiag plan [--budget K] [--candidates C]  (default C = 4K)\n"
+           "             [--granularity link|as|node]  objective element type\n"
+           "             [--placement random|same-as|distant-as|"
+           "distant-as-split]\n"
+           "                            candidate-pool draw (default random)\n"
+           "             [--seed S]     candidate-pool RNG seed\n"
+           "             [--threads N]  BFS precompute workers (0 = all\n"
+           "                            cores; the plan is identical for\n"
+           "                            every value)\n"
+           "             [--eager]      disable the lazy gain cache\n"
+           "             [--compare-random R]  also score R random\n"
+           "                            K-subsets of the pool (mean)\n"
+           "             [--json] [--csv]  machine-readable output\n"
+           "topology (one of):\n"
+           "             [--topo-seed N] [--ases N] [--tier2 N] [--stubs N]\n"
+           "                            the paper's generator (default)\n"
+           "             [--topo FILE]  load a dumped topology\n"
+           "             [--internet A] random Internet-like topology with\n"
+           "                            ~A ASes (bench_scale's family)\n";
+    for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
+    return flags.ok() ? 0 : 2;
+  }
+
+  std::optional<topo::Topology> topology;
+  if (const std::size_t inet = flags.get_uint("internet", 0); inet != 0) {
+    topo::RandomInternetParams p;
+    p.num_tier1 = 5;
+    p.num_tier2 = std::min<std::size_t>(400, 25 + inet / 100);
+    p.num_stubs = inet > p.num_tier1 + p.num_tier2
+                      ? inet - p.num_tier1 - p.num_tier2
+                      : 1;
+    p.tier1_routers = 10;
+    p.tier2_routers = 4;
+    p.seed = static_cast<std::uint64_t>(flags.get_uint("topo-seed", 42));
+    topology = topo::random_internet(p);
+  } else {
+    topology = make_topology(flags);
+  }
+  if (!topology) return 1;
+
+  const std::size_t budget = flags.get_uint("budget", 10);
+  const auto granularity =
+      plan::granularity_from_string(flags.get("granularity", "link"));
+  if (!granularity) {
+    std::cerr << "netdiag: unknown granularity '" << flags.get("granularity")
+              << "' (link, as, node)\n";
+    return 2;
+  }
+  auto kind = probe::PlacementKind::kRandomStub;
+  if (flags.has("placement")) {
+    const auto parsed = parse_placement(flags.get("placement"));
+    if (!parsed) return 2;
+    kind = *parsed;
+  }
+  const std::size_t capacity = probe::placement_capacity(*topology, kind);
+  if (capacity < std::max<std::size_t>(budget, 2)) {
+    std::cerr << "netdiag: topology hosts only " << capacity
+              << " sensors under '" << probe::to_string(kind)
+              << "' placement; lower --budget or grow the topology\n";
+    return 2;
+  }
+  const std::size_t requested =
+      std::max(flags.get_uint("candidates", budget * 4), budget);
+  const std::size_t pool = std::min(requested, capacity);
+  if (pool < requested) {
+    std::cerr << "netdiag: candidate pool clamped to " << pool
+              << " (topology capacity under '" << probe::to_string(kind)
+              << "' placement)\n";
+  }
+
+  util::Rng rng(static_cast<std::uint64_t>(flags.get_uint("seed", 42)));
+  plan::PlannerConfig pcfg;
+  pcfg.budget = budget;
+  pcfg.objective = *granularity;
+  pcfg.num_threads = flags.get_uint("threads", 0);
+  pcfg.lazy = !flags.get_bool("eager");
+  plan::Planner planner(*topology,
+                        probe::place_sensors(*topology, kind, pool, rng),
+                        pcfg);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const plan::PlanResult result = planner.plan();
+  const double plan_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  double random_objective = 0.0;
+  const std::size_t compare = flags.get_uint("compare-random", 0);
+  for (std::size_t r = 0; r < compare; ++r) {
+    std::vector<std::size_t> all(planner.candidates().size());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    random_objective += planner.evaluate(rng.sample(all, budget));
+  }
+  if (compare > 0) random_objective /= static_cast<double>(compare);
+
+  const auto& topo = *topology;
+  if (flags.get_bool("json")) {
+    std::ostream& os = std::cout;
+    os << "{\"granularity\":\"" << plan::to_string(*granularity)
+       << "\",\"budget\":" << budget << ",\"candidates\":" << pool
+       << ",\"objective\":" << result.objective << ",\"plan_ms\":" << plan_ms;
+    if (compare > 0) os << ",\"random_objective\":" << random_objective;
+    os << ",\"sensors\":[";
+    for (std::size_t i = 0; i < result.sensors.size(); ++i) {
+      const auto& s = result.sensors[i];
+      os << (i == 0 ? "" : ",") << "{\"name\":\"" << s.name
+         << "\",\"router\":\"" << topo.router(s.attach).name
+         << "\",\"as\":" << s.as.value()
+         << ",\"candidate\":" << result.chosen[i]
+         << ",\"gain\":" << result.gains[i] << "}";
+    }
+    os << "],\"report\":{";
+    const auto emit = [&os](const char* key,
+                            const plan::GranularityStats& st, bool first) {
+      os << (first ? "" : ",") << "\"" << key << "\":{\"covered\":"
+         << st.covered << ",\"distinct\":" << st.distinct
+         << ",\"identifiable\":" << st.identifiable << "}";
+    };
+    emit("links", result.report.links, true);
+    emit("ases", result.report.ases, false);
+    emit("nodes", result.report.nodes, false);
+    os << "}}\n";
+    return 0;
+  }
+
+  std::cout << "plan: budget=" << budget << " candidates=" << pool
+            << " granularity=" << plan::to_string(*granularity)
+            << " objective=" << result.objective << " ("
+            << plan_ms << " ms)\n";
+  if (compare > 0) {
+    std::cout << "random baseline (" << compare
+              << " draws): objective=" << random_objective << "\n";
+  }
+  util::Table sensors({"sensor", "router", "AS", "gain"});
+  sensors.set_precision(0);
+  for (std::size_t i = 0; i < result.sensors.size(); ++i) {
+    const auto& s = result.sensors[i];
+    sensors.add_row(s.name + " @ " + topo.router(s.attach).name,
+                    {static_cast<double>(s.as.value()), result.gains[i]});
+  }
+  // The label column carries "name @ router", so the AS column follows it.
+  std::cout << "\n";
+  sensors.print(std::cout);
+  util::Table report({"granularity", "covered", "distinct", "identifiable",
+                      "D(G)", "ident frac"});
+  const auto add = [&report](const char* label,
+                             const plan::GranularityStats& st) {
+    report.add_row(label, {static_cast<double>(st.covered),
+                           static_cast<double>(st.distinct),
+                           static_cast<double>(st.identifiable),
+                           st.distinct_fraction(), st.identifiable_fraction()});
+  };
+  add("link", result.report.links);
+  add("as", result.report.ases);
+  add("node", result.report.nodes);
+  std::cout << "\nmeasured identifiability of the planned mesh:\n";
+  report.print(std::cout);
+  if (flags.get_bool("csv")) {
+    std::cout << "\n";
+    sensors.print_csv(std::cout);
+  }
+  return 0;
+}
+
 int cmd_run(util::Flags& flags) {
   flags.allow({"topo-seed", "ases", "tier2", "stubs", "mode", "failures",
-               "sensors", "placements", "trials", "placement", "blocked",
-               "lg", "operator", "seed", "algos", "threads", "record",
-               "threshold", "checkpoint", "resume", "trial-deadline-ms",
-               "csv", "max-placements", "trace-out", "metrics-out", "help"});
+               "sensors", "placements", "trials", "placement", "plan-pool",
+               "blocked", "lg", "operator", "seed", "algos", "threads",
+               "record", "threshold", "checkpoint", "resume",
+               "trial-deadline-ms", "csv", "max-placements", "trace-out",
+               "metrics-out", "help"});
   if (!flags.ok() || flags.get_bool("help")) {
     std::cerr
         << "netdiag run [--mode links|misconfig|misconfig-link|router]\n"
            "            [--failures K] [--sensors N] [--placements P]\n"
            "            [--trials T] [--placement random|same-as|distant-as|"
-           "distant-as-split]\n"
+           "distant-as-split|planned]\n"
+           "            [--plan-pool C]  planned placement: candidate pool\n"
+           "                            size (default 4 x sensors)\n"
            "            [--blocked F] [--lg F] [--operator core|stub]\n"
            "            [--seed S] [--algos tomo,nd-edge,nd-bgpigp,nd-lg]\n"
            "            [--threads N]  (0 = one per hardware thread; results\n"
@@ -273,10 +455,17 @@ int cmd_run(util::Flags& flags) {
   cfg.trial_deadline_ms =
       static_cast<std::uint64_t>(flags.get_uint("trial-deadline-ms", 0));
   if (flags.has("placement")) {
-    const auto kind = parse_placement(flags.get("placement"));
-    if (!kind) return 2;
-    cfg.placement = *kind;
+    // "planned" keeps the random candidate draw but deploys the
+    // plan::Planner-chosen subset (see src/plan).
+    if (flags.get("placement") == "planned") {
+      cfg.placement_strategy = exp::PlacementStrategy::kPlanned;
+    } else {
+      const auto kind = parse_placement(flags.get("placement"));
+      if (!kind) return 2;
+      cfg.placement = *kind;
+    }
   }
+  cfg.plan_pool = flags.get_uint("plan-pool", 0);
 
   const std::string mode = flags.get("mode", "links");
   if (mode == "links") {
@@ -984,6 +1173,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   util::Flags flags = util::Flags::parse(argc - 1, argv + 1);
   if (cmd == "topo") return cmd_topo(flags);
+  if (cmd == "plan") return cmd_plan(flags);
   if (cmd == "run") return cmd_run(flags);
   if (cmd == "diagnose") return cmd_diagnose(flags);
   if (cmd == "watch") return cmd_watch(flags);

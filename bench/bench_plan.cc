@@ -1,0 +1,186 @@
+// Planned vs. random sensor placement at equal budget: end-to-end
+// diagnosis sensitivity/specificity through the full experiment pipeline,
+// plus planner wall time and objective headroom at Internet scale.
+//
+// The comparison presets run the paper's §5 protocol twice with identical
+// seeds — once with the paper's random placement, once with
+// PlacementStrategy::kPlanned (draw a 4x candidate pool, deploy the
+// plan::Planner-chosen budget subset) — so the only difference between
+// the two runs is which sensors get deployed. Failures come from the
+// BGP/IGP simulator, where unreachability is genuine (policy routing, not
+// BFS reroute). ND-edge (the paper's algorithm) is the headline; boolean
+// tomography means are recorded alongside. The sparse preset shrinks the
+// budget to 6 sensors, where placement quality moves sensitivity too
+// (at budget 10 every strategy detects single failures).
+//
+// The scale preset times Planner::plan() on the PR 6 10k-AS Internet
+// generator and reports the objective f(S) = distinct + identifiable of
+// the planned placement against random budget-subsets of the same pool
+// (the roadmap pins single-digit-seconds planning at this scale).
+//
+// Environment:
+//   ND_PLACEMENTS / ND_TRIALS  protocol size (see common.h)
+//   ND_PLAN_REPS               scale-preset timing repetitions (min; 3)
+//   ND_PERF_JSON               append one JSON record per preset there
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "exp/runner.h"
+#include "plan/planner.h"
+#include "probe/sensors.h"
+#include "topo/random_internet.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace netd;
+using exp::Algo;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+topo::RandomInternetParams inet_params(std::size_t ases) {
+  topo::RandomInternetParams p;
+  p.num_tier1 = 5;
+  p.num_tier2 = std::min<std::size_t>(400, 25 + ases / 100);
+  p.num_stubs = ases > p.num_tier1 + p.num_tier2
+                    ? ases - p.num_tier1 - p.num_tier2
+                    : 1;
+  p.tier1_routers = 10;
+  p.tier2_routers = 4;
+  p.seed = 42;
+  return p;
+}
+
+struct Means {
+  double tomo_sens = 0.0;
+  double tomo_spec = 0.0;
+  double nd_sens = 0.0;
+  double nd_spec = 0.0;
+};
+
+Means run_strategy(exp::ScenarioConfig cfg, exp::PlacementStrategy strategy,
+                   const std::string& bench_name) {
+  cfg.placement_strategy = strategy;
+  exp::Runner runner(cfg);
+  const auto rs =
+      bench::timed_run(bench_name, runner, {Algo::kTomo, Algo::kNdEdge}, cfg);
+  Means m;
+  m.tomo_sens = bench::mean(bench::link_sensitivity(rs, Algo::kTomo));
+  m.tomo_spec = bench::mean(bench::link_specificity(rs, Algo::kTomo));
+  m.nd_sens = bench::mean(bench::link_sensitivity(rs, Algo::kNdEdge));
+  m.nd_spec = bench::mean(bench::link_specificity(rs, Algo::kNdEdge));
+  return m;
+}
+
+void emit_compare(const std::string& name, std::size_t failures,
+                  std::size_t sensors, const Means& planned,
+                  const Means& random) {
+  const char* path = std::getenv("ND_PERF_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream os(path, std::ios::app);
+  if (!os) return;
+  os << "{\"bench\":\"" << name << "\",\"failures\":" << failures
+     << ",\"sensors\":" << sensors
+     << ",\"planned_sens\":" << planned.nd_sens
+     << ",\"planned_spec\":" << planned.nd_spec
+     << ",\"random_sens\":" << random.nd_sens
+     << ",\"random_spec\":" << random.nd_spec
+     << ",\"planned_tomo_sens\":" << planned.tomo_sens
+     << ",\"planned_tomo_spec\":" << planned.tomo_spec
+     << ",\"random_tomo_sens\":" << random.tomo_sens
+     << ",\"random_tomo_spec\":" << random.tomo_spec << "}\n";
+}
+
+void emit_scale(const std::string& name, std::size_t ases, std::size_t budget,
+                std::size_t pool, double objective, double random_objective,
+                double plan_ms) {
+  const char* path = std::getenv("ND_PERF_JSON");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream os(path, std::ios::app);
+  if (!os) return;
+  os << "{\"bench\":\"" << name << "\",\"ases\":" << ases
+     << ",\"budget\":" << budget << ",\"pool\":" << pool
+     << ",\"objective\":" << objective
+     << ",\"random_objective\":" << random_objective
+     << ",\"wall_ms\":" << plan_ms << "}\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Probe planning: planned vs random placement at equal budget");
+
+  util::Table table({"preset", "nd_sens", "nd_spec", "tomo_sens",
+                     "tomo_spec"});
+  struct Compare {
+    const char* name;
+    std::size_t failures;
+    std::size_t sensors;  ///< 0 = the protocol default (10)
+    std::uint64_t seed;
+  };
+  for (const Compare& c : {Compare{"plan_1link", 1, 0, 900},
+                           Compare{"plan_3link", 3, 0, 901},
+                           Compare{"plan_sparse", 2, 6, 902}}) {
+    auto cfg = bench::scaled_config(c.seed);
+    cfg.num_link_failures = c.failures;
+    if (c.sensors != 0) cfg.num_sensors = c.sensors;
+    const Means planned = run_strategy(cfg, exp::PlacementStrategy::kPlanned,
+                                       std::string(c.name) + "_planned");
+    const Means random = run_strategy(cfg, exp::PlacementStrategy::kRandom,
+                                      std::string(c.name) + "_random");
+    table.add_row(std::string(c.name) + "/planned",
+                  {planned.nd_sens, planned.nd_spec, planned.tomo_sens,
+                   planned.tomo_spec});
+    table.add_row(std::string(c.name) + "/random",
+                  {random.nd_sens, random.nd_spec, random.tomo_sens,
+                   random.tomo_spec});
+    emit_compare(c.name, c.failures, c.sensors != 0 ? c.sensors : 10, planned,
+                 random);
+  }
+  bench::emit_table("Planned vs random placement (ND-edge headline)", table);
+
+  // ---- Internet-scale planner cost --------------------------------------
+  const std::size_t reps = bench::env_or("ND_PLAN_REPS", 3);
+  const std::size_t ases = 10000, budget = 16, pool_n = 64;
+  topo::Topology topo = topo::random_internet(inet_params(ases));
+  util::Rng rng(11);
+  const auto pool = probe::place_sensors(
+      topo, probe::PlacementKind::kRandomStub, pool_n, rng);
+  plan::PlannerConfig pcfg;
+  pcfg.budget = budget;
+  pcfg.num_threads = 0;
+  pcfg.measure_report = false;
+  plan::Planner planner(topo, pool, pcfg);
+  double plan_ms = 1e300;
+  plan::PlanResult plan;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto t0 = now_ms();
+    plan = planner.plan();
+    plan_ms = std::min(plan_ms, now_ms() - t0);
+  }
+  double rand_obj = 0.0;
+  const std::size_t rdraws = 5;
+  std::vector<std::size_t> all(pool.size());
+  std::iota(all.begin(), all.end(), 0u);
+  for (std::size_t d = 0; d < rdraws; ++d) {
+    rand_obj += planner.evaluate(rng.sample(all, budget));
+  }
+  rand_obj /= static_cast<double>(rdraws);
+  std::cout << "\n[plan] inet10000: objective " << plan.objective
+            << " vs random " << rand_obj << ", plan " << plan_ms << " ms\n";
+  emit_scale("plan_inet10000", ases, budget, pool_n, plan.objective, rand_obj,
+             plan_ms);
+  return 0;
+}

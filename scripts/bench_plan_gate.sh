@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Probe-planning gate: runs bench_plan and checks, within the run itself,
+# that the planned placement beats the paper's random placement at equal
+# budget — strictly on both ND-edge sensitivity and specificity for the
+# gated presets — and that the 10k-AS planner stays inside its wall-time
+# budget (default 10 s, ND_PLAN_GATE_MS to override).
+#
+# Every comparison is within-run (two strategies through the same binary,
+# same seeds, same protocol), so the gate is robust to absolute machine
+# speed; only the wall-time ceiling is absolute, and it has ~2000x
+# headroom on a laptop. The committed BENCH_plan.json is the reference
+# record of the same run shape, not a compared-against baseline.
+#
+# Usage: bench_plan_gate.sh [source-dir] [workdir]
+set -eu
+
+SRC=${1:-.}
+WORK=${2:-bench_plan_gate_work}
+GEN=${ND_GATE_GENERATOR:-Ninja}
+PLAN_MS_LIMIT=${ND_PLAN_GATE_MS:-10000}
+
+mkdir -p "$WORK"
+echo "bench_plan_gate: building Release bench_plan"
+cmake -B "$WORK/build" -S "$SRC" -G "$GEN" -DCMAKE_BUILD_TYPE=Release \
+      >/dev/null
+cmake --build "$WORK/build" --target bench_plan >/dev/null
+echo "bench_plan_gate: running planned-vs-random presets"
+rm -f "$WORK/perf.jsonl"
+ND_PERF_JSON="$WORK/perf.jsonl" "$WORK/build/bench/bench_plan"
+
+awk -v plan_ms_limit="$PLAN_MS_LIMIT" '
+  function field(name,    v) {
+    if (match($0, "\"" name "\":[0-9.eE+-]+") == 0) return ""
+    v = substr($0, RSTART + length(name) + 3, RLENGTH - length(name) - 3)
+    return v + 0
+  }
+  {
+    if (match($0, /"bench":"[^"]*"/) == 0) next
+    name = substr($0, RSTART + 9, RLENGTH - 10)
+    if (name == "plan_3link" || name == "plan_sparse") {
+      gated++
+      ps = field("planned_sens"); rs = field("random_sens")
+      pp = field("planned_spec"); rp = field("random_spec")
+      printf "bench_plan_gate: %-12s sens %.4f vs %.4f  spec %.4f vs %.4f\n", \
+             name, ps, rs, pp, rp
+      if (!(ps > rs && pp > rp)) {
+        printf "bench_plan_gate: FAIL %s planned does not dominate random\n", \
+               name
+        fail = 1
+      }
+    }
+    if (name == "plan_inet10000") {
+      scaled++
+      ms = field("wall_ms"); obj = field("objective")
+      robj = field("random_objective")
+      printf "bench_plan_gate: %-12s plan %.1f ms  objective %.0f vs %.0f\n", \
+             name, ms, obj, robj
+      if (ms >= plan_ms_limit) {
+        printf "bench_plan_gate: FAIL 10k-AS plan took %.0f ms (limit %s)\n", \
+               ms, plan_ms_limit
+        fail = 1
+      }
+      if (!(obj > robj)) {
+        printf "bench_plan_gate: FAIL planned objective below random\n"
+        fail = 1
+      }
+    }
+  }
+  END {
+    if (gated < 2 || scaled < 1) {
+      printf "bench_plan_gate: FAIL records missing (%d gated, %d scale)\n", \
+             gated, scaled
+      fail = 1
+    }
+    exit fail
+  }
+' "$WORK/perf.jsonl"
+
+echo "bench_plan_gate: PASS"

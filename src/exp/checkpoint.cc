@@ -193,6 +193,12 @@ svc::Json scenario_to_json(const ScenarioConfig& cfg) {
   j.set("topo", std::move(topo));
   j.set("sensors", svc::Json::uinteger(cfg.num_sensors));
   j.set("placement", svc::Json::integer(static_cast<int>(cfg.placement)));
+  // Emitted only when non-default so checkpoints written before planned
+  // placement existed keep their fingerprint bytes.
+  if (cfg.placement_strategy != PlacementStrategy::kRandom) {
+    j.set("strategy", svc::Json::string(to_string(cfg.placement_strategy)));
+    j.set("plan_pool", svc::Json::uinteger(cfg.plan_pool));
+  }
   j.set("placements", svc::Json::uinteger(cfg.num_placements));
   j.set("trials", svc::Json::uinteger(cfg.trials_per_placement));
   j.set("mode", svc::Json::integer(static_cast<int>(cfg.mode)));
@@ -272,6 +278,21 @@ std::optional<ScenarioConfig> scenario_from_json(const svc::Json& j,
   }
   cfg.placement = static_cast<probe::PlacementKind>(placement);
   cfg.mode = static_cast<FailureMode>(mode);
+  if (const svc::Json* strategy = j.find("strategy"); strategy != nullptr) {
+    if (!strategy->is_string()) {
+      fail(error, "strategy is not a string");
+      return std::nullopt;
+    }
+    const auto parsed = placement_strategy_from_string(strategy->as_string());
+    if (!parsed) {
+      fail(error, "unknown placement strategy");
+      return std::nullopt;
+    }
+    cfg.placement_strategy = *parsed;
+    if (!parse_size(j.find("plan_pool"), &cfg.plan_pool, error, "plan_pool")) {
+      return std::nullopt;
+    }
+  }
   return cfg;
 }
 

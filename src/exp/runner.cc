@@ -13,6 +13,7 @@
 #include "lg/looking_glass.h"
 #include "obs/registry.h"
 #include "obs/span.h"
+#include "plan/planner.h"
 #include "svc/trace.h"
 #include "util/atomic_file.h"
 #include "util/rng.h"
@@ -43,6 +44,21 @@ std::optional<Algo> algo_from_string(std::string_view s) {
   if (s == "ND-edge") return Algo::kNdEdge;
   if (s == "ND-bgpigp") return Algo::kNdBgpIgp;
   if (s == "ND-LG") return Algo::kNdLg;
+  return std::nullopt;
+}
+
+const char* to_string(PlacementStrategy s) {
+  switch (s) {
+    case PlacementStrategy::kRandom: return "random";
+    case PlacementStrategy::kPlanned: return "planned";
+  }
+  return "?";
+}
+
+std::optional<PlacementStrategy> placement_strategy_from_string(
+    std::string_view s) {
+  if (s == "random") return PlacementStrategy::kRandom;
+  if (s == "planned") return PlacementStrategy::kPlanned;
   return std::nullopt;
 }
 
@@ -255,6 +271,35 @@ struct RunnerInstruments {
   }
 };
 
+/// Draws one placement's sensors per the configured strategy. kRandom is
+/// the direct draw; kPlanned draws a larger candidate pool from the same
+/// RNG stream and deploys the plan::Planner-chosen num_sensors subset
+/// (identifiability objective over ground-truth shortest paths). Either
+/// way all randomness comes from `rng`, so placements stay pre-forked and
+/// thread-count independent.
+std::vector<Sensor> draw_sensors(const ScenarioConfig& cfg,
+                                 const topo::Topology& topo, util::Rng& rng) {
+  if (cfg.placement_strategy == PlacementStrategy::kRandom) {
+    return probe::place_sensors(topo, cfg.placement, cfg.num_sensors, rng);
+  }
+  // The pool draw can ask for more sensors than the topology can host
+  // (e.g. the default 4x oversample on a topology with few stub ASes);
+  // clamp to capacity so small topologies degrade to planning over
+  // whatever pool fits instead of failing the placement draw.
+  const std::size_t pool_n = std::max(
+      std::min(cfg.plan_pool == 0 ? cfg.num_sensors * 4 : cfg.plan_pool,
+               probe::placement_capacity(topo, cfg.placement)),
+      cfg.num_sensors);
+  std::vector<Sensor> pool =
+      probe::place_sensors(topo, cfg.placement, pool_n, rng);
+  plan::PlannerConfig pcfg;
+  pcfg.budget = cfg.num_sensors;
+  pcfg.num_threads = 1;  // placements are already sharded across workers
+  pcfg.measure_report = false;
+  plan::Planner planner(topo, std::move(pool), pcfg);
+  return planner.plan().sensors;
+}
+
 /// Runs the §4 protocol for one placement on `net` (which must be at the
 /// converged base state captured in `base`), invoking `sink(trial,
 /// episode)` once per diagnosable episode. Leaves `net` restored to
@@ -271,8 +316,7 @@ std::vector<std::size_t> run_placement(
   std::vector<std::size_t> quarantined;
   const auto& topo = net.topology();
   util::Rng rng(seed);
-  const std::vector<Sensor> sensors =
-      probe::place_sensors(topo, cfg.placement, cfg.num_sensors, rng);
+  const std::vector<Sensor> sensors = draw_sensors(cfg, topo, rng);
   std::set<std::uint32_t> sensor_ases;
   for (const auto& s : sensors) sensor_ases.insert(s.as.value());
 

@@ -32,6 +32,18 @@ enum class Algo { kTomo, kNdEdge, kNdBgpIgp, kNdLg };
 /// Inverse of to_string(); std::nullopt for unknown names.
 [[nodiscard]] std::optional<Algo> algo_from_string(std::string_view s);
 
+/// How a placement turns the random draw into deployed sensors.
+enum class PlacementStrategy {
+  kRandom,   ///< deploy the drawn sensors as-is (the paper's protocol)
+  kPlanned,  ///< draw a larger candidate pool, then let plan::Planner pick
+             ///< the num_sensors-subset maximizing identifiability
+};
+
+[[nodiscard]] const char* to_string(PlacementStrategy s);
+/// Inverse of to_string(); std::nullopt for unknown names.
+[[nodiscard]] std::optional<PlacementStrategy> placement_strategy_from_string(
+    std::string_view s);
+
 enum class FailureMode {
   kLinks,             ///< `num_link_failures` random probed links fail
   kRouter,            ///< one random probed transit router fails
@@ -46,6 +58,13 @@ struct ScenarioConfig {
   topo::GeneratorParams topo_params{};
   std::size_t num_sensors = 10;
   probe::PlacementKind placement = probe::PlacementKind::kRandomStub;
+  /// kPlanned draws a `plan_pool`-sized candidate pool with `placement`
+  /// and deploys the plan::Planner-chosen num_sensors subset; kRandom is
+  /// the paper's protocol. Part of the checkpoint fingerprint (emitted
+  /// only when non-default, so existing checkpoints stay valid).
+  PlacementStrategy placement_strategy = PlacementStrategy::kRandom;
+  /// Candidate pool size for kPlanned; 0 = 4 × num_sensors.
+  std::size_t plan_pool = 0;
   std::size_t num_placements = 10;
   std::size_t trials_per_placement = 100;
   FailureMode mode = FailureMode::kLinks;

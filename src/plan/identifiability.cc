@@ -1,0 +1,134 @@
+#include "plan/identifiability.h"
+
+#include <algorithm>
+#include <numeric>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace netd::plan {
+
+const char* to_string(Granularity g) {
+  switch (g) {
+    case Granularity::kLink: return "link";
+    case Granularity::kAs: return "as";
+    case Granularity::kNode: return "node";
+  }
+  return "?";
+}
+
+std::optional<Granularity> granularity_from_string(std::string_view s) {
+  if (s == "link") return Granularity::kLink;
+  if (s == "as") return Granularity::kAs;
+  if (s == "node") return Granularity::kNode;
+  return std::nullopt;
+}
+
+GranularityStats hitting_stats(const core::SetFamily& hits) {
+  GranularityStats st;
+  std::vector<std::uint32_t> covered;
+  covered.reserve(hits.size());
+  for (std::uint32_t e = 0; e < hits.size(); ++e) {
+    if (!hits[e].empty()) covered.push_back(e);
+  }
+  st.covered = covered.size();
+  if (covered.empty()) return st;
+  // Group elements by hitting-set content: lexicographic sort of the CSR
+  // spans, then one scan over equal-runs. Exact (no hashing), and the
+  // spans are short — a link is on few paths — so the compares are cheap.
+  const auto less = [&hits](std::uint32_t a, std::uint32_t b) {
+    const auto sa = hits[a];
+    const auto sb = hits[b];
+    return std::lexicographical_compare(sa.begin(), sa.end(), sb.begin(),
+                                        sb.end());
+  };
+  const auto equal = [&hits](std::uint32_t a, std::uint32_t b) {
+    const auto sa = hits[a];
+    const auto sb = hits[b];
+    return sa.size() == sb.size() && std::equal(sa.begin(), sa.end(),
+                                                sb.begin());
+  };
+  std::sort(covered.begin(), covered.end(), less);
+  for (std::size_t i = 0; i < covered.size();) {
+    std::size_t j = i + 1;
+    while (j < covered.size() && equal(covered[i], covered[j])) ++j;
+    ++st.distinct;
+    if (j - i == 1) ++st.identifiable;
+    i = j;
+  }
+  return st;
+}
+
+namespace {
+
+/// Accumulates per-element hitting sets over dense element ids, one path
+/// at a time. Per-path dedup is a stamp array (an element can appear
+/// twice on one path — both directions of a link, an AS left and
+/// re-entered), so each path index lands at most once per element.
+class HitBuilder {
+ public:
+  void ensure(std::uint32_t element) {
+    if (element >= hits_.size()) {
+      hits_.resize(element + 1);
+      stamp_.resize(element + 1, kNoStamp);
+    }
+  }
+
+  void add(std::uint32_t element, std::uint32_t path) {
+    ensure(element);
+    if (stamp_[element] == path) return;
+    stamp_[element] = path;
+    hits_[element].push_back(path);
+  }
+
+  [[nodiscard]] core::SetFamily family() const { return {hits_}; }
+
+ private:
+  static constexpr std::uint32_t kNoStamp = 0xffffffffu;
+  std::vector<std::vector<std::uint32_t>> hits_;
+  std::vector<std::uint32_t> stamp_;
+};
+
+}  // namespace
+
+IdentifiabilityReport identifiability(const core::DiagnosisGraph& dg) {
+  HitBuilder links;
+  HitBuilder nodes;
+  HitBuilder ases;
+  // AS numbers are sparse; intern them into dense ids as they appear.
+  std::unordered_map<int, std::uint32_t> as_ids;
+  const auto as_id = [&as_ids](int asn) {
+    const auto [it, inserted] =
+        as_ids.emplace(asn, static_cast<std::uint32_t>(as_ids.size()));
+    return it->second;
+  };
+  // A diagnosis-graph node counts at node granularity when it stands for
+  // a physical hop: identified routers and UH tokens. Sensors are probe
+  // endpoints, not failure candidates here, and a logical node v(W) is a
+  // projection of router v, which the same path already carries.
+  const auto node_counts = [&dg](graph::NodeId n) {
+    const auto kind = dg.g.node(n).kind;
+    return kind == graph::NodeKind::kRouter ||
+           kind == graph::NodeKind::kUnidentified;
+  };
+
+  for (std::uint32_t p = 0; p < dg.paths.size(); ++p) {
+    for (graph::EdgeId e : dg.paths[p].before) {
+      const core::EdgeInfo& info = dg.info(e);
+      links.add(info.phys_id, p);
+      if (info.asn_src >= 0) ases.add(as_id(info.asn_src), p);
+      if (info.asn_dst >= 0) ases.add(as_id(info.asn_dst), p);
+      const graph::Edge& ge = dg.g.edge(e);
+      if (node_counts(ge.src)) nodes.add(ge.src.value(), p);
+      if (node_counts(ge.dst)) nodes.add(ge.dst.value(), p);
+    }
+  }
+
+  IdentifiabilityReport report;
+  report.links = hitting_stats(links.family());
+  report.ases = hitting_stats(ases.family());
+  report.nodes = hitting_stats(nodes.family());
+  return report;
+}
+
+}  // namespace netd::plan

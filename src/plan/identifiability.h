@@ -1,0 +1,101 @@
+// Identifiability metrics generalizing core::diagnosability (§4's D(G))
+// to three failure granularities, in the sense of the Boolean network
+// tomography literature (Ma et al., arXiv:1509.06333; Bartolini et al.,
+// arXiv:1903.10636): which failures a path set can localize is decided by
+// hitting-set distinctness, so identifiability is a *property of the
+// probe plan*, not just a number measured after the fact.
+//
+// For a granularity (physical links, ASes, routers/nodes) every probed
+// element e has a hitting set h(e) — the T− paths traversing it. Three
+// counts summarize the partition induced by h:
+//   covered       elements on at least one T− path,
+//   distinct      distinct hitting sets among them (the number of
+//                 distinguishable single-failure diagnoses; distinct /
+//                 covered is exactly the paper's D(G) at link
+//                 granularity),
+//   identifiable  elements whose hitting set no other element shares —
+//                 1-identifiable: a single failure of such an element is
+//                 exactly localizable from the reachability matrix alone.
+//
+// Everything is computed in dense id space: links via the
+// core/interner.h phys-key arena, nodes via graph::NodeId, ASes interned
+// on the fly — no string hashing on the 10k-AS path.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+#include "core/diagnosis_graph.h"
+#include "core/solver.h"
+
+namespace netd::plan {
+
+enum class Granularity { kLink, kAs, kNode };
+
+[[nodiscard]] const char* to_string(Granularity g);
+/// Inverse of to_string(); std::nullopt for unknown names.
+[[nodiscard]] std::optional<Granularity> granularity_from_string(
+    std::string_view s);
+
+struct GranularityStats {
+  std::size_t covered = 0;       ///< elements with a non-empty hitting set
+  std::size_t distinct = 0;      ///< distinct hitting sets among them
+  std::size_t identifiable = 0;  ///< elements with a *unique* hitting set
+
+  /// distinct / covered — the D(G) of §4 at link granularity, its direct
+  /// generalization elsewhere. 0 for an empty graph.
+  [[nodiscard]] double distinct_fraction() const {
+    return covered == 0 ? 0.0
+                        : static_cast<double>(distinct) /
+                              static_cast<double>(covered);
+  }
+  /// identifiable / covered: the fraction of probed elements whose single
+  /// failure is exactly localizable (1-identifiability).
+  [[nodiscard]] double identifiable_fraction() const {
+    return covered == 0 ? 0.0
+                        : static_cast<double>(identifiable) /
+                              static_cast<double>(covered);
+  }
+};
+
+struct IdentifiabilityReport {
+  GranularityStats links;
+  GranularityStats ases;
+  GranularityStats nodes;
+
+  [[nodiscard]] const GranularityStats& at(Granularity g) const {
+    switch (g) {
+      case Granularity::kAs: return ases;
+      case Granularity::kNode: return nodes;
+      case Granularity::kLink: break;
+    }
+    return links;
+  }
+};
+
+/// Partition counts of a hitting-set family: hits[e] holds the sorted,
+/// deduplicated path indices covering element e; elements with empty sets
+/// are uncovered and ignored. Exposed for the planner's differential
+/// tests — the planner maintains the same partition incrementally.
+[[nodiscard]] GranularityStats hitting_stats(const core::SetFamily& hits);
+
+/// The full report over the T− paths of `dg`. Link granularity is over
+/// canonical physical keys (logical expansion collapsed, both directions
+/// of a link one element — dg.phys_keys ids); node granularity is over
+/// identified-router and unidentified-hop nodes of the diagnosis graph
+/// (sensors and synthetic logical nodes excluded: a logical node's
+/// physical router already sits on the same path); AS granularity is over
+/// the endpoint ASNs of probed edges.
+///
+/// Relation to §4: core::diagnosability(dg) partitions *directed* graph
+/// edges, this report partitions physical links — the space failure
+/// hypotheses (core::Result::links) actually name. On a mesh that
+/// traverses every link in a single direction the two coincide, so
+/// links.distinct_fraction() == core::diagnosability(dg) there (pinned by
+/// tests); with both directions probed the physical partition is the
+/// coarser, hypothesis-faithful one.
+[[nodiscard]] IdentifiabilityReport identifiability(
+    const core::DiagnosisGraph& dg);
+
+}  // namespace netd::plan

@@ -1,0 +1,351 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "core/diagnosis_graph.h"
+#include "obs/registry.h"
+#include "obs/span.h"
+#include "util/thread_pool.h"
+
+namespace netd::plan {
+
+namespace {
+
+/// Planner instruments, resolved once per process (same pattern as the
+/// solver's SolveInstruments).
+struct PlanInstruments {
+  obs::Counter& plans = obs::Registry::global().counter(
+      "netd_plan_total", "Probe-plan computations");
+  obs::Counter& rounds = obs::Registry::global().counter(
+      "netd_plan_rounds_total", "Greedy selection rounds across all plans");
+  obs::Counter& gain_evals = obs::Registry::global().counter(
+      "netd_plan_gain_evals_total",
+      "Marginal-gain evaluations across all plans (commits included)");
+  obs::Counter& cache_hits = obs::Registry::global().counter(
+      "netd_plan_gain_cache_hits_total",
+      "Path materializations served from the round-stamped per-candidate "
+      "arenas instead of re-walking BFS parent chains");
+  obs::Histogram& pool = obs::Registry::global().histogram(
+      "netd_plan_candidates", "Candidate pool size per plan");
+
+  static PlanInstruments& get() {
+    static PlanInstruments i;
+    return i;
+  }
+};
+
+/// Group key: the (pre-refinement class, new-path signature) pair. The
+/// uncovered pseudo-class kNone packs like any other id.
+constexpr std::uint64_t group_key(std::uint32_t cls, std::uint32_t pattern) {
+  return (static_cast<std::uint64_t>(cls) << 32) | pattern;
+}
+
+}  // namespace
+
+Planner::Planner(const topo::Topology& topo,
+                 std::vector<probe::Sensor> candidates, PlannerConfig cfg)
+    : topo_(topo),
+      candidates_(std::move(candidates)),
+      cfg_(cfg),
+      oracle_(topo) {
+  switch (cfg_.objective) {
+    case Granularity::kLink: num_elements_ = topo_.num_links(); break;
+    case Granularity::kAs: num_elements_ = topo_.num_ases(); break;
+    case Granularity::kNode: num_elements_ = topo_.num_routers(); break;
+  }
+}
+
+void Planner::build_trees() {
+  if (!trees_.empty()) return;
+  const std::size_t n = candidates_.size();
+  trees_.resize(n);
+  const std::size_t threads = std::min(
+      util::ThreadPool::resolve_threads(cfg_.num_threads), std::max<std::size_t>(n, 1));
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      oracle_.tree_into(candidates_[i].attach, trees_[i]);
+    }
+    return;
+  }
+  // Contiguous shards; each task writes only its own tree slots, so the
+  // result is byte-identical for every thread count.
+  util::ThreadPool pool(threads);
+  const std::size_t per = (n + threads - 1) / threads;
+  for (std::size_t begin = 0; begin < n; begin += per) {
+    const std::size_t end = std::min(begin + per, n);
+    pool.submit([this, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) {
+        oracle_.tree_into(candidates_[i].attach, trees_[i]);
+      }
+    });
+  }
+  pool.wait_all();
+}
+
+bool Planner::path_elements(const probe::PathOracle::Tree& t, std::size_t src,
+                            std::size_t dst,
+                            std::vector<topo::LinkId>& links,
+                            std::vector<std::uint32_t>& out) const {
+  links.clear();
+  const topo::RouterId s = candidates_[src].attach;
+  const topo::RouterId d = candidates_[dst].attach;
+  if (!oracle_.path_links(t, s, d, links)) return false;
+  if (cfg_.objective == Granularity::kLink) {
+    for (const topo::LinkId l : links) out.push_back(l.value());
+    return true;
+  }
+  // Routers on the path, endpoints included — the same hops measure()
+  // renders; at AS granularity, their owning ASes.
+  topo::RouterId r = s;
+  const auto push = [this, &out](topo::RouterId rr) {
+    out.push_back(cfg_.objective == Granularity::kNode
+                      ? rr.value()
+                      : topo_.as_of_router(rr).value());
+  };
+  push(r);
+  for (const topo::LinkId l : links) {
+    r = topo_.other_end(l, r);
+    push(r);
+  }
+  return true;
+}
+
+void Planner::extend_arena(std::size_t cand, PathArena& arena) {
+  if (arena.path_off.empty()) arena.path_off.push_back(0);
+  std::vector<std::uint32_t>& elems = arena.elems;
+  const auto seal = [&arena, &elems] {
+    arena.path_off.push_back(static_cast<std::uint32_t>(elems.size()));
+  };
+  for (std::size_t r = arena.rounds; r < selected_.size(); ++r) {
+    const std::size_t t = selected_[r];
+    // Unreachable pairs append an empty span — spans stay round-aligned.
+    path_elements(trees_[cand], cand, t, path_scratch_, elems);
+    seal();
+    path_elements(trees_[t], t, cand, path_scratch_, elems);
+    seal();
+  }
+  arena.rounds = selected_.size();
+}
+
+std::int64_t Planner::marginal_gain(std::size_t cand, bool commit) {
+  PlanInstruments& ins = PlanInstruments::get();
+  PathArena* arena;
+  if (cfg_.lazy) {
+    arena = &arenas_[cand];
+    // Spans up to the stamp are served from the cache; only the paths of
+    // sensors selected since the last evaluation of `cand` are walked.
+    ins.cache_hits.inc(2 * arena->rounds);
+    extend_arena(cand, *arena);
+  } else {
+    scratch_arena_.clear();
+    extend_arena(cand, scratch_arena_);
+    arena = &scratch_arena_;
+  }
+
+  ++eval_epoch_;
+  const std::uint32_t epoch = eval_epoch_;
+  touched_.clear();
+
+  // Per-evaluation signature ids over the *new* paths (cand <-> each
+  // already-selected sensor). Pattern 0 is the empty signature; extending
+  // pattern p with path q yields a fresh id per distinct (p, q).
+  std::uint32_t next_pattern = 1;
+  std::unordered_map<std::uint64_t, std::uint32_t> ext;
+  const auto extend = [&ext, &next_pattern](std::uint32_t p, std::uint32_t q) {
+    const auto [it, inserted] =
+        ext.emplace((static_cast<std::uint64_t>(p) << 32) | q, next_pattern);
+    if (inserted) ++next_pattern;
+    return it->second;
+  };
+
+  const auto num_paths = arena->path_off.size() - 1;
+  for (std::uint32_t q = 0; q < num_paths; ++q) {
+    const std::uint32_t begin = arena->path_off[q];
+    const std::uint32_t end = arena->path_off[q + 1];
+    for (std::uint32_t k = begin; k < end; ++k) {
+      const std::uint32_t e = arena->elems[k];
+      if (elem_stamp_[e] != epoch) {
+        elem_stamp_[e] = epoch;
+        elem_old_class_[e] = class_of_[e];
+        elem_last_q_[e] = q;
+        elem_pattern_[e] = extend(0, q);
+        touched_.push_back(e);
+      } else if (elem_last_q_[e] != q) {  // per-path dedup
+        elem_last_q_[e] = q;
+        elem_pattern_[e] = extend(elem_pattern_[e], q);
+      }
+    }
+  }
+
+  // Group touched elements by (old class, new-path signature): each group
+  // becomes one post-refinement class; per old class, the untouched
+  // remainder keeps the old id.
+  std::unordered_map<std::uint64_t, std::uint32_t> group_count;
+  group_count.reserve(touched_.size());
+  for (const std::uint32_t e : touched_) {
+    ++group_count[group_key(elem_old_class_[e], elem_pattern_[e])];
+  }
+  struct ClassAgg {
+    std::uint32_t marked = 0;   ///< touched elements of the class
+    std::uint32_t groups = 0;   ///< distinct signatures among them
+    std::uint32_t singles = 0;  ///< signatures carried by one element
+  };
+  std::unordered_map<std::uint32_t, ClassAgg> per_class;
+  per_class.reserve(group_count.size());
+  for (const auto& [key, cnt] : group_count) {
+    ClassAgg& agg = per_class[static_cast<std::uint32_t>(key >> 32)];
+    agg.marked += cnt;
+    ++agg.groups;
+    if (cnt == 1) ++agg.singles;
+  }
+
+  std::int64_t delta_classes = 0;
+  std::int64_t delta_ident = 0;
+  for (const auto& [cls, agg] : per_class) {
+    if (cls == kNone) {
+      // Newly covered elements: every group is a brand-new class.
+      delta_classes += agg.groups;
+      delta_ident += agg.singles;
+      continue;
+    }
+    const std::uint32_t size = class_size_[cls];
+    const bool remainder = size > agg.marked;
+    delta_classes += static_cast<std::int64_t>(agg.groups) +
+                     (remainder ? 1 : 0) - 1;
+    const std::int64_t after =
+        static_cast<std::int64_t>(agg.singles) +
+        (size - agg.marked == 1 ? 1 : 0);
+    delta_ident += after - (size == 1 ? 1 : 0);
+  }
+
+  if (commit) {
+    // New class ids assigned in sorted group-key order — deterministic
+    // regardless of hash-map iteration order.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(group_count.size());
+    for (const auto& [key, cnt] : group_count) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    std::unordered_map<std::uint64_t, std::uint32_t> new_id;
+    new_id.reserve(keys.size());
+    for (const std::uint64_t key : keys) {
+      const std::uint32_t cnt = group_count[key];
+      const auto id = static_cast<std::uint32_t>(class_size_.size());
+      class_size_.push_back(cnt);
+      new_id.emplace(key, id);
+      const auto old_cls = static_cast<std::uint32_t>(key >> 32);
+      if (old_cls != kNone) class_size_[old_cls] -= cnt;  // dead at 0 is fine
+    }
+    for (const std::uint32_t e : touched_) {
+      class_of_[e] = new_id[group_key(elem_old_class_[e], elem_pattern_[e])];
+    }
+    num_classes_ += delta_classes;
+    num_identifiable_ += delta_ident;
+    selected_.push_back(cand);
+  }
+  return delta_classes + delta_ident;
+}
+
+PlanResult Planner::plan() {
+  PlanInstruments& ins = PlanInstruments::get();
+  obs::Span span("plan");
+  ins.plans.inc();
+  ins.pool.observe(static_cast<double>(candidates_.size()));
+
+  // Reset so plan() is restartable (state also feeds evaluate() tests).
+  class_of_.assign(num_elements_, kNone);
+  class_size_.clear();
+  num_classes_ = 0;
+  num_identifiable_ = 0;
+  selected_.clear();
+  arenas_.assign(candidates_.size(), PathArena{});
+  eval_epoch_ = 0;
+  elem_stamp_.assign(num_elements_, 0);
+  elem_last_q_.resize(num_elements_);
+  elem_pattern_.resize(num_elements_);
+  elem_old_class_.resize(num_elements_);
+
+  PlanResult result;
+  const std::size_t n = candidates_.size();
+  const std::size_t budget = std::min(cfg_.budget, n);
+  {
+    obs::Span trees_span("plan_trees");
+    build_trees();
+  }
+  {
+    // Exact greedy: every unchosen candidate is re-scored each round —
+    // each round adds two new probe paths per candidate, so no cached
+    // gain stays valid across rounds (see the header on why CELF-style
+    // skipping is unsound here). Ties keep the lowest index; round 1 is
+    // all-zero gains (no probe pairs yet), so the first pick is always
+    // candidate 0.
+    obs::Span greedy_span("plan_greedy");
+    std::vector<char> chosen(n, 0);
+    for (std::size_t round = 0; round < budget; ++round) {
+      std::int64_t best_gain = -1;
+      std::size_t best = n;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (chosen[i]) continue;
+        const std::int64_t gain = marginal_gain(i, /*commit=*/false);
+        ins.gain_evals.inc();
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = i;
+        }
+      }
+      const std::int64_t gain = marginal_gain(best, /*commit=*/true);
+      ins.gain_evals.inc();
+      chosen[best] = 1;
+      result.chosen.push_back(best);
+      result.gains.push_back(static_cast<double>(gain));
+      ins.rounds.inc();
+    }
+  }
+  result.objective = static_cast<double>(num_classes_ + num_identifiable_);
+  result.sensors.reserve(result.chosen.size());
+  for (const std::size_t i : result.chosen) {
+    result.sensors.push_back(candidates_[i]);
+  }
+  if (cfg_.measure_report && !result.sensors.empty()) {
+    obs::Span report_span("plan_report");
+    const probe::SyntheticProber prober(topo_, result.sensors);
+    const probe::Mesh mesh = prober.measure();
+    result.report = identifiability(
+        core::build_diagnosis_graph(mesh, mesh, core::LogicalMode::kNone));
+  }
+  return result;
+}
+
+double Planner::evaluate(const std::vector<std::size_t>& chosen) const {
+  // From-scratch hitting sets over the same path model — trees computed
+  // locally so this works before plan() and from const contexts.
+  std::vector<probe::PathOracle::Tree> trees(chosen.size());
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    oracle_.tree_into(candidates_[chosen[i]].attach, trees[i]);
+  }
+  std::vector<std::vector<std::uint32_t>> hits(num_elements_);
+  std::vector<std::uint32_t> stamp(num_elements_, kNone);
+  std::vector<topo::LinkId> links;
+  std::vector<std::uint32_t> elems;
+  std::uint32_t q = 0;
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    for (std::size_t j = 0; j < chosen.size(); ++j) {
+      if (i == j) continue;
+      elems.clear();
+      if (!path_elements(trees[i], chosen[i], chosen[j], links, elems)) {
+        continue;
+      }
+      for (const std::uint32_t e : elems) {
+        if (stamp[e] == q) continue;
+        stamp[e] = q;
+        hits[e].push_back(q);
+      }
+      ++q;
+    }
+  }
+  const GranularityStats st = hitting_stats(core::SetFamily(hits));
+  return static_cast<double>(st.distinct + st.identifiable);
+}
+
+}  // namespace netd::plan

@@ -1,0 +1,179 @@
+// Identifiability-driven probe planning: choose which sensors to deploy.
+//
+// Given a topology, a candidate sensor pool and a probe budget k, the
+// planner greedily selects the k candidates whose pairwise probe mesh
+// maximizes
+//
+//     f(S) = distinct(S) + identifiable(S)
+//
+// at a configurable granularity (links, ASes or routers/nodes), where
+// distinct counts the distinguishable hitting-set classes induced by the
+// path set of S and identifiable the singleton classes (elements whose
+// single failure is exactly localizable — see identifiability.h). Adding
+// a path only refines the partition — classes split, never merge — so f
+// is monotone.
+//
+// f is *not* submodular: every selection round hands every remaining
+// candidate two brand-new probe paths (to and from the new sensor), so
+// marginal gains grow across rounds — the early-round regime is
+// supermodular, and CELF-style stale-gain skipping (which needs cached
+// gains to be upper bounds) would degenerate to selecting candidates in
+// index order. The greedy is therefore exact: every unchosen candidate is
+// re-scored each round. What *is* cached, epoch-stamped in the same style
+// as the PR 6 solver kernel, is one layer down: the BFS trees never
+// change during planning, so a candidate's path to a selected sensor is
+// immutable once that sensor is chosen. Each candidate keeps an
+// append-only arena of materialized path element lists, stamped with the
+// number of selection rounds it incorporates; an evaluation walks only
+// the paths the stamp says are missing (two per round) and re-groups over
+// the arena. Scratch arrays are likewise stamp-invalidated per evaluation
+// instead of cleared, so no per-eval O(elements) reset exists.
+//
+// Paths come from probe::PathOracle — BFS shortest-path trees per
+// candidate, identical tie-break to SyntheticProber — so the mesh the
+// planner scores is byte-for-byte the mesh probe::SyntheticProber would
+// measure for the chosen placement. Tree construction is sharded over a
+// util::ThreadPool (each candidate owns its slot), making the result
+// byte-identical for every thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "plan/identifiability.h"
+#include "probe/sensors.h"
+#include "probe/synthetic.h"
+#include "topo/topology.h"
+
+namespace netd::plan {
+
+struct PlannerConfig {
+  /// Sensors to select from the candidate pool (clamped to pool size).
+  std::size_t budget = 10;
+  /// Element granularity the objective optimizes. The report always
+  /// carries all three.
+  Granularity objective = Granularity::kLink;
+  /// Worker threads for the per-candidate BFS precompute; 0 = one per
+  /// hardware thread. The placement and report are byte-identical for
+  /// every value.
+  std::size_t num_threads = 1;
+  /// Reuse each candidate's round-stamped path-materialization arena
+  /// across evaluations. Disabling rematerializes every path on every
+  /// evaluation — byte-identical selections and gains, more path walks;
+  /// the differential test pins the equivalence.
+  bool lazy = true;
+  /// Measure the planned mesh (SyntheticProber) and attach the full
+  /// IdentifiabilityReport to the result. Callers that only need the
+  /// placement (exp::Runner) turn this off.
+  bool measure_report = true;
+};
+
+struct PlanResult {
+  /// Chosen sensors, in selection order.
+  std::vector<probe::Sensor> sensors;
+  /// Indices of the chosen sensors into candidates().
+  std::vector<std::size_t> chosen;
+  /// Marginal objective gain of each pick (gains[0] is always 0: with no
+  /// prior sensor there are no probe pairs yet, so the first pick is the
+  /// lowest-index candidate).
+  std::vector<double> gains;
+  /// Final objective value f(S) = distinct + identifiable at the
+  /// configured granularity, over the planner's ground-truth path model.
+  double objective = 0.0;
+  /// Identifiability of the planned mesh, measured through the real
+  /// pipeline (SyntheticProber mesh -> diagnosis graph). Zero-valued when
+  /// PlannerConfig::measure_report is off. Not numerically identical to
+  /// `objective`: the diagnosis graph also counts each sensor's
+  /// own access edge (sensor -> attach router), which the objective
+  /// deliberately excludes — those edges exist only because the sensor
+  /// was deployed, so scoring them would reward every candidate for
+  /// manufacturing its own trivially-identifiable element.
+  IdentifiabilityReport report;
+};
+
+class Planner {
+ public:
+  /// `topo` must outlive the planner. `candidates` is the sensor pool
+  /// (e.g. probe::place_sensors over stub ASes); selection is a subset.
+  Planner(const topo::Topology& topo, std::vector<probe::Sensor> candidates,
+          PlannerConfig cfg);
+
+  [[nodiscard]] PlanResult plan();
+
+  /// Objective value f = distinct + identifiable (configured granularity)
+  /// of an arbitrary subset of the candidate pool, computed from scratch
+  /// over the same path model — the planned-vs-random yardstick and the
+  /// cross-check for the incremental partition (plan().objective equals
+  /// evaluate(plan().chosen); pinned by tests).
+  [[nodiscard]] double evaluate(const std::vector<std::size_t>& chosen) const;
+
+  [[nodiscard]] const std::vector<probe::Sensor>& candidates() const {
+    return candidates_;
+  }
+
+ private:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  /// Ensures trees_[c] exists for every candidate (ThreadPool-sharded).
+  void build_trees();
+  /// Appends the dense element ids (objective granularity) of the path
+  /// from candidate `src` to candidate `dst` to `out`, where `t` is the
+  /// BFS tree rooted at src's attach router. Returns false — appending
+  /// nothing — when dst is unreachable. Elements may repeat on one path
+  /// (an AS left and re-entered); consumers dedup by stamp.
+  bool path_elements(const probe::PathOracle::Tree& t, std::size_t src,
+                     std::size_t dst, std::vector<topo::LinkId>& links,
+                     std::vector<std::uint32_t>& out) const;
+
+  /// One candidate's materialized paths to/from the selected sensors, in
+  /// selection order (c->s then s->c per sensor; unreachable pairs keep
+  /// an empty span so spans stay aligned with rounds). `rounds` is the
+  /// epoch stamp: how many selected sensors the arena incorporates.
+  struct PathArena {
+    std::vector<std::uint32_t> elems;     ///< dense element ids
+    std::vector<std::uint32_t> path_off;  ///< CSR offsets, size paths+1
+    std::size_t rounds = 0;
+
+    void clear() {
+      elems.clear();
+      path_off.clear();
+      rounds = 0;
+    }
+  };
+
+  /// Appends the paths of selected_[arena.rounds..] to `arena` and
+  /// advances its stamp.
+  void extend_arena(std::size_t cand, PathArena& arena);
+
+  /// Evaluates the marginal gain of adding candidate `cand` to the
+  /// current selection; with `commit`, also applies the refinement to the
+  /// partition state. Returns delta(distinct) + delta(identifiable).
+  std::int64_t marginal_gain(std::size_t cand, bool commit);
+
+  const topo::Topology& topo_;
+  std::vector<probe::Sensor> candidates_;
+  PlannerConfig cfg_;
+  probe::PathOracle oracle_;
+  std::vector<probe::PathOracle::Tree> trees_;
+
+  // ---- incremental partition state (over dense element ids) ----
+  std::size_t num_elements_ = 0;
+  std::vector<std::uint32_t> class_of_;    ///< per element; kNone = uncovered
+  std::vector<std::uint32_t> class_size_;  ///< per class id (dead entries 0)
+  std::int64_t num_classes_ = 0;
+  std::int64_t num_identifiable_ = 0;
+  std::vector<std::size_t> selected_;  ///< candidate indices, pick order
+  std::vector<PathArena> arenas_;      ///< per candidate (cfg_.lazy only)
+  PathArena scratch_arena_;            ///< rematerialization (lazy off)
+
+  // ---- per-evaluation scratch, epoch-stamped so no clearing is O(E) ----
+  std::uint32_t eval_epoch_ = 0;
+  std::vector<std::uint32_t> elem_stamp_;      ///< last eval touching e
+  std::vector<std::uint32_t> elem_last_q_;     ///< last new path covering e
+  std::vector<std::uint32_t> elem_pattern_;    ///< e's new-path signature
+  std::vector<std::uint32_t> elem_old_class_;  ///< class at stamping time
+  std::vector<std::uint32_t> touched_;    ///< elements on new paths
+  std::vector<topo::LinkId> path_scratch_;
+};
+
+}  // namespace netd::plan

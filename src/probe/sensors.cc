@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <set>
 
 namespace netd::probe {
@@ -85,6 +86,13 @@ std::pair<AsId, AsId> distant_pair(const Topology& topo, util::Rng& rng) {
 }
 
 }  // namespace
+
+std::size_t placement_capacity(const Topology& topo, PlacementKind kind) {
+  if (kind == PlacementKind::kRandomStub) {
+    return ases_of_class(topo, AsClass::kStub).size();
+  }
+  return std::numeric_limits<std::size_t>::max();
+}
 
 std::vector<Sensor> place_sensors(const Topology& topo, PlacementKind kind,
                                   std::size_t n, util::Rng& rng) {

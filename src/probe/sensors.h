@@ -35,4 +35,12 @@ enum class PlacementKind {
                                                 PlacementKind kind,
                                                 std::size_t n, util::Rng& rng);
 
+/// Largest `n` that place_sensors can satisfy for `kind` on `topo`. Only
+/// kRandomStub is capped (one sensor per distinct stub AS); the other
+/// strategies reuse routers, so any count fits. Callers that oversample —
+/// e.g. a planner drawing a candidate pool larger than the deployment —
+/// must clamp against this before calling place_sensors.
+[[nodiscard]] std::size_t placement_capacity(const topo::Topology& topo,
+                                             PlacementKind kind);
+
 }  // namespace netd::probe

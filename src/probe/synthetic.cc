@@ -2,16 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
-#include <limits>
 
 namespace netd::probe {
 
 using topo::LinkId;
 using topo::RouterId;
 
-SyntheticProber::SyntheticProber(const topo::Topology& topo,
-                                 std::vector<Sensor> sensors)
-    : topo_(topo), sensors_(std::move(sensors)) {
+PathOracle::PathOracle(const topo::Topology& topo) : topo_(topo) {
   const std::size_t n = topo_.num_routers();
   adj_off_.assign(n + 1, 0);
   for (std::size_t r = 0; r < n; ++r) {
@@ -26,43 +23,68 @@ SyntheticProber::SyntheticProber(const topo::Topology& topo,
   }
 }
 
-Mesh SyntheticProber::measure() const {
-  constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+void PathOracle::tree_into(RouterId src, Tree& t) const {
   const std::size_t n = topo_.num_routers();
+  t.dist.assign(n, kUnreached);
+  t.parent.resize(n);
+  std::vector<std::uint32_t> queue;
+  queue.reserve(n);
+  if (topo_.router(src).up) {
+    t.dist[src.value()] = 0;
+    queue.push_back(src.value());
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::uint32_t r = queue[head];
+    const std::uint32_t d = t.dist[r];
+    for (std::uint32_t k = adj_off_[r]; k < adj_off_[r + 1]; ++k) {
+      const LinkId l = adj_[k];
+      if (!topo_.link_usable(l)) continue;
+      const std::uint32_t nb = topo_.other_end(l, RouterId{r}).value();
+      if (t.dist[nb] != kUnreached) continue;  // first discovery wins:
+                                               // FIFO + adjacency order is
+                                               // the deterministic tie-break
+      t.dist[nb] = d + 1;
+      t.parent[nb] = l;
+      queue.push_back(nb);
+    }
+  }
+}
+
+PathOracle::Tree PathOracle::tree(RouterId src) const {
+  Tree t;
+  tree_into(src, t);
+  return t;
+}
+
+bool PathOracle::path_links(const Tree& t, RouterId src, RouterId dst,
+                            std::vector<LinkId>& out) const {
+  if (!topo_.router(dst).up || t.dist[dst.value()] == kUnreached) return false;
+  const std::size_t first = out.size();
+  RouterId r = dst;
+  while (r != src) {
+    out.push_back(t.parent[r.value()]);
+    r = topo_.other_end(t.parent[r.value()], r);
+  }
+  std::reverse(out.begin() + static_cast<std::ptrdiff_t>(first), out.end());
+  return true;
+}
+
+SyntheticProber::SyntheticProber(const topo::Topology& topo,
+                                 std::vector<Sensor> sensors)
+    : sensors_(std::move(sensors)), oracle_(topo) {}
+
+Mesh SyntheticProber::measure() const {
+  const topo::Topology& topo = oracle_.topology();
   Mesh mesh;
   mesh.paths.reserve(sensors_.size() * (sensors_.size() - 1));
 
-  // Per-source BFS scratch, reused across sources.
-  std::vector<std::uint32_t> dist(n);
-  std::vector<LinkId> parent(n);
-  std::vector<std::uint32_t> queue;
-  queue.reserve(n);
+  // Per-source BFS tree, reused across sources.
+  PathOracle::Tree t;
   std::vector<RouterId> rev_hops;
 
   for (std::size_t i = 0; i < sensors_.size(); ++i) {
     const RouterId src = sensors_[i].attach;
-    std::fill(dist.begin(), dist.end(), kUnreached);
-    queue.clear();
-    if (topo_.router(src).up) {
-      dist[src.value()] = 0;
-      queue.push_back(src.value());
-    }
-    for (std::size_t head = 0; head < queue.size(); ++head) {
-      const std::uint32_t r = queue[head];
-      const std::uint32_t d = dist[r];
-      for (std::uint32_t k = adj_off_[r]; k < adj_off_[r + 1]; ++k) {
-        const LinkId l = adj_[k];
-        if (!topo_.link_usable(l)) continue;
-        const std::uint32_t nb =
-            topo_.other_end(l, RouterId{r}).value();
-        if (dist[nb] != kUnreached) continue;  // first discovery wins:
-                                               // FIFO + adjacency order is
-                                               // the deterministic tie-break
-        dist[nb] = d + 1;
-        parent[nb] = l;
-        queue.push_back(nb);
-      }
-    }
+    oracle_.tree_into(src, t);
 
     for (std::size_t j = 0; j < sensors_.size(); ++j) {
       if (i == j) continue;
@@ -75,11 +97,11 @@ Mesh SyntheticProber::measure() const {
                             static_cast<int>(si.as.value()), si.attach});
       const RouterId dst = sensors_[j].attach;
       const bool reached =
-          topo_.router(dst).up && dist[dst.value()] != kUnreached;
+          topo.router(dst).up && t.dist[dst.value()] != PathOracle::kUnreached;
       if (!reached) {
         // Unreachable pair: rendered like a trace that died at the source
         // (the diagnosis only needs the ok flag and the T− path).
-        tp.hops.push_back(Hop{topo_.router(src).name, graph::NodeKind::kRouter,
+        tp.hops.push_back(Hop{topo.router(src).name, graph::NodeKind::kRouter,
                               static_cast<int>(si.as.value()), src});
         tp.ok = false;
         mesh.paths.push_back(std::move(tp));
@@ -90,21 +112,18 @@ Mesh SyntheticProber::measure() const {
       RouterId r = dst;
       while (r != src) {
         rev_hops.push_back(r);
-        r = topo_.other_end(parent[r.value()], r);
+        r = topo.other_end(t.parent[r.value()], r);
       }
-      tp.hops.push_back(Hop{topo_.router(src).name, graph::NodeKind::kRouter,
+      tp.hops.push_back(Hop{topo.router(src).name, graph::NodeKind::kRouter,
                             static_cast<int>(si.as.value()), src});
       tp.links.reserve(rev_hops.size());
-      RouterId prev = src;
       for (auto it = rev_hops.rbegin(); it != rev_hops.rend(); ++it) {
         const RouterId hop = *it;
-        tp.links.push_back(parent[hop.value()]);
-        const auto& router = topo_.router(hop);
+        tp.links.push_back(t.parent[hop.value()]);
+        const auto& router = topo.router(hop);
         tp.hops.push_back(Hop{router.name, graph::NodeKind::kRouter,
                               static_cast<int>(router.as.value()), hop});
-        prev = hop;
       }
-      (void)prev;
       tp.ok = true;
       tp.hops.push_back(Hop{sj.name, graph::NodeKind::kSensor,
                             static_cast<int>(sj.as.value()), sj.attach});

@@ -11,6 +11,11 @@
 // Paths are deterministic per topology: re-measuring after failing links
 // yields reroutes (changed working paths) and unreachabilities exactly
 // like the simulator does, just without policy routing.
+//
+// The BFS itself lives in PathOracle so other consumers — the probe
+// planner in src/plan needs per-candidate shortest-path trees — share the
+// prober's exact tie-break contract: a path the planner scores is the
+// path measure() would later render.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +25,49 @@
 #include "topo/topology.h"
 
 namespace netd::probe {
+
+/// Frozen-adjacency BFS shortest-path oracle over a topology's routers.
+/// Adjacency is snapshotted (CSR, adjacency order) at construction;
+/// link/router up-state is read at each tree() call, so failing links and
+/// re-querying yields the rerouted trees. The tie-break — FIFO queue,
+/// first discovery over links in adjacency order wins — is the
+/// determinism contract SyntheticProber::measure() renders and the
+/// planner's gain evaluation depends on.
+class PathOracle {
+ public:
+  static constexpr std::uint32_t kUnreached = 0xffffffffu;
+
+  /// `topo` must outlive the oracle.
+  explicit PathOracle(const topo::Topology& topo);
+
+  /// One source's BFS tree: hop distance per router (kUnreached when the
+  /// router cannot be reached over usable links) and, for every reached
+  /// router other than the source, the link leading back toward it.
+  struct Tree {
+    std::vector<std::uint32_t> dist;
+    std::vector<topo::LinkId> parent;
+  };
+
+  /// Computes the tree rooted at `src` into `t` (arenas reused across
+  /// calls). A downed source router yields an all-unreached tree.
+  void tree_into(topo::RouterId src, Tree& t) const;
+  [[nodiscard]] Tree tree(topo::RouterId src) const;
+
+  /// Appends the links of the src→dst path (in path order) to `out`.
+  /// Returns false — appending nothing — when `dst` is unreached in `t`
+  /// or its router is down. src→src is the empty path (true).
+  bool path_links(const Tree& t, topo::RouterId src, topo::RouterId dst,
+                  std::vector<topo::LinkId>& out) const;
+
+  [[nodiscard]] const topo::Topology& topology() const { return topo_; }
+
+ private:
+  const topo::Topology& topo_;
+  // CSR adjacency over router ids, frozen at construction (usability is
+  // re-checked per link per tree_into call).
+  std::vector<std::uint32_t> adj_off_;
+  std::vector<topo::LinkId> adj_;
+};
 
 class SyntheticProber {
  public:
@@ -34,12 +82,8 @@ class SyntheticProber {
   [[nodiscard]] const std::vector<Sensor>& sensors() const { return sensors_; }
 
  private:
-  const topo::Topology& topo_;
   std::vector<Sensor> sensors_;
-  // CSR adjacency over router ids, frozen at construction (the arena the
-  // per-source BFS walks; usability is re-checked per link per call).
-  std::vector<std::uint32_t> adj_off_;
-  std::vector<topo::LinkId> adj_;
+  PathOracle oracle_;
 };
 
 }  // namespace netd::probe

@@ -50,6 +50,47 @@ TEST(Diagnosability, MoreProbesImproveD) {
   EXPECT_GT(d2, d1);
 }
 
+TEST(Diagnosability, DirectPairIsOne) {
+  // Two sensors joined by one link, probed in both directions: each
+  // directed edge is hit by exactly its own path — D(G) = 1.
+  const auto m = MeshBuilder()
+                     .ok(0, 1, {"s0@1!s", "s1@1!s"})
+                     .ok(1, 0, {"s1@1!s", "s0@1!s"})
+                     .build();
+  EXPECT_DOUBLE_EQ(diagnosability(build_diagnosis_graph(m, m, false)), 1.0);
+}
+
+TEST(Diagnosability, FullMeshOfDirectLinksIsOne) {
+  // Three sensors, all pairs joined directly and probed in both
+  // directions: 6 directed edges, each with a unique hitting set.
+  MeshBuilder b;
+  const std::vector<std::string> hops = {"s0@1!s", "s1@1!s", "s2@1!s"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i != j) b.ok(i, j, {hops[i], hops[j]});
+    }
+  }
+  EXPECT_DOUBLE_EQ(
+      diagnosability(build_diagnosis_graph(b.build(), b.build(), false)), 1.0);
+}
+
+TEST(Diagnosability, FullMeshThroughSharedBackboneIsBelowOne) {
+  // A full sensor mesh funneled through a three-hub backbone. The two
+  // middle edges h1>h2 and h2>h3 are both hit by all six paths — one
+  // shared hitting set — while each access edge is hit by exactly the
+  // paths of its sensor: 8 edges, 7 distinct sets, D(G) = 7/8.
+  MeshBuilder b;
+  const std::vector<std::string> s = {"s0@1!s", "s1@1!s", "s2@1!s"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i != j) b.ok(i, j, {s[i], "h1@1", "h2@1", "h3@1", s[j]});
+    }
+  }
+  EXPECT_DOUBLE_EQ(
+      diagnosability(build_diagnosis_graph(b.build(), b.build(), false)),
+      7.0 / 8.0);
+}
+
 TEST(Diagnosability, InUnitInterval) {
   const auto m = MeshBuilder()
                      .ok(0, 1, {"s0@1!s", "a@1", "s1@1!s"})

@@ -1,0 +1,136 @@
+#include "plan/identifiability.h"
+
+#include <gtest/gtest.h>
+
+#include "../core/mesh_builder.h"
+#include "core/diagnosability.h"
+#include "core/diagnosis_graph.h"
+
+namespace netd::plan {
+namespace {
+
+using core::testing::MeshBuilder;
+
+core::DiagnosisGraph graph_of(const probe::Mesh& m) {
+  return core::build_diagnosis_graph(m, m, /*logical_links=*/false);
+}
+
+TEST(HittingStats, EmptyFamily) {
+  const GranularityStats s = hitting_stats(core::SetFamily{});
+  EXPECT_EQ(s.covered, 0u);
+  EXPECT_EQ(s.distinct, 0u);
+  EXPECT_EQ(s.identifiable, 0u);
+  EXPECT_DOUBLE_EQ(s.distinct_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(s.identifiable_fraction(), 0.0);
+}
+
+TEST(HittingStats, CountsClassesAndSingletons) {
+  // {0,1} twice (one class, no singleton), {2} once (identifiable),
+  // {} uncovered.
+  const core::SetFamily hits{{{0, 1}, {0, 1}, {2}, {}}};
+  const GranularityStats s = hitting_stats(hits);
+  EXPECT_EQ(s.covered, 3u);
+  EXPECT_EQ(s.distinct, 2u);
+  EXPECT_EQ(s.identifiable, 1u);
+}
+
+TEST(Identifiability, EmptyGraphAllZero) {
+  const IdentifiabilityReport r = identifiability(graph_of(probe::Mesh{}));
+  for (Granularity g : {Granularity::kLink, Granularity::kAs,
+                        Granularity::kNode}) {
+    EXPECT_EQ(r.at(g).covered, 0u);
+    EXPECT_EQ(r.at(g).distinct, 0u);
+    EXPECT_EQ(r.at(g).identifiable, 0u);
+  }
+}
+
+TEST(Identifiability, SinglePathIsOneClass) {
+  // s0 - a - b - c - s1: every link shares the hitting set {path0}.
+  const auto m = MeshBuilder()
+                     .ok(0, 1, {"s0@1!s", "a@1", "b@1", "c@1", "s1@1!s"})
+                     .build();
+  const IdentifiabilityReport r = identifiability(graph_of(m));
+  EXPECT_EQ(r.links.covered, 4u);
+  EXPECT_EQ(r.links.distinct, 1u);
+  EXPECT_EQ(r.links.identifiable, 0u);
+  // Nodes: a, b, c (sensors are excluded), one shared class.
+  EXPECT_EQ(r.nodes.covered, 3u);
+  EXPECT_EQ(r.nodes.distinct, 1u);
+  EXPECT_EQ(r.nodes.identifiable, 0u);
+}
+
+TEST(Identifiability, LinkFractionMatchesDiagnosabilitySingleDirection) {
+  // Meshes that traverse every link in one direction only: the physical
+  // partition coincides with the directed-edge partition of §4.
+  const auto chain = MeshBuilder()
+                         .ok(0, 1, {"s0@1!s", "a@1", "b@1", "c@1", "s1@1!s"})
+                         .build();
+  const auto dense = MeshBuilder()
+                         .ok(0, 1, {"s0@1!s", "a@1", "b@1", "s1@1!s"})
+                         .ok(2, 1, {"s2@1!s", "a@1", "b@1", "s1@1!s"})
+                         .ok(2, 3, {"s2@1!s", "a@1", "s3@1!s"})
+                         .build();
+  for (const auto& m : {chain, dense}) {
+    const auto dg = graph_of(m);
+    EXPECT_DOUBLE_EQ(identifiability(dg).links.distinct_fraction(),
+                     core::diagnosability(dg));
+  }
+}
+
+TEST(Identifiability, BothDirectionsCollapseOntoPhysicalLinks) {
+  // Star probed in both directions: 5 directed edges but 3 physical
+  // links, each with a unique hitting set — D(G) and the physical
+  // fraction legitimately differ (see identifiability.h).
+  const auto m = MeshBuilder()
+                     .ok(0, 1, {"s0@1!s", "hub@1", "s1@1!s"})
+                     .ok(1, 0, {"s1@1!s", "hub@1", "s0@1!s"})
+                     .ok(0, 2, {"s0@1!s", "hub@1", "s2@1!s"})
+                     .build();
+  const auto dg = graph_of(m);
+  const IdentifiabilityReport r = identifiability(dg);
+  EXPECT_EQ(r.links.covered, 3u);
+  EXPECT_EQ(r.links.distinct, 3u);
+  EXPECT_EQ(r.links.identifiable, 3u);
+  EXPECT_DOUBLE_EQ(core::diagnosability(dg), 4.0 / 5.0);
+  // Node space: only the hub (sensors excluded), trivially identifiable.
+  EXPECT_EQ(r.nodes.covered, 1u);
+  EXPECT_EQ(r.nodes.identifiable, 1u);
+}
+
+TEST(Identifiability, AsGranularityPartitionsByAsn) {
+  // AS path 10 - 1 - 2 - 20 on one probe, plus a second probe that
+  // separates AS 2 from AS 20's class.
+  const auto m = MeshBuilder()
+                     .ok(0, 1, {"s0@10!s", "a@1", "b@2", "s1@20!s"})
+                     .ok(2, 1, {"s2@30!s", "b@2", "s1@20!s"})
+                     .build();
+  const IdentifiabilityReport r = identifiability(graph_of(m));
+  // Covered ASes: 10, 1, 2, 20, 30.
+  EXPECT_EQ(r.ases.covered, 5u);
+  // Classes: {10,1} = {p0}; {2,20} = {p0,p1}; {30} = {p1}.
+  EXPECT_EQ(r.ases.distinct, 3u);
+  EXPECT_EQ(r.ases.identifiable, 1u);  // AS 30 alone
+}
+
+TEST(Identifiability, RefinementNeverLowersCounts) {
+  // Adding a path can split classes but never merge them.
+  MeshBuilder base;
+  base.ok(0, 1, {"s0@1!s", "a@1", "b@1", "s1@1!s"});
+  const auto coarse = identifiability(graph_of(base.build()));
+  base.ok(2, 1, {"s2@1!s", "b@1", "s1@1!s"});
+  const auto fine = identifiability(graph_of(base.build()));
+  EXPECT_GE(fine.links.distinct, coarse.links.distinct);
+  EXPECT_GE(fine.links.covered, coarse.links.covered);
+  EXPECT_GE(fine.nodes.distinct, coarse.nodes.distinct);
+}
+
+TEST(GranularityNames, RoundTrip) {
+  for (Granularity g : {Granularity::kLink, Granularity::kAs,
+                        Granularity::kNode}) {
+    EXPECT_EQ(granularity_from_string(to_string(g)), g);
+  }
+  EXPECT_FALSE(granularity_from_string("bogus").has_value());
+}
+
+}  // namespace
+}  // namespace netd::plan

@@ -1,0 +1,176 @@
+#include "plan/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "probe/sensors.h"
+#include "topo/generator.h"
+#include "util/rng.h"
+
+namespace netd::plan {
+namespace {
+
+topo::Topology small_topo() {
+  topo::GeneratorParams p;
+  p.target_ases = 40;
+  return topo::generate(p);
+}
+
+std::vector<probe::Sensor> pool_of(const topo::Topology& t, std::size_t n) {
+  util::Rng rng(5);
+  return probe::place_sensors(t, probe::PlacementKind::kRandomStub, n, rng);
+}
+
+PlannerConfig config(std::size_t budget) {
+  PlannerConfig cfg;
+  cfg.budget = budget;
+  cfg.measure_report = false;
+  return cfg;
+}
+
+TEST(Planner, BudgetRespectedAndClampedToPool) {
+  const topo::Topology t = small_topo();
+  const auto pool = pool_of(t, 12);
+  {
+    Planner p(t, pool, config(5));
+    const PlanResult r = p.plan();
+    EXPECT_EQ(r.chosen.size(), 5u);
+    EXPECT_EQ(r.sensors.size(), 5u);
+    EXPECT_EQ(r.gains.size(), 5u);
+  }
+  {
+    Planner p(t, pool, config(100));  // budget beyond the pool
+    EXPECT_EQ(p.plan().chosen.size(), pool.size());
+  }
+  {
+    Planner p(t, pool, config(0));
+    const PlanResult r = p.plan();
+    EXPECT_TRUE(r.chosen.empty());
+    EXPECT_DOUBLE_EQ(r.objective, 0.0);
+  }
+}
+
+TEST(Planner, ObjectiveEqualsFromScratchEvaluate) {
+  // The incremental partition refinement must agree with the from-scratch
+  // hitting-set computation, and the objective is the sum of the gains.
+  const topo::Topology t = small_topo();
+  const auto pool = pool_of(t, 14);
+  for (Granularity g : {Granularity::kLink, Granularity::kAs,
+                        Granularity::kNode}) {
+    auto cfg = config(6);
+    cfg.objective = g;
+    Planner p(t, pool, cfg);
+    const PlanResult r = p.plan();
+    EXPECT_DOUBLE_EQ(r.objective, p.evaluate(r.chosen)) << to_string(g);
+    EXPECT_DOUBLE_EQ(r.objective,
+                     std::accumulate(r.gains.begin(), r.gains.end(), 0.0))
+        << to_string(g);
+  }
+}
+
+TEST(Planner, FirstPickIsLowestIndexWithZeroGain) {
+  // With no prior sensor there are no probe pairs, so every candidate's
+  // marginal gain is 0 and the tie-break selects the lowest index.
+  const topo::Topology t = small_topo();
+  Planner p(t, pool_of(t, 10), config(3));
+  const PlanResult r = p.plan();
+  ASSERT_FALSE(r.chosen.empty());
+  EXPECT_EQ(r.chosen[0], 0u);
+  EXPECT_DOUBLE_EQ(r.gains[0], 0.0);
+}
+
+TEST(Planner, LazyAndEagerAreByteIdentical) {
+  // `lazy` only reuses materialized path arenas; selections, gains and
+  // the objective must not change.
+  const topo::Topology t = small_topo();
+  const auto pool = pool_of(t, 14);
+  auto lazy_cfg = config(7);
+  auto eager_cfg = config(7);
+  eager_cfg.lazy = false;
+  Planner lazy(t, pool, lazy_cfg);
+  Planner eager(t, pool, eager_cfg);
+  const PlanResult a = lazy.plan();
+  const PlanResult b = eager.plan();
+  EXPECT_EQ(a.chosen, b.chosen);
+  EXPECT_EQ(a.gains, b.gains);
+  EXPECT_DOUBLE_EQ(a.objective, b.objective);
+}
+
+TEST(Planner, DeterministicAcrossThreadCounts) {
+  // The tree precompute is sharded over a thread pool; the placement and
+  // report must be byte-identical for every thread count.
+  const topo::Topology t = small_topo();
+  const auto pool = pool_of(t, 14);
+  auto base_cfg = config(6);
+  base_cfg.measure_report = true;
+  Planner base(t, pool, base_cfg);
+  const PlanResult expected = base.plan();
+  for (std::size_t threads : {2u, 8u}) {
+    auto cfg = base_cfg;
+    cfg.num_threads = threads;
+    Planner p(t, pool, cfg);
+    const PlanResult r = p.plan();
+    EXPECT_EQ(r.chosen, expected.chosen) << threads << " threads";
+    EXPECT_EQ(r.gains, expected.gains) << threads << " threads";
+    EXPECT_DOUBLE_EQ(r.objective, expected.objective);
+    for (Granularity g : {Granularity::kLink, Granularity::kAs,
+                          Granularity::kNode}) {
+      EXPECT_EQ(r.report.at(g).covered, expected.report.at(g).covered);
+      EXPECT_EQ(r.report.at(g).distinct, expected.report.at(g).distinct);
+      EXPECT_EQ(r.report.at(g).identifiable,
+                expected.report.at(g).identifiable);
+    }
+    for (std::size_t i = 0; i < r.sensors.size(); ++i) {
+      EXPECT_EQ(r.sensors[i].name, expected.sensors[i].name);
+      EXPECT_EQ(r.sensors[i].attach, expected.sensors[i].attach);
+    }
+  }
+}
+
+TEST(Planner, PlanRunsTwiceIdentically) {
+  // plan() resets all incremental state; a second run must reproduce the
+  // first exactly.
+  const topo::Topology t = small_topo();
+  Planner p(t, pool_of(t, 12), config(5));
+  const PlanResult a = p.plan();
+  const PlanResult b = p.plan();
+  EXPECT_EQ(a.chosen, b.chosen);
+  EXPECT_DOUBLE_EQ(a.objective, b.objective);
+}
+
+TEST(Planner, PlannedBeatsRandomSubsetsOfTheSamePool) {
+  const topo::Topology t = small_topo();
+  const auto pool = pool_of(t, 16);
+  Planner p(t, pool, config(6));
+  const PlanResult r = p.plan();
+  std::vector<std::size_t> all(pool.size());
+  std::iota(all.begin(), all.end(), 0u);
+  util::Rng rng(9);
+  for (int draw = 0; draw < 8; ++draw) {
+    EXPECT_GE(r.objective, p.evaluate(rng.sample(all, 6)));
+  }
+}
+
+TEST(Planner, MeasuredReportIsPlausible) {
+  // The report goes through the real prober + diagnosis-graph pipeline;
+  // it counts sensor access edges on top of the planner's element space
+  // (see PlanResult::report), so covered must be at least the objective's
+  // distinct classes and every count stays internally consistent.
+  const topo::Topology t = small_topo();
+  auto cfg = config(6);
+  cfg.measure_report = true;
+  Planner p(t, pool_of(t, 12), cfg);
+  const PlanResult r = p.plan();
+  for (Granularity g : {Granularity::kLink, Granularity::kAs,
+                        Granularity::kNode}) {
+    const GranularityStats& s = r.report.at(g);
+    EXPECT_GT(s.covered, 0u) << to_string(g);
+    EXPECT_LE(s.identifiable, s.distinct) << to_string(g);
+    EXPECT_LE(s.distinct, s.covered) << to_string(g);
+  }
+}
+
+}  // namespace
+}  // namespace netd::plan
