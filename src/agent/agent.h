@@ -1,0 +1,125 @@
+// The durable sensor agent: measure locally, spool to disk, ship batches.
+//
+// An agent is one member of a distributed sensor fleet. It renders its
+// own deterministic measurement world (topo::generate + place_sensors +
+// probe::SyntheticProber, all seeded), appends every observation round to
+// a crash-safe Spool *before* any network activity, then drains the spool
+// to the diagnosis service as observe_batch frames through the resilient
+// svc::Client. The spool-first order is the durability contract: a
+// SIGKILL at any instant loses nothing that was measured (at most the
+// round being framed, which the next incarnation re-measures — the world
+// is seeded, so the re-measurement is byte-identical), and redelivery of
+// already-shipped records is absorbed by the server's per-(session, src)
+// ack watermark, so the fleet converges on exactly-once ingest without
+// any client-side bookkeeping beyond "ship everything above the ack".
+//
+// Server amnesia (restart, failover to an empty replica) is detected
+// through the structured kErrUnknownSession / kErrNoBaseline error codes:
+// the agent re-hellos, re-installs the baseline (which resets the
+// watermark epoch server-side) and re-ships the spool from the start.
+// With the default retain-acked spool this reconstructs the session
+// byte-identically; after budget shedding the gap is visible in the
+// DropStats counters and the server's round count — loud, never silent.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "agent/spool.h"
+#include "svc/client.h"
+#include "svc/protocol.h"
+
+namespace netd::agent {
+
+struct AgentConfig {
+  /// The agent's identity: the `src` of its observe_batch frames and the
+  /// key of its ack watermark on the server.
+  std::string name = "agent";
+  /// Server endpoint string (unix:PATH | HOST:PORT | :PORT).
+  std::string endpoint;
+  std::string session = "fleet";
+  std::string spool_dir;
+
+  // Diagnosis session configuration (svc::SessionConfig).
+  std::size_t alarm_threshold = 2;
+  std::string algo = "nd-bgpigp";
+  std::string granularity = "per-neighbor";
+
+  // The seeded measurement world. Same seeds => byte-identical rounds,
+  // which is what lets the chaos tests compare a tortured run against a
+  // fault-free reference.
+  std::uint64_t topo_seed = 1;
+  std::size_t ases = 165;
+  std::size_t tier2 = 22;
+  std::size_t stubs = 200;
+  std::size_t sensors = 10;
+  std::uint64_t placement_seed = 7;
+  std::size_t rounds = 10;
+  /// Round at which a seeded link failure is injected; 0 = healthy run.
+  std::size_t fail_round = 0;
+  std::uint64_t fail_seed = 99;
+
+  // Shipping.
+  std::size_t batch_max_items = 8;
+  /// Consecutive transport-level ship failures (each already retried
+  /// inside svc::Client) before run() gives up with kExitUnreachable.
+  std::size_t ship_max_failures = 8;
+  svc::Client::Options client;
+
+  // Spool knobs (see Spool::Options).
+  std::uint64_t spool_segment_bytes = 4u << 20;
+  std::uint64_t spool_budget_bytes = 0;
+  bool spool_fsync_each = false;
+  bool retain_acked = true;
+
+  /// Measure + spool only; skip shipping (used to pre-seed spools).
+  bool generate_only = false;
+};
+
+class Agent {
+ public:
+  /// run() exit codes, also the process exit codes of netdiag-agent.
+  static constexpr int kExitOk = 0;           ///< all rounds acked
+  static constexpr int kExitError = 1;        ///< config/spool/protocol error
+  static constexpr int kExitUnreachable = 3;  ///< spooled, but server gone
+
+  struct Summary {
+    std::uint64_t spooled = 0;     ///< records in the spool after generate
+    std::uint64_t generated = 0;   ///< rounds measured by THIS incarnation
+    std::uint64_t acked = 0;       ///< server watermark when we finished
+    std::size_t batches = 0;       ///< observe_batch frames that succeeded
+    std::uint64_t applied = 0;     ///< items the server newly applied
+    std::uint64_t deduped = 0;     ///< items the server recognized as dups
+    std::size_t rehellos = 0;      ///< server-amnesia recoveries
+    std::size_t round = 0;         ///< server round counter at the end
+    bool alarmed = false;
+    std::optional<std::string> diagnosis;  ///< last diagnosis, verbatim
+    Spool::RecoveryStats recovery;
+    Spool::DropStats dropped;
+  };
+
+  explicit Agent(AgentConfig cfg) : cfg_(std::move(cfg)) {}
+
+  /// Full agent lifecycle: open/recover the spool, measure the rounds the
+  /// spool does not yet hold, drain everything to the server. Returns one
+  /// of the kExit codes; `error` explains non-zero returns.
+  [[nodiscard]] int run(std::string* error);
+
+  [[nodiscard]] const Summary& summary() const { return summary_; }
+
+ private:
+  /// Measures rounds last_seq+1 .. cfg_.rounds into the spool (replaying
+  /// the seeded failure schedule up to each round).
+  [[nodiscard]] bool generate(Spool& spool, std::string* error);
+  /// Drains the spool until ack == last_seq. False = transport gave up
+  /// (kExitUnreachable); protocol errors set `fatal`.
+  [[nodiscard]] bool ship(Spool& spool, std::string* error, bool* fatal);
+  [[nodiscard]] std::optional<probe::Mesh> load_baseline(
+      std::string* error) const;
+
+  AgentConfig cfg_;
+  Summary summary_;
+};
+
+}  // namespace netd::agent

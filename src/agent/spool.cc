@@ -1,0 +1,403 @@
+#include "agent/spool.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/atomic_file.h"
+
+namespace netd::agent {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4e445350u;  // "NDSP"
+constexpr std::size_t kHeaderBytes = 20;
+constexpr const char* kManifest = "MANIFEST";
+constexpr const char* kSegSuffix = ".ndspool";
+
+bool fail(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what + ": " + std::strerror(errno);
+  return false;
+}
+
+void put_u32(char* p, std::uint32_t v) {
+  p[0] = static_cast<char>(v & 0xff);
+  p[1] = static_cast<char>((v >> 8) & 0xff);
+  p[2] = static_cast<char>((v >> 16) & 0xff);
+  p[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+void put_u64(char* p, std::uint64_t v) {
+  put_u32(p, static_cast<std::uint32_t>(v & 0xffffffffu));
+  put_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+}
+
+std::uint64_t get_u64(const char* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+std::uint32_t record_crc(std::uint64_t seq, std::string_view payload) {
+  char seq_bytes[8];
+  put_u64(seq_bytes, seq);
+  const std::uint32_t c = crc32(seq_bytes, sizeof(seq_bytes));
+  return crc32(payload.data(), payload.size(), c);
+}
+
+bool write_all_fd(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Outcome of walking one segment's bytes record by record.
+struct Scan {
+  enum class Verdict {
+    kClean,     ///< every byte accounted for
+    kTornTail,  ///< complete records, then a record cut off by the end
+    kCorrupt,   ///< bad magic / CRC mismatch / seq went backwards
+  };
+  Verdict verdict = Verdict::kClean;
+  std::uint64_t good_bytes = 0;  ///< offset of the first untrusted byte
+  std::size_t records = 0;
+  std::uint64_t first_seq = 0;
+  std::uint64_t last_seq = 0;
+};
+
+Scan scan_segment(std::string_view bytes) {
+  Scan s;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    if (bytes.size() - off < kHeaderBytes) {
+      s.verdict = Scan::Verdict::kTornTail;
+      break;
+    }
+    const char* h = bytes.data() + off;
+    const std::uint32_t magic = get_u32(h);
+    const std::uint32_t len = get_u32(h + 4);
+    const std::uint64_t seq = get_u64(h + 8);
+    const std::uint32_t crc = get_u32(h + 16);
+    if (magic != kMagic || len > Spool::kMaxRecordBytes) {
+      s.verdict = Scan::Verdict::kCorrupt;
+      break;
+    }
+    if (bytes.size() - off - kHeaderBytes < len) {
+      s.verdict = Scan::Verdict::kTornTail;
+      break;
+    }
+    const std::string_view payload = bytes.substr(off + kHeaderBytes, len);
+    if (record_crc(seq, payload) != crc ||
+        (s.records > 0 && seq <= s.last_seq) || seq == 0) {
+      s.verdict = Scan::Verdict::kCorrupt;
+      break;
+    }
+    if (s.records == 0) s.first_seq = seq;
+    s.last_seq = seq;
+    ++s.records;
+    off += kHeaderBytes + len;
+    s.good_bytes = off;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = seed ^ 0xffffffffu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+std::unique_ptr<Spool> Spool::open(Options opts, std::string* error,
+                                   RecoveryStats* stats) {
+  std::unique_ptr<Spool> s(new Spool(std::move(opts)));
+  RecoveryStats local;
+  if (!s->recover(error, stats != nullptr ? stats : &local)) return nullptr;
+  return s;
+}
+
+Spool::~Spool() {
+  if (active_fd_ >= 0) ::close(active_fd_);
+}
+
+std::string Spool::segment_path(std::uint64_t first_seq) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "seg-%020llu%s",
+                static_cast<unsigned long long>(first_seq), kSegSuffix);
+  return opts_.dir + "/" + name;
+}
+
+bool Spool::recover(std::string* error, RecoveryStats* stats) {
+  if (::mkdir(opts_.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return fail(error, "mkdir " + opts_.dir);
+  }
+  const std::string manifest = opts_.dir + "/" + kManifest;
+  // A writer that died between temp write and rename leaves a stale temp
+  // beside MANIFEST; the same recovery path every atomic_write_file
+  // consumer uses cleans it up.
+  stats->stale_temps = util::remove_stale_temps(manifest);
+  if (const auto doc = util::read_file(manifest, nullptr); doc.has_value()) {
+    // MANIFEST is tiny, machine-written JSON: {"shipped": N}. Parse it
+    // leniently by hand — an unreadable manifest only loses the advisory
+    // watermark (segments are the truth), never data.
+    const auto pos = doc->find("\"shipped\"");
+    if (pos != std::string::npos) {
+      const auto colon = doc->find(':', pos);
+      if (colon != std::string::npos) {
+        shipped_ = std::strtoull(doc->c_str() + colon + 1, nullptr, 10);
+      }
+    }
+  }
+  stats->shipped = shipped_;
+
+  std::vector<std::string> names;
+  DIR* d = ::opendir(opts_.dir.c_str());
+  if (d == nullptr) return fail(error, "opendir " + opts_.dir);
+  while (const dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.size() > std::strlen(kSegSuffix) &&
+        name.rfind(kSegSuffix) == name.size() - std::strlen(kSegSuffix) &&
+        name.rfind("seg-", 0) == 0) {
+      names.push_back(name);
+    }
+  }
+  ::closedir(d);
+  // Zero-padded first-seq in the name makes lexicographic order = append
+  // order.
+  std::sort(names.begin(), names.end());
+
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const bool is_last = i + 1 == names.size();
+    const std::string path = opts_.dir + "/" + names[i];
+    const auto bytes = util::read_file(path, error);
+    if (!bytes.has_value()) return false;
+    const Scan scan = scan_segment(*bytes);
+    const bool torn_ok =
+        scan.verdict == Scan::Verdict::kTornTail && is_last;
+    if (scan.verdict == Scan::Verdict::kCorrupt ||
+        (scan.verdict == Scan::Verdict::kTornTail && !is_last)) {
+      // Corruption the append path cannot produce: refuse the whole
+      // segment, keep the bytes for forensics, count the loss loudly.
+      if (::rename(path.c_str(), (path + ".quarantined").c_str()) != 0) {
+        return fail(error, "quarantine " + path);
+      }
+      ++stats->quarantined;
+      stats->quarantined_records += scan.records;
+      continue;
+    }
+    if (torn_ok && scan.good_bytes < bytes->size()) {
+      // The writer died mid-append; cut the segment back to the last
+      // complete record and resume after it.
+      if (!util::truncate_file(path, scan.good_bytes, error)) return false;
+      ++stats->torn_tails;
+      stats->torn_bytes += bytes->size() - scan.good_bytes;
+    }
+    if (scan.records == 0) {
+      // Empty-segment compaction: nothing to keep (a rotation that never
+      // received a record, or a tail truncated to zero).
+      if (::unlink(path.c_str()) != 0) return fail(error, "unlink " + path);
+      ++stats->empty_removed;
+      continue;
+    }
+    if (!opts_.retain_acked && scan.last_seq <= shipped_ && !is_last) {
+      // Resume the compaction a crash interrupted: fully-shipped history
+      // the caller does not want to retain.
+      if (::unlink(path.c_str()) != 0) return fail(error, "unlink " + path);
+      ++stats->compacted;
+      continue;
+    }
+    segments_.push_back(Segment{path, scan.first_seq, scan.last_seq,
+                                scan.good_bytes, scan.records});
+    next_seq_ = std::max(next_seq_, scan.last_seq + 1);
+  }
+  // Shedding may have dropped newer segments' predecessors but never the
+  // newest record itself; the manifest floor covers the one case where
+  // every segment is gone.
+  next_seq_ = std::max(next_seq_, shipped_ + 1);
+  stats->segments = segments_.size();
+  for (const auto& seg : segments_) stats->records += seg.records;
+  if (!segments_.empty()) {
+    if (!open_active(false, error)) return false;
+  }
+  return true;
+}
+
+bool Spool::open_active(bool create, std::string* error) {
+  if (active_fd_ >= 0) {
+    ::close(active_fd_);
+    active_fd_ = -1;
+  }
+  if (segments_.empty()) {
+    if (!create) return true;
+    segments_.push_back(Segment{segment_path(next_seq_), next_seq_, 0, 0, 0});
+  }
+  const int flags = O_WRONLY | O_APPEND | (create ? O_CREAT : 0);
+  active_fd_ = ::open(segments_.back().path.c_str(), flags, 0644);
+  if (active_fd_ < 0) return fail(error, "open " + segments_.back().path);
+  return true;
+}
+
+bool Spool::rotate(std::string* error) {
+  if (active_fd_ >= 0) {
+    ::close(active_fd_);
+    active_fd_ = -1;
+  }
+  segments_.push_back(Segment{segment_path(next_seq_), next_seq_, 0, 0, 0});
+  return open_active(true, error);
+}
+
+std::uint64_t Spool::append(std::string_view payload, std::string* error) {
+  if (payload.size() > kMaxRecordBytes) {
+    if (error != nullptr) *error = "record exceeds kMaxRecordBytes";
+    return 0;
+  }
+  if (segments_.empty() || active_fd_ < 0) {
+    if (!open_active(true, error)) return 0;
+  } else if (segments_.back().bytes >= opts_.max_segment_bytes) {
+    if (!rotate(error)) return 0;
+  }
+  const std::uint64_t seq = next_seq_;
+  std::string frame;
+  frame.resize(kHeaderBytes);
+  put_u32(frame.data(), kMagic);
+  put_u32(frame.data() + 4, static_cast<std::uint32_t>(payload.size()));
+  put_u64(frame.data() + 8, seq);
+  put_u32(frame.data() + 16, record_crc(seq, payload));
+  frame.append(payload);
+  if (!write_all_fd(active_fd_, frame.data(), frame.size())) {
+    // A partial write is exactly what recovery's torn-tail path repairs;
+    // report the failure and leave the tail for the next open().
+    fail(error, "write " + segments_.back().path);
+    return 0;
+  }
+  if (opts_.fsync_each && ::fsync(active_fd_) != 0) {
+    fail(error, "fsync " + segments_.back().path);
+    return 0;
+  }
+  Segment& seg = segments_.back();
+  seg.last_seq = seq;
+  seg.bytes += frame.size();
+  ++seg.records;
+  ++next_seq_;
+  shed_over_budget();
+  return seq;
+}
+
+void Spool::shed_over_budget() {
+  if (opts_.max_spool_bytes == 0) return;
+  // Whole-segment, oldest-first shedding; the active segment is never
+  // shed out from under the writer. The loss is visible twice over: the
+  // DropStats counters and the seq gap the server's round count exposes.
+  while (bytes() > opts_.max_spool_bytes && segments_.size() > 1) {
+    const Segment seg = segments_.front();
+    if (::unlink(seg.path.c_str()) != 0) break;
+    ++dropped_.segments;
+    dropped_.records += seg.records;
+    dropped_.bytes += seg.bytes;
+    segments_.erase(segments_.begin());
+  }
+}
+
+std::uint64_t Spool::bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& seg : segments_) total += seg.bytes;
+  return total;
+}
+
+bool Spool::write_manifest(std::string* error) const {
+  return util::atomic_write_file(
+      opts_.dir + "/" + kManifest,
+      "{\"shipped\": " + std::to_string(shipped_) + "}\n", error);
+}
+
+bool Spool::mark_shipped(std::uint64_t upto, std::string* error) {
+  if (upto <= shipped_) return true;
+  shipped_ = upto;
+  if (!write_manifest(error)) return false;
+  if (!opts_.retain_acked) {
+    while (segments_.size() > 1 && segments_.front().last_seq <= shipped_) {
+      if (::unlink(segments_.front().path.c_str()) != 0) {
+        return fail(error, "unlink " + segments_.front().path);
+      }
+      segments_.erase(segments_.begin());
+    }
+  }
+  return true;
+}
+
+bool Spool::for_each(
+    std::uint64_t from,
+    const std::function<bool(std::uint64_t, std::string_view)>& fn,
+    std::string* error) const {
+  for (const auto& seg : segments_) {
+    if (seg.last_seq <= from) continue;
+    const auto bytes = util::read_file(seg.path, error);
+    if (!bytes.has_value()) return false;
+    std::size_t off = 0;
+    // Only the validated prefix: the file may have grown a torn tail
+    // since open() if a concurrent writer crashed, but within one process
+    // seg.bytes tracks exactly what append() completed.
+    while (off + kHeaderBytes <= seg.bytes && off + kHeaderBytes <=
+           bytes->size()) {
+      const char* h = bytes->data() + off;
+      const std::uint32_t magic = get_u32(h);
+      const std::uint32_t len = get_u32(h + 4);
+      const std::uint64_t seq = get_u64(h + 8);
+      const std::uint32_t crc = get_u32(h + 16);
+      if (magic != kMagic || len > kMaxRecordBytes ||
+          bytes->size() - off - kHeaderBytes < len) {
+        if (error != nullptr) *error = "spool segment changed on disk: " +
+                                       seg.path;
+        return false;
+      }
+      const std::string_view payload(bytes->data() + off + kHeaderBytes, len);
+      if (record_crc(seq, payload) != crc) {
+        if (error != nullptr) {
+          *error = "spool record crc mismatch (seq " + std::to_string(seq) +
+                   ") in " + seg.path;
+        }
+        return false;
+      }
+      if (seq > from && !fn(seq, payload)) return true;
+      off += kHeaderBytes + len;
+    }
+  }
+  return true;
+}
+
+}  // namespace netd::agent

@@ -40,6 +40,7 @@ bool Client::ensure_connected(std::string* error) {
       return true;
     }
   }
+  last_error_kind_ = ErrorKind::kConnectRefused;
   if (error != nullptr && error->empty()) *error = last;
   return false;
 }
@@ -53,11 +54,13 @@ void Client::backoff(std::size_t attempt) {
 
 std::optional<std::string> Client::call_raw(const std::string& frame,
                                             std::string* error) {
+  last_error_kind_ = ErrorKind::kNone;
   if (!fd_.valid()) {
     if (error != nullptr) *error = "client is closed";
     return std::nullopt;
   }
   if (!write_all(fd_.get(), frame + "\n", opts_.request_timeout_ms)) {
+    last_error_kind_ = ErrorKind::kClosedMidFrame;
     if (error != nullptr) *error = "write failed (server gone?)";
     return std::nullopt;
   }
@@ -67,15 +70,19 @@ std::optional<std::string> Client::call_raw(const std::string& frame,
     case LineReader::Status::kLine:
       return line;
     case LineReader::Status::kEof:
+      last_error_kind_ = ErrorKind::kClosedMidFrame;
       if (error != nullptr) *error = "server closed the connection";
       return std::nullopt;
     case LineReader::Status::kOversize:
+      last_error_kind_ = ErrorKind::kProtocol;
       if (error != nullptr) *error = "response exceeds frame size cap";
       return std::nullopt;
     case LineReader::Status::kTimeout:
+      last_error_kind_ = ErrorKind::kTimeout;
       if (error != nullptr) *error = "request timed out";
       return std::nullopt;
     case LineReader::Status::kError:
+      last_error_kind_ = ErrorKind::kClosedMidFrame;
       if (error != nullptr) *error = "read failed";
       return std::nullopt;
   }
@@ -93,6 +100,7 @@ std::optional<Response> Client::exchange(const std::string& frame,
   if (!written) {
     // Either the wire failed or our own chaos injector killed the frame;
     // both leave the stream state unknown.
+    last_error_kind_ = ErrorKind::kClosedMidFrame;
     if (error != nullptr && error->empty()) {
       *error = "write failed (server gone?)";
     }
@@ -104,31 +112,42 @@ std::optional<Response> Client::exchange(const std::string& frame,
     case LineReader::Status::kLine:
       break;
     case LineReader::Status::kEof:
+      // The server took the request but died before answering — unlike a
+      // connect refusal the request MAY have been applied; only an
+      // idempotent redelivery is safe.
+      last_error_kind_ = ErrorKind::kClosedMidFrame;
       if (error != nullptr && error->empty()) {
-        *error = "server closed the connection";
+        *error = "server closed the connection mid-exchange";
       }
       return std::nullopt;
     case LineReader::Status::kOversize:
+      last_error_kind_ = ErrorKind::kProtocol;
       if (error != nullptr && error->empty()) {
         *error = "response exceeds frame size cap";
       }
       return std::nullopt;
     case LineReader::Status::kTimeout:
+      last_error_kind_ = ErrorKind::kTimeout;
       if (error != nullptr && error->empty()) *error = "request timed out";
       return std::nullopt;
     case LineReader::Status::kError:
+      last_error_kind_ = ErrorKind::kClosedMidFrame;
       if (error != nullptr && error->empty()) *error = "read failed";
       return std::nullopt;
   }
   // A response that does not parse means the stream can no longer be
   // trusted (a corrupted or torn frame) — reconnect before retrying.
   auto rsp = parse_response(line, error);
-  if (!rsp.has_value()) return std::nullopt;
+  if (!rsp.has_value()) {
+    last_error_kind_ = ErrorKind::kProtocol;
+    return std::nullopt;
+  }
   *transport = false;
   return rsp;
 }
 
 std::optional<Response> Client::call(const Request& req, std::string* error) {
+  last_error_kind_ = ErrorKind::kNone;
   Request to_send = req;
   if (opts_.max_retries > 0) {
     // Stamp the observe once, before any attempt: every retry of this
@@ -170,6 +189,8 @@ std::optional<Response> Client::call(const Request& req, std::string* error) {
           continue;
         }
       }
+      last_error_kind_ = ErrorKind::kNone;  // a failed earlier attempt may
+                                            // have set it; the call won
       return rsp;
     }
     if (transport) close();

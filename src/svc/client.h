@@ -27,6 +27,20 @@ namespace netd::svc {
 
 class Client {
  public:
+  /// What kind of failure the last failed call()/connect() hit. The
+  /// distinction matters operationally: kConnectRefused means the server
+  /// is down or unreachable (spool and wait), while kClosedMidFrame means
+  /// the server accepted the request and died mid-exchange — the request
+  /// may or may not have been applied, so the caller must redeliver
+  /// idempotently (seq dedup) rather than assume loss.
+  enum class ErrorKind {
+    kNone,           ///< last call succeeded (or none made yet)
+    kConnectRefused, ///< no connection could be established
+    kClosedMidFrame, ///< connection dropped between request and response
+    kTimeout,        ///< deadline expired waiting for the response
+    kProtocol,       ///< response arrived but did not parse / oversized
+  };
+
   struct Options {
     /// Deadline for one connect attempt, ms (< 0 = block forever).
     int connect_timeout_ms = -1;
@@ -74,6 +88,10 @@ class Client {
   /// Faults this client's own injector fired (chaos runs).
   [[nodiscard]] FaultCounters fault_counters() const;
 
+  /// Classifies the most recent failure; kNone after a success. Reset at
+  /// the start of every call()/call_raw()/connect attempt.
+  [[nodiscard]] ErrorKind last_error_kind() const { return last_error_kind_; }
+
  private:
   Client(const Endpoint& ep, const Options& opts, Fd fd);
 
@@ -91,6 +109,7 @@ class Client {
   std::optional<LineReader> reader_;
   util::Rng rng_;
   std::uint64_t next_seq_ = 1;
+  ErrorKind last_error_kind_ = ErrorKind::kNone;
   /// unique_ptr: the injector owns a mutex and must stay movable with us.
   std::unique_ptr<FaultInjector> injector_;
 };

@@ -293,6 +293,19 @@ std::string serialize(const Request& req) {
           j.set("mesh", mesh_to_json(r.mesh));
           if (r.cp.has_value()) j.set("cp", cp_to_json(*r.cp));
           if (r.seq.has_value()) j.set("seq", Json::uinteger(*r.seq));
+        } else if constexpr (std::is_same_v<T, ObserveBatchRequest>) {
+          j.set("op", Json::string("observe_batch"));
+          j.set("session", Json::string(r.session));
+          j.set("src", Json::string(r.src));
+          Json items = Json::array();
+          for (const auto& item : r.items) {
+            Json ji = Json::object();
+            ji.set("seq", Json::uinteger(item.seq));
+            ji.set("mesh", mesh_to_json(item.mesh));
+            if (item.cp.has_value()) ji.set("cp", cp_to_json(*item.cp));
+            items.push_back(std::move(ji));
+          }
+          j.set("items", std::move(items));
         } else if constexpr (std::is_same_v<T, QueryRequest>) {
           j.set("op", Json::string("query"));
           j.set("session", Json::string(r.session));
@@ -386,6 +399,51 @@ std::optional<Request> parse_request(std::string_view frame,
     }
     return Request{std::move(req)};
   }
+  if (name == "observe_batch") {
+    const auto session = get_session(*j, error);
+    const Json* src = require(*j, "src", Json::Type::kString, error);
+    const Json* items = require(*j, "items", Json::Type::kArray, error);
+    if (!session || src == nullptr || items == nullptr) return std::nullopt;
+    if (src->as_string().empty()) {
+      set_error(error, "src must not be empty");
+      return std::nullopt;
+    }
+    ObserveBatchRequest req;
+    req.session = *session;
+    req.src = src->as_string();
+    req.items.reserve(items->size());
+    std::uint64_t prev_seq = 0;
+    for (std::size_t i = 0; i < items->size(); ++i) {
+      const Json& ji = (*items)[i];
+      if (!ji.is_object()) {
+        set_error(error, "batch item " + std::to_string(i) +
+                             " must be an object");
+        return std::nullopt;
+      }
+      ObserveItem item;
+      const auto seq = require_uint(ji, "seq", error);
+      const Json* mesh = require(ji, "mesh", Json::Type::kObject, error);
+      if (!seq || mesh == nullptr) return std::nullopt;
+      item.seq = static_cast<std::uint64_t>(*seq);
+      // Strictly increasing seqs are the dedup contract; enforcing it at
+      // the protocol boundary keeps the server's watermark logic trivial.
+      if (item.seq == 0 || item.seq <= prev_seq) {
+        set_error(error, "batch item seqs must be strictly increasing");
+        return std::nullopt;
+      }
+      prev_seq = item.seq;
+      auto m = mesh_from_json(*mesh, error);
+      if (!m) return std::nullopt;
+      item.mesh = std::move(*m);
+      if (const Json* cp = ji.find("cp"); cp != nullptr) {
+        auto obs = cp_from_json(*cp, error);
+        if (!obs) return std::nullopt;
+        item.cp = std::move(*obs);
+      }
+      req.items.push_back(std::move(item));
+    }
+    return Request{std::move(req)};
+  }
   if (name == "query") {
     const auto session = get_session(*j, error);
     if (!session) return std::nullopt;
@@ -426,6 +484,17 @@ std::string serialize(const Response& rsp) {
         } else if constexpr (std::is_same_v<T, ObserveResponse>) {
           j.set("ok", Json::boolean(true));
           j.set("op", Json::string("observe"));
+          j.set("round", Json::uinteger(r.round));
+          j.set("alarmed", Json::boolean(r.alarmed));
+          if (r.diagnosis.has_value()) {
+            j.set("diagnosis", Json::raw(*r.diagnosis));
+          }
+        } else if constexpr (std::is_same_v<T, ObserveBatchResponse>) {
+          j.set("ok", Json::boolean(true));
+          j.set("op", Json::string("observe_batch"));
+          j.set("ack", Json::uinteger(r.ack));
+          j.set("applied", Json::uinteger(r.applied));
+          j.set("deduped", Json::uinteger(r.deduped));
           j.set("round", Json::uinteger(r.round));
           j.set("alarmed", Json::boolean(r.alarmed));
           if (r.diagnosis.has_value()) {
@@ -502,6 +571,30 @@ std::optional<Response> parse_response(std::string_view frame,
     const Json* alarmed = require(*j, "alarmed", Json::Type::kBool, error);
     if (!round || alarmed == nullptr) return std::nullopt;
     ObserveResponse rsp{*round, alarmed->as_bool(), std::nullopt};
+    if (const Json* d = j->find("diagnosis"); d != nullptr) {
+      if (!d->is_object()) {
+        set_error(error, "diagnosis must be an object");
+        return std::nullopt;
+      }
+      rsp.diagnosis = d->dump();
+    }
+    return Response{std::move(rsp)};
+  }
+  if (name == "observe_batch") {
+    const auto ack = require_uint(*j, "ack", error);
+    const auto applied = require_uint(*j, "applied", error);
+    const auto deduped = require_uint(*j, "deduped", error);
+    const auto round = require_uint(*j, "round", error);
+    const Json* alarmed = require(*j, "alarmed", Json::Type::kBool, error);
+    if (!ack || !applied || !deduped || !round || alarmed == nullptr) {
+      return std::nullopt;
+    }
+    ObserveBatchResponse rsp;
+    rsp.ack = static_cast<std::uint64_t>(*ack);
+    rsp.applied = *applied;
+    rsp.deduped = *deduped;
+    rsp.round = *round;
+    rsp.alarmed = alarmed->as_bool();
     if (const Json* d = j->find("diagnosis"); d != nullptr) {
       if (!d->is_object()) {
         set_error(error, "diagnosis must be an object");

@@ -10,6 +10,9 @@
 //   set_baseline  install the healthy T− full-mesh snapshot
 //   observe       feed one measurement round (+ optional control-plane
 //                 observations); returns the diagnosis when an alarm fires
+//   observe_batch feed several spooled rounds from one sensor agent in a
+//                 single frame; per-(session, src) seq dedup + an ack
+//                 watermark give redelivering agents exactly-once ingest
 //   query         fetch the latest diagnosis of a session
 //   stats         service request/latency counters (util::Histogram)
 //   metrics       Prometheus text-format exposition of the obs registry
@@ -42,13 +45,21 @@ inline constexpr int kProtocolVersion = 1;
 inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
 
 // Structured ErrorResponse codes. Errors without a code are semantic
-// (wrong session, bad config, ...) and must not be retried blindly; these
-// two name transient conditions a client may retry:
-//   bad_frame   the frame did not survive the wire (unparseable /
-//               oversized) — the stream is still in sync, resend
-//   overloaded  the server shed the request; honor retry_after_ms
+// (bad config, mismatched mesh, ...) and must not be retried blindly;
+// these name conditions a client reacts to mechanically:
+//   bad_frame        the frame did not survive the wire (unparseable /
+//                    oversized) — the stream is still in sync, resend
+//   overloaded       the server shed the request; honor retry_after_ms
+//   unknown_session  the named session does not exist — after a server
+//                    restart this is how an agent learns its session (and
+//                    every observation the old incarnation applied) is
+//                    gone: re-hello and re-ship from the baseline
+//   no_baseline      the session exists but holds no baseline yet; same
+//                    remedy as unknown_session for a shipping agent
 inline constexpr const char* kErrBadFrame = "bad_frame";
 inline constexpr const char* kErrOverloaded = "overloaded";
+inline constexpr const char* kErrUnknownSession = "unknown_session";
+inline constexpr const char* kErrNoBaseline = "no_baseline";
 
 /// The Troubleshooter configuration a session runs with, in wire/trace
 /// form. `algo` selects the solver preset ("tomo", "nd-edge" or
@@ -98,6 +109,30 @@ struct ObserveRequest {
       : session(std::move(s)), mesh(std::move(m)), cp(std::move(c)), seq(q) {}
 };
 
+/// One spooled observation inside an ObserveBatchRequest. Unlike the
+/// single-shot ObserveRequest the seq is mandatory: batched ingest exists
+/// for agents that redeliver after crashes, and redelivery without a
+/// dedup key would double-count rounds.
+struct ObserveItem {
+  std::uint64_t seq = 0;
+  probe::Mesh mesh;
+  std::optional<core::ControlPlaneObs> cp;
+};
+
+/// A spool drain from one sensor agent: observations in strictly
+/// increasing seq order, deduplicated server-side against the per-
+/// (session, src) ack watermark — items at or below the watermark were
+/// applied by an earlier delivery and are skipped, so redelivering a
+/// whole batch after a lost response is idempotent. An empty batch is a
+/// watermark probe: it applies nothing and returns the current ack.
+struct ObserveBatchRequest {
+  std::string session;
+  /// The shipping agent's identity; watermarks are tracked per source so
+  /// several agents can feed one session without colliding seq spaces.
+  std::string src;
+  std::vector<ObserveItem> items;
+};
+
 struct QueryRequest {
   std::string session;
 };
@@ -110,7 +145,8 @@ struct ShutdownRequest {};
 
 using Request =
     std::variant<HelloRequest, SetBaselineRequest, ObserveRequest,
-                 QueryRequest, StatsRequest, MetricsRequest, ShutdownRequest>;
+                 ObserveBatchRequest, QueryRequest, StatsRequest,
+                 MetricsRequest, ShutdownRequest>;
 
 // ---------------------------------------------------------------------------
 // Responses.
@@ -148,6 +184,18 @@ struct ObserveResponse {
   std::optional<std::string> diagnosis;
 };
 
+struct ObserveBatchResponse {
+  /// Highest seq applied for (session, src) — the agent's durable ship
+  /// watermark. Records at or below it may be deleted from the spool.
+  std::uint64_t ack = 0;
+  std::size_t applied = 0;  ///< items fed to the troubleshooter this call
+  std::size_t deduped = 0;  ///< items skipped as already applied
+  std::size_t round = 0;    ///< session round counter after the batch
+  bool alarmed = false;
+  /// Diagnosis document of the last applied item that fired one.
+  std::optional<std::string> diagnosis;
+};
+
 struct QueryResponse {
   std::size_t round = 0;  ///< round of the latest diagnosis (0 = none yet)
   std::optional<std::string> diagnosis;
@@ -167,8 +215,8 @@ struct ShutdownResponse {};
 
 using Response =
     std::variant<ErrorResponse, HelloResponse, SetBaselineResponse,
-                 ObserveResponse, QueryResponse, StatsResponse,
-                 MetricsResponse, ShutdownResponse>;
+                 ObserveResponse, ObserveBatchResponse, QueryResponse,
+                 StatsResponse, MetricsResponse, ShutdownResponse>;
 
 // ---------------------------------------------------------------------------
 // Frame serialization. Serializers emit one line *without* the trailing

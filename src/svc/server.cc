@@ -27,6 +27,8 @@ const char* op_name(const Request& req) {
           return "set_baseline";
         } else if constexpr (std::is_same_v<T, ObserveRequest>) {
           return "observe";
+        } else if constexpr (std::is_same_v<T, ObserveBatchRequest>) {
+          return "observe_batch";
         } else if constexpr (std::is_same_v<T, QueryRequest>) {
           return "query";
         } else if constexpr (std::is_same_v<T, StatsRequest>) {
@@ -369,20 +371,25 @@ Response Server::handle(const HelloRequest& req) {
 Response Server::handle(const SetBaselineRequest& req) {
   auto session = find_session(req.session);
   if (session == nullptr) {
-    return ErrorResponse{"unknown session '" + req.session + "' (hello first)"};
+    return ErrorResponse{"unknown session '" + req.session + "' (hello first)",
+                         kErrUnknownSession};
   }
   std::lock_guard<std::mutex> lock(session->mu);
   session->ts.set_baseline(req.mesh);
   session->round = 0;
   session->diagnosis_round = 0;
   session->diagnosis.clear();
+  // New epoch: agents that re-ship a baseline re-ship every observation
+  // after it, so stale watermarks must not swallow the redelivery.
+  session->src_acks.clear();
   return SetBaselineResponse{req.mesh.paths.size()};
 }
 
 Response Server::handle(const ObserveRequest& req) {
   auto session = find_session(req.session);
   if (session == nullptr) {
-    return ErrorResponse{"unknown session '" + req.session + "' (hello first)"};
+    return ErrorResponse{"unknown session '" + req.session + "' (hello first)",
+                         kErrUnknownSession};
   }
   std::lock_guard<std::mutex> lock(session->mu);
   // Exactly-once rounds: a retried observe whose response was lost on the
@@ -396,7 +403,8 @@ Response Server::handle(const ObserveRequest& req) {
     return session->last_seq_response;
   }
   if (!session->ts.has_baseline()) {
-    return ErrorResponse{"session '" + req.session + "' has no baseline"};
+    return ErrorResponse{"session '" + req.session + "' has no baseline",
+                         kErrNoBaseline};
   }
   if (req.mesh.paths.size() != session->ts.baseline().paths.size()) {
     return ErrorResponse{
@@ -421,10 +429,64 @@ Response Server::handle(const ObserveRequest& req) {
   return rsp;
 }
 
+Response Server::handle(const ObserveBatchRequest& req) {
+  auto session = find_session(req.session);
+  if (session == nullptr) {
+    return ErrorResponse{"unknown session '" + req.session + "' (hello first)",
+                         kErrUnknownSession};
+  }
+  ObserveBatchResponse rsp;
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    // The watermark entry is created on first contact so even an empty
+    // probe batch from a new source answers ack=0 rather than erroring.
+    std::uint64_t& watermark = session->src_acks[req.src];
+    for (const auto& item : req.items) {
+      if (item.seq <= watermark) {
+        // Redelivered after a lost response; the round is already in the
+        // troubleshooter. Skipping is what makes redelivery exactly-once.
+        ++rsp.deduped;
+        continue;
+      }
+      if (!session->ts.has_baseline()) {
+        return ErrorResponse{"session '" + req.session + "' has no baseline",
+                             kErrNoBaseline};
+      }
+      if (item.mesh.paths.size() != session->ts.baseline().paths.size()) {
+        return ErrorResponse{
+            "batch item seq " + std::to_string(item.seq) + " covers " +
+            std::to_string(item.mesh.paths.size()) +
+            " pairs but the baseline covers " +
+            std::to_string(session->ts.baseline().paths.size())};
+      }
+      ++session->round;
+      const core::ControlPlaneObs* cp =
+          item.cp.has_value() ? &*item.cp : nullptr;
+      const auto out = session->ts.observe(item.mesh, cp);
+      if (out.has_value()) {
+        session->diagnosis = core::to_json(out->graph, out->result);
+        session->diagnosis_round = session->round;
+        rsp.diagnosis = session->diagnosis;
+      }
+      watermark = item.seq;
+      ++rsp.applied;
+    }
+    rsp.ack = watermark;
+    rsp.round = session->round;
+    rsp.alarmed = session->ts.alarmed();
+  }
+  if (rsp.deduped > 0) {
+    std::lock_guard<std::mutex> mlock(metrics_mu_);
+    metrics_.dedup_hits += rsp.deduped;
+  }
+  return rsp;
+}
+
 Response Server::handle(const QueryRequest& req) {
   auto session = find_session(req.session);
   if (session == nullptr) {
-    return ErrorResponse{"unknown session '" + req.session + "' (hello first)"};
+    return ErrorResponse{"unknown session '" + req.session + "' (hello first)",
+                         kErrUnknownSession};
   }
   std::lock_guard<std::mutex> lock(session->mu);
   QueryResponse rsp{session->diagnosis_round, std::nullopt};

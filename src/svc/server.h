@@ -132,6 +132,12 @@ class Server {
     /// response, replayed verbatim when the same seq arrives again.
     std::optional<std::uint64_t> last_seq;
     ObserveResponse last_seq_response;
+    /// Batched-ingest ack watermarks, one per shipping agent (`src`):
+    /// highest seq applied. Items at or below their source's watermark
+    /// are skipped, which is what makes spool redelivery idempotent.
+    /// Cleared by set_baseline — a new baseline starts a new epoch, and
+    /// an agent that re-ships its baseline re-ships everything after it.
+    std::map<std::string, std::uint64_t> src_acks;
 
     Session(SessionConfig cfg, core::Troubleshooter::Config resolved)
         : config(std::move(cfg)), ts(resolved) {}
@@ -148,6 +154,7 @@ class Server {
   Response handle(const HelloRequest& req);
   Response handle(const SetBaselineRequest& req);
   Response handle(const ObserveRequest& req);
+  Response handle(const ObserveBatchRequest& req);
   Response handle(const QueryRequest& req);
   Response handle(const StatsRequest& req);
   Response handle(const MetricsRequest& req);

@@ -1,5 +1,6 @@
 #include "util/atomic_file.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -124,6 +125,33 @@ bool truncate_file(const std::string& path, std::uint64_t size,
   }
   ::close(fd);
   return true;
+}
+
+std::size_t remove_stale_temps(const std::string& path) {
+  const std::string dir = parent_dir(path);
+  const auto slash = path.find_last_of('/');
+  const std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::string prefix = base + ".tmp.";
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  std::size_t removed = 0;
+  while (const dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.size() <= prefix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    // Only pid suffixes qualify — never delete an unrelated file that
+    // merely contains ".tmp." in its name.
+    if (name.find_first_not_of("0123456789", prefix.size()) !=
+        std::string::npos) {
+      continue;
+    }
+    if (::unlink((dir + "/" + name).c_str()) == 0) ++removed;
+  }
+  ::closedir(d);
+  return removed;
 }
 
 bool fsync_file(const std::string& path, std::string* error) {

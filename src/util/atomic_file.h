@@ -42,4 +42,14 @@ namespace netd::util {
 [[nodiscard]] bool fsync_file(const std::string& path,
                               std::string* error = nullptr);
 
+/// Crash recovery for atomic_write_file: removes every leftover
+/// "<basename>.tmp.<pid>" temp file a crashed writer left beside `path`.
+/// Such a file is by definition incomplete (the writer died before the
+/// rename), so deleting it is always safe — `path` itself still holds the
+/// last fully committed version. Returns the number of temp files
+/// removed. Callers that own a whole directory of atomic files (e.g. the
+/// agent spool manifest) run this once on startup before trusting the
+/// directory's contents.
+std::size_t remove_stale_temps(const std::string& path);
+
 }  // namespace netd::util

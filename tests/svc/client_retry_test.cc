@@ -104,7 +104,41 @@ TEST(ClientDeadlineTest, ServerClosingMidResponseIsACleanError) {
   const auto rsp = client->call(Request{StatsRequest{}}, &error);
   EXPECT_FALSE(rsp.has_value());
   EXPECT_FALSE(error.empty());
+  // The server took the request and vanished mid-exchange: the request
+  // may have been applied, so the caller must redeliver idempotently.
+  EXPECT_EQ(client->last_error_kind(), Client::ErrorKind::kClosedMidFrame);
   fake.join();
+}
+
+TEST(ClientDeadlineTest, ErrorKindsDistinguishRefusalFromMidFrameClose) {
+  // A healthy exchange, then the server disappears entirely. The retry
+  // loop's last failure is the reconnect refusal — the "spool and wait"
+  // signal, as opposed to the "redeliver idempotently" mid-frame close.
+  Server::Options sopts;
+  sopts.endpoint.port = 0;
+  Server server(std::move(sopts));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  const Endpoint ep = server.endpoint();
+
+  Client::Options opts;
+  opts.max_retries = 1;
+  opts.backoff_base_ms = 1;
+  opts.backoff_max_ms = 5;
+  opts.connect_timeout_ms = 500;
+  opts.request_timeout_ms = 2000;
+  auto client = Client::connect(ep, opts, &error);
+  ASSERT_TRUE(client.has_value()) << error;
+  StatsResponse stats;
+  ASSERT_TRUE(expect_response(client->call(Request{StatsRequest{}}, &error),
+                              &stats, &error))
+      << error;
+  EXPECT_EQ(client->last_error_kind(), Client::ErrorKind::kNone);
+
+  server.stop();
+  error.clear();
+  EXPECT_FALSE(client->call(Request{StatsRequest{}}, &error).has_value());
+  EXPECT_EQ(client->last_error_kind(), Client::ErrorKind::kConnectRefused);
 }
 
 TEST(ClientRetryTest, ReconnectsAndSucceedsAgainstFlakyServer) {
@@ -142,6 +176,7 @@ TEST(ClientRetryTest, ReconnectsAndSucceedsAgainstFlakyServer) {
   const auto* stats = std::get_if<StatsResponse>(&*rsp);
   ASSERT_NE(stats, nullptr);
   EXPECT_EQ(stats->stats, "{\"ok\":true}");
+  EXPECT_EQ(client->last_error_kind(), Client::ErrorKind::kNone);
   fake.join();
 }
 

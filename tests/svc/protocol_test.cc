@@ -74,6 +74,12 @@ TEST(Protocol, EveryRequestTypeRoundTripsByteIdentical) {
       ObserveRequest{"noc-1", sample_mesh(), sample_cp()},
       ObserveRequest{"noc-1", sample_mesh(), std::nullopt},
       ObserveRequest{"noc-1", sample_mesh(), std::nullopt, 17},
+      ObserveBatchRequest{"noc-1", "sensor-0", {}},
+      ObserveBatchRequest{
+          "noc-1",
+          "sensor-0",
+          {ObserveItem{4, sample_mesh(), std::nullopt},
+           ObserveItem{5, sample_mesh(), sample_cp()}}},
       QueryRequest{"noc-1"},
       StatsRequest{},
       MetricsRequest{},
@@ -90,10 +96,14 @@ TEST(Protocol, EveryResponseTypeRoundTripsByteIdentical) {
       ErrorResponse{"no such session 'x'"},
       ErrorResponse{"resend", kErrBadFrame},
       ErrorResponse{"busy", kErrOverloaded, 250},
+      ErrorResponse{"hello first", kErrUnknownSession},
+      ErrorResponse{"no baseline yet", kErrNoBaseline},
       HelloResponse{"noc-1", true, cfg},
       SetBaselineResponse{90},
       ObserveResponse{4, true, std::string(kDiagnosisDoc)},
       ObserveResponse{2, false, std::nullopt},
+      ObserveBatchResponse{9, 3, 2, 9, true, std::string(kDiagnosisDoc)},
+      ObserveBatchResponse{0, 0, 0, 0, false, std::nullopt},
       QueryResponse{4, std::string(kDiagnosisDoc)},
       QueryResponse{0, std::nullopt},
       StatsResponse{R"({"connections":1,"ops":{}})"},
@@ -182,6 +192,48 @@ TEST(Protocol, ParseRequestRejectsHostileFrames) {
     EXPECT_FALSE(parse_request(bad, &error).has_value()) << bad;
     EXPECT_FALSE(error.empty()) << bad;
   }
+}
+
+TEST(Protocol, ParseBatchRejectsHostileFrames) {
+  // A valid batch frame to mutate: serialize one, then break invariants.
+  const std::string good = serialize(Request{ObserveBatchRequest{
+      "noc-1", "sensor-0", {ObserveItem{3, sample_mesh(), std::nullopt}}}});
+  std::string error;
+  ASSERT_TRUE(parse_request(good, &error).has_value()) << error;
+  ASSERT_NE(good.find(R"("op":"observe_batch")"), std::string::npos)
+      << "batched observe must travel under the observe_batch op: " << good;
+
+  auto mutate = [&](const std::string& from, const std::string& to) {
+    std::string frame = good;
+    const auto at = frame.find(from);
+    EXPECT_NE(at, std::string::npos) << from;
+    frame.replace(at, from.size(), to);
+    return frame;
+  };
+
+  // seq 0 is reserved (watermarks start below every real record).
+  EXPECT_FALSE(parse_request(mutate(R"("seq":3)", R"("seq":0)"), &error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
+  // A batch without a source has no watermark to advance.
+  EXPECT_FALSE(parse_request(mutate(R"("src":"sensor-0",)", ""), &error)
+                   .has_value());
+
+  // Non-strictly-increasing seqs are rejected whole — a shuffled or
+  // duplicated batch must never half-apply.
+  const Request twice = ObserveBatchRequest{
+      "noc-1",
+      "sensor-0",
+      {ObserveItem{5, sample_mesh(), std::nullopt},
+       ObserveItem{5, sample_mesh(), std::nullopt}}};
+  EXPECT_FALSE(parse_request(serialize(twice), &error).has_value());
+  EXPECT_NE(error.find("strictly increasing"), std::string::npos) << error;
+  const Request backwards = ObserveBatchRequest{
+      "noc-1",
+      "sensor-0",
+      {ObserveItem{5, sample_mesh(), std::nullopt},
+       ObserveItem{4, sample_mesh(), std::nullopt}}};
+  EXPECT_FALSE(parse_request(serialize(backwards), &error).has_value());
 }
 
 TEST(Protocol, ParseResponseRejectsHostileFrames) {

@@ -79,6 +79,41 @@ TEST(AtomicFile, TruncateMissingFileFails) {
   EXPECT_FALSE(error.empty());
 }
 
+TEST(AtomicFile, RemoveStaleTempsRecoversFromCrashedWriter) {
+  const std::string path = tmp_path("netd_af_stale.txt");
+  std::string error;
+  ASSERT_TRUE(atomic_write_file(path, "good version", &error)) << error;
+  // A writer that died between its temp write and the rename leaves a
+  // partially-written "<path>.tmp.<pid>" beside the real file.
+  ASSERT_TRUE(atomic_write_file(path + ".tmp.12345", "partial gar", &error))
+      << error;
+  ASSERT_TRUE(atomic_write_file(path + ".tmp.999", "older crash", &error))
+      << error;
+  // Lookalikes that are NOT crashed-writer temps must survive: a non-pid
+  // suffix and a different basename.
+  ASSERT_TRUE(atomic_write_file(path + ".tmp.backup", "keep me", &error))
+      << error;
+  const std::string other = tmp_path("netd_af_stale_other.txt.tmp.777");
+  ASSERT_TRUE(atomic_write_file(other, "different basename", &error)) << error;
+
+  EXPECT_EQ(remove_stale_temps(path), 2u);
+  // The committed version is untouched; the temps are gone; lookalikes
+  // remain.
+  EXPECT_EQ(read_file(path, &error).value_or(""), "good version");
+  EXPECT_FALSE(file_size(path + ".tmp.12345").has_value());
+  EXPECT_FALSE(file_size(path + ".tmp.999").has_value());
+  EXPECT_TRUE(file_size(path + ".tmp.backup").has_value());
+  EXPECT_TRUE(file_size(other).has_value());
+  // Idempotent: a second recovery pass finds nothing.
+  EXPECT_EQ(remove_stale_temps(path), 0u);
+  // And the next atomic write still lands cleanly.
+  ASSERT_TRUE(atomic_write_file(path, "after recovery", &error)) << error;
+  EXPECT_EQ(read_file(path, &error).value_or(""), "after recovery");
+  std::remove(path.c_str());
+  std::remove((path + ".tmp.backup").c_str());
+  std::remove(other.c_str());
+}
+
 TEST(AtomicFile, FsyncFileExistingSucceedsMissingFails) {
   const std::string path = tmp_path("netd_af_fsync.txt");
   std::string error;
