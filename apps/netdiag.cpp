@@ -13,6 +13,7 @@
 //   netdiag top       poll a daemon's `metrics` verb and render the
 //                     Prometheus samples as a live table
 //   netdiag replay    re-run a recorded event trace, verifying diagnoses
+//   netdiag wal       inspect a durable server's session journals
 //   netdiag requarantine  replay watchdog-quarantined trials from a
 //                     campaign checkpoint and recover their results
 //
@@ -22,6 +23,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <numeric>
 #include <set>
 #include <sstream>
@@ -41,6 +43,7 @@
 #include "probe/prober.h"
 #include "sim/network.h"
 #include "svc/client.h"
+#include "svc/journal.h"
 #include "svc/protocol.h"
 #include "svc/server.h"
 #include "svc/socket.h"
@@ -79,6 +82,8 @@ int usage() {
       "            render the Prometheus samples as a table\n"
       "  replay    re-run a recorded event trace (in process or through a\n"
       "            socket) and verify the diagnoses match the recording\n"
+      "  wal       inspect a durable server's session journals: record\n"
+      "            counts, LSN ranges, watermarks, corruption (if any)\n"
       "  requarantine  replay the trials a campaign's watchdog quarantined\n"
       "            (from a --checkpoint file) and recover their results\n";
   return 2;
@@ -776,7 +781,8 @@ int cmd_watch(util::Flags& flags) {
 int cmd_serve(util::Flags& flags) {
   flags.allow({"listen", "threads", "idle-timeout-ms", "max-pending",
                "max-sessions", "drain-timeout-ms", "retry-after-ms",
-               "chaos-seed", "campaign-checkpoint", "help"});
+               "chaos-seed", "campaign-checkpoint", "state-dir", "fsync",
+               "snapshot-every", "help"});
   if (!flags.ok() || flags.get_bool("help")) {
     std::cerr << "netdiag serve [--listen unix:PATH|HOST:PORT|:PORT]"
                  " [--threads N]\n"
@@ -784,13 +790,17 @@ int cmd_serve(util::Flags& flags) {
                  " [--max-sessions N]\n"
                  "              [--drain-timeout-ms MS] [--retry-after-ms MS]"
                  " [--chaos-seed S]\n"
-                 "              [--campaign-checkpoint FILE]\n"
+                 "              [--campaign-checkpoint FILE] [--state-dir DIR]\n"
+                 "              [--fsync always|batch] [--snapshot-every N]\n"
                  "runs until a client sends the shutdown op; --idle-timeout-ms 0"
                  " disables the\nper-connection frame deadline, --chaos-seed"
                  " arms seeded fault injection on\nevery response (testing"
                  " only); --campaign-checkpoint surfaces a running\n"
                  "campaign's progress (completed placements, quarantined"
-                 " trials) through the\nstats verb\n";
+                 " trials) through the\nstats verb; --state-dir makes sessions"
+                 " durable (write-ahead journal +\nsnapshots, recovered on"
+                 " restart); --fsync batch (default) survives SIGKILL,\n"
+                 "always additionally survives power loss\n";
     for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
     return flags.ok() ? 0 : 2;
   }
@@ -813,6 +823,16 @@ int cmd_serve(util::Flags& flags) {
     opts.fault_plan = svc::FaultPlan::chaos(
         static_cast<std::uint64_t>(flags.get_uint("chaos-seed", 1)));
   }
+  opts.state_dir = flags.get("state-dir");
+  const std::string fsync_name = flags.get("fsync", "batch");
+  const auto policy = svc::fsync_policy_from_string(fsync_name);
+  if (!policy) {
+    std::cerr << "netdiag: unknown --fsync policy '" << fsync_name
+              << "' (always, batch)\n";
+    return 2;
+  }
+  opts.fsync = *policy;
+  opts.snapshot_every = flags.get_uint("snapshot-every", 256);
   if (const std::string f = flags.get("campaign-checkpoint"); !f.empty()) {
     // The checkpoint is replaced atomically by the campaign process
     // (rename(2)), so reading it on every stats request always sees one
@@ -1166,6 +1186,175 @@ int cmd_requarantine(util::Flags& flags) {
   return 0;
 }
 
+/// Offline inspection of a durable server's on-disk session journals.
+/// Never mutates anything — safe to run against a live server's state
+/// directory (segments are append-only; SNAPSHOT is replaced atomically).
+int cmd_wal(util::Flags& flags) {
+  namespace rlog = util::record_log;
+  flags.allow({"state-dir", "session", "json", "help"});
+  if (!flags.ok() || flags.get_bool("help")) {
+    std::cerr << "netdiag wal --state-dir DIR [--session NAME] [--json]\n"
+                 "verifies and summarizes each session's write-ahead journal:"
+                 " record counts,\nLSN ranges, per-source ack watermarks, and"
+                 " the offset of the first corrupt\nframe (exit 1 when any"
+                 " corruption is found)\n";
+    for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
+    return flags.ok() ? 0 : 2;
+  }
+  const std::string state_dir = flags.get("state-dir");
+  if (state_dir.empty()) {
+    std::cerr << "netdiag: wal requires --state-dir\n";
+    return 2;
+  }
+  const std::string filter = flags.get("session");
+  const bool as_json = flags.get_bool("json");
+  const std::uint64_t epoch = svc::read_epoch(state_dir);
+  bool any_corrupt = false;
+
+  svc::Json sessions_json = svc::Json::array();
+  if (!as_json) {
+    std::cout << "state dir " << state_dir << ", epoch " << epoch << "\n";
+  }
+  for (const auto& dir_name : svc::list_session_dirs(state_dir)) {
+    const auto decoded = svc::decode_session_dir(dir_name);
+    const std::string name = decoded.value_or("?" + dir_name);
+    if (!filter.empty() && name != filter) continue;
+    const std::string dir = state_dir + "/sessions/" + dir_name;
+    const svc::Inspection insp = svc::inspect_session_dir(dir);
+
+    // The snapshot's LSN floor and ack watermarks, then the journal's
+    // records on top — the same fold recovery performs.
+    std::uint64_t wal = 0;
+    bool snapshot_ok = !insp.has_snapshot;
+    std::map<std::string, std::uint64_t> acks;
+    if (insp.has_snapshot) {
+      const auto doc = svc::Json::parse(insp.snapshot, nullptr);
+      const svc::Json* w =
+          doc && doc->is_object() ? doc->find("wal") : nullptr;
+      if (w != nullptr && w->is_number() && w->as_int() >= 0) {
+        snapshot_ok = true;
+        wal = static_cast<std::uint64_t>(w->as_int());
+        if (const svc::Json* a = doc->find("src_acks");
+            a != nullptr && a->is_object()) {
+          for (const auto& [src, seq] : a->members()) {
+            if (seq.is_number() && seq.as_int() >= 0) {
+              acks[src] = static_cast<std::uint64_t>(seq.as_int());
+            }
+          }
+        }
+      }
+    }
+
+    std::size_t records = 0;
+    std::uint64_t first_lsn = 0, last_lsn = 0;
+    std::string corrupt_file;
+    std::uint64_t corrupt_offset = 0;
+    for (std::size_t i = 0; i < insp.segments.size(); ++i) {
+      const auto& seg = insp.segments[i];
+      const bool is_last = i + 1 == insp.segments.size();
+      const auto& scan = seg.scan;
+      const bool corrupt =
+          scan.verdict == rlog::Scan::Verdict::kCorrupt ||
+          (scan.verdict == rlog::Scan::Verdict::kTornTail && !is_last);
+      if (corrupt && corrupt_file.empty()) {
+        corrupt_file = seg.path;
+        corrupt_offset = scan.good_bytes;
+      }
+      records += scan.records;
+      if (scan.records > 0) {
+        if (first_lsn == 0) first_lsn = scan.first_seq;
+        last_lsn = scan.last_seq;
+      }
+      if (const auto bytes = util::read_file(seg.path, nullptr);
+          bytes.has_value()) {
+        rlog::for_each(
+            std::string_view(bytes->data(),
+                             std::min<std::size_t>(bytes->size(),
+                                                   scan.good_bytes)),
+            [&](std::uint64_t lsn, std::string_view payload) {
+              if (lsn <= wal) return true;
+              const auto rec = svc::Json::parse(payload, nullptr);
+              if (!rec || !rec->is_object()) return true;
+              const svc::Json* t = rec->find("t");
+              if (t == nullptr || !t->is_string()) return true;
+              if (t->as_string() == "baseline") {
+                acks.clear();
+              } else if (t->as_string() == "bobs") {
+                const svc::Json* src = rec->find("src");
+                const svc::Json* seq = rec->find("seq");
+                if (src != nullptr && src->is_string() && seq != nullptr &&
+                    seq->is_number() && seq->as_int() >= 0) {
+                  acks[src->as_string()] =
+                      static_cast<std::uint64_t>(seq->as_int());
+                }
+              }
+              return true;
+            });
+      }
+    }
+    const bool corrupt = !snapshot_ok || !corrupt_file.empty();
+    any_corrupt = any_corrupt || corrupt;
+
+    if (as_json) {
+      svc::Json js = svc::Json::object();
+      js.set("session", svc::Json::string(name));
+      js.set("snapshot", svc::Json::boolean(insp.has_snapshot));
+      js.set("snapshot_wal", svc::Json::uinteger(wal));
+      js.set("segments", svc::Json::uinteger(insp.segments.size()));
+      js.set("records", svc::Json::uinteger(records));
+      js.set("first_lsn", svc::Json::uinteger(first_lsn));
+      js.set("last_lsn", svc::Json::uinteger(last_lsn));
+      js.set("corrupt", svc::Json::boolean(corrupt));
+      if (!corrupt_file.empty()) {
+        js.set("corrupt_file", svc::Json::string(corrupt_file));
+        js.set("corrupt_offset", svc::Json::uinteger(corrupt_offset));
+      }
+      js.set("quarantined_files", svc::Json::uinteger(insp.quarantined_files));
+      svc::Json jacks = svc::Json::object();
+      for (const auto& [src, seq] : acks) {
+        jacks.set(src, svc::Json::uinteger(seq));
+      }
+      js.set("watermarks", std::move(jacks));
+      sessions_json.push_back(std::move(js));
+      continue;
+    }
+    std::cout << "session \"" << name << "\"\n"
+              << "  snapshot: "
+              << (insp.has_snapshot
+                      ? (snapshot_ok ? "wal " + std::to_string(wal)
+                                     : std::string("UNPARSEABLE"))
+                      : std::string("none"))
+              << "\n  journal: " << insp.segments.size() << " segment(s), "
+              << records << " record(s)";
+    if (records > 0) {
+      std::cout << ", lsn " << first_lsn << ".." << last_lsn;
+    }
+    std::cout << "\n";
+    if (!corrupt_file.empty()) {
+      std::cout << "  CORRUPT: first bad frame at offset " << corrupt_offset
+                << " in " << corrupt_file << "\n";
+    }
+    if (insp.quarantined_files > 0) {
+      std::cout << "  quarantined files: " << insp.quarantined_files << "\n";
+    }
+    if (!acks.empty()) {
+      std::cout << "  watermarks:";
+      for (const auto& [src, seq] : acks) {
+        std::cout << " " << src << "=" << seq;
+      }
+      std::cout << "\n";
+    }
+  }
+  if (as_json) {
+    svc::Json out = svc::Json::object();
+    out.set("state_dir", svc::Json::string(state_dir));
+    out.set("epoch", svc::Json::uinteger(epoch));
+    out.set("sessions", std::move(sessions_json));
+    std::cout << out.dump() << "\n";
+  }
+  return any_corrupt ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1181,6 +1370,7 @@ int main(int argc, char** argv) {
   if (cmd == "submit") return cmd_submit(flags);
   if (cmd == "top") return cmd_top(flags);
   if (cmd == "replay") return cmd_replay(flags);
+  if (cmd == "wal") return cmd_wal(flags);
   if (cmd == "requarantine") return cmd_requarantine(flags);
   return usage();
 }

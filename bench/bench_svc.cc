@@ -11,6 +11,7 @@
 // observation round. Emits the usual ND_PERF_JSON records.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -19,6 +20,7 @@
 
 #include "common.h"
 #include "svc/client.h"
+#include "svc/journal.h"
 #include "svc/json.h"
 #include "svc/protocol.h"
 #include "svc/server.h"
@@ -196,10 +198,57 @@ int main() {
   resilient.stop();
   std::remove(sock_path.c_str());
 
+  // The durability tax: the same replay with a per-session write-ahead
+  // journal armed, once per fsync policy. kBatch pays serialization +
+  // write(2) per observation; kAlways adds an fsync(2) per record and is
+  // the worst case.
+  for (const svc::FsyncPolicy policy :
+       {svc::FsyncPolicy::kBatch, svc::FsyncPolicy::kAlways}) {
+    const std::string state_dir =
+        "/tmp/bench_svc_state." + std::to_string(::getpid()) + "." +
+        svc::to_string(policy);
+    svc::Server::Options dopts;
+    dopts.endpoint.kind = svc::Endpoint::Kind::kUnix;
+    dopts.endpoint.path = sock_path;
+    dopts.num_threads = 2;
+    dopts.state_dir = state_dir;
+    dopts.fsync = policy;
+    svc::Server durable(dopts);
+    if (!durable.start(&error)) {
+      std::cerr << "durable server start failed: " << error << "\n";
+      return 1;
+    }
+    {
+      auto client = svc::Client::connect(durable.endpoint(), &error);
+      if (!client.has_value()) {
+        std::cerr << "connect failed: " << error << "\n";
+        return 1;
+      }
+      Timer t;
+      const auto result = svc::replay_through(*client, "bench-durable",
+                                              *records);
+      const double ms = t.ms();
+      if (!result.ok()) {
+        std::cerr << "durable replay diverged: " << result.mismatches[0]
+                  << "\n";
+        return 1;
+      }
+      perf(std::string("svc_replay_socket_durable_") + svc::to_string(policy),
+           ms, dopts.num_threads, cfg);
+    }
+    durable.stop();
+    std::remove(sock_path.c_str());
+    const std::string cleanup = "rm -rf '" + state_dir + "'";
+    if (std::system(cleanup.c_str()) != 0) {
+      std::cerr << "state-dir cleanup failed\n";
+    }
+  }
+
   std::cout << "\nExpected: socket replay tracks in-process replay within a"
                " small constant factor; the gap is the wire + dispatch cost"
                " per round. The resilient variant (deadlines + retry"
                " stamping, no faults) should sit on top of svc_replay_socket"
-               " within noise.\n";
+               " within noise. Durable replay adds the journal write per"
+               " round (kBatch) or a full fsync per round (kAlways).\n";
   return 0;
 }

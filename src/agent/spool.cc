@@ -6,7 +6,6 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <array>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -15,133 +14,26 @@
 
 namespace netd::agent {
 
+namespace rlog = util::record_log;
+
 namespace {
 
-constexpr std::uint32_t kMagic = 0x4e445350u;  // "NDSP"
-constexpr std::size_t kHeaderBytes = 20;
 constexpr const char* kManifest = "MANIFEST";
 constexpr const char* kSegSuffix = ".ndspool";
+
+static_assert(Spool::kMaxRecordBytes == rlog::kMaxRecordBytes,
+              "spool record cap must match the shared framing's");
 
 bool fail(std::string* error, const std::string& what) {
   if (error != nullptr) *error = what + ": " + std::strerror(errno);
   return false;
 }
 
-void put_u32(char* p, std::uint32_t v) {
-  p[0] = static_cast<char>(v & 0xff);
-  p[1] = static_cast<char>((v >> 8) & 0xff);
-  p[2] = static_cast<char>((v >> 16) & 0xff);
-  p[3] = static_cast<char>((v >> 24) & 0xff);
-}
+using Scan = rlog::Scan;
 
-void put_u64(char* p, std::uint64_t v) {
-  put_u32(p, static_cast<std::uint32_t>(v & 0xffffffffu));
-  put_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
-}
-
-std::uint32_t get_u32(const char* p) {
-  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
-         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
-         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
-         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24);
-}
-
-std::uint64_t get_u64(const char* p) {
-  return static_cast<std::uint64_t>(get_u32(p)) |
-         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
-}
-
-std::uint32_t record_crc(std::uint64_t seq, std::string_view payload) {
-  char seq_bytes[8];
-  put_u64(seq_bytes, seq);
-  const std::uint32_t c = crc32(seq_bytes, sizeof(seq_bytes));
-  return crc32(payload.data(), payload.size(), c);
-}
-
-bool write_all_fd(int fd, const char* data, std::size_t len) {
-  while (len > 0) {
-    const ssize_t n = ::write(fd, data, len);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += n;
-    len -= static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-/// Outcome of walking one segment's bytes record by record.
-struct Scan {
-  enum class Verdict {
-    kClean,     ///< every byte accounted for
-    kTornTail,  ///< complete records, then a record cut off by the end
-    kCorrupt,   ///< bad magic / CRC mismatch / seq went backwards
-  };
-  Verdict verdict = Verdict::kClean;
-  std::uint64_t good_bytes = 0;  ///< offset of the first untrusted byte
-  std::size_t records = 0;
-  std::uint64_t first_seq = 0;
-  std::uint64_t last_seq = 0;
-};
-
-Scan scan_segment(std::string_view bytes) {
-  Scan s;
-  std::size_t off = 0;
-  while (off < bytes.size()) {
-    if (bytes.size() - off < kHeaderBytes) {
-      s.verdict = Scan::Verdict::kTornTail;
-      break;
-    }
-    const char* h = bytes.data() + off;
-    const std::uint32_t magic = get_u32(h);
-    const std::uint32_t len = get_u32(h + 4);
-    const std::uint64_t seq = get_u64(h + 8);
-    const std::uint32_t crc = get_u32(h + 16);
-    if (magic != kMagic || len > Spool::kMaxRecordBytes) {
-      s.verdict = Scan::Verdict::kCorrupt;
-      break;
-    }
-    if (bytes.size() - off - kHeaderBytes < len) {
-      s.verdict = Scan::Verdict::kTornTail;
-      break;
-    }
-    const std::string_view payload = bytes.substr(off + kHeaderBytes, len);
-    if (record_crc(seq, payload) != crc ||
-        (s.records > 0 && seq <= s.last_seq) || seq == 0) {
-      s.verdict = Scan::Verdict::kCorrupt;
-      break;
-    }
-    if (s.records == 0) s.first_seq = seq;
-    s.last_seq = seq;
-    ++s.records;
-    off += kHeaderBytes + len;
-    s.good_bytes = off;
-  }
-  return s;
-}
+Scan scan_segment(std::string_view bytes) { return rlog::scan(bytes); }
 
 }  // namespace
-
-std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  std::uint32_t c = seed ^ 0xffffffffu;
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < len; ++i) {
-    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
-  }
-  return c ^ 0xffffffffu;
-}
 
 std::unique_ptr<Spool> Spool::open(Options opts, std::string* error,
                                    RecoveryStats* stats) {
@@ -292,14 +184,8 @@ std::uint64_t Spool::append(std::string_view payload, std::string* error) {
     if (!rotate(error)) return 0;
   }
   const std::uint64_t seq = next_seq_;
-  std::string frame;
-  frame.resize(kHeaderBytes);
-  put_u32(frame.data(), kMagic);
-  put_u32(frame.data() + 4, static_cast<std::uint32_t>(payload.size()));
-  put_u64(frame.data() + 8, seq);
-  put_u32(frame.data() + 16, record_crc(seq, payload));
-  frame.append(payload);
-  if (!write_all_fd(active_fd_, frame.data(), frame.size())) {
+  const std::string frame = rlog::encode_record(seq, payload);
+  if (!rlog::write_all_fd(active_fd_, frame.data(), frame.size())) {
     // A partial write is exactly what recovery's torn-tail path repairs;
     // report the failure and leave the tail for the next open().
     fail(error, "write " + segments_.back().path);
@@ -372,21 +258,22 @@ bool Spool::for_each(
     // Only the validated prefix: the file may have grown a torn tail
     // since open() if a concurrent writer crashed, but within one process
     // seg.bytes tracks exactly what append() completed.
-    while (off + kHeaderBytes <= seg.bytes && off + kHeaderBytes <=
-           bytes->size()) {
+    while (off + rlog::kHeaderBytes <= seg.bytes &&
+           off + rlog::kHeaderBytes <= bytes->size()) {
       const char* h = bytes->data() + off;
-      const std::uint32_t magic = get_u32(h);
-      const std::uint32_t len = get_u32(h + 4);
-      const std::uint64_t seq = get_u64(h + 8);
-      const std::uint32_t crc = get_u32(h + 16);
-      if (magic != kMagic || len > kMaxRecordBytes ||
-          bytes->size() - off - kHeaderBytes < len) {
+      const std::uint32_t magic = rlog::get_u32(h);
+      const std::uint32_t len = rlog::get_u32(h + 4);
+      const std::uint64_t seq = rlog::get_u64(h + 8);
+      const std::uint32_t crc = rlog::get_u32(h + 16);
+      if (magic != rlog::kMagic || len > kMaxRecordBytes ||
+          bytes->size() - off - rlog::kHeaderBytes < len) {
         if (error != nullptr) *error = "spool segment changed on disk: " +
                                        seg.path;
         return false;
       }
-      const std::string_view payload(bytes->data() + off + kHeaderBytes, len);
-      if (record_crc(seq, payload) != crc) {
+      const std::string_view payload(bytes->data() + off + rlog::kHeaderBytes,
+                                     len);
+      if (rlog::record_crc(seq, payload) != crc) {
         if (error != nullptr) {
           *error = "spool record crc mismatch (seq " + std::to_string(seq) +
                    ") in " + seg.path;
@@ -394,7 +281,7 @@ bool Spool::for_each(
         return false;
       }
       if (seq > from && !fn(seq, payload)) return true;
-      off += kHeaderBytes + len;
+      off += rlog::kHeaderBytes + len;
     }
   }
   return true;

@@ -17,12 +17,10 @@
 //                                        replaced via util::atomic_write_file
 //   *.quarantined                        segments recovery refused to trust
 //
-// Record framing, little-endian, 20-byte header + payload:
-//
-//   u32 magic   0x4e445350 ("NDSP")
-//   u32 len     payload bytes (capped at kMaxRecordBytes)
-//   u64 seq     the record's sequence number
-//   u32 crc     CRC32 (IEEE) over the 8 seq bytes + payload
+// Record framing is the shared util::record_log format (little-endian,
+// 20-byte header + payload, CRC32 over seq bytes + payload) — the same
+// framing the service's per-session write-ahead journal uses, so one
+// scanner implementation backs every durable log's recovery.
 //
 // Recovery semantics, pinned by tests/agent/spool_test.cc:
 //   - a record that runs past the end of the *last* segment is a torn
@@ -54,18 +52,25 @@
 #include <string_view>
 #include <vector>
 
+#include "util/record_log.h"
+
 namespace netd::agent {
 
 /// CRC32 (IEEE 802.3, reflected, init/final 0xffffffff) — the framing
-/// checksum. Chain calls by passing the previous return value as `seed`.
-[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t len,
-                                  std::uint32_t seed = 0);
+/// checksum, hoisted into util so the service journal shares it. Kept
+/// here as a forwarder for existing callers. Chain calls by passing the
+/// previous return value as `seed`.
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t len,
+                                         std::uint32_t seed = 0) {
+  return util::crc32(data, len, seed);
+}
 
 class Spool {
  public:
   /// Hard cap on one record's payload; larger appends are refused and a
   /// larger length field in a header is treated as corruption.
-  static constexpr std::uint32_t kMaxRecordBytes = 64u << 20;
+  static constexpr std::uint32_t kMaxRecordBytes =
+      util::record_log::kMaxRecordBytes;
 
   struct Options {
     std::string dir;

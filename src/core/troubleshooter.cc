@@ -15,6 +15,13 @@ void Troubleshooter::set_baseline(probe::Mesh baseline) {
   detector_.reset();
 }
 
+void Troubleshooter::restore(probe::Mesh baseline,
+                             std::vector<std::size_t> failures,
+                             std::vector<bool> alarmed) {
+  baseline_ = std::move(baseline);
+  detector_.restore(std::move(failures), std::move(alarmed));
+}
+
 std::optional<AlgorithmOutput> Troubleshooter::observe(
     const probe::Mesh& round, const ControlPlaneObs* cp) {
   assert(has_baseline() && "set_baseline() before observing rounds");

@@ -51,6 +51,14 @@ class Troubleshooter {
     return detector_;
   }
 
+  /// Byte-identical crash recovery (the service journal's snapshot path):
+  /// reinstalls a previously observed rolling baseline and detector state
+  /// verbatim. Unlike set_baseline, which starts a fresh epoch and resets
+  /// the detector, restore() resumes mid-stream — the next observe() sees
+  /// exactly the state the snapshotted incarnation held.
+  void restore(probe::Mesh baseline, std::vector<std::size_t> failures,
+               std::vector<bool> alarmed);
+
  private:
   Config cfg_;
   probe::UnreachabilityDetector detector_;

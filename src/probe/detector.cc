@@ -48,4 +48,11 @@ void UnreachabilityDetector::reset() {
   alarmed_.clear();
 }
 
+void UnreachabilityDetector::restore(std::vector<std::size_t> failures,
+                                     std::vector<bool> alarmed) {
+  assert(failures.size() == alarmed.size());
+  consecutive_failures_ = std::move(failures);
+  alarmed_ = std::move(alarmed);
+}
+
 }  // namespace netd::probe

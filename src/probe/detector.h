@@ -36,6 +36,19 @@ class UnreachabilityDetector {
 
   void reset();
 
+  // Crash-recovery introspection/restore (the service journal snapshots
+  // detector state so a restarted server resumes flap filtering exactly
+  // where the dead incarnation left off, instead of resetting streaks).
+  [[nodiscard]] const std::vector<std::size_t>& consecutive_failures() const {
+    return consecutive_failures_;
+  }
+  [[nodiscard]] const std::vector<bool>& alarm_flags() const {
+    return alarmed_;
+  }
+  /// Reinstalls previously observed per-pair state (the two vectors must
+  /// be the same length; they are adopted verbatim).
+  void restore(std::vector<std::size_t> failures, std::vector<bool> alarmed);
+
  private:
   std::size_t threshold_;
   std::vector<std::size_t> consecutive_failures_;

@@ -1,0 +1,444 @@
+#include "svc/journal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/registry.h"
+#include "svc/json.h"
+#include "util/atomic_file.h"
+
+namespace netd::svc {
+
+namespace rlog = util::record_log;
+
+namespace {
+
+constexpr const char* kSnapshotName = "SNAPSHOT";
+constexpr const char* kEpochName = "EPOCH";
+constexpr const char* kSegPrefix = "wal-";
+constexpr const char* kSegSuffix = ".ndj";
+constexpr const char* kQuarantineSuffix = ".quarantined";
+
+bool fail(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what + ": " + std::strerror(errno);
+  return false;
+}
+
+bool is_segment_name(const std::string& name) {
+  return name.size() > std::strlen(kSegPrefix) + std::strlen(kSegSuffix) &&
+         name.rfind(kSegPrefix, 0) == 0 &&
+         name.rfind(kSegSuffix) == name.size() - std::strlen(kSegSuffix);
+}
+
+bool ends_with(const std::string& name, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return name.size() >= n && name.rfind(suffix) == name.size() - n;
+}
+
+obs::Counter& torn_tail_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "netd_svc_journal_torn_tails_total",
+      "Journal segments whose torn tail was truncated at recovery");
+  return c;
+}
+
+obs::Counter& quarantined_segment_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "netd_svc_journal_quarantined_segments_total",
+      "Journal files renamed *.quarantined instead of being replayed");
+  return c;
+}
+
+}  // namespace
+
+const char* to_string(FsyncPolicy p) {
+  return p == FsyncPolicy::kAlways ? "always" : "batch";
+}
+
+std::optional<FsyncPolicy> fsync_policy_from_string(std::string_view s) {
+  if (s == "always") return FsyncPolicy::kAlways;
+  if (s == "batch") return FsyncPolicy::kBatch;
+  return std::nullopt;
+}
+
+std::string encode_session_dir(std::string_view session) {
+  static const char* hex = "0123456789abcdef";
+  std::string out;
+  out.reserve(session.size());
+  for (const char c : session) {
+    const bool safe = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (safe) {
+      out.push_back(c);
+    } else {
+      const auto b = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(hex[b >> 4]);
+      out.push_back(hex[b & 0xf]);
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> decode_session_dir(std::string_view dir) {
+  auto hex_val = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(dir.size());
+  for (std::size_t i = 0; i < dir.size(); ++i) {
+    const char c = dir[i];
+    if (c == '%') {
+      if (i + 2 >= dir.size()) return std::nullopt;
+      const int hi = hex_val(dir[i + 1]);
+      const int lo = hex_val(dir[i + 2]);
+      if (hi < 0 || lo < 0) return std::nullopt;
+      out.push_back(static_cast<char>((hi << 4) | lo));
+      i += 2;
+      continue;
+    }
+    const bool safe = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!safe) return std::nullopt;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::uint64_t read_epoch(const std::string& state_dir) {
+  const auto doc = util::read_file(state_dir + "/" + kEpochName, nullptr);
+  if (!doc.has_value()) return 0;
+  const auto j = Json::parse(*doc, nullptr);
+  if (!j || !j->is_object()) return 0;
+  const Json* e = j->find("epoch");
+  if (e == nullptr || !e->is_number() || e->as_int() <= 0) return 0;
+  return static_cast<std::uint64_t>(e->as_int());
+}
+
+std::uint64_t bump_epoch(const std::string& state_dir, std::string* error) {
+  if (::mkdir(state_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    fail(error, "mkdir " + state_dir);
+    return 0;
+  }
+  const std::string path = state_dir + "/" + kEpochName;
+  util::remove_stale_temps(path);
+  const std::uint64_t next = read_epoch(state_dir) + 1;
+  Json j = Json::object();
+  j.set("epoch", Json::uinteger(next));
+  if (!util::atomic_write_file(path, j.dump() + "\n", error)) return 0;
+  return next;
+}
+
+std::vector<std::string> list_session_dirs(const std::string& state_dir) {
+  std::vector<std::string> out;
+  DIR* d = ::opendir((state_dir + "/sessions").c_str());
+  if (d == nullptr) return out;
+  while (const dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    out.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Inspection inspect_session_dir(const std::string& dir) {
+  Inspection out;
+  if (const auto snap = util::read_file(dir + "/" + kSnapshotName, nullptr);
+      snap.has_value()) {
+    out.has_snapshot = true;
+    out.snapshot = *snap;
+  }
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return out;
+  while (const dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (ends_with(name, kQuarantineSuffix)) {
+      ++out.quarantined_files;
+      continue;
+    }
+    if (is_segment_name(name)) names.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  for (const auto& name : names) {
+    SegmentInfo info;
+    info.path = dir + "/" + name;
+    const auto bytes = util::read_file(info.path, nullptr);
+    if (bytes.has_value()) info.scan = rlog::scan(*bytes);
+    out.segments.push_back(std::move(info));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<SessionJournal> SessionJournal::open(Options opts,
+                                                     std::string* error,
+                                                     RecoveryStats* stats) {
+  std::unique_ptr<SessionJournal> j(new SessionJournal(std::move(opts)));
+  RecoveryStats local;
+  RecoveryStats* s = stats != nullptr ? stats : &local;
+  *s = RecoveryStats{};  // recover() accumulates; a reused struct must not
+  if (!j->recover(error, s)) return nullptr;
+  if (s->quarantined) return nullptr;
+  return j;
+}
+
+SessionJournal::~SessionJournal() {
+  if (active_fd_ >= 0) ::close(active_fd_);
+}
+
+std::string SessionJournal::segment_path(std::uint64_t first_lsn) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%020llu%s", kSegPrefix,
+                static_cast<unsigned long long>(first_lsn), kSegSuffix);
+  return opts_.dir + "/" + name;
+}
+
+bool SessionJournal::quarantine_all(std::string* error) {
+  if (active_fd_ >= 0) {
+    ::close(active_fd_);
+    active_fd_ = -1;
+  }
+  // Walk the directory rather than the in-memory segment list: when the
+  // snapshot itself is the corrupt file, recovery quarantines before any
+  // segment was registered, and those files must not escape.
+  std::vector<std::string> victims;
+  DIR* d = ::opendir(opts_.dir.c_str());
+  if (d == nullptr) return fail(error, "opendir " + opts_.dir);
+  while (const dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (is_segment_name(name) || name == kSnapshotName) {
+      victims.push_back(opts_.dir + "/" + name);
+    }
+  }
+  ::closedir(d);
+  std::sort(victims.begin(), victims.end());
+  for (const auto& path : victims) {
+    // Renamed aside, never deleted: the bytes are evidence of what went
+    // wrong, and the session itself continues via the amnesia protocol.
+    if (::rename(path.c_str(), (path + kQuarantineSuffix).c_str()) != 0) {
+      return fail(error, "quarantine " + path);
+    }
+    quarantined_segment_counter().inc();
+  }
+  segments_.clear();
+  records_.clear();
+  snapshot_.reset();
+  next_lsn_ = 1;
+  records_since_snapshot_ = 0;
+  return true;
+}
+
+bool SessionJournal::recover(std::string* error, RecoveryStats* stats) {
+  if (::mkdir(opts_.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return fail(error, "mkdir " + opts_.dir);
+  }
+  const std::string snap_path = opts_.dir + "/" + kSnapshotName;
+  // A snapshot writer that died between temp write and rename leaves a
+  // stale temp; the committed SNAPSHOT (if any) is still intact.
+  util::remove_stale_temps(snap_path);
+
+  // The snapshot's "wal" field is the LSN floor: records at or below it
+  // are already folded in. An unreadable or wal-less snapshot is
+  // corruption — quarantine rather than replay against the wrong base.
+  std::uint64_t wal = 0;
+  if (const auto snap = util::read_file(snap_path, nullptr);
+      snap.has_value()) {
+    const auto doc = Json::parse(*snap, nullptr);
+    const Json* w = doc && doc->is_object() ? doc->find("wal") : nullptr;
+    if (w == nullptr || !w->is_number() || w->as_int() < 0) {
+      stats->quarantined = true;
+    } else {
+      wal = static_cast<std::uint64_t>(w->as_int());
+      snapshot_ = *snap;
+    }
+  }
+
+  std::vector<std::string> names;
+  DIR* d = ::opendir(opts_.dir.c_str());
+  if (d == nullptr) return fail(error, "opendir " + opts_.dir);
+  while (const dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (is_segment_name(name)) names.push_back(name);
+  }
+  ::closedir(d);
+  // Zero-padded first-LSN names: lexicographic order = append order.
+  std::sort(names.begin(), names.end());
+
+  for (std::size_t i = 0; i < names.size() && !stats->quarantined; ++i) {
+    const bool is_last = i + 1 == names.size();
+    const std::string path = opts_.dir + "/" + names[i];
+    const auto bytes = util::read_file(path, error);
+    if (!bytes.has_value()) return false;
+    const rlog::Scan scan = rlog::scan(*bytes);
+    if (scan.verdict == rlog::Scan::Verdict::kCorrupt ||
+        (scan.verdict == rlog::Scan::Verdict::kTornTail && !is_last)) {
+      stats->quarantined = true;
+      break;
+    }
+    if (scan.verdict == rlog::Scan::Verdict::kTornTail &&
+        scan.good_bytes < bytes->size()) {
+      // SIGKILL mid-append: cut back to the last complete record.
+      if (!util::truncate_file(path, scan.good_bytes, error)) return false;
+      ++stats->torn_tails;
+      stats->torn_bytes += bytes->size() - scan.good_bytes;
+      torn_tail_counter().inc();
+    }
+    if (scan.records == 0) {
+      // A rotation that never received a record (or a tail truncated to
+      // nothing); harmless, remove it.
+      if (::unlink(path.c_str()) != 0) return fail(error, "unlink " + path);
+      continue;
+    }
+    // Segments must be contiguous: the journal never sheds, and
+    // snapshot pruning deletes only fully covered segments — a gap
+    // means a file went missing underneath us.
+    if (!segments_.empty() &&
+        scan.first_seq != segments_.back().last_lsn + 1) {
+      stats->quarantined = true;
+      break;
+    }
+    rlog::for_each(
+        std::string_view(bytes->data(), scan.good_bytes),
+        [this, wal](std::uint64_t lsn, std::string_view payload) {
+          if (lsn > wal) records_.emplace_back(lsn, std::string(payload));
+          return true;
+        });
+    segments_.push_back(
+        Segment{path, scan.first_seq, scan.last_seq, scan.good_bytes});
+    next_lsn_ = std::max(next_lsn_, scan.last_seq + 1);
+  }
+  // Replayable records must pick up exactly where the snapshot left off;
+  // a hole between wal and the first surviving record is silent loss.
+  for (std::size_t i = 0; i < records_.size() && !stats->quarantined; ++i) {
+    const std::uint64_t expect = wal + 1 + i;
+    if (records_[i].first != expect) stats->quarantined = true;
+  }
+  if (stats->quarantined) {
+    if (!quarantine_all(error)) return false;
+    return true;
+  }
+  next_lsn_ = std::max(next_lsn_, wal + 1);
+  // Pending replay counts toward the next snapshot so a long recovered
+  // tail is folded in soon instead of being replayed again next restart.
+  records_since_snapshot_ = records_.size();
+  stats->segments = segments_.size();
+  stats->records = records_.size();
+  if (!segments_.empty()) {
+    if (!open_active(false, error)) return false;
+  }
+  return true;
+}
+
+bool SessionJournal::open_active(bool create, std::string* error) {
+  if (active_fd_ >= 0) {
+    ::close(active_fd_);
+    active_fd_ = -1;
+  }
+  if (segments_.empty()) {
+    if (!create) return true;
+    segments_.push_back(Segment{segment_path(next_lsn_), next_lsn_, 0, 0});
+  }
+  const int flags = O_WRONLY | O_APPEND | (create ? O_CREAT : 0);
+  active_fd_ = ::open(segments_.back().path.c_str(), flags, 0644);
+  if (active_fd_ < 0) return fail(error, "open " + segments_.back().path);
+  return true;
+}
+
+bool SessionJournal::rotate(std::string* error) {
+  if (active_fd_ >= 0) {
+    // kBatch durability barrier: the retiring segment's records reach the
+    // disk before the writer moves on.
+    if (opts_.fsync == FsyncPolicy::kBatch && ::fsync(active_fd_) != 0) {
+      return fail(error, "fsync " + segments_.back().path);
+    }
+    ::close(active_fd_);
+    active_fd_ = -1;
+  }
+  segments_.push_back(Segment{segment_path(next_lsn_), next_lsn_, 0, 0});
+  return open_active(true, error);
+}
+
+std::uint64_t SessionJournal::append(std::string_view payload,
+                                     std::string* error) {
+  static obs::Counter& appends = obs::Registry::global().counter(
+      "netd_svc_journal_appends_total",
+      "Records appended to session write-ahead journals");
+  static obs::Counter& fsyncs = obs::Registry::global().counter(
+      "netd_svc_journal_fsyncs_total",
+      "fsync(2) calls issued by session journals");
+  if (payload.size() > rlog::kMaxRecordBytes) {
+    if (error != nullptr) *error = "journal record exceeds kMaxRecordBytes";
+    return 0;
+  }
+  if (segments_.empty() || active_fd_ < 0) {
+    if (!open_active(true, error)) return 0;
+  } else if (segments_.back().bytes >= opts_.max_segment_bytes) {
+    if (!rotate(error)) return 0;
+  }
+  const std::uint64_t lsn = next_lsn_;
+  const std::string frame = rlog::encode_record(lsn, payload);
+  if (!rlog::write_all_fd(active_fd_, frame.data(), frame.size())) {
+    // A partial write is the torn tail the next recovery truncates.
+    fail(error, "write " + segments_.back().path);
+    return 0;
+  }
+  if (opts_.fsync == FsyncPolicy::kAlways) {
+    if (::fsync(active_fd_) != 0) {
+      fail(error, "fsync " + segments_.back().path);
+      return 0;
+    }
+    fsyncs.inc();
+  }
+  Segment& seg = segments_.back();
+  seg.last_lsn = lsn;
+  seg.bytes += frame.size();
+  ++next_lsn_;
+  ++records_since_snapshot_;
+  appends.inc();
+  return lsn;
+}
+
+bool SessionJournal::commit_snapshot(const std::string& doc,
+                                     std::string* error) {
+  static obs::Counter& snapshots = obs::Registry::global().counter(
+      "netd_svc_journal_snapshots_total",
+      "Session snapshots committed (journal segments pruned)");
+  if (active_fd_ >= 0) {
+    ::close(active_fd_);
+    active_fd_ = -1;
+  }
+  // atomic_write_file fsyncs the document and the directory, so once it
+  // returns the snapshot is the durable truth and every journal record
+  // it covers is redundant. A crash between the rename and the unlinks
+  // below only leaves fully covered segments behind — recovery filters
+  // their records out by LSN.
+  if (!util::atomic_write_file(opts_.dir + "/" + kSnapshotName, doc, error)) {
+    // Keep journaling; a missed snapshot costs replay time, not data.
+    if (!open_active(false, error)) return false;
+    return false;
+  }
+  for (const auto& seg : segments_) {
+    if (::unlink(seg.path.c_str()) != 0) return fail(error, "unlink " + seg.path);
+  }
+  segments_.clear();
+  snapshot_ = doc;
+  records_since_snapshot_ = 0;
+  snapshots.inc();
+  return true;
+}
+
+}  // namespace netd::svc

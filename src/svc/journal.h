@@ -1,0 +1,200 @@
+// Per-session write-ahead journal for the diagnosis service.
+//
+// When the server runs with a state directory, every session mutation
+// (hello, set_baseline, each applied observation) is appended to a
+// CRC-framed record log (util::record_log — the same on-disk framing as
+// the agent spool) before the response leaves the process. Periodic
+// snapshots — the full session state as one JSON document, committed
+// with util::atomic_write_file — bound replay time and let the journal
+// segments they cover be deleted.
+//
+// On-disk layout under the server's state directory:
+//
+//   <state_dir>/EPOCH                       {"epoch": N}, bumped per start
+//   <state_dir>/sessions/<enc>/SNAPSHOT     last committed state document
+//   <state_dir>/sessions/<enc>/wal-<lsn>.ndj  journal segments; <lsn> is
+//                                           the zero-padded first LSN, so
+//                                           lexicographic order = append
+//                                           order
+//   <state_dir>/sessions/<enc>/*.quarantined  corrupt files, kept for
+//                                           forensics, never replayed
+//
+// <enc> is the session name percent-encoded (encode_session_dir) so any
+// protocol-legal name maps to a filesystem-safe directory.
+//
+// Failure philosophy mirrors the spool: a record cut off by the end of
+// the newest segment is a torn tail (the server was SIGKILLed
+// mid-append — truncate and resume), while a CRC mismatch, an LSN that
+// goes backwards, or a gap between segments is corruption the append
+// path cannot produce. Corruption quarantines the whole session journal
+// (every segment plus the snapshot, renamed *.quarantined — never
+// deleted) and the session degrades to the protocol's amnesia path:
+// agents get unknown_session, re-hello, and re-ship from their spools.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/record_log.h"
+
+namespace netd::svc {
+
+/// When journal appends reach the disk. SIGKILL never loses OS-buffered
+/// writes, so kBatch (fsync only on segment rotation and snapshot
+/// commit) already survives process crashes; kAlways additionally
+/// survives power loss at the cost of one fsync per mutation —
+/// bench_svc measures the gap.
+enum class FsyncPolicy {
+  kAlways,  ///< fsync after every append
+  kBatch,   ///< fsync on rotation/snapshot only
+};
+
+[[nodiscard]] const char* to_string(FsyncPolicy p);
+[[nodiscard]] std::optional<FsyncPolicy> fsync_policy_from_string(
+    std::string_view s);
+
+/// Percent-encodes a session name into a filesystem-safe directory name:
+/// bytes outside [A-Za-z0-9_-] (notably '/', '.' and '%' itself) become
+/// %XX. Decode inverts it exactly; names round-trip byte-identically.
+[[nodiscard]] std::string encode_session_dir(std::string_view session);
+[[nodiscard]] std::optional<std::string> decode_session_dir(
+    std::string_view dir);
+
+/// Reads <state_dir>/EPOCH, increments it and atomically rewrites it.
+/// Returns the new epoch (1 on a fresh directory); 0 with `error` on IO
+/// failure. The epoch is advertised in hello responses so clients can
+/// observe restarts.
+[[nodiscard]] std::uint64_t bump_epoch(const std::string& state_dir,
+                                       std::string* error);
+/// Reads <state_dir>/EPOCH without modifying it (0 = absent/unreadable).
+[[nodiscard]] std::uint64_t read_epoch(const std::string& state_dir);
+
+/// Directory names (not decoded session names) under
+/// <state_dir>/sessions, sorted. Missing directory = empty vector.
+[[nodiscard]] std::vector<std::string> list_session_dirs(
+    const std::string& state_dir);
+
+// ---------------------------------------------------------------------------
+// Read-only inspection (the `netdiag wal` verb and the recovery path's
+// first pass share it).
+
+struct SegmentInfo {
+  std::string path;
+  util::record_log::Scan scan;
+};
+
+struct Inspection {
+  bool has_snapshot = false;
+  std::string snapshot;               ///< raw SNAPSHOT bytes
+  std::vector<SegmentInfo> segments;  ///< wal-*.ndj, append order
+  std::size_t quarantined_files = 0;  ///< *.quarantined present in the dir
+};
+
+/// Scans one session directory without mutating it.
+[[nodiscard]] Inspection inspect_session_dir(const std::string& dir);
+
+// ---------------------------------------------------------------------------
+
+class SessionJournal {
+ public:
+  struct Options {
+    std::string dir;  ///< the per-session directory
+    FsyncPolicy fsync = FsyncPolicy::kBatch;
+    /// Rotation threshold for one segment's bytes.
+    std::uint64_t max_segment_bytes = 4u << 20;
+    /// Records appended since the last snapshot before snapshot_due().
+    std::size_t snapshot_every = 256;
+  };
+
+  struct RecoveryStats {
+    std::size_t segments = 0;  ///< validated segments kept
+    std::size_t records = 0;   ///< records available for replay
+    std::size_t torn_tails = 0;
+    std::uint64_t torn_bytes = 0;
+    bool quarantined = false;  ///< open() quarantined the whole journal
+  };
+
+  /// Opens (creating `opts.dir` if needed) and validates the journal.
+  /// A torn tail on the newest segment is truncated away; any
+  /// corruption — bad frame, LSN regression, a gap between segments —
+  /// quarantines every journal file (stats->quarantined) and returns
+  /// nullptr with `error` empty: the caller treats the session as
+  /// never-persisted. Returns nullptr with `error` set on IO failure.
+  [[nodiscard]] static std::unique_ptr<SessionJournal> open(
+      Options opts, std::string* error, RecoveryStats* stats = nullptr);
+
+  ~SessionJournal();
+  SessionJournal(const SessionJournal&) = delete;
+  SessionJournal& operator=(const SessionJournal&) = delete;
+
+  /// SNAPSHOT contents as read at open (std::nullopt = no snapshot).
+  [[nodiscard]] const std::optional<std::string>& snapshot() const {
+    return snapshot_;
+  }
+
+  /// Records recovered at open, in LSN order, for replay. The caller
+  /// filters out LSNs the snapshot already covers. Cleared by
+  /// drop_replay_buffer() once recovery is done.
+  [[nodiscard]] const std::vector<std::pair<std::uint64_t, std::string>>&
+  records() const {
+    return records_;
+  }
+  void drop_replay_buffer() { records_.clear(); records_.shrink_to_fit(); }
+
+  /// Appends one record, fsyncing per policy. Returns the record's LSN
+  /// (> 0) or 0 with `error` on failure — after which the caller should
+  /// degrade the session to ephemeral rather than retry blindly.
+  [[nodiscard]] std::uint64_t append(std::string_view payload,
+                                     std::string* error);
+
+  /// True once snapshot_every records accumulated since the last
+  /// snapshot (or since open, when replayed records are pending).
+  [[nodiscard]] bool snapshot_due() const {
+    return records_since_snapshot_ >= opts_.snapshot_every;
+  }
+
+  /// Commits `doc` (which must describe state through last_lsn()) as the
+  /// new SNAPSHOT and deletes every journal segment it covers. On
+  /// failure the journal keeps appending — a missed snapshot only means
+  /// longer replay, never lost data.
+  [[nodiscard]] bool commit_snapshot(const std::string& doc,
+                                     std::string* error);
+
+  /// Renames every journal file to *.quarantined. Used when record
+  /// *content* (not framing) fails to parse during replay.
+  [[nodiscard]] bool quarantine_all(std::string* error);
+
+  [[nodiscard]] std::uint64_t last_lsn() const { return next_lsn_ - 1; }
+  [[nodiscard]] const std::string& dir() const { return opts_.dir; }
+
+ private:
+  struct Segment {
+    std::string path;
+    std::uint64_t first_lsn = 0;
+    std::uint64_t last_lsn = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  explicit SessionJournal(Options opts) : opts_(std::move(opts)) {}
+
+  [[nodiscard]] bool recover(std::string* error, RecoveryStats* stats);
+  [[nodiscard]] bool open_active(bool create, std::string* error);
+  [[nodiscard]] bool rotate(std::string* error);
+  [[nodiscard]] std::string segment_path(std::uint64_t first_lsn) const;
+
+  Options opts_;
+  std::vector<Segment> segments_;
+  std::vector<std::pair<std::uint64_t, std::string>> records_;
+  std::optional<std::string> snapshot_;
+  std::uint64_t next_lsn_ = 1;
+  std::size_t records_since_snapshot_ = 0;
+  int active_fd_ = -1;
+};
+
+}  // namespace netd::svc

@@ -477,6 +477,7 @@ std::string serialize(const Response& rsp) {
           j.set("session", Json::string(r.session));
           j.set("created", Json::boolean(r.created));
           j.set("config", session_config_to_json(r.config));
+          if (r.epoch != 0) j.set("epoch", Json::uinteger(r.epoch));
         } else if constexpr (std::is_same_v<T, SetBaselineResponse>) {
           j.set("ok", Json::boolean(true));
           j.set("op", Json::string("set_baseline"));
@@ -559,7 +560,13 @@ std::optional<Response> parse_response(std::string_view frame,
     if (!session || created == nullptr || cfg == nullptr) return std::nullopt;
     const auto config = session_config_from_json(*cfg, error);
     if (!config) return std::nullopt;
-    return Response{HelloResponse{*session, created->as_bool(), *config}};
+    HelloResponse rsp{*session, created->as_bool(), *config};
+    if (j->find("epoch") != nullptr) {
+      const auto epoch = require_uint(*j, "epoch", error);
+      if (!epoch) return std::nullopt;
+      rsp.epoch = static_cast<std::uint64_t>(*epoch);
+    }
+    return Response{std::move(rsp)};
   }
   if (name == "set_baseline") {
     const auto pairs = require_uint(*j, "pairs", error);

@@ -170,6 +170,12 @@ struct HelloResponse {
   std::string session;
   bool created = false;  ///< false = attached to an existing session
   SessionConfig config;  ///< the session's effective configuration
+  /// The server's recovery epoch, bumped once per start when it runs
+  /// with a durable state directory. 0 = ephemeral server (the field is
+  /// omitted on the wire, so pre-durability frames are unchanged). A
+  /// client that sees the epoch change across hellos knows it is talking
+  /// to a restarted — but state-intact — server.
+  std::uint64_t epoch = 0;
 };
 
 struct SetBaselineResponse {

@@ -1,6 +1,7 @@
 #include "svc/server.h"
 
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -16,6 +17,20 @@
 namespace netd::svc {
 
 namespace {
+
+obs::Counter& append_failure_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "netd_svc_journal_append_failures_total",
+      "Journal writes that failed; the session degraded to ephemeral");
+  return c;
+}
+
+obs::Counter& session_quarantined_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "netd_svc_journal_sessions_quarantined_total",
+      "Sessions whose journal was quarantined at recovery (amnesia)");
+  return c;
+}
 
 const char* op_name(const Request& req) {
   return std::visit(
@@ -56,6 +71,21 @@ bool Server::start(std::string* error) {
   listener_ = listen_on(opts_.endpoint, error, &bound_port);
   if (!listener_.valid()) return false;
   opts_.endpoint.port = bound_port;
+  if (!opts_.state_dir.empty()) {
+    // Durable mode: bump the recovery epoch and rebuild every session
+    // from its journal before the first connection can be accepted, so
+    // a client never observes a half-recovered server.
+    epoch_ = bump_epoch(opts_.state_dir, error);
+    if (epoch_ == 0) return false;
+    if (::mkdir((opts_.state_dir + "/sessions").c_str(), 0755) != 0 &&
+        errno != EEXIST) {
+      if (error != nullptr) {
+        *error = "mkdir " + opts_.state_dir + "/sessions failed";
+      }
+      return false;
+    }
+    if (!recover_sessions(error)) return false;
+  }
   if (opts_.fault_plan.enabled()) {
     injector_ = std::make_unique<FaultInjector>(opts_.fault_plan);
   }
@@ -337,6 +367,352 @@ std::shared_ptr<Server::Session> Server::find_session(
   return it == sessions_.end() ? nullptr : it->second;
 }
 
+// ---------------------------------------------------------------------------
+// Durability.
+
+namespace {
+
+// Journal record payloads: one compact JSON document per mutation,
+// carrying exactly the request fields the handler applied — replay feeds
+// them back through the same apply path, which is what makes a recovered
+// session byte-identical to the uninterrupted one.
+Json hello_record(const SessionConfig& cfg) {
+  Json j = Json::object();
+  j.set("t", Json::string("hello"));
+  j.set("config", session_config_to_json(cfg));
+  return j;
+}
+
+Json baseline_record(const probe::Mesh& mesh) {
+  Json j = Json::object();
+  j.set("t", Json::string("baseline"));
+  j.set("mesh", mesh_to_json(mesh));
+  return j;
+}
+
+Json obs_record(const probe::Mesh& mesh, const core::ControlPlaneObs* cp,
+                std::optional<std::uint64_t> seq) {
+  Json j = Json::object();
+  j.set("t", Json::string("obs"));
+  j.set("mesh", mesh_to_json(mesh));
+  if (cp != nullptr) j.set("cp", cp_to_json(*cp));
+  if (seq.has_value()) j.set("seq", Json::uinteger(*seq));
+  return j;
+}
+
+Json bobs_record(const std::string& src, std::uint64_t seq,
+                 const probe::Mesh& mesh, const core::ControlPlaneObs* cp) {
+  Json j = Json::object();
+  j.set("t", Json::string("bobs"));
+  j.set("src", Json::string(src));
+  j.set("seq", Json::uinteger(seq));
+  j.set("mesh", mesh_to_json(mesh));
+  if (cp != nullptr) j.set("cp", cp_to_json(*cp));
+  return j;
+}
+
+// Strict-enough field readers for documents only this process writes; a
+// failed read is corruption and quarantines the journal.
+const Json* get_obj(const Json& j, std::string_view key) {
+  const Json* v = j.find(key);
+  return v != nullptr && v->is_object() ? v : nullptr;
+}
+
+std::optional<std::uint64_t> get_u64_field(const Json& j,
+                                           std::string_view key) {
+  const Json* v = j.find(key);
+  if (v == nullptr || !v->is_number() || v->as_int() < 0) return std::nullopt;
+  return static_cast<std::uint64_t>(v->as_int());
+}
+
+}  // namespace
+
+std::optional<std::string> Server::apply_observation(
+    Session& s, const probe::Mesh& mesh, const core::ControlPlaneObs* cp) {
+  ++s.round;
+  const auto out = s.ts.observe(mesh, cp);
+  if (!out.has_value()) return std::nullopt;
+  s.diagnosis = core::to_json(out->graph, out->result);
+  s.diagnosis_round = s.round;
+  return s.diagnosis;
+}
+
+Json Server::snapshot_doc(const Session& s) {
+  Json j = Json::object();
+  // "wal": every record at or below this LSN is folded into this
+  // document; recovery replays only what came after.
+  j.set("wal", Json::uinteger(s.journal->last_lsn()));
+  j.set("config", session_config_to_json(s.config));
+  j.set("round", Json::uinteger(s.round));
+  j.set("diagnosis_round", Json::uinteger(s.diagnosis_round));
+  if (!s.diagnosis.empty()) j.set("diagnosis", Json::raw(s.diagnosis));
+  if (s.last_seq.has_value()) {
+    j.set("last_seq", Json::uinteger(*s.last_seq));
+    Json rsp = Json::object();
+    rsp.set("round", Json::uinteger(s.last_seq_response.round));
+    rsp.set("alarmed", Json::boolean(s.last_seq_response.alarmed));
+    if (s.last_seq_response.diagnosis.has_value()) {
+      rsp.set("diagnosis", Json::raw(*s.last_seq_response.diagnosis));
+    }
+    j.set("last_rsp", std::move(rsp));
+  }
+  Json acks = Json::object();
+  for (const auto& [src, seq] : s.src_acks) {
+    acks.set(src, Json::uinteger(seq));
+  }
+  j.set("src_acks", std::move(acks));
+  if (s.ts.has_baseline()) {
+    j.set("baseline", mesh_to_json(s.ts.baseline()));
+    const auto& det = s.ts.detector();
+    Json fails = Json::array();
+    for (const std::size_t f : det.consecutive_failures()) {
+      fails.push_back(Json::uinteger(f));
+    }
+    Json alarmed = Json::array();
+    for (const bool a : det.alarm_flags()) {
+      alarmed.push_back(Json::boolean(a));
+    }
+    Json d = Json::object();
+    d.set("fails", std::move(fails));
+    d.set("alarmed", std::move(alarmed));
+    j.set("detector", std::move(d));
+  }
+  return j;
+}
+
+void Server::journal_append(Session& s, const Json& payload) {
+  if (s.journal == nullptr) return;
+  std::string error;
+  if (s.journal->append(payload.dump(), &error) == 0) {
+    // Durability is best-effort once the disk misbehaves: the session
+    // keeps serving from memory (agents see nothing), but a restart now
+    // loses it — counted loudly instead of failing the request.
+    append_failure_counter().inc();
+    s.journal.reset();
+    return;
+  }
+  if (s.journal->snapshot_due()) {
+    // A failed snapshot commit is survivable (longer replay next start);
+    // commit_snapshot itself degrades to continued journaling.
+    (void)s.journal->commit_snapshot(snapshot_doc(s).dump() + "\n", &error);
+  }
+}
+
+std::unique_ptr<SessionJournal> Server::open_journal_for(
+    const std::string& session_name) {
+  SessionJournal::Options jopts;
+  jopts.dir =
+      opts_.state_dir + "/sessions/" + encode_session_dir(session_name);
+  jopts.fsync = opts_.fsync;
+  jopts.max_segment_bytes = opts_.journal_segment_bytes;
+  jopts.snapshot_every = opts_.snapshot_every;
+  std::string error;
+  SessionJournal::RecoveryStats stats;
+  auto journal = SessionJournal::open(std::move(jopts), &error, &stats);
+  if (journal == nullptr) {
+    // Either IO trouble or a quarantined predecessor; the session runs
+    // ephemeral (and a quarantine was already counted by open()).
+    append_failure_counter().inc();
+  }
+  return journal;
+}
+
+std::shared_ptr<Server::Session> Server::recover_one_session(
+    std::unique_ptr<SessionJournal> journal) {
+  static obs::Counter& replayed = obs::Registry::global().counter(
+      "netd_svc_journal_replayed_records_total",
+      "Journal records replayed into sessions at recovery");
+  // Content-level corruption (framing was already validated by open):
+  // quarantine the whole journal and report no session — the amnesia
+  // protocol takes over for its agents.
+  auto corrupt = [&journal]() -> std::shared_ptr<Session> {
+    std::string error;
+    (void)journal->quarantine_all(&error);
+    session_quarantined_counter().inc();
+    return nullptr;
+  };
+
+  std::shared_ptr<Session> s;
+  std::string error;
+  if (journal->snapshot().has_value()) {
+    const auto doc = Json::parse(*journal->snapshot(), &error);
+    if (!doc || !doc->is_object()) return corrupt();
+    const Json* cfg_json = get_obj(*doc, "config");
+    if (cfg_json == nullptr) return corrupt();
+    const auto cfg = session_config_from_json(*cfg_json, &error);
+    if (!cfg) return corrupt();
+    const auto resolved = cfg->resolve(&error);
+    if (!resolved) return corrupt();
+    s = std::make_shared<Session>(*cfg, *resolved);
+    const auto round = get_u64_field(*doc, "round");
+    const auto diagnosis_round = get_u64_field(*doc, "diagnosis_round");
+    if (!round || !diagnosis_round) return corrupt();
+    s->round = static_cast<std::size_t>(*round);
+    s->diagnosis_round = static_cast<std::size_t>(*diagnosis_round);
+    if (const Json* d = doc->find("diagnosis"); d != nullptr) {
+      if (!d->is_object()) return corrupt();
+      s->diagnosis = d->dump();
+    }
+    if (const Json* ls = doc->find("last_seq"); ls != nullptr) {
+      const auto seq = get_u64_field(*doc, "last_seq");
+      const Json* rsp = get_obj(*doc, "last_rsp");
+      if (!seq || rsp == nullptr) return corrupt();
+      const auto rsp_round = get_u64_field(*rsp, "round");
+      const Json* alarmed = rsp->find("alarmed");
+      if (!rsp_round || alarmed == nullptr || !alarmed->is_bool()) {
+        return corrupt();
+      }
+      s->last_seq = *seq;
+      s->last_seq_response.round = static_cast<std::size_t>(*rsp_round);
+      s->last_seq_response.alarmed = alarmed->as_bool();
+      if (const Json* d = rsp->find("diagnosis"); d != nullptr) {
+        if (!d->is_object()) return corrupt();
+        s->last_seq_response.diagnosis = d->dump();
+      }
+    }
+    const Json* acks = get_obj(*doc, "src_acks");
+    if (acks == nullptr) return corrupt();
+    for (const auto& [src, seq] : acks->members()) {
+      if (!seq.is_number() || seq.as_int() < 0) return corrupt();
+      s->src_acks[src] = static_cast<std::uint64_t>(seq.as_int());
+    }
+    if (const Json* baseline = doc->find("baseline"); baseline != nullptr) {
+      auto mesh = mesh_from_json(*baseline, &error);
+      const Json* det = get_obj(*doc, "detector");
+      if (!mesh || det == nullptr) return corrupt();
+      const Json* fails = det->find("fails");
+      const Json* alarmed = det->find("alarmed");
+      if (fails == nullptr || !fails->is_array() || alarmed == nullptr ||
+          !alarmed->is_array() || fails->size() != alarmed->size()) {
+        return corrupt();
+      }
+      std::vector<std::size_t> f(fails->size());
+      std::vector<bool> a(alarmed->size());
+      for (std::size_t i = 0; i < fails->size(); ++i) {
+        if (!(*fails)[i].is_number() || (*fails)[i].as_int() < 0 ||
+            !(*alarmed)[i].is_bool()) {
+          return corrupt();
+        }
+        f[i] = static_cast<std::size_t>((*fails)[i].as_int());
+        a[i] = (*alarmed)[i].as_bool();
+      }
+      s->ts.restore(std::move(*mesh), std::move(f), std::move(a));
+    }
+  }
+
+  for (const auto& [lsn, payload] : journal->records()) {
+    (void)lsn;
+    const auto rec = Json::parse(payload, &error);
+    if (!rec || !rec->is_object()) return corrupt();
+    const Json* t = rec->find("t");
+    if (t == nullptr || !t->is_string()) return corrupt();
+    const std::string& type = t->as_string();
+    if (type == "hello") {
+      // Only legal as the very first record of a journal with no
+      // snapshot — it is what created the session.
+      if (s != nullptr) return corrupt();
+      const Json* cfg_json = get_obj(*rec, "config");
+      if (cfg_json == nullptr) return corrupt();
+      const auto cfg = session_config_from_json(*cfg_json, &error);
+      if (!cfg) return corrupt();
+      const auto resolved = cfg->resolve(&error);
+      if (!resolved) return corrupt();
+      s = std::make_shared<Session>(*cfg, *resolved);
+      replayed.inc();
+      continue;
+    }
+    if (s == nullptr) return corrupt();
+    if (type == "baseline") {
+      const Json* mesh_json = get_obj(*rec, "mesh");
+      if (mesh_json == nullptr) return corrupt();
+      auto mesh = mesh_from_json(*mesh_json, &error);
+      if (!mesh) return corrupt();
+      s->ts.set_baseline(std::move(*mesh));
+      s->round = 0;
+      s->diagnosis_round = 0;
+      s->diagnosis.clear();
+      s->src_acks.clear();
+    } else if (type == "obs" || type == "bobs") {
+      const Json* mesh_json = get_obj(*rec, "mesh");
+      if (mesh_json == nullptr) return corrupt();
+      const auto mesh = mesh_from_json(*mesh_json, &error);
+      if (!mesh) return corrupt();
+      std::optional<core::ControlPlaneObs> cp;
+      if (const Json* cp_json = rec->find("cp"); cp_json != nullptr) {
+        cp = cp_from_json(*cp_json, &error);
+        if (!cp) return corrupt();
+      }
+      if (type == "obs") {
+        const auto fired =
+            apply_observation(*s, *mesh, cp ? &*cp : nullptr);
+        if (rec->find("seq") != nullptr) {
+          const auto seq = get_u64_field(*rec, "seq");
+          if (!seq) return corrupt();
+          s->last_seq = *seq;
+          s->last_seq_response =
+              ObserveResponse{s->round, s->ts.alarmed(), fired};
+        }
+      } else {
+        const Json* src = rec->find("src");
+        const auto seq = get_u64_field(*rec, "seq");
+        if (src == nullptr || !src->is_string() || !seq) return corrupt();
+        (void)apply_observation(*s, *mesh, cp ? &*cp : nullptr);
+        s->src_acks[src->as_string()] = *seq;
+      }
+    } else {
+      return corrupt();
+    }
+    replayed.inc();
+  }
+  if (s == nullptr) {
+    // A journal with neither snapshot nor hello record names no session
+    // config; nothing can be rebuilt from it.
+    return corrupt();
+  }
+  journal->drop_replay_buffer();
+  s->journal = std::move(journal);
+  return s;
+}
+
+bool Server::recover_sessions(std::string* error) {
+  static obs::Counter& recovered = obs::Registry::global().counter(
+      "netd_svc_journal_sessions_recovered_total",
+      "Sessions rebuilt from their journal at server start");
+  for (const auto& dir_name : list_session_dirs(opts_.state_dir)) {
+    const auto session_name = decode_session_dir(dir_name);
+    if (!session_name.has_value()) continue;  // not a directory we wrote
+    SessionJournal::Options jopts;
+    jopts.dir = opts_.state_dir + "/sessions/" + dir_name;
+    jopts.fsync = opts_.fsync;
+    jopts.max_segment_bytes = opts_.journal_segment_bytes;
+    jopts.snapshot_every = opts_.snapshot_every;
+    SessionJournal::RecoveryStats stats;
+    std::string open_error;
+    auto journal = SessionJournal::open(std::move(jopts), &open_error, &stats);
+    if (journal == nullptr) {
+      if (stats.quarantined) {
+        // Framing-level corruption: the journal already renamed its
+        // files aside; this session's agents will re-hello and re-ship.
+        session_quarantined_counter().inc();
+        continue;
+      }
+      if (error != nullptr) *error = open_error;
+      return false;
+    }
+    auto session = recover_one_session(std::move(journal));
+    if (session == nullptr) continue;  // quarantined during replay
+    sessions_.emplace(*session_name, std::move(session));
+    recovered.inc();
+  }
+  // Recovered sessions count toward sessions_created so the stats verb
+  // keeps describing "sessions this server knows", not "hellos served".
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    metrics_.sessions_created += sessions_.size();
+  }
+  return true;
+}
+
 Response Server::handle(const HelloRequest& req) {
   std::string error;
   const auto resolved = req.config.resolve(&error);
@@ -350,7 +726,7 @@ Response Server::handle(const HelloRequest& req) {
       return ErrorResponse{"session '" + req.session +
                            "' exists with a different config"};
     }
-    return HelloResponse{req.session, false, it->second->config};
+    return HelloResponse{req.session, false, it->second->config, epoch_};
   }
   if (opts_.max_sessions > 0 && sessions_.size() >= opts_.max_sessions) {
     {
@@ -359,13 +735,19 @@ Response Server::handle(const HelloRequest& req) {
     }
     return overloaded_response();
   }
-  sessions_.emplace(req.session,
-                    std::make_shared<Session>(req.config, *resolved));
+  auto session = std::make_shared<Session>(req.config, *resolved);
+  if (!opts_.state_dir.empty()) {
+    // The hello record is the journal's genesis: it carries the config
+    // a restarted server needs to re-create the session before replay.
+    session->journal = open_journal_for(req.session);
+    journal_append(*session, hello_record(req.config));
+  }
+  sessions_.emplace(req.session, std::move(session));
   {
     std::lock_guard<std::mutex> mlock(metrics_mu_);
     ++metrics_.sessions_created;
   }
-  return HelloResponse{req.session, true, req.config};
+  return HelloResponse{req.session, true, req.config, epoch_};
 }
 
 Response Server::handle(const SetBaselineRequest& req) {
@@ -382,6 +764,7 @@ Response Server::handle(const SetBaselineRequest& req) {
   // New epoch: agents that re-ship a baseline re-ship every observation
   // after it, so stale watermarks must not swallow the redelivery.
   session->src_acks.clear();
+  journal_append(*session, baseline_record(req.mesh));
   return SetBaselineResponse{req.mesh.paths.size()};
 }
 
@@ -412,20 +795,19 @@ Response Server::handle(const ObserveRequest& req) {
         " pairs but the baseline covers " +
         std::to_string(session->ts.baseline().paths.size())};
   }
-  ++session->round;
   const core::ControlPlaneObs* cp =
       req.cp.has_value() ? &*req.cp : nullptr;
-  const auto out = session->ts.observe(req.mesh, cp);
-  ObserveResponse rsp{session->round, session->ts.alarmed(), std::nullopt};
-  if (out.has_value()) {
-    session->diagnosis = core::to_json(out->graph, out->result);
-    session->diagnosis_round = session->round;
-    rsp.diagnosis = session->diagnosis;
-  }
+  const auto fired = apply_observation(*session, req.mesh, cp);
+  ObserveResponse rsp{session->round, session->ts.alarmed(), fired};
   if (req.seq.has_value()) {
     session->last_seq = req.seq;
     session->last_seq_response = rsp;
   }
+  // Journaled before the response leaves the process: a crash after this
+  // point redelivers into the dedup cache, a crash before it redelivers
+  // into a round the recovered server never saw — either way applied
+  // exactly once as observed by the client.
+  journal_append(*session, obs_record(req.mesh, cp, req.seq));
   return rsp;
 }
 
@@ -459,17 +841,16 @@ Response Server::handle(const ObserveBatchRequest& req) {
             " pairs but the baseline covers " +
             std::to_string(session->ts.baseline().paths.size())};
       }
-      ++session->round;
       const core::ControlPlaneObs* cp =
           item.cp.has_value() ? &*item.cp : nullptr;
-      const auto out = session->ts.observe(item.mesh, cp);
-      if (out.has_value()) {
-        session->diagnosis = core::to_json(out->graph, out->result);
-        session->diagnosis_round = session->round;
-        rsp.diagnosis = session->diagnosis;
-      }
+      const auto fired = apply_observation(*session, item.mesh, cp);
+      if (fired.has_value()) rsp.diagnosis = fired;
       watermark = item.seq;
       ++rsp.applied;
+      // One record per applied item (not per batch): a crash mid-batch
+      // persists exactly the prefix that was applied, and the agent's
+      // redelivery of the whole batch dedups that prefix by watermark.
+      journal_append(*session, bobs_record(req.src, item.seq, item.mesh, cp));
     }
     rsp.ack = watermark;
     rsp.round = session->round;

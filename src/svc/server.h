@@ -28,6 +28,16 @@
 //     whatever remains past drain_timeout_ms.
 //   - chaos: an optional FaultPlan injects seeded faults into every
 //     response written, with counts surfaced through the stats verb.
+//   - durability: with a state directory configured, every session
+//     mutation is appended to a per-session write-ahead journal (and
+//     periodically folded into a snapshot) before the response is sent,
+//     so a restarted server recovers every session to byte-identical
+//     diagnosis state — including the per-(session, src) ack watermarks
+//     that make redelivered batches dedup with zero re-ingest. A corrupt
+//     journal is quarantined (never deleted) and that one session falls
+//     back to the protocol's amnesia path (unknown_session → re-hello →
+//     re-ship); a journal that stops accepting writes degrades the
+//     session to ephemeral rather than failing requests.
 #pragma once
 
 #include <atomic>
@@ -45,6 +55,7 @@
 
 #include "core/troubleshooter.h"
 #include "svc/fault.h"
+#include "svc/journal.h"
 #include "svc/metrics.h"
 #include "svc/protocol.h"
 #include "svc/socket.h"
@@ -78,6 +89,17 @@ class Server {
     /// Chaos: seeded faults injected into every response frame written.
     /// Disabled (all probabilities zero) in production.
     FaultPlan fault_plan;
+    /// Durability root. Empty = ephemeral server (legacy behavior).
+    /// Non-empty: sessions are journaled under <state_dir>/sessions and
+    /// recovered on start(); the recovery epoch is advertised in hello.
+    std::string state_dir;
+    /// When journal appends reach the disk (see FsyncPolicy). kBatch
+    /// survives SIGKILL; kAlways additionally survives power loss.
+    FsyncPolicy fsync = FsyncPolicy::kBatch;
+    /// Journal records between snapshots; bounds replay time on restart.
+    std::size_t snapshot_every = 256;
+    /// Journal segment rotation threshold, bytes.
+    std::uint64_t journal_segment_bytes = 4u << 20;
     /// When set, the stats verb merges this provider's document under a
     /// "campaign" key and mirrors its "quarantined" count into
     /// metrics.quarantined_trials — how a server fronting a checkpointed
@@ -138,6 +160,10 @@ class Server {
     /// Cleared by set_baseline — a new baseline starts a new epoch, and
     /// an agent that re-ships its baseline re-ships everything after it.
     std::map<std::string, std::uint64_t> src_acks;
+    /// Write-ahead journal (guarded by `mu` like the rest of the
+    /// session). Null when the server is ephemeral or this session's
+    /// journal failed and was degraded to in-memory-only.
+    std::unique_ptr<SessionJournal> journal;
 
     Session(SessionConfig cfg, core::Troubleshooter::Config resolved)
         : config(std::move(cfg)), ts(resolved) {}
@@ -162,6 +188,34 @@ class Server {
 
   [[nodiscard]] std::shared_ptr<Session> find_session(const std::string& name);
 
+  // --- durability ---------------------------------------------------------
+  /// The single mutation path both the live handlers and journal replay
+  /// go through: bumps the round, feeds the troubleshooter, updates the
+  /// diagnosis fields. Returns the diagnosis document when this round
+  /// fired one. Caller holds `s.mu`.
+  static std::optional<std::string> apply_observation(
+      Session& s, const probe::Mesh& mesh, const core::ControlPlaneObs* cp);
+  /// Appends one record to the session's journal (no-op when null) and
+  /// commits a snapshot when one is due. An append failure degrades the
+  /// session to ephemeral — requests keep working, durability stops.
+  /// Caller holds `s.mu` (or owns the session exclusively).
+  void journal_append(Session& s, const Json& payload);
+  /// The session's full state as a snapshot document covering every
+  /// journaled record up to the journal's last LSN.
+  [[nodiscard]] static Json snapshot_doc(const Session& s);
+  /// start()-time recovery: sweeps <state_dir>/sessions and rebuilds
+  /// every recoverable session; corrupt journals are quarantined and
+  /// their sessions left unregistered (amnesia). Only IO failures that
+  /// make the state dir unusable return false.
+  [[nodiscard]] bool recover_sessions(std::string* error);
+  /// Rebuilds one session from its journal; nullptr = quarantined or
+  /// unrecoverable (already handled).
+  [[nodiscard]] std::shared_ptr<Session> recover_one_session(
+      std::unique_ptr<SessionJournal> journal);
+  /// Opens the journal for a session created by a live hello.
+  [[nodiscard]] std::unique_ptr<SessionJournal> open_journal_for(
+      const std::string& session_name);
+
   /// Shared read path of the stats and metrics verbs: queries the
   /// campaign provider (outside the metrics lock — it may read a
   /// checkpoint), snapshots the counters, folds the live injector fault
@@ -173,6 +227,8 @@ class Server {
 
   Options opts_;
   Fd listener_;
+  /// Recovery epoch (0 = ephemeral server); bumped in start().
+  std::uint64_t epoch_ = 0;
   /// Monotonic birth time: uptime_seconds and the stats verb's
   /// `start_monotonic_ms` derive from the steady clock, never wall
   /// clock.

@@ -15,10 +15,18 @@ namespace netd::util {
 
 /// Sleep budget for retry `attempt` (1-based): base * 2^(attempt-1),
 /// capped at `max_ms`, then jittered to [1/2, 1] of the capped value.
+///
+/// Overflow-safe for any attempt count: the doubling runs in int64 and
+/// stops the moment the cap is reached (never more than ~31 doublings
+/// from a positive base), so `base << (attempt-1)` is never materialized
+/// — attempt = INT_MAX is as safe as attempt = 3. A non-positive cap is
+/// clamped up to the base; without that clamp a negative `ms` survived
+/// to the uint32 jitter cast and produced garbage sleeps.
 [[nodiscard]] inline int backoff_ms(int attempt, int base_ms, int max_ms,
                                     Rng& rng) {
   if (attempt < 1) attempt = 1;
   if (base_ms < 1) base_ms = 1;
+  if (max_ms < base_ms) max_ms = base_ms;
   std::int64_t ms = base_ms;
   for (int i = 1; i < attempt && ms < max_ms; ++i) ms *= 2;
   ms = std::min<std::int64_t>(ms, max_ms);

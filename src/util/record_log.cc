@@ -1,0 +1,151 @@
+#include "util/record_log.h"
+
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+
+namespace netd::util {
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = seed ^ 0xffffffffu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+namespace record_log {
+
+void put_u32(char* p, std::uint32_t v) {
+  p[0] = static_cast<char>(v & 0xff);
+  p[1] = static_cast<char>((v >> 8) & 0xff);
+  p[2] = static_cast<char>((v >> 16) & 0xff);
+  p[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+void put_u64(char* p, std::uint64_t v) {
+  put_u32(p, static_cast<std::uint32_t>(v & 0xffffffffu));
+  put_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+}
+
+std::uint64_t get_u64(const char* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+std::uint32_t record_crc(std::uint64_t seq, std::string_view payload) {
+  char seq_bytes[8];
+  put_u64(seq_bytes, seq);
+  const std::uint32_t c = crc32(seq_bytes, sizeof(seq_bytes));
+  return crc32(payload.data(), payload.size(), c);
+}
+
+std::string encode_record(std::uint64_t seq, std::string_view payload) {
+  std::string frame;
+  frame.resize(kHeaderBytes);
+  put_u32(frame.data(), kMagic);
+  put_u32(frame.data() + 4, static_cast<std::uint32_t>(payload.size()));
+  put_u64(frame.data() + 8, seq);
+  put_u32(frame.data() + 16, record_crc(seq, payload));
+  frame.append(payload);
+  return frame;
+}
+
+Scan scan(std::string_view bytes) {
+  Scan s;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    if (bytes.size() - off < kHeaderBytes) {
+      s.verdict = Scan::Verdict::kTornTail;
+      break;
+    }
+    const char* h = bytes.data() + off;
+    const std::uint32_t magic = get_u32(h);
+    const std::uint32_t len = get_u32(h + 4);
+    const std::uint64_t seq = get_u64(h + 8);
+    const std::uint32_t crc = get_u32(h + 16);
+    if (magic != kMagic || len > kMaxRecordBytes) {
+      s.verdict = Scan::Verdict::kCorrupt;
+      break;
+    }
+    if (bytes.size() - off - kHeaderBytes < len) {
+      s.verdict = Scan::Verdict::kTornTail;
+      break;
+    }
+    const std::string_view payload = bytes.substr(off + kHeaderBytes, len);
+    if (record_crc(seq, payload) != crc ||
+        (s.records > 0 && seq <= s.last_seq) || seq == 0) {
+      s.verdict = Scan::Verdict::kCorrupt;
+      break;
+    }
+    if (s.records == 0) s.first_seq = seq;
+    s.last_seq = seq;
+    ++s.records;
+    off += kHeaderBytes + len;
+    s.good_bytes = off;
+  }
+  return s;
+}
+
+void for_each(std::string_view bytes,
+              const std::function<bool(std::uint64_t, std::string_view)>& fn) {
+  std::size_t off = 0;
+  std::uint64_t prev_seq = 0;
+  std::size_t n = 0;
+  while (bytes.size() - off >= kHeaderBytes && off < bytes.size()) {
+    const char* h = bytes.data() + off;
+    const std::uint32_t magic = get_u32(h);
+    const std::uint32_t len = get_u32(h + 4);
+    const std::uint64_t seq = get_u64(h + 8);
+    const std::uint32_t crc = get_u32(h + 16);
+    if (magic != kMagic || len > kMaxRecordBytes ||
+        bytes.size() - off - kHeaderBytes < len) {
+      return;
+    }
+    const std::string_view payload = bytes.substr(off + kHeaderBytes, len);
+    if (record_crc(seq, payload) != crc || seq == 0 ||
+        (n > 0 && seq <= prev_seq)) {
+      return;
+    }
+    if (!fn(seq, payload)) return;
+    prev_seq = seq;
+    ++n;
+    off += kHeaderBytes + len;
+  }
+}
+
+bool write_all_fd(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace record_log
+}  // namespace netd::util

@@ -1,0 +1,82 @@
+// Boundary-condition companion to spool_test.cc: what happens when a
+// record's last byte lands exactly on the segment-rotation threshold.
+#include "agent/spool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/atomic_file.h"
+#include "util/record_log.h"
+
+namespace netd::agent {
+namespace {
+
+namespace rlog = util::record_log;
+
+class SpoolEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/netd_spool_edge_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    const std::string cmd = "rm -rf '" + dir_ + "'";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+  std::string dir_;
+};
+
+// A record whose frame ends exactly at max_segment_bytes: the segment is
+// full to the byte. The *next* append must rotate (not overshoot or
+// refuse), and reopening must classify the byte-exact segment as clean.
+TEST_F(SpoolEdgeTest, RecordEndingExactlyAtRotationBoundaryRotatesNext) {
+  const std::string payload(100, 'x');
+  const std::uint64_t frame = rlog::kHeaderBytes + payload.size();
+  Spool::Options opts;
+  opts.dir = dir_;
+  opts.max_segment_bytes = 3 * frame;  // three records fill it exactly
+
+  std::string error;
+  auto spool = Spool::open(opts, &error);
+  ASSERT_NE(spool, nullptr) << error;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_GT(spool->append(payload, &error), 0u) << error;
+  }
+  EXPECT_EQ(spool->segments(), 1u);
+  EXPECT_EQ(spool->bytes(), 3 * frame);  // full to the exact byte
+
+  // The boundary-crossing append opens a fresh segment.
+  ASSERT_GT(spool->append(payload, &error), 0u) << error;
+  EXPECT_EQ(spool->segments(), 2u);
+  EXPECT_EQ(spool->bytes(), 4 * frame);
+  spool.reset();
+
+  // Reopen: the byte-exact segment scans clean (no torn tail, nothing
+  // quarantined) and every record survives in order.
+  Spool::RecoveryStats stats;
+  spool = Spool::open(opts, &error, &stats);
+  ASSERT_NE(spool, nullptr) << error;
+  EXPECT_EQ(stats.segments, 2u);
+  EXPECT_EQ(stats.records, 4u);
+  EXPECT_EQ(stats.torn_tails, 0u);
+  EXPECT_EQ(stats.quarantined, 0u);
+  std::vector<std::uint64_t> seqs;
+  ASSERT_TRUE(spool->for_each(
+      0,
+      [&](std::uint64_t seq, std::string_view p) {
+        EXPECT_EQ(p, payload);
+        seqs.push_back(seq);
+        return true;
+      },
+      &error))
+      << error;
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+  ASSERT_GT(spool->append(payload, &error), 0u) << error;  // still appendable
+}
+
+}  // namespace
+}  // namespace netd::agent

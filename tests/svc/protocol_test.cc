@@ -99,6 +99,7 @@ TEST(Protocol, EveryResponseTypeRoundTripsByteIdentical) {
       ErrorResponse{"hello first", kErrUnknownSession},
       ErrorResponse{"no baseline yet", kErrNoBaseline},
       HelloResponse{"noc-1", true, cfg},
+      HelloResponse{"noc-1", false, cfg, 3},  // durable server's epoch
       SetBaselineResponse{90},
       ObserveResponse{4, true, std::string(kDiagnosisDoc)},
       ObserveResponse{2, false, std::nullopt},
@@ -113,6 +114,22 @@ TEST(Protocol, EveryResponseTypeRoundTripsByteIdentical) {
   for (const Response& rsp : responses) {
     EXPECT_EQ(reserialized(rsp), serialize(rsp));
   }
+}
+
+TEST(Protocol, EpochZeroIsOmittedFromHelloFrames) {
+  // Ephemeral servers serialize exactly the pre-durability frame, so the
+  // wire format of an undurable deployment is byte-for-byte unchanged.
+  SessionConfig cfg;
+  const std::string ephemeral = serialize(Response{HelloResponse{"s", true,
+                                                                 cfg}});
+  EXPECT_EQ(ephemeral.find("epoch"), std::string::npos) << ephemeral;
+  const std::string durable =
+      serialize(Response{HelloResponse{"s", true, cfg, 2}});
+  EXPECT_NE(durable.find("\"epoch\":2"), std::string::npos) << durable;
+  std::string error;
+  const auto parsed = parse_response(durable, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(std::get<HelloResponse>(*parsed).epoch, 2u);
 }
 
 TEST(Protocol, RequestFramesCarryVersionAndOp) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <climits>
+#include <limits>
+
 namespace netd::util {
 namespace {
 
@@ -36,6 +39,38 @@ TEST(BackoffTest, DegenerateInputsAreClamped) {
   EXPECT_GE(backoff_ms(0, 10, 1000, rng), 5);   // attempt clamped to 1
   EXPECT_GE(backoff_ms(3, 0, 1000, rng), 1);    // base clamped to 1
   EXPECT_LE(backoff_ms(30, 10, 50, rng), 50);   // no overflow past the cap
+}
+
+// Regression: attempt counts at and past the width of int must saturate
+// at the cap instead of overflowing the exponential term. The doubling
+// loop stops as soon as the cap is reached, so even attempt = INT_MAX
+// never materializes base * 2^(attempt-1) (UBSan-verified in CI).
+TEST(BackoffTest, LargeAttemptCountsSaturateWithoutOverflow) {
+  Rng rng(3);
+  for (const int attempt : {31, 32, 63, 64, 1000, INT_MAX}) {
+    const int ms = backoff_ms(attempt, 10, 1000, rng);
+    EXPECT_GE(ms, 500) << attempt;   // jitter floor: half the cap
+    EXPECT_LE(ms, 1000) << attempt;  // never past the cap
+  }
+  // A cap at the top of int's range: the schedule saturates there and the
+  // jittered draw stays inside [cap/2, cap] — still a positive int.
+  constexpr int kMax = std::numeric_limits<int>::max();
+  const int ms = backoff_ms(62, 1000, kMax, rng);
+  EXPECT_GE(ms, kMax / 2);
+  EXPECT_LE(ms, kMax);
+}
+
+// Regression: a non-positive cap used to drive a negative budget through
+// the unsigned jitter cast (garbage sleeps); it now clamps to the base.
+TEST(BackoffTest, NonPositiveCapClampsToBase) {
+  Rng rng(5);
+  for (const int cap : {0, -1, -1000}) {
+    for (const int attempt : {1, 5, 31, 64}) {
+      const int ms = backoff_ms(attempt, 10, cap, rng);
+      EXPECT_GE(ms, 5) << "cap " << cap << " attempt " << attempt;
+      EXPECT_LE(ms, 10) << "cap " << cap << " attempt " << attempt;
+    }
+  }
 }
 
 }  // namespace
