@@ -12,8 +12,12 @@
 //   netdiag submit    send one protocol request to a running daemon
 //   netdiag top       poll a daemon's `metrics` verb and render the
 //                     Prometheus samples as a live table
+//   netdiag tail      stream a daemon's structured event ring (slow
+//                     requests, sheds, dedups, quarantines, fsync stalls)
 //   netdiag replay    re-run a recorded event trace, verifying diagnoses
 //   netdiag wal       inspect a durable server's session journals
+//   netdiag trace-merge  join agent-side and server-side Chrome trace
+//                     files into one cross-process Perfetto timeline
 //   netdiag requarantine  replay watchdog-quarantined trials from a
 //                     campaign checkpoint and recover their results
 //
@@ -37,8 +41,10 @@
 #include "exp/checkpoint.h"
 #include "exp/runner.h"
 #include "lg/looking_glass.h"
+#include "obs/events.h"
 #include "obs/registry.h"
 #include "obs/span.h"
+#include "obs/trace_context.h"
 #include "plan/planner.h"
 #include "probe/prober.h"
 #include "sim/network.h"
@@ -80,10 +86,14 @@ int usage() {
       "  submit    send one protocol request to a daemon, print the reply\n"
       "  top       poll a daemon's `metrics` verb once per interval and\n"
       "            render the Prometheus samples as a table\n"
+      "  tail      stream a daemon's structured event ring: slow requests,\n"
+      "            sheds, dedups, quarantines, fsync stalls (with trace ids)\n"
       "  replay    re-run a recorded event trace (in process or through a\n"
       "            socket) and verify the diagnoses match the recording\n"
       "  wal       inspect a durable server's session journals: record\n"
       "            counts, LSN ranges, watermarks, corruption (if any)\n"
+      "  trace-merge  merge per-process Chrome trace files (agents +\n"
+      "            server) into one cross-process Perfetto timeline\n"
       "  requarantine  replay the trials a campaign's watchdog quarantined\n"
       "            (from a --checkpoint file) and recover their results\n";
   return 2;
@@ -368,7 +378,7 @@ int cmd_plan(util::Flags& flags) {
     std::cout << "random baseline (" << compare
               << " draws): objective=" << random_objective << "\n";
   }
-  util::Table sensors({"sensor", "router", "AS", "gain"});
+  util::Table sensors({"sensor @ router", "AS", "gain"});
   sensors.set_precision(0);
   for (std::size_t i = 0; i < result.sensors.size(); ++i) {
     const auto& s = result.sensors[i];
@@ -782,7 +792,7 @@ int cmd_serve(util::Flags& flags) {
   flags.allow({"listen", "threads", "idle-timeout-ms", "max-pending",
                "max-sessions", "drain-timeout-ms", "retry-after-ms",
                "chaos-seed", "campaign-checkpoint", "state-dir", "fsync",
-               "snapshot-every", "help"});
+               "snapshot-every", "slow-request-ms", "trace-out", "help"});
   if (!flags.ok() || flags.get_bool("help")) {
     std::cerr << "netdiag serve [--listen unix:PATH|HOST:PORT|:PORT]"
                  " [--threads N]\n"
@@ -792,6 +802,7 @@ int cmd_serve(util::Flags& flags) {
                  " [--chaos-seed S]\n"
                  "              [--campaign-checkpoint FILE] [--state-dir DIR]\n"
                  "              [--fsync always|batch] [--snapshot-every N]\n"
+                 "              [--slow-request-ms MS] [--trace-out FILE]\n"
                  "runs until a client sends the shutdown op; --idle-timeout-ms 0"
                  " disables the\nper-connection frame deadline, --chaos-seed"
                  " arms seeded fault injection on\nevery response (testing"
@@ -800,7 +811,11 @@ int cmd_serve(util::Flags& flags) {
                  " trials) through the\nstats verb; --state-dir makes sessions"
                  " durable (write-ahead journal +\nsnapshots, recovered on"
                  " restart); --fsync batch (default) survives SIGKILL,\n"
-                 "always additionally survives power loss\n";
+                 "always additionally survives power loss; --slow-request-ms"
+                 " logs requests\nover the threshold to the event ring"
+                 " (`netdiag tail`); --trace-out writes\nthe server-side"
+                 " request spans as a Chrome trace on shutdown (merge with\n"
+                 "agent files via `netdiag trace-merge`)\n";
     for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
     return flags.ok() ? 0 : 2;
   }
@@ -833,6 +848,7 @@ int cmd_serve(util::Flags& flags) {
   }
   opts.fsync = *policy;
   opts.snapshot_every = flags.get_uint("snapshot-every", 256);
+  opts.slow_request_ms = flags.get_int("slow-request-ms", 0);
   if (const std::string f = flags.get("campaign-checkpoint"); !f.empty()) {
     // The checkpoint is replaced atomically by the campaign process
     // (rename(2)), so reading it on every stats request always sees one
@@ -855,6 +871,8 @@ int cmd_serve(util::Flags& flags) {
       return j;
     };
   }
+  const std::string trace_out = flags.get("trace-out");
+  if (!trace_out.empty()) obs::TraceSink::install();
   svc::Server server(std::move(opts));
   if (!server.start(&error)) {
     std::cerr << "netdiag: " << error << "\n";
@@ -864,6 +882,15 @@ int cmd_serve(util::Flags& flags) {
             << "\n" << std::flush;
   server.wait();
   server.stop();
+  if (!trace_out.empty()) {
+    if (obs::TraceSink::write_chrome_trace(trace_out, &error)) {
+      std::cout << "wrote " << trace_out << " ("
+                << obs::TraceSink::snapshot().size() << " spans)\n";
+    } else {
+      std::cerr << "netdiag: " << error << "\n";
+    }
+    obs::TraceSink::uninstall();
+  }
   std::cout << "netdiag: server stopped\n";
   return 0;
 }
@@ -947,14 +974,19 @@ struct PromSample {
 
 /// Minimal Prometheus text-format reader for `netdiag top`: keeps every
 /// sample line (skipping # HELP/# TYPE comments and blanks), splitting at
-/// the final space. Unparsable lines are dropped rather than fatal — top
-/// is a viewer, not a validator.
+/// the final space. OpenMetrics-style exemplar suffixes (` # {...} 1`)
+/// are stripped first so the parsed value is the series value, not the
+/// exemplar's. Unparsable lines are dropped rather than fatal — top is a
+/// viewer, not a validator.
 std::vector<PromSample> parse_prometheus(const std::string& text) {
   std::vector<PromSample> out;
   std::istringstream is(text);
   std::string line;
   while (std::getline(is, line)) {
     if (line.empty() || line[0] == '#') continue;
+    if (const auto ex = line.find(" # {"); ex != std::string::npos) {
+      line.resize(ex);
+    }
     const auto sp = line.rfind(' ');
     if (sp == std::string::npos || sp + 1 >= line.size()) continue;
     const char* begin = line.c_str() + sp + 1;
@@ -1010,17 +1042,180 @@ int cmd_top(util::Flags& flags) {
                 << "\n";
       return 1;
     }
+    const auto samples = parse_prometheus(m->text);
+    // Durability at a glance: the journal/fsync counters as one header
+    // line, so an operator sees WAL pressure without scrolling the table.
+    const auto value_of = [&samples](const std::string& series) {
+      for (const auto& s : samples) {
+        if (s.series == series) return s.value;
+      }
+      return 0.0;
+    };
     util::Table t({"metric", "value"});
-    for (const auto& s : parse_prometheus(m->text)) {
+    for (const auto& s : samples) {
       if (!filter.empty() && s.series.find(filter) == std::string::npos) {
         continue;
       }
       t.add_row(s.series, {s.value});
     }
-    std::cout << "--- poll " << (i + 1) << " ---\n";
+    std::cout << "--- poll " << (i + 1) << " ---\n"
+              << "journal: appends="
+              << value_of("netd_svc_journal_appends_total")
+              << " fsyncs=" << value_of("netd_svc_journal_fsyncs_total")
+              << " snapshots=" << value_of("netd_svc_journal_snapshots_total")
+              << " torn=" << value_of("netd_svc_journal_torn_tails_total")
+              << " quarantined="
+              << value_of("netd_svc_journal_quarantined_segments_total")
+              << "\n";
     t.print(std::cout);
     std::cout.flush();
   }
+  return 0;
+}
+
+/// Live view of the server's structured event ring, via the `events`
+/// wire verb: cursor-resumed polling, so a long-running tail never
+/// re-prints an event and a restarted tail can resume where it stopped.
+int cmd_tail(util::Flags& flags) {
+  flags.allow({"connect", "interval-ms", "cursor", "cap", "once", "retries",
+               "connect-timeout-ms", "request-timeout-ms", "help"});
+  if (!flags.ok() || flags.get_bool("help")) {
+    std::cerr
+        << "netdiag tail [--connect ADDR] [--interval-ms MS] [--once]\n"
+           "             [--cursor N] [--cap N] [--retries N]\n"
+           "             [--connect-timeout-ms MS] [--request-timeout-ms MS]\n"
+           "streams the daemon's structured event ring: slow requests,\n"
+           "sheds, dedups, journal quarantines and fsync stalls, each\n"
+           "tagged with its trace id; --once drains the ring one time and\n"
+           "exits (for scripts), otherwise polls per interval (default\n"
+           "1000 ms) from --cursor (default 0 = oldest retained)\n";
+    for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
+    return flags.ok() ? 0 : 2;
+  }
+  std::string error;
+  const auto ep = svc::Endpoint::parse(flags.get("connect", ":7433"), &error);
+  if (!ep) {
+    std::cerr << "netdiag: " << error << "\n";
+    return 2;
+  }
+  auto client = svc::Client::connect(*ep, client_options(flags), &error);
+  if (!client) {
+    std::cerr << "netdiag: " << error << "\n";
+    return 1;
+  }
+  std::uint64_t cursor = flags.get_uint("cursor", 0);
+  const std::uint64_t cap = flags.get_uint("cap", 0);
+  const std::uint64_t interval_ms = flags.get_uint("interval-ms", 1000);
+  const bool once = flags.get_bool("once");
+  for (;;) {
+    const auto rsp =
+        client->call(svc::Request{svc::EventsRequest{cursor, cap}}, &error);
+    if (!rsp) {
+      std::cerr << "netdiag: " << error << "\n";
+      return 1;
+    }
+    const auto* ev = std::get_if<svc::EventsResponse>(&*rsp);
+    if (ev == nullptr) {
+      std::cerr << "netdiag: unexpected response: " << svc::serialize(*rsp)
+                << "\n";
+      return 1;
+    }
+    for (const auto& e : ev->events) {
+      std::cout << e.seq << " +" << e.t_ms << "ms "
+                << obs::event_kind_name(e.kind) << " " << e.detail;
+      if (e.trace_id != 0) {
+        std::cout << " trace=" << obs::format_trace_id(e.trace_id);
+      }
+      if (e.dur_us != 0) std::cout << " dur_us=" << e.dur_us;
+      std::cout << "\n";
+    }
+    std::cout.flush();
+    cursor = ev->next_cursor;
+    if (once) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return 0;
+}
+
+/// Merges per-process Chrome trace files into one timeline: each input
+/// file becomes its own Perfetto process (pid = its position on the
+/// command line, process_name = the file), while the seed-derived span
+/// and trace ids pass through untouched — they are the cross-process
+/// join key the agent and server both stamped, so one observation's
+/// spool/ship spans line up under the server's rx_*/journal/solve spans.
+int cmd_trace_merge(util::Flags& flags) {
+  flags.allow({"out", "help"});
+  const bool bad_args = flags.positional().empty();
+  if (!flags.ok() || flags.get_bool("help") || bad_args) {
+    std::cerr
+        << "netdiag trace-merge FILE... [--out FILE]\n"
+           "merges the Chrome trace files written by `netdiag serve\n"
+           "--trace-out` and `netdiag-agent --trace-out` into one file that\n"
+           "Perfetto (or chrome://tracing) renders as a cross-process\n"
+           "timeline: one pid per input file, trace ids preserved; the\n"
+           "merged JSON goes to --out FILE, or stdout when omitted\n";
+    for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
+    return flags.ok() && !bad_args ? 0 : 2;
+  }
+  svc::Json merged = svc::Json::array();
+  for (std::size_t i = 0; i < flags.positional().size(); ++i) {
+    const std::string& file = flags.positional()[i];
+    std::string error;
+    const auto bytes = util::read_file(file, &error);
+    if (!bytes) {
+      std::cerr << "netdiag: " << file << ": " << error << "\n";
+      return 1;
+    }
+    const auto doc = svc::Json::parse(*bytes, &error);
+    if (!doc || !doc->is_array()) {
+      std::cerr << "netdiag: " << file << ": "
+                << (doc ? "not a trace event array" : error) << "\n";
+      return 1;
+    }
+    const svc::Json pid = svc::Json::uinteger(i + 1);
+    svc::Json meta = svc::Json::object();
+    meta.set("ph", svc::Json::string("M"));
+    meta.set("pid", pid);
+    meta.set("tid", svc::Json::uinteger(0));
+    meta.set("name", svc::Json::string("process_name"));
+    svc::Json margs = svc::Json::object();
+    margs.set("name", svc::Json::string(file));
+    meta.set("args", std::move(margs));
+    merged.push_back(std::move(meta));
+    for (std::size_t k = 0; k < doc->size(); ++k) {
+      const svc::Json& src = (*doc)[k];
+      if (!src.is_object()) continue;
+      svc::Json ev = svc::Json::object();
+      bool had_pid = false;
+      for (const auto& [key, v] : src.members()) {
+        if (key == "pid") {
+          ev.set(key, pid);
+          had_pid = true;
+        } else {
+          ev.set(key, v);
+        }
+      }
+      if (!had_pid) ev.set("pid", pid);
+      merged.push_back(std::move(ev));
+    }
+  }
+  std::string out = "[\n";
+  for (std::size_t k = 0; k < merged.size(); ++k) {
+    if (k > 0) out += ",\n";
+    out += merged[k].dump();
+  }
+  out += "\n]\n";
+  if (const std::string f = flags.get("out"); !f.empty()) {
+    std::string error;
+    if (!util::atomic_write_file(f, out, &error)) {
+      std::cerr << "netdiag: " << error << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << f << " (" << merged.size() << " events, "
+              << flags.positional().size() << " processes)\n";
+    return 0;
+  }
+  std::cout << out;
   return 0;
 }
 
@@ -1369,8 +1564,10 @@ int main(int argc, char** argv) {
   if (cmd == "serve") return cmd_serve(flags);
   if (cmd == "submit") return cmd_submit(flags);
   if (cmd == "top") return cmd_top(flags);
+  if (cmd == "tail") return cmd_tail(flags);
   if (cmd == "replay") return cmd_replay(flags);
   if (cmd == "wal") return cmd_wal(flags);
+  if (cmd == "trace-merge") return cmd_trace_merge(flags);
   if (cmd == "requarantine") return cmd_requarantine(flags);
   return usage();
 }

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "agent/agent.h"
+#include "obs/span.h"
 #include "svc/fault.h"
 #include "svc/json.h"
 #include "util/flags.h"
@@ -34,6 +35,9 @@ int usage(const util::Flags& flags) {
       "            [--backoff-max-ms MS] [--seed S] [--chaos-seed S]\n"
       "  spool:    [--spool-segment-bytes N] [--spool-budget-bytes N]\n"
       "            [--fsync-each] [--no-retain-acked] [--generate-only]\n"
+      "  tracing:  [--trace-out FILE]  write the agent-side spans (spool,\n"
+      "            ship) as a Chrome trace; merge with the server's file\n"
+      "            via `netdiag trace-merge`\n"
       "exit codes: 0 all rounds acked; 1 error; 3 server unreachable\n"
       "(spool intact, re-run to resume)\n";
   for (const auto& e : flags.errors()) std::cerr << "  " << e << "\n";
@@ -51,7 +55,7 @@ int main(int argc, char** argv) {
                "max-retries", "connect-timeout-ms", "request-timeout-ms",
                "backoff-base-ms", "backoff-max-ms", "seed", "chaos-seed",
                "spool-segment-bytes", "spool-budget-bytes", "fsync-each",
-               "no-retain-acked", "generate-only", "help"});
+               "no-retain-acked", "generate-only", "trace-out", "help"});
   if (!flags.ok() || flags.get_bool("help")) return usage(flags);
 
   agent::AgentConfig cfg;
@@ -102,11 +106,21 @@ int main(int argc, char** argv) {
     return usage(flags);
   }
 
+  const std::string trace_out = flags.get("trace-out");
+  if (!trace_out.empty()) obs::TraceSink::install();
+
   agent::Agent a(std::move(cfg));
   std::string error;
   const int rc = a.run(&error);
   if (rc != agent::Agent::kExitOk) {
     std::cerr << "netdiag-agent: " << error << "\n";
+  }
+  if (!trace_out.empty()) {
+    std::string terror;
+    if (!obs::TraceSink::write_chrome_trace(trace_out, &terror)) {
+      std::cerr << "netdiag-agent: " << terror << "\n";
+    }
+    obs::TraceSink::uninstall();
   }
 
   // One machine-readable summary line on stdout; the chaos harness and

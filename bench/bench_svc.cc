@@ -19,6 +19,8 @@
 #include <unistd.h>
 
 #include "common.h"
+#include "obs/events.h"
+#include "obs/span.h"
 #include "svc/client.h"
 #include "svc/journal.h"
 #include "svc/json.h"
@@ -66,6 +68,19 @@ void perf(const std::string& bench, double wall_ms, std::size_t threads,
 
 int main() {
   bench::banner("Service layer: trace codec and replay, in-process vs socket");
+
+  // ND_BENCH_TRACE=1 arms the full observability path: the span sink
+  // records every server-side span and --slow-request-ms 1 pushes nearly
+  // every request into the event ring. The obs overhead gate runs the
+  // bench this way on the NETD_OBS=ON tree so the ON-vs-OFF comparison
+  // prices the instrumented hot path, not just dormant counters.
+  const char* trace_env = std::getenv("ND_BENCH_TRACE");
+  const bool trace_on = trace_env != nullptr && *trace_env == '1';
+  if (trace_on) {
+    obs::TraceSink::install();
+    std::cout << "  tracing: span sink + event ring armed"
+                 " (ND_BENCH_TRACE=1)\n";
+  }
 
   auto cfg = bench::scaled_config(9100);
   cfg.num_link_failures = 1;
@@ -135,6 +150,7 @@ int main() {
   opts.endpoint.kind = svc::Endpoint::Kind::kUnix;
   opts.endpoint.path = sock_path;
   opts.num_threads = 2;
+  if (trace_on) opts.slow_request_ms = 1;
   svc::Server server(opts);
   if (!server.start(&error)) {
     std::cerr << "server start failed: " << error << "\n";
@@ -169,6 +185,7 @@ int main() {
   ropts.num_threads = 2;
   ropts.idle_timeout_ms = 30000;
   ropts.max_pending = 64;
+  if (trace_on) ropts.slow_request_ms = 1;
   svc::Server resilient(ropts);
   if (!resilient.start(&error)) {
     std::cerr << "server start failed: " << error << "\n";
@@ -213,6 +230,7 @@ int main() {
     dopts.num_threads = 2;
     dopts.state_dir = state_dir;
     dopts.fsync = policy;
+    if (trace_on) dopts.slow_request_ms = 1;
     svc::Server durable(dopts);
     if (!durable.start(&error)) {
       std::cerr << "durable server start failed: " << error << "\n";
@@ -242,6 +260,13 @@ int main() {
     if (std::system(cleanup.c_str()) != 0) {
       std::cerr << "state-dir cleanup failed\n";
     }
+  }
+
+  if (trace_on) {
+    std::cout << "  tracing: " << obs::TraceSink::snapshot().size()
+              << " spans recorded, "
+              << obs::EventRing::total_recorded() << " ring events\n";
+    obs::TraceSink::uninstall();
   }
 
   std::cout << "\nExpected: socket replay tracks in-process replay within a"

@@ -7,8 +7,11 @@
 # Builds two Release trees, runs each bench ND_GATE_RUNS (default 3)
 # times per tree, and compares the *minimum* wall_ms per bench record —
 # min is the stable estimator on noisy CI boxes. Benches run with the
-# metrics registry live but no trace sink installed, i.e. the steady
-# -state cost every user pays, not the opt-in tracing cost.
+# full observability path armed: ND_BENCH_TRACE=1 makes bench_svc install
+# the span sink and drive the event ring (slow-request threshold 1 ms),
+# so the gate prices distributed tracing on the hot path, not just
+# dormant counters. The OFF tree compiles all of it out, making the
+# comparison the true cost of shipping the instrumentation enabled.
 #
 # Usage: obs_overhead_gate.sh [source-dir] [workdir]
 set -eu
@@ -35,7 +38,7 @@ run_benches() { # <dir> <perf.jsonl>
   while [ "$i" -lt "$RUNS" ]; do
     for b in $BENCHES; do
       ND_PLACEMENTS=2 ND_TRIALS=8 ND_THREADS=2 ND_PERF_JSON="$2" \
-        "$1/bench/$b" >/dev/null
+        ND_BENCH_TRACE=1 "$1/bench/$b" >/dev/null
     done
     i=$((i + 1))
   done

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "obs/registry.h"
+#include "obs/span.h"
+#include "obs/trace_context.h"
 #include "probe/sensors.h"
 #include "probe/synthetic.h"
 #include "svc/json.h"
@@ -124,6 +126,20 @@ World build_world(const AgentConfig& cfg) {
   return w;
 }
 
+/// Seed of this agent's per-round trace roots. Derived from (client
+/// seed, agent name) so every incarnation of the same agent config —
+/// including one restarted after a crash — re-derives the *same* trace
+/// id for a given round: a redelivered item joins the trace the
+/// original measurement started.
+std::uint64_t trace_seed(const AgentConfig& cfg) {
+  return obs::ids::combine(cfg.client.seed, obs::ids::fnv1a(cfg.name.c_str()));
+}
+
+/// The round's trace root as a span parent (lane 0).
+obs::SpanContext trace_parent(const obs::TraceContext& tc) {
+  return obs::SpanContext{tc.trace_id, tc.span_id, 0};
+}
+
 std::string round_payload(std::size_t round, const probe::Mesh& mesh) {
   svc::Json j = svc::Json::object();
   j.set("round", svc::Json::uinteger(round));
@@ -180,6 +196,11 @@ bool Agent::generate(Spool& spool, std::string* error) {
       w.topology.set_link_up(w.victim, false);
     }
     if (r <= done) continue;
+    // The round's trace starts here: measure + spool-append under the
+    // same deterministic root its batch item (and the server's rx_*
+    // spans) will carry.
+    const obs::TraceContext tc = obs::TraceContext::root(trace_seed(cfg_), r);
+    obs::Span span("spool", trace_parent(tc), r);
     const probe::Mesh mesh = prober.measure();
     counters.rounds.inc();
     const std::uint64_t seq = spool.append(round_payload(r, mesh), error);
@@ -256,7 +277,10 @@ bool Agent::ship(Spool& spool, std::string* error, bool* fatal) {
     if (need_hello) {
       std::string herror;
       auto rsp = client->call(
-          svc::Request{svc::HelloRequest{cfg_.session, scfg}}, &herror);
+          svc::Request{svc::HelloRequest{
+              cfg_.session, scfg,
+              obs::TraceContext::root(trace_seed(cfg_), 0)}},
+          &herror);
       if (!rsp.has_value()) {
         if (transport_failed(herror)) return false;
         continue;
@@ -279,7 +303,9 @@ bool Agent::ship(Spool& spool, std::string* error, bool* fatal) {
         return false;
       }
       auto rsp = client->call(
-          svc::Request{svc::SetBaselineRequest{cfg_.session, *mesh}},
+          svc::Request{svc::SetBaselineRequest{
+              cfg_.session, *mesh,
+              obs::TraceContext::root(trace_seed(cfg_), 0)}},
           &berror);
       if (!rsp.has_value()) {
         if (transport_failed(berror)) return false;
@@ -313,8 +339,9 @@ bool Agent::ship(Spool& spool, std::string* error, bool* fatal) {
               parse_failed = true;
               return false;
             }
-            req.items.push_back(
-                svc::ObserveItem{seq, std::move(*mesh), std::nullopt});
+            req.items.push_back(svc::ObserveItem{
+                seq, std::move(*mesh), std::nullopt,
+                obs::TraceContext::root(trace_seed(cfg_), seq)});
             return req.items.size() < cfg_.batch_max_items;
           },
           &serror);
@@ -330,7 +357,17 @@ bool Agent::ship(Spool& spool, std::string* error, bool* fatal) {
       }
     }
     std::string xerror;
-    auto rsp = client->call(svc::Request{req}, &xerror);
+    std::optional<svc::Response> rsp;
+    if (!req.items.empty() && req.items.front().trace.has_value()) {
+      // The ship span joins the first item's trace, so one trace id links
+      // spool → ship on the agent to rx_* → journal → solve on the server.
+      req.trace = req.items.front().trace;
+      obs::Span ship_span("ship", trace_parent(*req.trace),
+                          req.items.front().seq);
+      rsp = client->call(svc::Request{req}, &xerror);
+    } else {
+      rsp = client->call(svc::Request{req}, &xerror);
+    }
     if (!rsp.has_value()) {
       if (transport_failed(xerror)) return false;
       continue;

@@ -1,0 +1,142 @@
+#include "obs/events.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+namespace netd::obs {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSlowRequest:
+      return "slow_request";
+    case EventKind::kShed:
+      return "shed";
+    case EventKind::kDedup:
+      return "dedup";
+    case EventKind::kQuarantine:
+      return "quarantine";
+    case EventKind::kFsyncStall:
+      return "fsync_stall";
+  }
+  return "unknown";
+}
+
+bool parse_event_kind(const std::string& name, EventKind* out) {
+  static constexpr EventKind kAll[] = {
+      EventKind::kSlowRequest, EventKind::kShed, EventKind::kDedup,
+      EventKind::kQuarantine, EventKind::kFsyncStall};
+  for (EventKind k : kAll) {
+    if (name == event_kind_name(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+constexpr std::size_t kShards = 8;
+constexpr std::size_t kPerShard = EventRing::kCapacity / kShards;
+
+struct Shard {
+  std::mutex mu;
+  std::vector<Event> ring;  // circular, sized lazily to kPerShard
+  std::uint64_t written = 0;
+};
+
+struct RingState {
+  std::atomic<std::uint64_t> next_seq{1};
+  std::atomic<bool> epoch_set{false};
+  std::mutex epoch_mu;
+  std::chrono::steady_clock::time_point epoch;
+  Shard shards[kShards];
+};
+
+RingState& ring_state() {
+  static RingState* s = new RingState();  // leaked: outlives everything
+  return *s;
+}
+
+std::uint64_t ms_since_epoch() {
+  RingState& s = ring_state();
+  if (!s.epoch_set.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(s.epoch_mu);
+    if (!s.epoch_set.load(std::memory_order_relaxed)) {
+      s.epoch = std::chrono::steady_clock::now();
+      s.epoch_set.store(true, std::memory_order_release);
+    }
+  }
+  const auto dt = std::chrono::steady_clock::now() - s.epoch;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(dt).count());
+}
+
+}  // namespace
+
+#ifndef NETD_OBS_DISABLED
+void EventRing::record(EventKind kind, std::string detail,
+                       std::uint64_t trace_id, std::uint64_t dur_us) {
+  RingState& s = ring_state();
+  Event ev;
+  ev.t_ms = ms_since_epoch();
+  ev.seq = s.next_seq.fetch_add(1, std::memory_order_relaxed);
+  ev.kind = kind;
+  ev.detail = std::move(detail);
+  ev.trace_id = trace_id;
+  ev.dur_us = dur_us;
+  Shard& shard = s.shards[ev.seq % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.ring.size() < kPerShard) {
+    shard.ring.push_back(std::move(ev));
+  } else {
+    shard.ring[shard.written % kPerShard] = std::move(ev);
+  }
+  ++shard.written;
+}
+#endif
+
+std::vector<Event> EventRing::since(std::uint64_t cursor, std::size_t cap,
+                                    std::uint64_t* next_cursor) {
+  RingState& s = ring_state();
+  std::vector<Event> out;
+  std::uint64_t newest = cursor;
+  for (Shard& shard : s.shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const Event& ev : shard.ring) {
+      if (ev.seq > newest) newest = ev.seq;
+      if (ev.seq > cursor) out.push_back(ev);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  if (cap != 0 && out.size() > cap) out.resize(cap);
+  if (next_cursor != nullptr) {
+    *next_cursor = out.empty() ? newest : out.back().seq;
+  }
+  return out;
+}
+
+std::uint64_t EventRing::total_recorded() {
+  RingState& s = ring_state();
+  std::uint64_t total = 0;
+  for (Shard& shard : s.shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.written;
+  }
+  return total;
+}
+
+void EventRing::reset_for_test() {
+  RingState& s = ring_state();
+  for (Shard& shard : s.shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.ring.clear();
+    shard.written = 0;
+  }
+  s.next_seq.store(1, std::memory_order_relaxed);
+}
+
+}  // namespace netd::obs

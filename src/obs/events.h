@@ -1,0 +1,80 @@
+// Structured event ring: a bounded, process-global, lock-sharded buffer
+// of "something notable happened" records — slow requests, load sheds,
+// duplicate deliveries, journal quarantines, fsync stalls — each tagged
+// with the trace id of the frame that triggered it, so `netdiag tail`
+// can answer "what is the fleet doing right now" and a slow request can
+// be joined to its Perfetto timeline by id.
+//
+// Design: one global monotone sequence number; the shard is picked by
+// seq so writers on different threads rarely contend on the same mutex.
+// Each shard is a fixed circular buffer — the ring is bounded by
+// construction, old events are overwritten, nothing allocates on the
+// record path beyond the detail string move. Readers (`events` wire
+// verb) merge the shards, filter by cursor and cap the result; a cursor
+// of 0 reads from the oldest retained event.
+//
+// With NETD_OBS=OFF the record path compiles out (EventRing::record is
+// an inline no-op); drain/reset keep working and report an empty ring,
+// so the `events` verb and `netdiag tail` stay wire-compatible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netd::obs {
+
+enum class EventKind : std::uint8_t {
+  kSlowRequest = 0,
+  kShed = 1,
+  kDedup = 2,
+  kQuarantine = 3,
+  kFsyncStall = 4,
+};
+
+/// Stable lowercase wire name ("slow_request", "shed", ...).
+[[nodiscard]] const char* event_kind_name(EventKind kind);
+
+/// Inverse of event_kind_name; false on unknown names.
+[[nodiscard]] bool parse_event_kind(const std::string& name, EventKind* out);
+
+struct Event {
+  std::uint64_t seq = 0;   ///< global order; strictly increasing
+  std::uint64_t t_ms = 0;  ///< milliseconds since the ring's first use
+  EventKind kind = EventKind::kSlowRequest;
+  std::string detail;            ///< op/session/segment — short, identifier-ish
+  std::uint64_t trace_id = 0;    ///< 0 = no trace attached
+  std::uint64_t dur_us = 0;      ///< request latency / stall length; 0 = n/a
+};
+
+class EventRing {
+ public:
+  /// Total retained capacity (shards * per-shard ring).
+  static constexpr std::size_t kCapacity = 4096;
+
+  /// Records one event. Thread-safe, bounded, never blocks on readers of
+  /// other shards. Compiled out under NETD_OBS=OFF.
+#ifndef NETD_OBS_DISABLED
+  static void record(EventKind kind, std::string detail,
+                     std::uint64_t trace_id = 0, std::uint64_t dur_us = 0);
+#else
+  static void record(EventKind, std::string, std::uint64_t = 0,
+                     std::uint64_t = 0) {}
+#endif
+
+  /// Events with seq > cursor, oldest first, at most `cap` (0 = a server
+  /// -chosen default). `*next_cursor` is the last returned seq, or the
+  /// newest retained seq when nothing qualified (so a tailing client
+  /// can skip a gap it slept through).
+  [[nodiscard]] static std::vector<Event> since(std::uint64_t cursor,
+                                                std::size_t cap,
+                                                std::uint64_t* next_cursor);
+
+  /// Sum of events ever recorded (including overwritten ones).
+  [[nodiscard]] static std::uint64_t total_recorded();
+
+  /// Drops every retained event and rewinds the sequence. Test-only.
+  static void reset_for_test();
+};
+
+}  // namespace netd::obs

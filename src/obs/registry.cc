@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <limits>
 
+#include "obs/trace_context.h"
+
 namespace netd::obs {
 
 namespace {
@@ -275,6 +277,11 @@ std::string render_prometheus(const std::vector<Sample>& samples) {
       out += render_labels(s.labels);
       out += " ";
       out += format_value(s.value);
+      if (s.exemplar_trace_id != 0) {
+        out += " # {trace_id=\"";
+        out += format_trace_id(s.exemplar_trace_id);
+        out += "\"} 1";
+      }
       out += "\n";
     }
   }

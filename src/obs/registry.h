@@ -126,6 +126,12 @@ struct Sample {
   std::vector<std::pair<std::string, std::string>> labels;
   double value = 0.0;             ///< counters and gauges
   util::Histogram hist;           ///< histograms (value unused)
+  /// Nonzero => the sample line carries an OpenMetrics-style exemplar
+  /// (` # {trace_id="0x..."} 1`) linking the series to one concrete
+  /// trace. Counters/gauges only; the numeric value stays the last
+  /// space-separated token, so plain Prometheus line parsers keep
+  /// working if they strip everything from " # " on.
+  std::uint64_t exemplar_trace_id = 0;
 };
 
 /// Name + labels registry. register-once, mutate-forever: repeated calls

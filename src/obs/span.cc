@@ -6,39 +6,15 @@
 #include <cstdio>
 #include <mutex>
 
+#include "obs/trace_context.h"
 #include "util/atomic_file.h"
 
 namespace netd::obs {
 
 namespace {
 
-/// splitmix64 finalizer: the bijective mixer behind the deterministic ID
-/// scheme. Good avalanche, zero state.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9E3779B97F4A7C15ull;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  return x ^ (x >> 31);
-}
-
-std::uint64_t combine(std::uint64_t a, std::uint64_t b) {
-  return mix64(a ^ mix64(b));
-}
-
-std::uint64_t fnv1a(const char* s) {
-  std::uint64_t h = 0xCBF29CE484222325ull;
-  for (; *s != '\0'; ++s) {
-    h ^= static_cast<unsigned char>(*s);
-    h *= 0x100000001B3ull;
-  }
-  return h;
-}
-
-std::uint64_t derive_child_id(std::uint64_t parent_id, const char* name,
-                              std::uint64_t salt) {
-  std::uint64_t id = combine(parent_id, fnv1a(name) ^ salt);
-  return id == 0 ? 1 : id;  // 0 is the "not recording" sentinel
-}
+// The ID derivation lives in obs/trace_context.{h,cc} so the wire layer
+// shares it; span.cc is just a consumer.
 
 struct SinkState {
   std::mutex mu;
@@ -66,12 +42,7 @@ double now_us() {
 
 thread_local std::vector<Span::Frame*> tls_stack;
 
-std::string hex_id(std::uint64_t id) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "0x%016llx",
-                static_cast<unsigned long long>(id));
-  return buf;
-}
+std::string hex_id(std::uint64_t id) { return format_trace_id(id); }
 
 }  // namespace
 
@@ -171,10 +142,10 @@ bool TraceSink::write_chrome_trace(const std::string& path,
 
 SpanContext Span::root_context(std::uint64_t seed, std::uint64_t index,
                                std::uint32_t lane) {
+  const TraceContext root = TraceContext::root(seed, index);
   SpanContext ctx;
-  ctx.trace_id = combine(seed, index + 1);
-  if (ctx.trace_id == 0) ctx.trace_id = 1;
-  ctx.span_id = ctx.trace_id;
+  ctx.trace_id = root.trace_id;
+  ctx.span_id = root.span_id;
   ctx.lane = lane;
   return ctx;
 }
@@ -191,7 +162,7 @@ void Span::open(const char* name, const SpanContext& parent,
   name_ = name;
   parent_id_ = parent.span_id;
   frame_.ctx.trace_id = parent.trace_id;
-  frame_.ctx.span_id = derive_child_id(parent.span_id, name, salt);
+  frame_.ctx.span_id = ids::derive_child(parent.span_id, name, salt);
   frame_.ctx.lane =
       lane_override >= 0 ? static_cast<std::uint32_t>(lane_override)
                          : parent.lane;

@@ -1,0 +1,86 @@
+#include "obs/trace_context.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace netd::obs {
+
+namespace ids {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t combine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ mix64(b));
+}
+
+std::uint64_t fnv1a(const char* s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::uint64_t derive_child(std::uint64_t parent_id, const char* name,
+                           std::uint64_t salt) {
+  std::uint64_t id = combine(parent_id, fnv1a(name) ^ salt);
+  return id == 0 ? 1 : id;  // 0 is the "not recording" sentinel
+}
+
+}  // namespace ids
+
+TraceContext TraceContext::root(std::uint64_t seed, std::uint64_t index) {
+  TraceContext ctx;
+  ctx.trace_id = ids::combine(seed, index + 1);
+  if (ctx.trace_id == 0) ctx.trace_id = 1;
+  ctx.span_id = ctx.trace_id;
+  return ctx;
+}
+
+TraceContext TraceContext::child(const char* name, std::uint64_t salt) const {
+  TraceContext ctx;
+  ctx.trace_id = trace_id;
+  ctx.span_id = ids::derive_child(span_id, name, salt);
+  return ctx;
+}
+
+std::string format_trace_id(std::uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+bool parse_trace_id(const std::string& text, std::uint64_t* out) {
+  std::size_t i = 0;
+  if (text.size() >= 2 && text[0] == '0' &&
+      (text[1] == 'x' || text[1] == 'X')) {
+    i = 2;
+  }
+  if (i == text.size() || text.size() - i > 16) return false;
+  std::uint64_t v = 0;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+    v = (v << 4) | digit;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace netd::obs

@@ -1,0 +1,75 @@
+// Cross-process trace identity: the (trace_id, span_id) pair that rides
+// the wire between netdiag-agent, the service and the solver.
+//
+// This is the public face of the deterministic ID scheme the spans in
+// span.h have always used internally: trace roots are pure functions of
+// (seed, index) and children are pure functions of (parent, name-hash,
+// salt), so an agent can stamp an observation's trace id at measurement
+// time, crash, replay it from the spool and re-derive the *same* id —
+// redelivered frames join the same trace instead of forking a new one.
+//
+// The `ids` namespace exposes the raw mixers so span.cc and any future
+// id consumer share one implementation; changing these constants changes
+// every pinned trace golden, so don't.
+//
+// Wire encoding is a zero-padded hex string ("0x0123456789abcdef"):
+// JSON numbers cannot carry a uint64 without lexeme anxiety, a string
+// can. format/parse round-trip exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace netd::obs {
+
+namespace ids {
+
+/// splitmix64 finalizer: the bijective mixer behind the deterministic ID
+/// scheme. Good avalanche, zero state.
+std::uint64_t mix64(std::uint64_t x);
+
+/// Order-sensitive combiner for two ids.
+std::uint64_t combine(std::uint64_t a, std::uint64_t b);
+
+/// FNV-1a over a NUL-terminated name.
+std::uint64_t fnv1a(const char* s);
+
+/// Child span id from (parent id, name, salt); never returns 0 (the
+/// "not recording" sentinel).
+std::uint64_t derive_child(std::uint64_t parent_id, const char* name,
+                           std::uint64_t salt);
+
+}  // namespace ids
+
+/// A trace identity small enough to put on every frame. `trace_id == 0`
+/// means "no trace attached".
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  [[nodiscard]] bool valid() const { return trace_id != 0; }
+
+  /// Deterministic root for unit-of-work `index` under `seed` — the same
+  /// derivation as Span::root_context, minus the rendering lane.
+  [[nodiscard]] static TraceContext root(std::uint64_t seed,
+                                         std::uint64_t index);
+
+  /// Deterministic child id under this context (trace id is inherited).
+  [[nodiscard]] TraceContext child(const char* name,
+                                   std::uint64_t salt) const;
+
+  friend bool operator==(const TraceContext& a, const TraceContext& b) {
+    return a.trace_id == b.trace_id && a.span_id == b.span_id;
+  }
+};
+
+/// "0x%016llx" — the one id rendering used on the wire, in trace files
+/// and in Prometheus exemplars.
+[[nodiscard]] std::string format_trace_id(std::uint64_t id);
+
+/// Parses format_trace_id output (leading "0x" optional). Returns false
+/// on empty/overlong/non-hex input; `*out` is untouched on failure.
+[[nodiscard]] bool parse_trace_id(const std::string& text,
+                                  std::uint64_t* out);
+
+}  // namespace netd::obs

@@ -7,9 +7,11 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
+#include "obs/events.h"
 #include "obs/registry.h"
 #include "svc/json.h"
 #include "util/atomic_file.h"
@@ -56,7 +58,57 @@ obs::Counter& quarantined_segment_counter() {
   return c;
 }
 
+obs::Counter& append_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "netd_svc_journal_appends_total",
+      "Records appended to session write-ahead journals");
+  return c;
+}
+
+obs::Counter& fsync_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "netd_svc_journal_fsyncs_total",
+      "fsync(2) calls issued by session journals");
+  return c;
+}
+
+obs::Counter& snapshot_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "netd_svc_journal_snapshots_total",
+      "Session snapshots committed (journal segments pruned)");
+  return c;
+}
+
+/// fsyncs slower than this land in the event ring: on a healthy disk an
+/// fsync is sub-millisecond, and a stalled one is exactly the latency
+/// spike an operator tailing the ring wants to see attributed.
+constexpr std::int64_t kFsyncStallUs = 20'000;
+
+/// Runs fsync(2) and reports a kFsyncStall event when it took too long.
+/// Returns fsync's return value.
+int timed_fsync(int fd, const std::string& dir) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const int rc = ::fsync(fd);
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  fsync_counter().inc();
+  if (us >= kFsyncStallUs) {
+    obs::EventRing::record(obs::EventKind::kFsyncStall, dir, 0,
+                           static_cast<std::uint64_t>(us));
+  }
+  return rc;
+}
+
 }  // namespace
+
+void register_journal_metrics() {
+  torn_tail_counter();
+  quarantined_segment_counter();
+  append_counter();
+  fsync_counter();
+  snapshot_counter();
+}
 
 const char* to_string(FsyncPolicy p) {
   return p == FsyncPolicy::kAlways ? "always" : "batch";
@@ -362,7 +414,8 @@ bool SessionJournal::rotate(std::string* error) {
   if (active_fd_ >= 0) {
     // kBatch durability barrier: the retiring segment's records reach the
     // disk before the writer moves on.
-    if (opts_.fsync == FsyncPolicy::kBatch && ::fsync(active_fd_) != 0) {
+    if (opts_.fsync == FsyncPolicy::kBatch &&
+        timed_fsync(active_fd_, opts_.dir) != 0) {
       return fail(error, "fsync " + segments_.back().path);
     }
     ::close(active_fd_);
@@ -374,12 +427,6 @@ bool SessionJournal::rotate(std::string* error) {
 
 std::uint64_t SessionJournal::append(std::string_view payload,
                                      std::string* error) {
-  static obs::Counter& appends = obs::Registry::global().counter(
-      "netd_svc_journal_appends_total",
-      "Records appended to session write-ahead journals");
-  static obs::Counter& fsyncs = obs::Registry::global().counter(
-      "netd_svc_journal_fsyncs_total",
-      "fsync(2) calls issued by session journals");
   if (payload.size() > rlog::kMaxRecordBytes) {
     if (error != nullptr) *error = "journal record exceeds kMaxRecordBytes";
     return 0;
@@ -397,26 +444,22 @@ std::uint64_t SessionJournal::append(std::string_view payload,
     return 0;
   }
   if (opts_.fsync == FsyncPolicy::kAlways) {
-    if (::fsync(active_fd_) != 0) {
+    if (timed_fsync(active_fd_, opts_.dir) != 0) {
       fail(error, "fsync " + segments_.back().path);
       return 0;
     }
-    fsyncs.inc();
   }
   Segment& seg = segments_.back();
   seg.last_lsn = lsn;
   seg.bytes += frame.size();
   ++next_lsn_;
   ++records_since_snapshot_;
-  appends.inc();
+  append_counter().inc();
   return lsn;
 }
 
 bool SessionJournal::commit_snapshot(const std::string& doc,
                                      std::string* error) {
-  static obs::Counter& snapshots = obs::Registry::global().counter(
-      "netd_svc_journal_snapshots_total",
-      "Session snapshots committed (journal segments pruned)");
   if (active_fd_ >= 0) {
     ::close(active_fd_);
     active_fd_ = -1;
@@ -437,7 +480,7 @@ bool SessionJournal::commit_snapshot(const std::string& doc,
   segments_.clear();
   snapshot_ = doc;
   records_since_snapshot_ = 0;
-  snapshots.inc();
+  snapshot_counter().inc();
   return true;
 }
 

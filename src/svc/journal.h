@@ -66,6 +66,13 @@ enum class FsyncPolicy {
 [[nodiscard]] std::optional<std::string> decode_session_dir(
     std::string_view dir);
 
+/// Registers every netd_svc_journal_* metric family with the global obs
+/// registry. The instruments are lazily created at their first increment;
+/// a durable server calls this at start() so an idle scrape already
+/// shows the whole family set at zero instead of families appearing as
+/// they first fire.
+void register_journal_metrics();
+
 /// Reads <state_dir>/EPOCH, increments it and atomically rewrites it.
 /// Returns the new epoch (1 on a fresh directory); 0 with `error` on IO
 /// failure. The epoch is advertised in hello responses so clients can

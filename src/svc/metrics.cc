@@ -1,13 +1,16 @@
 #include "svc/metrics.h"
 
+#include "obs/trace_context.h"
+
 namespace netd::svc {
 
-void ServiceMetrics::record(const std::string& op, bool ok,
-                            double latency_us) {
+void ServiceMetrics::record(const std::string& op, bool ok, double latency_us,
+                            std::uint64_t trace_id) {
   PerOp& p = ops[op];
   ++p.count;
   if (!ok) ++p.errors;
   p.latency_us.add(latency_us);
+  if (trace_id != 0) p.exemplar_trace_id = trace_id;
 }
 
 Json ServiceMetrics::to_json() const {
@@ -94,6 +97,7 @@ std::vector<obs::Sample> ServiceMetrics::to_samples() const {
     c.type = obs::SampleType::kCounter;
     c.labels = {{"op", name}};
     c.value = static_cast<double>(p.count);
+    c.exemplar_trace_id = p.exemplar_trace_id;
     out.push_back(std::move(c));
   }
   for (const auto& [name, p] : ops) {

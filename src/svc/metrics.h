@@ -25,6 +25,10 @@ struct ServiceMetrics {
     std::uint64_t errors = 0;
     /// Wall-clock request handling time in microseconds.
     util::Histogram latency_us;
+    /// Trace id of the most recent traced request for this op (0 = none
+    /// seen); rendered as an exemplar on the Prometheus families so a
+    /// dashboard spike links straight to one concrete trace.
+    std::uint64_t exemplar_trace_id = 0;
   };
 
   /// Keyed by op name; ordered so stats output is stable.
@@ -44,7 +48,8 @@ struct ServiceMetrics {
   /// production).
   FaultCounters faults;
 
-  void record(const std::string& op, bool ok, double latency_us);
+  void record(const std::string& op, bool ok, double latency_us,
+              std::uint64_t trace_id = 0);
 
   /// {"connections":N,...,"faults":{...},"ops":{"observe":{"count":n,
   ///   "errors":e,"lat_us":{"p50":..,"p90":..,"p99":..,"max":..}},...}}

@@ -261,6 +261,34 @@ std::optional<SessionConfig> session_config_from_json(const Json& j,
   return cfg;
 }
 
+Json trace_to_json(const obs::TraceContext& trace) {
+  Json j = Json::object();
+  j.set("tid", Json::string(obs::format_trace_id(trace.trace_id)));
+  j.set("sid", Json::string(obs::format_trace_id(trace.span_id)));
+  return j;
+}
+
+bool trace_from_json(const Json& obj, std::optional<obs::TraceContext>* out,
+                     std::string* error) {
+  const Json* t = obj.find("trace");
+  if (t == nullptr) return true;
+  if (!t->is_object()) {
+    set_error(error, "trace must be an object");
+    return false;
+  }
+  const Json* tid = require(*t, "tid", Json::Type::kString, error);
+  const Json* sid = require(*t, "sid", Json::Type::kString, error);
+  if (tid == nullptr || sid == nullptr) return false;
+  obs::TraceContext ctx;
+  if (!obs::parse_trace_id(tid->as_string(), &ctx.trace_id) ||
+      !obs::parse_trace_id(sid->as_string(), &ctx.span_id)) {
+    set_error(error, "trace ids must be hex strings");
+    return false;
+  }
+  *out = ctx;
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // Requests.
 
@@ -283,16 +311,19 @@ std::string serialize(const Request& req) {
           j.set("op", Json::string("hello"));
           j.set("session", Json::string(r.session));
           j.set("config", session_config_to_json(r.config));
+          if (r.trace.has_value()) j.set("trace", trace_to_json(*r.trace));
         } else if constexpr (std::is_same_v<T, SetBaselineRequest>) {
           j.set("op", Json::string("set_baseline"));
           j.set("session", Json::string(r.session));
           j.set("mesh", mesh_to_json(r.mesh));
+          if (r.trace.has_value()) j.set("trace", trace_to_json(*r.trace));
         } else if constexpr (std::is_same_v<T, ObserveRequest>) {
           j.set("op", Json::string("observe"));
           j.set("session", Json::string(r.session));
           j.set("mesh", mesh_to_json(r.mesh));
           if (r.cp.has_value()) j.set("cp", cp_to_json(*r.cp));
           if (r.seq.has_value()) j.set("seq", Json::uinteger(*r.seq));
+          if (r.trace.has_value()) j.set("trace", trace_to_json(*r.trace));
         } else if constexpr (std::is_same_v<T, ObserveBatchRequest>) {
           j.set("op", Json::string("observe_batch"));
           j.set("session", Json::string(r.session));
@@ -303,16 +334,25 @@ std::string serialize(const Request& req) {
             ji.set("seq", Json::uinteger(item.seq));
             ji.set("mesh", mesh_to_json(item.mesh));
             if (item.cp.has_value()) ji.set("cp", cp_to_json(*item.cp));
+            if (item.trace.has_value()) {
+              ji.set("trace", trace_to_json(*item.trace));
+            }
             items.push_back(std::move(ji));
           }
           j.set("items", std::move(items));
+          if (r.trace.has_value()) j.set("trace", trace_to_json(*r.trace));
         } else if constexpr (std::is_same_v<T, QueryRequest>) {
           j.set("op", Json::string("query"));
           j.set("session", Json::string(r.session));
+          if (r.trace.has_value()) j.set("trace", trace_to_json(*r.trace));
         } else if constexpr (std::is_same_v<T, StatsRequest>) {
           j.set("op", Json::string("stats"));
         } else if constexpr (std::is_same_v<T, MetricsRequest>) {
           j.set("op", Json::string("metrics"));
+        } else if constexpr (std::is_same_v<T, EventsRequest>) {
+          j.set("op", Json::string("events"));
+          j.set("cursor", Json::uinteger(r.cursor));
+          j.set("cap", Json::uinteger(r.cap));
         } else if constexpr (std::is_same_v<T, ShutdownRequest>) {
           j.set("op", Json::string("shutdown"));
         }
@@ -370,7 +410,9 @@ std::optional<Request> parse_request(std::string_view frame,
     if (!session || cfg == nullptr) return std::nullopt;
     const auto config = session_config_from_json(*cfg, error);
     if (!config) return std::nullopt;
-    return Request{HelloRequest{*session, *config}};
+    HelloRequest req{*session, *config, std::nullopt};
+    if (!trace_from_json(*j, &req.trace, error)) return std::nullopt;
+    return Request{std::move(req)};
   }
   if (name == "set_baseline") {
     const auto session = get_session(*j, error);
@@ -378,7 +420,9 @@ std::optional<Request> parse_request(std::string_view frame,
     if (!session || mesh == nullptr) return std::nullopt;
     auto m = mesh_from_json(*mesh, error);
     if (!m) return std::nullopt;
-    return Request{SetBaselineRequest{*session, std::move(*m)}};
+    SetBaselineRequest req{*session, std::move(*m), std::nullopt};
+    if (!trace_from_json(*j, &req.trace, error)) return std::nullopt;
+    return Request{std::move(req)};
   }
   if (name == "observe") {
     const auto session = get_session(*j, error);
@@ -397,6 +441,7 @@ std::optional<Request> parse_request(std::string_view frame,
       if (!seq) return std::nullopt;
       req.seq = static_cast<std::uint64_t>(*seq);
     }
+    if (!trace_from_json(*j, &req.trace, error)) return std::nullopt;
     return Request{std::move(req)};
   }
   if (name == "observe_batch") {
@@ -440,17 +485,30 @@ std::optional<Request> parse_request(std::string_view frame,
         if (!obs) return std::nullopt;
         item.cp = std::move(*obs);
       }
+      if (!trace_from_json(ji, &item.trace, error)) return std::nullopt;
       req.items.push_back(std::move(item));
     }
+    if (!trace_from_json(*j, &req.trace, error)) return std::nullopt;
     return Request{std::move(req)};
   }
   if (name == "query") {
     const auto session = get_session(*j, error);
     if (!session) return std::nullopt;
-    return Request{QueryRequest{*session}};
+    QueryRequest req{*session, std::nullopt};
+    if (!trace_from_json(*j, &req.trace, error)) return std::nullopt;
+    return Request{std::move(req)};
   }
   if (name == "stats") return Request{StatsRequest{}};
   if (name == "metrics") return Request{MetricsRequest{}};
+  if (name == "events") {
+    const auto cursor = require_uint(*j, "cursor", error);
+    const auto cap = require_uint(*j, "cap", error);
+    if (!cursor || !cap) return std::nullopt;
+    EventsRequest req;
+    req.cursor = static_cast<std::uint64_t>(*cursor);
+    req.cap = static_cast<std::uint64_t>(*cap);
+    return Request{req};
+  }
   if (name == "shutdown") return Request{ShutdownRequest{}};
   set_error(error, "unknown op '" + name + "'");
   return std::nullopt;
@@ -516,6 +574,25 @@ std::string serialize(const Response& rsp) {
           j.set("ok", Json::boolean(true));
           j.set("op", Json::string("metrics"));
           j.set("text", Json::string(r.text));
+        } else if constexpr (std::is_same_v<T, EventsResponse>) {
+          j.set("ok", Json::boolean(true));
+          j.set("op", Json::string("events"));
+          j.set("next_cursor", Json::uinteger(r.next_cursor));
+          Json evs = Json::array();
+          for (const auto& ev : r.events) {
+            Json je = Json::object();
+            je.set("seq", Json::uinteger(ev.seq));
+            je.set("t_ms", Json::uinteger(ev.t_ms));
+            je.set("kind", Json::string(obs::event_kind_name(ev.kind)));
+            je.set("detail", Json::string(ev.detail));
+            if (ev.trace_id != 0) {
+              je.set("trace",
+                     Json::string(obs::format_trace_id(ev.trace_id)));
+            }
+            if (ev.dur_us != 0) je.set("dur_us", Json::uinteger(ev.dur_us));
+            evs.push_back(std::move(je));
+          }
+          j.set("events", std::move(evs));
         } else if constexpr (std::is_same_v<T, ShutdownResponse>) {
           j.set("ok", Json::boolean(true));
           j.set("op", Json::string("shutdown"));
@@ -633,6 +710,50 @@ std::optional<Response> parse_response(std::string_view frame,
     const Json* text = require(*j, "text", Json::Type::kString, error);
     if (text == nullptr) return std::nullopt;
     return Response{MetricsResponse{text->as_string()}};
+  }
+  if (name == "events") {
+    const auto next = require_uint(*j, "next_cursor", error);
+    const Json* evs = require(*j, "events", Json::Type::kArray, error);
+    if (!next || evs == nullptr) return std::nullopt;
+    EventsResponse rsp;
+    rsp.next_cursor = static_cast<std::uint64_t>(*next);
+    rsp.events.reserve(evs->size());
+    for (std::size_t i = 0; i < evs->size(); ++i) {
+      const Json& je = (*evs)[i];
+      if (!je.is_object()) {
+        set_error(error, "event " + std::to_string(i) + " must be an object");
+        return std::nullopt;
+      }
+      obs::Event ev;
+      const auto seq = require_uint(je, "seq", error);
+      const auto t_ms = require_uint(je, "t_ms", error);
+      const Json* kind = require(je, "kind", Json::Type::kString, error);
+      const Json* detail = require(je, "detail", Json::Type::kString, error);
+      if (!seq || !t_ms || kind == nullptr || detail == nullptr) {
+        return std::nullopt;
+      }
+      ev.seq = static_cast<std::uint64_t>(*seq);
+      ev.t_ms = static_cast<std::uint64_t>(*t_ms);
+      if (!obs::parse_event_kind(kind->as_string(), &ev.kind)) {
+        set_error(error, "unknown event kind '" + kind->as_string() + "'");
+        return std::nullopt;
+      }
+      ev.detail = detail->as_string();
+      if (const Json* trace = je.find("trace"); trace != nullptr) {
+        if (!trace->is_string() ||
+            !obs::parse_trace_id(trace->as_string(), &ev.trace_id)) {
+          set_error(error, "event trace must be a hex-string id");
+          return std::nullopt;
+        }
+      }
+      if (je.find("dur_us") != nullptr) {
+        const auto dur = require_uint(je, "dur_us", error);
+        if (!dur) return std::nullopt;
+        ev.dur_us = static_cast<std::uint64_t>(*dur);
+      }
+      rsp.events.push_back(std::move(ev));
+    }
+    return Response{std::move(rsp)};
   }
   if (name == "shutdown") return Response{ShutdownResponse{}};
   set_error(error, "unknown op '" + name + "'");

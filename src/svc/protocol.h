@@ -17,7 +17,17 @@
 //   stats         service request/latency counters (util::Histogram)
 //   metrics       Prometheus text-format exposition of the obs registry
 //                 plus the service counters (operator scrape surface)
+//   events        drain the server's structured event ring (slow
+//                 requests, sheds, dedups, quarantines, fsync stalls)
+//                 from a cursor, capped — the `netdiag tail` surface
 //   shutdown      stop the server after responding
+//
+// Distributed tracing: hello/set_baseline/observe/observe_batch/query
+// (and every batch item) carry an optional "trace" object — the
+// obs::TraceContext stamped by the sender at measurement time — so the
+// server can join its spans to the agent's. The field is omitted when
+// absent; trace-less frames are byte-identical to protocol output from
+// before the field existed (golden-pinned).
 //
 // Serialization reuses the Json document type, so serialize(parse(x)) is
 // byte-identical for every message this module produced — the protocol
@@ -35,6 +45,8 @@
 
 #include "core/solver.h"
 #include "core/troubleshooter.h"
+#include "obs/events.h"
+#include "obs/trace_context.h"
 #include "probe/prober.h"
 #include "svc/json.h"
 
@@ -85,11 +97,14 @@ struct SessionConfig {
 struct HelloRequest {
   std::string session;
   SessionConfig config;
+  /// Sender-stamped trace identity; omitted on the wire when absent.
+  std::optional<obs::TraceContext> trace;
 };
 
 struct SetBaselineRequest {
   std::string session;
   probe::Mesh mesh;
+  std::optional<obs::TraceContext> trace;
 };
 
 struct ObserveRequest {
@@ -101,6 +116,7 @@ struct ObserveRequest {
   /// applied is answered from the session's cache instead of feeding the
   /// round twice. Absent = no dedup (pre-retry clients).
   std::optional<std::uint64_t> seq;
+  std::optional<obs::TraceContext> trace;
 
   ObserveRequest() = default;
   ObserveRequest(std::string s, probe::Mesh m,
@@ -117,6 +133,10 @@ struct ObserveItem {
   std::uint64_t seq = 0;
   probe::Mesh mesh;
   std::optional<core::ControlPlaneObs> cp;
+  /// Trace root the agent stamped when the round was measured. Derived
+  /// deterministically from (agent seed, name, seq), so a redelivered
+  /// item carries the *same* ids and joins the original trace.
+  std::optional<obs::TraceContext> trace;
 };
 
 /// A spool drain from one sensor agent: observations in strictly
@@ -131,22 +151,33 @@ struct ObserveBatchRequest {
   /// several agents can feed one session without colliding seq spaces.
   std::string src;
   std::vector<ObserveItem> items;
+  /// Trace of the shipping pass itself (items carry their own roots).
+  std::optional<obs::TraceContext> trace;
 };
 
 struct QueryRequest {
   std::string session;
+  std::optional<obs::TraceContext> trace;
 };
 
 struct StatsRequest {};
 
 struct MetricsRequest {};
 
+/// Drains the server's obs::EventRing from `cursor` (exclusive), oldest
+/// first, at most `cap` events (0 = server default). Poll in a loop with
+/// the returned next_cursor to tail the ring live.
+struct EventsRequest {
+  std::uint64_t cursor = 0;
+  std::uint64_t cap = 0;
+};
+
 struct ShutdownRequest {};
 
 using Request =
     std::variant<HelloRequest, SetBaselineRequest, ObserveRequest,
                  ObserveBatchRequest, QueryRequest, StatsRequest,
-                 MetricsRequest, ShutdownRequest>;
+                 MetricsRequest, EventsRequest, ShutdownRequest>;
 
 // ---------------------------------------------------------------------------
 // Responses.
@@ -217,12 +248,20 @@ struct MetricsResponse {
   std::string text;
 };
 
+/// One page of the server's event ring. Events are obs::Event verbatim;
+/// `kind` travels as its stable lowercase name, ids as hex strings.
+struct EventsResponse {
+  std::uint64_t next_cursor = 0;
+  std::vector<obs::Event> events;
+};
+
 struct ShutdownResponse {};
 
 using Response =
     std::variant<ErrorResponse, HelloResponse, SetBaselineResponse,
                  ObserveResponse, ObserveBatchResponse, QueryResponse,
-                 StatsResponse, MetricsResponse, ShutdownResponse>;
+                 StatsResponse, MetricsResponse, EventsResponse,
+                 ShutdownResponse>;
 
 // ---------------------------------------------------------------------------
 // Frame serialization. Serializers emit one line *without* the trailing
@@ -252,5 +291,14 @@ using Response =
 [[nodiscard]] Json session_config_to_json(const SessionConfig& cfg);
 [[nodiscard]] std::optional<SessionConfig> session_config_from_json(
     const Json& j, std::string* error);
+
+/// {"tid":"0x...","sid":"0x..."} — the wire form of a trace identity.
+[[nodiscard]] Json trace_to_json(const obs::TraceContext& trace);
+/// Reads an optional "trace" member of `obj` into `*out` (left untouched
+/// when the field is absent). Returns false with `error` on a malformed
+/// field.
+[[nodiscard]] bool trace_from_json(const Json& obj,
+                                   std::optional<obs::TraceContext>* out,
+                                   std::string* error);
 
 }  // namespace netd::svc

@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "core/json_export.h"
+#include "obs/events.h"
 #include "obs/registry.h"
+#include "obs/span.h"
 
 namespace netd::svc {
 
@@ -29,6 +31,20 @@ obs::Counter& session_quarantined_counter() {
   static obs::Counter& c = obs::Registry::global().counter(
       "netd_svc_journal_sessions_quarantined_total",
       "Sessions whose journal was quarantined at recovery (amnesia)");
+  return c;
+}
+
+obs::Counter& replayed_record_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "netd_svc_journal_replayed_records_total",
+      "Journal records replayed into sessions at recovery");
+  return c;
+}
+
+obs::Counter& session_recovered_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "netd_svc_journal_sessions_recovered_total",
+      "Sessions rebuilt from their journal at server start");
   return c;
 }
 
@@ -50,11 +66,50 @@ const char* op_name(const Request& req) {
           return "stats";
         } else if constexpr (std::is_same_v<T, MetricsRequest>) {
           return "metrics";
+        } else if constexpr (std::is_same_v<T, EventsRequest>) {
+          return "events";
         } else {
           return "shutdown";
         }
       },
       req);
+}
+
+/// The trace id a request carries, for tagging metrics exemplars and ring
+/// events. Batches without a batch-level trace fall back to their first
+/// item's — the ids all share one shipping pass in practice.
+std::uint64_t req_trace_id(const Request& req) {
+  return std::visit(
+      [](const auto& r) -> std::uint64_t {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, HelloRequest> ||
+                      std::is_same_v<T, SetBaselineRequest> ||
+                      std::is_same_v<T, ObserveRequest> ||
+                      std::is_same_v<T, QueryRequest>) {
+          return r.trace.has_value() ? r.trace->trace_id : 0;
+        } else if constexpr (std::is_same_v<T, ObserveBatchRequest>) {
+          if (r.trace.has_value()) return r.trace->trace_id;
+          for (const auto& item : r.items) {
+            if (item.trace.has_value()) return item.trace->trace_id;
+          }
+          return 0;
+        } else {
+          return 0;
+        }
+      },
+      req);
+}
+
+/// An explicit span parent from a wire trace field; invalid (so the span
+/// records nothing) when the frame carried no trace. Server-side spans
+/// render on lane 0 — trace-merge separates processes by pid.
+obs::SpanContext span_parent(const std::optional<obs::TraceContext>& trace) {
+  obs::SpanContext ctx;
+  if (trace.has_value()) {
+    ctx.trace_id = trace->trace_id;
+    ctx.span_id = trace->span_id;
+  }
+  return ctx;
 }
 
 }  // namespace
@@ -67,6 +122,14 @@ Server::~Server() { stop(); }
 
 bool Server::start(std::string* error) {
   start_time_ = std::chrono::steady_clock::now();
+  // Eager registration: every netd_svc_journal_* family appears in the
+  // metrics verb from the first scrape, zero-valued, instead of popping
+  // into existence at its first increment (dashboards hate that).
+  register_journal_metrics();
+  append_failure_counter();
+  session_quarantined_counter();
+  replayed_record_counter();
+  session_recovered_counter();
   int bound_port = opts_.endpoint.port;
   listener_ = listen_on(opts_.endpoint, error, &bound_port);
   if (!listener_.valid()) return false;
@@ -234,6 +297,7 @@ void Server::accept_loop() {
         std::lock_guard<std::mutex> lock(metrics_mu_);
         ++metrics_.shed_requests;
       }
+      obs::EventRing::record(obs::EventKind::kShed, "accept");
       (void)write_all(fd, serialize(Response{overloaded_response()}) + "\n",
                       1000);
       ::close(fd);
@@ -337,9 +401,15 @@ void Server::serve_connection(int fd) {
     const double us = std::chrono::duration<double, std::micro>(
                           std::chrono::steady_clock::now() - t0)
                           .count();
+    const std::uint64_t trace_id = req_trace_id(*req);
     {
       std::lock_guard<std::mutex> lock(metrics_mu_);
-      metrics_.record(op_name(*req), ok, us);
+      metrics_.record(op_name(*req), ok, us, trace_id);
+    }
+    if (opts_.slow_request_ms > 0 &&
+        us >= static_cast<double>(opts_.slow_request_ms) * 1000.0) {
+      obs::EventRing::record(obs::EventKind::kSlowRequest, op_name(*req),
+                             trace_id, static_cast<std::uint64_t>(us));
     }
     if (!written) break;
   }
@@ -482,6 +552,9 @@ Json Server::snapshot_doc(const Session& s) {
 
 void Server::journal_append(Session& s, const Json& payload) {
   if (s.journal == nullptr) return;
+  // Ambient: nests under the handler's rx_* span, so a traced frame's
+  // timeline shows how long the WAL write (and its fsync) took.
+  obs::Span span("journal_append");
   std::string error;
   if (s.journal->append(payload.dump(), &error) == 0) {
     // Durability is best-effort once the disk misbehaves: the session
@@ -519,14 +592,13 @@ std::unique_ptr<SessionJournal> Server::open_journal_for(
 
 std::shared_ptr<Server::Session> Server::recover_one_session(
     std::unique_ptr<SessionJournal> journal) {
-  static obs::Counter& replayed = obs::Registry::global().counter(
-      "netd_svc_journal_replayed_records_total",
-      "Journal records replayed into sessions at recovery");
+  obs::Counter& replayed = replayed_record_counter();
   // Content-level corruption (framing was already validated by open):
   // quarantine the whole journal and report no session — the amnesia
   // protocol takes over for its agents.
   auto corrupt = [&journal]() -> std::shared_ptr<Session> {
     std::string error;
+    obs::EventRing::record(obs::EventKind::kQuarantine, journal->dir());
     (void)journal->quarantine_all(&error);
     session_quarantined_counter().inc();
     return nullptr;
@@ -675,9 +747,7 @@ std::shared_ptr<Server::Session> Server::recover_one_session(
 }
 
 bool Server::recover_sessions(std::string* error) {
-  static obs::Counter& recovered = obs::Registry::global().counter(
-      "netd_svc_journal_sessions_recovered_total",
-      "Sessions rebuilt from their journal at server start");
+  obs::Counter& recovered = session_recovered_counter();
   for (const auto& dir_name : list_session_dirs(opts_.state_dir)) {
     const auto session_name = decode_session_dir(dir_name);
     if (!session_name.has_value()) continue;  // not a directory we wrote
@@ -694,6 +764,7 @@ bool Server::recover_sessions(std::string* error) {
         // Framing-level corruption: the journal already renamed its
         // files aside; this session's agents will re-hello and re-ship.
         session_quarantined_counter().inc();
+        obs::EventRing::record(obs::EventKind::kQuarantine, dir_name);
         continue;
       }
       if (error != nullptr) *error = open_error;
@@ -714,6 +785,7 @@ bool Server::recover_sessions(std::string* error) {
 }
 
 Response Server::handle(const HelloRequest& req) {
+  obs::Span span("rx_hello", span_parent(req.trace), 0);
   std::string error;
   const auto resolved = req.config.resolve(&error);
   if (!resolved) return ErrorResponse{error};
@@ -733,6 +805,8 @@ Response Server::handle(const HelloRequest& req) {
       std::lock_guard<std::mutex> mlock(metrics_mu_);
       ++metrics_.shed_requests;
     }
+    obs::EventRing::record(obs::EventKind::kShed, "hello:" + req.session,
+                           req.trace.has_value() ? req.trace->trace_id : 0);
     return overloaded_response();
   }
   auto session = std::make_shared<Session>(req.config, *resolved);
@@ -751,6 +825,7 @@ Response Server::handle(const HelloRequest& req) {
 }
 
 Response Server::handle(const SetBaselineRequest& req) {
+  obs::Span span("rx_set_baseline", span_parent(req.trace), 0);
   auto session = find_session(req.session);
   if (session == nullptr) {
     return ErrorResponse{"unknown session '" + req.session + "' (hello first)",
@@ -774,6 +849,11 @@ Response Server::handle(const ObserveRequest& req) {
     return ErrorResponse{"unknown session '" + req.session + "' (hello first)",
                          kErrUnknownSession};
   }
+  // Joins the sender's trace: the explicit parent makes this span (and
+  // the ambient observe/solve spans core emits underneath) share the
+  // trace id the agent stamped at measurement time.
+  obs::Span span("rx_observe", span_parent(req.trace),
+                 req.seq.value_or(0));
   std::lock_guard<std::mutex> lock(session->mu);
   // Exactly-once rounds: a retried observe whose response was lost on the
   // wire carries the seq the session already applied — answer it from the
@@ -783,6 +863,8 @@ Response Server::handle(const ObserveRequest& req) {
       std::lock_guard<std::mutex> mlock(metrics_mu_);
       ++metrics_.dedup_hits;
     }
+    obs::EventRing::record(obs::EventKind::kDedup, req.session,
+                           req.trace.has_value() ? req.trace->trace_id : 0);
     return session->last_seq_response;
   }
   if (!session->ts.has_baseline()) {
@@ -812,6 +894,7 @@ Response Server::handle(const ObserveRequest& req) {
 }
 
 Response Server::handle(const ObserveBatchRequest& req) {
+  obs::Span span("rx_observe_batch", span_parent(req.trace), 0);
   auto session = find_session(req.session);
   if (session == nullptr) {
     return ErrorResponse{"unknown session '" + req.session + "' (hello first)",
@@ -824,6 +907,11 @@ Response Server::handle(const ObserveBatchRequest& req) {
     // probe batch from a new source answers ack=0 rather than erroring.
     std::uint64_t& watermark = session->src_acks[req.src];
     for (const auto& item : req.items) {
+      // Each item opens its own span under the trace the agent stamped
+      // when the round was measured, so one observation's ship→journal→
+      // solve timeline carries one trace id end to end.
+      obs::Span item_span("rx_batch_item", span_parent(item.trace),
+                          item.seq);
       if (item.seq <= watermark) {
         // Redelivered after a lost response; the round is already in the
         // troubleshooter. Skipping is what makes redelivery exactly-once.
@@ -857,13 +945,24 @@ Response Server::handle(const ObserveBatchRequest& req) {
     rsp.alarmed = session->ts.alarmed();
   }
   if (rsp.deduped > 0) {
-    std::lock_guard<std::mutex> mlock(metrics_mu_);
-    metrics_.dedup_hits += rsp.deduped;
+    {
+      std::lock_guard<std::mutex> mlock(metrics_mu_);
+      metrics_.dedup_hits += rsp.deduped;
+    }
+    std::uint64_t trace_id = req.trace.has_value() ? req.trace->trace_id : 0;
+    if (trace_id == 0 && !req.items.empty() &&
+        req.items.front().trace.has_value()) {
+      trace_id = req.items.front().trace->trace_id;
+    }
+    obs::EventRing::record(obs::EventKind::kDedup,
+                           req.session + "/" + req.src, trace_id,
+                           rsp.deduped);
   }
   return rsp;
 }
 
 Response Server::handle(const QueryRequest& req) {
+  obs::Span span("rx_query", span_parent(req.trace), 0);
   auto session = find_session(req.session);
   if (session == nullptr) {
     return ErrorResponse{"unknown session '" + req.session + "' (hello first)",
@@ -881,6 +980,19 @@ Response Server::handle(const StatsRequest&) {
 
 Response Server::handle(const MetricsRequest&) {
   return MetricsResponse{metrics_prometheus()};
+}
+
+Response Server::handle(const EventsRequest& req) {
+  EventsResponse rsp;
+  // The cap bounds one response frame; a tailing client pages with the
+  // returned cursor. 0 picks a default small enough for interactive use.
+  const std::size_t cap =
+      req.cap == 0
+          ? 256
+          : static_cast<std::size_t>(
+                std::min<std::uint64_t>(req.cap, obs::EventRing::kCapacity));
+  rsp.events = obs::EventRing::since(req.cursor, cap, &rsp.next_cursor);
+  return rsp;
 }
 
 Response Server::handle(const ShutdownRequest&) { return ShutdownResponse{}; }

@@ -86,6 +86,9 @@ class Server {
     int drain_timeout_ms = 2000;
     /// Advertised in `overloaded` responses.
     std::uint64_t retry_after_ms = 100;
+    /// Requests slower than this land in the obs::EventRing (tagged with
+    /// their trace id) for `netdiag tail`. 0 = no slow-request events.
+    int slow_request_ms = 0;
     /// Chaos: seeded faults injected into every response frame written.
     /// Disabled (all probabilities zero) in production.
     FaultPlan fault_plan;
@@ -184,6 +187,7 @@ class Server {
   Response handle(const QueryRequest& req);
   Response handle(const StatsRequest& req);
   Response handle(const MetricsRequest& req);
+  Response handle(const EventsRequest& req);
   Response handle(const ShutdownRequest& req);
 
   [[nodiscard]] std::shared_ptr<Session> find_session(const std::string& name);

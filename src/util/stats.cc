@@ -120,13 +120,25 @@ double Histogram::percentile(double q) const {
       std::ceil(q * static_cast<double>(count_)));
   if (rank == 0) rank = 1;
   std::uint64_t seen = 0;
+  double lower = 0.0;
   double upper = lo_;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    seen += counts_[i];
-    if (seen >= rank) {
-      // The overflow bucket has no finite edge; the exact max bounds it.
-      return i + 1 == counts_.size() ? max_ : std::min(upper, max_);
+    const std::uint64_t in_bucket = counts_[i];
+    if (in_bucket != 0 && seen + in_bucket >= rank) {
+      // Linear interpolation within the bucket, treating its samples as
+      // evenly spread over (lower, upper]. The overflow bucket has no
+      // finite edge, so the exact max bounds it instead of an edge one
+      // growth factor out; either way the result is clamped to the
+      // exact observed [min, max] so a one-sample bucket never reports
+      // a value outside what was recorded.
+      const double hi = i + 1 == counts_.size() ? max_ : upper;
+      const double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(in_bucket);
+      const double x = lower + (hi - lower) * frac;
+      return std::min(std::max(x, min_), max_);
     }
+    seen += in_bucket;
+    lower = upper;
     upper *= growth_;
   }
   return max_;

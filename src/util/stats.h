@@ -61,8 +61,11 @@ class Histogram {
   [[nodiscard]] double mean() const;
   [[nodiscard]] double min() const;  ///< exact; 0 when empty
   [[nodiscard]] double max() const;  ///< exact; 0 when empty
-  /// q in [0,1]; upper bound of the bucket holding the nearest-rank
-  /// sample (max() when it falls in the overflow bucket). 0 when empty.
+  /// q in [0,1]; nearest-rank sample position, linearly interpolated
+  /// within its bucket and clamped to the exact observed [min, max] —
+  /// so a quantile that lands in the overflow bucket reports a value
+  /// between the last finite edge and max(), never an edge the data
+  /// never reached. 0 when empty.
   [[nodiscard]] double percentile(double q) const;
 
   struct Bucket {

@@ -1,0 +1,120 @@
+// The structured event ring behind the `events` wire verb and
+// `netdiag tail`: global ordering, cursor semantics, bounded retention.
+#include "obs/events.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace netd::obs {
+namespace {
+
+class EventRingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { EventRing::reset_for_test(); }
+  void TearDown() override { EventRing::reset_for_test(); }
+};
+
+// record() compiles to a no-op with NETD_OBS=OFF, so everything that
+// asserts on recorded events only exists on the ON tree. The cursor,
+// name, and parse surfaces below stay live in both configurations.
+#ifndef NETD_OBS_DISABLED
+
+TEST_F(EventRingTest, RecordsInGlobalOrderWithPayload) {
+  EventRing::record(EventKind::kSlowRequest, "observe", 0xabc, 1500);
+  EventRing::record(EventKind::kShed, "accept");
+  std::uint64_t next = 0;
+  const auto events = EventRing::since(0, 0, &next);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_EQ(next, events[1].seq);
+  EXPECT_EQ(events[0].kind, EventKind::kSlowRequest);
+  EXPECT_EQ(events[0].detail, "observe");
+  EXPECT_EQ(events[0].trace_id, 0xabcu);
+  EXPECT_EQ(events[0].dur_us, 1500u);
+  EXPECT_EQ(events[1].kind, EventKind::kShed);
+  EXPECT_EQ(events[1].trace_id, 0u);
+}
+
+TEST_F(EventRingTest, CursorResumesWhereTheLastReadStopped) {
+  for (int i = 0; i < 5; ++i) {
+    EventRing::record(EventKind::kDedup, "s" + std::to_string(i));
+  }
+  std::uint64_t cursor = 0;
+  const auto first = EventRing::since(cursor, 3, &cursor);
+  ASSERT_EQ(first.size(), 3u);
+  const auto rest = EventRing::since(cursor, 0, &cursor);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_GT(rest.front().seq, first.back().seq);
+  // Fully drained: an empty read keeps the cursor parked at the newest.
+  const auto empty = EventRing::since(cursor, 0, &cursor);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(cursor, rest.back().seq);
+}
+
+TEST_F(EventRingTest, BoundedRetentionOverwritesOldest) {
+  const std::size_t total = EventRing::kCapacity + 100;
+  for (std::size_t i = 0; i < total; ++i) {
+    EventRing::record(EventKind::kFsyncStall, "seg");
+  }
+  EXPECT_EQ(EventRing::total_recorded(), total);
+  std::uint64_t next = 0;
+  const auto all = EventRing::since(0, EventRing::kCapacity + 200, &next);
+  EXPECT_LE(all.size(), EventRing::kCapacity);
+  EXPECT_GT(all.size(), 0u);
+  // The survivors are the newest, still in order.
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1].seq, all[i].seq);
+  }
+  EXPECT_EQ(all.back().seq, total);
+}
+
+TEST_F(EventRingTest, ConcurrentRecordsAllLand) {
+  constexpr int kThreads = 8, kPerThread = 100;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        EventRing::record(EventKind::kShed, "t" + std::to_string(t));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(EventRing::total_recorded(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  std::uint64_t next = 0;
+  const auto events = EventRing::since(0, 0, &next);
+  EXPECT_GT(events.size(), 0u);
+}
+
+#else
+
+TEST_F(EventRingTest, RecordCompilesOutToANoOp) {
+  EventRing::record(EventKind::kSlowRequest, "observe", 0xabc, 1500);
+  EXPECT_EQ(EventRing::total_recorded(), 0u);
+  std::uint64_t next = 7;
+  EXPECT_TRUE(EventRing::since(0, 0, &next).empty());
+}
+
+#endif  // NETD_OBS_DISABLED
+
+TEST(EventKindNames, RoundTrip) {
+  const EventKind kinds[] = {EventKind::kSlowRequest, EventKind::kShed,
+                             EventKind::kDedup, EventKind::kQuarantine,
+                             EventKind::kFsyncStall};
+  for (EventKind k : kinds) {
+    EventKind back = EventKind::kShed;
+    ASSERT_TRUE(parse_event_kind(event_kind_name(k), &back))
+        << event_kind_name(k);
+    EXPECT_EQ(back, k);
+  }
+  EventKind out;
+  EXPECT_FALSE(parse_event_kind("bogus", &out));
+  EXPECT_FALSE(parse_event_kind("", &out));
+}
+
+}  // namespace
+}  // namespace netd::obs

@@ -1,0 +1,95 @@
+// The cross-process trace identity: deterministic derivation, agreement
+// with the span layer's ID scheme, and the hex wire encoding.
+#include "obs/trace_context.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "obs/span.h"
+
+namespace netd::obs {
+namespace {
+
+TEST(TraceContext, RootIsPureFunctionOfSeedAndIndex) {
+  const TraceContext a = TraceContext::root(42, 7);
+  const TraceContext b = TraceContext::root(42, 7);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a.trace_id, a.span_id);  // the root span IS the trace
+  EXPECT_NE(a.trace_id, TraceContext::root(42, 8).trace_id);
+  EXPECT_NE(a.trace_id, TraceContext::root(43, 7).trace_id);
+}
+
+TEST(TraceContext, InvalidDefaultAndZeroSentinel) {
+  const TraceContext none;
+  EXPECT_FALSE(none.valid());
+  // Roots never collide with the "no trace" sentinel, whatever the seed.
+  for (std::uint64_t seed : {0ull, 1ull, ~0ull}) {
+    for (std::uint64_t idx : {0ull, 1ull, 1000ull}) {
+      EXPECT_TRUE(TraceContext::root(seed, idx).valid());
+    }
+  }
+}
+
+/// The wire layer and the span layer must derive the SAME ids — that is
+/// what lets a server span parented on a frame's trace context join the
+/// trace the agent's spans live in.
+TEST(TraceContext, AgreesWithSpanRootContext) {
+  const TraceContext tc = TraceContext::root(99, 3);
+  const SpanContext sc = Span::root_context(99, 3, /*lane=*/5);
+  EXPECT_EQ(tc.trace_id, sc.trace_id);
+  EXPECT_EQ(tc.span_id, sc.span_id);
+}
+
+TEST(TraceContext, ChildInheritsTraceAndDerivesNewSpan) {
+  const TraceContext root = TraceContext::root(1, 1);
+  const TraceContext c1 = root.child("ship", 4);
+  EXPECT_EQ(c1.trace_id, root.trace_id);
+  EXPECT_NE(c1.span_id, root.span_id);
+  EXPECT_EQ(c1, root.child("ship", 4));            // deterministic
+  EXPECT_NE(c1.span_id, root.child("ship", 5).span_id);
+  EXPECT_NE(c1.span_id, root.child("spool", 4).span_id);
+}
+
+TEST(TraceContext, RootsAreWellSpread) {
+  std::set<std::uint64_t> ids;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ids.insert(TraceContext::root(7, i).trace_id);
+  }
+  EXPECT_EQ(ids.size(), 1000u);
+}
+
+TEST(TraceIdFormat, RoundTripsExactly) {
+  for (std::uint64_t id :
+       {0ull, 1ull, 0xdeadbeefull, 0x0123456789abcdefull, ~0ull}) {
+    const std::string text = format_trace_id(id);
+    EXPECT_EQ(text.size(), 18u) << text;  // "0x" + 16 hex digits
+    EXPECT_EQ(text.substr(0, 2), "0x");
+    std::uint64_t back = 42;
+    ASSERT_TRUE(parse_trace_id(text, &back)) << text;
+    EXPECT_EQ(back, id);
+  }
+}
+
+TEST(TraceIdFormat, ParseAcceptsUnprefixedHex) {
+  std::uint64_t v = 0;
+  ASSERT_TRUE(parse_trace_id("ff", &v));
+  EXPECT_EQ(v, 0xffu);
+  ASSERT_TRUE(parse_trace_id("0xFF", &v));
+  EXPECT_EQ(v, 0xffu);
+}
+
+TEST(TraceIdFormat, ParseRejectsGarbage) {
+  std::uint64_t v = 99;
+  EXPECT_FALSE(parse_trace_id("", &v));
+  EXPECT_FALSE(parse_trace_id("0x", &v));
+  EXPECT_FALSE(parse_trace_id("0xzz", &v));
+  EXPECT_FALSE(parse_trace_id("12 34", &v));
+  EXPECT_FALSE(parse_trace_id("0x00000000000000001", &v));  // 17 digits
+  EXPECT_EQ(v, 99u);  // untouched on failure
+}
+
+}  // namespace
+}  // namespace netd::obs

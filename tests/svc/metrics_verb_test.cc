@@ -11,6 +11,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "svc/client.h"
@@ -241,6 +242,65 @@ TEST_F(MetricsVerbTest, MetricsVerbRendersParseablePrometheusText) {
   EXPECT_GT(samples, 0u);
   EXPECT_TRUE(saw_uptime);
   EXPECT_TRUE(saw_stats_op);
+}
+
+/// Scrape stability under load: 8 sessions hammer the server with
+/// counter-mutating verbs while the main thread scrapes. Every scrape
+/// must stay parseable — one TYPE line per family, and the relative
+/// order of families must never change between scrapes (dashboards diff
+/// consecutive scrapes and a reordering family reads as a new series).
+TEST_F(MetricsVerbTest, ScrapesStayWellFormedUnderConcurrentSessions) {
+  constexpr int kSessions = 8;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> fleet;
+  fleet.reserve(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    fleet.emplace_back([this, i, &stop] {
+      Client c = connect();
+      std::string error;
+      HelloRequest hello{"scrape-" + std::to_string(i), SessionConfig{}};
+      (void)c.call(Request{hello}, &error);
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Query before a baseline exists: an error response, which still
+        // bumps the per-op error counters — exactly the mutation we want
+        // racing the scrape.
+        (void)c.call(
+            Request{QueryRequest{"scrape-" + std::to_string(i)}}, &error);
+        (void)c.call(Request{StatsRequest{}}, &error);
+      }
+    });
+  }
+
+  Client scraper = connect();
+  std::vector<std::string> last_families;
+  for (int round = 0; round < 20; ++round) {
+    const std::string text = metrics_text(scraper);
+    std::vector<std::string> families;
+    std::set<std::string> seen;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+      if (line.rfind("# TYPE ", 0) != 0) continue;
+      std::istringstream ls(line);
+      std::string hash, kind, family;
+      ls >> hash >> kind >> family;
+      EXPECT_TRUE(seen.insert(family).second)
+          << "duplicate TYPE line for " << family << " in round " << round;
+      families.push_back(family);
+    }
+    // Families may appear as new ops land, but those already present
+    // must keep their relative order scrape over scrape.
+    std::vector<std::string> projected;
+    for (const auto& f : families) {
+      if (std::count(last_families.begin(), last_families.end(), f) != 0) {
+        projected.push_back(f);
+      }
+    }
+    EXPECT_EQ(projected, last_families) << "family order shifted";
+    last_families = std::move(families);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : fleet) t.join();
 }
 
 }  // namespace

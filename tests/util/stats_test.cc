@@ -242,6 +242,52 @@ TEST(Histogram, BelowLoCountsInBucketZero) {
   EXPECT_EQ(buckets[0].count, 2u);
 }
 
+TEST(Histogram, InterpolatesWithinACrowdedBucket) {
+  // Ten samples all land in the (4, 8] bucket; quantiles must spread
+  // across the bucket instead of all snapping to the upper edge 8.
+  Histogram h(1.0, 2.0, 8);
+  for (int i = 0; i < 5; ++i) h.add(4.5);
+  for (int i = 0; i < 5; ++i) h.add(7.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0.2), 4.8);   // 4 + (8-4) * 2/10
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 6.0);   // 4 + (8-4) * 5/10
+  EXPECT_DOUBLE_EQ(h.percentile(0.1), 4.5);   // 4.4 clamped to exact min
+  EXPECT_DOUBLE_EQ(h.percentile(0.9), 7.5);   // 7.6 clamped to exact max
+}
+
+TEST(Histogram, OverflowQuantileInterpolatesUpToMax) {
+  // Regression: a quantile landing mid-overflow-bucket used to report
+  // the exact max outright; it must interpolate between the last finite
+  // edge and max, and only the final rank reaches max itself.
+  Histogram h(1.0, 2.0, 4);  // finite edges 1, 2, 4, 8; overflow beyond
+  h.add(2.0);
+  h.add(100.0);
+  h.add(1000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 504.0);  // 8 + (1000-8) * 1/2
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 1000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 1000.0);
+}
+
+TEST(Histogram, TopFiniteBucketIsClampedByExactMax) {
+  // Regression: {10, 100} with default edges puts 100 in the (64, 128]
+  // bucket; the old code reported the edge 128 — a latency the service
+  // never saw — for every high quantile.
+  Histogram h;
+  h.add(10.0);
+  h.add(100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.9), 100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 100.0);
+}
+
+TEST(Histogram, SubLoSamplesInterpolateInsideBucketZero) {
+  Histogram h(1.0, 2.0, 4);
+  h.add(0.2);
+  h.add(0.8);
+  // Bucket 0 spans (0, lo]; ranks spread evenly across it, and the
+  // final rank's edge value is clamped to the exact max.
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.5);  // rank 1 of 2: 0 + (1-0)/2
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.8);  // edge 1.0 clamped to max
+}
+
 TEST(Histogram, PercentilesMonotoneUnderAdversarialInputs) {
   // Whatever the input distribution — heavy overflow tails, duplicates,
   // sub-lo dust — reported percentiles must never invert.
